@@ -1,0 +1,217 @@
+//! B2SFinder (Yuan et al., ASE 2019) reimplementation: seven traceable
+//! features with specificity-weighted matching.
+//!
+//! The original infers features that survive compilation (strings, integer
+//! constants, switch structures, …) and weighs each feature instance by its
+//! specificity (rare values are strong evidence) and frequency. We mirror
+//! that with the seven features below, computed on LIR from either side.
+
+use std::collections::HashMap;
+
+use gbm_lir::Module;
+
+use crate::features::{module_features, opcode_cosine, ModuleFeatures};
+
+/// Corpus-level constant frequencies used for specificity weighting.
+#[derive(Clone, Debug, Default)]
+pub struct SpecificityIndex {
+    const_freq: HashMap<i64, usize>,
+    total: usize,
+}
+
+impl SpecificityIndex {
+    /// Builds the index from a corpus of modules.
+    pub fn build<'a>(corpus: impl Iterator<Item = &'a Module>) -> SpecificityIndex {
+        let mut idx = SpecificityIndex::default();
+        for m in corpus {
+            let f = module_features(m);
+            for (c, n) in f.int_consts {
+                *idx.const_freq.entry(c).or_insert(0) += n;
+                idx.total += n;
+            }
+        }
+        idx
+    }
+
+    /// IDF-style weight of one constant: rare ⇒ heavy.
+    pub fn weight(&self, c: i64) -> f32 {
+        let f = self.const_freq.get(&c).copied().unwrap_or(0) as f32;
+        ((1.0 + self.total as f32) / (1.0 + f)).ln().max(0.1)
+    }
+}
+
+/// The seven feature similarities in [0,1].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct B2sFeatures {
+    /// 1: specificity-weighted integer-constant overlap.
+    pub const_overlap: f32,
+    /// 2: global data byte overlap (longest common run / max).
+    pub global_overlap: f32,
+    /// 3: function-count similarity.
+    pub func_sim: f32,
+    /// 4: loop-count similarity.
+    pub loop_sim: f32,
+    /// 5: branch-count similarity.
+    pub branch_sim: f32,
+    /// 6: call-count similarity.
+    pub call_sim: f32,
+    /// 7: opcode-histogram cosine.
+    pub opcode_sim: f32,
+}
+
+fn count_sim(a: usize, b: usize) -> f32 {
+    let (a, b) = (a as f32, b as f32);
+    1.0 - (a - b).abs() / (1.0 + a.max(b))
+}
+
+fn weighted_const_overlap(a: &ModuleFeatures, b: &ModuleFeatures, idx: &SpecificityIndex) -> f32 {
+    let mut inter = 0.0f32;
+    let mut union = 0.0f32;
+    let keys: std::collections::HashSet<i64> =
+        a.int_consts.keys().chain(b.int_consts.keys()).copied().collect();
+    for c in keys {
+        let wa = a.int_consts.get(&c).copied().unwrap_or(0) as f32;
+        let wb = b.int_consts.get(&c).copied().unwrap_or(0) as f32;
+        let w = idx.weight(c);
+        inter += w * wa.min(wb);
+        union += w * wa.max(wb);
+    }
+    if union == 0.0 {
+        0.5 // no evidence either way
+    } else {
+        inter / union
+    }
+}
+
+fn byte_overlap(a: &[u8], b: &[u8]) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 0.5;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // histogram intersection is cheap and robust for our blob data
+    let mut ha = [0usize; 256];
+    let mut hb = [0usize; 256];
+    for &x in a {
+        ha[x as usize] += 1;
+    }
+    for &x in b {
+        hb[x as usize] += 1;
+    }
+    let inter: usize = (0..256).map(|i| ha[i].min(hb[i])).sum();
+    inter as f32 / a.len().max(b.len()) as f32
+}
+
+/// The B2SFinder matcher with per-feature weights.
+pub struct B2sFinder {
+    /// Specificity index built over the training corpus.
+    pub index: SpecificityIndex,
+    /// Per-feature weights (defaults favour the high-signal features,
+    /// mirroring the original's specificity/frequency weighting).
+    pub weights: [f32; 7],
+}
+
+impl B2sFinder {
+    /// Builds the matcher from a training corpus.
+    pub fn new<'a>(corpus: impl Iterator<Item = &'a Module>) -> B2sFinder {
+        B2sFinder {
+            index: SpecificityIndex::build(corpus),
+            weights: [0.30, 0.05, 0.10, 0.15, 0.15, 0.10, 0.15],
+        }
+    }
+
+    /// Computes the seven feature similarities for a pair.
+    pub fn features(&self, a: &Module, b: &Module) -> B2sFeatures {
+        let fa = module_features(a);
+        let fb = module_features(b);
+        B2sFeatures {
+            const_overlap: weighted_const_overlap(&fa, &fb, &self.index),
+            global_overlap: byte_overlap(&fa.global_bytes, &fb.global_bytes),
+            func_sim: count_sim(fa.functions, fb.functions),
+            loop_sim: count_sim(fa.loops, fb.loops),
+            branch_sim: count_sim(fa.branches, fb.branches),
+            call_sim: count_sim(fa.calls, fb.calls),
+            opcode_sim: opcode_cosine(&fa.opcode_hist, &fb.opcode_hist),
+        }
+    }
+
+    /// Weighted matching score in [0,1].
+    pub fn score(&self, a: &Module, b: &Module) -> f32 {
+        let f = self.features(a, b);
+        let v = [
+            f.const_overlap,
+            f.global_overlap,
+            f.func_sim,
+            f.loop_sim,
+            f.branch_sim,
+            f.call_sim,
+            f.opcode_sim,
+        ];
+        let wsum: f32 = self.weights.iter().sum();
+        v.iter().zip(self.weights.iter()).map(|(x, w)| x * w).sum::<f32>() / wsum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_frontends::{compile, SourceLang};
+
+    fn module(src: &str) -> Module {
+        compile(SourceLang::MiniC, "t", src).unwrap()
+    }
+
+    #[test]
+    fn self_similarity_is_high() {
+        let m = module(
+            "int main() { int s = 0; for (int i = 0; i < 37; i++) { s += i * 5; } print(s); return 0; }",
+        );
+        let b2s = B2sFinder::new([&m].into_iter());
+        let s = b2s.score(&m, &m);
+        assert!(s > 0.9, "self score {s}");
+    }
+
+    #[test]
+    fn different_programs_score_lower() {
+        let a = module(
+            "int main() { int s = 0; for (int i = 0; i < 37; i++) { s += i; } print(s); return 0; }",
+        );
+        let b = module(
+            "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+             int main() { print(fib(11)); print(fib(7)); print(fib(5)); return 0; }",
+        );
+        let b2s = B2sFinder::new([&a, &b].into_iter());
+        let self_s = b2s.score(&a, &a);
+        let cross = b2s.score(&a, &b);
+        assert!(self_s > cross, "self {self_s} vs cross {cross}");
+    }
+
+    #[test]
+    fn rare_constants_weigh_more() {
+        let common = module("int main() { print(5); return 0; }");
+        let rare = module("int main() { print(31337); return 0; }");
+        let corpus: Vec<Module> = (0..10)
+            .map(|_| module("int main() { print(5); return 0; }"))
+            .collect();
+        let mut refs: Vec<&Module> = corpus.iter().collect();
+        refs.push(&rare);
+        let b2s = B2sFinder::new(refs.into_iter());
+        assert!(b2s.index.weight(31337) > b2s.index.weight(5));
+        drop(common);
+    }
+
+    #[test]
+    fn count_sim_bounds() {
+        assert_eq!(count_sim(5, 5), 1.0);
+        assert!(count_sim(0, 10) < 0.2);
+        assert!(count_sim(9, 10) > 0.8);
+    }
+
+    #[test]
+    fn byte_overlap_cases() {
+        assert_eq!(byte_overlap(&[], &[]), 0.5);
+        assert_eq!(byte_overlap(&[1, 2], &[]), 0.0);
+        assert!((byte_overlap(&[1, 2, 3], &[1, 2, 3]) - 1.0).abs() < 1e-6);
+    }
+}

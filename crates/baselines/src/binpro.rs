@@ -1,0 +1,240 @@
+//! BinPro (Miyani, Huang & Lie, 2017) reimplementation: static code
+//! properties matched with an optimal bipartite assignment between the two
+//! programs' function sets, combined by a small trained logistic layer.
+
+use gbm_lir::Module;
+use gbm_tensor::{Adam, Graph, Optimizer, Param, Tensor};
+
+use crate::features::{function_features, module_features, FunctionFeatures};
+
+/// Hungarian algorithm (O(n³) Jonker-style shortest augmenting path) on a
+/// rectangular cost matrix; returns the minimum total cost of assigning each
+/// row to a distinct column (rows ≤ cols required; pad upstream).
+pub fn hungarian(cost: &[Vec<f32>]) -> f32 {
+    let n = cost.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let m = cost[0].len();
+    assert!(n <= m, "rows must not exceed cols");
+    const INF: f32 = 1e30;
+    // potentials and matching (1-indexed sentinel column 0)
+    let mut u = vec![0.0f32; n + 1];
+    let mut v = vec![0.0f32; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; m + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut total = 0.0;
+    for j in 1..=m {
+        if p[j] != 0 {
+            total += cost[p[j] - 1][j - 1];
+        }
+    }
+    total
+}
+
+/// Raw pairwise signals BinPro's classifier consumes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BinProSignals {
+    /// Mean per-function assignment cost after optimal bipartite matching.
+    pub match_cost: f32,
+    /// |size_a − size_b| / max — program size disparity.
+    pub size_gap: f32,
+    /// Function-count disparity.
+    pub func_gap: f32,
+    /// Loop-count disparity.
+    pub loop_gap: f32,
+}
+
+impl BinProSignals {
+    fn as_vec(&self) -> [f32; 4] {
+        [self.match_cost, self.size_gap, self.func_gap, self.loop_gap]
+    }
+}
+
+/// Computes the pairwise signals for two modules.
+pub fn signals(a: &Module, b: &Module) -> BinProSignals {
+    let fa: Vec<FunctionFeatures> = a
+        .functions
+        .iter()
+        .filter(|f| !f.is_declaration())
+        .map(function_features)
+        .collect();
+    let fb: Vec<FunctionFeatures> = b
+        .functions
+        .iter()
+        .filter(|f| !f.is_declaration())
+        .map(function_features)
+        .collect();
+    let (small, large) = if fa.len() <= fb.len() { (&fa, &fb) } else { (&fb, &fa) };
+    let match_cost = if small.is_empty() {
+        1.0
+    } else {
+        let cost: Vec<Vec<f32>> = small
+            .iter()
+            .map(|x| large.iter().map(|y| x.distance(y)).collect())
+            .collect();
+        hungarian(&cost) / small.len() as f32
+    };
+    let ma = module_features(a);
+    let mb = module_features(b);
+    let gap = |x: usize, y: usize| {
+        let (x, y) = (x as f32, y as f32);
+        (x - y).abs() / (1.0 + x.max(y))
+    };
+    BinProSignals {
+        match_cost,
+        size_gap: gap(ma.insts, mb.insts),
+        func_gap: gap(ma.functions, mb.functions),
+        loop_gap: gap(ma.loops, mb.loops),
+    }
+}
+
+/// The BinPro matcher: trained logistic weights over the static signals
+/// ("uses machine learning techniques to compute the best code properties").
+pub struct BinPro {
+    w: Param,
+    b: Param,
+}
+
+impl Default for BinPro {
+    fn default() -> Self {
+        BinPro::new()
+    }
+}
+
+impl BinPro {
+    /// Fresh (untrained) matcher.
+    pub fn new() -> BinPro {
+        BinPro {
+            w: Param::new("binpro.w", Tensor::zeros(&[4, 1])),
+            b: Param::new("binpro.b", Tensor::zeros(&[1, 1])),
+        }
+    }
+
+    /// Fits the logistic layer on labelled module pairs.
+    pub fn train(&mut self, pairs: &[(BinProSignals, f32)], epochs: usize, lr: f32) {
+        let mut opt = Adam::with_lr(lr);
+        for _ in 0..epochs {
+            let g = Graph::new();
+            let x: Vec<f32> = pairs.iter().flat_map(|(s, _)| s.as_vec()).collect();
+            let y: Vec<f32> = pairs.iter().map(|(_, l)| *l).collect();
+            let n = pairs.len();
+            let xs = g.constant(Tensor::from_vec(x, &[n, 4]));
+            let logits = g.add_bias(
+                g.matmul(xs, g.param(&self.w)),
+                g.reshape(g.param(&self.b), &[1]),
+            );
+            let loss = g.bce_with_logits(logits, &Tensor::from_vec(y, &[n, 1]));
+            g.backward(loss);
+            opt.step(&[self.w.clone(), self.b.clone()]);
+        }
+    }
+
+    /// Matching score in [0,1] from precomputed signals.
+    pub fn score_signals(&self, s: &BinProSignals) -> f32 {
+        let x = s.as_vec();
+        let w = self.w.value();
+        let mut z = self.b.value().item();
+        for (xi, wi) in x.iter().zip(w.data().iter()) {
+            z += xi * wi;
+        }
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Matching score for two modules.
+    pub fn score(&self, a: &Module, b: &Module) -> f32 {
+        self.score_signals(&signals(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_frontends::{compile, SourceLang};
+
+    #[test]
+    fn hungarian_small_cases() {
+        // classic 3x3
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        assert!((hungarian(&cost) - 5.0).abs() < 1e-5);
+        // rectangular: best of each row, distinct columns
+        let cost = vec![vec![1.0, 9.0, 9.0], vec![9.0, 1.0, 9.0]];
+        assert!((hungarian(&cost) - 2.0).abs() < 1e-5);
+        assert_eq!(hungarian(&[]), 0.0);
+    }
+
+    #[test]
+    fn signals_self_match_is_cheap() {
+        let m = compile(
+            SourceLang::MiniC,
+            "t",
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }
+             int main() { print(f(9)); return 0; }",
+        )
+        .unwrap();
+        let s = signals(&m, &m);
+        assert!(s.match_cost < 1e-6);
+        assert_eq!(s.size_gap, 0.0);
+    }
+
+    #[test]
+    fn training_separates_obvious_signals() {
+        let pos = BinProSignals { match_cost: 0.1, size_gap: 0.05, func_gap: 0.0, loop_gap: 0.0 };
+        let neg = BinProSignals { match_cost: 2.0, size_gap: 0.7, func_gap: 0.5, loop_gap: 0.6 };
+        let mut model = BinPro::new();
+        let data: Vec<(BinProSignals, f32)> =
+            vec![(pos, 1.0), (neg, 0.0), (pos, 1.0), (neg, 0.0)];
+        model.train(&data, 300, 0.05);
+        assert!(model.score_signals(&pos) > 0.7, "{}", model.score_signals(&pos));
+        assert!(model.score_signals(&neg) < 0.3, "{}", model.score_signals(&neg));
+    }
+}

@@ -1,0 +1,198 @@
+//! Static code features shared by the feature-matching baselines
+//! (BinPro, B2SFinder). All features are computable from either source-side
+//! or decompiled LIR — that is the point: they must survive compilation.
+
+use std::collections::HashMap;
+
+use gbm_lir::{cfg, Function, InstKind, Module, Operand};
+
+/// Per-function static feature vector.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FunctionFeatures {
+    /// Instruction count.
+    pub insts: f32,
+    /// Basic-block count.
+    pub blocks: f32,
+    /// Call-site count.
+    pub calls: f32,
+    /// Conditional-branch count.
+    pub branches: f32,
+    /// Back-edge count (loops).
+    pub loops: f32,
+    /// Memory operations (load + store).
+    pub mem_ops: f32,
+    /// Arithmetic operations.
+    pub arith_ops: f32,
+}
+
+impl FunctionFeatures {
+    /// As a fixed-order slice for distance computations.
+    pub fn as_vec(&self) -> [f32; 7] {
+        [self.insts, self.blocks, self.calls, self.branches, self.loops, self.mem_ops, self.arith_ops]
+    }
+
+    /// Scale-normalized Euclidean distance between two functions.
+    pub fn distance(&self, other: &FunctionFeatures) -> f32 {
+        self.as_vec()
+            .iter()
+            .zip(other.as_vec().iter())
+            .map(|(a, b)| {
+                let denom = 1.0 + a.abs().max(b.abs());
+                let d = (a - b) / denom;
+                d * d
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+/// Extracts features for one function.
+pub fn function_features(f: &Function) -> FunctionFeatures {
+    let mut feat = FunctionFeatures {
+        insts: f.num_insts() as f32,
+        blocks: f.blocks.len() as f32,
+        ..Default::default()
+    };
+    // back edges: successor with id ≤ current block (cheap loop proxy)
+    for b in &f.blocks {
+        for s in cfg::successors(f, b.id) {
+            if s.0 <= b.id.0 {
+                feat.loops += 1.0;
+            }
+        }
+    }
+    for (_, _, inst) in f.iter_insts() {
+        match &inst.kind {
+            InstKind::Call { .. } => feat.calls += 1.0,
+            InstKind::CondBr { .. } => feat.branches += 1.0,
+            InstKind::Load { .. } | InstKind::Store { .. } => feat.mem_ops += 1.0,
+            InstKind::Bin { .. } | InstKind::Icmp { .. } => feat.arith_ops += 1.0,
+            _ => {}
+        }
+    }
+    feat
+}
+
+/// Module-level "traceable" features (B2SFinder's vocabulary): constants,
+/// global data, structure counts.
+#[derive(Clone, Debug, Default)]
+pub struct ModuleFeatures {
+    /// Multiset of integer constants appearing as operands.
+    pub int_consts: HashMap<i64, usize>,
+    /// Global data bytes (string/array initializers).
+    pub global_bytes: Vec<u8>,
+    /// Function count (defined bodies).
+    pub functions: usize,
+    /// Total instruction count.
+    pub insts: usize,
+    /// Loop count.
+    pub loops: usize,
+    /// Conditional-branch count.
+    pub branches: usize,
+    /// Call count.
+    pub calls: usize,
+    /// Opcode histogram.
+    pub opcode_hist: HashMap<&'static str, usize>,
+}
+
+/// Extracts module-level traceable features.
+pub fn module_features(m: &Module) -> ModuleFeatures {
+    let mut f = ModuleFeatures::default();
+    for g in &m.globals {
+        if let gbm_lir::GlobalInit::Bytes(b) = &g.init {
+            f.global_bytes.extend_from_slice(b);
+        }
+    }
+    for func in &m.functions {
+        if func.is_declaration() {
+            continue;
+        }
+        f.functions += 1;
+        f.insts += func.num_insts();
+        let ff = function_features(func);
+        f.loops += ff.loops as usize;
+        f.branches += ff.branches as usize;
+        f.calls += ff.calls as usize;
+        for (_, _, inst) in func.iter_insts() {
+            *f.opcode_hist.entry(inst.kind.opcode()).or_insert(0) += 1;
+            for op in inst.kind.operands() {
+                if let Operand::ConstInt { value, .. } = op {
+                    // tiny constants (0,1,2) carry no signal; B2SFinder weighs
+                    // by specificity, we pre-filter the ubiquitous ones
+                    if value.abs() > 2 {
+                        *f.int_consts.entry(*value).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    f
+}
+
+/// Cosine similarity between two opcode histograms.
+pub fn opcode_cosine(a: &HashMap<&'static str, usize>, b: &HashMap<&'static str, usize>) -> f32 {
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (k, &va) in a {
+        na += (va * va) as f32;
+        if let Some(&vb) = b.get(k) {
+            dot += (va * vb) as f32;
+        }
+    }
+    for &vb in b.values() {
+        nb += (vb * vb) as f32;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_frontends::{compile, SourceLang};
+
+    fn module(src: &str) -> Module {
+        compile(SourceLang::MiniC, "t", src).unwrap()
+    }
+
+    #[test]
+    fn function_features_count_structure() {
+        let m = module("int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }");
+        let ff = function_features(m.function("f").unwrap());
+        assert!(ff.insts > 10.0);
+        assert!(ff.loops >= 1.0, "loop back edge detected");
+        assert!(ff.branches >= 1.0);
+        assert!(ff.mem_ops > 0.0);
+    }
+
+    #[test]
+    fn distance_is_zero_on_self_and_positive_otherwise() {
+        let m1 = module("int f(int n) { return n + 1; }");
+        let m2 = module("int g(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }");
+        let f1 = function_features(m1.function("f").unwrap());
+        let f2 = function_features(m2.function("g").unwrap());
+        assert_eq!(f1.distance(&f1), 0.0);
+        assert!(f1.distance(&f2) > 0.1);
+    }
+
+    #[test]
+    fn module_features_capture_constants() {
+        let m = module("int main() { print(777); print(777); print(13); return 0; }");
+        let mf = module_features(&m);
+        assert_eq!(mf.int_consts.get(&777), Some(&2));
+        assert_eq!(mf.int_consts.get(&13), Some(&1));
+        assert!(!mf.int_consts.contains_key(&0), "ubiquitous constants filtered");
+    }
+
+    #[test]
+    fn opcode_cosine_behaviour() {
+        let m1 = module("int main() { int s = 0; for (int i = 0; i < 5; i++) { s += i; } return s; }");
+        let f1 = module_features(&m1);
+        assert!((opcode_cosine(&f1.opcode_hist, &f1.opcode_hist) - 1.0).abs() < 1e-6);
+        let empty = HashMap::new();
+        assert_eq!(opcode_cosine(&f1.opcode_hist, &empty), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Ablation benchmarks: runtime cost of the design choices DESIGN.md calls
+//! out — hetero fusion mode, pooling kind, GNN depth, and [VAR] tokenizer
+//! normalization. (Quality ablations print from the `ablation_study` binary;
+//! these measure compute cost.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gbm_frontends::{compile, SourceLang};
+use gbm_nn::{encode_graph, Fusion, GraphBinMatch, GraphBinMatchConfig, PoolKind};
+use gbm_progml::{build_graph, NodeTextMode};
+use gbm_tokenizer::{Tokenizer, TokenizerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SRC: &str = "
+    class Main {
+        static int f(int n) {
+            int[] a = new int[n];
+            for (int i = 0; i < n; i++) { a[i] = i * i % 17; }
+            int s = 0;
+            for (int i = 0; i < a.length; i++) { s += a[i]; }
+            return s;
+        }
+        public static void main(String[] args) { System.out.println(f(20)); }
+    }";
+
+fn setup() -> (gbm_nn::EncodedGraph, Tokenizer) {
+    let m = compile(SourceLang::MiniJava, "t", SRC).unwrap();
+    let g = build_graph(&m);
+    let tok =
+        Tokenizer::train_on_graphs(&[&g], NodeTextMode::FullText, TokenizerConfig::default());
+    (encode_graph(&g, &tok, NodeTextMode::FullText), tok)
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let (eg, tok) = setup();
+    let mut group = c.benchmark_group("ablation_fusion");
+    group.sample_size(20);
+    for (name, fusion) in [("max", Fusion::Max), ("mean", Fusion::Mean), ("sum", Fusion::Sum)] {
+        let mut cfg = GraphBinMatchConfig::tiny(tok.vocab_size());
+        cfg.fusion = fusion;
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = GraphBinMatch::new(cfg, &mut rng);
+        group.bench_function(name, |b| b.iter(|| black_box(model.score(&eg, &eg))));
+    }
+    group.finish();
+}
+
+fn bench_pooling(c: &mut Criterion) {
+    let (eg, tok) = setup();
+    let mut group = c.benchmark_group("ablation_pooling");
+    group.sample_size(20);
+    for (name, pooling) in [("attention", PoolKind::Attention), ("mean", PoolKind::Mean)] {
+        let mut cfg = GraphBinMatchConfig::tiny(tok.vocab_size());
+        cfg.pooling = pooling;
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = GraphBinMatch::new(cfg, &mut rng);
+        group.bench_function(name, |b| b.iter(|| black_box(model.score(&eg, &eg))));
+    }
+    group.finish();
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let (eg, tok) = setup();
+    let mut group = c.benchmark_group("ablation_depth");
+    group.sample_size(20);
+    for layers in [1usize, 2, 3, 5] {
+        let mut cfg = GraphBinMatchConfig::tiny(tok.vocab_size());
+        cfg.num_layers = layers;
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = GraphBinMatch::new(cfg, &mut rng);
+        group.bench_function(format!("layers_{layers}"), |b| {
+            b.iter(|| black_box(model.score(&eg, &eg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_var_token(c: &mut Criterion) {
+    let m = compile(SourceLang::MiniJava, "t", SRC).unwrap();
+    let g = build_graph(&m);
+    let mut group = c.benchmark_group("ablation_var_token");
+    for (name, normalize) in [("var_normalized", true), ("raw_registers", false)] {
+        let cfg = TokenizerConfig { normalize_vars: normalize, ..Default::default() };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let tok = Tokenizer::train_on_graphs(
+                    black_box(&[&g]),
+                    NodeTextMode::FullText,
+                    cfg,
+                );
+                encode_graph(&g, &tok, NodeTextMode::FullText).tokens.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion, bench_pooling, bench_depth, bench_var_token);
+criterion_main!(benches);

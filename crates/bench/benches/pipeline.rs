@@ -1,0 +1,159 @@
+//! Criterion benchmarks over every pipeline stage: front-end lowering,
+//! optimization, codegen + decompilation, graph construction, tokenization,
+//! and GNN forward/backward. These measure the *substrate throughput* behind
+//! the tables; the `table_*` binaries regenerate the tables themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gbm_binary::{compile_module, decompile::decompile, optimize, Compiler, OptLevel};
+use gbm_frontends::{compile, SourceLang};
+use gbm_nn::{encode_graph, GraphBinMatch, GraphBinMatchConfig};
+use gbm_progml::{build_graph, NodeTextMode};
+use gbm_tensor::Graph;
+use gbm_tokenizer::{Tokenizer, TokenizerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const C_SRC: &str = "
+    int gcd(int a, int b) { while (b != 0) { int t = a % b; a = b; b = t; } return a; }
+    int main() {
+        int best = 0;
+        for (int i = 1; i < 40; i++) {
+            int g = gcd(i * 7 + 3, i * 5 + 2);
+            if (g > best) { best = g; }
+        }
+        print(best);
+        return best;
+    }";
+
+const JAVA_SRC: &str = "
+    class Main {
+        static int work(int n) {
+            int[] a = new int[n];
+            for (int i = 0; i < n; i++) { a[i] = (i * 13 + 5) % 23; }
+            int s = 0;
+            for (int i = 0; i < a.length; i++) { s += a[i]; }
+            return s;
+        }
+        public static void main(String[] args) {
+            System.out.println(work(25));
+        }
+    }";
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    g.bench_function("minic_compile", |b| {
+        b.iter(|| compile(SourceLang::MiniC, "t", black_box(C_SRC)).unwrap())
+    });
+    g.bench_function("minijava_compile", |b| {
+        b.iter(|| compile(SourceLang::MiniJava, "t", black_box(JAVA_SRC)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_opt(c: &mut Criterion) {
+    let m = compile(SourceLang::MiniC, "t", C_SRC).unwrap();
+    let mut g = c.benchmark_group("optimizer");
+    for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Oz] {
+        g.bench_function(level.name(), |b| {
+            b.iter(|| {
+                let mut mm = m.clone();
+                optimize(&mut mm, level);
+                black_box(mm.num_insts())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_binary(c: &mut Criterion) {
+    let m = compile(SourceLang::MiniC, "t", C_SRC).unwrap();
+    let mut g = c.benchmark_group("binary");
+    for style in [Compiler::Clang, Compiler::Gcc] {
+        g.bench_function(format!("codegen_{style}"), |b| {
+            b.iter(|| compile_module(black_box(&m), style).unwrap())
+        });
+    }
+    let obj = compile_module(&m, Compiler::Clang).unwrap();
+    g.bench_function("object_roundtrip", |b| {
+        b.iter(|| gbm_binary::ObjectFile::decode(&black_box(&obj).encode()).unwrap())
+    });
+    g.bench_function("decompile", |b| b.iter(|| decompile(black_box(&obj))));
+    g.finish();
+}
+
+fn bench_graphs(c: &mut Criterion) {
+    let cm = compile(SourceLang::MiniC, "t", C_SRC).unwrap();
+    let jm = compile(SourceLang::MiniJava, "t", JAVA_SRC).unwrap();
+    let mut g = c.benchmark_group("progml");
+    g.bench_function("build_graph_c", |b| b.iter(|| build_graph(black_box(&cm))));
+    g.bench_function("build_graph_java", |b| b.iter(|| build_graph(black_box(&jm))));
+    g.finish();
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let jm = compile(SourceLang::MiniJava, "t", JAVA_SRC).unwrap();
+    let graph = build_graph(&jm);
+    let refs = [&graph];
+    let mut g = c.benchmark_group("tokenizer");
+    g.bench_function("train", |b| {
+        b.iter(|| {
+            Tokenizer::train_on_graphs(
+                black_box(&refs),
+                NodeTextMode::FullText,
+                TokenizerConfig::default(),
+            )
+        })
+    });
+    let tok = Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
+    g.bench_function("encode_graph", |b| {
+        b.iter(|| encode_graph(black_box(&graph), &tok, NodeTextMode::FullText))
+    });
+    g.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let cm = compile(SourceLang::MiniC, "t", C_SRC).unwrap();
+    let jm = compile(SourceLang::MiniJava, "t", JAVA_SRC).unwrap();
+    let cg = build_graph(&cm);
+    let jg = build_graph(&jm);
+    let tok = Tokenizer::train_on_graphs(
+        &[&cg, &jg],
+        NodeTextMode::FullText,
+        TokenizerConfig::default(),
+    );
+    let ea = encode_graph(&cg, &tok, NodeTextMode::FullText);
+    let eb = encode_graph(&jg, &tok, NodeTextMode::FullText);
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = GraphBinMatch::new(GraphBinMatchConfig::small(tok.vocab_size()), &mut rng);
+
+    let mut g = c.benchmark_group("gnn");
+    g.sample_size(20);
+    g.bench_function("forward_pair", |b| {
+        b.iter(|| black_box(model.score(&ea, &eb)))
+    });
+    g.bench_function("forward_backward_pair", |b| {
+        b.iter(|| {
+            let tape = Graph::new();
+            let logit = model.forward_pair(&tape, &ea, &eb, true, &mut rng);
+            let loss =
+                tape.bce_with_logits(logit, &gbm_tensor::Tensor::from_vec(vec![1.0], &[1, 1]));
+            tape.backward(loss);
+            model.store.zero_grad();
+            black_box(tape.value(loss).item())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_opt,
+    bench_binary,
+    bench_graphs,
+    bench_tokenizer,
+    bench_model
+);
+criterion_main!(benches);

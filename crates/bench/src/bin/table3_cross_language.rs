@@ -1,0 +1,11 @@
+//! Regenerates Table III: cross-language binary↔source matching vs baselines
+//! (threshold 0.5 for calibrated models; validation-tuned for baselines).
+
+fn main() {
+    let cfg = gbm_bench::scale_from_env();
+    gbm_bench::banner("Table III (cross-language binary-source matching)", &cfg);
+    let (directions, _) = gbm_eval::experiments::table3(&cfg);
+    for (label, rows) in directions {
+        gbm_bench::print_method_table(&label, &rows);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table IV: single-language binary-source matching (POJ-syn).
+
+fn main() {
+    let cfg = gbm_bench::scale_from_env();
+    gbm_bench::banner("Table IV (single-language binary matching)", &cfg);
+    let rows = gbm_eval::experiments::table4(&cfg);
+    gbm_bench::print_method_table("POJ-104-syn, clang O0", &rows);
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table V: optimization-level × compiler sweep.
+
+fn main() {
+    let cfg = gbm_bench::scale_from_env();
+    gbm_bench::banner("Table V (optimization levels / compilers)", &cfg);
+    let rows = gbm_eval::experiments::table5(&cfg);
+    println!("\n{:<9} {:<6} {:>9} {:>9} {:>9}", "Compiler", "Level", "Precision", "Recall", "F1");
+    println!("{}", "-".repeat(46));
+    for (compiler, level, prf) in rows {
+        println!(
+            "{:<9} {:<6} {:>9.2} {:>9.2} {:>9.2}",
+            compiler.name(),
+            level.name(),
+            prf.precision,
+            prf.recall,
+            prf.f1
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table VI: cross-language source-source matching.
+
+fn main() {
+    let cfg = gbm_bench::scale_from_env();
+    gbm_bench::banner("Table VI (cross-language source matching)", &cfg);
+    for (label, rows) in gbm_eval::experiments::table6(&cfg) {
+        gbm_bench::print_method_table(&label, &rows);
+    }
+}

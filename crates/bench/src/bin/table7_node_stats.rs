@@ -1,0 +1,17 @@
+//! Regenerates Table VII: node-count statistics per confusion cell of the
+//! cross-language test run.
+
+fn main() {
+    let cfg = gbm_bench::scale_from_env();
+    gbm_bench::banner("Table VII (node statistics by confusion cell)", &cfg);
+    let (_, result) = gbm_eval::experiments::table3(&cfg);
+    let rows = gbm_eval::experiments::table7(&result, 0.5);
+    println!("\n{:<16} {:>8} {:>8} {:>10} {:>7}", "Type", "Mean", "Median", "Mean |a-b|", "Count");
+    println!("{}", "-".repeat(54));
+    for r in rows {
+        println!(
+            "{:<16} {:>8.0} {:>8.0} {:>10.0} {:>7}",
+            r.cell, r.mean_nodes, r.median_nodes, r.mean_gap, r.count
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! # gbm-bench
+//!
+//! Regeneration harness for every table and figure in the paper, plus
+//! criterion benchmarks over the pipeline stages.
+//!
+//! Each `table_*` / `figure_*` binary prints the corresponding rows:
+//!
+//! ```text
+//! cargo run --release -p gbm-bench --bin table3_cross_language
+//! ```
+//!
+//! Scale is selected with the `GBM_SCALE` environment variable:
+//! `quick` (seconds, smoke test) or `standard` (the EXPERIMENTS.md setting,
+//! minutes on a laptop). Default: `standard`.
+
+use gbm_eval::{HarnessConfig, MethodScore};
+
+/// Reads `GBM_SCALE` (and optional `GBM_EPOCHS` / `GBM_SEED` overrides) and
+/// returns the corresponding harness configuration.
+pub fn scale_from_env() -> HarnessConfig {
+    let mut cfg = match std::env::var("GBM_SCALE").as_deref() {
+        Ok("quick") => HarnessConfig::quick(),
+        _ => HarnessConfig::standard(),
+    };
+    if let Ok(e) = std::env::var("GBM_EPOCHS") {
+        if let Ok(n) = e.parse() {
+            cfg.epochs = n;
+        }
+    }
+    if let Ok(s) = std::env::var("GBM_SEED") {
+        if let Ok(n) = s.parse() {
+            cfg.seed = n;
+        }
+    }
+    cfg
+}
+
+/// Prints a `P / R / F1` method table with an optional title.
+pub fn print_method_table(title: &str, rows: &[MethodScore]) {
+    println!("\n## {title}");
+    println!("{:<24} {:>9} {:>9} {:>9} {:>10}", "Method", "Precision", "Recall", "F1", "Threshold");
+    println!("{}", "-".repeat(66));
+    for m in rows {
+        println!(
+            "{:<24} {:>9.2} {:>9.2} {:>9.2} {:>10.2}",
+            m.method, m.prf.precision, m.prf.recall, m.prf.f1, m.threshold
+        );
+    }
+}
+
+/// Standard banner for every harness binary.
+pub fn banner(what: &str, cfg: &HarnessConfig) {
+    println!("=== GraphBinMatch reproduction — {what} ===");
+    println!(
+        "scale: tasks={} solutions/task/lang={} dims={}/{} layers={} epochs={}",
+        cfg.num_tasks, cfg.solutions_per_task, cfg.embed_dim, cfg.hidden_dim, cfg.num_layers, cfg.epochs
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_standard() {
+        let cfg = scale_from_env();
+        assert!(cfg.num_tasks >= HarnessConfig::quick().num_tasks);
+    }
+
+    #[test]
+    fn printing_does_not_panic() {
+        print_method_table(
+            "t",
+            &[MethodScore {
+                method: "X".into(),
+                prf: gbm_eval::Prf { precision: 0.5, recall: 0.5, f1: 0.5 },
+                threshold: 0.5,
+            }],
+        );
+        banner("test", &HarnessConfig::quick());
+    }
+}

@@ -1,0 +1,683 @@
+//! LIR → VISA code generation, in two compiler styles.
+//!
+//! Both styles use "spill-everything" register allocation (every SSA value
+//! gets a frame slot), which is what -O0 code from real compilers looks like;
+//! the interesting optimization happens at the LIR level beforehand.
+//!
+//! * [`Compiler::Clang`] — compact: source block order, `JNZ`-first branch
+//!   polarity, 8-byte slots.
+//! * [`Compiler::Gcc`] — verbose: reverse-postorder layout, inverted branch
+//!   polarity, 16-byte slot stride, a frame canary, and redundant register
+//!   moves after arithmetic. Decompiled gcc output is correspondingly larger,
+//!   mirroring the paper's observation that gcc-compiled binaries decompile
+//!   to ~70% more IR than clang's.
+
+use std::collections::HashMap;
+
+use gbm_lir::{
+    cfg, BinOp, BlockId, CastKind, Function, GlobalInit, IcmpPred, InstKind, Module, Operand, Ty,
+    ValueId,
+};
+
+use crate::isa::{
+    ObjFunction, ObjectFile, Op, VisaInst, CMP_EQ, CMP_GE, CMP_GT, CMP_LE, CMP_LT, CMP_NE, FP,
+    MAX_ARGS, SCRATCH0, SCRATCH1, SCRATCH2,
+};
+
+/// Which compiler persona generates the binary.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Compiler {
+    /// clang-like codegen.
+    Clang,
+    /// gcc-like codegen (more verbose output).
+    Gcc,
+}
+
+impl Compiler {
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Compiler::Clang => "clang",
+            Compiler::Gcc => "gcc",
+        }
+    }
+}
+
+impl std::fmt::Display for Compiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A code-generation failure (unsupported construct).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codegen error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Lays out module globals exactly as the VM loader does; returns their
+/// byte blobs and link-time addresses.
+pub fn layout_globals(m: &Module) -> (Vec<(String, Vec<u8>)>, HashMap<String, i64>) {
+    let mut blobs = Vec::new();
+    let mut addrs = HashMap::new();
+    let mut cursor: i64 = 64;
+    for g in &m.globals {
+        let size = g.ty.size_bytes().max(1);
+        let mut data = vec![0u8; size];
+        match &g.init {
+            GlobalInit::Zero => {}
+            GlobalInit::I64s(words) => {
+                for (i, w) in words.iter().enumerate() {
+                    let off = i * 8;
+                    if off + 8 <= size {
+                        data[off..off + 8].copy_from_slice(&w.to_le_bytes());
+                    }
+                }
+            }
+            GlobalInit::Bytes(bs) => {
+                let n = bs.len().min(size);
+                data[..n].copy_from_slice(&bs[..n]);
+            }
+        }
+        addrs.insert(g.name.clone(), cursor);
+        cursor += data.len() as i64;
+        let pad = (8 - (cursor % 8)) % 8;
+        for _ in 0..pad {
+            data.push(0);
+        }
+        cursor += pad;
+        blobs.push((g.name.clone(), data));
+    }
+    (blobs, addrs)
+}
+
+/// Compiles a verified LIR module into a VISA object file.
+pub fn compile_module(m: &Module, style: Compiler) -> Result<ObjectFile, CodegenError> {
+    let (globals, global_addrs) = layout_globals(m);
+    let bodies: Vec<&Function> = m.functions.iter().filter(|f| !f.is_declaration()).collect();
+    let func_index: HashMap<&str, usize> =
+        bodies.iter().enumerate().map(|(i, f)| (f.name.as_str(), i)).collect();
+    let mut functions = Vec::with_capacity(bodies.len());
+    for f in &bodies {
+        functions.push(compile_function(f, style, &global_addrs, &func_index)?);
+    }
+    Ok(ObjectFile { globals, functions })
+}
+
+struct FnCtx<'a> {
+    style: Compiler,
+    globals: &'a HashMap<String, i64>,
+    funcs: &'a HashMap<&'a str, usize>,
+    slots: HashMap<ValueId, i32>,
+    phi_shadow: HashMap<ValueId, i32>,
+    alloca_off: HashMap<ValueId, i32>,
+    code: Vec<VisaInst>,
+    fixups: Vec<(usize, BlockId)>, // (inst index, target block)
+    block_start: HashMap<BlockId, i32>,
+}
+
+fn compile_function(
+    f: &Function,
+    style: Compiler,
+    globals: &HashMap<String, i64>,
+    funcs: &HashMap<&str, usize>,
+) -> Result<ObjFunction, CodegenError> {
+    if f.params.len() > MAX_ARGS {
+        return Err(CodegenError {
+            message: format!("@{}: more than {MAX_ARGS} parameters", f.name),
+        });
+    }
+    let stride: i32 = match style {
+        Compiler::Clang => 8,
+        Compiler::Gcc => 16,
+    };
+    // frame layout: value slots, then φ shadows, then alloca areas
+    let mut slots = HashMap::new();
+    let mut offset: i32 = match style {
+        Compiler::Clang => 0,
+        Compiler::Gcc => 16, // canary + padding
+    };
+    for v in 0..f.next_value {
+        slots.insert(ValueId(v), offset);
+        offset += stride;
+    }
+    let mut phi_shadow = HashMap::new();
+    let mut alloca_off = HashMap::new();
+    for (_, _, inst) in f.iter_insts() {
+        match &inst.kind {
+            InstKind::Phi { .. } => {
+                phi_shadow.insert(inst.result.expect("phi result"), offset);
+                offset += stride;
+            }
+            InstKind::Alloca { ty } => {
+                alloca_off.insert(inst.result.expect("alloca result"), offset);
+                offset += ((ty.size_bytes() as i32 + 7) & !7).max(8);
+            }
+            _ => {}
+        }
+    }
+    let frame_size = offset.max(8);
+
+    let mut ctx = FnCtx {
+        style,
+        globals,
+        funcs,
+        slots,
+        phi_shadow,
+        alloca_off,
+        code: Vec::new(),
+        fixups: Vec::new(),
+        block_start: HashMap::new(),
+    };
+
+    // prologue
+    ctx.emit(Op::Salloc, FP, 0, 0, frame_size);
+    if style == Compiler::Gcc {
+        // gcc's frame canary: a constant written at the frame base
+        ctx.emit(Op::Movi, SCRATCH2, 0, 0, 0x5AFE);
+        ctx.emit(Op::St, 0, FP, SCRATCH2, 0);
+    }
+    for i in 0..f.params.len() {
+        ctx.store_slot(ValueId(i as u32), i as u8);
+    }
+
+    // block layout order
+    let order: Vec<BlockId> = match style {
+        Compiler::Clang => f.blocks.iter().map(|b| b.id).collect(),
+        Compiler::Gcc => {
+            let rpo = cfg::reverse_postorder(f);
+            // unreachable blocks appended in original order
+            let mut seen: Vec<bool> = vec![false; f.blocks.len()];
+            for b in &rpo {
+                seen[b.0 as usize] = true;
+            }
+            let mut order = rpo;
+            for b in &f.blocks {
+                if !seen[b.id.0 as usize] {
+                    order.push(b.id);
+                }
+            }
+            order
+        }
+    };
+
+    for (pos, &bid) in order.iter().enumerate() {
+        ctx.block_start.insert(bid, ctx.code.len() as i32);
+        let block = &f.blocks[bid.0 as usize];
+        let fallthrough = order.get(pos + 1).copied();
+        ctx.compile_block(f, block, fallthrough)?;
+    }
+
+    // patch branch targets
+    for (idx, target) in std::mem::take(&mut ctx.fixups) {
+        let t = *ctx
+            .block_start
+            .get(&target)
+            .ok_or_else(|| CodegenError { message: format!("unplaced block bb{}", target.0) })?;
+        ctx.code[idx].imm = t;
+    }
+
+    Ok(ObjFunction { name: f.name.clone(), arity: f.params.len() as u8, code: ctx.code })
+}
+
+impl<'a> FnCtx<'a> {
+    fn emit(&mut self, op: Op, rd: u8, rs1: u8, rs2: u8, imm: i32) {
+        self.code.push(VisaInst::new(op, rd, rs1, rs2, imm));
+    }
+
+    fn emit_fixup(&mut self, op: Op, rs1: u8, target: BlockId) {
+        let idx = self.code.len();
+        self.code.push(VisaInst::new(op, 0, rs1, 0, 0));
+        self.fixups.push((idx, target));
+    }
+
+    fn load_imm(&mut self, reg: u8, v: i64) {
+        let lo = v as i32;
+        if lo as i64 == v {
+            self.emit(Op::Movi, reg, 0, 0, lo);
+        } else {
+            self.emit(Op::Movi, reg, 0, 0, (v & 0xFFFF_FFFF) as i32);
+            self.emit(Op::Movih, reg, 0, 0, ((v as u64) >> 32) as u32 as i32);
+        }
+    }
+
+    fn load_operand(&mut self, op: &Operand, reg: u8) -> Result<(), CodegenError> {
+        match op {
+            Operand::Value(v) => {
+                let off = self.slots[v];
+                self.emit(Op::Ld, reg, FP, 0, off);
+            }
+            Operand::ConstInt { value, .. } => self.load_imm(reg, *value),
+            Operand::ConstF64(x) => self.load_imm(reg, x.to_bits() as i64),
+            Operand::Global(name) => {
+                let addr = *self.globals.get(name).ok_or_else(|| CodegenError {
+                    message: format!("unknown global @{name}"),
+                })?;
+                self.load_imm(reg, addr);
+            }
+            Operand::Undef(_) => self.emit(Op::Movi, reg, 0, 0, 0),
+        }
+        Ok(())
+    }
+
+    fn store_slot(&mut self, v: ValueId, reg: u8) {
+        let off = self.slots[&v];
+        self.emit(Op::St, 0, FP, reg, off);
+        if self.style == Compiler::Gcc {
+            // gcc's signature redundancy: results echo through a spare reg
+            self.emit(Op::Mov, SCRATCH2 + 1, reg, 0, 0);
+        }
+    }
+
+    /// Copies φ incomings for the edge `block → target` (two-phase through
+    /// shadow slots so mutually-referential φs read pre-edge values).
+    fn phi_moves(
+        &mut self,
+        f: &Function,
+        from: BlockId,
+        target: BlockId,
+    ) -> Result<(), CodegenError> {
+        let mut phis: Vec<(ValueId, Operand)> = Vec::new();
+        for inst in &f.blocks[target.0 as usize].insts {
+            if let InstKind::Phi { incomings, .. } = &inst.kind {
+                if let Some((op, _)) = incomings.iter().find(|(_, b)| *b == from) {
+                    phis.push((inst.result.expect("phi result"), op.clone()));
+                }
+            } else {
+                break;
+            }
+        }
+        for (phi, op) in &phis {
+            self.load_operand(op, SCRATCH0)?;
+            let shadow = self.phi_shadow[phi];
+            self.emit(Op::St, 0, FP, SCRATCH0, shadow);
+        }
+        for (phi, _) in &phis {
+            let shadow = self.phi_shadow[phi];
+            self.emit(Op::Ld, SCRATCH0, FP, 0, shadow);
+            let off = self.slots[phi];
+            self.emit(Op::St, 0, FP, SCRATCH0, off);
+        }
+        Ok(())
+    }
+
+    fn normalize_width(&mut self, reg: u8, ty: &Ty) {
+        match ty {
+            Ty::I1 => self.emit(Op::And1, reg, reg, 0, 0),
+            Ty::I8 => self.emit(Op::Sextb, reg, reg, 0, 0),
+            Ty::I32 => self.emit(Op::Sextw, reg, reg, 0, 0),
+            _ => {}
+        }
+    }
+
+    fn compile_block(
+        &mut self,
+        f: &Function,
+        block: &gbm_lir::Block,
+        fallthrough: Option<BlockId>,
+    ) -> Result<(), CodegenError> {
+        for inst in &block.insts {
+            match &inst.kind {
+                InstKind::Phi { .. } => {
+                    // value written by predecessors; nothing to emit here
+                }
+                InstKind::Alloca { .. } => {
+                    let r = inst.result.expect("alloca result");
+                    let off = self.alloca_off[&r];
+                    self.emit(Op::Addi, SCRATCH0, FP, 0, off);
+                    self.store_slot(r, SCRATCH0);
+                }
+                InstKind::Load { ty, ptr } => {
+                    self.load_operand(ptr, SCRATCH1)?;
+                    let op = match ty.size_bytes() {
+                        1 => Op::Ld1,
+                        4 => Op::Ld4,
+                        _ => Op::Ld,
+                    };
+                    self.emit(op, SCRATCH0, SCRATCH1, 0, 0);
+                    self.store_slot(inst.result.expect("load result"), SCRATCH0);
+                }
+                InstKind::Store { ty, val, ptr } => {
+                    self.load_operand(val, SCRATCH0)?;
+                    self.load_operand(ptr, SCRATCH1)?;
+                    let op = match ty.size_bytes() {
+                        1 => Op::St1,
+                        4 => Op::St4,
+                        _ => Op::St,
+                    };
+                    self.emit(op, 0, SCRATCH1, SCRATCH0, 0);
+                }
+                InstKind::Bin { op, ty, lhs, rhs } => {
+                    self.load_operand(lhs, SCRATCH0)?;
+                    self.load_operand(rhs, SCRATCH1)?;
+                    let vop = if *ty == Ty::F64 {
+                        match op {
+                            BinOp::Add => Op::Fadd,
+                            BinOp::Sub => Op::Fsub,
+                            BinOp::Mul => Op::Fmul,
+                            BinOp::SDiv => Op::Fdiv,
+                            other => {
+                                return Err(CodegenError {
+                                    message: format!("float {other:?} unsupported"),
+                                })
+                            }
+                        }
+                    } else {
+                        match op {
+                            BinOp::Add => Op::Add,
+                            BinOp::Sub => Op::Sub,
+                            BinOp::Mul => Op::Mul,
+                            BinOp::SDiv => Op::Div,
+                            BinOp::SRem => Op::Rem,
+                            BinOp::And => Op::And,
+                            BinOp::Or => Op::Or,
+                            BinOp::Xor => Op::Xor,
+                            BinOp::Shl => Op::Shl,
+                            BinOp::AShr => Op::Shr,
+                        }
+                    };
+                    self.emit(vop, SCRATCH0, SCRATCH0, SCRATCH1, 0);
+                    if *ty != Ty::F64 {
+                        self.normalize_width(SCRATCH0, ty);
+                    }
+                    self.store_slot(inst.result.expect("bin result"), SCRATCH0);
+                }
+                InstKind::Icmp { pred, ty, lhs, rhs } => {
+                    self.load_operand(lhs, SCRATCH0)?;
+                    self.load_operand(rhs, SCRATCH1)?;
+                    let p = match pred {
+                        IcmpPred::Eq => CMP_EQ,
+                        IcmpPred::Ne => CMP_NE,
+                        IcmpPred::Slt => CMP_LT,
+                        IcmpPred::Sle => CMP_LE,
+                        IcmpPred::Sgt => CMP_GT,
+                        IcmpPred::Sge => CMP_GE,
+                    };
+                    let op = if *ty == Ty::F64 { Op::Fcmp } else { Op::Cmp };
+                    self.emit(op, SCRATCH0, SCRATCH0, SCRATCH1, p);
+                    self.store_slot(inst.result.expect("icmp result"), SCRATCH0);
+                }
+                InstKind::Br { target } => {
+                    self.phi_moves(f, block.id, *target)?;
+                    if fallthrough != Some(*target) {
+                        self.emit_fixup(Op::Jmp, 0, *target);
+                    }
+                }
+                InstKind::CondBr { cond, then_bb, else_bb } => {
+                    // φ moves per edge must happen after the condition is
+                    // known; route each edge through its move sequence
+                    self.load_operand(cond, SCRATCH0)?;
+                    let then_has_phis = has_phis(f, *then_bb);
+                    let else_has_phis = has_phis(f, *else_bb);
+                    if !then_has_phis && !else_has_phis {
+                        match self.style {
+                            Compiler::Clang => {
+                                self.emit_fixup(Op::Jnz, SCRATCH0, *then_bb);
+                                if fallthrough != Some(*else_bb) {
+                                    self.emit_fixup(Op::Jmp, 0, *else_bb);
+                                }
+                            }
+                            Compiler::Gcc => {
+                                self.emit_fixup(Op::Jz, SCRATCH0, *else_bb);
+                                if fallthrough != Some(*then_bb) {
+                                    self.emit_fixup(Op::Jmp, 0, *then_bb);
+                                }
+                            }
+                        }
+                    } else {
+                        // trampolines with φ moves on each edge
+                        let jz_idx = self.code.len();
+                        self.emit(Op::Jz, 0, SCRATCH0, 0, 0); // patched below
+                        self.phi_moves(f, block.id, *then_bb)?;
+                        self.emit_fixup(Op::Jmp, 0, *then_bb);
+                        let else_entry = self.code.len() as i32;
+                        self.code[jz_idx].imm = else_entry;
+                        self.phi_moves(f, block.id, *else_bb)?;
+                        self.emit_fixup(Op::Jmp, 0, *else_bb);
+                    }
+                }
+                InstKind::Ret { val } => {
+                    if let Some(v) = val {
+                        self.load_operand(v, 0)?;
+                    } else {
+                        self.emit(Op::Movi, 0, 0, 0, 0);
+                    }
+                    self.emit(Op::Ret, 0, 0, 0, 0);
+                }
+                InstKind::Call { callee, args, .. } => {
+                    self.compile_call(inst, callee, args)?;
+                }
+                InstKind::Gep { elem_ty, base, index } => {
+                    self.load_operand(base, SCRATCH0)?;
+                    self.load_operand(index, SCRATCH1)?;
+                    self.load_imm(SCRATCH2, elem_ty.size_bytes() as i64);
+                    self.emit(Op::Mul, SCRATCH1, SCRATCH1, SCRATCH2, 0);
+                    self.emit(Op::Add, SCRATCH0, SCRATCH0, SCRATCH1, 0);
+                    self.store_slot(inst.result.expect("gep result"), SCRATCH0);
+                }
+                InstKind::Select { cond, then_v, else_v, .. } => {
+                    self.load_operand(cond, SCRATCH0)?;
+                    self.load_operand(then_v, SCRATCH1)?;
+                    let skip_idx = self.code.len();
+                    self.emit(Op::Jnz, 0, SCRATCH0, 0, 0); // patched
+                    self.load_operand(else_v, SCRATCH1)?;
+                    let after = self.code.len() as i32;
+                    self.code[skip_idx].imm = after;
+                    self.store_slot(inst.result.expect("select result"), SCRATCH1);
+                }
+                InstKind::Cast { kind, val, from, to } => {
+                    self.load_operand(val, SCRATCH0)?;
+                    match kind {
+                        CastKind::Bitcast => {}
+                        CastKind::Sitofp => self.emit(Op::Itof, SCRATCH0, SCRATCH0, 0, 0),
+                        CastKind::Fptosi => {
+                            self.emit(Op::Ftoi, SCRATCH0, SCRATCH0, 0, 0);
+                            self.normalize_width(SCRATCH0, to);
+                        }
+                        CastKind::Trunc => self.normalize_width(SCRATCH0, to),
+                        CastKind::Sext => match from {
+                            Ty::I8 => self.emit(Op::Sextb, SCRATCH0, SCRATCH0, 0, 0),
+                            Ty::I32 => self.emit(Op::Sextw, SCRATCH0, SCRATCH0, 0, 0),
+                            _ => {}
+                        },
+                        CastKind::Zext => match from {
+                            Ty::I1 => self.emit(Op::And1, SCRATCH0, SCRATCH0, 0, 0),
+                            Ty::I8 => self.emit(Op::Zextb, SCRATCH0, SCRATCH0, 0, 0),
+                            Ty::I32 => self.emit(Op::Zextw, SCRATCH0, SCRATCH0, 0, 0),
+                            _ => {}
+                        },
+                    }
+                    self.store_slot(inst.result.expect("cast result"), SCRATCH0);
+                }
+                InstKind::Unreachable => self.emit(Op::Trap, 0, 0, 0, 0),
+            }
+        }
+        Ok(())
+    }
+
+    fn compile_call(
+        &mut self,
+        inst: &gbm_lir::Inst,
+        callee: &str,
+        args: &[Operand],
+    ) -> Result<(), CodegenError> {
+        // intrinsics map to dedicated instructions
+        match callee {
+            "rt_print_i64" => {
+                self.load_operand(&args[0], SCRATCH0)?;
+                self.emit(Op::Print, 0, SCRATCH0, 0, 0);
+                return Ok(());
+            }
+            "rt_print_f64" => {
+                self.load_operand(&args[0], SCRATCH0)?;
+                self.emit(Op::Printf, 0, SCRATCH0, 0, 0);
+                return Ok(());
+            }
+            "rt_alloc" => {
+                self.load_operand(&args[0], SCRATCH0)?;
+                self.emit(Op::Alloc, SCRATCH0, SCRATCH0, 0, 0);
+                if let Some(r) = inst.result {
+                    self.store_slot(r, SCRATCH0);
+                }
+                return Ok(());
+            }
+            "rt_trap" => {
+                self.emit(Op::Trap, 0, 0, 0, 0);
+                return Ok(());
+            }
+            other if other.starts_with("rt_") => {
+                return Err(CodegenError { message: format!("unknown intrinsic @{other}") })
+            }
+            _ => {}
+        }
+        if args.len() > MAX_ARGS {
+            return Err(CodegenError {
+                message: format!("call to @{callee} with more than {MAX_ARGS} args"),
+            });
+        }
+        let idx = *self.funcs.get(callee).ok_or_else(|| CodegenError {
+            message: format!("call to undefined @{callee}"),
+        })?;
+        for (i, a) in args.iter().enumerate() {
+            self.load_operand(a, i as u8)?;
+        }
+        self.emit(Op::Call, 0, 0, 0, idx as i32);
+        if let Some(r) = inst.result {
+            self.store_slot(r, 0);
+        }
+        Ok(())
+    }
+}
+
+fn has_phis(f: &Function, b: BlockId) -> bool {
+    f.blocks[b.0 as usize]
+        .insts
+        .first()
+        .map(|i| matches!(i.kind, InstKind::Phi { .. }))
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Vm;
+    use gbm_frontends::{compile as fe_compile, SourceLang};
+    use gbm_lir::interp::run_function;
+
+    fn roundtrip(src: &str, lang: SourceLang, style: Compiler) {
+        let m = fe_compile(lang, "t", src).expect("frontend");
+        let reference = run_function(&m, "main", &[], 5_000_000).expect("interp");
+        let obj = compile_module(&m, style).expect("codegen");
+        let out = Vm::new(&obj, 50_000_000).run("main", &[]).expect("vm");
+        assert_eq!(out.output, reference.output, "{style} output");
+        let expect_ret = reference.ret.map(|v| v.as_i()).unwrap_or(0);
+        assert_eq!(out.ret, expect_ret, "{style} ret");
+    }
+
+    const C_PROGRAM: &str = "
+        int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+        int main() {
+            int a[6];
+            for (int i = 0; i < 6; i++) { a[i] = fib(i + 3); }
+            int s = 0;
+            for (int i = 0; i < 6; i++) { s += a[i]; print(a[i]); }
+            print(s);
+            return s % 100;
+        }";
+
+    #[test]
+    fn clang_style_roundtrips_c() {
+        roundtrip(C_PROGRAM, SourceLang::MiniC, Compiler::Clang);
+    }
+
+    #[test]
+    fn gcc_style_roundtrips_c() {
+        roundtrip(C_PROGRAM, SourceLang::MiniC, Compiler::Gcc);
+    }
+
+    const JAVA_PROGRAM: &str = "
+        class Main {
+            static int work(int n) {
+                int[] a = new int[n];
+                for (int i = 0; i < n; i++) { a[i] = i * i % 7; }
+                int s = 0;
+                for (int i = 0; i < a.length; i++) { s += a[i]; }
+                return s;
+            }
+            public static void main(String[] args) {
+                System.out.println(work(10));
+                System.out.println(Math.max(3, work(4)));
+            }
+        }";
+
+    #[test]
+    fn clang_style_roundtrips_java() {
+        roundtrip(JAVA_PROGRAM, SourceLang::MiniJava, Compiler::Clang);
+    }
+
+    #[test]
+    fn gcc_style_roundtrips_java() {
+        roundtrip(JAVA_PROGRAM, SourceLang::MiniJava, Compiler::Gcc);
+    }
+
+    #[test]
+    fn gcc_binaries_are_larger() {
+        let m = fe_compile(SourceLang::MiniC, "t", C_PROGRAM).unwrap();
+        let clang = compile_module(&m, Compiler::Clang).unwrap();
+        let gcc = compile_module(&m, Compiler::Gcc).unwrap();
+        assert!(
+            gcc.code_bytes() > clang.code_bytes(),
+            "gcc {} vs clang {}",
+            gcc.code_bytes(),
+            clang.code_bytes()
+        );
+    }
+
+    #[test]
+    fn doubles_survive_compilation() {
+        let src = "double mul(double a, double b) { return a * b + 0.5; }
+                   int main() { print(1); return 0; }";
+        let m = fe_compile(SourceLang::MiniC, "t", src).unwrap();
+        let obj = compile_module(&m, Compiler::Clang).unwrap();
+        let args = [2.5f64.to_bits() as i64, 4.0f64.to_bits() as i64];
+        let out = Vm::new(&obj, 10_000).run("mul", &args).unwrap();
+        assert_eq!(f64::from_bits(out.ret as u64), 10.5);
+    }
+
+    #[test]
+    fn globals_reach_the_binary() {
+        let mut m = fe_compile(SourceLang::MiniC, "t", "int main() { return 0; }").unwrap();
+        m.globals.push(gbm_lir::Global {
+            name: "tbl".into(),
+            ty: gbm_lir::Ty::I64.array(2),
+            init: gbm_lir::GlobalInit::I64s(vec![11, 22]),
+        });
+        let obj = compile_module(&m, Compiler::Clang).unwrap();
+        assert_eq!(obj.globals.len(), 1);
+        assert_eq!(&obj.globals[0].1[..8], &11i64.to_le_bytes());
+    }
+
+    #[test]
+    fn optimized_code_roundtrips() {
+        use crate::opt::{optimize, OptLevel};
+        for level in OptLevel::ALL {
+            let mut m = fe_compile(SourceLang::MiniC, "t", C_PROGRAM).unwrap();
+            let reference = run_function(&m, "main", &[], 5_000_000).unwrap();
+            optimize(&mut m, level);
+            for style in [Compiler::Clang, Compiler::Gcc] {
+                let obj = compile_module(&m, style).expect("codegen");
+                let out = Vm::new(&obj, 50_000_000).run("main", &[]).expect("vm");
+                assert_eq!(out.output, reference.output, "{level}/{style}");
+            }
+        }
+    }
+}

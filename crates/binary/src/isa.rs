@@ -1,0 +1,416 @@
+//! VISA — the virtual instruction-set architecture of the binary substrate.
+//!
+//! A small RISC-like machine with 16 general registers and fixed 8-byte
+//! instruction encoding: `[op u8][rd u8][rs1 u8][rs2 u8][imm i32 LE]`.
+//! Doubles travel through the integer registers as IEEE-754 bits.
+//!
+//! Calling convention: arguments in `r0..r5`, return value in `r0`, all
+//! registers caller-saved, `r15` is the frame pointer set by `Salloc`.
+
+use bytes::{Buf, BufMut};
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 16;
+/// Frame-pointer register index.
+pub const FP: u8 = 15;
+/// First scratch register (codegen uses r6..r8 as scratch).
+pub const SCRATCH0: u8 = 6;
+/// Second scratch register.
+pub const SCRATCH1: u8 = 7;
+/// Third scratch register.
+pub const SCRATCH2: u8 = 8;
+/// Maximum call arguments supported by the convention.
+pub const MAX_ARGS: usize = 6;
+
+/// VISA opcodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Op {
+    /// `rd = sext(imm)`
+    Movi = 1,
+    /// `rd = (rd & 0xFFFF_FFFF) | (imm as u64) << 32`
+    Movih = 2,
+    /// `rd = rs1`
+    Mov = 3,
+    /// `rd = rs1 + rs2`
+    Add = 4,
+    /// `rd = rs1 - rs2`
+    Sub = 5,
+    /// `rd = rs1 * rs2`
+    Mul = 6,
+    /// `rd = rs1 / rs2` (traps on zero)
+    Div = 7,
+    /// `rd = rs1 % rs2` (traps on zero)
+    Rem = 8,
+    /// `rd = rs1 & rs2`
+    And = 9,
+    /// `rd = rs1 | rs2`
+    Or = 10,
+    /// `rd = rs1 ^ rs2`
+    Xor = 11,
+    /// `rd = rs1 << (rs2 & 63)`
+    Shl = 12,
+    /// `rd = rs1 >> (rs2 & 63)` (arithmetic)
+    Shr = 13,
+    /// `rd = rs1 + sext(imm)`
+    Addi = 14,
+    /// `rd = pred(rs1, rs2)`; predicate index in `imm` (see [`CMP_EQ`] &c.)
+    Cmp = 15,
+    /// `rd = bits(f(rs1) + f(rs2))`
+    Fadd = 16,
+    /// Float subtract.
+    Fsub = 17,
+    /// Float multiply.
+    Fmul = 18,
+    /// Float divide.
+    Fdiv = 19,
+    /// Float compare; predicate in `imm`.
+    Fcmp = 20,
+    /// `rd = bits(rs1 as f64)`
+    Itof = 21,
+    /// `rd = f(rs1) as i64`
+    Ftoi = 22,
+    /// `rd = sext8(rs1)`
+    Sextb = 23,
+    /// `rd = sext32(rs1)`
+    Sextw = 24,
+    /// `rd = zext8(rs1)`
+    Zextb = 25,
+    /// `rd = zext32(rs1)`
+    Zextw = 26,
+    /// `rd = rs1 & 1`
+    And1 = 27,
+    /// `rd = mem64[rs1 + imm]`
+    Ld = 28,
+    /// `rd = sext(mem32[rs1 + imm])`
+    Ld4 = 29,
+    /// `rd = sext(mem8[rs1 + imm])`
+    Ld1 = 30,
+    /// `mem64[rs1 + imm] = rs2`
+    St = 31,
+    /// `mem32[rs1 + imm] = low32(rs2)`
+    St4 = 32,
+    /// `mem8[rs1 + imm] = low8(rs2)`
+    St1 = 33,
+    /// `pc = imm`
+    Jmp = 34,
+    /// `if rs1 == 0 { pc = imm }`
+    Jz = 35,
+    /// `if rs1 != 0 { pc = imm }`
+    Jnz = 36,
+    /// Call function `#imm` (object-file function index).
+    Call = 37,
+    /// Return to caller.
+    Ret = 38,
+    /// `rd = fresh stack frame of imm bytes` (sets the frame pointer).
+    Salloc = 39,
+    /// `rd = heap allocation of rs1 bytes` (the `rt_alloc` intrinsic).
+    Alloc = 40,
+    /// Print `rs1` as i64 (the `rt_print_i64` intrinsic).
+    Print = 41,
+    /// Print `rs1` as f64 bits (the `rt_print_f64` intrinsic).
+    Printf = 42,
+    /// Abort execution (the `rt_trap` intrinsic).
+    Trap = 43,
+}
+
+/// Comparison predicate encodings for `Cmp`/`Fcmp` `imm` fields.
+pub const CMP_EQ: i32 = 0;
+/// Not-equal predicate.
+pub const CMP_NE: i32 = 1;
+/// Signed less-than predicate.
+pub const CMP_LT: i32 = 2;
+/// Signed less-or-equal predicate.
+pub const CMP_LE: i32 = 3;
+/// Signed greater-than predicate.
+pub const CMP_GT: i32 = 4;
+/// Signed greater-or-equal predicate.
+pub const CMP_GE: i32 = 5;
+
+impl Op {
+    /// Decodes an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Op> {
+        if (1..=43).contains(&b) {
+            // SAFETY-free decode: exhaustive match keeps this honest
+            Some(match b {
+                1 => Op::Movi,
+                2 => Op::Movih,
+                3 => Op::Mov,
+                4 => Op::Add,
+                5 => Op::Sub,
+                6 => Op::Mul,
+                7 => Op::Div,
+                8 => Op::Rem,
+                9 => Op::And,
+                10 => Op::Or,
+                11 => Op::Xor,
+                12 => Op::Shl,
+                13 => Op::Shr,
+                14 => Op::Addi,
+                15 => Op::Cmp,
+                16 => Op::Fadd,
+                17 => Op::Fsub,
+                18 => Op::Fmul,
+                19 => Op::Fdiv,
+                20 => Op::Fcmp,
+                21 => Op::Itof,
+                22 => Op::Ftoi,
+                23 => Op::Sextb,
+                24 => Op::Sextw,
+                25 => Op::Zextb,
+                26 => Op::Zextw,
+                27 => Op::And1,
+                28 => Op::Ld,
+                29 => Op::Ld4,
+                30 => Op::Ld1,
+                31 => Op::St,
+                32 => Op::St4,
+                33 => Op::St1,
+                34 => Op::Jmp,
+                35 => Op::Jz,
+                36 => Op::Jnz,
+                37 => Op::Call,
+                38 => Op::Ret,
+                39 => Op::Salloc,
+                40 => Op::Alloc,
+                41 => Op::Print,
+                42 => Op::Printf,
+                43 => Op::Trap,
+                _ => unreachable!(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// True for control-transfer instructions (block leaders follow these).
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Op::Jmp | Op::Jz | Op::Jnz | Op::Ret | Op::Trap)
+    }
+}
+
+/// One decoded VISA instruction.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct VisaInst {
+    /// Opcode.
+    pub op: Op,
+    /// Destination register.
+    pub rd: u8,
+    /// First source register.
+    pub rs1: u8,
+    /// Second source register.
+    pub rs2: u8,
+    /// Immediate (branch target, constant, offset, predicate, …).
+    pub imm: i32,
+}
+
+impl VisaInst {
+    /// Shorthand constructor.
+    pub fn new(op: Op, rd: u8, rs1: u8, rs2: u8, imm: i32) -> Self {
+        VisaInst { op, rd, rs1, rs2, imm }
+    }
+
+    /// Encodes into the fixed 8-byte format.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u8(self.op as u8);
+        out.put_u8(self.rd);
+        out.put_u8(self.rs1);
+        out.put_u8(self.rs2);
+        out.put_i32_le(self.imm);
+    }
+
+    /// Decodes from an 8-byte slice.
+    pub fn decode(mut bytes: &[u8]) -> Option<VisaInst> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let op = Op::from_u8(bytes.get_u8())?;
+        let rd = bytes.get_u8();
+        let rs1 = bytes.get_u8();
+        let rs2 = bytes.get_u8();
+        let imm = bytes.get_i32_le();
+        Some(VisaInst { op, rd, rs1, rs2, imm })
+    }
+}
+
+/// An assembled function inside an object file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjFunction {
+    /// Symbol name (the decompiler renames non-exported symbols).
+    pub name: String,
+    /// Number of register arguments (recovered calling convention).
+    pub arity: u8,
+    /// Code.
+    pub code: Vec<VisaInst>,
+}
+
+/// A linked VISA binary: globals plus functions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObjectFile {
+    /// Global data blobs, laid out in order at load time.
+    pub globals: Vec<(String, Vec<u8>)>,
+    /// Functions; `Call` immediates index this table.
+    pub functions: Vec<ObjFunction>,
+}
+
+const MAGIC: u32 = 0x56495341; // "VISA"
+
+impl ObjectFile {
+    /// Serializes to the on-disk/on-wire byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.put_u32_le(MAGIC);
+        out.put_u32_le(self.globals.len() as u32);
+        for (name, data) in &self.globals {
+            out.put_u16_le(name.len() as u16);
+            out.extend_from_slice(name.as_bytes());
+            out.put_u32_le(data.len() as u32);
+            out.extend_from_slice(data);
+        }
+        out.put_u32_le(self.functions.len() as u32);
+        for f in &self.functions {
+            out.put_u16_le(f.name.len() as u16);
+            out.extend_from_slice(f.name.as_bytes());
+            out.put_u8(f.arity);
+            out.put_u32_le(f.code.len() as u32);
+            for inst in &f.code {
+                inst.encode(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Deserializes from bytes. Returns `None` on malformed input.
+    pub fn decode(mut b: &[u8]) -> Option<ObjectFile> {
+        if b.len() < 8 || b.get_u32_le() != MAGIC {
+            return None;
+        }
+        let nglobals = b.get_u32_le() as usize;
+        let mut globals = Vec::with_capacity(nglobals);
+        for _ in 0..nglobals {
+            if b.len() < 2 {
+                return None;
+            }
+            let nlen = b.get_u16_le() as usize;
+            if b.len() < nlen + 4 {
+                return None;
+            }
+            let name = String::from_utf8(b[..nlen].to_vec()).ok()?;
+            b.advance(nlen);
+            let dlen = b.get_u32_le() as usize;
+            if b.len() < dlen {
+                return None;
+            }
+            let data = b[..dlen].to_vec();
+            b.advance(dlen);
+            globals.push((name, data));
+        }
+        if b.len() < 4 {
+            return None;
+        }
+        let nfuncs = b.get_u32_le() as usize;
+        let mut functions = Vec::with_capacity(nfuncs);
+        for _ in 0..nfuncs {
+            if b.len() < 2 {
+                return None;
+            }
+            let nlen = b.get_u16_le() as usize;
+            if b.len() < nlen + 5 {
+                return None;
+            }
+            let name = String::from_utf8(b[..nlen].to_vec()).ok()?;
+            b.advance(nlen);
+            let arity = b.get_u8();
+            let ninsts = b.get_u32_le() as usize;
+            if b.len() < ninsts * 8 {
+                return None;
+            }
+            let mut code = Vec::with_capacity(ninsts);
+            for _ in 0..ninsts {
+                code.push(VisaInst::decode(&b[..8])?);
+                b.advance(8);
+            }
+            functions.push(ObjFunction { name, arity, code });
+        }
+        Some(ObjectFile { globals, functions })
+    }
+
+    /// Total code size in bytes (the paper compares binary sizes per
+    /// compiler; this is the analogous measure).
+    pub fn code_bytes(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len() * 8).sum()
+    }
+
+    /// Index of a function by name.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inst_encode_decode_roundtrip() {
+        let insts = [
+            VisaInst::new(Op::Movi, 3, 0, 0, -12345),
+            VisaInst::new(Op::Add, 1, 2, 3, 0),
+            VisaInst::new(Op::Ld, 5, 15, 0, 64),
+            VisaInst::new(Op::Cmp, 0, 1, 2, CMP_LE),
+            VisaInst::new(Op::Trap, 0, 0, 0, 0),
+        ];
+        for inst in insts {
+            let mut buf = Vec::new();
+            inst.encode(&mut buf);
+            assert_eq!(buf.len(), 8);
+            assert_eq!(VisaInst::decode(&buf), Some(inst));
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let buf = [200u8, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(VisaInst::decode(&buf), None);
+        assert_eq!(Op::from_u8(0), None);
+        assert_eq!(Op::from_u8(44), None);
+    }
+
+    #[test]
+    fn object_roundtrip() {
+        let obj = ObjectFile {
+            globals: vec![("tbl".into(), vec![1, 2, 3, 4, 5, 6, 7, 8])],
+            functions: vec![ObjFunction {
+                name: "main".into(),
+                arity: 0,
+                code: vec![
+                    VisaInst::new(Op::Movi, 0, 0, 0, 42),
+                    VisaInst::new(Op::Print, 0, 0, 0, 0),
+                    VisaInst::new(Op::Ret, 0, 0, 0, 0),
+                ],
+            }],
+        };
+        let bytes = obj.encode();
+        let back = ObjectFile::decode(&bytes).expect("decode");
+        assert_eq!(back, obj);
+        assert_eq!(back.code_bytes(), 24);
+        assert_eq!(back.function_index("main"), Some(0));
+    }
+
+    #[test]
+    fn truncated_object_rejected() {
+        let obj = ObjectFile::default();
+        let mut bytes = obj.encode();
+        assert!(ObjectFile::decode(&bytes).is_some());
+        bytes.truncate(3);
+        assert!(ObjectFile::decode(&bytes).is_none());
+        assert!(ObjectFile::decode(b"NOPE0000").is_none());
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Op::Jmp.is_branch());
+        assert!(Op::Ret.is_branch());
+        assert!(!Op::Add.is_branch());
+    }
+}

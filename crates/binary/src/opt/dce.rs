@@ -1,0 +1,102 @@
+//! Dead-code elimination: removes pure instructions whose results are unused.
+
+use gbm_lir::{InstKind, Module};
+
+use super::util::use_counts;
+
+/// True when the instruction has no side effects and may be deleted if its
+/// result is unused. Loads are treated as removable (in-bounds by language
+/// semantics — the same assumption LLVM makes under UB rules).
+fn is_pure(kind: &InstKind) -> bool {
+    matches!(
+        kind,
+        InstKind::Alloca { .. }
+            | InstKind::Load { .. }
+            | InstKind::Bin { .. }
+            | InstKind::Icmp { .. }
+            | InstKind::Phi { .. }
+            | InstKind::Gep { .. }
+            | InstKind::Select { .. }
+            | InstKind::Cast { .. }
+    )
+}
+
+/// Removes dead instructions in every function until a fixpoint. Returns the
+/// number of instructions removed.
+pub fn dce_module(m: &mut Module) -> usize {
+    let mut removed = 0;
+    for f in &mut m.functions {
+        loop {
+            let counts = use_counts(f);
+            let mut changed = false;
+            for block in &mut f.blocks {
+                block.insts.retain(|inst| {
+                    if let Some(r) = inst.result {
+                        if is_pure(&inst.kind) && counts.get(&r).copied().unwrap_or(0) == 0 {
+                            changed = true;
+                            removed += 1;
+                            return false;
+                        }
+                    }
+                    true
+                });
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_lir::{verify_module, BinOp, FunctionBuilder, Operand, Ty};
+
+    #[test]
+    fn removes_dead_chains() {
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let bb = fb.entry_block();
+        let p = fb.param_operand(0);
+        // dead chain: a -> b (neither used by the return)
+        let a = fb.binop(bb, BinOp::Add, Ty::I64, p.clone(), Operand::const_i64(1));
+        let _b = fb.binop(bb, BinOp::Mul, Ty::I64, a, Operand::const_i64(2));
+        let dead_slot = fb.alloca(bb, Ty::I64);
+        let _ = dead_slot;
+        fb.ret(bb, Some(p));
+        let mut m = gbm_lir::Module::new("t");
+        m.push_function(fb.finish());
+        let n = dce_module(&mut m);
+        assert_eq!(n, 3);
+        verify_module(&m).unwrap();
+        assert_eq!(m.functions[0].num_insts(), 1);
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut fb = FunctionBuilder::new("f", vec![], Ty::Void);
+        let bb = fb.entry_block();
+        let slot = fb.alloca(bb, Ty::I64);
+        fb.store(bb, Ty::I64, Operand::const_i64(1), slot.clone());
+        fb.call(bb, "rt_print_i64", Ty::Void, vec![Operand::const_i64(2)]);
+        fb.ret(bb, None);
+        let mut m = gbm_lir::Module::new("t");
+        m.push_function(fb.finish());
+        let n = dce_module(&mut m);
+        assert_eq!(n, 0, "alloca is stored into; store/call are effects");
+    }
+
+    #[test]
+    fn unused_call_result_kept_but_value_droppable() {
+        // calls always stay (side effects), even when their result is unused
+        let mut fb = FunctionBuilder::new("f", vec![], Ty::I64);
+        let bb = fb.entry_block();
+        let _r = fb.call(bb, "rt_alloc", Ty::I64.ptr(), vec![Operand::const_i64(8)]);
+        fb.ret(bb, Some(Operand::const_i64(0)));
+        let mut m = gbm_lir::Module::new("t");
+        m.push_function(fb.finish());
+        dce_module(&mut m);
+        assert_eq!(m.functions[0].num_insts(), 2);
+    }
+}

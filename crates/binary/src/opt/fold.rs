@@ -1,0 +1,302 @@
+//! Constant folding and algebraic simplification.
+
+use std::collections::HashMap;
+
+use gbm_lir::{BinOp, CastKind, Function, IcmpPred, InstKind, Module, Operand, Ty, ValueId};
+
+use super::util::{apply_subst, resolve};
+
+/// Folds constant expressions and applies algebraic identities in every
+/// function. Returns the number of instructions eliminated.
+pub fn fold_module(m: &mut Module) -> usize {
+    let mut removed = 0;
+    for f in &mut m.functions {
+        removed += fold_function(f);
+    }
+    removed
+}
+
+fn const_int(op: &Operand) -> Option<(i64, Ty)> {
+    match op {
+        Operand::ConstInt { value, ty } => Some((*value, ty.clone())),
+        _ => None,
+    }
+}
+
+fn normalize(v: i64, ty: &Ty) -> i64 {
+    match ty {
+        Ty::I1 => v & 1,
+        Ty::I8 => v as i8 as i64,
+        Ty::I32 => v as i32 as i64,
+        _ => v,
+    }
+}
+
+fn fold_function(f: &mut Function) -> usize {
+    let mut removed = 0;
+    // run to a local fixpoint: folding can expose more folds
+    loop {
+        let mut subst: HashMap<ValueId, Operand> = HashMap::new();
+        for block in &mut f.blocks {
+            block.insts.retain_mut(|inst| {
+                for op in inst.kind.operands_mut() {
+                    *op = resolve(&subst, op);
+                }
+                let Some(result) = inst.result else { return true };
+                if let Some(replacement) = try_fold(&inst.kind) {
+                    subst.insert(result, replacement);
+                    return false;
+                }
+                true
+            });
+        }
+        if subst.is_empty() {
+            break;
+        }
+        removed += subst.len();
+        apply_subst(f, &subst);
+    }
+    removed
+}
+
+fn try_fold(kind: &InstKind) -> Option<Operand> {
+    match kind {
+        InstKind::Bin { op, ty, lhs, rhs } => fold_bin(*op, ty, lhs, rhs),
+        InstKind::Icmp { pred, ty, lhs, rhs } => {
+            if *ty == Ty::F64 {
+                if let (Operand::ConstF64(a), Operand::ConstF64(b)) = (lhs, rhs) {
+                    let r = match pred {
+                        IcmpPred::Eq => a == b,
+                        IcmpPred::Ne => a != b,
+                        IcmpPred::Slt => a < b,
+                        IcmpPred::Sle => a <= b,
+                        IcmpPred::Sgt => a > b,
+                        IcmpPred::Sge => a >= b,
+                    };
+                    return Some(Operand::const_bool(r));
+                }
+                return None;
+            }
+            let (a, _) = const_int(lhs)?;
+            let (b, _) = const_int(rhs)?;
+            Some(Operand::const_bool(pred.eval(a, b)))
+        }
+        InstKind::Select { cond, then_v, else_v, .. } => {
+            let (c, _) = const_int(cond)?;
+            Some(if c != 0 { then_v.clone() } else { else_v.clone() })
+        }
+        InstKind::Cast { kind, val, from, to } => {
+            if *kind == CastKind::Bitcast {
+                return None; // type-level only; keep for realism
+            }
+            let (v, _) = const_int(val)?;
+            let out = match kind {
+                CastKind::Zext => {
+                    let bits = from.bits().unwrap_or(64);
+                    let mask = if bits >= 64 { -1i64 } else { (1i64 << bits) - 1 };
+                    v & mask
+                }
+                CastKind::Sext => normalize(v, from),
+                CastKind::Trunc => normalize(v, to),
+                CastKind::Sitofp => return Some(Operand::ConstF64(v as f64)),
+                CastKind::Fptosi | CastKind::Bitcast => return None,
+            };
+            Some(Operand::ConstInt { value: out, ty: to.clone() })
+        }
+        InstKind::Phi { incomings, .. } => {
+            // φ whose incomings all agree collapses to that operand
+            let first = incomings.first()?.0.clone();
+            if incomings.len() > 1 && incomings.iter().all(|(op, _)| *op == first) {
+                Some(first)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn fold_bin(op: BinOp, ty: &Ty, lhs: &Operand, rhs: &Operand) -> Option<Operand> {
+    if *ty == Ty::F64 {
+        if let (Operand::ConstF64(a), Operand::ConstF64(b)) = (lhs, rhs) {
+            let r = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::SDiv => a / b,
+                _ => return None,
+            };
+            return Some(Operand::ConstF64(r));
+        }
+        return None;
+    }
+    let lc = const_int(lhs);
+    let rc = const_int(rhs);
+    if let (Some((a, _)), Some((b, _))) = (&lc, &rc) {
+        let r = match op {
+            BinOp::Add => a.wrapping_add(*b),
+            BinOp::Sub => a.wrapping_sub(*b),
+            BinOp::Mul => a.wrapping_mul(*b),
+            BinOp::SDiv => {
+                if *b == 0 {
+                    return None; // preserve the runtime fault
+                }
+                a.wrapping_div(*b)
+            }
+            BinOp::SRem => {
+                if *b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(*b)
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(*b as u32 & 63),
+            BinOp::AShr => a.wrapping_shr(*b as u32 & 63),
+        };
+        return Some(Operand::ConstInt { value: normalize(r, ty), ty: ty.clone() });
+    }
+    // algebraic identities
+    if let Some((b, _)) = &rc {
+        match (op, *b) {
+            (BinOp::Add, 0)
+            | (BinOp::Sub, 0)
+            | (BinOp::Shl, 0)
+            | (BinOp::AShr, 0)
+            | (BinOp::Or, 0)
+            | (BinOp::Xor, 0) => return Some(lhs.clone()),
+            (BinOp::Mul, 1) | (BinOp::SDiv, 1) => return Some(lhs.clone()),
+            (BinOp::Mul, 0) | (BinOp::And, 0) => {
+                return Some(Operand::ConstInt { value: 0, ty: ty.clone() })
+            }
+            _ => {}
+        }
+    }
+    if let Some((a, _)) = &lc {
+        match (op, *a) {
+            (BinOp::Add, 0) | (BinOp::Or, 0) | (BinOp::Xor, 0) => return Some(rhs.clone()),
+            (BinOp::Mul, 1) => return Some(rhs.clone()),
+            (BinOp::Mul, 0) | (BinOp::And, 0) => {
+                return Some(Operand::ConstInt { value: 0, ty: ty.clone() })
+            }
+            _ => {}
+        }
+    }
+    // x ⊕ x identities
+    if lhs == rhs && !lhs.is_const() {
+        match op {
+            BinOp::Sub | BinOp::Xor => {
+                return Some(Operand::ConstInt { value: 0, ty: ty.clone() })
+            }
+            BinOp::And | BinOp::Or => return Some(lhs.clone()),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_lir::interp::{run_function, Val};
+    use gbm_lir::{verify_module, FunctionBuilder};
+
+    fn fold_and_check(mut m: Module) -> Module {
+        fold_module(&mut m);
+        verify_module(&m).expect("folded module verifies");
+        m
+    }
+
+    #[test]
+    fn folds_constant_chain() {
+        let mut fb = FunctionBuilder::new("f", vec![], Ty::I64);
+        let bb = fb.entry_block();
+        let a = fb.binop(bb, BinOp::Add, Ty::I64, Operand::const_i64(2), Operand::const_i64(3));
+        let b = fb.binop(bb, BinOp::Mul, Ty::I64, a, Operand::const_i64(4));
+        fb.ret(bb, Some(b));
+        let mut m = Module::new("t");
+        m.push_function(fb.finish());
+        let m = fold_and_check(m);
+        assert_eq!(m.functions[0].num_insts(), 1, "{}", m.to_text());
+        assert_eq!(run_function(&m, "f", &[], 10).unwrap().ret, Some(Val::I(20)));
+    }
+
+    #[test]
+    fn identities_simplify() {
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let bb = fb.entry_block();
+        let p = fb.param_operand(0);
+        let a = fb.binop(bb, BinOp::Add, Ty::I64, p.clone(), Operand::const_i64(0));
+        let b = fb.binop(bb, BinOp::Mul, Ty::I64, a, Operand::const_i64(1));
+        let c = fb.binop(bb, BinOp::Sub, Ty::I64, b.clone(), b);
+        let d = fb.binop(bb, BinOp::Add, Ty::I64, c, p);
+        fb.ret(bb, Some(d));
+        let mut m = Module::new("t");
+        m.push_function(fb.finish());
+        let m = fold_and_check(m);
+        // everything folds to `ret %0` — add 0+p folds too
+        assert_eq!(m.functions[0].num_insts(), 1, "{}", m.to_text());
+    }
+
+    #[test]
+    fn div_by_zero_not_folded() {
+        let mut fb = FunctionBuilder::new("f", vec![], Ty::I64);
+        let bb = fb.entry_block();
+        let a = fb.binop(bb, BinOp::SDiv, Ty::I64, Operand::const_i64(1), Operand::const_i64(0));
+        fb.ret(bb, Some(a));
+        let mut m = Module::new("t");
+        m.push_function(fb.finish());
+        let m = fold_and_check(m);
+        assert_eq!(m.functions[0].num_insts(), 2, "sdiv by zero must remain");
+    }
+
+    #[test]
+    fn icmp_and_select_fold() {
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let bb = fb.entry_block();
+        let c = fb.icmp(bb, IcmpPred::Slt, Ty::I64, Operand::const_i64(1), Operand::const_i64(2));
+        let s = fb.select(bb, Ty::I64, c, fb.param_operand(0), Operand::const_i64(9));
+        fb.ret(bb, Some(s));
+        let mut m = Module::new("t");
+        m.push_function(fb.finish());
+        let m = fold_and_check(m);
+        assert_eq!(m.functions[0].num_insts(), 1);
+        assert_eq!(run_function(&m, "f", &[5], 10).unwrap().ret, Some(Val::I(5)));
+    }
+
+    #[test]
+    fn i32_wrapping_respected() {
+        let mut fb = FunctionBuilder::new("f", vec![], Ty::I32);
+        let bb = fb.entry_block();
+        let big = Operand::ConstInt { value: 2_000_000_000, ty: Ty::I32 };
+        let a = fb.binop(bb, BinOp::Add, Ty::I32, big.clone(), big);
+        fb.ret(bb, Some(a));
+        let mut m = Module::new("t");
+        m.push_function(fb.finish());
+        let m = fold_and_check(m);
+        let expect = (2_000_000_000i64 + 2_000_000_000) as i32 as i64;
+        assert_eq!(run_function(&m, "f", &[], 10).unwrap().ret, Some(Val::I(expect)));
+    }
+
+    #[test]
+    fn cast_folding() {
+        let mut fb = FunctionBuilder::new("f", vec![], Ty::I64);
+        let bb = fb.entry_block();
+        let t = fb.cast(
+            bb,
+            CastKind::Trunc,
+            Operand::const_i64(300),
+            Ty::I64,
+            Ty::I8,
+        );
+        let s = fb.cast(bb, CastKind::Sext, t, Ty::I8, Ty::I64);
+        fb.ret(bb, Some(s));
+        let mut m = Module::new("t");
+        m.push_function(fb.finish());
+        let m = fold_and_check(m);
+        assert_eq!(m.functions[0].num_insts(), 1);
+        // 300 & 0xFF = 44 (fits in i8 positive)
+        assert_eq!(run_function(&m, "f", &[], 10).unwrap().ret, Some(Val::I(44)));
+    }
+}

@@ -1,0 +1,308 @@
+//! Function inlining. At O2/O3 small callees (including the MiniJava `jv_*`
+//! runtime helpers) disappear into their callers, which is one of the main
+//! reasons optimized binaries decompile into very different-looking IR.
+
+use std::collections::HashMap;
+
+use gbm_lir::{Block, BlockId, Function, Inst, InstKind, Module, Operand, ValueId};
+
+use super::util::apply_subst;
+
+/// Inlines direct calls to small, non-self-recursive functions. `threshold`
+/// is the maximum callee size in instructions. Returns call sites inlined.
+pub fn inline_module(m: &mut Module, threshold: usize) -> usize {
+    let mut total = 0;
+    // two rounds: enough to flatten helper→helper chains without risking
+    // unbounded growth on mutual recursion
+    for _ in 0..2 {
+        let snapshot: HashMap<String, Function> = m
+            .functions
+            .iter()
+            .filter(|f| is_inlinable(f, threshold))
+            .map(|f| (f.name.clone(), f.clone()))
+            .collect();
+        if snapshot.is_empty() {
+            return total;
+        }
+        let mut round = 0;
+        for f in &mut m.functions {
+            if f.is_declaration() {
+                continue;
+            }
+            // cap per-function growth
+            let mut budget = 16usize;
+            while budget > 0 {
+                let Some(site) = find_call_site(f, &snapshot) else { break };
+                inline_at(f, site, &snapshot);
+                budget -= 1;
+                round += 1;
+            }
+        }
+        if round == 0 {
+            break;
+        }
+        total += round;
+    }
+    total
+}
+
+fn is_inlinable(f: &Function, threshold: usize) -> bool {
+    if f.is_declaration() || f.num_insts() > threshold {
+        return false;
+    }
+    // no direct self-recursion
+    !f.iter_insts().any(|(_, _, i)| matches!(&i.kind, InstKind::Call { callee, .. } if *callee == f.name))
+}
+
+fn find_call_site(
+    f: &Function,
+    inlinable: &HashMap<String, Function>,
+) -> Option<(BlockId, usize)> {
+    for block in &f.blocks {
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let InstKind::Call { callee, .. } = &inst.kind {
+                if *callee != f.name && inlinable.contains_key(callee) {
+                    return Some((block.id, i));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn remap_operand(op: &Operand, args: &[Operand], param_count: usize, offset: u32) -> Operand {
+    match op {
+        Operand::Value(v) => {
+            if (v.0 as usize) < param_count {
+                args[v.0 as usize].clone()
+            } else {
+                Operand::Value(ValueId(v.0 + offset))
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+fn inline_at(f: &mut Function, site: (BlockId, usize), inlinable: &HashMap<String, Function>) {
+    let (bid, idx) = site;
+    let call_inst = f.blocks[bid.0 as usize].insts[idx].clone();
+    let InstKind::Call { callee, args, .. } = &call_inst.kind else {
+        unreachable!("site points at a call")
+    };
+    let callee_fn = inlinable[callee].clone();
+    let args = args.clone();
+    let param_count = callee_fn.params.len();
+
+    let value_offset = f.next_value;
+    f.next_value += callee_fn.next_value;
+    let block_offset = f.blocks.len() as u32;
+    let cont_id = BlockId(block_offset + callee_fn.blocks.len() as u32);
+
+    // split the call block: head stays, tail moves to the continuation block
+    let (head, tail) = {
+        let b = &mut f.blocks[bid.0 as usize];
+        let tail = b.insts.split_off(idx + 1);
+        b.insts.pop(); // the call itself
+        let head_len = b.insts.len();
+        let _ = head_len;
+        (
+            std::mem::take(&mut b.insts),
+            tail,
+        )
+    };
+    {
+        let b = &mut f.blocks[bid.0 as usize];
+        b.insts = head;
+        b.insts.push(Inst {
+            result: None,
+            kind: InstKind::Br { target: BlockId(block_offset) },
+        });
+    }
+
+    // edges that used to leave `bid` now leave the continuation block:
+    // fix φ incomings everywhere
+    for block in &mut f.blocks {
+        for inst in &mut block.insts {
+            if let InstKind::Phi { incomings, .. } = &mut inst.kind {
+                for (_, bb) in incomings.iter_mut() {
+                    if *bb == bid {
+                        *bb = cont_id;
+                    }
+                }
+            }
+        }
+    }
+
+    // clone callee blocks
+    let mut ret_sites: Vec<(Option<Operand>, BlockId)> = Vec::new();
+    for cb in &callee_fn.blocks {
+        let new_id = BlockId(cb.id.0 + block_offset);
+        let mut insts = Vec::with_capacity(cb.insts.len());
+        for inst in &cb.insts {
+            let mut kind = inst.kind.clone();
+            // remap operands
+            for op in kind.operands_mut() {
+                *op = remap_operand(op, &args, param_count, value_offset);
+            }
+            // remap block references
+            match &mut kind {
+                InstKind::Br { target } => target.0 += block_offset,
+                InstKind::CondBr { then_bb, else_bb, .. } => {
+                    then_bb.0 += block_offset;
+                    else_bb.0 += block_offset;
+                }
+                InstKind::Phi { incomings, .. } => {
+                    for (_, bb) in incomings.iter_mut() {
+                        bb.0 += block_offset;
+                    }
+                }
+                _ => {}
+            }
+            // returns become jumps to the continuation
+            if let InstKind::Ret { val } = &kind {
+                ret_sites.push((val.clone(), new_id));
+                insts.push(Inst { result: None, kind: InstKind::Br { target: cont_id } });
+                continue;
+            }
+            let result = inst.result.map(|r| ValueId(r.0 + value_offset));
+            insts.push(Inst { result, kind });
+        }
+        f.blocks.push(Block { id: new_id, insts });
+    }
+
+    // continuation block holds the tail
+    let mut cont_insts = tail;
+    let mut subst: HashMap<ValueId, Operand> = HashMap::new();
+    if let Some(result) = call_inst.result {
+        let ret_ty = call_inst.kind.result_ty().expect("call with result has type");
+        match ret_sites.len() {
+            0 => {
+                subst.insert(result, Operand::Undef(ret_ty));
+            }
+            1 => {
+                let (val, _) = &ret_sites[0];
+                subst.insert(
+                    result,
+                    val.clone().unwrap_or(Operand::Undef(ret_ty)),
+                );
+            }
+            _ => {
+                let phi_id = ValueId(f.next_value);
+                f.next_value += 1;
+                let incomings = ret_sites
+                    .iter()
+                    .map(|(v, b)| (v.clone().unwrap_or(Operand::Undef(ret_ty.clone())), *b))
+                    .collect();
+                cont_insts.insert(
+                    0,
+                    Inst { result: Some(phi_id), kind: InstKind::Phi { ty: ret_ty, incomings } },
+                );
+                subst.insert(result, Operand::Value(phi_id));
+            }
+        }
+    }
+    f.blocks.push(Block { id: cont_id, insts: cont_insts });
+    apply_subst(f, &subst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_frontends::{compile, SourceLang};
+    use gbm_lir::interp::run_function;
+    use gbm_lir::verify_module;
+
+    fn check_equiv(src: &str, entry: &str, argsets: &[Vec<i64>], threshold: usize) -> Module {
+        let before = compile(SourceLang::MiniC, "t", src).unwrap();
+        let mut after = before.clone();
+        let n = inline_module(&mut after, threshold);
+        assert!(n > 0, "expected inlining to happen");
+        verify_module(&after).expect("inlined module verifies");
+        for args in argsets {
+            let a = run_function(&before, entry, args, 1_000_000).unwrap();
+            let b = run_function(&after, entry, args, 1_000_000).unwrap();
+            assert_eq!(a.ret, b.ret, "args {args:?}");
+            assert_eq!(a.output, b.output);
+        }
+        after
+    }
+
+    #[test]
+    fn inlines_simple_helper() {
+        let m = check_equiv(
+            "int sq(int x) { return x * x; }
+             int f(int a) { return sq(a) + sq(a + 1); }",
+            "f",
+            &[vec![3], vec![-2]],
+            50,
+        );
+        // f no longer calls sq
+        let f = m.function("f").unwrap();
+        assert!(
+            !f.iter_insts().any(|(_, _, i)| matches!(&i.kind, InstKind::Call { callee, .. } if callee == "sq")),
+            "{}",
+            m.to_text()
+        );
+    }
+
+    #[test]
+    fn inlines_helper_with_branches() {
+        check_equiv(
+            "int clamp(int x, int lo, int hi) {
+                if (x < lo) { return lo; }
+                if (x > hi) { return hi; }
+                return x;
+            }
+            int f(int a) { return clamp(a, 0, 10) + clamp(a * 2, 0, 10); }",
+            "f",
+            &[vec![-5], vec![3], vec![100]],
+            50,
+        );
+    }
+
+    #[test]
+    fn recursive_functions_not_inlined() {
+        let before = compile(
+            SourceLang::MiniC,
+            "t",
+            "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }",
+        )
+        .unwrap();
+        let mut after = before.clone();
+        let n = inline_module(&mut after, 1000);
+        assert_eq!(n, 0, "self-recursive fib must not be inlined");
+    }
+
+    #[test]
+    fn threshold_respected() {
+        let before = compile(
+            SourceLang::MiniC,
+            "t",
+            "int big(int x) {
+                int s = 0;
+                for (int i = 0; i < x; i++) { s += i * i + 1; }
+                return s;
+            }
+            int f(int a) { return big(a); }",
+        )
+        .unwrap();
+        let mut after = before.clone();
+        let n = inline_module(&mut after, 5);
+        assert_eq!(n, 0, "callee above threshold stays");
+    }
+
+    #[test]
+    fn inline_inside_loop_preserves_semantics() {
+        check_equiv(
+            "int inc(int x) { return x + 1; }
+             int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) { s = inc(s); }
+                return s;
+             }",
+            "f",
+            &[vec![0], vec![7]],
+            50,
+        );
+    }
+}

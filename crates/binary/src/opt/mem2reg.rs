@@ -1,0 +1,373 @@
+//! Promotes `alloca` slots that are only loaded and stored into SSA values
+//! with φ nodes — the classic mem2reg pass. This is where optimized binaries
+//! stop resembling their -O0 source IR: the load/store scaffolding the
+//! front-ends emit disappears and dataflow goes through φs instead.
+
+use std::collections::{HashMap, HashSet};
+
+use gbm_lir::{cfg, BlockId, Function, Inst, InstKind, Module, Operand, Ty, ValueId};
+
+use super::util::{apply_subst, resolve};
+
+/// Runs mem2reg on every function. Returns the number of allocas promoted.
+pub fn mem2reg_module(m: &mut Module) -> usize {
+    let mut promoted = 0;
+    for f in &mut m.functions {
+        if !f.is_declaration() {
+            promoted += promote_function(f);
+        }
+    }
+    promoted
+}
+
+struct Candidate {
+    ty: Ty,
+}
+
+fn find_candidates(f: &Function) -> HashMap<ValueId, Candidate> {
+    let mut allocas: HashMap<ValueId, Candidate> = HashMap::new();
+    for (_, _, inst) in f.iter_insts() {
+        if let InstKind::Alloca { ty } = &inst.kind {
+            // arrays are address-taken by construction; skip
+            if !matches!(ty, Ty::Array(..)) {
+                allocas.insert(inst.result.expect("alloca result"), Candidate { ty: ty.clone() });
+            }
+        }
+    }
+    // disqualify any alloca whose value escapes beyond load/store-pointer use
+    for (_, _, inst) in f.iter_insts() {
+        match &inst.kind {
+            InstKind::Load { ptr, .. } => {
+                // pointer position: fine
+                let _ = ptr;
+            }
+            InstKind::Store { val, ptr: _, .. } => {
+                if let Some(v) = val.as_value() {
+                    allocas.remove(&v); // stored *as a value* ⇒ escapes
+                }
+            }
+            _ => {
+                for op in inst.kind.operands() {
+                    if let Some(v) = op.as_value() {
+                        allocas.remove(&v);
+                    }
+                }
+            }
+        }
+    }
+    allocas
+}
+
+fn promote_function(f: &mut Function) -> usize {
+    // mem2reg's renaming walks the dominator tree, which is only defined for
+    // reachable code — drop dead blocks (front-ends leave them after `return`)
+    let reach = cfg::reachable(f);
+    if reach.iter().any(|r| !r) {
+        let keep: Vec<BlockId> = f
+            .blocks
+            .iter()
+            .filter(|b| reach[b.id.0 as usize])
+            .map(|b| b.id)
+            .collect();
+        super::util::rebuild_blocks(f, &keep);
+    }
+    let candidates = find_candidates(f);
+    if candidates.is_empty() {
+        return 0;
+    }
+
+    let idom = cfg::dominators(f);
+    let preds = cfg::predecessors(f);
+    let nblocks = f.blocks.len();
+
+    // dominance frontiers (Cooper–Harvey–Kennedy)
+    let mut df: Vec<HashSet<BlockId>> = vec![HashSet::new(); nblocks];
+    for b in 0..nblocks {
+        let bp = &preds[b];
+        if bp.len() >= 2 {
+            for &p in bp {
+                let mut runner = p;
+                while Some(runner) != idom[b] {
+                    df[runner.0 as usize].insert(BlockId(b as u32));
+                    runner = match idom[runner.0 as usize] {
+                        Some(d) if d != runner => d,
+                        _ => break,
+                    };
+                }
+            }
+        }
+    }
+
+    // blocks containing stores, per alloca
+    let mut def_blocks: HashMap<ValueId, HashSet<BlockId>> = HashMap::new();
+    for block in &f.blocks {
+        for inst in &block.insts {
+            if let InstKind::Store { ptr, .. } = &inst.kind {
+                if let Some(p) = ptr.as_value() {
+                    if candidates.contains_key(&p) {
+                        def_blocks.entry(p).or_default().insert(block.id);
+                    }
+                }
+            }
+        }
+    }
+
+    // φ placement
+    // phis[(block, alloca)] = result value id
+    let mut phis: HashMap<(BlockId, ValueId), ValueId> = HashMap::new();
+    for (&alloca, cand) in &candidates {
+        let mut work: Vec<BlockId> = def_blocks.get(&alloca).into_iter().flatten().copied().collect();
+        let mut placed: HashSet<BlockId> = HashSet::new();
+        while let Some(b) = work.pop() {
+            for &frontier in &df[b.0 as usize] {
+                if placed.insert(frontier) {
+                    let id = ValueId(f.next_value);
+                    f.next_value += 1;
+                    phis.insert((frontier, alloca), id);
+                    let _ = &cand.ty;
+                    work.push(frontier);
+                }
+            }
+        }
+    }
+
+    // dominator-tree children
+    let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); nblocks];
+    for b in 1..nblocks {
+        if let Some(d) = idom[b] {
+            children[d.0 as usize].push(BlockId(b as u32));
+        }
+    }
+
+    // renaming via explicit DFS over the dom tree
+    let mut subst: HashMap<ValueId, Operand> = HashMap::new();
+    let mut stacks: HashMap<ValueId, Vec<Operand>> = HashMap::new();
+    // phi incomings collected here, attached at the end
+    let mut phi_incomings: HashMap<(BlockId, ValueId), Vec<(Operand, BlockId)>> = HashMap::new();
+    let mut removed_insts: HashSet<(BlockId, usize)> = HashSet::new();
+
+    enum Action {
+        Visit(BlockId),
+        Pop(Vec<(ValueId, usize)>), // restore stack lengths
+    }
+    let mut agenda = vec![Action::Visit(BlockId(0))];
+    while let Some(action) = agenda.pop() {
+        match action {
+            Action::Pop(restores) => {
+                for (a, len) in restores {
+                    let st = stacks.entry(a).or_default();
+                    st.truncate(len);
+                }
+            }
+            Action::Visit(b) => {
+                let mut restores: Vec<(ValueId, usize)> = Vec::new();
+                // φs defined at this block head
+                for (&alloca, _) in &candidates {
+                    if let Some(&phi_id) = phis.get(&(b, alloca)) {
+                        let st = stacks.entry(alloca).or_default();
+                        restores.push((alloca, st.len()));
+                        st.push(Operand::Value(phi_id));
+                    }
+                }
+                let block_insts: Vec<(usize, Inst)> = f.blocks[b.0 as usize]
+                    .insts
+                    .iter()
+                    .cloned()
+                    .enumerate()
+                    .collect();
+                for (idx, inst) in &block_insts {
+                    match &inst.kind {
+                        InstKind::Load { ptr, .. } => {
+                            if let Some(p) = ptr.as_value() {
+                                if let Some(cand) = candidates.get(&p) {
+                                    let cur = stacks
+                                        .get(&p)
+                                        .and_then(|s| s.last())
+                                        .cloned()
+                                        .unwrap_or(Operand::Undef(cand.ty.clone()));
+                                    let cur = resolve(&subst, &cur);
+                                    subst.insert(inst.result.expect("load result"), cur);
+                                    removed_insts.insert((b, *idx));
+                                }
+                            }
+                        }
+                        InstKind::Store { val, ptr, .. } => {
+                            if let Some(p) = ptr.as_value() {
+                                if candidates.contains_key(&p) {
+                                    let v = resolve(&subst, val);
+                                    let st = stacks.entry(p).or_default();
+                                    restores.push((p, st.len()));
+                                    st.push(v);
+                                    removed_insts.insert((b, *idx));
+                                }
+                            }
+                        }
+                        InstKind::Alloca { .. } => {
+                            if candidates.contains_key(&inst.result.expect("alloca result")) {
+                                removed_insts.insert((b, *idx));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // feed successor φs
+                for succ in cfg::successors(f, b) {
+                    for (&alloca, cand) in &candidates {
+                        if phis.contains_key(&(succ, alloca)) {
+                            let cur = stacks
+                                .get(&alloca)
+                                .and_then(|s| s.last())
+                                .cloned()
+                                .unwrap_or(Operand::Undef(cand.ty.clone()));
+                            let cur = resolve(&subst, &cur);
+                            phi_incomings.entry((succ, alloca)).or_default().push((cur, b));
+                        }
+                    }
+                }
+                agenda.push(Action::Pop(restores));
+                for &c in children[b.0 as usize].iter().rev() {
+                    agenda.push(Action::Visit(c));
+                }
+            }
+        }
+    }
+
+    // materialize φs at block heads
+    for ((block, alloca), phi_id) in &phis {
+        let cand = &candidates[alloca];
+        let mut incomings = phi_incomings.remove(&(*block, *alloca)).unwrap_or_default();
+        // every predecessor must contribute exactly once
+        incomings.sort_by_key(|(_, b)| b.0);
+        incomings.dedup_by_key(|(_, b)| *b);
+        for &p in &preds[block.0 as usize] {
+            if !incomings.iter().any(|(_, b)| *b == p) {
+                incomings.push((Operand::Undef(cand.ty.clone()), p));
+            }
+        }
+        let inst = Inst {
+            result: Some(*phi_id),
+            kind: InstKind::Phi { ty: cand.ty.clone(), incomings },
+        };
+        f.blocks[block.0 as usize].insts.insert(0, inst);
+    }
+
+    // delete promoted loads/stores/allocas (index bookkeeping: φs were
+    // prepended, shifting original indices up by the number of φs per block)
+    let mut phi_count_per_block: HashMap<BlockId, usize> = HashMap::new();
+    for (block, _alloca) in phis.keys() {
+        *phi_count_per_block.entry(*block).or_insert(0) += 1;
+    }
+    for block in &mut f.blocks {
+        let shift = phi_count_per_block.get(&block.id).copied().unwrap_or(0);
+        let mut idx = 0usize;
+        let bid = block.id;
+        block.insts.retain(|_| {
+            let original = idx as isize - shift as isize;
+            idx += 1;
+            if original < 0 {
+                return true; // an inserted φ
+            }
+            !removed_insts.contains(&(bid, original as usize))
+        });
+    }
+
+    apply_subst(f, &subst);
+    candidates.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_lir::interp::{run_function, Val};
+    use gbm_lir::verify_module;
+    use gbm_frontends::{compile, SourceLang};
+
+    fn promoted(src: &str) -> (Module, Module) {
+        let before = compile(SourceLang::MiniC, "t", src).unwrap();
+        let mut after = before.clone();
+        let n = mem2reg_module(&mut after);
+        assert!(n > 0, "expected promotions");
+        verify_module(&after).expect("promoted module verifies");
+        (before, after)
+    }
+
+    #[test]
+    fn straightline_promotion() {
+        let (before, after) = promoted("int f(int a, int b) { int x = a + b; int y = x * 2; return y; }");
+        assert!(count_op(&after, "alloca") < count_op(&before, "alloca"));
+        assert_eq!(
+            run_function(&after, "f", &[3, 4], 100).unwrap().ret,
+            Some(Val::I(14))
+        );
+    }
+
+    #[test]
+    fn diamond_gets_phi() {
+        let (_, after) = promoted(
+            "int f(int a) { int x = 0; if (a > 0) { x = 1; } else { x = 2; } return x; }",
+        );
+        assert!(count_op(&after, "phi") >= 1, "{}", after.to_text());
+        assert_eq!(run_function(&after, "f", &[5], 100).unwrap().ret, Some(Val::I(1)));
+        assert_eq!(run_function(&after, "f", &[-5], 100).unwrap().ret, Some(Val::I(2)));
+    }
+
+    #[test]
+    fn loop_counter_promoted() {
+        let (before, after) = promoted(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }",
+        );
+        assert!(count_op(&after, "load") < count_op(&before, "load"));
+        assert!(count_op(&after, "phi") >= 2, "i and s need φs: {}", after.to_text());
+        for n in [0i64, 1, 5, 10] {
+            assert_eq!(
+                run_function(&after, "f", &[n], 10_000).unwrap().ret,
+                run_function(&before, "f", &[n], 10_000).unwrap().ret,
+            );
+        }
+    }
+
+    #[test]
+    fn arrays_not_promoted() {
+        let m = compile(
+            SourceLang::MiniC,
+            "t",
+            "int f() { int a[3]; a[0] = 1; a[1] = 2; return a[0] + a[1]; }",
+        )
+        .unwrap();
+        let mut after = m.clone();
+        mem2reg_module(&mut after);
+        verify_module(&after).unwrap();
+        // the array alloca must survive (address-taken via bitcast/gep)
+        assert!(count_op(&after, "alloca") >= 1);
+        assert_eq!(run_function(&after, "f", &[], 100).unwrap().ret, Some(Val::I(3)));
+    }
+
+    #[test]
+    fn nested_control_flow_equivalence() {
+        let src = "int f(int n) {
+            int best = 0;
+            for (int i = 1; i <= n; i++) {
+                int v = i;
+                if (v % 2 == 0) { v = v * 3; } else { v = v + 7; }
+                if (v > best) { best = v; }
+            }
+            return best;
+        }";
+        let (before, after) = promoted(src);
+        for n in [0i64, 1, 2, 7, 13] {
+            assert_eq!(
+                run_function(&after, "f", &[n], 100_000).unwrap().ret,
+                run_function(&before, "f", &[n], 100_000).unwrap().ret,
+                "n={n}"
+            );
+        }
+    }
+
+    fn count_op(m: &Module, opcode: &str) -> usize {
+        m.functions
+            .iter()
+            .flat_map(|f| f.iter_insts())
+            .filter(|(_, _, i)| i.kind.opcode() == opcode)
+            .count()
+    }
+}

@@ -1,0 +1,238 @@
+//! LIR optimization pipelines mirroring the compiler flags the paper sweeps
+//! (Table V): `-O0`, `-O1`, `-O2`, `-O3`, `-Oz`.
+//!
+//! Higher levels restructure control and data flow more aggressively, which
+//! makes the decompiled binary's IR diverge further from the source IR —
+//! the effect behind the paper's gentle score decline from O0 to O3.
+
+mod dce;
+mod fold;
+mod inline;
+mod mem2reg;
+mod simplify;
+mod strength;
+pub(crate) mod util;
+
+pub use dce::dce_module;
+pub use fold::fold_module;
+pub use inline::inline_module;
+pub use mem2reg::mem2reg_module;
+pub use simplify::simplify_module;
+pub use strength::strength_reduce_module;
+
+use gbm_lir::Module;
+
+/// Optimization level, matching the paper's compiler sweep.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OptLevel {
+    /// No optimization (front-end output as-is).
+    O0,
+    /// Basic cleanup: folding, DCE, CFG simplification.
+    O1,
+    /// + mem2reg and inlining.
+    O2,
+    /// + aggressive inlining and strength reduction, extra rounds.
+    O3,
+    /// Size-focused: mem2reg and cleanup, but no inlining (the paper's
+    /// default level for the CLCDSA experiments).
+    Oz,
+}
+
+impl OptLevel {
+    /// All levels in the Table V sweep order.
+    pub const ALL: [OptLevel; 5] =
+        [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Oz];
+
+    /// Flag-style name (`O0` … `Oz`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptLevel::O0 => "O0",
+            OptLevel::O1 => "O1",
+            OptLevel::O2 => "O2",
+            OptLevel::O3 => "O3",
+            OptLevel::Oz => "Oz",
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs the pipeline for `level` on the module in place.
+pub fn optimize(m: &mut Module, level: OptLevel) {
+    let cleanup = |m: &mut Module| {
+        fold_module(m);
+        dce_module(m);
+        simplify_module(m);
+        fold_module(m);
+        dce_module(m);
+    };
+    match level {
+        OptLevel::O0 => {}
+        OptLevel::O1 => {
+            cleanup(m);
+        }
+        OptLevel::O2 => {
+            simplify_module(m);
+            mem2reg_module(m);
+            cleanup(m);
+            inline_module(m, 24);
+            cleanup(m);
+            mem2reg_module(m);
+            cleanup(m);
+        }
+        OptLevel::O3 => {
+            simplify_module(m);
+            mem2reg_module(m);
+            cleanup(m);
+            inline_module(m, 64);
+            cleanup(m);
+            mem2reg_module(m);
+            strength_reduce_module(m);
+            cleanup(m);
+            inline_module(m, 64);
+            cleanup(m);
+        }
+        OptLevel::Oz => {
+            simplify_module(m);
+            mem2reg_module(m);
+            cleanup(m);
+        }
+    }
+    debug_assert!(gbm_lir::verify_module(m).is_ok(), "optimized module must verify");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_frontends::{compile, SourceLang};
+    use gbm_lir::interp::run_function;
+    use gbm_lir::verify_module;
+
+    const PROGRAMS: &[(&str, &str)] = &[
+        (
+            "sum_loop",
+            "int main() {
+                int s = 0;
+                for (int i = 0; i < 20; i++) { s += i * 2; }
+                print(s);
+                return s;
+            }",
+        ),
+        (
+            "branches",
+            "int classify(int x) {
+                if (x < 0) { return -1; }
+                if (x == 0) { return 0; }
+                return 1;
+            }
+            int main() {
+                print(classify(-5)); print(classify(0)); print(classify(9));
+                return 0;
+            }",
+        ),
+        (
+            "helpers",
+            "int sq(int x) { return x * x; }
+            int cube(int x) { return sq(x) * x; }
+            int main() {
+                int t = 0;
+                for (int i = 1; i <= 5; i++) { t += cube(i); }
+                print(t);
+                return t;
+            }",
+        ),
+        (
+            "arrays",
+            "int main() {
+                int a[8];
+                for (int i = 0; i < 8; i++) { a[i] = i * i; }
+                int s = 0;
+                for (int i = 0; i < 8; i++) { if (a[i] % 2 == 0) { s += a[i]; } }
+                print(s);
+                return s;
+            }",
+        ),
+    ];
+
+    #[test]
+    fn every_level_preserves_semantics_on_c() {
+        for (name, src) in PROGRAMS {
+            let base = compile(SourceLang::MiniC, name, src).unwrap();
+            let reference = run_function(&base, "main", &[], 1_000_000).unwrap();
+            for level in OptLevel::ALL {
+                let mut m = base.clone();
+                optimize(&mut m, level);
+                verify_module(&m).unwrap_or_else(|e| panic!("{name}/{level}: {e}"));
+                let out = run_function(&m, "main", &[], 1_000_000)
+                    .unwrap_or_else(|e| panic!("{name}/{level}: {e}"));
+                assert_eq!(out.output, reference.output, "{name} at {level}");
+                assert_eq!(out.ret, reference.ret, "{name} at {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_level_preserves_semantics_on_java() {
+        let src = "class Main {
+            static int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            static int go() {
+                int[] memo = new int[10];
+                for (int i = 0; i < 10; i++) { memo[i] = fib(i); }
+                int s = 0;
+                for (int i = 0; i < 10; i++) { s += memo[i]; }
+                return s;
+            }
+            public static void main(String[] args) {
+                System.out.println(go());
+            }
+        }";
+        let base = compile(SourceLang::MiniJava, "j", src).unwrap();
+        let reference = run_function(&base, "main", &[], 5_000_000).unwrap();
+        for level in OptLevel::ALL {
+            let mut m = base.clone();
+            optimize(&mut m, level);
+            verify_module(&m).unwrap_or_else(|e| panic!("{level}: {e}"));
+            let out = run_function(&m, "main", &[], 5_000_000).unwrap();
+            assert_eq!(out.output, reference.output, "at {level}");
+        }
+    }
+
+    #[test]
+    fn higher_levels_shrink_code() {
+        let (_, src) = PROGRAMS[2]; // helpers program benefits from inlining
+        let base = compile(SourceLang::MiniC, "t", src).unwrap();
+        let mut o0 = base.clone();
+        optimize(&mut o0, OptLevel::O0);
+        let mut o2 = base.clone();
+        optimize(&mut o2, OptLevel::O2);
+        assert!(
+            o2.num_insts() < o0.num_insts(),
+            "O2 ({}) should be smaller than O0 ({})",
+            o2.num_insts(),
+            o0.num_insts()
+        );
+    }
+
+    #[test]
+    fn o3_emits_shifts() {
+        let src = "int main() { int s = 0; for (int i = 0; i < 9; i++) { s += i * 4; } return s; }";
+        let base = compile(SourceLang::MiniC, "t", src).unwrap();
+        let mut o3 = base.clone();
+        optimize(&mut o3, OptLevel::O3);
+        assert!(o3.to_text().contains("shl"), "{}", o3.to_text());
+    }
+
+    #[test]
+    fn level_names() {
+        assert_eq!(OptLevel::O0.name(), "O0");
+        assert_eq!(OptLevel::Oz.to_string(), "Oz");
+        assert_eq!(OptLevel::ALL.len(), 5);
+    }
+}

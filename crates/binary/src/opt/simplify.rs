@@ -1,0 +1,280 @@
+//! CFG simplification: constant-branch folding, unreachable-block removal,
+//! straight-line block merging, and trivial jump threading.
+
+use std::collections::HashMap;
+
+use gbm_lir::{cfg, BlockId, Function, InstKind, Module, Operand, ValueId};
+
+use super::util::{apply_subst, rebuild_blocks};
+
+/// Runs CFG simplification on every function until a fixpoint. Returns a
+/// rough count of simplifications applied.
+pub fn simplify_module(m: &mut Module) -> usize {
+    let mut total = 0;
+    for f in &mut m.functions {
+        if f.is_declaration() {
+            continue;
+        }
+        loop {
+            let n = fold_const_branches(f) + drop_unreachable(f) + merge_chains(f) + thread_jumps(f);
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+    }
+    total
+}
+
+/// `br i1 true/false` → unconditional; `br c, t, t` → unconditional.
+fn fold_const_branches(f: &mut Function) -> usize {
+    let mut n = 0;
+    for block in &mut f.blocks {
+        let Some(last) = block.insts.last_mut() else { continue };
+        if let InstKind::CondBr { cond, then_bb, else_bb } = &last.kind {
+            let target = match cond {
+                Operand::ConstInt { value, .. } => {
+                    Some(if *value != 0 { *then_bb } else { *else_bb })
+                }
+                _ if then_bb == else_bb => Some(*then_bb),
+                _ => None,
+            };
+            if let Some(t) = target {
+                last.kind = InstKind::Br { target: t };
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+fn drop_unreachable(f: &mut Function) -> usize {
+    let reach = cfg::reachable(f);
+    if reach.iter().all(|&r| r) {
+        return 0;
+    }
+    let keep: Vec<BlockId> = f
+        .blocks
+        .iter()
+        .filter(|b| reach[b.id.0 as usize])
+        .map(|b| b.id)
+        .collect();
+    let dropped = f.blocks.len() - keep.len();
+    rebuild_blocks(f, &keep);
+    dropped
+}
+
+/// Merges `b → s` when `b` ends in an unconditional branch to `s` and `s` has
+/// exactly one predecessor.
+fn merge_chains(f: &mut Function) -> usize {
+    let preds = cfg::predecessors(f);
+    // find a mergeable pair
+    let mut pair: Option<(BlockId, BlockId)> = None;
+    for b in &f.blocks {
+        if let Some(InstKind::Br { target }) = b.insts.last().map(|i| &i.kind) {
+            let s = *target;
+            if s != b.id && preds[s.0 as usize].len() == 1 {
+                pair = Some((b.id, s));
+                break;
+            }
+        }
+    }
+    let Some((b_id, s_id)) = pair else { return 0 };
+
+    // resolve φs in s (single predecessor ⇒ single incoming)
+    let mut subst: HashMap<ValueId, Operand> = HashMap::new();
+    let s_insts: Vec<gbm_lir::Inst> = {
+        let s = &f.blocks[s_id.0 as usize];
+        s.insts
+            .iter()
+            .filter(|inst| {
+                if let InstKind::Phi { incomings, .. } = &inst.kind {
+                    let op = incomings
+                        .iter()
+                        .find(|(_, bb)| *bb == b_id)
+                        .map(|(op, _)| op.clone())
+                        .unwrap_or(Operand::Undef(gbm_lir::Ty::I64));
+                    subst.insert(inst.result.expect("phi result"), op);
+                    false
+                } else {
+                    true
+                }
+            })
+            .cloned()
+            .collect()
+    };
+    {
+        let b = &mut f.blocks[b_id.0 as usize];
+        b.insts.pop(); // the br
+        b.insts.extend(s_insts);
+    }
+    // successors of s now flow from b: fix their φ incomings
+    for block in &mut f.blocks {
+        for inst in &mut block.insts {
+            if let InstKind::Phi { incomings, .. } = &mut inst.kind {
+                for (_, bb) in incomings.iter_mut() {
+                    if *bb == s_id {
+                        *bb = b_id;
+                    }
+                }
+            }
+        }
+    }
+    apply_subst(f, &subst);
+    let keep: Vec<BlockId> = f.blocks.iter().map(|b| b.id).filter(|id| *id != s_id).collect();
+    rebuild_blocks(f, &keep);
+    1
+}
+
+/// Redirects branches through blocks that contain nothing but `br t`, when
+/// the target has no φs (which keeps incoming-edge bookkeeping trivial).
+fn thread_jumps(f: &mut Function) -> usize {
+    let mut n = 0;
+    loop {
+        let mut redirect: Option<(BlockId, BlockId)> = None;
+        for b in f.blocks.iter().skip(1) {
+            if b.insts.len() != 1 {
+                continue;
+            }
+            if let InstKind::Br { target } = &b.insts[0].kind {
+                if *target == b.id {
+                    continue;
+                }
+                let t = &f.blocks[target.0 as usize];
+                let t_has_phi = t.insts.iter().any(|i| matches!(i.kind, InstKind::Phi { .. }));
+                if !t_has_phi {
+                    redirect = Some((b.id, *target));
+                    break;
+                }
+            }
+        }
+        let Some((from, to)) = redirect else { return n };
+        for block in &mut f.blocks {
+            if let Some(last) = block.insts.last_mut() {
+                match &mut last.kind {
+                    InstKind::Br { target } if *target == from => *target = to,
+                    InstKind::CondBr { then_bb, else_bb, .. } => {
+                        if *then_bb == from {
+                            *then_bb = to;
+                        }
+                        if *else_bb == from {
+                            *else_bb = to;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // `from` is now unreachable; next drop_unreachable would catch it,
+        // but clean up immediately to guarantee progress here
+        let keep: Vec<BlockId> = {
+            let reach = cfg::reachable(f);
+            f.blocks
+                .iter()
+                .filter(|b| reach[b.id.0 as usize])
+                .map(|b| b.id)
+                .collect()
+        };
+        if keep.len() < f.blocks.len() {
+            rebuild_blocks(f, &keep);
+        }
+        n += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_lir::interp::{run_function, Val};
+    use gbm_lir::{verify_module, BinOp, FunctionBuilder, IcmpPred, Ty};
+
+    #[test]
+    fn const_branch_folds_and_dead_side_drops() {
+        let mut fb = FunctionBuilder::new("f", vec![], Ty::I64);
+        let bb0 = fb.entry_block();
+        let t = fb.add_block();
+        let e = fb.add_block();
+        fb.cond_br(bb0, Operand::const_bool(true), t, e);
+        fb.ret(t, Some(Operand::const_i64(1)));
+        fb.ret(e, Some(Operand::const_i64(2)));
+        let mut m = Module::new("t");
+        m.push_function(fb.finish());
+        let k = simplify_module(&mut m);
+        assert!(k >= 2, "fold + drop + merge");
+        verify_module(&m).unwrap();
+        assert_eq!(m.functions[0].blocks.len(), 1, "{}", m.to_text());
+        assert_eq!(run_function(&m, "f", &[], 10).unwrap().ret, Some(Val::I(1)));
+    }
+
+    #[test]
+    fn merges_linear_chains() {
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let bb0 = fb.entry_block();
+        let bb1 = fb.add_block();
+        let bb2 = fb.add_block();
+        let p = fb.param_operand(0);
+        fb.br(bb0, bb1);
+        let a = fb.binop(bb1, BinOp::Add, Ty::I64, p, Operand::const_i64(1));
+        fb.br(bb1, bb2);
+        let b = fb.binop(bb2, BinOp::Mul, Ty::I64, a, Operand::const_i64(2));
+        fb.ret(bb2, Some(b));
+        let mut m = Module::new("t");
+        m.push_function(fb.finish());
+        simplify_module(&mut m);
+        verify_module(&m).unwrap();
+        assert_eq!(m.functions[0].blocks.len(), 1);
+        assert_eq!(run_function(&m, "f", &[3], 10).unwrap().ret, Some(Val::I(8)));
+    }
+
+    #[test]
+    fn merge_resolves_phis() {
+        // diamond collapsed after const fold: phi must be substituted
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let bb0 = fb.entry_block();
+        let t = fb.add_block();
+        let e = fb.add_block();
+        let j = fb.add_block();
+        let p = fb.param_operand(0);
+        fb.cond_br(bb0, Operand::const_bool(false), t, e);
+        let tv = fb.binop(t, BinOp::Add, Ty::I64, p.clone(), Operand::const_i64(10));
+        fb.br(t, j);
+        let ev = fb.binop(e, BinOp::Add, Ty::I64, p, Operand::const_i64(20));
+        fb.br(e, j);
+        let ph = fb.phi(j, Ty::I64, vec![(tv, t), (ev, e)]);
+        fb.ret(j, Some(ph));
+        let mut m = Module::new("t");
+        m.push_function(fb.finish());
+        simplify_module(&mut m);
+        verify_module(&m).unwrap();
+        assert_eq!(run_function(&m, "f", &[1], 10).unwrap().ret, Some(Val::I(21)));
+        assert_eq!(m.functions[0].blocks.len(), 1, "{}", m.to_text());
+    }
+
+    #[test]
+    fn loops_survive_simplification() {
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let bb0 = fb.entry_block();
+        let header = fb.add_block();
+        let body = fb.add_block();
+        let exit = fb.add_block();
+        let n = fb.param_operand(0);
+        fb.br(bb0, header);
+        let i = fb.phi(header, Ty::I64, vec![(Operand::const_i64(0), bb0)]);
+        let c = fb.icmp(header, IcmpPred::Slt, Ty::I64, i.clone(), n);
+        fb.cond_br(header, c, body, exit);
+        let i2 = fb.binop(body, BinOp::Add, Ty::I64, i.clone(), Operand::const_i64(1));
+        fb.br(body, header);
+        fb.ret(exit, Some(i));
+        // patch the phi to include the back edge
+        let mut f = fb.finish();
+        if let InstKind::Phi { incomings, .. } = &mut f.blocks[1].insts[0].kind {
+            incomings.push((i2, BlockId(2)));
+        }
+        let mut m = Module::new("t");
+        m.push_function(f);
+        verify_module(&m).unwrap();
+        simplify_module(&mut m);
+        verify_module(&m).unwrap();
+        assert_eq!(run_function(&m, "f", &[5], 1000).unwrap().ret, Some(Val::I(5)));
+    }
+}

@@ -1,0 +1,74 @@
+//! Strength reduction (O3): multiplications by powers of two become shifts.
+
+use gbm_lir::{BinOp, InstKind, Module, Operand, Ty};
+
+/// Rewrites `mul x, 2^k` as `shl x, k` in every function (integer types
+/// only; wrapping semantics are identical). Returns rewrites applied.
+pub fn strength_reduce_module(m: &mut Module) -> usize {
+    let mut n = 0;
+    for f in &mut m.functions {
+        for block in &mut f.blocks {
+            for inst in &mut block.insts {
+                let InstKind::Bin { op, ty, lhs, rhs } = &mut inst.kind else { continue };
+                if *op != BinOp::Mul || *ty == Ty::F64 {
+                    continue;
+                }
+                // normalize constant to the rhs
+                if matches!(lhs, Operand::ConstInt { .. }) && !matches!(rhs, Operand::ConstInt { .. })
+                {
+                    std::mem::swap(lhs, rhs);
+                }
+                if let Operand::ConstInt { value, .. } = rhs {
+                    if *value > 1 && (*value as u64).is_power_of_two() {
+                        let k = value.trailing_zeros() as i64;
+                        *op = BinOp::Shl;
+                        *rhs = Operand::ConstInt { value: k, ty: ty.clone() };
+                        n += 1;
+                    }
+                }
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_lir::interp::{run_function, Val};
+    use gbm_lir::{verify_module, FunctionBuilder};
+
+    #[test]
+    fn mul_by_power_of_two_becomes_shift() {
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let bb = fb.entry_block();
+        let p = fb.param_operand(0);
+        let a = fb.binop(bb, BinOp::Mul, Ty::I64, p.clone(), Operand::const_i64(8));
+        let b = fb.binop(bb, BinOp::Mul, Ty::I64, Operand::const_i64(4), p);
+        let s = fb.binop(bb, BinOp::Add, Ty::I64, a, b);
+        fb.ret(bb, Some(s));
+        let mut m = Module::new("t");
+        m.push_function(fb.finish());
+        let n = strength_reduce_module(&mut m);
+        assert_eq!(n, 2);
+        verify_module(&m).unwrap();
+        let text = m.to_text();
+        assert!(text.contains("shl i64 %0, 3"), "{text}");
+        assert!(text.contains("shl i64 %0, 2"), "{text}");
+        assert_eq!(run_function(&m, "f", &[5], 100).unwrap().ret, Some(Val::I(60)));
+        // negatives keep wrapping semantics
+        assert_eq!(run_function(&m, "f", &[-3], 100).unwrap().ret, Some(Val::I(-36)));
+    }
+
+    #[test]
+    fn non_powers_untouched() {
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let bb = fb.entry_block();
+        let p = fb.param_operand(0);
+        let a = fb.binop(bb, BinOp::Mul, Ty::I64, p, Operand::const_i64(6));
+        fb.ret(bb, Some(a));
+        let mut m = Module::new("t");
+        m.push_function(fb.finish());
+        assert_eq!(strength_reduce_module(&mut m), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Shared rewrite utilities for the optimization passes: operand
+//! substitution, block renumbering, and use counting.
+
+use std::collections::HashMap;
+
+use gbm_lir::{Block, BlockId, Function, InstKind, Operand, ValueId};
+
+/// Resolves `op` through a substitution map (following chains).
+pub fn resolve(subst: &HashMap<ValueId, Operand>, op: &Operand) -> Operand {
+    let mut cur = op.clone();
+    let mut hops = 0;
+    while let Operand::Value(v) = &cur {
+        match subst.get(v) {
+            Some(next) => {
+                cur = next.clone();
+                hops += 1;
+                assert!(hops < 10_000, "substitution cycle");
+            }
+            None => break,
+        }
+    }
+    cur
+}
+
+/// Applies a substitution map to every operand in the function.
+pub fn apply_subst(f: &mut Function, subst: &HashMap<ValueId, Operand>) {
+    if subst.is_empty() {
+        return;
+    }
+    for block in &mut f.blocks {
+        for inst in &mut block.insts {
+            for op in inst.kind.operands_mut() {
+                *op = resolve(subst, op);
+            }
+        }
+    }
+}
+
+/// Counts uses of each SSA value across all operands.
+pub fn use_counts(f: &Function) -> HashMap<ValueId, usize> {
+    let mut counts: HashMap<ValueId, usize> = HashMap::new();
+    for block in &f.blocks {
+        for inst in &block.insts {
+            for op in inst.kind.operands() {
+                if let Some(v) = op.as_value() {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Rebuilds the function keeping only the blocks in `keep` (in that order),
+/// renumbering block ids and remapping every branch target and φ incoming.
+/// φ incomings from dropped blocks are removed; φs left with a single
+/// incoming are replaced by that operand.
+pub fn rebuild_blocks(f: &mut Function, keep: &[BlockId]) {
+    let mut remap: HashMap<BlockId, BlockId> = HashMap::new();
+    for (new_idx, old) in keep.iter().enumerate() {
+        remap.insert(*old, BlockId(new_idx as u32));
+    }
+    let mut subst: HashMap<ValueId, Operand> = HashMap::new();
+    let mut new_blocks: Vec<Block> = Vec::with_capacity(keep.len());
+    let old_blocks = std::mem::take(&mut f.blocks);
+    let mut by_id: HashMap<BlockId, Block> = old_blocks.into_iter().map(|b| (b.id, b)).collect();
+
+    for old in keep {
+        let mut b = by_id.remove(old).expect("kept block exists");
+        let new_id = remap[old];
+        b.id = new_id;
+        b.insts.retain_mut(|inst| {
+            match &mut inst.kind {
+                InstKind::Br { target } => {
+                    *target = remap[target];
+                }
+                InstKind::CondBr { then_bb, else_bb, .. } => {
+                    *then_bb = remap[then_bb];
+                    *else_bb = remap[else_bb];
+                }
+                InstKind::Phi { incomings, .. } => {
+                    incomings.retain(|(_, bb)| remap.contains_key(bb));
+                    for (_, bb) in incomings.iter_mut() {
+                        *bb = remap[bb];
+                    }
+                    if incomings.len() == 1 {
+                        let (op, _) = incomings[0].clone();
+                        subst.insert(inst.result.expect("phi has result"), op);
+                        return false;
+                    }
+                    if incomings.is_empty() {
+                        // value in unreachable-only flow; degrade to undef
+                        subst.insert(
+                            inst.result.expect("phi has result"),
+                            Operand::Undef(gbm_lir::Ty::I64),
+                        );
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+            true
+        });
+        new_blocks.push(b);
+    }
+    f.blocks = new_blocks;
+    apply_subst(f, &subst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_lir::{BinOp, FunctionBuilder, Ty};
+
+    #[test]
+    fn resolve_follows_chains() {
+        let mut s = HashMap::new();
+        s.insert(ValueId(1), Operand::Value(ValueId(2)));
+        s.insert(ValueId(2), Operand::const_i64(5));
+        assert_eq!(resolve(&s, &Operand::Value(ValueId(1))), Operand::const_i64(5));
+        assert_eq!(resolve(&s, &Operand::const_i64(9)), Operand::const_i64(9));
+    }
+
+    #[test]
+    fn use_counts_counts_operands() {
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let bb = fb.entry_block();
+        let p = fb.param_operand(0);
+        let a = fb.binop(bb, BinOp::Add, Ty::I64, p.clone(), p.clone());
+        fb.ret(bb, Some(a));
+        let f = fb.finish();
+        let counts = use_counts(&f);
+        assert_eq!(counts[&ValueId(0)], 2);
+        assert_eq!(counts[&ValueId(1)], 1);
+    }
+
+    #[test]
+    fn rebuild_drops_and_renumbers() {
+        // bb0 -> bb2 (skipping bb1 which becomes unreachable)
+        let mut fb = FunctionBuilder::new("f", vec![], Ty::I64);
+        let bb0 = fb.entry_block();
+        let bb1 = fb.add_block();
+        let bb2 = fb.add_block();
+        fb.br(bb0, bb2);
+        fb.ret(bb1, Some(Operand::const_i64(1)));
+        fb.ret(bb2, Some(Operand::const_i64(2)));
+        let mut f = fb.finish();
+        rebuild_blocks(&mut f, &[BlockId(0), BlockId(2)]);
+        assert_eq!(f.blocks.len(), 2);
+        assert_eq!(f.blocks[1].id, BlockId(1));
+        match &f.blocks[0].insts[0].kind {
+            InstKind::Br { target } => assert_eq!(*target, BlockId(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! A fuel-limited VISA virtual machine.
+//!
+//! Executes [`ObjectFile`]s directly, acting as the semantic oracle for the
+//! codegen path: `interp(LIR)` ≡ `vm(codegen(LIR))` ≡
+//! `interp(decompile(codegen(LIR)))` must all agree on observable output.
+
+use crate::isa::{ObjectFile, Op, VisaInst, CMP_EQ, CMP_GE, CMP_GT, CMP_LE, CMP_LT, CMP_NE, NUM_REGS};
+
+/// Why VM execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Instruction budget exhausted.
+    OutOfFuel,
+    /// `Trap` executed (bounds/null/zero-division in the guest).
+    Trap,
+    /// Division by zero at the ISA level.
+    DivByZero,
+    /// Load/store outside mapped memory.
+    BadMemAccess(i64),
+    /// `Call` to an out-of-range function index.
+    BadCall(i32),
+    /// Branch outside the function body.
+    BadJump(i32),
+    /// Call stack exceeded the limit.
+    StackOverflow,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::OutOfFuel => write!(f, "out of fuel"),
+            VmError::Trap => write!(f, "trap"),
+            VmError::DivByZero => write!(f, "division by zero"),
+            VmError::BadMemAccess(a) => write!(f, "bad memory access at {a}"),
+            VmError::BadCall(i) => write!(f, "bad call index {i}"),
+            VmError::BadJump(i) => write!(f, "bad jump target {i}"),
+            VmError::StackOverflow => write!(f, "stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Result of a successful VM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmOutcome {
+    /// `r0` at the final `Ret`.
+    pub ret: i64,
+    /// Values printed by `Print`/`Printf` (floats as bits).
+    pub output: Vec<i64>,
+    /// Instructions executed.
+    pub executed: u64,
+}
+
+/// Stack addresses live above this base so the heap and stack cannot collide.
+const STACK_BASE: i64 = 1 << 32;
+const MAX_FRAMES: usize = 512;
+
+struct Frame {
+    func: usize,
+    pc: usize,
+    regs: [i64; NUM_REGS],
+    stack_mark: usize,
+}
+
+/// The VISA virtual machine.
+pub struct Vm<'o> {
+    obj: &'o ObjectFile,
+    heap: Vec<u8>,
+    stack: Vec<u8>,
+    output: Vec<i64>,
+    fuel: u64,
+    executed: u64,
+}
+
+impl<'o> Vm<'o> {
+    /// Creates a VM with globals loaded at their link-time addresses.
+    pub fn new(obj: &'o ObjectFile, fuel: u64) -> Self {
+        let mut heap = vec![0u8; 64];
+        for (_, data) in &obj.globals {
+            heap.extend_from_slice(data);
+            while heap.len() % 8 != 0 {
+                heap.push(0);
+            }
+        }
+        Vm { obj, heap, stack: Vec::new(), output: Vec::new(), fuel, executed: 0 }
+    }
+
+    /// Runs the function called `entry` with the given register arguments.
+    pub fn run(mut self, entry: &str, args: &[i64]) -> Result<VmOutcome, VmError> {
+        let func = self
+            .obj
+            .function_index(entry)
+            .ok_or(VmError::BadCall(-1))?;
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut regs = [0i64; NUM_REGS];
+        for (i, a) in args.iter().enumerate().take(6) {
+            regs[i] = *a;
+        }
+        let mut frame = Frame { func, pc: 0, regs, stack_mark: 0 };
+
+        loop {
+            let code = &self.obj.functions[frame.func].code;
+            if frame.pc >= code.len() {
+                return Err(VmError::BadJump(frame.pc as i32));
+            }
+            if self.executed >= self.fuel {
+                return Err(VmError::OutOfFuel);
+            }
+            self.executed += 1;
+            let inst = code[frame.pc];
+            frame.pc += 1;
+            match self.step(&mut frame, inst)? {
+                Flow::Continue => {}
+                Flow::Call(idx) => {
+                    if frames.len() >= MAX_FRAMES {
+                        return Err(VmError::StackOverflow);
+                    }
+                    if idx >= self.obj.functions.len() {
+                        return Err(VmError::BadCall(idx as i32));
+                    }
+                    let mut callee_regs = [0i64; NUM_REGS];
+                    callee_regs[..6].copy_from_slice(&frame.regs[..6]);
+                    let new = Frame {
+                        func: idx,
+                        pc: 0,
+                        regs: callee_regs,
+                        stack_mark: self.stack.len(),
+                    };
+                    frames.push(std::mem::replace(&mut frame, new));
+                }
+                Flow::Ret => {
+                    let ret_val = frame.regs[0];
+                    self.stack.truncate(frame.stack_mark);
+                    match frames.pop() {
+                        Some(mut caller) => {
+                            caller.regs[0] = ret_val;
+                            frame = caller;
+                        }
+                        None => {
+                            return Ok(VmOutcome {
+                                ret: ret_val,
+                                output: self.output,
+                                executed: self.executed,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn load(&self, addr: i64, size: usize) -> Result<i64, VmError> {
+        let (mem, a) = self.resolve(addr, size)?;
+        Ok(match size {
+            1 => mem[a] as i8 as i64,
+            4 => {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&mem[a..a + 4]);
+                i32::from_le_bytes(b) as i64
+            }
+            _ => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&mem[a..a + 8]);
+                i64::from_le_bytes(b)
+            }
+        })
+    }
+
+    fn store(&mut self, addr: i64, size: usize, v: i64) -> Result<(), VmError> {
+        let in_stack = addr >= STACK_BASE;
+        let (mem, a): (&mut Vec<u8>, usize) = if in_stack {
+            let a = (addr - STACK_BASE) as usize;
+            (&mut self.stack, a)
+        } else {
+            (&mut self.heap, addr as usize)
+        };
+        if addr < 8 && !in_stack || a + size > mem.len() {
+            return Err(VmError::BadMemAccess(addr));
+        }
+        match size {
+            1 => mem[a] = v as u8,
+            4 => mem[a..a + 4].copy_from_slice(&(v as i32).to_le_bytes()),
+            _ => mem[a..a + 8].copy_from_slice(&v.to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    fn resolve(&self, addr: i64, size: usize) -> Result<(&[u8], usize), VmError> {
+        if addr >= STACK_BASE {
+            let a = (addr - STACK_BASE) as usize;
+            if a + size > self.stack.len() {
+                return Err(VmError::BadMemAccess(addr));
+            }
+            Ok((&self.stack, a))
+        } else {
+            if addr < 8 || (addr as usize) + size > self.heap.len() {
+                return Err(VmError::BadMemAccess(addr));
+            }
+            Ok((&self.heap, addr as usize))
+        }
+    }
+
+    fn step(&mut self, frame: &mut Frame, inst: VisaInst) -> Result<Flow, VmError> {
+        let r = &mut frame.regs;
+        let (rd, rs1, rs2) = (inst.rd as usize, inst.rs1 as usize, inst.rs2 as usize);
+        let imm = inst.imm;
+        match inst.op {
+            Op::Movi => r[rd] = imm as i64,
+            Op::Movih => {
+                r[rd] = ((r[rd] as u64 & 0xFFFF_FFFF) | ((imm as u32 as u64) << 32)) as i64
+            }
+            Op::Mov => r[rd] = r[rs1],
+            Op::Add => r[rd] = r[rs1].wrapping_add(r[rs2]),
+            Op::Sub => r[rd] = r[rs1].wrapping_sub(r[rs2]),
+            Op::Mul => r[rd] = r[rs1].wrapping_mul(r[rs2]),
+            Op::Div => {
+                if r[rs2] == 0 {
+                    return Err(VmError::DivByZero);
+                }
+                r[rd] = r[rs1].wrapping_div(r[rs2]);
+            }
+            Op::Rem => {
+                if r[rs2] == 0 {
+                    return Err(VmError::DivByZero);
+                }
+                r[rd] = r[rs1].wrapping_rem(r[rs2]);
+            }
+            Op::And => r[rd] = r[rs1] & r[rs2],
+            Op::Or => r[rd] = r[rs1] | r[rs2],
+            Op::Xor => r[rd] = r[rs1] ^ r[rs2],
+            Op::Shl => r[rd] = r[rs1].wrapping_shl(r[rs2] as u32 & 63),
+            Op::Shr => r[rd] = r[rs1].wrapping_shr(r[rs2] as u32 & 63),
+            Op::Addi => r[rd] = r[rs1].wrapping_add(imm as i64),
+            Op::Cmp => {
+                let (a, b) = (r[rs1], r[rs2]);
+                r[rd] = match imm {
+                    CMP_EQ => a == b,
+                    CMP_NE => a != b,
+                    CMP_LT => a < b,
+                    CMP_LE => a <= b,
+                    CMP_GT => a > b,
+                    CMP_GE => a >= b,
+                    _ => false,
+                } as i64;
+            }
+            Op::Fadd | Op::Fsub | Op::Fmul | Op::Fdiv => {
+                let a = f64::from_bits(r[rs1] as u64);
+                let b = f64::from_bits(r[rs2] as u64);
+                let v = match inst.op {
+                    Op::Fadd => a + b,
+                    Op::Fsub => a - b,
+                    Op::Fmul => a * b,
+                    _ => a / b,
+                };
+                r[rd] = v.to_bits() as i64;
+            }
+            Op::Fcmp => {
+                let a = f64::from_bits(r[rs1] as u64);
+                let b = f64::from_bits(r[rs2] as u64);
+                r[rd] = match imm {
+                    CMP_EQ => a == b,
+                    CMP_NE => a != b,
+                    CMP_LT => a < b,
+                    CMP_LE => a <= b,
+                    CMP_GT => a > b,
+                    CMP_GE => a >= b,
+                    _ => false,
+                } as i64;
+            }
+            Op::Itof => r[rd] = (r[rs1] as f64).to_bits() as i64,
+            Op::Ftoi => r[rd] = f64::from_bits(r[rs1] as u64) as i64,
+            Op::Sextb => r[rd] = r[rs1] as i8 as i64,
+            Op::Sextw => r[rd] = r[rs1] as i32 as i64,
+            Op::Zextb => r[rd] = r[rs1] & 0xFF,
+            Op::Zextw => r[rd] = r[rs1] & 0xFFFF_FFFF,
+            Op::And1 => r[rd] = r[rs1] & 1,
+            Op::Ld => r[rd] = self.load(r[rs1].wrapping_add(imm as i64), 8)?,
+            Op::Ld4 => r[rd] = self.load(r[rs1].wrapping_add(imm as i64), 4)?,
+            Op::Ld1 => r[rd] = self.load(r[rs1].wrapping_add(imm as i64), 1)?,
+            Op::St => self.store(r[rs1].wrapping_add(imm as i64), 8, r[rs2])?,
+            Op::St4 => self.store(r[rs1].wrapping_add(imm as i64), 4, r[rs2])?,
+            Op::St1 => self.store(r[rs1].wrapping_add(imm as i64), 1, r[rs2])?,
+            Op::Jmp => {
+                frame.pc = check_target(imm, frame, self.obj)?;
+            }
+            Op::Jz => {
+                if r[rs1] == 0 {
+                    frame.pc = check_target(imm, frame, self.obj)?;
+                }
+            }
+            Op::Jnz => {
+                if r[rs1] != 0 {
+                    frame.pc = check_target(imm, frame, self.obj)?;
+                }
+            }
+            Op::Call => return Ok(Flow::Call(imm as usize)),
+            Op::Ret => return Ok(Flow::Ret),
+            Op::Salloc => {
+                let base = STACK_BASE + self.stack.len() as i64;
+                let n = (imm.max(0) as usize + 7) & !7;
+                self.stack.extend(std::iter::repeat_n(0u8, n));
+                r[rd] = base;
+            }
+            Op::Alloc => {
+                let n = (r[rs1].max(0) as usize + 7) & !7;
+                let base = self.heap.len() as i64;
+                self.heap.extend(std::iter::repeat_n(0u8, n.max(8)));
+                r[rd] = base;
+            }
+            Op::Print => self.output.push(r[rs1]),
+            Op::Printf => self.output.push(r[rs1]),
+            Op::Trap => return Err(VmError::Trap),
+        }
+        Ok(Flow::Continue)
+    }
+}
+
+enum Flow {
+    Continue,
+    Call(usize),
+    Ret,
+}
+
+fn check_target(imm: i32, frame: &Frame, obj: &ObjectFile) -> Result<usize, VmError> {
+    let t = imm as usize;
+    if imm < 0 || t > obj.functions[frame.func].code.len() {
+        return Err(VmError::BadJump(imm));
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{ObjFunction, FP};
+
+    fn run_insts(code: Vec<VisaInst>, args: &[i64]) -> Result<VmOutcome, VmError> {
+        let obj = ObjectFile {
+            globals: vec![],
+            functions: vec![ObjFunction { name: "main".into(), arity: args.len() as u8, code }],
+        };
+        Vm::new(&obj, 100_000).run("main", args)
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let out = run_insts(
+            vec![
+                VisaInst::new(Op::Mul, 0, 0, 1, 0),
+                VisaInst::new(Op::Addi, 0, 0, 0, 1),
+                VisaInst::new(Op::Ret, 0, 0, 0, 0),
+            ],
+            &[6, 7],
+        )
+        .unwrap();
+        assert_eq!(out.ret, 43);
+    }
+
+    #[test]
+    fn movi_movih_builds_64_bit() {
+        let big: i64 = 0x1234_5678_9ABC_DEF0u64 as i64;
+        let lo = (big & 0xFFFF_FFFF) as i32;
+        let hi = ((big as u64) >> 32) as i32;
+        let out = run_insts(
+            vec![
+                VisaInst::new(Op::Movi, 0, 0, 0, lo),
+                VisaInst::new(Op::Movih, 0, 0, 0, hi),
+                VisaInst::new(Op::Ret, 0, 0, 0, 0),
+            ],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.ret, big);
+    }
+
+    #[test]
+    fn stack_frames_isolate_and_free() {
+        // main: salloc, store 5, call f (which sallocs its own), load back
+        let obj = ObjectFile {
+            globals: vec![],
+            functions: vec![
+                ObjFunction {
+                    name: "main".into(),
+                    arity: 0,
+                    code: vec![
+                        VisaInst::new(Op::Salloc, FP, 0, 0, 16),
+                        VisaInst::new(Op::Movi, 1, 0, 0, 5),
+                        VisaInst::new(Op::St, 0, FP, 1, 0),
+                        VisaInst::new(Op::Call, 0, 0, 0, 1),
+                        VisaInst::new(Op::Ld, 0, FP, 0, 0),
+                        VisaInst::new(Op::Ret, 0, 0, 0, 0),
+                    ],
+                },
+                ObjFunction {
+                    name: "f".into(),
+                    arity: 0,
+                    code: vec![
+                        VisaInst::new(Op::Salloc, FP, 0, 0, 32),
+                        VisaInst::new(Op::Movi, 1, 0, 0, 99),
+                        VisaInst::new(Op::St, 0, FP, 1, 8),
+                        VisaInst::new(Op::Ret, 0, 0, 0, 0),
+                    ],
+                },
+            ],
+        };
+        let out = Vm::new(&obj, 1000).run("main", &[]).unwrap();
+        assert_eq!(out.ret, 5, "callee frame must not clobber caller frame");
+    }
+
+    #[test]
+    fn branches_and_print() {
+        // loop: print 0,1,2
+        let out = run_insts(
+            vec![
+                VisaInst::new(Op::Movi, 1, 0, 0, 0),  // i = 0
+                VisaInst::new(Op::Movi, 2, 0, 0, 3),  // n = 3
+                VisaInst::new(Op::Cmp, 3, 1, 2, CMP_LT), // 2: c = i < n
+                VisaInst::new(Op::Jz, 0, 3, 0, 7),    // if !c goto 7
+                VisaInst::new(Op::Print, 0, 1, 0, 0),
+                VisaInst::new(Op::Addi, 1, 1, 0, 1),
+                VisaInst::new(Op::Jmp, 0, 0, 0, 2),
+                VisaInst::new(Op::Movi, 0, 0, 0, 0), // 7:
+                VisaInst::new(Op::Ret, 0, 0, 0, 0),
+            ],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.output, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn float_ops_roundtrip_bits() {
+        let a = 1.5f64.to_bits() as i64;
+        let b = 2.25f64.to_bits() as i64;
+        let out = run_insts(
+            vec![
+                VisaInst::new(Op::Fadd, 0, 0, 1, 0),
+                VisaInst::new(Op::Ret, 0, 0, 0, 0),
+            ],
+            &[a, b],
+        )
+        .unwrap();
+        assert_eq!(f64::from_bits(out.ret as u64), 3.75);
+    }
+
+    #[test]
+    fn div_by_zero_and_trap() {
+        let e = run_insts(
+            vec![VisaInst::new(Op::Div, 0, 0, 1, 0), VisaInst::new(Op::Ret, 0, 0, 0, 0)],
+            &[1, 0],
+        )
+        .unwrap_err();
+        assert_eq!(e, VmError::DivByZero);
+        let e = run_insts(vec![VisaInst::new(Op::Trap, 0, 0, 0, 0)], &[]).unwrap_err();
+        assert_eq!(e, VmError::Trap);
+    }
+
+    #[test]
+    fn fuel_bounds_runaway_code() {
+        let e = run_insts(vec![VisaInst::new(Op::Jmp, 0, 0, 0, 0)], &[]).unwrap_err();
+        assert_eq!(e, VmError::OutOfFuel);
+    }
+
+    #[test]
+    fn heap_alloc_and_memory() {
+        let out = run_insts(
+            vec![
+                VisaInst::new(Op::Movi, 1, 0, 0, 16),
+                VisaInst::new(Op::Alloc, 2, 1, 0, 0),
+                VisaInst::new(Op::Movi, 3, 0, 0, 77),
+                VisaInst::new(Op::St, 0, 2, 3, 8),
+                VisaInst::new(Op::Ld, 0, 2, 0, 8),
+                VisaInst::new(Op::Ret, 0, 0, 0, 0),
+            ],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.ret, 77);
+    }
+
+    #[test]
+    fn null_access_faults() {
+        let e = run_insts(
+            vec![VisaInst::new(Op::Ld, 0, 1, 0, 0), VisaInst::new(Op::Ret, 0, 0, 0, 0)],
+            &[0],
+        )
+        .unwrap_err();
+        assert!(matches!(e, VmError::BadMemAccess(0)));
+    }
+}

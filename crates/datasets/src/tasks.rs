@@ -1,0 +1,522 @@
+//! The task library: parameterized programming problems with stylistically
+//! varied solutions in MiniC and MiniJava.
+//!
+//! Each task fixes an algorithmic *problem* (what CLCDSA calls a coding
+//! task); [`emit`] renders one *solution* whose structure is characteristic
+//! of the task but whose style (names, loop forms, helper extraction,
+//! constants, algorithm variant) is sampled per solution. Solutions to the
+//! same task share structure across languages; solutions to different tasks
+//! do not — the property the matching models must learn.
+
+use gbm_frontends::SourceLang;
+
+use crate::style::Style;
+
+/// Number of distinct tasks in the library.
+pub const NUM_TASKS: usize = 20;
+
+/// Human-readable task names (stable order).
+pub const TASK_NAMES: [&str; NUM_TASKS] = [
+    "sum_range",
+    "sum_squares",
+    "factorial",
+    "fibonacci",
+    "gcd",
+    "count_primes",
+    "reverse_digits",
+    "sum_digits",
+    "power",
+    "collatz_steps",
+    "array_max",
+    "array_sum",
+    "sort_print",
+    "count_evens",
+    "dot_product",
+    "triangle_numbers",
+    "divisor_count",
+    "min_max_diff",
+    "nested_loop_sum",
+    "checksum",
+];
+
+fn c_prog(helpers: &str, main_body: &str) -> String {
+    if helpers.is_empty() {
+        format!("int main() {{\n{main_body}\nreturn 0;\n}}\n")
+    } else {
+        format!("{helpers}\nint main() {{\n{main_body}\nreturn 0;\n}}\n")
+    }
+}
+
+fn java_prog(methods: &str, main_body: &str) -> String {
+    format!(
+        "class Main {{\n{methods}\npublic static void main(String[] args) {{\n{main_body}\n}}\n}}\n"
+    )
+}
+
+/// Renders one solution for `task` in `lang` under the given style.
+/// Panics if `task >= NUM_TASKS`.
+pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
+    let java = lang == SourceLang::MiniJava;
+    let print = |e: &str| {
+        if java {
+            format!("System.out.println({e});")
+        } else {
+            format!("print({e});")
+        }
+    };
+    match task {
+        // ── accumulation over a range ───────────────────────────────────
+        0 | 1 | 15 | 18 | 19 => {
+            let n = style.int(8, 30);
+            let acc = style.acc();
+            let i = style.counter();
+            let update = match task {
+                0 => format!("{acc} += {i};"),
+                1 => format!("{acc} += {i} * {i};"),
+                15 => {
+                    // triangle numbers: print the running sum each step
+                    format!("{acc} += {i}; {}", print(&acc))
+                }
+                18 => {
+                    let j = loop {
+                        let j = style.counter();
+                        if j != i {
+                            break j;
+                        }
+                    };
+                    let inner = style.count_loop(java, &j, "0", "6", &format!("{acc} += {i} * {j};"));
+                    inner.replace('\n', " ")
+                }
+                _ => format!("{acc} = ({acc} * 31 + {i} * {i} + 7) % 1000;"),
+            };
+            let body = style.count_loop(java, &i, "1", &format!("{n}"), &update);
+            let tail = if task == 15 { String::new() } else { print(&acc) };
+            let main_body = format!("int {acc} = 0;\n{body}\n{tail}");
+            if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+        }
+
+        // ── factorial ───────────────────────────────────────────────────
+        2 => {
+            let n = style.int(5, 12);
+            let recursive = style.flag(0.4);
+            let h = style.helper();
+            let p = style.value();
+            if recursive {
+                if java {
+                    let m = format!(
+                        "static int {h}(int {p}) {{ if ({p} <= 1) {{ return 1; }} return {p} * {h}({p} - 1); }}"
+                    );
+                    java_prog(&m, &print(&format!("{h}({n})")))
+                } else {
+                    let m = format!(
+                        "int {h}(int {p}) {{ if ({p} <= 1) {{ return 1; }} return {p} * {h}({p} - 1); }}"
+                    );
+                    c_prog(&m, &print(&format!("{h}({n})")))
+                }
+            } else {
+                let acc = style.acc();
+                let i = style.counter();
+                let body = style.count_loop(
+                    java,
+                    &i,
+                    "2",
+                    &format!("{n} + 1"),
+                    &format!("{acc} *= {i};"),
+                );
+                let main_body = format!("int {acc} = 1;\n{body}\n{}", print(&acc));
+                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+            }
+        }
+
+        // ── fibonacci ───────────────────────────────────────────────────
+        3 => {
+            let n = style.int(6, 15);
+            let recursive = style.flag(0.35);
+            if recursive {
+                let f = style.helper();
+                let p = style.limit();
+                let body = format!(
+                    "if ({p} < 2) {{ return {p}; }} return {f}({p} - 1) + {f}({p} - 2);"
+                );
+                if java {
+                    java_prog(
+                        &format!("static int {f}(int {p}) {{ {body} }}"),
+                        &print(&format!("{f}({n})")),
+                    )
+                } else {
+                    c_prog(&format!("int {f}(int {p}) {{ {body} }}"), &print(&format!("{f}({n})")))
+                }
+            } else {
+                let (a, b) = style.distinct2(|s| s.value(), |s| s.acc());
+                let t = loop {
+                    let t = style.value();
+                    if t != a && t != b {
+                        break t;
+                    }
+                };
+                let i = style.counter();
+                let step = format!("int {t} = {a} + {b}; {a} = {b}; {b} = {t};");
+                let body = style.count_loop(java, &i, "0", &format!("{n}"), &step);
+                let main_body = format!("int {a} = 0;\nint {b} = 1;\n{body}\n{}", print(&a));
+                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+            }
+        }
+
+        // ── gcd ─────────────────────────────────────────────────────────
+        4 => {
+            let x = style.int(18, 96);
+            let y = style.int(12, 60);
+            let recursive = style.flag(0.4);
+            let g = style.helper();
+            if recursive {
+                let body = format!("if (b == 0) {{ return a; }} return {g}(b, a % b);");
+                if java {
+                    java_prog(
+                        &format!("static int {g}(int a, int b) {{ {body} }}"),
+                        &print(&format!("{g}({x}, {y})")),
+                    )
+                } else {
+                    c_prog(
+                        &format!("int {g}(int a, int b) {{ {body} }}"),
+                        &print(&format!("{g}({x}, {y})")),
+                    )
+                }
+            } else {
+                let (a, b) = style.distinct2(|s| s.value(), |s| s.value());
+                let t = loop {
+                    let t = style.value();
+                    if t != a && t != b {
+                        break t;
+                    }
+                };
+                let main_body = format!(
+                    "int {a} = {x};\nint {b} = {y};\nwhile ({b} != 0) {{ int {t} = {a} % {b}; {a} = {b}; {b} = {t}; }}\n{}",
+                    print(&a)
+                );
+                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+            }
+        }
+
+        // ── count primes below n (trial division) ───────────────────────
+        5 => {
+            let n = style.int(15, 45);
+            let cnt = style.acc();
+            let x = style.value();
+            let d = style.counter();
+            let flag = style.pick(&["ok", "isp", "good", "prime"]);
+            let main_body = format!(
+                "int {cnt} = 0;\nfor (int {x} = 2; {x} < {n}; {x}++) {{\nint {flag} = 1;\nfor (int {d} = 2; {d} * {d} <= {x}; {d}++) {{ if ({x} % {d} == 0) {{ {flag} = 0; }} }}\nif ({flag} == 1) {{ {cnt}++; }}\n}}\n{}",
+                print(&cnt)
+            );
+            if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+        }
+
+        // ── reverse digits / sum digits ─────────────────────────────────
+        6 | 7 => {
+            let seed = style.int(1234, 98765);
+            let x = style.value();
+            let r = style.acc();
+            let update = if task == 6 {
+                format!("{r} = {r} * 10 + {x} % 10;")
+            } else {
+                format!("{r} += {x} % 10;")
+            };
+            let use_helper = style.flag(0.5);
+            let loop_body = format!(
+                "int {r} = 0;\nwhile ({x} > 0) {{ {update} {x} = {x} / 10; }}"
+            );
+            if use_helper {
+                let h = style.helper();
+                let body = format!("{loop_body}\nreturn {r};");
+                if java {
+                    java_prog(
+                        &format!("static int {h}(int {x}) {{ {body} }}"),
+                        &print(&format!("{h}({seed})")),
+                    )
+                } else {
+                    c_prog(&format!("int {h}(int {x}) {{ {body} }}"), &print(&format!("{h}({seed})")))
+                }
+            } else {
+                let main_body = format!("int {x} = {seed};\n{loop_body}\n{}", print(&r));
+                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+            }
+        }
+
+        // ── power ───────────────────────────────────────────────────────
+        8 => {
+            let base = style.int(2, 5);
+            let exp = style.int(5, 10);
+            let fast = style.flag(0.4);
+            let r = style.acc();
+            if fast {
+                let b = style.value();
+                let e = loop {
+                    let e = style.limit();
+                    if e != b && e != r {
+                        break e;
+                    }
+                };
+                let main_body = format!(
+                    "int {r} = 1;\nint {b} = {base};\nint {e} = {exp};\nwhile ({e} > 0) {{\nif ({e} % 2 == 1) {{ {r} *= {b}; }}\n{b} *= {b};\n{e} = {e} / 2;\n}}\n{}",
+                    print(&r)
+                );
+                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+            } else {
+                let i = style.counter();
+                let body = style.count_loop(java, &i, "0", &format!("{exp}"), &format!("{r} *= {base};"));
+                let main_body = format!("int {r} = 1;\n{body}\n{}", print(&r));
+                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+            }
+        }
+
+        // ── collatz steps ───────────────────────────────────────────────
+        9 => {
+            let start = style.int(7, 27);
+            let x = style.value();
+            let steps = style.acc();
+            let main_body = format!(
+                "int {x} = {start};\nint {steps} = 0;\nwhile ({x} != 1) {{\nif ({x} % 2 == 0) {{ {x} = {x} / 2; }} else {{ {x} = 3 * {x} + 1; }}\n{steps}++;\n}}\n{}",
+                print(&steps)
+            );
+            if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+        }
+
+        // ── array tasks ─────────────────────────────────────────────────
+        10 | 11 | 13 | 17 => {
+            let n = style.int(6, 14);
+            let arr = style.array();
+            let i = style.counter();
+            let mul = style.int(3, 11);
+            let add = style.int(1, 9);
+            let md = style.int(17, 47);
+            let decl = if java {
+                format!("int[] {arr} = new int[{n}];")
+            } else {
+                format!("int {arr}[{n}];")
+            };
+            let fill = format!("{arr}[{i}] = ({i} * {mul} + {add}) % {md};");
+            let fill_loop = style.count_loop(java, &i, "0", &format!("{n}"), &fill);
+            let j = loop {
+                let j = style.counter();
+                if j != i {
+                    break j;
+                }
+            };
+            let (process, tail) = match task {
+                10 => {
+                    let best = style.pick(&["best", "mx", "top", "hi"]);
+                    (
+                        format!(
+                            "int {best} = {arr}[0];\n{}",
+                            style.count_loop(
+                                java,
+                                &j,
+                                "1",
+                                &format!("{n}"),
+                                &format!("if ({arr}[{j}] > {best}) {{ {best} = {arr}[{j}]; }}"),
+                            )
+                        ),
+                        print(&best),
+                    )
+                }
+                11 => {
+                    let s = style.acc();
+                    (
+                        format!(
+                            "int {s} = 0;\n{}",
+                            style.count_loop(java, &j, "0", &format!("{n}"), &format!("{s} += {arr}[{j}];"))
+                        ),
+                        print(&s),
+                    )
+                }
+                13 => {
+                    let c = style.acc();
+                    (
+                        format!(
+                            "int {c} = 0;\n{}",
+                            style.count_loop(
+                                java,
+                                &j,
+                                "0",
+                                &format!("{n}"),
+                                &format!("if ({arr}[{j}] % 2 == 0) {{ {c}++; }}"),
+                            )
+                        ),
+                        print(&c),
+                    )
+                }
+                _ => {
+                    // min-max difference
+                    let (lo, hi) = style.distinct2(|s| s.value(), |s| s.value());
+                    (
+                        format!(
+                            "int {lo} = {arr}[0];\nint {hi} = {arr}[0];\n{}",
+                            style.count_loop(
+                                java,
+                                &j,
+                                "1",
+                                &format!("{n}"),
+                                &format!(
+                                    "if ({arr}[{j}] < {lo}) {{ {lo} = {arr}[{j}]; }} if ({arr}[{j}] > {hi}) {{ {hi} = {arr}[{j}]; }}"
+                                ),
+                            )
+                        ),
+                        print(&format!("{hi} - {lo}")),
+                    )
+                }
+            };
+            let main_body = format!("{decl}\n{fill_loop}\n{process}\n{tail}");
+            if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+        }
+
+        // ── sort and print ──────────────────────────────────────────────
+        12 => {
+            let n = style.int(5, 10);
+            let arr = style.array();
+            let (i, j) = style.distinct2(|s| s.counter(), |s| s.counter());
+            let t = style.value();
+            let mul = style.int(5, 13);
+            let md = style.int(19, 53);
+            let decl = if java {
+                format!("int[] {arr} = new int[{n}];")
+            } else {
+                format!("int {arr}[{n}];")
+            };
+            let selection = style.flag(0.5);
+            let sort = if selection {
+                format!(
+                    "for (int {i} = 0; {i} < {n}; {i}++) {{\nfor (int {j} = {i} + 1; {j} < {n}; {j}++) {{\nif ({arr}[{j}] < {arr}[{i}]) {{ int {t} = {arr}[{i}]; {arr}[{i}] = {arr}[{j}]; {arr}[{j}] = {t}; }}\n}}\n}}"
+                )
+            } else {
+                format!(
+                    "for (int {i} = 0; {i} < {n} - 1; {i}++) {{\nfor (int {j} = 0; {j} < {n} - 1 - {i}; {j}++) {{\nif ({arr}[{j}] > {arr}[{j} + 1]) {{ int {t} = {arr}[{j}]; {arr}[{j}] = {arr}[{j} + 1]; {arr}[{j} + 1] = {t}; }}\n}}\n}}"
+                )
+            };
+            let k = loop {
+                let k = style.counter();
+                if k != i && k != j {
+                    break k;
+                }
+            };
+            let main_body = format!(
+                "{decl}\nfor (int {k} = 0; {k} < {n}; {k}++) {{ {arr}[{k}] = ({k} * {mul} + 3) % {md}; }}\n{sort}\nfor (int {k} = 0; {k} < {n}; {k}++) {{ {} }}",
+                print(&format!("{arr}[{k}]"))
+            );
+            if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+        }
+
+        // ── dot product ─────────────────────────────────────────────────
+        14 => {
+            let n = style.int(5, 12);
+            let (a, b) = style.distinct2(|s| s.array(), |s| s.array());
+            let i = style.counter();
+            let s = style.acc();
+            let (m1, m2) = (style.int(2, 7), style.int(3, 9));
+            let decls = if java {
+                format!("int[] {a} = new int[{n}];\nint[] {b} = new int[{n}];")
+            } else {
+                format!("int {a}[{n}];\nint {b}[{n}];")
+            };
+            let fill = format!("{a}[{i}] = {i} * {m1} + 1; {b}[{i}] = {i} * {m2} + 2;");
+            let fill_loop = style.count_loop(java, &i, "0", &format!("{n}"), &fill);
+            let j = loop {
+                let j = style.counter();
+                if j != i {
+                    break j;
+                }
+            };
+            let acc_loop = style.count_loop(
+                java,
+                &j,
+                "0",
+                &format!("{n}"),
+                &format!("{s} += {a}[{j}] * {b}[{j}];"),
+            );
+            let main_body = format!("{decls}\n{fill_loop}\nint {s} = 0;\n{acc_loop}\n{}", print(&s));
+            if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+        }
+
+        // ── divisor count ───────────────────────────────────────────────
+        16 => {
+            let x = style.int(24, 96);
+            let d = style.counter();
+            let cnt = style.acc();
+            let use_helper = style.flag(0.4);
+            let loop_src = format!(
+                "int {cnt} = 0;\nfor (int {d} = 1; {d} <= {x}; {d}++) {{ if ({x} % {d} == 0) {{ {cnt}++; }} }}"
+            );
+            if use_helper {
+                let h = style.helper();
+                let p = style.value();
+                let body = loop_src.replace(&format!("{x} %"), &format!("{p} %")).replace(
+                    &format!("<= {x}"),
+                    &format!("<= {p}"),
+                );
+                if java {
+                    java_prog(
+                        &format!("static int {h}(int {p}) {{ {body} return {cnt}; }}"),
+                        &print(&format!("{h}({x})")),
+                    )
+                } else {
+                    c_prog(
+                        &format!("int {h}(int {p}) {{ {body} return {cnt}; }}"),
+                        &print(&format!("{h}({x})")),
+                    )
+                }
+            } else {
+                let main_body = format!("{loop_src}\n{}", print(&cnt));
+                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+            }
+        }
+
+        other => panic!("task {other} out of range (NUM_TASKS = {NUM_TASKS})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_frontends::compile;
+    use gbm_lir::interp::run_function;
+
+    #[test]
+    fn every_task_compiles_and_runs_in_both_languages() {
+        for task in 0..NUM_TASKS {
+            for lang in [SourceLang::MiniC, SourceLang::MiniJava] {
+                for seed in 0..6u64 {
+                    let mut style = Style::new(seed * 1000 + task as u64);
+                    let src = emit(task, lang, &mut style);
+                    let m = compile(lang, "t", &src).unwrap_or_else(|e| {
+                        panic!("task {task} ({}) {lang:?} seed {seed}: {e}\n{src}", TASK_NAMES[task])
+                    });
+                    let out = run_function(&m, "main", &[], 2_000_000).unwrap_or_else(|e| {
+                        panic!("task {task} {lang:?} seed {seed} run: {e}\n{src}")
+                    });
+                    assert!(
+                        !out.output.is_empty(),
+                        "task {task} must print something\n{src}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_task_same_seed_is_deterministic() {
+        let a = emit(3, SourceLang::MiniC, &mut Style::new(7));
+        let b = emit(3, SourceLang::MiniC, &mut Style::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn styles_vary_across_seeds() {
+        let variants: std::collections::HashSet<String> =
+            (0..10).map(|s| emit(0, SourceLang::MiniC, &mut Style::new(s))).collect();
+        assert!(variants.len() >= 3, "stylistic variety expected, got {}", variants.len());
+    }
+
+    #[test]
+    fn task_names_cover_all_tasks() {
+        assert_eq!(TASK_NAMES.len(), NUM_TASKS);
+    }
+}

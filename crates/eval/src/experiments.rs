@@ -1,0 +1,308 @@
+//! Per-table / per-figure experiment runners. Each function reproduces the
+//! *workload* of one table or figure from the paper; the `gbm-bench` harness
+//! binaries print them in the paper's row format.
+
+use gbm_binary::{Compiler, OptLevel};
+use gbm_datasets::{clcdsa, poj104, DatasetConfig, LangStats};
+use gbm_frontends::SourceLang;
+use gbm_progml::{build_graph, GraphStats, NodeTextMode};
+
+use crate::harness::{
+    run_experiment, DatasetKind, ExperimentResult, ExperimentSpec, HarnessConfig, MethodScore,
+    Side,
+};
+use crate::metrics::{mean, median, sweep, Prf, SweepPoint};
+
+/// Table I: dataset statistics per language.
+pub fn table1(cfg: &HarnessConfig) -> Vec<(String, Vec<LangStats>)> {
+    let ds_cfg = DatasetConfig {
+        num_tasks: cfg.num_tasks,
+        solutions_per_task: cfg.solutions_per_task,
+        seed: cfg.seed,
+    };
+    let cl = clcdsa(ds_cfg);
+    let poj = poj104(ds_cfg);
+    vec![
+        (cl.name.clone(), cl.stats(Compiler::Clang, OptLevel::Oz)),
+        (poj.name.clone(), poj.stats(Compiler::Clang, OptLevel::O0)),
+    ]
+}
+
+/// One direction of Table III plus the ablated GraphBinMatch(text) row.
+fn cross_direction(
+    bin_lang: SourceLang,
+    src_lang: SourceLang,
+    cfg: &HarnessConfig,
+) -> (Vec<MethodScore>, ExperimentResult) {
+    // full run (tokenizer / full_text mode) with baselines
+    let spec = ExperimentSpec::cross_language(bin_lang, src_lang, Compiler::Clang, OptLevel::Oz);
+    let mut full_cfg = *cfg;
+    full_cfg.text_mode = NodeTextMode::FullText;
+    let full = run_experiment(&spec, &full_cfg);
+
+    // ablated run: `text` node attributes only, GraphBinMatch row only
+    let mut text_cfg = *cfg;
+    text_cfg.text_mode = NodeTextMode::Text;
+    let mut text_spec = spec.clone();
+    text_spec.with_baselines = false;
+    let text = run_experiment(&text_spec, &text_cfg);
+
+    let mut rows = Vec::new();
+    for m in &full.methods {
+        if m.method == "GraphBinMatch" {
+            rows.push(MethodScore { method: "GraphBinMatch(Tokenizer)".into(), ..m.clone() });
+        } else {
+            rows.push(m.clone());
+        }
+    }
+    rows.push(MethodScore {
+        method: "GraphBinMatch".into(),
+        prf: text.methods[0].prf,
+        threshold: 0.5,
+    });
+    (rows, full)
+}
+
+/// Table III: cross-language binary↔source matching, both directions.
+/// Returns `(direction label, method rows)` plus the full-run result of the
+/// first direction (reused by Table VII and Figure 3).
+pub fn table3(cfg: &HarnessConfig) -> (Vec<(String, Vec<MethodScore>)>, ExperimentResult) {
+    let (rows_c_bin, full) = cross_direction(SourceLang::MiniC, SourceLang::MiniJava, cfg);
+    let (rows_j_bin, _) = cross_direction(SourceLang::MiniJava, SourceLang::MiniC, cfg);
+    (
+        vec![
+            ("C/C++ binary with Java source".to_string(), rows_c_bin),
+            ("Java binary with C/C++ source".to_string(), rows_j_bin),
+        ],
+        full,
+    )
+}
+
+/// Table IV: single-language binary-source matching on POJ-syn.
+pub fn table4(cfg: &HarnessConfig) -> Vec<MethodScore> {
+    let spec = ExperimentSpec::single_language(Compiler::Clang, OptLevel::O0);
+    run_experiment(&spec, cfg).methods
+}
+
+/// Table V: optimization level × compiler sweep (GraphBinMatch only).
+pub fn table5(cfg: &HarnessConfig) -> Vec<(Compiler, OptLevel, Prf)> {
+    let mut rows = Vec::new();
+    for compiler in [Compiler::Clang, Compiler::Gcc] {
+        for level in OptLevel::ALL {
+            let mut spec = ExperimentSpec::single_language(compiler, level);
+            spec.with_baselines = false;
+            let r = run_experiment(&spec, cfg);
+            rows.push((compiler, level, r.methods[0].prf));
+        }
+    }
+    rows
+}
+
+/// Table VI: cross-language source-source matching for the three language
+/// combinations (C vs Java, C++ vs Java, C/C++ vs Java — the C/C++ split is
+/// emulated by solution-index parity inside MiniC; see DESIGN.md).
+pub fn table6(cfg: &HarnessConfig) -> Vec<(String, Vec<MethodScore>)> {
+    let combos = [
+        ("C vs Java", Some(0u8)),
+        ("C++ vs Java", Some(1u8)),
+        ("C/C++ vs Java", None),
+    ];
+    combos
+        .iter()
+        .map(|(label, parity)| {
+            let spec = ExperimentSpec::source_source(*parity);
+            let r = run_experiment(&spec, cfg);
+            (label.to_string(), r.methods)
+        })
+        .collect()
+}
+
+/// Table VII rows: node-count statistics grouped by confusion cell.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStatsRow {
+    /// Cell name (TP/FP/TN/FN).
+    pub cell: &'static str,
+    /// Mean total nodes per pair.
+    pub mean_nodes: f32,
+    /// Median total nodes per pair.
+    pub median_nodes: f32,
+    /// Mean |a − b| node disparity.
+    pub mean_gap: f32,
+    /// Pair count in the cell.
+    pub count: usize,
+}
+
+/// Table VII: per-confusion-cell node statistics of a test run.
+pub fn table7(result: &ExperimentResult, threshold: f32) -> Vec<NodeStatsRow> {
+    let mut cells: [(&'static str, Vec<f32>, Vec<f32>); 4] = [
+        ("True Positive", vec![], vec![]),
+        ("False Positive", vec![], vec![]),
+        ("True Negative", vec![], vec![]),
+        ("False Negative", vec![], vec![]),
+    ];
+    for ((&s, &y), &(na, nb)) in result
+        .gbm_scores
+        .iter()
+        .zip(result.labels.iter())
+        .zip(result.pair_nodes.iter())
+    {
+        let pred = s >= threshold;
+        let actual = y >= 0.5;
+        let idx = match (pred, actual) {
+            (true, true) => 0,
+            (true, false) => 1,
+            (false, false) => 2,
+            (false, true) => 3,
+        };
+        cells[idx].1.push((na + nb) as f32);
+        cells[idx].2.push((na as f32 - nb as f32).abs());
+    }
+    cells
+        .into_iter()
+        .map(|(cell, nodes, gaps)| NodeStatsRow {
+            cell,
+            mean_nodes: mean(&nodes),
+            median_nodes: median(&nodes),
+            mean_gap: mean(&gaps),
+            count: nodes.len(),
+        })
+        .collect()
+}
+
+/// Table VIII: `text` vs `full_text` ablation on the same-language and
+/// cross-language binary-matching tasks.
+pub fn table8(cfg: &HarnessConfig) -> Vec<(&'static str, &'static str, Prf)> {
+    let mut rows = Vec::new();
+    for (mode_name, mode) in [("text", NodeTextMode::Text), ("full_text", NodeTextMode::FullText)]
+    {
+        let mut c = *cfg;
+        c.text_mode = mode;
+        // same-language: POJ source vs binary
+        let mut spec = ExperimentSpec::single_language(Compiler::Clang, OptLevel::O0);
+        spec.with_baselines = false;
+        let single = run_experiment(&spec, &c);
+        rows.push((mode_name, "Cpp vs Cpp", single.methods[0].prf));
+        // cross-language: C binary vs Java source
+        let mut spec = ExperimentSpec::cross_language(
+            SourceLang::MiniC,
+            SourceLang::MiniJava,
+            Compiler::Clang,
+            OptLevel::Oz,
+        );
+        spec.with_baselines = false;
+        let cross = run_experiment(&spec, &c);
+        rows.push((mode_name, "Cpp/C vs Java", cross.methods[0].prf));
+    }
+    rows
+}
+
+/// Figure 3: the threshold sweep over a test run's scores.
+pub fn figure3(result: &ExperimentResult) -> Vec<SweepPoint> {
+    sweep(&result.gbm_scores, &result.labels)
+}
+
+/// Figure 4 case study: one task, one solution per language, graph sizes.
+#[derive(Clone, Debug)]
+pub struct CaseStudy {
+    /// Task name.
+    pub task: String,
+    /// MiniC source text.
+    pub c_source: String,
+    /// MiniJava source text.
+    pub java_source: String,
+    /// MiniC graph stats.
+    pub c_stats: GraphStats,
+    /// MiniJava graph stats.
+    pub java_stats: GraphStats,
+}
+
+/// Figure 4: a matching cross-language pair whose graphs differ wildly in
+/// size (paper: Java 330 nodes / 660 edges vs C++ 65 / 115).
+pub fn figure4(seed: u64) -> CaseStudy {
+    let task = 0; // sum_range — the paper's example is a simple accumulation
+    let mut c_style = gbm_datasets::style::Style::new(seed);
+    let mut j_style = gbm_datasets::style::Style::new(seed + 1);
+    let c_src = gbm_datasets::tasks::emit(task, SourceLang::MiniC, &mut c_style);
+    let j_src = gbm_datasets::tasks::emit(task, SourceLang::MiniJava, &mut j_style);
+    let c_mod = gbm_frontends::compile(SourceLang::MiniC, "c", &c_src).expect("c compiles");
+    let j_mod = gbm_frontends::compile(SourceLang::MiniJava, "j", &j_src).expect("java compiles");
+    CaseStudy {
+        task: gbm_datasets::tasks::TASK_NAMES[task].to_string(),
+        c_source: c_src,
+        java_source: j_src,
+        c_stats: GraphStats::of(&build_graph(&c_mod)),
+        java_stats: GraphStats::of(&build_graph(&j_mod)),
+    }
+}
+
+/// Ablation support: hetero-fusion variants (used by the ablation bench).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FusionKind {
+    /// Element-wise max (the paper's choice).
+    Max,
+    /// Element-wise mean.
+    Mean,
+    /// Element-wise sum.
+    Sum,
+}
+
+/// Helper for the binaries: a one-line summary of a sweep's best point.
+pub fn best_f1_point(points: &[SweepPoint]) -> Option<&SweepPoint> {
+    points
+        .iter()
+        .max_by(|a, b| a.prf.f1.partial_cmp(&b.prf.f1).unwrap())
+}
+
+/// Keeps unused-import discipline honest for `Side` re-export users.
+pub fn _side_doc(_: Side, _: DatasetKind) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_consistent() {
+        let mut cfg = HarnessConfig::quick();
+        cfg.num_tasks = 3;
+        cfg.solutions_per_task = 2;
+        let t = table1(&cfg);
+        assert_eq!(t.len(), 2);
+        let (_, cl_stats) = &t[0];
+        assert_eq!(cl_stats.len(), 2, "CLCDSA has two languages");
+        for s in cl_stats {
+            assert_eq!(s.sources, 6);
+            assert_eq!(s.binaries, 6);
+        }
+        let (_, poj_stats) = &t[1];
+        assert_eq!(poj_stats.len(), 1);
+    }
+
+    #[test]
+    fn figure4_java_graph_dwarfs_c_graph() {
+        let cs = figure4(3);
+        assert!(
+            cs.java_stats.nodes as f64 > cs.c_stats.nodes as f64 * 2.0,
+            "java {} vs c {}",
+            cs.java_stats.nodes,
+            cs.c_stats.nodes
+        );
+        assert!(cs.java_stats.edges > cs.c_stats.edges);
+    }
+
+    #[test]
+    fn table7_cells_partition_pairs() {
+        let result = ExperimentResult {
+            methods: vec![],
+            gbm_scores: vec![0.9, 0.8, 0.2, 0.1],
+            labels: vec![1.0, 0.0, 1.0, 0.0],
+            pair_nodes: vec![(100, 110), (300, 80), (90, 400), (120, 130)],
+            train_stats: vec![],
+        };
+        let rows = table7(&result, 0.5);
+        let total: usize = rows.iter().map(|r| r.count).sum();
+        assert_eq!(total, 4);
+        assert_eq!(rows[0].count, 1); // TP
+        assert_eq!(rows[1].count, 1); // FP
+        assert!(rows[1].mean_gap > rows[0].mean_gap, "FP pairs are lopsided");
+    }
+}

@@ -1,0 +1,579 @@
+//! The shared experiment machinery: dataset → artifacts → graphs → tokenizer
+//! → encodings → pairs → training → metrics, with every baseline run on the
+//! same test pairs.
+//!
+//! Every table/figure runner in [`crate::experiments`] is a thin
+//! configuration of [`run_experiment`].
+
+use std::collections::HashMap;
+
+use gbm_baselines::{
+    b2sfinder::B2sFinder,
+    binpro::{signals, BinPro},
+    licca::Licca,
+    xlir::{tokenize_module, train_xlir, xlir_tokenizer, Xlir, XlirConfig, XlirTrainConfig, XlirVariant},
+};
+use gbm_binary::{Compiler, OptLevel};
+use gbm_datasets::{clcdsa, decompile_all, make_pairs, poj104, Dataset, DatasetConfig, PairSpec};
+use gbm_frontends::SourceLang;
+use gbm_lir::Module;
+use gbm_nn::{
+    encode_graph, predict, train, EncodedGraph, EpochStats, GraphBinMatch, GraphBinMatchConfig,
+    PairExample, PairSet, TrainConfig,
+};
+use gbm_progml::{build_graph, NodeTextMode, ProgramGraph};
+use gbm_tokenizer::{Tokenizer, TokenizerConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
+
+use crate::metrics::{best_threshold, Prf};
+
+/// Which artifact a pair side uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Side {
+    /// Front-end output (source-side IR).
+    Source,
+    /// Compiled then decompiled IR (binary-side).
+    Binary {
+        /// Compiler persona.
+        compiler: Compiler,
+        /// Optimization level.
+        level: OptLevel,
+    },
+}
+
+/// Which dataset generator backs the experiment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DatasetKind {
+    /// Cross-language CLCDSA stand-in (MiniC + MiniJava).
+    Clcdsa,
+    /// Single-language POJ-104 stand-in (MiniC).
+    Poj,
+}
+
+/// Scale and hyper-parameters of one harness run.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessConfig {
+    /// Tasks drawn from the library.
+    pub num_tasks: usize,
+    /// Solutions per task per language.
+    pub solutions_per_task: usize,
+    /// Dataset/model seed.
+    pub seed: u64,
+    /// Node attribute mode (Table VIII ablation).
+    pub text_mode: NodeTextMode,
+    /// Token embedding width.
+    pub embed_dim: usize,
+    /// GNN hidden width.
+    pub hidden_dim: usize,
+    /// GNN depth.
+    pub num_layers: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Pairs per optimizer step.
+    pub batch_size: usize,
+    /// Cap on positive training pairs.
+    pub max_train_pos: usize,
+    /// Cap on positive eval pairs (valid and test each).
+    pub max_eval_pos: usize,
+}
+
+impl HarnessConfig {
+    /// Fast configuration for unit tests and smoke benches.
+    pub fn quick() -> HarnessConfig {
+        HarnessConfig {
+            num_tasks: 5,
+            solutions_per_task: 5,
+            seed: 42,
+            text_mode: NodeTextMode::FullText,
+            embed_dim: 8,
+            hidden_dim: 12,
+            num_layers: 1,
+            epochs: 6,
+            lr: 5e-3,
+            batch_size: 8,
+            max_train_pos: 40,
+            max_eval_pos: 20,
+        }
+    }
+
+    /// The configuration the table regenerators run (CPU-scale; see
+    /// EXPERIMENTS.md for the mapping to the paper's GPU-scale settings).
+    pub fn standard() -> HarnessConfig {
+        HarnessConfig {
+            num_tasks: 12,
+            solutions_per_task: 7,
+            seed: 42,
+            text_mode: NodeTextMode::FullText,
+            embed_dim: 24,
+            hidden_dim: 32,
+            num_layers: 2,
+            epochs: 30,
+            lr: 3e-3,
+            batch_size: 8,
+            max_train_pos: 150,
+            max_eval_pos: 60,
+        }
+    }
+}
+
+/// One experiment: which dataset, which languages and artifacts per side,
+/// and which comparison systems to run.
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    /// Dataset generator.
+    pub dataset: DatasetKind,
+    /// Languages admitted on side A and A's artifact.
+    pub a_langs: Vec<SourceLang>,
+    /// Side A artifact.
+    pub a_side: Side,
+    /// Languages admitted on side B.
+    pub b_langs: Vec<SourceLang>,
+    /// Side B artifact.
+    pub b_side: Side,
+    /// Run BinPro/B2SFinder/XLIR on the same pairs.
+    pub with_baselines: bool,
+    /// Run LICCA (meaningful for source-source only).
+    pub with_licca: bool,
+    /// Optional index-parity filter on side A (used to emulate the paper's
+    /// C vs C++ sub-populations within MiniC; see DESIGN.md).
+    pub a_parity: Option<u8>,
+}
+
+impl ExperimentSpec {
+    /// Cross-language binary↔source matching (the Table III shape).
+    pub fn cross_language(bin_lang: SourceLang, src_lang: SourceLang, compiler: Compiler, level: OptLevel) -> ExperimentSpec {
+        ExperimentSpec {
+            dataset: DatasetKind::Clcdsa,
+            a_langs: vec![src_lang],
+            a_side: Side::Source,
+            b_langs: vec![bin_lang],
+            b_side: Side::Binary { compiler, level },
+            with_baselines: true,
+            with_licca: false,
+            a_parity: None,
+        }
+    }
+
+    /// Single-language binary-source matching (Tables IV/V).
+    pub fn single_language(compiler: Compiler, level: OptLevel) -> ExperimentSpec {
+        ExperimentSpec {
+            dataset: DatasetKind::Poj,
+            a_langs: vec![SourceLang::MiniC],
+            a_side: Side::Source,
+            b_langs: vec![SourceLang::MiniC],
+            b_side: Side::Binary { compiler, level },
+            with_baselines: true,
+            with_licca: false,
+            a_parity: None,
+        }
+    }
+
+    /// Cross-language source-source matching (Table VI).
+    pub fn source_source(a_parity: Option<u8>) -> ExperimentSpec {
+        ExperimentSpec {
+            dataset: DatasetKind::Clcdsa,
+            a_langs: vec![SourceLang::MiniC],
+            a_side: Side::Source,
+            b_langs: vec![SourceLang::MiniJava],
+            b_side: Side::Source,
+            with_baselines: true,
+            with_licca: true,
+            a_parity,
+        }
+    }
+}
+
+/// One method's result row.
+#[derive(Clone, Debug)]
+pub struct MethodScore {
+    /// Method name as printed in tables.
+    pub method: String,
+    /// Test-set metrics.
+    pub prf: Prf,
+    /// Decision threshold used (0.5 for calibrated models; validation-tuned
+    /// for similarity-score baselines).
+    pub threshold: f32,
+}
+
+/// Everything an experiment produced.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// All method rows (GraphBinMatch first).
+    pub methods: Vec<MethodScore>,
+    /// GraphBinMatch raw scores on the test pairs (Figure 3 sweeps).
+    pub gbm_scores: Vec<f32>,
+    /// Test labels aligned with `gbm_scores`.
+    pub labels: Vec<f32>,
+    /// `(nodes_a, nodes_b)` of each test pair's graphs (Table VII).
+    pub pair_nodes: Vec<(usize, usize)>,
+    /// Training curve.
+    pub train_stats: Vec<EpochStats>,
+}
+
+fn filter_pool(ds: &Dataset, idxs: &[usize], langs: &[SourceLang], parity: Option<u8>) -> Vec<usize> {
+    idxs.iter()
+        .copied()
+        .filter(|&i| langs.contains(&ds.solutions[i].lang))
+        .filter(|&i| parity.map(|p| (i % 2) as u8 == p).unwrap_or(true))
+        .collect()
+}
+
+fn materialize(ds: &Dataset, pool: &[usize], side: Side) -> HashMap<usize, Module> {
+    match side {
+        Side::Source => pool
+            .iter()
+            .map(|&i| (i, ds.solutions[i].module.clone()))
+            .collect(),
+        Side::Binary { compiler, level } => decompile_all(ds, pool, compiler, level),
+    }
+}
+
+/// Builds balanced pairs allowing `a == b` when the two sides use different
+/// artifacts (a solution's own binary is a legitimate positive).
+fn side_pairs(
+    ds: &Dataset,
+    a_pool: &[usize],
+    b_pool: &[usize],
+    same_artifact: bool,
+    seed: u64,
+    max_pos: usize,
+) -> Vec<PairSpec> {
+    if same_artifact {
+        make_pairs(ds, a_pool, b_pool, seed, max_pos)
+    } else {
+        // temporarily admit a==b positives by pairing manually
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut positives = Vec::new();
+        for &a in a_pool {
+            for &b in b_pool {
+                if ds.solutions[a].task == ds.solutions[b].task {
+                    positives.push(PairSpec { a, b, label: 1.0 });
+                }
+            }
+        }
+        use rand::seq::SliceRandom;
+        positives.shuffle(&mut rng);
+        positives.truncate(max_pos);
+        let target = positives.len();
+        let mut negatives = Vec::new();
+        let mut guard = 0;
+        while negatives.len() < target && guard < target * 100 + 1000 {
+            guard += 1;
+            let a = a_pool[rng.random_range(0..a_pool.len())];
+            let b = b_pool[rng.random_range(0..b_pool.len())];
+            if ds.solutions[a].task != ds.solutions[b].task {
+                negatives.push(PairSpec { a, b, label: 0.0 });
+            }
+        }
+        positives.append(&mut negatives);
+        positives.shuffle(&mut rng);
+        positives
+    }
+}
+
+/// Runs one full experiment: trains GraphBinMatch (and baselines) and
+/// evaluates everything on the same held-out pairs.
+pub fn run_experiment(spec: &ExperimentSpec, cfg: &HarnessConfig) -> ExperimentResult {
+    let ds_cfg = DatasetConfig {
+        num_tasks: cfg.num_tasks,
+        solutions_per_task: cfg.solutions_per_task,
+        seed: cfg.seed,
+    };
+    let ds = match spec.dataset {
+        DatasetKind::Clcdsa => clcdsa(ds_cfg),
+        DatasetKind::Poj => poj104(ds_cfg),
+    };
+    let split = ds.split(cfg.seed.wrapping_add(1));
+
+    let a_train = filter_pool(&ds, &split.train, &spec.a_langs, spec.a_parity);
+    let a_valid = filter_pool(&ds, &split.valid, &spec.a_langs, spec.a_parity);
+    let a_test = filter_pool(&ds, &split.test, &spec.a_langs, spec.a_parity);
+    let b_train = filter_pool(&ds, &split.train, &spec.b_langs, None);
+    let b_valid = filter_pool(&ds, &split.valid, &spec.b_langs, None);
+    let b_test = filter_pool(&ds, &split.test, &spec.b_langs, None);
+
+    let a_all: Vec<usize> = [a_train.clone(), a_valid.clone(), a_test.clone()].concat();
+    let b_all: Vec<usize> = [b_train.clone(), b_valid.clone(), b_test.clone()].concat();
+
+    let a_modules = materialize(&ds, &a_all, spec.a_side);
+    let b_modules = materialize(&ds, &b_all, spec.b_side);
+
+    // program graphs (parallel)
+    let a_graphs: HashMap<usize, ProgramGraph> = a_all
+        .par_iter()
+        .map(|&i| (i, build_graph(&a_modules[&i])))
+        .collect();
+    let b_graphs: HashMap<usize, ProgramGraph> = b_all
+        .par_iter()
+        .map(|&i| (i, build_graph(&b_modules[&i])))
+        .collect();
+
+    // tokenizer trained on training-split graphs from both sides
+    let train_graph_refs: Vec<&ProgramGraph> = a_train
+        .iter()
+        .map(|i| &a_graphs[i])
+        .chain(b_train.iter().map(|i| &b_graphs[i]))
+        .collect();
+    let tokenizer = Tokenizer::train_on_graphs(
+        &train_graph_refs,
+        cfg.text_mode,
+        TokenizerConfig::default(),
+    );
+
+    // encodings; the PairSet graph pool is [a-side..., b-side...]
+    let mut pool: Vec<EncodedGraph> = Vec::with_capacity(a_all.len() + b_all.len());
+    let mut a_pos: HashMap<usize, usize> = HashMap::new();
+    let mut b_pos: HashMap<usize, usize> = HashMap::new();
+    for &i in &a_all {
+        a_pos.insert(i, pool.len());
+        pool.push(encode_graph(&a_graphs[&i], &tokenizer, cfg.text_mode));
+    }
+    for &i in &b_all {
+        b_pos.insert(i, pool.len());
+        pool.push(encode_graph(&b_graphs[&i], &tokenizer, cfg.text_mode));
+    }
+
+    let same_artifact = spec.a_side == spec.b_side;
+    let train_pairs = side_pairs(&ds, &a_train, &b_train, same_artifact, cfg.seed + 10, cfg.max_train_pos);
+    let valid_pairs = side_pairs(&ds, &a_valid, &b_valid, same_artifact, cfg.seed + 11, cfg.max_eval_pos);
+    let test_pairs = side_pairs(&ds, &a_test, &b_test, same_artifact, cfg.seed + 12, cfg.max_eval_pos);
+    assert!(!train_pairs.is_empty(), "no training pairs — dataset too small");
+    assert!(!test_pairs.is_empty(), "no test pairs — dataset too small");
+
+    let to_examples = |pairs: &[PairSpec]| -> Vec<PairExample> {
+        pairs
+            .iter()
+            .map(|p| PairExample { a: a_pos[&p.a], b: b_pos[&p.b], label: p.label })
+            .collect()
+    };
+    let train_set = PairSet { graphs: pool.clone(), pairs: to_examples(&train_pairs) };
+    let test_set = PairSet { graphs: pool, pairs: to_examples(&test_pairs) };
+
+    // ── GraphBinMatch ───────────────────────────────────────────────────
+    let model_cfg = GraphBinMatchConfig {
+        vocab_size: tokenizer.vocab_size(),
+        embed_dim: cfg.embed_dim,
+        hidden_dim: cfg.hidden_dim,
+        num_layers: cfg.num_layers,
+        dropout: 0.1,
+        leaky_slope: 0.01,
+        max_pos: 8,
+        fusion: gbm_nn::Fusion::Max,
+        pooling: gbm_nn::PoolKind::Attention,
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(2));
+    let model = GraphBinMatch::new(model_cfg, &mut rng);
+    let train_cfg = TrainConfig {
+        lr: cfg.lr,
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        grad_clip: 5.0,
+        seed: cfg.seed + 3,
+    };
+    let train_stats = train(&model, &train_set, &train_cfg, |_, _| {});
+    let gbm_scores = predict(&model, &test_set);
+    let labels: Vec<f32> = test_pairs.iter().map(|p| p.label).collect();
+
+    let mut methods = vec![MethodScore {
+        method: "GraphBinMatch".into(),
+        prf: Prf::at(&gbm_scores, &labels, 0.5),
+        threshold: 0.5,
+    }];
+
+    // ── baselines on the same pairs ─────────────────────────────────────
+    if spec.with_baselines {
+        let valid_labels: Vec<f32> = valid_pairs.iter().map(|p| p.label).collect();
+
+        // BinPro: trained logistic over static signals
+        let mut binpro = BinPro::new();
+        let bp_train: Vec<_> = train_pairs
+            .par_iter()
+            .map(|p| (signals(&a_modules[&p.a], &b_modules[&p.b]), p.label))
+            .collect();
+        binpro.train(&bp_train, 200, 0.05);
+        // signals are pure (parallel); the Rc-backed model scores serially
+        let bp_signals: Vec<_> = test_pairs
+            .par_iter()
+            .map(|p| signals(&a_modules[&p.a], &b_modules[&p.b]))
+            .collect();
+        let bp_scores: Vec<f32> = bp_signals.iter().map(|s| binpro.score_signals(s)).collect();
+        methods.push(MethodScore {
+            method: "BinPro".into(),
+            prf: Prf::at(&bp_scores, &labels, 0.5),
+            threshold: 0.5,
+        });
+
+        // B2SFinder: specificity index from training modules
+        let corpus: Vec<&Module> = a_train
+            .iter()
+            .map(|i| &a_modules[i])
+            .chain(b_train.iter().map(|i| &b_modules[i]))
+            .collect();
+        let b2s = B2sFinder::new(corpus.into_iter());
+        let b2s_valid: Vec<f32> = valid_pairs
+            .par_iter()
+            .map(|p| b2s.score(&a_modules[&p.a], &b_modules[&p.b]))
+            .collect();
+        let thr = best_threshold(&b2s_valid, &valid_labels);
+        let b2s_scores: Vec<f32> = test_pairs
+            .par_iter()
+            .map(|p| b2s.score(&a_modules[&p.a], &b_modules[&p.b]))
+            .collect();
+        methods.push(MethodScore {
+            method: "B2SFinder".into(),
+            prf: Prf::at(&b2s_scores, &labels, thr),
+            threshold: thr,
+        });
+
+        // XLIR (both variants): triplets from training positives
+        let xlir_corpus: Vec<&Module> = a_all
+            .iter()
+            .map(|i| &a_modules[i])
+            .chain(b_all.iter().map(|i| &b_modules[i]))
+            .collect();
+        let xlir_tok = xlir_tokenizer(&xlir_corpus, 96);
+        // sequence pool mirrors the pair-set pool layout
+        let mut seqs: Vec<Vec<u32>> = Vec::new();
+        let mut a_seq: HashMap<usize, usize> = HashMap::new();
+        let mut b_seq: HashMap<usize, usize> = HashMap::new();
+        for &i in &a_all {
+            a_seq.insert(i, seqs.len());
+            seqs.push(tokenize_module(&a_modules[&i], &xlir_tok));
+        }
+        for &i in &b_all {
+            b_seq.insert(i, seqs.len());
+            seqs.push(tokenize_module(&b_modules[&i], &xlir_tok));
+        }
+        let mut trng = StdRng::seed_from_u64(cfg.seed + 20);
+        let positives: Vec<&PairSpec> = train_pairs.iter().filter(|p| p.label == 1.0).collect();
+        let negatives: Vec<&PairSpec> = train_pairs.iter().filter(|p| p.label == 0.0).collect();
+        let triplets: Vec<(usize, usize, usize)> = positives
+            .iter()
+            .filter_map(|p| {
+                if negatives.is_empty() {
+                    return None;
+                }
+                let n = negatives[trng.random_range(0..negatives.len())];
+                Some((a_seq[&p.a], b_seq[&p.b], b_seq[&n.b]))
+            })
+            .collect();
+        for variant in [XlirVariant::Lstm, XlirVariant::Transformer] {
+            let mut xrng = StdRng::seed_from_u64(cfg.seed + 21);
+            let xmodel = Xlir::new(XlirConfig::small(variant, xlir_tok.vocab_size()), &mut xrng);
+            if !triplets.is_empty() {
+                train_xlir(
+                    &xmodel,
+                    &seqs,
+                    &triplets,
+                    &XlirTrainConfig {
+                        epochs: cfg.epochs.min(4),
+                        lr: 2e-3,
+                        batch_size: 8,
+                        seed: cfg.seed + 22,
+                    },
+                );
+            }
+            // cache embeddings once per sequence (model is single-threaded)
+            let embs: Vec<gbm_tensor::Tensor> = seqs.iter().map(|s| xmodel.embed(s)).collect();
+            let xv: Vec<f32> = valid_pairs
+                .iter()
+                .map(|p| Xlir::score_embeddings(&embs[a_seq[&p.a]], &embs[b_seq[&p.b]]))
+                .collect();
+            let thr = best_threshold(&xv, &valid_labels);
+            let xs: Vec<f32> = test_pairs
+                .iter()
+                .map(|p| Xlir::score_embeddings(&embs[a_seq[&p.a]], &embs[b_seq[&p.b]]))
+                .collect();
+            methods.push(MethodScore {
+                method: variant.name().to_string(),
+                prf: Prf::at(&xs, &labels, thr),
+                threshold: thr,
+            });
+        }
+    }
+
+    if spec.with_licca {
+        let valid_labels: Vec<f32> = valid_pairs.iter().map(|p| p.label).collect();
+        let lv: Vec<f32> = valid_pairs
+            .par_iter()
+            .map(|p| {
+                Licca::score(
+                    ds.solutions[p.a].lang,
+                    &ds.solutions[p.a].source,
+                    ds.solutions[p.b].lang,
+                    &ds.solutions[p.b].source,
+                )
+            })
+            .collect();
+        let thr = best_threshold(&lv, &valid_labels);
+        let ls: Vec<f32> = test_pairs
+            .par_iter()
+            .map(|p| {
+                Licca::score(
+                    ds.solutions[p.a].lang,
+                    &ds.solutions[p.a].source,
+                    ds.solutions[p.b].lang,
+                    &ds.solutions[p.b].source,
+                )
+            })
+            .collect();
+        methods.push(MethodScore {
+            method: "LICCA".into(),
+            prf: Prf::at(&ls, &labels, thr),
+            threshold: thr,
+        });
+    }
+
+    let pair_nodes: Vec<(usize, usize)> = test_pairs
+        .iter()
+        .map(|p| (a_graphs[&p.a].num_nodes(), b_graphs[&p.b].num_nodes()))
+        .collect();
+
+    ExperimentResult { methods, gbm_scores, labels, pair_nodes, train_stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cross_language_experiment_runs_end_to_end() {
+        let spec = ExperimentSpec::cross_language(
+            SourceLang::MiniC,
+            SourceLang::MiniJava,
+            Compiler::Clang,
+            OptLevel::Oz,
+        );
+        let result = run_experiment(&spec, &HarnessConfig::quick());
+        assert_eq!(result.methods[0].method, "GraphBinMatch");
+        assert!(result.methods.len() >= 4, "baselines present");
+        assert_eq!(result.gbm_scores.len(), result.labels.len());
+        assert!(!result.pair_nodes.is_empty());
+        for m in &result.methods {
+            assert!(m.prf.f1 >= 0.0 && m.prf.f1 <= 1.0);
+        }
+    }
+
+    #[test]
+    fn quick_single_language_experiment_runs() {
+        let spec = ExperimentSpec::single_language(Compiler::Clang, OptLevel::O0);
+        let mut cfg = HarnessConfig::quick();
+        cfg.epochs = 1;
+        let result = run_experiment(&spec, &cfg);
+        assert!(result.labels.iter().any(|&l| l == 1.0));
+        assert!(result.labels.iter().any(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn source_source_includes_licca() {
+        let spec = ExperimentSpec::source_source(None);
+        let mut cfg = HarnessConfig::quick();
+        cfg.epochs = 1;
+        let result = run_experiment(&spec, &cfg);
+        assert!(result.methods.iter().any(|m| m.method == "LICCA"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # gbm-eval
+//!
+//! Metrics and experiment runners: everything needed to regenerate the
+//! paper's tables and figures on the synthetic datasets.
+//!
+//! * [`metrics`] — precision/recall/F1 (§IV-E), threshold sweeps (Fig. 3),
+//!   validation-based threshold selection for uncalibrated baselines,
+//! * [`harness`] — the shared experiment pipeline (dataset → artifacts →
+//!   graphs → tokenizer → pairs → training → evaluation),
+//! * [`experiments`] — one runner per table/figure (I, III–VIII, Fig. 3/4).
+
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+
+pub use harness::{
+    run_experiment, DatasetKind, ExperimentResult, ExperimentSpec, HarnessConfig, MethodScore,
+    Side,
+};
+pub use metrics::{best_threshold, sweep, Confusion, Prf, SweepPoint};

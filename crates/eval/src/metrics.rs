@@ -1,0 +1,224 @@
+//! Precision / recall / F1 metrics (paper §IV-E, Table II) and threshold
+//! utilities (Figure 3).
+
+/// Confusion-matrix counts at a decision threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Predicted matching, actually matching.
+    pub tp: usize,
+    /// Predicted non-matching, actually non-matching.
+    pub tn: usize,
+    /// Predicted matching, actually non-matching.
+    pub fp: usize,
+    /// Predicted non-matching, actually matching.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds the matrix from scores and 0/1 labels at `threshold`
+    /// (`score ≥ threshold` ⇒ predicted matching).
+    pub fn at(scores: &[f32], labels: &[f32], threshold: f32) -> Confusion {
+        assert_eq!(scores.len(), labels.len());
+        let mut c = Confusion::default();
+        for (&s, &y) in scores.iter().zip(labels.iter()) {
+            let pred = s >= threshold;
+            let actual = y >= 0.5;
+            match (pred, actual) {
+                (true, true) => c.tp += 1,
+                (false, false) => c.tn += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision `TP / (TP + FP)` (Eq. 2); 0 when undefined.
+    pub fn precision(&self) -> f32 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f32 / d as f32
+        }
+    }
+
+    /// Recall `TP / (TP + FN)` (Eq. 3); 0 when undefined.
+    pub fn recall(&self) -> f32 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f32 / d as f32
+        }
+    }
+
+    /// F1, the harmonic mean of precision and recall (Eq. 4).
+    pub fn f1(&self) -> f32 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Plain accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let n = self.tp + self.tn + self.fp + self.fn_;
+        if n == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f32 / n as f32
+        }
+    }
+}
+
+/// A precision/recall/F1 triple (one table cell group).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Prf {
+    /// Precision.
+    pub precision: f32,
+    /// Recall.
+    pub recall: f32,
+    /// F1 score.
+    pub f1: f32,
+}
+
+impl Prf {
+    /// Metrics at a threshold.
+    pub fn at(scores: &[f32], labels: &[f32], threshold: f32) -> Prf {
+        let c = Confusion::at(scores, labels, threshold);
+        Prf { precision: c.precision(), recall: c.recall(), f1: c.f1() }
+    }
+}
+
+impl std::fmt::Display for Prf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P={:.2} R={:.2} F1={:.2}", self.precision, self.recall, self.f1)
+    }
+}
+
+/// One point of a threshold sweep (Figure 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Decision threshold.
+    pub threshold: f32,
+    /// Metrics at that threshold.
+    pub prf: Prf,
+    /// Accuracy at that threshold.
+    pub accuracy: f32,
+}
+
+/// Sweeps thresholds over `[0.05, 0.95]` in steps of 0.05 (Figure 3's axis).
+pub fn sweep(scores: &[f32], labels: &[f32]) -> Vec<SweepPoint> {
+    (1..=19)
+        .map(|i| {
+            let t = i as f32 * 0.05;
+            let c = Confusion::at(scores, labels, t);
+            SweepPoint {
+                threshold: t,
+                prf: Prf { precision: c.precision(), recall: c.recall(), f1: c.f1() },
+                accuracy: c.accuracy(),
+            }
+        })
+        .collect()
+}
+
+/// Validation-set threshold selection by best F1 — used to calibrate
+/// baselines whose scores are not probability-calibrated (XLIR cosine,
+/// B2SFinder weighted sums).
+pub fn best_threshold(scores: &[f32], labels: &[f32]) -> f32 {
+    sweep(scores, labels)
+        .into_iter()
+        .max_by(|a, b| a.prf.f1.partial_cmp(&b.prf.f1).unwrap())
+        .map(|p| p.threshold)
+        .unwrap_or(0.5)
+}
+
+/// Mean of a slice (0 when empty).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Median of a slice (0 when empty).
+pub fn median(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_cells() {
+        let scores = [0.9, 0.8, 0.3, 0.2];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let c = Confusion::at(&scores, &labels, 0.5);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+        assert_eq!(c.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let scores = [0.99, 0.9, 0.1, 0.05];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        let p = Prf::at(&scores, &labels, 0.5);
+        assert_eq!(p, Prf { precision: 1.0, recall: 1.0, f1: 1.0 });
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_nan() {
+        let p = Prf::at(&[0.9], &[0.0], 0.5); // only FP
+        assert_eq!(p.precision, 0.0);
+        assert_eq!(p.f1, 0.0);
+        let p = Prf::at(&[], &[], 0.5);
+        assert_eq!(p.f1, 0.0);
+    }
+
+    #[test]
+    fn sweep_monotonic_tendencies() {
+        // recall must be non-increasing in the threshold
+        let scores: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let labels: Vec<f32> = (0..100).map(|i| if i > 50 { 1.0 } else { 0.0 }).collect();
+        let pts = sweep(&scores, &labels);
+        for w in pts.windows(2) {
+            assert!(w[1].prf.recall <= w[0].prf.recall + 1e-6);
+        }
+    }
+
+    #[test]
+    fn best_threshold_finds_separator() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        let t = best_threshold(&scores, &labels);
+        let p = Prf::at(&scores, &labels, t);
+        assert_eq!(p.f1, 1.0);
+    }
+
+    #[test]
+    fn mean_median() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+}

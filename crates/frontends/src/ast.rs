@@ -1,0 +1,238 @@
+//! Shared abstract syntax tree for MiniC and MiniJava.
+//!
+//! Both parsers produce this AST; the two lowerings (`lower_c`, `lower_java`)
+//! then diverge in how they translate it to LIR — that divergence is the
+//! substance of the paper's cross-language setting.
+
+/// Surface-level type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeAst {
+    /// Integer (i64 in MiniC, i32 in MiniJava — like `long long` vs `int`).
+    Int,
+    /// Double-precision float.
+    Double,
+    /// Boolean.
+    Bool,
+    /// No value (function returns).
+    Void,
+    /// Array of `Int` or `Double` elements.
+    Array(Box<TypeAst>),
+}
+
+impl TypeAst {
+    /// Array-of-int shorthand.
+    pub fn int_array() -> TypeAst {
+        TypeAst::Array(Box::new(TypeAst::Int))
+    }
+
+    /// True for array types.
+    pub fn is_array(&self) -> bool {
+        matches!(self, TypeAst::Array(_))
+    }
+}
+
+/// Binary operators at the AST level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOpAst {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl BinOpAst {
+    /// True for comparison operators (result type bool).
+    pub fn is_cmp(&self) -> bool {
+        matches!(
+            self,
+            BinOpAst::Eq | BinOpAst::Ne | BinOpAst::Lt | BinOpAst::Le | BinOpAst::Gt | BinOpAst::Ge
+        )
+    }
+
+    /// True for the short-circuit logical operators.
+    pub fn is_logic(&self) -> bool {
+        matches!(self, BinOpAst::And | BinOpAst::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOpAst {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// Variable read.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOpAst, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOpAst, Box<Expr>, Box<Expr>),
+    /// Direct function/method call.
+    Call(String, Vec<Expr>),
+    /// Array element read: `a[i]`.
+    Index(String, Box<Expr>),
+    /// Array length (`a.length` in MiniJava, `len(a)` in MiniC).
+    Len(String),
+    /// Ternary conditional.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Assignment targets.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element.
+    Index(String, Expr),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Scalar declaration with optional initializer.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: TypeAst,
+        /// Initializer (zero when absent).
+        init: Option<Expr>,
+    },
+    /// Array declaration: `int a[n]` / `int[] a = new int[n]`.
+    DeclArray {
+        /// Variable name.
+        name: String,
+        /// Element type.
+        elem: TypeAst,
+        /// Length expression.
+        len: Expr,
+    },
+    /// Assignment.
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Two-way conditional.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        els: Vec<Stmt>,
+    },
+    /// While loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// C-style for loop.
+    For {
+        /// Init statement.
+        init: Option<Box<Stmt>>,
+        /// Loop condition (true when absent).
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Return.
+    Return(Option<Expr>),
+    /// Print an integer expression (maps to the runtime print intrinsic).
+    Print(Expr),
+    /// Expression evaluated for effects (calls).
+    ExprStmt(Expr),
+    /// Break out of the innermost loop.
+    Break,
+    /// Continue the innermost loop.
+    Continue,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDecl {
+    /// Function name (already mangled `Class_method` for MiniJava).
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, TypeAst)>,
+    /// Return type.
+    pub ret: TypeAst,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole translation unit.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Program {
+    /// Functions in declaration order.
+    pub funcs: Vec<FuncDecl>,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDecl> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+/// A front-end failure (lex, parse, or type error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<crate::lex::LexError> for FrontendError {
+    fn from(e: crate::lex::LexError) -> Self {
+        FrontendError { line: e.line, message: e.message }
+    }
+}

@@ -1,0 +1,234 @@
+//! Shared lexer for MiniC and MiniJava.
+//!
+//! Both surface languages use C-family tokens; keywords are classified by the
+//! parsers, so the lexer only distinguishes identifiers, literals, and
+//! punctuation.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// Punctuation / operator, e.g. `+`, `==`, `&&`, `[`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Punct(p) => write!(f, "{p}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its 1-based source line (for diagnostics).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS2: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "++", "--",
+];
+const PUNCTS1: &[&str] = &[
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[", "]", ";", ",", ".",
+    "?", ":", "&", "|", "^",
+];
+
+/// Tokenizes source text. `//` line comments and `/* */` block comments are
+/// skipped.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(LexError { line, message: "unterminated block comment".into() });
+                }
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Spanned { tok: Tok::Ident(src[start..i].to_string()), line });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            // fraction ⇒ float; `1.` alone stays float too
+            if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+                && (bytes[i + 1] as char).is_ascii_digit()
+            {
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let v: f64 = src[start..i]
+                    .parse()
+                    .map_err(|e| LexError { line, message: format!("bad float: {e}") })?;
+                out.push(Spanned { tok: Tok::Float(v), line });
+            } else {
+                let v: i64 = src[start..i]
+                    .parse()
+                    .map_err(|e| LexError { line, message: format!("bad integer: {e}") })?;
+                out.push(Spanned { tok: Tok::Int(v), line });
+            }
+            continue;
+        }
+        // punctuation: prefer two-char operators
+        if i + 1 < bytes.len() {
+            let two = &src[i..i + 2];
+            if let Some(p) = PUNCTS2.iter().find(|p| **p == two) {
+                out.push(Spanned { tok: Tok::Punct(p), line });
+                i += 2;
+                continue;
+            }
+        }
+        let one = &src[i..i + 1];
+        if let Some(p) = PUNCTS1.iter().find(|p| **p == one) {
+            out.push(Spanned { tok: Tok::Punct(p), line });
+            i += 1;
+            continue;
+        }
+        return Err(LexError { line, message: format!("unexpected character `{c}`") });
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("int x = 42;"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(42),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        assert_eq!(
+            toks("a<=b==c&&d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("=="),
+                Tok::Ident("c".into()),
+                Tok::Punct("&&"),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_and_ints() {
+        assert_eq!(toks("1.5 2 3.25"), vec![Tok::Float(1.5), Tok::Int(2), Tok::Float(3.25), Tok::Eof]);
+        // dot not followed by digit is punctuation (member access)
+        assert_eq!(
+            toks("a.length"),
+            vec![Tok::Ident("a".into()), Tok::Punct("."), Tok::Ident("length".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_with_line_tracking() {
+        let ts = lex("// c1\nx /* multi\nline */ y").unwrap();
+        assert_eq!(ts[0].tok, Tok::Ident("x".into()));
+        assert_eq!(ts[0].line, 2);
+        assert_eq!(ts[1].tok, Tok::Ident("y".into()));
+        assert_eq!(ts[1].line, 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("int $x;").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        assert!(lex("/* nope").is_err());
+    }
+}

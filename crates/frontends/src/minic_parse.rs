@@ -1,0 +1,557 @@
+//! Recursive-descent parser for **MiniC**, the C-like surface language
+//! (standing in for the paper's C/C++ CLCDSA solutions).
+//!
+//! ```c
+//! int sum(int n) {
+//!     int s = 0;
+//!     for (int i = 0; i < n; i = i + 1) { s += i; }
+//!     return s;
+//! }
+//! int main() { print(sum(10)); return 0; }
+//! ```
+//!
+//! Supported: `int` (64-bit), `double`, `bool`, `void`, local `int`/`double`
+//! arrays, functions, `if`/`else`, `while`, `for`, `break`/`continue`,
+//! ternary, short-circuit `&&`/`||`, compound assignment, `++`/`--`,
+//! `print(e)`, `len(a)`, and the `abs`/`min`/`max` builtins.
+
+use crate::ast::*;
+use crate::lex::{lex, Spanned, Tok};
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, FrontendError>;
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(FrontendError { line: self.line(), message: msg.into() })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(FrontendError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected identifier, found `{other}`"),
+            }),
+        }
+    }
+
+    fn peek_is_type(&self) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if matches!(s.as_str(), "int" | "double" | "bool" | "void"))
+    }
+
+    fn base_type(&mut self) -> PResult<TypeAst> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "int" => Ok(TypeAst::Int),
+            "double" => Ok(TypeAst::Double),
+            "bool" => Ok(TypeAst::Bool),
+            "void" => Ok(TypeAst::Void),
+            other => self.err(format!("unknown type `{other}`")),
+        }
+    }
+
+    fn func(&mut self) -> PResult<FuncDecl> {
+        let ret = self.base_type()?;
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let mut ty = self.base_type()?;
+                if self.eat_punct("[") {
+                    // `int[] a` style
+                    self.expect_punct("]")?;
+                    ty = TypeAst::Array(Box::new(ty));
+                }
+                let pname = self.ident()?;
+                if self.eat_punct("[") {
+                    // `int a[]` style
+                    self.expect_punct("]")?;
+                    ty = TypeAst::Array(Box::new(ty));
+                }
+                params.push((pname, ty));
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, ret, body })
+    }
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), Tok::Eof) {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn block_or_stmt(&mut self) -> PResult<Vec<Stmt>> {
+        if matches!(self.peek(), Tok::Punct("{")) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        if self.peek_is_type() {
+            let s = self.decl()?;
+            self.expect_punct(";")?;
+            return Ok(s);
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = self.block_or_stmt()?;
+            let els = if self.eat_kw("else") { self.block_or_stmt()? } else { vec![] };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block_or_stmt()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else {
+                let s = if self.peek_is_type() { self.decl()? } else { self.simple_stmt()? };
+                self.expect_punct(";")?;
+                Some(Box::new(s))
+            };
+            let cond = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            let step = if matches!(self.peek(), Tok::Punct(")")) {
+                None
+            } else {
+                Some(Box::new(self.simple_stmt()?))
+            };
+            self.expect_punct(")")?;
+            let body = self.block_or_stmt()?;
+            return Ok(Stmt::For { init, cond, step, body });
+        }
+        if self.eat_kw("return") {
+            let val = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(val));
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if matches!(self.peek(), Tok::Ident(s) if s == "print") {
+            // `print(e);`
+            self.bump();
+            self.expect_punct("(")?;
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Print(e));
+        }
+        let s = self.simple_stmt()?;
+        self.expect_punct(";")?;
+        Ok(s)
+    }
+
+    /// Declaration without trailing `;` (shared by stmt and for-init).
+    fn decl(&mut self) -> PResult<Stmt> {
+        let base = self.base_type()?;
+        // `int[] a = new-less array decl` is Java-style; MiniC uses int a[n]
+        let name = self.ident()?;
+        if self.eat_punct("[") {
+            let len = self.expr()?;
+            self.expect_punct("]")?;
+            return Ok(Stmt::DeclArray { name, elem: base, len });
+        }
+        let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+        Ok(Stmt::Decl { name, ty: base, init })
+    }
+
+    /// Assignment / compound assignment / increment / call, without `;`.
+    fn simple_stmt(&mut self) -> PResult<Stmt> {
+        let name = match self.peek().clone() {
+            Tok::Ident(s) => s,
+            other => return self.err(format!("expected statement, found `{other}`")),
+        };
+        self.bump();
+
+        // call statement
+        if matches!(self.peek(), Tok::Punct("(")) {
+            self.bump();
+            let args = self.call_args()?;
+            return Ok(Stmt::ExprStmt(Expr::Call(name, args)));
+        }
+
+        // optional index
+        let target = if self.eat_punct("[") {
+            let idx = self.expr()?;
+            self.expect_punct("]")?;
+            LValue::Index(name.clone(), idx)
+        } else {
+            LValue::Var(name.clone())
+        };
+
+        let read_back = || match &target {
+            LValue::Var(n) => Expr::Var(n.clone()),
+            LValue::Index(n, i) => Expr::Index(n.clone(), Box::new(i.clone())),
+        };
+
+        if self.eat_punct("=") {
+            let value = self.expr()?;
+            return Ok(Stmt::Assign { target, value });
+        }
+        for (p, op) in [
+            ("+=", BinOpAst::Add),
+            ("-=", BinOpAst::Sub),
+            ("*=", BinOpAst::Mul),
+            ("/=", BinOpAst::Div),
+            ("%=", BinOpAst::Rem),
+        ] {
+            if self.eat_punct(p) {
+                let rhs = self.expr()?;
+                let value = Expr::Binary(op, Box::new(read_back()), Box::new(rhs));
+                return Ok(Stmt::Assign { target, value });
+            }
+        }
+        if self.eat_punct("++") {
+            let value = Expr::Binary(BinOpAst::Add, Box::new(read_back()), Box::new(Expr::IntLit(1)));
+            return Ok(Stmt::Assign { target, value });
+        }
+        if self.eat_punct("--") {
+            let value = Expr::Binary(BinOpAst::Sub, Box::new(read_back()), Box::new(Expr::IntLit(1)));
+            return Ok(Stmt::Assign { target, value });
+        }
+        self.err(format!("expected assignment operator, found `{}`", self.peek()))
+    }
+
+    fn call_args(&mut self) -> PResult<Vec<Expr>> {
+        let mut args = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if self.eat_punct(")") {
+                return Ok(args);
+            }
+            self.expect_punct(",")?;
+        }
+    }
+
+    // expression precedence climbing -----------------------------------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> PResult<Expr> {
+        let cond = self.logic_or()?;
+        if self.eat_punct("?") {
+            let a = self.expr()?;
+            self.expect_punct(":")?;
+            let b = self.expr()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logic_or(&mut self) -> PResult<Expr> {
+        let mut lhs = self.logic_and()?;
+        while self.eat_punct("||") {
+            let rhs = self.logic_and()?;
+            lhs = Expr::Binary(BinOpAst::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn logic_and(&mut self) -> PResult<Expr> {
+        let mut lhs = self.equality()?;
+        while self.eat_punct("&&") {
+            let rhs = self.equality()?;
+            lhs = Expr::Binary(BinOpAst::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> PResult<Expr> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = if self.eat_punct("==") {
+                BinOpAst::Eq
+            } else if self.eat_punct("!=") {
+                BinOpAst::Ne
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.relational()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn relational(&mut self) -> PResult<Expr> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = if self.eat_punct("<=") {
+                BinOpAst::Le
+            } else if self.eat_punct(">=") {
+                BinOpAst::Ge
+            } else if self.eat_punct("<") {
+                BinOpAst::Lt
+            } else if self.eat_punct(">") {
+                BinOpAst::Gt
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.additive()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn additive(&mut self) -> PResult<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                BinOpAst::Add
+            } else if self.eat_punct("-") {
+                BinOpAst::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn multiplicative(&mut self) -> PResult<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                BinOpAst::Mul
+            } else if self.eat_punct("/") {
+                BinOpAst::Div
+            } else if self.eat_punct("%") {
+                BinOpAst::Rem
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary(UnOpAst::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary(UnOpAst::Not, Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> PResult<Expr> {
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::IntLit(v)),
+            Tok::Float(v) => Ok(Expr::FloatLit(v)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "true" => return Ok(Expr::BoolLit(true)),
+                    "false" => return Ok(Expr::BoolLit(false)),
+                    _ => {}
+                }
+                if self.eat_punct("(") {
+                    let args = self.call_args()?;
+                    // `len(a)` builtin reads an array's length
+                    if name == "len" && args.len() == 1 {
+                        if let Expr::Var(v) = &args[0] {
+                            return Ok(Expr::Len(v.clone()));
+                        }
+                    }
+                    return Ok(Expr::Call(name, args));
+                }
+                if self.eat_punct("[") {
+                    let idx = self.expr()?;
+                    self.expect_punct("]")?;
+                    return Ok(Expr::Index(name, Box::new(idx)));
+                }
+                Ok(Expr::Var(name))
+            }
+            other => Err(FrontendError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected expression, found `{other}`"),
+            }),
+        }
+    }
+}
+
+/// Parses a MiniC translation unit.
+pub fn parse(src: &str) -> Result<Program, FrontendError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut prog = Program::default();
+    while !matches!(p.peek(), Tok::Eof) {
+        prog.funcs.push(p.func()?);
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_loop() {
+        let src = "int sum(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }";
+        let prog = parse(src).unwrap();
+        let f = prog.func("sum").unwrap();
+        assert_eq!(f.params, vec![("n".to_string(), TypeAst::Int)]);
+        assert_eq!(f.ret, TypeAst::Int);
+        assert_eq!(f.body.len(), 3);
+        assert!(matches!(&f.body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_arrays_and_len() {
+        let src = "int first(int a[]) { if (len(a) > 0) { return a[0]; } return -1; }";
+        let prog = parse(src).unwrap();
+        let f = prog.func("first").unwrap();
+        assert_eq!(f.params[0].1, TypeAst::int_array());
+        match &f.body[0] {
+            Stmt::If { cond, .. } => {
+                assert!(matches!(cond, Expr::Binary(BinOpAst::Gt, l, _) if matches!(**l, Expr::Len(_))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_local_array_decl() {
+        let src = "void f() { int buf[10]; buf[3] = 7; }";
+        let prog = parse(src).unwrap();
+        assert!(matches!(&prog.funcs[0].body[0], Stmt::DeclArray { .. }));
+        assert!(matches!(&prog.funcs[0].body[1], Stmt::Assign { target: LValue::Index(..), .. }));
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let src = "int f() { return 1 + 2 * 3 < 7 && 4 > 3 || 0 == 1; }";
+        let prog = parse(src).unwrap();
+        match &prog.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Binary(BinOpAst::Or, _, _))) => {}
+            other => panic!("top should be ||: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_ternary_and_unary() {
+        let src = "int f(int x) { return x > 0 ? x : -x; }";
+        let prog = parse(src).unwrap();
+        match &prog.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Ternary(..))) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let src = "void f() { int x = 1; x *= 3; x--; }";
+        let prog = parse(src).unwrap();
+        match &prog.funcs[0].body[1] {
+            Stmt::Assign { value: Expr::Binary(BinOpAst::Mul, ..), .. } => {}
+            other => panic!("{other:?}"),
+        }
+        match &prog.funcs[0].body[2] {
+            Stmt::Assign { value: Expr::Binary(BinOpAst::Sub, ..), .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn print_statement() {
+        let src = "void f() { print(42); }";
+        let prog = parse(src).unwrap();
+        assert!(matches!(&prog.funcs[0].body[0], Stmt::Print(Expr::IntLit(42))));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "int f() {\n  return 1 +;\n}";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn while_break_continue() {
+        let src = "void f() { while (true) { if (false) { break; } continue; } }";
+        let prog = parse(src).unwrap();
+        assert!(matches!(&prog.funcs[0].body[0], Stmt::While { .. }));
+    }
+}

@@ -1,0 +1,640 @@
+//! Recursive-descent parser for **MiniJava**, the Java-like surface language
+//! (standing in for the paper's Java CLCDSA solutions).
+//!
+//! ```java
+//! class Main {
+//!     static int sum(int n) {
+//!         int s = 0;
+//!         for (int i = 0; i < n; i++) { s += i; }
+//!         return s;
+//!     }
+//!     public static void main(String[] args) {
+//!         System.out.println(sum(10));
+//!     }
+//! }
+//! ```
+//!
+//! Classes hold static methods only (competitive-programming style, like the
+//! CLCDSA corpus). Methods are mangled to `Class_method` at parse time so the
+//! downstream pipeline sees plain functions. Java-isms handled here:
+//! `new int[n]`, `a.length`, `System.out.println`, `Math.abs/min/max`
+//! (mapped to `jv_*` runtime calls), and `boolean`.
+
+use crate::ast::*;
+use crate::lex::{lex, Spanned, Tok};
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    class: String,
+}
+
+type PResult<T> = Result<T, FrontendError>;
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(FrontendError { line: self.line(), message: msg.into() })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(FrontendError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected identifier, found `{other}`"),
+            }),
+        }
+    }
+
+    fn peek_is_base_type(&self) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if matches!(s.as_str(), "int" | "double" | "boolean" | "void"))
+    }
+
+    fn ty(&mut self) -> PResult<TypeAst> {
+        let name = self.ident()?;
+        let base = match name.as_str() {
+            "int" => TypeAst::Int,
+            "double" => TypeAst::Double,
+            "boolean" => TypeAst::Bool,
+            "void" => TypeAst::Void,
+            other => return self.err(format!("unknown type `{other}`")),
+        };
+        if self.eat_punct("[") {
+            self.expect_punct("]")?;
+            Ok(TypeAst::Array(Box::new(base)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn class(&mut self, prog: &mut Program) -> PResult<()> {
+        self.expect_kw("class")?;
+        self.class = self.ident()?;
+        self.expect_punct("{")?;
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), Tok::Eof) {
+                return self.err("unterminated class body");
+            }
+            prog.funcs.push(self.method()?);
+        }
+        Ok(())
+    }
+
+    fn method(&mut self) -> PResult<FuncDecl> {
+        let _ = self.eat_kw("public");
+        self.expect_kw("static")?;
+        let ret = self.ty()?;
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                // `String[] args` in main is accepted and dropped
+                if matches!(self.peek(), Tok::Ident(s) if s == "String") {
+                    self.bump();
+                    self.expect_punct("[")?;
+                    self.expect_punct("]")?;
+                    let _ = self.ident()?;
+                } else {
+                    let ty = self.ty()?;
+                    let pname = self.ident()?;
+                    params.push((pname, ty));
+                }
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        let mangled = format!("{}_{}", self.class, name);
+        Ok(FuncDecl { name: mangled, params, ret, body })
+    }
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), Tok::Eof) {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn block_or_stmt(&mut self) -> PResult<Vec<Stmt>> {
+        if matches!(self.peek(), Tok::Punct("{")) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        if self.peek_is_base_type() {
+            let s = self.decl()?;
+            self.expect_punct(";")?;
+            return Ok(s);
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = self.block_or_stmt()?;
+            let els = if self.eat_kw("else") { self.block_or_stmt()? } else { vec![] };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block_or_stmt()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else {
+                let s = if self.peek_is_base_type() { self.decl()? } else { self.simple_stmt()? };
+                self.expect_punct(";")?;
+                Some(Box::new(s))
+            };
+            let cond = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            let step = if matches!(self.peek(), Tok::Punct(")")) {
+                None
+            } else {
+                Some(Box::new(self.simple_stmt()?))
+            };
+            self.expect_punct(")")?;
+            let body = self.block_or_stmt()?;
+            return Ok(Stmt::For { init, cond, step, body });
+        }
+        if self.eat_kw("return") {
+            let val = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(val));
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        // `System.out.println(e);`
+        if matches!(self.peek(), Tok::Ident(s) if s == "System") {
+            self.bump();
+            self.expect_punct(".")?;
+            self.expect_kw("out")?;
+            self.expect_punct(".")?;
+            self.expect_kw("println")?;
+            self.expect_punct("(")?;
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Print(e));
+        }
+        let s = self.simple_stmt()?;
+        self.expect_punct(";")?;
+        Ok(s)
+    }
+
+    fn decl(&mut self) -> PResult<Stmt> {
+        let ty = self.ty()?;
+        let name = self.ident()?;
+        if ty.is_array() {
+            // `int[] a = new int[expr];`
+            self.expect_punct("=")?;
+            self.expect_kw("new")?;
+            let elem = match &ty {
+                TypeAst::Array(e) => (**e).clone(),
+                _ => unreachable!(),
+            };
+            let elem_kw = match elem {
+                TypeAst::Int => "int",
+                TypeAst::Double => "double",
+                _ => return self.err("only int[]/double[] arrays supported"),
+            };
+            self.expect_kw(elem_kw)?;
+            self.expect_punct("[")?;
+            let len = self.expr()?;
+            self.expect_punct("]")?;
+            return Ok(Stmt::DeclArray { name, elem, len });
+        }
+        let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+        Ok(Stmt::Decl { name, ty, init })
+    }
+
+    fn simple_stmt(&mut self) -> PResult<Stmt> {
+        let name = match self.peek().clone() {
+            Tok::Ident(s) => s,
+            other => return self.err(format!("expected statement, found `{other}`")),
+        };
+        self.bump();
+
+        // qualified call statement `Other.method(...)`
+        if matches!(self.peek(), Tok::Punct(".")) && matches!(self.peek2(), Tok::Ident(_)) {
+            self.bump();
+            let method = self.ident()?;
+            self.expect_punct("(")?;
+            let args = self.call_args()?;
+            return Ok(Stmt::ExprStmt(self.qualified_call(&name, &method, args)?));
+        }
+        if matches!(self.peek(), Tok::Punct("(")) {
+            self.bump();
+            let args = self.call_args()?;
+            return Ok(Stmt::ExprStmt(Expr::Call(format!("{}_{}", self.class, name), args)));
+        }
+
+        let target = if self.eat_punct("[") {
+            let idx = self.expr()?;
+            self.expect_punct("]")?;
+            LValue::Index(name.clone(), idx)
+        } else {
+            LValue::Var(name.clone())
+        };
+        let read_back = || match &target {
+            LValue::Var(n) => Expr::Var(n.clone()),
+            LValue::Index(n, i) => Expr::Index(n.clone(), Box::new(i.clone())),
+        };
+
+        if self.eat_punct("=") {
+            let value = self.expr()?;
+            return Ok(Stmt::Assign { target, value });
+        }
+        for (p, op) in [
+            ("+=", BinOpAst::Add),
+            ("-=", BinOpAst::Sub),
+            ("*=", BinOpAst::Mul),
+            ("/=", BinOpAst::Div),
+            ("%=", BinOpAst::Rem),
+        ] {
+            if self.eat_punct(p) {
+                let rhs = self.expr()?;
+                let value = Expr::Binary(op, Box::new(read_back()), Box::new(rhs));
+                return Ok(Stmt::Assign { target, value });
+            }
+        }
+        if self.eat_punct("++") {
+            let value = Expr::Binary(BinOpAst::Add, Box::new(read_back()), Box::new(Expr::IntLit(1)));
+            return Ok(Stmt::Assign { target, value });
+        }
+        if self.eat_punct("--") {
+            let value = Expr::Binary(BinOpAst::Sub, Box::new(read_back()), Box::new(Expr::IntLit(1)));
+            return Ok(Stmt::Assign { target, value });
+        }
+        self.err(format!("expected assignment operator, found `{}`", self.peek()))
+    }
+
+    fn qualified_call(&self, qualifier: &str, method: &str, args: Vec<Expr>) -> PResult<Expr> {
+        if qualifier == "Math" {
+            let rt = match method {
+                "abs" => "jv_abs",
+                "min" => "jv_min",
+                "max" => "jv_max",
+                other => return self.err(format!("unsupported Math.{other}")),
+            };
+            return Ok(Expr::Call(rt.to_string(), args));
+        }
+        Ok(Expr::Call(format!("{qualifier}_{method}"), args))
+    }
+
+    fn call_args(&mut self) -> PResult<Vec<Expr>> {
+        let mut args = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if self.eat_punct(")") {
+                return Ok(args);
+            }
+            self.expect_punct(",")?;
+        }
+    }
+
+    // expressions -------------------------------------------------------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> PResult<Expr> {
+        let cond = self.logic_or()?;
+        if self.eat_punct("?") {
+            let a = self.expr()?;
+            self.expect_punct(":")?;
+            let b = self.expr()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logic_or(&mut self) -> PResult<Expr> {
+        let mut lhs = self.logic_and()?;
+        while self.eat_punct("||") {
+            let rhs = self.logic_and()?;
+            lhs = Expr::Binary(BinOpAst::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn logic_and(&mut self) -> PResult<Expr> {
+        let mut lhs = self.equality()?;
+        while self.eat_punct("&&") {
+            let rhs = self.equality()?;
+            lhs = Expr::Binary(BinOpAst::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> PResult<Expr> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = if self.eat_punct("==") {
+                BinOpAst::Eq
+            } else if self.eat_punct("!=") {
+                BinOpAst::Ne
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.relational()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn relational(&mut self) -> PResult<Expr> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = if self.eat_punct("<=") {
+                BinOpAst::Le
+            } else if self.eat_punct(">=") {
+                BinOpAst::Ge
+            } else if self.eat_punct("<") {
+                BinOpAst::Lt
+            } else if self.eat_punct(">") {
+                BinOpAst::Gt
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.additive()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn additive(&mut self) -> PResult<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                BinOpAst::Add
+            } else if self.eat_punct("-") {
+                BinOpAst::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn multiplicative(&mut self) -> PResult<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                BinOpAst::Mul
+            } else if self.eat_punct("/") {
+                BinOpAst::Div
+            } else if self.eat_punct("%") {
+                BinOpAst::Rem
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary(UnOpAst::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary(UnOpAst::Not, Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> PResult<Expr> {
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::IntLit(v)),
+            Tok::Float(v) => Ok(Expr::FloatLit(v)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "true" => return Ok(Expr::BoolLit(true)),
+                    "false" => return Ok(Expr::BoolLit(false)),
+                    _ => {}
+                }
+                // `x.length` / `Qualifier.method(args)`
+                if matches!(self.peek(), Tok::Punct(".")) {
+                    self.bump();
+                    let member = self.ident()?;
+                    if member == "length" {
+                        return Ok(Expr::Len(name));
+                    }
+                    self.expect_punct("(")?;
+                    let args = self.call_args()?;
+                    return self.qualified_call(&name, &member, args);
+                }
+                if self.eat_punct("(") {
+                    let args = self.call_args()?;
+                    return Ok(Expr::Call(format!("{}_{}", self.class, name), args));
+                }
+                if self.eat_punct("[") {
+                    let idx = self.expr()?;
+                    self.expect_punct("]")?;
+                    return Ok(Expr::Index(name, Box::new(idx)));
+                }
+                Ok(Expr::Var(name))
+            }
+            other => Err(FrontendError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected expression, found `{other}`"),
+            }),
+        }
+    }
+}
+
+/// Parses a MiniJava compilation unit (one or more classes).
+pub fn parse(src: &str) -> Result<Program, FrontendError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, class: String::new() };
+    let mut prog = Program::default();
+    while !matches!(p.peek(), Tok::Eof) {
+        p.class(&mut prog)?;
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HELLO: &str = r#"
+class Main {
+    static int sum(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) { s += i; }
+        return s;
+    }
+    public static void main(String[] args) {
+        System.out.println(sum(10));
+    }
+}
+"#;
+
+    #[test]
+    fn parses_class_and_mangles_methods() {
+        let prog = parse(HELLO).unwrap();
+        assert!(prog.func("Main_sum").is_some());
+        assert!(prog.func("Main_main").is_some());
+        // main's String[] args param is dropped
+        assert!(prog.func("Main_main").unwrap().params.is_empty());
+    }
+
+    #[test]
+    fn println_becomes_print() {
+        let prog = parse(HELLO).unwrap();
+        let main = prog.func("Main_main").unwrap();
+        match &main.body[0] {
+            Stmt::Print(Expr::Call(name, _)) => assert_eq!(name, "Main_sum"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_array_and_length() {
+        let src = r#"
+class A {
+    static int f(int n) {
+        int[] a = new int[n];
+        a[0] = 5;
+        return a[0] + a.length;
+    }
+}
+"#;
+        let prog = parse(src).unwrap();
+        let f = prog.func("A_f").unwrap();
+        assert!(matches!(&f.body[0], Stmt::DeclArray { elem: TypeAst::Int, .. }));
+        match &f.body[2] {
+            Stmt::Return(Some(Expr::Binary(BinOpAst::Add, l, r))) => {
+                assert!(matches!(**l, Expr::Index(..)));
+                assert!(matches!(**r, Expr::Len(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn math_builtins_map_to_runtime() {
+        let src = "class B { static int g(int x) { return Math.abs(x) + Math.max(x, 2); } }";
+        let prog = parse(src).unwrap();
+        match &prog.func("B_g").unwrap().body[0] {
+            Stmt::Return(Some(Expr::Binary(_, l, r))) => {
+                assert!(matches!(&**l, Expr::Call(n, _) if n == "jv_abs"));
+                assert!(matches!(&**r, Expr::Call(n, _) if n == "jv_max"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_class_calls_mangle_with_qualifier() {
+        let src = r#"
+class Util { static int id(int x) { return x; } }
+class Main { static int h() { return Util.id(3); } }
+"#;
+        let prog = parse(src).unwrap();
+        match &prog.func("Main_h").unwrap().body[0] {
+            Stmt::Return(Some(Expr::Call(n, _))) => assert_eq!(n, "Util_id"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_type_accepted() {
+        let src = "class C { static boolean f(boolean b) { return !b; } }";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.func("C_f").unwrap().ret, TypeAst::Bool);
+    }
+
+    #[test]
+    fn error_line_tracking() {
+        let src = "class D {\n  static int f() {\n    return 1 +;\n  }\n}";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

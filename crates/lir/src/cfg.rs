@@ -1,0 +1,240 @@
+//! Control-flow-graph utilities: successors/predecessors, reverse postorder,
+//! reachability, and dominators (Cooper–Harvey–Kennedy).
+
+use crate::module::{BlockId, Function, InstKind};
+
+/// Successor block ids of `bb` (from its terminator).
+pub fn successors(f: &Function, bb: BlockId) -> Vec<BlockId> {
+    match f.blocks[bb.0 as usize].terminator().map(|t| &t.kind) {
+        Some(InstKind::Br { target }) => vec![*target],
+        Some(InstKind::CondBr { then_bb, else_bb, .. }) => {
+            if then_bb == else_bb {
+                vec![*then_bb]
+            } else {
+                vec![*then_bb, *else_bb]
+            }
+        }
+        _ => vec![],
+    }
+}
+
+/// Predecessor lists for every block, indexed by block id.
+pub fn predecessors(f: &Function) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for b in &f.blocks {
+        for s in successors(f, b.id) {
+            preds[s.0 as usize].push(b.id);
+        }
+    }
+    preds
+}
+
+/// Blocks reachable from the entry, as a bitset indexed by block id.
+pub fn reachable(f: &Function) -> Vec<bool> {
+    let mut seen = vec![false; f.blocks.len()];
+    if f.blocks.is_empty() {
+        return seen;
+    }
+    let mut stack = vec![BlockId(0)];
+    seen[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in successors(f, b) {
+            if !seen[s.0 as usize] {
+                seen[s.0 as usize] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Reverse postorder over reachable blocks starting at the entry.
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    let mut post = Vec::with_capacity(n);
+    if n == 0 {
+        return post;
+    }
+    // iterative DFS with explicit successor cursor
+    let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+    state[0] = 1;
+    while let Some(&mut (b, ref mut cursor)) = stack.last_mut() {
+        let succs = successors(f, b);
+        if *cursor < succs.len() {
+            let s = succs[*cursor];
+            *cursor += 1;
+            if state[s.0 as usize] == 0 {
+                state[s.0 as usize] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[b.0 as usize] = 2;
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Immediate dominators, indexed by block id (`idom[entry] == entry`;
+/// unreachable blocks map to `None`).
+pub fn dominators(f: &Function) -> Vec<Option<BlockId>> {
+    let n = f.blocks.len();
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    if n == 0 {
+        return idom;
+    }
+    let rpo = reverse_postorder(f);
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, b) in rpo.iter().enumerate() {
+        rpo_index[b.0 as usize] = i;
+    }
+    let preds = predecessors(f);
+    idom[0] = Some(BlockId(0));
+
+    let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+        while a != b {
+            while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+                a = idom[a.0 as usize].expect("processed");
+            }
+            while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+                b = idom[b.0 as usize].expect("processed");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.0 as usize] {
+                if idom[p.0 as usize].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.0 as usize] != Some(ni) {
+                    idom[b.0 as usize] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// True when block `a` dominates block `b`.
+pub fn dominates(idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom[cur.0 as usize] {
+            Some(d) if d != cur => cur = d,
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{FunctionBuilder, IcmpPred, Operand};
+    use crate::types::Ty;
+
+    /// Diamond: bb0 → {bb1, bb2} → bb3.
+    fn diamond() -> crate::module::Function {
+        let mut fb = FunctionBuilder::new("d", vec![Ty::I64], Ty::I64);
+        let bb0 = fb.entry_block();
+        let bb1 = fb.add_block();
+        let bb2 = fb.add_block();
+        let bb3 = fb.add_block();
+        let p = fb.param_operand(0);
+        let c = fb.icmp(bb0, IcmpPred::Sgt, Ty::I64, p.clone(), Operand::const_i64(0));
+        fb.cond_br(bb0, c, bb1, bb2);
+        fb.br(bb1, bb3);
+        fb.br(bb2, bb3);
+        fb.ret(bb3, Some(p));
+        fb.finish()
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let f = diamond();
+        assert_eq!(successors(&f, BlockId(0)), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(successors(&f, BlockId(3)), vec![]);
+        let preds = predecessors(&f);
+        assert_eq!(preds[3], vec![BlockId(1), BlockId(2)]);
+        assert!(preds[0].is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = diamond();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        // bb3 must come after bb1 and bb2
+        let pos = |b: u32| rpo.iter().position(|x| x.0 == b).unwrap();
+        assert!(pos(3) > pos(1));
+        assert!(pos(3) > pos(2));
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let f = diamond();
+        let idom = dominators(&f);
+        assert_eq!(idom[0], Some(BlockId(0)));
+        assert_eq!(idom[1], Some(BlockId(0)));
+        assert_eq!(idom[2], Some(BlockId(0)));
+        // join point is dominated by the entry, not by either branch
+        assert_eq!(idom[3], Some(BlockId(0)));
+        assert!(dominates(&idom, BlockId(0), BlockId(3)));
+        assert!(!dominates(&idom, BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_detected() {
+        let mut fb = FunctionBuilder::new("u", vec![], Ty::Void);
+        let bb0 = fb.entry_block();
+        let dead = fb.add_block();
+        fb.ret(bb0, None);
+        fb.ret(dead, None);
+        let f = fb.finish();
+        let r = reachable(&f);
+        assert!(r[0]);
+        assert!(!r[1]);
+        assert_eq!(dominators(&f)[1], None);
+    }
+
+    #[test]
+    fn loop_cfg_dominators() {
+        // bb0 → bb1 (header) → bb2 (body) → bb1 ; bb1 → bb3 (exit)
+        let mut fb = FunctionBuilder::new("l", vec![Ty::I64], Ty::Void);
+        let bb0 = fb.entry_block();
+        let bb1 = fb.add_block();
+        let bb2 = fb.add_block();
+        let bb3 = fb.add_block();
+        fb.br(bb0, bb1);
+        let p = fb.param_operand(0);
+        let c = fb.icmp(bb1, IcmpPred::Slt, Ty::I64, p, Operand::const_i64(10));
+        fb.cond_br(bb1, c, bb2, bb3);
+        fb.br(bb2, bb1);
+        fb.ret(bb3, None);
+        let f = fb.finish();
+        let idom = dominators(&f);
+        assert_eq!(idom[1], Some(BlockId(0)));
+        assert_eq!(idom[2], Some(BlockId(1)));
+        assert_eq!(idom[3], Some(BlockId(1)));
+        assert!(dominates(&idom, BlockId(1), BlockId(2)));
+    }
+}

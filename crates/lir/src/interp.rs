@@ -1,0 +1,662 @@
+//! A fuel-limited LIR interpreter.
+//!
+//! The test suite uses interpretation as the semantic oracle: a transformed
+//! module (optimized, or compiled to VISA and decompiled back) must produce
+//! the same observable output — the sequence of `rt_print_*` calls plus the
+//! return value — as the original.
+//!
+//! Memory is a flat byte array: globals are laid out at startup, `alloca`
+//! and the `rt_alloc` intrinsic bump-allocate after them. Address 0 is kept
+//! unmapped so null dereferences fault.
+
+use std::collections::HashMap;
+
+use crate::module::{
+    BinOp, BlockId, CastKind, GlobalInit, InstKind, Module, Operand, ValueId,
+};
+use crate::types::Ty;
+
+/// A runtime value: integer/pointer (`I`) or double (`F`).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Val {
+    /// Integer, boolean, or address.
+    I(i64),
+    /// Double.
+    F(f64),
+}
+
+impl Val {
+    /// Integer payload (panics on a float — a type error upstream).
+    pub fn as_i(&self) -> i64 {
+        match self {
+            Val::I(v) => *v,
+            Val::F(v) => *v as i64,
+        }
+    }
+
+    /// Float payload.
+    pub fn as_f(&self) -> f64 {
+        match self {
+            Val::I(v) => *v as f64,
+            Val::F(v) => *v,
+        }
+    }
+}
+
+/// Why execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Instruction budget exhausted.
+    OutOfFuel,
+    /// `rt_trap` was called (bounds/null check failure) or `unreachable` hit.
+    Trap(String),
+    /// Call to a function that has no body and is not an intrinsic.
+    MissingFunction(String),
+    /// Out-of-range load/store.
+    BadMemAccess(i64),
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Call stack exceeded the frame limit.
+    StackOverflow,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::OutOfFuel => write!(f, "out of fuel"),
+            ExecError::Trap(m) => write!(f, "trap: {m}"),
+            ExecError::MissingFunction(n) => write!(f, "missing function @{n}"),
+            ExecError::BadMemAccess(a) => write!(f, "bad memory access at {a}"),
+            ExecError::DivByZero => write!(f, "division by zero"),
+            ExecError::StackOverflow => write!(f, "stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of a successful run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Function return value (None for void).
+    pub ret: Option<Val>,
+    /// Values printed via `rt_print_i64` / `rt_print_f64` (floats as bits).
+    pub output: Vec<i64>,
+    /// Instructions executed.
+    pub executed: u64,
+}
+
+const MAX_FRAMES: usize = 512;
+
+/// Interpreter state for one module.
+pub struct Interp<'m> {
+    module: &'m Module,
+    mem: Vec<u8>,
+    globals: HashMap<&'m str, i64>,
+    fuel: u64,
+    executed: u64,
+    output: Vec<i64>,
+}
+
+impl<'m> Interp<'m> {
+    /// Builds an interpreter with the given instruction budget.
+    pub fn new(module: &'m Module, fuel: u64) -> Self {
+        let mut mem = vec![0u8; 64]; // low guard region; address 0 stays null
+        let mut globals = HashMap::new();
+        for g in &module.globals {
+            let addr = mem.len() as i64;
+            globals.insert(g.name.as_str(), addr);
+            let size = g.ty.size_bytes().max(1);
+            let mut bytes = vec![0u8; size];
+            match &g.init {
+                GlobalInit::Zero => {}
+                GlobalInit::I64s(words) => {
+                    for (i, w) in words.iter().enumerate() {
+                        let off = i * 8;
+                        if off + 8 <= size {
+                            bytes[off..off + 8].copy_from_slice(&w.to_le_bytes());
+                        }
+                    }
+                }
+                GlobalInit::Bytes(bs) => {
+                    let n = bs.len().min(size);
+                    bytes[..n].copy_from_slice(&bs[..n]);
+                }
+            }
+            mem.extend_from_slice(&bytes);
+            // 8-byte align the next global
+            while mem.len() % 8 != 0 {
+                mem.push(0);
+            }
+        }
+        Interp { module, mem, globals, fuel, executed: 0, output: Vec::new() }
+    }
+
+    /// Runs `name(args)` to completion.
+    pub fn run(mut self, name: &str, args: &[Val]) -> Result<Outcome, ExecError> {
+        let ret = self.call(name, args, 0)?;
+        Ok(Outcome { ret, output: self.output, executed: self.executed })
+    }
+
+    fn alloc(&mut self, bytes: usize) -> i64 {
+        let addr = self.mem.len() as i64;
+        self.mem.extend(std::iter::repeat_n(0u8, bytes.max(1)));
+        while self.mem.len() % 8 != 0 {
+            self.mem.push(0);
+        }
+        addr
+    }
+
+    fn load(&self, addr: i64, ty: &Ty) -> Result<Val, ExecError> {
+        let size = ty.size_bytes();
+        if addr < 8 || (addr as usize) + size > self.mem.len() {
+            return Err(ExecError::BadMemAccess(addr));
+        }
+        let a = addr as usize;
+        Ok(match ty {
+            Ty::I1 => Val::I((self.mem[a] & 1) as i64),
+            Ty::I8 => Val::I(self.mem[a] as i8 as i64),
+            Ty::I32 => {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&self.mem[a..a + 4]);
+                Val::I(i32::from_le_bytes(b) as i64)
+            }
+            Ty::F64 => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&self.mem[a..a + 8]);
+                Val::F(f64::from_le_bytes(b))
+            }
+            _ => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&self.mem[a..a + 8]);
+                Val::I(i64::from_le_bytes(b))
+            }
+        })
+    }
+
+    fn store(&mut self, addr: i64, ty: &Ty, v: Val) -> Result<(), ExecError> {
+        let size = ty.size_bytes();
+        if addr < 8 || (addr as usize) + size > self.mem.len() {
+            return Err(ExecError::BadMemAccess(addr));
+        }
+        let a = addr as usize;
+        match ty {
+            Ty::I1 | Ty::I8 => self.mem[a] = v.as_i() as u8,
+            Ty::I32 => self.mem[a..a + 4].copy_from_slice(&(v.as_i() as i32).to_le_bytes()),
+            Ty::F64 => self.mem[a..a + 8].copy_from_slice(&v.as_f().to_le_bytes()),
+            _ => self.mem[a..a + 8].copy_from_slice(&v.as_i().to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    fn intrinsic(&mut self, name: &str, args: &[Val]) -> Result<Option<Option<Val>>, ExecError> {
+        match name {
+            "rt_print_i64" => {
+                self.output.push(args.first().map(Val::as_i).unwrap_or(0));
+                Ok(Some(None))
+            }
+            "rt_print_f64" => {
+                self.output
+                    .push(args.first().map(|v| v.as_f().to_bits() as i64).unwrap_or(0));
+                Ok(Some(None))
+            }
+            "rt_alloc" => {
+                let n = args.first().map(Val::as_i).unwrap_or(0).max(0) as usize;
+                let addr = self.alloc(n);
+                Ok(Some(Some(Val::I(addr))))
+            }
+            "rt_trap" => Err(ExecError::Trap("rt_trap".into())),
+            "rt_abs_i64" => Ok(Some(Some(Val::I(args[0].as_i().wrapping_abs())))),
+            "rt_min_i64" => Ok(Some(Some(Val::I(args[0].as_i().min(args[1].as_i()))))),
+            "rt_max_i64" => Ok(Some(Some(Val::I(args[0].as_i().max(args[1].as_i()))))),
+            _ => Ok(None),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: &[Val], depth: usize) -> Result<Option<Val>, ExecError> {
+        if depth >= MAX_FRAMES {
+            return Err(ExecError::StackOverflow);
+        }
+        if let Some(r) = self.intrinsic(name, args)? {
+            return Ok(r);
+        }
+        let f = self
+            .module
+            .function(name)
+            .filter(|f| !f.is_declaration())
+            .ok_or_else(|| ExecError::MissingFunction(name.to_string()))?;
+
+        let mut vals: Vec<Option<Val>> = vec![None; f.next_value as usize];
+        for (i, a) in args.iter().enumerate().take(f.params.len()) {
+            vals[i] = Some(*a);
+        }
+        let mut block = BlockId(0);
+        let mut prev: Option<BlockId> = None;
+        loop {
+            // φ nodes read their inputs simultaneously on block entry
+            let blk = &f.blocks[block.0 as usize];
+            let mut phi_writes: Vec<(ValueId, Val)> = Vec::new();
+            for inst in &blk.insts {
+                if let InstKind::Phi { incomings, .. } = &inst.kind {
+                    let from = prev.expect("phi in entry block");
+                    let (op, _) = incomings
+                        .iter()
+                        .find(|(_, b)| *b == from)
+                        .ok_or_else(|| ExecError::Trap(format!("phi missing edge bb{}", from.0)))?;
+                    let v = self.operand(op, &vals)?;
+                    phi_writes.push((inst.result.unwrap(), v));
+                } else {
+                    break; // φs are grouped at the block head by construction
+                }
+            }
+            for (r, v) in phi_writes {
+                vals[r.0 as usize] = Some(v);
+            }
+
+            let mut next: Option<(BlockId, BlockId)> = None;
+            let start = blk
+                .insts
+                .iter()
+                .take_while(|i| matches!(i.kind, InstKind::Phi { .. }))
+                .count();
+            for inst in &blk.insts[start..] {
+                if self.executed >= self.fuel {
+                    return Err(ExecError::OutOfFuel);
+                }
+                self.executed += 1;
+                match &inst.kind {
+                    InstKind::Phi { .. } => {
+                        return Err(ExecError::Trap("phi after non-phi".into()))
+                    }
+                    InstKind::Alloca { ty } => {
+                        let addr = self.alloc(ty.size_bytes());
+                        vals[inst.result.unwrap().0 as usize] = Some(Val::I(addr));
+                    }
+                    InstKind::Load { ty, ptr } => {
+                        let a = self.operand(ptr, &vals)?.as_i();
+                        let v = self.load(a, ty)?;
+                        vals[inst.result.unwrap().0 as usize] = Some(v);
+                    }
+                    InstKind::Store { ty, val, ptr } => {
+                        let v = self.operand(val, &vals)?;
+                        let a = self.operand(ptr, &vals)?.as_i();
+                        self.store(a, ty, v)?;
+                    }
+                    InstKind::Bin { op, ty, lhs, rhs } => {
+                        let a = self.operand(lhs, &vals)?;
+                        let b = self.operand(rhs, &vals)?;
+                        let v = if *ty == Ty::F64 {
+                            Val::F(eval_fbin(*op, a.as_f(), b.as_f()))
+                        } else {
+                            Val::I(normalize(eval_ibin(*op, a.as_i(), b.as_i())?, ty))
+                        };
+                        vals[inst.result.unwrap().0 as usize] = Some(v);
+                    }
+                    InstKind::Icmp { pred, ty, lhs, rhs } => {
+                        let a = self.operand(lhs, &vals)?;
+                        let b = self.operand(rhs, &vals)?;
+                        let r = if *ty == Ty::F64 {
+                            match pred.mnemonic() {
+                                "eq" => a.as_f() == b.as_f(),
+                                "ne" => a.as_f() != b.as_f(),
+                                "slt" => a.as_f() < b.as_f(),
+                                "sle" => a.as_f() <= b.as_f(),
+                                "sgt" => a.as_f() > b.as_f(),
+                                _ => a.as_f() >= b.as_f(),
+                            }
+                        } else {
+                            pred.eval(a.as_i(), b.as_i())
+                        };
+                        vals[inst.result.unwrap().0 as usize] = Some(Val::I(r as i64));
+                    }
+                    InstKind::Br { target } => {
+                        next = Some((*target, block));
+                        break;
+                    }
+                    InstKind::CondBr { cond, then_bb, else_bb } => {
+                        let c = self.operand(cond, &vals)?.as_i();
+                        next = Some((if c != 0 { *then_bb } else { *else_bb }, block));
+                        break;
+                    }
+                    InstKind::Ret { val } => {
+                        return match val {
+                            Some(op) => Ok(Some(self.operand(op, &vals)?)),
+                            None => Ok(None),
+                        };
+                    }
+                    InstKind::Call { callee, args: call_args, .. } => {
+                        let mut av = Vec::with_capacity(call_args.len());
+                        for a in call_args {
+                            av.push(self.operand(a, &vals)?);
+                        }
+                        let r = self.call(callee, &av, depth + 1)?;
+                        if let Some(res) = inst.result {
+                            vals[res.0 as usize] =
+                                Some(r.ok_or_else(|| ExecError::Trap("void call result".into()))?);
+                        }
+                    }
+                    InstKind::Gep { elem_ty, base, index } => {
+                        let b = self.operand(base, &vals)?.as_i();
+                        let i = self.operand(index, &vals)?.as_i();
+                        let addr = b.wrapping_add(i.wrapping_mul(elem_ty.size_bytes() as i64));
+                        vals[inst.result.unwrap().0 as usize] = Some(Val::I(addr));
+                    }
+                    InstKind::Select { cond, then_v, else_v, .. } => {
+                        let c = self.operand(cond, &vals)?.as_i();
+                        let v = if c != 0 {
+                            self.operand(then_v, &vals)?
+                        } else {
+                            self.operand(else_v, &vals)?
+                        };
+                        vals[inst.result.unwrap().0 as usize] = Some(v);
+                    }
+                    InstKind::Cast { kind, val, from, to } => {
+                        let v = self.operand(val, &vals)?;
+                        let out = eval_cast(*kind, v, from, to);
+                        vals[inst.result.unwrap().0 as usize] = Some(out);
+                    }
+                    InstKind::Unreachable => {
+                        return Err(ExecError::Trap("unreachable executed".into()))
+                    }
+                }
+            }
+            match next {
+                Some((nb, pb)) => {
+                    prev = Some(pb);
+                    block = nb;
+                }
+                None => return Err(ExecError::Trap("block fell through".into())),
+            }
+        }
+    }
+
+    fn operand(&self, op: &Operand, vals: &[Option<Val>]) -> Result<Val, ExecError> {
+        match op {
+            Operand::Value(v) => vals[v.0 as usize]
+                .ok_or_else(|| ExecError::Trap(format!("read of unset %{}", v.0))),
+            Operand::ConstInt { value, .. } => Ok(Val::I(*value)),
+            Operand::ConstF64(x) => Ok(Val::F(*x)),
+            Operand::Global(name) => self
+                .globals
+                .get(name.as_str())
+                .map(|a| Val::I(*a))
+                .ok_or_else(|| ExecError::Trap(format!("unknown global @{name}"))),
+            Operand::Undef(_) => Ok(Val::I(0)),
+        }
+    }
+}
+
+fn eval_ibin(op: BinOp, a: i64, b: i64) -> Result<i64, ExecError> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::SDiv => {
+            if b == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::SRem => {
+            if b == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::AShr => a.wrapping_shr(b as u32 & 63),
+    })
+}
+
+fn eval_fbin(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::SDiv => a / b,
+        _ => f64::NAN,
+    }
+}
+
+/// Integers are stored sign-extended to 64 bits regardless of nominal width.
+fn normalize(v: i64, ty: &Ty) -> i64 {
+    match ty {
+        Ty::I1 => v & 1,
+        Ty::I8 => v as i8 as i64,
+        Ty::I32 => v as i32 as i64,
+        _ => v,
+    }
+}
+
+fn eval_cast(kind: CastKind, v: Val, from: &Ty, to: &Ty) -> Val {
+    match kind {
+        CastKind::Bitcast => match (from, to) {
+            // reinterpret bits across the int/float divide (decompiled code
+            // moves doubles through integer registers)
+            (Ty::F64, t) if t.is_int() || t.is_ptr() => Val::I(v.as_f().to_bits() as i64),
+            (f, Ty::F64) if f.is_int() || f.is_ptr() => {
+                Val::F(f64::from_bits(v.as_i() as u64))
+            }
+            _ => v,
+        },
+        CastKind::Zext => {
+            let bits = from.bits().unwrap_or(64);
+            let mask = if bits >= 64 { -1i64 } else { (1i64 << bits) - 1 };
+            Val::I(v.as_i() & mask)
+        }
+        CastKind::Sext => Val::I(normalize(v.as_i(), from)),
+        CastKind::Trunc => Val::I(normalize(v.as_i(), to)),
+        CastKind::Sitofp => Val::F(v.as_i() as f64),
+        CastKind::Fptosi => Val::I(normalize(v.as_f() as i64, to)),
+    }
+}
+
+/// Convenience: run `name` in `module` with i64 arguments and default fuel.
+pub fn run_function(
+    module: &Module,
+    name: &str,
+    args: &[i64],
+    fuel: u64,
+) -> Result<Outcome, ExecError> {
+    let vals: Vec<Val> = args.iter().map(|&a| Val::I(a)).collect();
+    Interp::new(module, fuel).run(name, &vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{FunctionBuilder, IcmpPred};
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::I64);
+        let bb = fb.entry_block();
+        let a = fb.param_operand(0);
+        let b = fb.param_operand(1);
+        let s = fb.binop(bb, BinOp::Mul, Ty::I64, a, b);
+        let s2 = fb.binop(bb, BinOp::Add, Ty::I64, s, Operand::const_i64(1));
+        fb.ret(bb, Some(s2));
+        m.push_function(fb.finish());
+        let out = run_function(&m, "f", &[6, 7], 1000).unwrap();
+        assert_eq!(out.ret, Some(Val::I(43)));
+    }
+
+    #[test]
+    fn loop_sums_first_n() {
+        // sum 0..n via alloca counter — exercises load/store/branch/phi-free path
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("sum", vec![Ty::I64], Ty::I64);
+        let bb0 = fb.entry_block();
+        let cond_bb = fb.add_block();
+        let body_bb = fb.add_block();
+        let done_bb = fb.add_block();
+        let n = fb.param_operand(0);
+        let i_slot = fb.alloca(bb0, Ty::I64);
+        let s_slot = fb.alloca(bb0, Ty::I64);
+        fb.store(bb0, Ty::I64, Operand::const_i64(0), i_slot.clone());
+        fb.store(bb0, Ty::I64, Operand::const_i64(0), s_slot.clone());
+        fb.br(bb0, cond_bb);
+        let i = fb.load(cond_bb, Ty::I64, i_slot.clone());
+        let c = fb.icmp(cond_bb, IcmpPred::Slt, Ty::I64, i.clone(), n);
+        fb.cond_br(cond_bb, c, body_bb, done_bb);
+        let i2 = fb.load(body_bb, Ty::I64, i_slot.clone());
+        let s = fb.load(body_bb, Ty::I64, s_slot.clone());
+        let s2 = fb.binop(body_bb, BinOp::Add, Ty::I64, s, i2.clone());
+        fb.store(body_bb, Ty::I64, s2, s_slot.clone());
+        let i3 = fb.binop(body_bb, BinOp::Add, Ty::I64, i2, Operand::const_i64(1));
+        fb.store(body_bb, Ty::I64, i3, i_slot);
+        fb.br(body_bb, cond_bb);
+        let fin = fb.load(done_bb, Ty::I64, s_slot);
+        fb.ret(done_bb, Some(fin));
+        m.push_function(fb.finish());
+        let out = run_function(&m, "sum", &[10], 10_000).unwrap();
+        assert_eq!(out.ret, Some(Val::I(45)));
+    }
+
+    #[test]
+    fn phi_merges_values() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("absdiff", vec![Ty::I64, Ty::I64], Ty::I64);
+        let bb0 = fb.entry_block();
+        let bb1 = fb.add_block();
+        let bb2 = fb.add_block();
+        let bb3 = fb.add_block();
+        let a = fb.param_operand(0);
+        let b = fb.param_operand(1);
+        let c = fb.icmp(bb0, IcmpPred::Sgt, Ty::I64, a.clone(), b.clone());
+        fb.cond_br(bb0, c, bb1, bb2);
+        let d1 = fb.binop(bb1, BinOp::Sub, Ty::I64, a.clone(), b.clone());
+        fb.br(bb1, bb3);
+        let d2 = fb.binop(bb2, BinOp::Sub, Ty::I64, b, a);
+        fb.br(bb2, bb3);
+        let ph = fb.phi(bb3, Ty::I64, vec![(d1, bb1), (d2, bb2)]);
+        fb.ret(bb3, Some(ph));
+        m.push_function(fb.finish());
+        assert_eq!(run_function(&m, "absdiff", &[3, 10], 100).unwrap().ret, Some(Val::I(7)));
+        assert_eq!(run_function(&m, "absdiff", &[10, 3], 100).unwrap().ret, Some(Val::I(7)));
+    }
+
+    #[test]
+    fn intrinsics_print_and_alloc() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", vec![], Ty::I64);
+        let bb = fb.entry_block();
+        let buf = fb.call(bb, "rt_alloc", Ty::I64, vec![Operand::const_i64(16)]).unwrap();
+        fb.store(bb, Ty::I64, Operand::const_i64(99), buf.clone());
+        let v = fb.load(bb, Ty::I64, buf);
+        fb.call(bb, "rt_print_i64", Ty::Void, vec![v.clone()]);
+        fb.ret(bb, Some(v));
+        m.push_function(fb.finish());
+        let out = run_function(&m, "main", &[], 100).unwrap();
+        assert_eq!(out.output, vec![99]);
+        assert_eq!(out.ret, Some(Val::I(99)));
+    }
+
+    #[test]
+    fn fuel_limits_infinite_loops() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("spin", vec![], Ty::Void);
+        let bb0 = fb.entry_block();
+        let bb1 = fb.add_block();
+        fb.br(bb0, bb1);
+        fb.br(bb1, bb1);
+        m.push_function(fb.finish());
+        assert_eq!(run_function(&m, "spin", &[], 100).unwrap_err(), ExecError::OutOfFuel);
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("d", vec![Ty::I64], Ty::I64);
+        let bb = fb.entry_block();
+        let p = fb.param_operand(0);
+        let r = fb.binop(bb, BinOp::SDiv, Ty::I64, Operand::const_i64(10), p);
+        fb.ret(bb, Some(r));
+        m.push_function(fb.finish());
+        assert_eq!(run_function(&m, "d", &[0], 100).unwrap_err(), ExecError::DivByZero);
+        assert_eq!(run_function(&m, "d", &[2], 100).unwrap().ret, Some(Val::I(5)));
+    }
+
+    #[test]
+    fn null_deref_faults() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("n", vec![], Ty::I64);
+        let bb = fb.entry_block();
+        let v = fb.load(bb, Ty::I64, Operand::ConstInt { value: 0, ty: Ty::I64.ptr() });
+        fb.ret(bb, Some(v));
+        m.push_function(fb.finish());
+        assert!(matches!(
+            run_function(&m, "n", &[], 100).unwrap_err(),
+            ExecError::BadMemAccess(0)
+        ));
+    }
+
+    #[test]
+    fn recursion_works_and_overflows_gracefully() {
+        // fib via recursion
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("fib", vec![Ty::I64], Ty::I64);
+        let bb0 = fb.entry_block();
+        let rec = fb.add_block();
+        let base = fb.add_block();
+        let n = fb.param_operand(0);
+        let c = fb.icmp(bb0, IcmpPred::Slt, Ty::I64, n.clone(), Operand::const_i64(2));
+        fb.cond_br(bb0, c, base, rec);
+        fb.ret(base, Some(n.clone()));
+        let n1 = fb.binop(rec, BinOp::Sub, Ty::I64, n.clone(), Operand::const_i64(1));
+        let f1 = fb.call(rec, "fib", Ty::I64, vec![n1]).unwrap();
+        let n2 = fb.binop(rec, BinOp::Sub, Ty::I64, n, Operand::const_i64(2));
+        let f2 = fb.call(rec, "fib", Ty::I64, vec![n2]).unwrap();
+        let s = fb.binop(rec, BinOp::Add, Ty::I64, f1, f2);
+        fb.ret(rec, Some(s));
+        m.push_function(fb.finish());
+        assert_eq!(run_function(&m, "fib", &[10], 100_000).unwrap().ret, Some(Val::I(55)));
+    }
+
+    #[test]
+    fn globals_are_addressable() {
+        let mut m = Module::new("t");
+        m.globals.push(crate::module::Global {
+            name: "tbl".into(),
+            ty: Ty::I64.array(3),
+            init: crate::module::GlobalInit::I64s(vec![5, 6, 7]),
+        });
+        let mut fb = FunctionBuilder::new("g", vec![Ty::I64], Ty::I64);
+        let bb = fb.entry_block();
+        let base = fb.cast(
+            bb,
+            CastKind::Bitcast,
+            Operand::Global("tbl".into()),
+            Ty::I64.array(3).ptr(),
+            Ty::I64.ptr(),
+        );
+        let p = fb.gep(bb, Ty::I64, base, fb.param_operand(0));
+        let v = fb.load(bb, Ty::I64, p);
+        fb.ret(bb, Some(v));
+        m.push_function(fb.finish());
+        assert_eq!(run_function(&m, "g", &[1], 100).unwrap().ret, Some(Val::I(6)));
+        assert_eq!(run_function(&m, "g", &[2], 100).unwrap().ret, Some(Val::I(7)));
+    }
+
+    #[test]
+    fn casts_behave() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("c", vec![Ty::I64], Ty::I64);
+        let bb = fb.entry_block();
+        let p = fb.param_operand(0);
+        let t = fb.cast(bb, CastKind::Trunc, p, Ty::I64, Ty::I8);
+        let z = fb.cast(bb, CastKind::Zext, t.clone(), Ty::I8, Ty::I64);
+        let s = fb.cast(bb, CastKind::Sext, t, Ty::I8, Ty::I64);
+        let d = fb.binop(bb, BinOp::Sub, Ty::I64, z, s);
+        fb.ret(bb, Some(d));
+        m.push_function(fb.finish());
+        // 0xFF: zext = 255, sext = -1 ⇒ diff = 256
+        assert_eq!(run_function(&m, "c", &[255], 100).unwrap().ret, Some(Val::I(256)));
+        // 0x7F: both 127 ⇒ 0
+        assert_eq!(run_function(&m, "c", &[127], 100).unwrap().ret, Some(Val::I(0)));
+    }
+}

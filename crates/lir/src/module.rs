@@ -1,0 +1,810 @@
+//! The LIR object model: modules, functions, blocks, instructions, operands,
+//! and the [`FunctionBuilder`] the front-ends lower through.
+
+use crate::types::Ty;
+
+/// Function-scoped SSA value number (`%N` in the textual format).
+///
+/// Parameters take the first ids (`%0..%arity-1`); instruction results are
+/// numbered after them in creation order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// Index of a basic block inside its function (`bbN` in the textual format).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// An instruction operand.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Operand {
+    /// SSA value reference.
+    Value(ValueId),
+    /// Integer constant of a given type.
+    ConstInt { value: i64, ty: Ty },
+    /// Double constant.
+    ConstF64(f64),
+    /// Address of a module-level global.
+    Global(String),
+    /// Undefined value of a given type (decompiler output uses these).
+    Undef(Ty),
+}
+
+impl Operand {
+    /// `i64` integer constant.
+    pub fn const_i64(value: i64) -> Operand {
+        Operand::ConstInt { value, ty: Ty::I64 }
+    }
+
+    /// `i32` integer constant.
+    pub fn const_i32(value: i64) -> Operand {
+        Operand::ConstInt { value, ty: Ty::I32 }
+    }
+
+    /// `i1` boolean constant.
+    pub fn const_bool(value: bool) -> Operand {
+        Operand::ConstInt { value: value as i64, ty: Ty::I1 }
+    }
+
+    /// The SSA value this operand references, if any.
+    pub fn as_value(&self) -> Option<ValueId> {
+        match self {
+            Operand::Value(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True for constant operands (int, float, global address, undef).
+    pub fn is_const(&self) -> bool {
+        !matches!(self, Operand::Value(_))
+    }
+}
+
+/// Integer/float binary opcodes. With `Ty::F64` the printer renders the
+/// `f`-prefixed LLVM spelling (`fadd`, `fsub`, …).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Signed division.
+    SDiv,
+    /// Signed remainder.
+    SRem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Arithmetic shift right.
+    AShr,
+}
+
+impl BinOp {
+    /// LLVM-style mnemonic for integer types.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::SDiv => "sdiv",
+            BinOp::SRem => "srem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::AShr => "ashr",
+        }
+    }
+
+    /// Mnemonic for float types (`fadd` …); shifts/bitwise have no float form.
+    pub fn float_mnemonic(&self) -> Option<&'static str> {
+        match self {
+            BinOp::Add => Some("fadd"),
+            BinOp::Sub => Some("fsub"),
+            BinOp::Mul => Some("fmul"),
+            BinOp::SDiv => Some("fdiv"),
+            _ => None,
+        }
+    }
+
+    /// True when `op x y == op y x`.
+    pub fn commutative(&self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+    }
+}
+
+/// Signed integer comparison predicates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IcmpPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+}
+
+impl IcmpPred {
+    /// LLVM-style predicate keyword.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            IcmpPred::Eq => "eq",
+            IcmpPred::Ne => "ne",
+            IcmpPred::Slt => "slt",
+            IcmpPred::Sle => "sle",
+            IcmpPred::Sgt => "sgt",
+            IcmpPred::Sge => "sge",
+        }
+    }
+
+    /// Evaluates the predicate on two signed integers.
+    pub fn eval(&self, a: i64, b: i64) -> bool {
+        match self {
+            IcmpPred::Eq => a == b,
+            IcmpPred::Ne => a != b,
+            IcmpPred::Slt => a < b,
+            IcmpPred::Sle => a <= b,
+            IcmpPred::Sgt => a > b,
+            IcmpPred::Sge => a >= b,
+        }
+    }
+
+    /// The predicate with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swapped(&self) -> IcmpPred {
+        match self {
+            IcmpPred::Eq => IcmpPred::Eq,
+            IcmpPred::Ne => IcmpPred::Ne,
+            IcmpPred::Slt => IcmpPred::Sgt,
+            IcmpPred::Sle => IcmpPred::Sge,
+            IcmpPred::Sgt => IcmpPred::Slt,
+            IcmpPred::Sge => IcmpPred::Sle,
+        }
+    }
+}
+
+/// Cast opcodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CastKind {
+    /// Zero extension.
+    Zext,
+    /// Sign extension.
+    Sext,
+    /// Truncation.
+    Trunc,
+    /// Reinterpreting bit cast (pointer ⇄ pointer).
+    Bitcast,
+    /// Signed integer → double.
+    Sitofp,
+    /// Double → signed integer (truncating).
+    Fptosi,
+}
+
+impl CastKind {
+    /// LLVM-style mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            CastKind::Zext => "zext",
+            CastKind::Sext => "sext",
+            CastKind::Trunc => "trunc",
+            CastKind::Bitcast => "bitcast",
+            CastKind::Sitofp => "sitofp",
+            CastKind::Fptosi => "fptosi",
+        }
+    }
+}
+
+/// Instruction payload.
+#[derive(Clone, PartialEq, Debug)]
+pub enum InstKind {
+    /// Stack slot of the given type; yields a pointer to it.
+    Alloca {
+        /// Allocated type.
+        ty: Ty,
+    },
+    /// Load a `ty` from a pointer.
+    Load {
+        /// Loaded type.
+        ty: Ty,
+        /// Address operand.
+        ptr: Operand,
+    },
+    /// Store `val : ty` through a pointer.
+    Store {
+        /// Stored type.
+        ty: Ty,
+        /// Value operand.
+        val: Operand,
+        /// Address operand.
+        ptr: Operand,
+    },
+    /// Binary arithmetic/logic.
+    Bin {
+        /// Opcode.
+        op: BinOp,
+        /// Operand type.
+        ty: Ty,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Integer comparison producing `i1`.
+    Icmp {
+        /// Predicate.
+        pred: IcmpPred,
+        /// Operand type.
+        ty: Ty,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Unconditional branch.
+    Br {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Two-way conditional branch on an `i1`.
+    CondBr {
+        /// Condition operand.
+        cond: Operand,
+        /// Taken when true.
+        then_bb: BlockId,
+        /// Taken when false.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Ret {
+        /// Returned value (None for `void`).
+        val: Option<Operand>,
+    },
+    /// Direct call by symbol name.
+    Call {
+        /// Callee symbol.
+        callee: String,
+        /// Declared return type.
+        ret_ty: Ty,
+        /// Argument operands.
+        args: Vec<Operand>,
+    },
+    /// SSA φ node.
+    Phi {
+        /// Result type.
+        ty: Ty,
+        /// `(value, predecessor)` pairs.
+        incomings: Vec<(Operand, BlockId)>,
+    },
+    /// Pointer arithmetic: `base + index · sizeof(elem_ty)`.
+    Gep {
+        /// Element type the index strides over.
+        elem_ty: Ty,
+        /// Base pointer.
+        base: Operand,
+        /// Index operand.
+        index: Operand,
+    },
+    /// Ternary select on an `i1`.
+    Select {
+        /// Result type.
+        ty: Ty,
+        /// Condition operand.
+        cond: Operand,
+        /// Value when true.
+        then_v: Operand,
+        /// Value when false.
+        else_v: Operand,
+    },
+    /// Width/representation cast.
+    Cast {
+        /// Cast opcode.
+        kind: CastKind,
+        /// Source operand.
+        val: Operand,
+        /// Source type.
+        from: Ty,
+        /// Destination type.
+        to: Ty,
+    },
+    /// Control flow must not reach here.
+    Unreachable,
+}
+
+impl InstKind {
+    /// Opcode text — the ProGraML `text` attribute of an instruction node.
+    pub fn opcode(&self) -> &'static str {
+        match self {
+            InstKind::Alloca { .. } => "alloca",
+            InstKind::Load { .. } => "load",
+            InstKind::Store { .. } => "store",
+            InstKind::Bin { op, ty, .. } => {
+                if *ty == Ty::F64 {
+                    op.float_mnemonic().unwrap_or(op.mnemonic())
+                } else {
+                    op.mnemonic()
+                }
+            }
+            InstKind::Icmp { .. } => "icmp",
+            InstKind::Br { .. } => "br",
+            InstKind::CondBr { .. } => "br",
+            InstKind::Ret { .. } => "ret",
+            InstKind::Call { .. } => "call",
+            InstKind::Phi { .. } => "phi",
+            InstKind::Gep { .. } => "getelementptr",
+            InstKind::Select { .. } => "select",
+            InstKind::Cast { kind, .. } => kind.mnemonic(),
+            InstKind::Unreachable => "unreachable",
+        }
+    }
+
+    /// True for block terminators.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            InstKind::Br { .. }
+                | InstKind::CondBr { .. }
+                | InstKind::Ret { .. }
+                | InstKind::Unreachable
+        )
+    }
+
+    /// True when the instruction produces an SSA result.
+    pub fn has_result(&self) -> bool {
+        match self {
+            InstKind::Store { .. }
+            | InstKind::Br { .. }
+            | InstKind::CondBr { .. }
+            | InstKind::Ret { .. }
+            | InstKind::Unreachable => false,
+            InstKind::Call { ret_ty, .. } => *ret_ty != Ty::Void,
+            _ => true,
+        }
+    }
+
+    /// Operands in positional order (the ProGraML edge `position` attribute
+    /// is an operand's index in this list).
+    pub fn operands(&self) -> Vec<&Operand> {
+        match self {
+            InstKind::Alloca { .. } | InstKind::Br { .. } | InstKind::Unreachable => vec![],
+            InstKind::Load { ptr, .. } => vec![ptr],
+            InstKind::Store { val, ptr, .. } => vec![val, ptr],
+            InstKind::Bin { lhs, rhs, .. } | InstKind::Icmp { lhs, rhs, .. } => vec![lhs, rhs],
+            InstKind::CondBr { cond, .. } => vec![cond],
+            InstKind::Ret { val } => val.iter().collect(),
+            InstKind::Call { args, .. } => args.iter().collect(),
+            InstKind::Phi { incomings, .. } => incomings.iter().map(|(v, _)| v).collect(),
+            InstKind::Gep { base, index, .. } => vec![base, index],
+            InstKind::Select { cond, then_v, else_v, .. } => vec![cond, then_v, else_v],
+            InstKind::Cast { val, .. } => vec![val],
+        }
+    }
+
+    /// Mutable operand access, same order as [`InstKind::operands`].
+    pub fn operands_mut(&mut self) -> Vec<&mut Operand> {
+        match self {
+            InstKind::Alloca { .. } | InstKind::Br { .. } | InstKind::Unreachable => vec![],
+            InstKind::Load { ptr, .. } => vec![ptr],
+            InstKind::Store { val, ptr, .. } => vec![val, ptr],
+            InstKind::Bin { lhs, rhs, .. } | InstKind::Icmp { lhs, rhs, .. } => vec![lhs, rhs],
+            InstKind::CondBr { cond, .. } => vec![cond],
+            InstKind::Ret { val } => val.iter_mut().collect(),
+            InstKind::Call { args, .. } => args.iter_mut().collect(),
+            InstKind::Phi { incomings, .. } => incomings.iter_mut().map(|(v, _)| v).collect(),
+            InstKind::Gep { base, index, .. } => vec![base, index],
+            InstKind::Select { cond, then_v, else_v, .. } => vec![cond, then_v, else_v],
+            InstKind::Cast { val, .. } => vec![val],
+        }
+    }
+
+    /// Result type, when the instruction has a result.
+    pub fn result_ty(&self) -> Option<Ty> {
+        match self {
+            InstKind::Alloca { ty } => Some(ty.clone().ptr()),
+            InstKind::Load { ty, .. } => Some(ty.clone()),
+            InstKind::Bin { ty, .. } => Some(ty.clone()),
+            InstKind::Icmp { .. } => Some(Ty::I1),
+            InstKind::Call { ret_ty, .. } => {
+                if *ret_ty == Ty::Void {
+                    None
+                } else {
+                    Some(ret_ty.clone())
+                }
+            }
+            InstKind::Phi { ty, .. } => Some(ty.clone()),
+            InstKind::Gep { elem_ty, .. } => Some(elem_ty.clone().ptr()),
+            InstKind::Select { ty, .. } => Some(ty.clone()),
+            InstKind::Cast { to, .. } => Some(to.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// One instruction: optional SSA result plus payload.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Inst {
+    /// SSA result id (present iff the kind produces a value).
+    pub result: Option<ValueId>,
+    /// The operation.
+    pub kind: InstKind,
+}
+
+/// A basic block: straight-line instructions ending in one terminator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Block {
+    /// This block's id (must equal its index in `Function::blocks`).
+    pub id: BlockId,
+    /// Instructions; the last one is the terminator in verified functions.
+    pub insts: Vec<Inst>,
+}
+
+impl Block {
+    /// The terminator instruction, if the block has one.
+    pub fn terminator(&self) -> Option<&Inst> {
+        self.insts.last().filter(|i| i.kind.is_terminator())
+    }
+}
+
+/// Module-level global initializer.
+#[derive(Clone, PartialEq, Debug)]
+pub enum GlobalInit {
+    /// Zero-initialized.
+    Zero,
+    /// 64-bit words.
+    I64s(Vec<i64>),
+    /// Raw bytes (strings).
+    Bytes(Vec<u8>),
+}
+
+/// A module-level global variable.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Global {
+    /// Symbol name (without the `@`).
+    pub name: String,
+    /// Value type.
+    pub ty: Ty,
+    /// Initializer.
+    pub init: GlobalInit,
+}
+
+/// A function: signature plus body (empty body ⇒ external declaration).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    /// Symbol name (without the `@`).
+    pub name: String,
+    /// Parameter types; parameters take value ids `0..params.len()`.
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret_ty: Ty,
+    /// Basic blocks; `blocks[i].id == BlockId(i)`.
+    pub blocks: Vec<Block>,
+    /// Next unassigned SSA value number.
+    pub next_value: u32,
+}
+
+impl Function {
+    /// True for body-less external declarations.
+    pub fn is_declaration(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Number of instructions across all blocks.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Infers the type of every SSA value (`None` for unassigned ids).
+    /// Index by `ValueId.0`.
+    pub fn value_types(&self) -> Vec<Option<Ty>> {
+        let mut types: Vec<Option<Ty>> = vec![None; self.next_value as usize];
+        for (i, p) in self.params.iter().enumerate() {
+            types[i] = Some(p.clone());
+        }
+        for block in &self.blocks {
+            for inst in &block.insts {
+                if let Some(r) = inst.result {
+                    types[r.0 as usize] = inst.kind.result_ty();
+                }
+            }
+        }
+        types
+    }
+
+    /// Iterates `(block_id, inst_index, inst)` over the whole body.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (BlockId, usize, &Inst)> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.insts.iter().enumerate().map(move |(i, inst)| (b.id, i, inst)))
+    }
+}
+
+/// A compilation unit: globals plus functions.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Module {
+    /// Module name (diagnostics only).
+    pub name: String,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Functions, including external declarations.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// Empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module { name: name.into(), globals: Vec::new(), functions: Vec::new() }
+    }
+
+    /// Appends a function.
+    pub fn push_function(&mut self, f: Function) {
+        self.functions.push(f);
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Total instruction count over all function bodies.
+    pub fn num_insts(&self) -> usize {
+        self.functions.iter().map(Function::num_insts).sum()
+    }
+
+    /// Renders the module in the LLVM-like textual format.
+    pub fn to_text(&self) -> String {
+        crate::printer::print_module(self)
+    }
+}
+
+/// Incrementally builds one [`Function`] in SSA form.
+///
+/// Front-ends create blocks, then append instructions to any block in any
+/// order; `finish()` hands back the function. Value numbering is automatic.
+pub struct FunctionBuilder {
+    f: Function,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with an entry block already present.
+    pub fn new(name: impl Into<String>, params: Vec<Ty>, ret_ty: Ty) -> Self {
+        let next_value = params.len() as u32;
+        let f = Function {
+            name: name.into(),
+            params,
+            ret_ty,
+            blocks: vec![Block { id: BlockId(0), insts: Vec::new() }],
+            next_value,
+        };
+        FunctionBuilder { f }
+    }
+
+    /// Declares an external function (no body).
+    pub fn declaration(name: impl Into<String>, params: Vec<Ty>, ret_ty: Ty) -> Function {
+        let next_value = params.len() as u32;
+        Function { name: name.into(), params, ret_ty, blocks: Vec::new(), next_value }
+    }
+
+    /// The entry block id.
+    pub fn entry_block(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Appends a fresh empty block.
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId(self.f.blocks.len() as u32);
+        self.f.blocks.push(Block { id, insts: Vec::new() });
+        id
+    }
+
+    /// Operand referencing parameter `i`.
+    pub fn param_operand(&self, i: usize) -> Operand {
+        assert!(i < self.f.params.len(), "param {i} out of range");
+        Operand::Value(ValueId(i as u32))
+    }
+
+    fn fresh(&mut self) -> ValueId {
+        let v = ValueId(self.f.next_value);
+        self.f.next_value += 1;
+        v
+    }
+
+    /// Appends an instruction, allocating a result id when the kind has one.
+    pub fn push(&mut self, bb: BlockId, kind: InstKind) -> Option<Operand> {
+        let result = if kind.has_result() { Some(self.fresh()) } else { None };
+        let op = result.map(Operand::Value);
+        self.f.blocks[bb.0 as usize].insts.push(Inst { result, kind });
+        op
+    }
+
+    /// `alloca ty` — returns the slot pointer.
+    pub fn alloca(&mut self, bb: BlockId, ty: Ty) -> Operand {
+        self.push(bb, InstKind::Alloca { ty }).expect("alloca yields a value")
+    }
+
+    /// `load ty, ptr`.
+    pub fn load(&mut self, bb: BlockId, ty: Ty, ptr: Operand) -> Operand {
+        self.push(bb, InstKind::Load { ty, ptr }).expect("load yields a value")
+    }
+
+    /// `store val, ptr`.
+    pub fn store(&mut self, bb: BlockId, ty: Ty, val: Operand, ptr: Operand) {
+        self.push(bb, InstKind::Store { ty, val, ptr });
+    }
+
+    /// Binary op.
+    pub fn binop(&mut self, bb: BlockId, op: BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> Operand {
+        self.push(bb, InstKind::Bin { op, ty, lhs, rhs }).expect("bin yields a value")
+    }
+
+    /// Integer compare.
+    pub fn icmp(
+        &mut self,
+        bb: BlockId,
+        pred: IcmpPred,
+        ty: Ty,
+        lhs: Operand,
+        rhs: Operand,
+    ) -> Operand {
+        self.push(bb, InstKind::Icmp { pred, ty, lhs, rhs }).expect("icmp yields a value")
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, bb: BlockId, target: BlockId) {
+        self.push(bb, InstKind::Br { target });
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, bb: BlockId, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.push(bb, InstKind::CondBr { cond, then_bb, else_bb });
+    }
+
+    /// Return.
+    pub fn ret(&mut self, bb: BlockId, val: Option<Operand>) {
+        self.push(bb, InstKind::Ret { val });
+    }
+
+    /// Direct call.
+    pub fn call(
+        &mut self,
+        bb: BlockId,
+        callee: impl Into<String>,
+        ret_ty: Ty,
+        args: Vec<Operand>,
+    ) -> Option<Operand> {
+        self.push(bb, InstKind::Call { callee: callee.into(), ret_ty, args })
+    }
+
+    /// φ node.
+    pub fn phi(&mut self, bb: BlockId, ty: Ty, incomings: Vec<(Operand, BlockId)>) -> Operand {
+        self.push(bb, InstKind::Phi { ty, incomings }).expect("phi yields a value")
+    }
+
+    /// Pointer arithmetic.
+    pub fn gep(&mut self, bb: BlockId, elem_ty: Ty, base: Operand, index: Operand) -> Operand {
+        self.push(bb, InstKind::Gep { elem_ty, base, index }).expect("gep yields a value")
+    }
+
+    /// Ternary select.
+    pub fn select(
+        &mut self,
+        bb: BlockId,
+        ty: Ty,
+        cond: Operand,
+        then_v: Operand,
+        else_v: Operand,
+    ) -> Operand {
+        self.push(bb, InstKind::Select { ty, cond, then_v, else_v }).expect("select yields a value")
+    }
+
+    /// Width cast helper.
+    pub fn cast(&mut self, bb: BlockId, kind: CastKind, val: Operand, from: Ty, to: Ty) -> Operand {
+        self.push(bb, InstKind::Cast { kind, val, from, to }).expect("cast yields a value")
+    }
+
+    /// True if the block already ends in a terminator.
+    pub fn is_terminated(&self, bb: BlockId) -> bool {
+        self.f.blocks[bb.0 as usize].terminator().is_some()
+    }
+
+    /// Finalizes and returns the function.
+    pub fn finish(self) -> Function {
+        self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_fn() -> Function {
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::I64);
+        let bb = fb.entry_block();
+        let a = fb.param_operand(0);
+        let b = fb.param_operand(1);
+        let s = fb.binop(bb, BinOp::Add, Ty::I64, a, b);
+        fb.ret(bb, Some(s));
+        fb.finish()
+    }
+
+    #[test]
+    fn builder_numbers_values_after_params() {
+        let f = simple_fn();
+        assert_eq!(f.next_value, 3); // %0, %1 params; %2 result
+        let inst = &f.blocks[0].insts[0];
+        assert_eq!(inst.result, Some(ValueId(2)));
+    }
+
+    #[test]
+    fn value_types_inferred() {
+        let f = simple_fn();
+        let tys = f.value_types();
+        assert_eq!(tys[0], Some(Ty::I64));
+        assert_eq!(tys[2], Some(Ty::I64));
+    }
+
+    #[test]
+    fn operand_positions_match_order() {
+        let k = InstKind::Select {
+            ty: Ty::I64,
+            cond: Operand::const_bool(true),
+            then_v: Operand::const_i64(1),
+            else_v: Operand::const_i64(2),
+        };
+        let ops = k.operands();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(*ops[1], Operand::const_i64(1));
+    }
+
+    #[test]
+    fn terminator_discipline() {
+        let f = simple_fn();
+        assert!(f.blocks[0].terminator().is_some());
+        assert!(InstKind::Ret { val: None }.is_terminator());
+        assert!(!InstKind::Alloca { ty: Ty::I32 }.is_terminator());
+    }
+
+    #[test]
+    fn opcode_text() {
+        assert_eq!(InstKind::Alloca { ty: Ty::I32 }.opcode(), "alloca");
+        let fadd = InstKind::Bin {
+            op: BinOp::Add,
+            ty: Ty::F64,
+            lhs: Operand::ConstF64(1.0),
+            rhs: Operand::ConstF64(2.0),
+        };
+        assert_eq!(fadd.opcode(), "fadd");
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new("m");
+        m.push_function(simple_fn());
+        assert!(m.function("f").is_some());
+        assert!(m.function("g").is_none());
+        assert_eq!(m.num_insts(), 2);
+    }
+
+    #[test]
+    fn declarations_have_no_body() {
+        let d = FunctionBuilder::declaration("ext", vec![Ty::I64], Ty::Void);
+        assert!(d.is_declaration());
+    }
+
+    #[test]
+    fn icmp_pred_eval_and_swap() {
+        assert!(IcmpPred::Slt.eval(1, 2));
+        assert!(!IcmpPred::Sge.eval(1, 2));
+        assert_eq!(IcmpPred::Slt.swapped(), IcmpPred::Sgt);
+        assert!(IcmpPred::Slt.swapped().eval(2, 1));
+    }
+}

@@ -1,0 +1,619 @@
+//! Parser for the textual LIR format produced by the printer.
+//!
+//! `parse_module(print_module(m))` reconstructs `m` exactly (the property
+//! suite checks this as a fixpoint). The grammar is the small subset of
+//! `.ll` syntax the printer emits.
+
+use std::fmt;
+
+use crate::module::{
+    BinOp, Block, BlockId, CastKind, Function, Global, GlobalInit, IcmpPred, Inst, InstKind,
+    Module, Operand, ValueId,
+};
+use crate::types::Ty;
+
+/// A parse failure with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    s: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str, line: usize) -> Self {
+        Cursor { s, pos: 0, line }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, message: msg.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.s[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(' ') || self.rest().starts_with('\t') {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), ParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{tok}` at `{}`", &self.rest()[..self.rest().len().min(20)])))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '_' || *c == '.'))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected identifier"));
+        }
+        let id = rest[..end].to_string();
+        self.pos += end;
+        Ok(id)
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let neg = rest.starts_with('-');
+        let start = if neg { 1 } else { 0 };
+        let end = rest[start..]
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit())
+            .map(|(i, _)| i + start)
+            .unwrap_or(rest.len());
+        if end == start {
+            return Err(self.err("expected integer"));
+        }
+        let v: i64 = rest[..end]
+            .parse()
+            .map_err(|e| self.err(format!("bad integer: {e}")))?;
+        self.pos += end;
+        Ok(v)
+    }
+
+    /// Parses a type, including pointer suffixes.
+    fn ty(&mut self) -> Result<Ty, ParseError> {
+        self.skip_ws();
+        let mut base = if self.eat("[") {
+            let n = self.int()? as usize;
+            self.expect("x")?;
+            let elem = self.ty()?;
+            self.expect("]")?;
+            elem.array(n)
+        } else {
+            let id = self.ident()?;
+            match id.as_str() {
+                "i1" => Ty::I1,
+                "i8" => Ty::I8,
+                "i32" => Ty::I32,
+                "i64" => Ty::I64,
+                "double" => Ty::F64,
+                "void" => Ty::Void,
+                other => return Err(self.err(format!("unknown type `{other}`"))),
+            }
+        };
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with('*') {
+                self.pos += 1;
+                base = base.ptr();
+            } else {
+                break;
+            }
+        }
+        Ok(base)
+    }
+
+    /// Parses an untyped operand given its type.
+    fn operand(&mut self, ty: &Ty) -> Result<Operand, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.starts_with('%') {
+            self.pos += 1;
+            let n = self.int()?;
+            Ok(Operand::Value(ValueId(n as u32)))
+        } else if rest.starts_with('@') {
+            self.pos += 1;
+            Ok(Operand::Global(self.ident()?))
+        } else if rest.starts_with("undef") {
+            self.pos += 5;
+            Ok(Operand::Undef(ty.clone()))
+        } else if *ty == Ty::F64 {
+            // float literal: sign, digits, optional fraction/exponent
+            let end = rest
+                .char_indices()
+                .find(|(_, c)| !(c.is_ascii_digit() || "+-.eE".contains(*c)))
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            let v: f64 = rest[..end]
+                .parse()
+                .map_err(|e| self.err(format!("bad float: {e}")))?;
+            self.pos += end;
+            Ok(Operand::ConstF64(v))
+        } else {
+            let v = self.int()?;
+            Ok(Operand::ConstInt { value: v, ty: ty.clone() })
+        }
+    }
+
+    /// Parses `ty operand`.
+    fn typed_operand(&mut self) -> Result<(Ty, Operand), ParseError> {
+        let ty = self.ty()?;
+        let op = self.operand(&ty)?;
+        Ok((ty, op))
+    }
+
+    fn block_ref(&mut self) -> Result<BlockId, ParseError> {
+        self.expect("label")?;
+        self.expect("%bb")?;
+        Ok(BlockId(self.int()? as u32))
+    }
+}
+
+/// Parses a module from its textual form.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let mut m = Module::new("parsed");
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("; module ") {
+            m.name = rest.trim().to_string();
+            continue;
+        }
+        if line.starts_with(';') {
+            continue;
+        }
+        if line.starts_with('@') {
+            m.globals.push(parse_global(line, lineno)?);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("declare ") {
+            let mut c = Cursor::new(rest, lineno);
+            let ret_ty = c.ty()?;
+            c.expect("@")?;
+            let name = c.ident()?;
+            c.expect("(")?;
+            let mut params = Vec::new();
+            if !c.eat(")") {
+                loop {
+                    params.push(c.ty()?);
+                    if c.eat(")") {
+                        break;
+                    }
+                    c.expect(",")?;
+                }
+            }
+            m.push_function(crate::module::FunctionBuilder::declaration(name, params, ret_ty));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("define ") {
+            let mut c = Cursor::new(rest, lineno);
+            let ret_ty = c.ty()?;
+            c.expect("@")?;
+            let name = c.ident()?;
+            c.expect("(")?;
+            let mut params = Vec::new();
+            if !c.eat(")") {
+                loop {
+                    let ty = c.ty()?;
+                    c.expect("%")?;
+                    let _n = c.int()?;
+                    params.push(ty);
+                    if c.eat(")") {
+                        break;
+                    }
+                    c.expect(",")?;
+                }
+            }
+            c.expect("{")?;
+            // body
+            let mut blocks: Vec<Block> = Vec::new();
+            let mut max_value = params.len() as u32;
+            loop {
+                let Some((bidx, braw)) = lines.next() else {
+                    return Err(ParseError { line: lineno, message: "unterminated function".into() });
+                };
+                let bline = braw.trim();
+                let blineno = bidx + 1;
+                if bline == "}" {
+                    break;
+                }
+                if bline.is_empty() {
+                    continue;
+                }
+                if let Some(lbl) = bline.strip_suffix(':') {
+                    let id = lbl
+                        .strip_prefix("bb")
+                        .and_then(|n| n.parse::<u32>().ok())
+                        .ok_or(ParseError {
+                            line: blineno,
+                            message: format!("bad block label `{lbl}`"),
+                        })?;
+                    blocks.push(Block { id: BlockId(id), insts: Vec::new() });
+                    continue;
+                }
+                let block = blocks.last_mut().ok_or(ParseError {
+                    line: blineno,
+                    message: "instruction before any block label".into(),
+                })?;
+                let inst = parse_inst(bline, blineno)?;
+                if let Some(ValueId(v)) = inst.result {
+                    max_value = max_value.max(v + 1);
+                }
+                block.insts.push(inst);
+            }
+            m.push_function(Function {
+                name,
+                params,
+                ret_ty,
+                blocks,
+                next_value: max_value,
+            });
+            continue;
+        }
+        return Err(ParseError { line: lineno, message: format!("unrecognized line `{line}`") });
+    }
+    Ok(m)
+}
+
+fn parse_global(line: &str, lineno: usize) -> Result<Global, ParseError> {
+    let mut c = Cursor::new(line, lineno);
+    c.expect("@")?;
+    let name = c.ident()?;
+    c.expect("=")?;
+    c.expect("global")?;
+    let ty = c.ty()?;
+    c.skip_ws();
+    let rest = c.rest();
+    let init = if rest.starts_with("zeroinitializer") {
+        GlobalInit::Zero
+    } else if let Some(body) = rest.strip_prefix("c\"") {
+        let body = body.strip_suffix('"').ok_or(c.err("unterminated string"))?;
+        let mut bytes = Vec::new();
+        let mut chars = body.chars();
+        while let Some(ch) = chars.next() {
+            if ch == '\\' {
+                let h1 = chars.next().ok_or(c.err("bad escape"))?;
+                let h2 = chars.next().ok_or(c.err("bad escape"))?;
+                let hex: String = [h1, h2].iter().collect();
+                bytes.push(
+                    u8::from_str_radix(&hex, 16).map_err(|e| c.err(format!("bad escape: {e}")))?,
+                );
+            } else {
+                bytes.push(ch as u8);
+            }
+        }
+        GlobalInit::Bytes(bytes)
+    } else if rest.starts_with('[') {
+        let mut c2 = Cursor::new(rest, lineno);
+        c2.expect("[")?;
+        let mut words = Vec::new();
+        if !c2.eat("]") {
+            loop {
+                c2.expect("i64")?;
+                words.push(c2.int()?);
+                if c2.eat("]") {
+                    break;
+                }
+                c2.expect(",")?;
+            }
+        }
+        GlobalInit::I64s(words)
+    } else {
+        return Err(c.err(format!("bad global initializer `{rest}`")));
+    };
+    Ok(Global { name, ty, init })
+}
+
+fn parse_inst(line: &str, lineno: usize) -> Result<Inst, ParseError> {
+    let mut c = Cursor::new(line, lineno);
+    // optional `%N = `
+    let mut result = None;
+    c.skip_ws();
+    if c.rest().starts_with('%') {
+        // lookahead: `%N =` means result; `%` otherwise can't start an inst
+        c.pos += 1;
+        let n = c.int()?;
+        c.expect("=")?;
+        result = Some(ValueId(n as u32));
+    }
+    let op = c.ident()?;
+    let kind = match op.as_str() {
+        "alloca" => InstKind::Alloca { ty: c.ty()? },
+        "load" => {
+            let ty = c.ty()?;
+            c.expect(",")?;
+            let (_pty, ptr) = c.typed_operand()?;
+            InstKind::Load { ty, ptr }
+        }
+        "store" => {
+            let ty = c.ty()?;
+            let val = c.operand(&ty)?;
+            c.expect(",")?;
+            let (_pty, ptr) = c.typed_operand()?;
+            InstKind::Store { ty, val, ptr }
+        }
+        "add" | "sub" | "mul" | "sdiv" | "srem" | "and" | "or" | "xor" | "shl" | "ashr"
+        | "fadd" | "fsub" | "fmul" | "fdiv" => {
+            let bop = match op.as_str() {
+                "add" | "fadd" => BinOp::Add,
+                "sub" | "fsub" => BinOp::Sub,
+                "mul" | "fmul" => BinOp::Mul,
+                "sdiv" | "fdiv" => BinOp::SDiv,
+                "srem" => BinOp::SRem,
+                "and" => BinOp::And,
+                "or" => BinOp::Or,
+                "xor" => BinOp::Xor,
+                "shl" => BinOp::Shl,
+                "ashr" => BinOp::AShr,
+                _ => unreachable!(),
+            };
+            let ty = c.ty()?;
+            let lhs = c.operand(&ty)?;
+            c.expect(",")?;
+            let rhs = c.operand(&ty)?;
+            InstKind::Bin { op: bop, ty, lhs, rhs }
+        }
+        "icmp" | "fcmp" => {
+            let pred = match c.ident()?.as_str() {
+                "eq" | "oeq" => IcmpPred::Eq,
+                "ne" | "one" => IcmpPred::Ne,
+                "slt" | "olt" => IcmpPred::Slt,
+                "sle" | "ole" => IcmpPred::Sle,
+                "sgt" | "ogt" => IcmpPred::Sgt,
+                "sge" | "oge" => IcmpPred::Sge,
+                p => return Err(c.err(format!("unknown predicate `{p}`"))),
+            };
+            let ty = c.ty()?;
+            let lhs = c.operand(&ty)?;
+            c.expect(",")?;
+            let rhs = c.operand(&ty)?;
+            InstKind::Icmp { pred, ty, lhs, rhs }
+        }
+        "br" => {
+            c.skip_ws();
+            if c.rest().starts_with("label") {
+                InstKind::Br { target: c.block_ref()? }
+            } else {
+                c.expect("i1")?;
+                let cond = c.operand(&Ty::I1)?;
+                c.expect(",")?;
+                let then_bb = c.block_ref()?;
+                c.expect(",")?;
+                let else_bb = c.block_ref()?;
+                InstKind::CondBr { cond, then_bb, else_bb }
+            }
+        }
+        "ret" => {
+            let ty = c.ty()?;
+            if ty == Ty::Void {
+                InstKind::Ret { val: None }
+            } else {
+                InstKind::Ret { val: Some(c.operand(&ty)?) }
+            }
+        }
+        "call" => {
+            let ret_ty = c.ty()?;
+            c.expect("@")?;
+            let callee = c.ident()?;
+            c.expect("(")?;
+            let mut args = Vec::new();
+            if !c.eat(")") {
+                loop {
+                    let (_t, a) = c.typed_operand()?;
+                    args.push(a);
+                    if c.eat(")") {
+                        break;
+                    }
+                    c.expect(",")?;
+                }
+            }
+            InstKind::Call { callee, ret_ty, args }
+        }
+        "phi" => {
+            let ty = c.ty()?;
+            let mut incomings = Vec::new();
+            loop {
+                c.expect("[")?;
+                let v = c.operand(&ty)?;
+                c.expect(",")?;
+                c.expect("%bb")?;
+                let b = BlockId(c.int()? as u32);
+                c.expect("]")?;
+                incomings.push((v, b));
+                if !c.eat(",") {
+                    break;
+                }
+            }
+            InstKind::Phi { ty, incomings }
+        }
+        "getelementptr" => {
+            let elem_ty = c.ty()?;
+            c.expect(",")?;
+            let (_bty, base) = c.typed_operand()?;
+            c.expect(",")?;
+            let (_ity, index) = c.typed_operand()?;
+            InstKind::Gep { elem_ty, base, index }
+        }
+        "select" => {
+            c.expect("i1")?;
+            let cond = c.operand(&Ty::I1)?;
+            c.expect(",")?;
+            let ty = c.ty()?;
+            let then_v = c.operand(&ty)?;
+            c.expect(",")?;
+            let ty2 = c.ty()?;
+            let else_v = c.operand(&ty2)?;
+            InstKind::Select { ty, cond, then_v, else_v }
+        }
+        "zext" | "sext" | "trunc" | "bitcast" | "sitofp" | "fptosi" => {
+            let kind = match op.as_str() {
+                "zext" => CastKind::Zext,
+                "sext" => CastKind::Sext,
+                "trunc" => CastKind::Trunc,
+                "sitofp" => CastKind::Sitofp,
+                "fptosi" => CastKind::Fptosi,
+                _ => CastKind::Bitcast,
+            };
+            let from = c.ty()?;
+            let val = c.operand(&from)?;
+            c.expect("to")?;
+            let to = c.ty()?;
+            InstKind::Cast { kind, val, from, to }
+        }
+        "unreachable" => InstKind::Unreachable,
+        other => return Err(c.err(format!("unknown opcode `{other}`"))),
+    };
+    Ok(Inst { result, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::FunctionBuilder;
+
+    #[test]
+    fn roundtrip_simple_function() {
+        let mut m = Module::new("rt");
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::I64);
+        let bb0 = fb.entry_block();
+        let bb1 = fb.add_block();
+        let bb2 = fb.add_block();
+        let a = fb.param_operand(0);
+        let b = fb.param_operand(1);
+        let s = fb.binop(bb0, BinOp::Add, Ty::I64, a.clone(), b);
+        let cnd = fb.icmp(bb0, IcmpPred::Sgt, Ty::I64, s.clone(), Operand::const_i64(0));
+        fb.cond_br(bb0, cnd, bb1, bb2);
+        fb.ret(bb1, Some(s.clone()));
+        let n = fb.binop(bb2, BinOp::Sub, Ty::I64, Operand::const_i64(0), s);
+        fb.ret(bb2, Some(n));
+        m.push_function(fb.finish());
+
+        let text = m.to_text();
+        let parsed = parse_module(&text).expect("parse");
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn roundtrip_memory_and_calls() {
+        let mut m = Module::new("mem");
+        m.push_function(FunctionBuilder::declaration("rt_print_i64", vec![Ty::I64], Ty::Void));
+        let mut fb = FunctionBuilder::new("main", vec![], Ty::I64);
+        let bb = fb.entry_block();
+        let arr = fb.alloca(bb, Ty::I64.array(4));
+        let base = fb.cast(
+            bb,
+            CastKind::Bitcast,
+            arr.clone(),
+            Ty::I64.array(4).ptr(),
+            Ty::I64.ptr(),
+        );
+        let p = fb.gep(bb, Ty::I64, base, Operand::const_i64(2));
+        fb.store(bb, Ty::I64, Operand::const_i64(7), p.clone());
+        let v = fb.load(bb, Ty::I64, p);
+        fb.call(bb, "rt_print_i64", Ty::Void, vec![v.clone()]);
+        fb.ret(bb, Some(v));
+        m.push_function(fb.finish());
+
+        let text = m.to_text();
+        let parsed = parse_module(&text).expect("parse");
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn roundtrip_phi_select_globals() {
+        let mut m = Module::new("phi");
+        m.globals.push(Global {
+            name: "tbl".into(),
+            ty: Ty::I64.array(2),
+            init: GlobalInit::I64s(vec![10, 20]),
+        });
+        m.globals.push(Global {
+            name: "msg".into(),
+            ty: Ty::I8.array(2),
+            init: GlobalInit::Bytes(vec![104, 0]),
+        });
+        let mut fb = FunctionBuilder::new("g", vec![Ty::I1], Ty::I64);
+        let bb0 = fb.entry_block();
+        let bb1 = fb.add_block();
+        let bb2 = fb.add_block();
+        let c = fb.param_operand(0);
+        fb.cond_br(bb0, c.clone(), bb1, bb2);
+        fb.br(bb1, bb2);
+        let ph = fb.phi(
+            bb2,
+            Ty::I64,
+            vec![(Operand::const_i64(1), bb0), (Operand::const_i64(2), bb1)],
+        );
+        let sel = fb.select(bb2, Ty::I64, c, ph.clone(), Operand::const_i64(9));
+        fb.ret(bb2, Some(sel));
+        m.push_function(fb.finish());
+
+        let text = m.to_text();
+        let parsed = parse_module(&text).expect("parse");
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let bad = "define i64 @f() {\nbb0:\n  %1 = bogus i64 1, 2\n}\n";
+        let err = parse_module(bad).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn parses_float_constants() {
+        let text = "define double @h() {\nbb0:\n  %0 = fadd double 1.5, -2.25\n  ret double %0\n}\n";
+        let m = parse_module(text).unwrap();
+        let f = m.function("h").unwrap();
+        match &f.blocks[0].insts[0].kind {
+            InstKind::Bin { lhs, rhs, .. } => {
+                assert_eq!(*lhs, Operand::ConstF64(1.5));
+                assert_eq!(*rhs, Operand::ConstF64(-2.25));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

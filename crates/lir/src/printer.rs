@@ -1,0 +1,259 @@
+//! Textual rendering of LIR in an LLVM-`.ll`-like format.
+//!
+//! The printed instruction line is exactly what ProGraML consumes as the
+//! `full_text` node attribute, so the renderer is shared with `gbm-progml`
+//! through [`print_inst`].
+
+use std::fmt::Write;
+
+use crate::module::{Function, Global, GlobalInit, Inst, InstKind, Module, Operand};
+use crate::types::Ty;
+
+/// Renders a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", m.name);
+    for g in &m.globals {
+        let _ = writeln!(out, "{}", print_global(g));
+    }
+    for f in &m.functions {
+        if f.is_declaration() {
+            let params: Vec<String> = f.params.iter().map(|t| t.to_string()).collect();
+            let _ = writeln!(out, "declare {} @{}({})", f.ret_ty, f.name, params.join(", "));
+        }
+    }
+    for f in &m.functions {
+        if !f.is_declaration() {
+            out.push_str(&print_function(m, f));
+        }
+    }
+    out
+}
+
+fn print_global(g: &Global) -> String {
+    match &g.init {
+        GlobalInit::Zero => format!("@{} = global {} zeroinitializer", g.name, g.ty),
+        GlobalInit::I64s(words) => {
+            let body: Vec<String> = words.iter().map(|w| format!("i64 {w}")).collect();
+            format!("@{} = global {} [{}]", g.name, g.ty, body.join(", "))
+        }
+        GlobalInit::Bytes(bytes) => {
+            let mut s = String::new();
+            for &b in bytes {
+                if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                    s.push(b as char);
+                } else {
+                    let _ = write!(s, "\\{b:02X}");
+                }
+            }
+            format!("@{} = global {} c\"{}\"", g.name, g.ty, s)
+        }
+    }
+}
+
+/// Renders one function definition.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %{i}"))
+        .collect();
+    let _ = writeln!(out, "define {} @{}({}) {{", f.ret_ty, f.name, params.join(", "));
+    let types = f.value_types();
+    for block in &f.blocks {
+        let _ = writeln!(out, "bb{}:", block.id.0);
+        for inst in &block.insts {
+            let _ = writeln!(out, "  {}", print_inst(m, f, &types, inst));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The type of an operand under the function's value-type table.
+pub fn operand_ty(m: &Module, types: &[Option<Ty>], op: &Operand) -> Ty {
+    match op {
+        Operand::Value(v) => types
+            .get(v.0 as usize)
+            .cloned()
+            .flatten()
+            .unwrap_or(Ty::I64),
+        Operand::ConstInt { ty, .. } => ty.clone(),
+        Operand::ConstF64(_) => Ty::F64,
+        Operand::Global(name) => m
+            .globals
+            .iter()
+            .find(|g| &g.name == name)
+            .map(|g| g.ty.clone().ptr())
+            .unwrap_or(Ty::I8.ptr()),
+        Operand::Undef(ty) => ty.clone(),
+    }
+}
+
+fn fmt_operand(op: &Operand) -> String {
+    match op {
+        Operand::Value(v) => format!("%{}", v.0),
+        Operand::ConstInt { value, .. } => format!("{value}"),
+        Operand::ConstF64(x) => {
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                format!("{x:.1}")
+            } else {
+                format!("{x}")
+            }
+        }
+        Operand::Global(name) => format!("@{name}"),
+        Operand::Undef(_) => "undef".to_string(),
+    }
+}
+
+fn fmt_typed(m: &Module, types: &[Option<Ty>], op: &Operand) -> String {
+    format!("{} {}", operand_ty(m, types, op), fmt_operand(op))
+}
+
+/// Renders one instruction — the ProGraML `full_text` attribute.
+pub fn print_inst(m: &Module, _f: &Function, types: &[Option<Ty>], inst: &Inst) -> String {
+    let lhs = inst
+        .result
+        .map(|r| format!("%{} = ", r.0))
+        .unwrap_or_default();
+    let body = match &inst.kind {
+        InstKind::Alloca { ty } => format!("alloca {ty}"),
+        InstKind::Load { ty, ptr } => {
+            format!("load {ty}, {}", fmt_typed(m, types, ptr))
+        }
+        InstKind::Store { ty, val, ptr } => {
+            format!("store {ty} {}, {}", fmt_operand(val), fmt_typed(m, types, ptr))
+        }
+        InstKind::Bin { op, ty, lhs: a, rhs: b } => {
+            let mn = if *ty == Ty::F64 {
+                op.float_mnemonic().unwrap_or(op.mnemonic())
+            } else {
+                op.mnemonic()
+            };
+            format!("{mn} {ty} {}, {}", fmt_operand(a), fmt_operand(b))
+        }
+        InstKind::Icmp { pred, ty, lhs: a, rhs: b } => {
+            if *ty == Ty::F64 {
+                let fp = match pred.mnemonic() {
+                    "eq" => "oeq",
+                    "ne" => "one",
+                    "slt" => "olt",
+                    "sle" => "ole",
+                    "sgt" => "ogt",
+                    _ => "oge",
+                };
+                format!("fcmp {fp} double {}, {}", fmt_operand(a), fmt_operand(b))
+            } else {
+                format!("icmp {} {ty} {}, {}", pred.mnemonic(), fmt_operand(a), fmt_operand(b))
+            }
+        }
+        InstKind::Br { target } => format!("br label %bb{}", target.0),
+        InstKind::CondBr { cond, then_bb, else_bb } => format!(
+            "br i1 {}, label %bb{}, label %bb{}",
+            fmt_operand(cond),
+            then_bb.0,
+            else_bb.0
+        ),
+        InstKind::Ret { val: Some(v) } => format!("ret {}", fmt_typed(m, types, v)),
+        InstKind::Ret { val: None } => "ret void".to_string(),
+        InstKind::Call { callee, ret_ty, args } => {
+            let args: Vec<String> = args.iter().map(|a| fmt_typed(m, types, a)).collect();
+            format!("call {ret_ty} @{callee}({})", args.join(", "))
+        }
+        InstKind::Phi { ty, incomings } => {
+            let inc: Vec<String> = incomings
+                .iter()
+                .map(|(v, b)| format!("[ {}, %bb{} ]", fmt_operand(v), b.0))
+                .collect();
+            format!("phi {ty} {}", inc.join(", "))
+        }
+        InstKind::Gep { elem_ty, base, index } => format!(
+            "getelementptr {elem_ty}, {}, {}",
+            fmt_typed(m, types, base),
+            fmt_typed(m, types, index)
+        ),
+        InstKind::Select { ty, cond, then_v, else_v } => format!(
+            "select i1 {}, {ty} {}, {ty} {}",
+            fmt_operand(cond),
+            fmt_operand(then_v),
+            fmt_operand(else_v)
+        ),
+        InstKind::Cast { kind, val, from, to } => {
+            format!("{} {from} {} to {to}", kind.mnemonic(), fmt_operand(val))
+        }
+        InstKind::Unreachable => "unreachable".to_string(),
+    };
+    format!("{lhs}{body}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{BinOp, FunctionBuilder, IcmpPred};
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let bb0 = fb.entry_block();
+        let bb1 = fb.add_block();
+        let bb2 = fb.add_block();
+        let p = fb.param_operand(0);
+        let slot = fb.alloca(bb0, Ty::I64);
+        fb.store(bb0, Ty::I64, p.clone(), slot.clone());
+        let v = fb.load(bb0, Ty::I64, slot.clone());
+        let c = fb.icmp(bb0, IcmpPred::Slt, Ty::I64, v.clone(), Operand::const_i64(10));
+        fb.cond_br(bb0, c, bb1, bb2);
+        let dbl = fb.binop(bb1, BinOp::Mul, Ty::I64, v.clone(), Operand::const_i64(2));
+        fb.ret(bb1, Some(dbl));
+        fb.ret(bb2, Some(v));
+        m.push_function(fb.finish());
+        m
+    }
+
+    #[test]
+    fn prints_llvm_like_text() {
+        let m = sample_module();
+        let text = m.to_text();
+        assert!(text.contains("define i64 @f(i64 %0) {"), "{text}");
+        assert!(text.contains("%1 = alloca i64"), "{text}");
+        assert!(text.contains("store i64 %0, i64* %1"), "{text}");
+        assert!(text.contains("%2 = load i64, i64* %1"), "{text}");
+        assert!(text.contains("icmp slt i64 %2, 10"), "{text}");
+        assert!(text.contains("br i1 %3, label %bb1, label %bb2"), "{text}");
+        assert!(text.contains("mul i64 %2, 2"), "{text}");
+    }
+
+    #[test]
+    fn prints_globals() {
+        let mut m = Module::new("g");
+        m.globals.push(Global {
+            name: "msg".into(),
+            ty: Ty::I8.array(3),
+            init: GlobalInit::Bytes(b"hi\n".to_vec()),
+        });
+        let text = m.to_text();
+        assert!(text.contains("@msg = global [3 x i8] c\"hi\\0A\""), "{text}");
+    }
+
+    #[test]
+    fn prints_declarations() {
+        let mut m = Module::new("d");
+        m.push_function(FunctionBuilder::declaration("rt_alloc", vec![Ty::I64], Ty::I64.ptr()));
+        assert!(m.to_text().contains("declare i64* @rt_alloc(i64)"));
+    }
+
+    #[test]
+    fn float_ops_use_f_mnemonics() {
+        let mut m = Module::new("f64");
+        let mut fb = FunctionBuilder::new("g", vec![Ty::F64], Ty::F64);
+        let bb = fb.entry_block();
+        let p = fb.param_operand(0);
+        let r = fb.binop(bb, BinOp::Add, Ty::F64, p, Operand::ConstF64(1.5));
+        fb.ret(bb, Some(r));
+        m.push_function(fb.finish());
+        let text = m.to_text();
+        assert!(text.contains("fadd double %0, 1.5"), "{text}");
+    }
+}

@@ -1,0 +1,134 @@
+//! LIR types.
+
+use std::fmt;
+
+/// A first-class LIR type. Mirrors the LLVM types the paper's pipeline
+/// actually encounters: small integers, a double float, pointers, and
+/// fixed-size arrays.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Ty {
+    /// 1-bit boolean (icmp results, branch conditions).
+    I1,
+    /// 8-bit integer (bytes, chars).
+    I8,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer — the workhorse type; decompiled code degrades to it.
+    I64,
+    /// 64-bit IEEE float.
+    F64,
+    /// Pointer to a pointee type.
+    Ptr(Box<Ty>),
+    /// Fixed-length array.
+    Array(Box<Ty>, usize),
+    /// Function return "no value".
+    Void,
+}
+
+impl Ty {
+    /// Pointer to `self`.
+    pub fn ptr(self) -> Ty {
+        Ty::Ptr(Box::new(self))
+    }
+
+    /// Array of `n` elements of `self`.
+    pub fn array(self, n: usize) -> Ty {
+        Ty::Array(Box::new(self), n)
+    }
+
+    /// True for any integer type (including i1).
+    pub fn is_int(&self) -> bool {
+        matches!(self, Ty::I1 | Ty::I8 | Ty::I32 | Ty::I64)
+    }
+
+    /// True for pointer types.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Ty::Ptr(_))
+    }
+
+    /// The pointee of a pointer type.
+    pub fn pointee(&self) -> Option<&Ty> {
+        match self {
+            Ty::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Element type of an array.
+    pub fn elem(&self) -> Option<&Ty> {
+        match self {
+            Ty::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Bit width of integer types.
+    pub fn bits(&self) -> Option<u32> {
+        match self {
+            Ty::I1 => Some(1),
+            Ty::I8 => Some(8),
+            Ty::I32 => Some(32),
+            Ty::I64 => Some(64),
+            _ => None,
+        }
+    }
+
+    /// Size in bytes when laid out in the VISA binary substrate.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Ty::I1 | Ty::I8 => 1,
+            Ty::I32 => 4,
+            Ty::I64 | Ty::F64 | Ty::Ptr(_) => 8,
+            Ty::Array(t, n) => t.size_bytes() * n,
+            Ty::Void => 0,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::I1 => write!(f, "i1"),
+            Ty::I8 => write!(f, "i8"),
+            Ty::I32 => write!(f, "i32"),
+            Ty::I64 => write!(f, "i64"),
+            Ty::F64 => write!(f, "double"),
+            Ty::Ptr(t) => write!(f, "{t}*"),
+            Ty::Array(t, n) => write!(f, "[{n} x {t}]"),
+            Ty::Void => write!(f, "void"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_llvm_style() {
+        assert_eq!(Ty::I32.to_string(), "i32");
+        assert_eq!(Ty::I64.ptr().to_string(), "i64*");
+        assert_eq!(Ty::I32.array(4).to_string(), "[4 x i32]");
+        assert_eq!(Ty::I8.ptr().ptr().to_string(), "i8**");
+        assert_eq!(Ty::F64.to_string(), "double");
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Ty::I32.size_bytes(), 4);
+        assert_eq!(Ty::I64.size_bytes(), 8);
+        assert_eq!(Ty::I32.array(10).size_bytes(), 40);
+        assert_eq!(Ty::I64.ptr().size_bytes(), 8);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Ty::I1.is_int());
+        assert!(!Ty::F64.is_int());
+        assert!(Ty::I8.ptr().is_ptr());
+        assert_eq!(Ty::I8.ptr().pointee(), Some(&Ty::I8));
+        assert_eq!(Ty::I32.array(3).elem(), Some(&Ty::I32));
+        assert_eq!(Ty::I32.bits(), Some(32));
+        assert_eq!(Ty::F64.bits(), None);
+    }
+}

@@ -1,0 +1,342 @@
+//! Module verifier: structural SSA discipline every pass must preserve.
+//!
+//! Checks, per function:
+//! * every block ends with exactly one terminator, and terminators appear
+//!   only in tail position,
+//! * result ids are unique and present exactly when the opcode produces one,
+//! * every `Operand::Value` refers to a parameter or an instruction result,
+//! * definitions dominate uses (φ incomings are checked against the matching
+//!   predecessor edge instead),
+//! * branch targets and φ predecessors are valid block ids,
+//! * calls reference a function that exists in the module (or a `rt_`
+//!   runtime intrinsic, which the interpreter and binary substrate provide),
+//! * block ids equal their index.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::cfg;
+use crate::module::{BlockId, Function, InstKind, Module, ValueId};
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function where the failure occurred.
+    pub function: String,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify error in @{}: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every function in the module.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for f in &m.functions {
+        if !f.is_declaration() {
+            verify_function(m, f)?;
+        }
+    }
+    Ok(())
+}
+
+fn err(f: &Function, msg: impl Into<String>) -> VerifyError {
+    VerifyError { function: f.name.clone(), message: msg.into() }
+}
+
+fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
+    let nblocks = f.blocks.len();
+    if nblocks == 0 {
+        return Err(err(f, "defined function with no blocks"));
+    }
+    for (i, b) in f.blocks.iter().enumerate() {
+        if b.id.0 as usize != i {
+            return Err(err(f, format!("block id bb{} at index {i}", b.id.0)));
+        }
+        if b.insts.is_empty() {
+            return Err(err(f, format!("bb{} is empty", b.id.0)));
+        }
+        for (j, inst) in b.insts.iter().enumerate() {
+            let is_last = j + 1 == b.insts.len();
+            if inst.kind.is_terminator() != is_last {
+                return Err(err(
+                    f,
+                    format!("bb{}: terminator discipline violated at inst {j}", b.id.0),
+                ));
+            }
+            if inst.kind.has_result() != inst.result.is_some() {
+                return Err(err(
+                    f,
+                    format!("bb{} inst {j}: result presence mismatch for {}", b.id.0, inst.kind.opcode()),
+                ));
+            }
+        }
+    }
+
+    // definition sites
+    let mut def_site: HashMap<ValueId, (BlockId, usize)> = HashMap::new();
+    for i in 0..f.params.len() {
+        def_site.insert(ValueId(i as u32), (BlockId(0), usize::MAX)); // params: before entry
+    }
+    for b in &f.blocks {
+        for (j, inst) in b.insts.iter().enumerate() {
+            if let Some(r) = inst.result {
+                if def_site.insert(r, (b.id, j)).is_some() {
+                    return Err(err(f, format!("%{} defined twice", r.0)));
+                }
+            }
+        }
+    }
+
+    let check_block_ref = |target: BlockId| -> Result<(), VerifyError> {
+        if (target.0 as usize) < nblocks {
+            Ok(())
+        } else {
+            Err(err(f, format!("branch to unknown block bb{}", target.0)))
+        }
+    };
+
+    // Validate all block references before building the CFG — the dominator
+    // walk indexes blocks by id and would panic on a dangling branch.
+    for b in &f.blocks {
+        for inst in &b.insts {
+            match &inst.kind {
+                InstKind::Br { target } => check_block_ref(*target)?,
+                InstKind::CondBr { then_bb, else_bb, .. } => {
+                    check_block_ref(*then_bb)?;
+                    check_block_ref(*else_bb)?;
+                }
+                InstKind::Phi { incomings, .. } => {
+                    for (_, in_bb) in incomings {
+                        check_block_ref(*in_bb)?;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let idom = cfg::dominators(f);
+    let reachable = cfg::reachable(f);
+    let preds = cfg::predecessors(f);
+
+    // params defined "at entry", which dominates everything reachable
+    let dominates_use = |def: (BlockId, usize), use_bb: BlockId, use_idx: usize| -> bool {
+        let (def_bb, def_idx) = def;
+        if def_idx == usize::MAX {
+            return true; // parameter
+        }
+        if def_bb == use_bb {
+            return def_idx < use_idx;
+        }
+        cfg::dominates(&idom, def_bb, use_bb)
+    };
+
+    for b in &f.blocks {
+        if !reachable[b.id.0 as usize] {
+            continue; // dominance undefined for unreachable code
+        }
+        for (j, inst) in b.insts.iter().enumerate() {
+            match &inst.kind {
+                InstKind::Br { target } => check_block_ref(*target)?,
+                InstKind::CondBr { then_bb, else_bb, .. } => {
+                    check_block_ref(*then_bb)?;
+                    check_block_ref(*else_bb)?;
+                }
+                InstKind::Call { callee, .. } => {
+                    let known = m.function(callee).is_some() || callee.starts_with("rt_");
+                    if !known {
+                        return Err(err(f, format!("call to unknown @{callee}")));
+                    }
+                }
+                InstKind::Phi { incomings, .. } => {
+                    let bpreds = &preds[b.id.0 as usize];
+                    for (_, in_bb) in incomings {
+                        check_block_ref(*in_bb)?;
+                        if !bpreds.contains(in_bb) {
+                            return Err(err(
+                                f,
+                                format!(
+                                    "bb{}: phi incoming from non-predecessor bb{}",
+                                    b.id.0, in_bb.0
+                                ),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+
+            // operand defined-ness & dominance
+            if let InstKind::Phi { incomings, .. } = &inst.kind {
+                // a phi use must dominate the *end* of the incoming edge
+                for (op, in_bb) in incomings {
+                    if let Some(v) = op.as_value() {
+                        let Some(&def) = def_site.get(&v) else {
+                            return Err(err(f, format!("%{} used but never defined", v.0)));
+                        };
+                        let in_len = f.blocks[in_bb.0 as usize].insts.len();
+                        if reachable[in_bb.0 as usize] && !dominates_use(def, *in_bb, in_len) {
+                            return Err(err(
+                                f,
+                                format!("bb{}: phi operand %{} does not dominate edge", b.id.0, v.0),
+                            ));
+                        }
+                    }
+                }
+            } else {
+                for op in inst.kind.operands() {
+                    if let Some(v) = op.as_value() {
+                        let Some(&def) = def_site.get(&v) else {
+                            return Err(err(f, format!("%{} used but never defined", v.0)));
+                        };
+                        if !dominates_use(def, b.id, j) {
+                            return Err(err(
+                                f,
+                                format!("bb{} inst {j}: use of %{} not dominated by its def", b.id.0, v.0),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{BinOp, Block, FunctionBuilder, Inst, Module, Operand};
+    use crate::types::Ty;
+
+    fn ok_module() -> Module {
+        let mut m = Module::new("ok");
+        let mut fb = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let bb0 = fb.entry_block();
+        let p = fb.param_operand(0);
+        let r = fb.binop(bb0, BinOp::Add, Ty::I64, p, Operand::const_i64(1));
+        fb.ret(bb0, Some(r));
+        m.push_function(fb.finish());
+        m
+    }
+
+    #[test]
+    fn accepts_valid_module() {
+        assert!(verify_module(&ok_module()).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut m = ok_module();
+        m.functions[0].blocks[0].insts.pop();
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut m = ok_module();
+        // make the add reference a not-yet-defined value %9
+        if let InstKind::Bin { lhs, .. } = &mut m.functions[0].blocks[0].insts[0].kind {
+            *lhs = Operand::Value(ValueId(9));
+        }
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("never defined"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_callee() {
+        let mut m = ok_module();
+        let f = &mut m.functions[0];
+        f.blocks[0].insts.insert(
+            0,
+            Inst {
+                result: None,
+                kind: InstKind::Call { callee: "nope".into(), ret_ty: Ty::Void, args: vec![] },
+            },
+        );
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("unknown @nope"), "{e}");
+    }
+
+    #[test]
+    fn allows_rt_intrinsics() {
+        let mut m = ok_module();
+        let f = &mut m.functions[0];
+        f.blocks[0].insts.insert(
+            0,
+            Inst {
+                result: None,
+                kind: InstKind::Call {
+                    callee: "rt_print_i64".into(),
+                    ret_ty: Ty::Void,
+                    args: vec![Operand::const_i64(1)],
+                },
+            },
+        );
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_branch_to_missing_block() {
+        let mut m = ok_module();
+        let f = &mut m.functions[0];
+        let last = f.blocks[0].insts.len() - 1;
+        f.blocks[0].insts[last] = Inst { result: None, kind: InstKind::Br { target: BlockId(7) } };
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("unknown block"), "{e}");
+    }
+
+    #[test]
+    fn rejects_phi_from_non_predecessor() {
+        let mut fb = FunctionBuilder::new("p", vec![Ty::I64], Ty::I64);
+        let bb0 = fb.entry_block();
+        let bb1 = fb.add_block();
+        let bb2 = fb.add_block();
+        fb.br(bb0, bb1);
+        fb.br(bb1, bb2);
+        // phi claims an incoming from bb0, but bb2's only pred is bb1
+        let ph = fb.phi(
+            bb2,
+            Ty::I64,
+            vec![(Operand::const_i64(1), bb0)],
+        );
+        fb.ret(bb2, Some(ph));
+        let mut m = Module::new("p");
+        m.push_function(fb.finish());
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("non-predecessor"), "{e}");
+    }
+
+    #[test]
+    fn rejects_use_not_dominating() {
+        // bb0 → {bb1, bb2}; value defined in bb1 used in bb2
+        let mut fb = FunctionBuilder::new("d", vec![Ty::I1], Ty::I64);
+        let bb0 = fb.entry_block();
+        let bb1 = fb.add_block();
+        let bb2 = fb.add_block();
+        let c = fb.param_operand(0);
+        fb.cond_br(bb0, c, bb1, bb2);
+        let v = fb.binop(bb1, BinOp::Add, Ty::I64, Operand::const_i64(1), Operand::const_i64(2));
+        fb.ret(bb1, Some(v.clone()));
+        fb.ret(bb2, Some(v)); // illegal: bb1 does not dominate bb2
+        let mut m = Module::new("d");
+        m.push_function(fb.finish());
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("not dominated"), "{e}");
+    }
+
+    #[test]
+    fn rejects_misindexed_blocks() {
+        let mut m = ok_module();
+        m.functions[0].blocks.push(Block { id: BlockId(5), insts: vec![] });
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("block id"), "{e}");
+    }
+}

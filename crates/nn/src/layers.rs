@@ -1,0 +1,205 @@
+//! Basic trainable layers: Linear, Embedding, LayerNorm, Dropout.
+
+use gbm_tensor::{glorot_uniform, normal, Graph, Param, ParamStore, Tensor, Var};
+use rand::RngExt;
+
+/// Fully-connected layer `y = x·W (+ b)`.
+pub struct Linear {
+    w: Param,
+    b: Option<Param>,
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Output feature width.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Glorot-initialized linear layer.
+    pub fn new<R: RngExt + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Linear {
+        let w = store.register(format!("{name}.w"), glorot_uniform(rng, in_dim, out_dim));
+        let b = bias.then(|| store.register(format!("{name}.b"), Tensor::zeros(&[out_dim])));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Applies the layer to `[n, in_dim]`.
+    pub fn forward(&self, g: &Graph, x: Var) -> Var {
+        let w = g.param(&self.w);
+        let y = g.matmul(x, w);
+        match &self.b {
+            Some(b) => g.add_bias(y, g.param(b)),
+            None => y,
+        }
+    }
+}
+
+/// Token embedding table `[vocab, dim]`, looked up by id.
+pub struct Embedding {
+    w: Param,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding width.
+    pub dim: usize,
+}
+
+impl Embedding {
+    /// Normal(0, 0.02)-initialized embedding (BERT-style).
+    pub fn new<R: RngExt + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Embedding {
+        let w = store.register(format!("{name}.w"), normal(rng, &[vocab, dim], 0.0, 0.02));
+        Embedding { w, vocab, dim }
+    }
+
+    /// Gathers embeddings for `ids`, producing `[ids.len(), dim]`.
+    pub fn forward(&self, g: &Graph, ids: &[u32]) -> Var {
+        let w = g.param(&self.w);
+        g.gather_rows(w, ids)
+    }
+}
+
+/// Row-wise layer normalization with learnable gain/bias.
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    /// Feature width.
+    pub dim: usize,
+    /// Variance fuzz.
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    /// Identity-initialized LayerNorm.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> LayerNorm {
+        let gamma = store.register(format!("{name}.gamma"), Tensor::ones(&[dim]));
+        let beta = store.register(format!("{name}.beta"), Tensor::zeros(&[dim]));
+        LayerNorm { gamma, beta, dim, eps: 1e-5 }
+    }
+
+    /// Normalizes each row of `[n, dim]` to zero mean / unit variance, then
+    /// applies `gamma`/`beta`.
+    pub fn forward(&self, g: &Graph, x: Var) -> Var {
+        let mu = g.mean_cols(x);
+        let centered = g.sub_colvec(x, mu);
+        let var = g.mean_cols(g.square(centered));
+        let std = g.sqrt(g.add_scalar(var, self.eps));
+        let normed = g.div_colvec(centered, std);
+        let scaled = g.mul_rowvec(normed, g.param(&self.gamma));
+        g.add_bias(scaled, g.param(&self.beta))
+    }
+}
+
+/// Inverted dropout as a layer (no parameters; carries only the rate).
+pub struct Dropout {
+    /// Drop probability.
+    pub p: f32,
+}
+
+impl Dropout {
+    /// A dropout layer with rate `p`.
+    pub fn new(p: f32) -> Dropout {
+        Dropout { p }
+    }
+
+    /// Applies dropout when `training` is set.
+    pub fn forward<R: RngExt + ?Sized>(&self, g: &Graph, x: Var, training: bool, rng: &mut R) -> Var {
+        g.dropout(x, self.p, training, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_tensor::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 4, 3, true, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::ones(&[2, 4]));
+        let y = lin.forward(&g, x);
+        assert_eq!(g.value(y).dims(), &[2, 3]);
+        assert_eq!(store.num_weights(), 4 * 3 + 3);
+    }
+
+    #[test]
+    fn linear_gradients_flow_to_params() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 3, 2, true, &mut rng);
+        let g = Graph::new();
+        let x = g.constant(Tensor::ones(&[1, 3]));
+        let y = lin.forward(&g, x);
+        let loss = g.mean_all(g.square(y));
+        g.backward(loss);
+        for p in store.all() {
+            assert!(p.grad().norm() > 0.0, "param {} got no grad", p.name());
+        }
+    }
+
+    #[test]
+    fn embedding_lookup_rows() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 10, 4, &mut rng);
+        let g = Graph::new();
+        let out = emb.forward(&g, &[1, 1, 7]);
+        let v = g.value(out);
+        assert_eq!(v.dims(), &[3, 4]);
+        // rows 0 and 1 identical (same id)
+        assert_eq!(v.data()[..4], v.data()[4..8]);
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 4]));
+        let y = g.value(ln.forward(&g, x));
+        for row in y.data().chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::rand_uniform(&mut rng, &[3, 5], -2.0, 2.0);
+        gradcheck::check(&[x], |g, vs| {
+            let mut store = ParamStore::new();
+            let ln = LayerNorm::new(&mut store, "ln", 5);
+            let y = ln.forward(g, vs[0]);
+            let w = g.constant(Tensor::from_vec((0..15).map(|i| 0.1 * i as f32).collect(), &[3, 5]));
+            g.sum_all(g.mul(y, w))
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Dropout::new(0.5);
+        let g = Graph::new();
+        let x = g.constant(Tensor::ones(&[4, 4]));
+        let y = d.forward(&g, x, false, &mut rng);
+        assert!(g.value(y).allclose(&Tensor::ones(&[4, 4]), 1e-6));
+    }
+}

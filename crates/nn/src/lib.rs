@@ -1,0 +1,24 @@
+//! # gbm-nn
+//!
+//! Neural-network layers and the Graph Binary Matching Similarity Neural
+//! Network (the paper's model, §III-D), built on the `gbm-tensor` autograd
+//! engine:
+//!
+//! * [`layers`] — Linear, Embedding, LayerNorm, Dropout,
+//! * [`gatv2`] — single-head GATv2 convolution with positional edge features
+//!   and the heterogeneous stack-&-max wrapper,
+//! * [`pooling`] — SimGNN-style global attention pooling,
+//! * [`model`] — the Siamese [`GraphBinMatch`] network and graph encoding,
+//! * [`trainer`] — minibatched BCE/Adam training and batch prediction.
+
+pub mod gatv2;
+pub mod layers;
+pub mod model;
+pub mod pooling;
+pub mod trainer;
+
+pub use gatv2::{Fusion, Gatv2Conv, HeteroConv, Relation};
+pub use layers::{Dropout, Embedding, LayerNorm, Linear};
+pub use model::{encode_graph, EncodedGraph, GraphBinMatch, GraphBinMatchConfig, PoolKind};
+pub use pooling::AttentionPooling;
+pub use trainer::{predict, train, EpochStats, PairExample, PairSet, TrainConfig};

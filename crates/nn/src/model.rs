@@ -1,0 +1,380 @@
+//! The Graph Binary Matching Similarity Neural Network (paper §III-D, Fig 2).
+//!
+//! Pipeline per input pair:
+//!
+//! 1. token embedding (dim 128 in the paper) of each node's token sequence,
+//!    reduced over the sequence axis with **max**,
+//! 2. five heterogeneous GATv2 layers (dim 256) — one GATv2 per relation
+//!    (control/data/call), outputs stacked & element-wise maxed, LayerNorm,
+//!    LeakyReLU,
+//! 3. SimGNN attention pooling → one graph-level embedding per side,
+//! 4. concat → FC + LayerNorm + LeakyReLU → Dropout → FC → (sigmoid at
+//!    inference; training uses the fused logit BCE).
+//!
+//! The paper's full scale (128/256×5, vocab 2048, four A100s) is CPU-hostile;
+//! [`GraphBinMatchConfig::small`] is the reduced configuration the experiment
+//! harness trains (documented in EXPERIMENTS.md).
+
+use gbm_progml::{EdgeKind, NodeTextMode, ProgramGraph};
+use gbm_tensor::{Graph, Param, ParamStore, Var};
+use gbm_tokenizer::Tokenizer;
+use rand::RngExt;
+
+use crate::gatv2::{Fusion, HeteroConv, Relation};
+use crate::layers::{Dropout, Embedding, LayerNorm, Linear};
+use crate::pooling::AttentionPooling;
+
+/// Model hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphBinMatchConfig {
+    /// Tokenizer vocabulary size.
+    pub vocab_size: usize,
+    /// Token embedding width (paper: 128).
+    pub embed_dim: usize,
+    /// GNN hidden width (paper: 256).
+    pub hidden_dim: usize,
+    /// Number of hetero GATv2 layers (paper: 5).
+    pub num_layers: usize,
+    /// Dropout before the last linear layer.
+    pub dropout: f32,
+    /// LeakyReLU negative slope.
+    pub leaky_slope: f32,
+    /// Max positional index embedded on edges.
+    pub max_pos: usize,
+    /// Relation-fusion mode (paper: max; alternatives for ablations).
+    pub fusion: Fusion,
+    /// Graph read-out (paper: SimGNN attention; mean for ablations).
+    pub pooling: PoolKind,
+}
+
+/// Graph-level read-out variants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PoolKind {
+    /// SimGNN attention pooling (the paper's choice).
+    Attention,
+    /// Plain mean pooling.
+    Mean,
+}
+
+impl GraphBinMatchConfig {
+    /// The paper's configuration (needs GPU-scale compute to train).
+    pub fn paper(vocab_size: usize) -> Self {
+        GraphBinMatchConfig {
+            vocab_size,
+            embed_dim: 128,
+            hidden_dim: 256,
+            num_layers: 5,
+            dropout: 0.2,
+            leaky_slope: 0.01,
+            max_pos: 8,
+            fusion: Fusion::Max,
+            pooling: PoolKind::Attention,
+        }
+    }
+
+    /// CPU-scale configuration used by the experiment harness.
+    pub fn small(vocab_size: usize) -> Self {
+        GraphBinMatchConfig {
+            vocab_size,
+            embed_dim: 24,
+            hidden_dim: 32,
+            num_layers: 2,
+            dropout: 0.1,
+            leaky_slope: 0.01,
+            max_pos: 8,
+            fusion: Fusion::Max,
+            pooling: PoolKind::Attention,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny(vocab_size: usize) -> Self {
+        GraphBinMatchConfig {
+            vocab_size,
+            embed_dim: 8,
+            hidden_dim: 12,
+            num_layers: 2,
+            dropout: 0.0,
+            leaky_slope: 0.01,
+            max_pos: 4,
+            fusion: Fusion::Max,
+            pooling: PoolKind::Attention,
+        }
+    }
+}
+
+/// A program graph preprocessed into model inputs: per-node token ids plus
+/// per-relation adjacency.
+#[derive(Clone, Debug)]
+pub struct EncodedGraph {
+    /// `n_nodes × seq_len` token ids, row-major.
+    pub tokens: Vec<u32>,
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Tokens per node.
+    pub seq_len: usize,
+    /// Adjacency per relation, indexed by [`EdgeKind::index`].
+    pub relations: [Relation; 3],
+}
+
+impl EncodedGraph {
+    /// Total edges across relations.
+    pub fn n_edges(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+}
+
+/// Tokenizes a program graph into model inputs.
+pub fn encode_graph(g: &ProgramGraph, tok: &Tokenizer, mode: NodeTextMode) -> EncodedGraph {
+    let seq_len = tok.seq_len();
+    let mut tokens = Vec::with_capacity(g.num_nodes() * seq_len);
+    for node in &g.nodes {
+        tokens.extend(tok.encode(node.text_for(mode)));
+    }
+    let mut relations: [Relation; 3] = Default::default();
+    for kind in EdgeKind::ALL {
+        let (src, dst, pos) = g.relation(kind);
+        relations[kind.index()] = Relation { src, dst, pos };
+    }
+    EncodedGraph { tokens, n_nodes: g.num_nodes(), seq_len, relations }
+}
+
+/// The Siamese matching model.
+pub struct GraphBinMatch {
+    /// All trainable parameters.
+    pub store: ParamStore,
+    cfg: GraphBinMatchConfig,
+    embedding: Embedding,
+    input_proj: Linear,
+    layers: Vec<HeteroConv>,
+    pooling: AttentionPooling,
+    fc1: Linear,
+    fc_norm: LayerNorm,
+    dropout: Dropout,
+    fc2: Linear,
+}
+
+impl GraphBinMatch {
+    /// Builds a model with freshly initialized weights.
+    pub fn new<R: RngExt + ?Sized>(cfg: GraphBinMatchConfig, rng: &mut R) -> GraphBinMatch {
+        let mut store = ParamStore::new();
+        let embedding = Embedding::new(&mut store, "embed", cfg.vocab_size, cfg.embed_dim, rng);
+        let input_proj =
+            Linear::new(&mut store, "input_proj", cfg.embed_dim, cfg.hidden_dim, true, rng);
+        let layers = (0..cfg.num_layers)
+            .map(|i| {
+                HeteroConv::with_fusion(
+                    &mut store,
+                    &format!("conv{i}"),
+                    EdgeKind::ALL.len(),
+                    cfg.hidden_dim,
+                    cfg.hidden_dim,
+                    cfg.max_pos,
+                    cfg.fusion,
+                    rng,
+                )
+            })
+            .collect();
+        let pooling = AttentionPooling::new(&mut store, "pool", cfg.hidden_dim, rng);
+        // head input: [a, b, |a−b|, a⊙b]. The paper concatenates the two
+        // graph embeddings only; the explicit comparison features make the
+        // similarity learnable at CPU scale (documented in EXPERIMENTS.md).
+        let fc1 = Linear::new(&mut store, "fc1", 4 * cfg.hidden_dim, cfg.hidden_dim, true, rng);
+        let fc_norm = LayerNorm::new(&mut store, "fc_norm", cfg.hidden_dim);
+        let dropout = Dropout::new(cfg.dropout);
+        let fc2 = Linear::new(&mut store, "fc2", cfg.hidden_dim, 1, true, rng);
+        GraphBinMatch {
+            store,
+            cfg,
+            embedding,
+            input_proj,
+            layers,
+            pooling,
+            fc1,
+            fc_norm,
+            dropout,
+            fc2,
+        }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &GraphBinMatchConfig {
+        &self.cfg
+    }
+
+    /// All parameters (for optimizers).
+    pub fn params(&self) -> &[Param] {
+        self.store.all()
+    }
+
+    /// Total scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.store.num_weights()
+    }
+
+    /// Embeds one graph to `[1, hidden]`.
+    pub fn embed_graph<R: RngExt + ?Sized>(
+        &self,
+        g: &Graph,
+        eg: &EncodedGraph,
+        training: bool,
+        rng: &mut R,
+    ) -> Var {
+        let _ = (training, rng); // graph encoder has no stochastic layers
+        // token embedding, max over the sequence axis (paper's "max operation")
+        let tok = self.embedding.forward(g, &eg.tokens); // [n·s, e]
+        let node_feat = g.seq_max(tok, eg.n_nodes, eg.seq_len); // [n, e]
+        let mut h = self.input_proj.forward(g, node_feat); // [n, hidden]
+        h = g.leaky_relu(h, self.cfg.leaky_slope);
+        for layer in &self.layers {
+            let out = layer.forward(g, h, &eg.relations, eg.n_nodes);
+            h = g.leaky_relu(out, self.cfg.leaky_slope);
+        }
+        let pooled = match self.cfg.pooling {
+            PoolKind::Attention => self.pooling.forward(g, h), // [1, hidden]
+            PoolKind::Mean => g.mean_axis0(h),
+        };
+        // unit-norm graph embeddings: the matching head compares directions,
+        // not magnitudes, so size disparities (Fig. 4) cannot swamp the signal
+        g.l2_normalize_rows(pooled)
+    }
+
+    /// Produces the raw matching logit for a pair (`[1,1]`).
+    pub fn forward_pair<R: RngExt + ?Sized>(
+        &self,
+        g: &Graph,
+        a: &EncodedGraph,
+        b: &EncodedGraph,
+        training: bool,
+        rng: &mut R,
+    ) -> Var {
+        let ea = self.embed_graph(g, a, training, rng);
+        let eb = self.embed_graph(g, b, training, rng);
+        let diff = g.sub(ea, eb);
+        let absdiff = g.maximum(diff, g.neg(diff));
+        let prod = g.mul(ea, eb);
+        let cat = g.concat_cols(g.concat_cols(ea, eb), g.concat_cols(absdiff, prod)); // [1, 4h]
+        let x = self.fc1.forward(g, cat);
+        let x = self.fc_norm.forward(g, x);
+        let x = g.leaky_relu(x, self.cfg.leaky_slope);
+        let x = self.dropout.forward(g, x, training, rng);
+        self.fc2.forward(g, x) // logit
+    }
+
+    /// Matching score in `[0,1]` (inference mode).
+    pub fn score(&self, a: &EncodedGraph, b: &EncodedGraph) -> f32 {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0); // unused: eval mode
+        let g = Graph::new();
+        let logit = self.forward_pair(&g, a, b, false, &mut rng);
+        let s = g.sigmoid(logit);
+        g.value(s).item()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_frontends::{compile, SourceLang};
+    use gbm_tokenizer::TokenizerConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixtures() -> (Tokenizer, EncodedGraph, EncodedGraph) {
+        let m1 = compile(
+            SourceLang::MiniC,
+            "a",
+            "int main() { int s = 0; for (int i = 0; i < 9; i++) { s += i; } print(s); return 0; }",
+        )
+        .unwrap();
+        let m2 = compile(
+            SourceLang::MiniC,
+            "b",
+            "int main() { int p = 1; for (int i = 1; i < 6; i++) { p *= i; } print(p); return 0; }",
+        )
+        .unwrap();
+        let g1 = gbm_progml::build_graph(&m1);
+        let g2 = gbm_progml::build_graph(&m2);
+        let tok = Tokenizer::train_on_graphs(
+            &[&g1, &g2],
+            NodeTextMode::FullText,
+            TokenizerConfig::default(),
+        );
+        let e1 = encode_graph(&g1, &tok, NodeTextMode::FullText);
+        let e2 = encode_graph(&g2, &tok, NodeTextMode::FullText);
+        (tok, e1, e2)
+    }
+
+    #[test]
+    fn encode_graph_shapes() {
+        let (tok, e1, _) = fixtures();
+        assert_eq!(e1.tokens.len(), e1.n_nodes * tok.seq_len());
+        assert!(e1.n_edges() > 0);
+        assert!(e1.relations[EdgeKind::Control.index()].len() > 0);
+        assert!(e1.relations[EdgeKind::Data.index()].len() > 0);
+    }
+
+    #[test]
+    fn score_is_probability_and_deterministic() {
+        let (tok, e1, e2) = fixtures();
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);
+        let s1 = model.score(&e1, &e2);
+        let s2 = model.score(&e1, &e2);
+        assert!((0.0..=1.0).contains(&s1));
+        assert_eq!(s1, s2, "inference must be deterministic");
+    }
+
+    #[test]
+    fn forward_pair_produces_gradients_everywhere() {
+        let (tok, e1, e2) = fixtures();
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);
+        let g = Graph::new();
+        let logit = model.forward_pair(&g, &e1, &e2, true, &mut rng);
+        let loss = g.bce_with_logits(logit, &gbm_tensor::Tensor::from_vec(vec![1.0], &[1, 1]));
+        g.backward(loss);
+        let with_grad = model
+            .params()
+            .iter()
+            .filter(|p| p.grad().norm() > 0.0)
+            .count();
+        // embeddings for unused tokens legitimately get zero grad; the bulk
+        // of parameters must be touched
+        assert!(
+            with_grad * 10 >= model.params().len() * 8,
+            "{with_grad}/{} params got gradient",
+            model.params().len()
+        );
+    }
+
+    #[test]
+    fn weight_count_scales_with_config() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let small = GraphBinMatch::new(GraphBinMatchConfig::tiny(100), &mut rng);
+        let big = GraphBinMatch::new(GraphBinMatchConfig::small(100), &mut rng);
+        assert!(big.num_weights() > small.num_weights());
+    }
+
+    #[test]
+    fn symmetric_inputs_give_mirror_scores() {
+        // not exactly symmetric (concat order matters, as in the paper), but
+        // both directions must be valid probabilities
+        let (tok, e1, e2) = fixtures();
+        let mut rng = StdRng::seed_from_u64(10);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);
+        let ab = model.score(&e1, &e2);
+        let ba = model.score(&e2, &e1);
+        assert!((0.0..=1.0).contains(&ab));
+        assert!((0.0..=1.0).contains(&ba));
+    }
+
+    #[test]
+    fn paper_config_matches_reported_dims() {
+        let cfg = GraphBinMatchConfig::paper(2048);
+        assert_eq!(cfg.embed_dim, 128);
+        assert_eq!(cfg.hidden_dim, 256);
+        assert_eq!(cfg.num_layers, 5);
+        assert_eq!(cfg.vocab_size, 2048);
+    }
+}

@@ -1,0 +1,108 @@
+//! SimGNN-style global attention pooling (§III-D-2).
+//!
+//! A global context `c = tanh(mean(H) · W)` summarizes the graph; each node's
+//! attention is `σ(hᵢ · cᵀ)`; the graph embedding is the attention-weighted
+//! sum of node embeddings. Nodes similar to the overall context weigh more.
+
+use gbm_tensor::{Graph, Param, ParamStore, Var};
+use rand::RngExt;
+
+/// Attention pooling layer `[n, d] → [1, d]`.
+pub struct AttentionPooling {
+    w: Param,
+    /// Feature width.
+    pub dim: usize,
+}
+
+impl AttentionPooling {
+    /// Builds the pooling with a `[d, d]` context transform.
+    pub fn new<R: RngExt + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        rng: &mut R,
+    ) -> AttentionPooling {
+        let w = store.register(format!("{name}.w"), gbm_tensor::glorot_uniform(rng, dim, dim));
+        AttentionPooling { w, dim }
+    }
+
+    /// Pools node embeddings `[n, d]` into a graph embedding `[1, d]`.
+    ///
+    /// SimGNN's raw attention-weighted *sum* grows linearly with graph size,
+    /// which blows up the head when matching pairs differ by 3-10× in node
+    /// count (Fig. 4). Scaling by `1/√n` keeps the embedding size-aware
+    /// (node count is a real signal — Table VII) with bounded magnitude.
+    pub fn forward(&self, g: &Graph, h: Var) -> Var {
+        let n = g.value(h).dims()[0].max(1);
+        let mean = g.mean_axis0(h); // [1, d]
+        let c = g.tanh(g.matmul(mean, g.param(&self.w))); // [1, d]
+        let scores = g.matmul(h, g.transpose(c)); // [n, 1]
+        let att = g.sigmoid(scores); // [n, 1]
+        let pooled = g.matmul(g.transpose(att), h); // [1, d]
+        g.scale(pooled, 1.0 / (n as f32).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_tensor::{gradcheck, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pooling_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let pool = AttentionPooling::new(&mut store, "p", 4, &mut rng);
+        let g = Graph::new();
+        let h = g.constant(Tensor::rand_uniform(&mut rng, &[7, 4], -1.0, 1.0));
+        let out = pool.forward(&g, h);
+        assert_eq!(g.value(out).dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn pooling_is_permutation_invariant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let pool = AttentionPooling::new(&mut store, "p", 3, &mut rng);
+        let rows = [vec![1.0f32, 2.0, 3.0], vec![-1.0, 0.5, 2.0], vec![0.0, 0.0, 1.0]];
+        let forward = |order: &[usize]| {
+            let g = Graph::new();
+            let data: Vec<f32> = order.iter().flat_map(|&i| rows[i].clone()).collect();
+            let h = g.constant(Tensor::from_vec(data, &[3, 3]));
+            g.value(pool.forward(&g, h)).into_vec()
+        };
+        let a = forward(&[0, 1, 2]);
+        let b = forward(&[2, 0, 1]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-5, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn pooling_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = Tensor::rand_uniform(&mut rng, &[5, 3], -1.0, 1.0);
+        gradcheck::check(&[h], |g, vs| {
+            let mut rng2 = StdRng::seed_from_u64(9);
+            let mut store = ParamStore::new();
+            let pool = AttentionPooling::new(&mut store, "p", 3, &mut rng2);
+            g.mean_all(g.square(pool.forward(g, vs[0])))
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn distinct_graphs_pool_to_distinct_embeddings() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let pool = AttentionPooling::new(&mut store, "p", 3, &mut rng);
+        let g = Graph::new();
+        let h1 = g.constant(Tensor::rand_uniform(&mut rng, &[4, 3], -1.0, 1.0));
+        let h2 = g.constant(Tensor::rand_uniform(&mut rng, &[4, 3], -1.0, 1.0));
+        let e1 = g.value(pool.forward(&g, h1));
+        let e2 = g.value(pool.forward(&g, h2));
+        assert!(!e1.allclose(&e2, 1e-3));
+    }
+}

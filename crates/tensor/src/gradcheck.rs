@@ -1,0 +1,234 @@
+//! Finite-difference gradient verification.
+//!
+//! Every differentiable op in this crate (and every layer in `gbm-nn`) is
+//! validated against central finite differences. The builder closure is
+//! re-invoked per probe, so it must be deterministic — no dropout, no RNG.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Checks autograd gradients of `f` (a scalar-valued builder) against central
+/// finite differences at the given inputs.
+///
+/// `f` receives a fresh [`Graph`] and one leaf [`Var`] per input tensor and
+/// must return a `[1]` loss. Returns `Err` describing the first mismatch.
+pub fn check_grads(
+    inputs: &[Tensor],
+    f: impl Fn(&Graph, &[Var]) -> Var,
+    eps: f32,
+    tol: f32,
+) -> Result<(), String> {
+    let eval = |tensors: &[Tensor]| -> f32 {
+        let g = Graph::new();
+        let vars: Vec<Var> = tensors.iter().map(|t| g.leaf(t.clone())).collect();
+        let loss = f(&g, &vars);
+        let v = g.value(loss);
+        assert_eq!(v.len(), 1, "gradcheck target must be scalar");
+        v.item()
+    };
+
+    // autograd pass
+    let g = Graph::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| g.leaf(t.clone())).collect();
+    let loss = f(&g, &vars);
+    g.backward(loss);
+    let auto_grads: Vec<Tensor> = vars
+        .iter()
+        .zip(inputs.iter())
+        .map(|(v, t)| g.grad(*v).unwrap_or_else(|| Tensor::zeros(t.dims())))
+        .collect();
+
+    for (k, input) in inputs.iter().enumerate() {
+        for i in 0..input.len() {
+            let mut plus = inputs.to_vec();
+            let mut pd = input.data().to_vec();
+            pd[i] += eps;
+            plus[k] = Tensor::from_vec(pd, input.dims());
+
+            let mut minus = inputs.to_vec();
+            let mut md = input.data().to_vec();
+            md[i] -= eps;
+            minus[k] = Tensor::from_vec(md, input.dims());
+
+            let fd = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let ag = auto_grads[k].data()[i];
+            let err = (fd - ag).abs();
+            let scale = 1.0 + fd.abs().max(ag.abs());
+            if err > tol * scale {
+                return Err(format!(
+                    "input {k} elem {i}: finite-diff {fd:.6} vs autograd {ag:.6} (err {err:.2e})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`check_grads`] with defaults suitable for f32 (`eps = 1e-2`, `tol = 2e-2`).
+pub fn check(inputs: &[Tensor], f: impl Fn(&Graph, &[Var]) -> Var) -> Result<(), String> {
+    check_grads(inputs, f, 1e-2, 2e-2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(rng: &mut StdRng, dims: &[usize]) -> Tensor {
+        Tensor::rand_uniform(rng, dims, -1.0, 1.0)
+    }
+
+    #[test]
+    fn catches_wrong_gradient() {
+        // exp pretending to be identity's gradient would fail; simulate by
+        // checking a deliberately mismatched builder/eval is *not* the point —
+        // instead verify the checker flags a non-differentiable cliff.
+        let x = Tensor::from_vec(vec![0.5], &[1]);
+        // f(x) = x rounded to steps of 1.0 has zero autograd but nonzero FD
+        // at 0.5 ± eps only if it crosses a step; use |x| at 0 instead:
+        let x0 = Tensor::from_vec(vec![0.0], &[1]);
+        let res = check(&[x0], |g, vs| {
+            // relu has a kink at 0: fd ≈ 0.5, autograd = 0
+            g.sum_all(g.relu(vs[0]))
+        });
+        assert!(res.is_err(), "kink at origin should trip the checker");
+        // smooth point passes
+        check(&[x], |g, vs| g.sum_all(g.relu(vs[0]))).unwrap();
+    }
+
+    #[test]
+    fn elementwise_ops_pass() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = t(&mut rng, &[3, 4]);
+        let b = t(&mut rng, &[3, 4]);
+        check(&[a.clone(), b.clone()], |g, vs| {
+            let s = g.add(vs[0], vs[1]);
+            let m = g.mul(s, vs[0]);
+            g.mean_all(m)
+        })
+        .unwrap();
+        check(&[a.clone()], |g, vs| g.mean_all(g.sigmoid(vs[0]))).unwrap();
+        check(&[a.clone()], |g, vs| g.mean_all(g.tanh(vs[0]))).unwrap();
+        check(&[a.clone()], |g, vs| g.mean_all(g.exp(vs[0]))).unwrap();
+        check(&[a], |g, vs| g.mean_all(g.leaky_relu(vs[0], 0.2))).unwrap();
+    }
+
+    #[test]
+    fn div_op_passes() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let a = t(&mut rng, &[2, 3]);
+        let b = Tensor::rand_uniform(&mut rng, &[2, 3], 0.5, 1.5);
+        check(&[a, b], |g, vs| g.mean_all(g.div(vs[0], vs[1]))).unwrap();
+    }
+
+    #[test]
+    fn matmul_passes() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let a = t(&mut rng, &[3, 4]);
+        let b = t(&mut rng, &[4, 2]);
+        check(&[a, b], |g, vs| g.mean_all(g.matmul(vs[0], vs[1]))).unwrap();
+    }
+
+    #[test]
+    fn softmax_passes() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let a = t(&mut rng, &[3, 5]);
+        check(&[a], |g, vs| {
+            let s = g.softmax_rows(vs[0]);
+            // weight rows so the gradient is nontrivial
+            let w = g.constant(Tensor::from_vec(
+                (0..15).map(|i| i as f32 * 0.1).collect(),
+                &[3, 5],
+            ));
+            g.sum_all(g.mul(s, w))
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn layernormish_composite_passes() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let a = t(&mut rng, &[4, 6]);
+        check(&[a], |g, vs| {
+            let mu = g.mean_cols(vs[0]);
+            let centered = g.sub_colvec(vs[0], mu);
+            let var = g.mean_cols(g.square(centered));
+            let std = g.sqrt(g.add_scalar(var, 1e-3));
+            let normed = g.div_colvec(centered, std);
+            g.mean_all(g.square(normed))
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn gather_segment_passes() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let x = t(&mut rng, &[4, 3]);
+        check(&[x], |g, vs| {
+            let gathered = g.gather_rows(vs[0], &[0, 2, 2, 3, 1]);
+            let summed = g.segment_sum(gathered, &[0, 0, 1, 1, 1], 2);
+            g.mean_all(g.square(summed))
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn segment_softmax_passes() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let s = t(&mut rng, &[5, 1]);
+        check(&[s], |g, vs| {
+            let sm = g.segment_softmax(vs[0], &[0, 0, 1, 1, 1], 2);
+            let w = g.constant(Tensor::from_vec(vec![0.1, 0.5, 0.2, 0.9, 0.3], &[5, 1]));
+            g.sum_all(g.mul(sm, w))
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn seq_max_passes() {
+        let mut rng = StdRng::seed_from_u64(49);
+        let x = t(&mut rng, &[6, 3]); // 2 nodes × 3 tokens
+        check(&[x], |g, vs| g.mean_all(g.seq_max(vs[0], 2, 3))).unwrap();
+    }
+
+    #[test]
+    fn bce_with_logits_passes() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let x = t(&mut rng, &[4, 1]);
+        let targets = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[4, 1]);
+        check(&[x], |g, vs| g.bce_with_logits(vs[0], &targets)).unwrap();
+    }
+
+    #[test]
+    fn attention_pooling_composite_passes() {
+        // the SimGNN pooling pattern: c = tanh(mean(H)·W); a = σ(H·cᵀ); g = aᵀH
+        let mut rng = StdRng::seed_from_u64(51);
+        let h = t(&mut rng, &[5, 4]);
+        let w = t(&mut rng, &[4, 4]);
+        check(&[h, w], |g, vs| {
+            let mean = g.mean_axis0(vs[0]); // [1,4]
+            let c = g.tanh(g.matmul(mean, vs[1])); // [1,4]
+            let scores = g.matmul(vs[0], g.transpose(c)); // [5,1]
+            let att = g.sigmoid(scores);
+            let pooled = g.matmul(g.transpose(att), vs[0]); // [1,4]
+            g.mean_all(g.square(pooled))
+        })
+        .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod rowvec_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mul_rowvec_passes() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let x = Tensor::rand_uniform(&mut rng, &[3, 4], -1.0, 1.0);
+        let v = Tensor::rand_uniform(&mut rng, &[4], 0.5, 1.5);
+        check(&[x, v], |g, vs| g.mean_all(g.square(g.mul_rowvec(vs[0], vs[1])))).unwrap();
+    }
+}

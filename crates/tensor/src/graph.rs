@@ -1,0 +1,713 @@
+//! The autograd tape.
+//!
+//! A [`Graph`] records every differentiable operation as a node holding the
+//! forward value plus a backward closure. [`Graph::backward`] walks the tape
+//! in reverse creation order, accumulating gradients and flushing them into
+//! [`Param`] sinks. The tape is single-threaded by design (no locks on the
+//! hot path); kernels inside ops parallelize with rayon.
+
+use std::cell::RefCell;
+
+use crate::kernels;
+use crate::param::Param;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape. Cheap to copy; only valid for the graph
+/// that created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var {
+    pub(crate) id: u32,
+}
+
+type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<(u32, Tensor)>>;
+
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) needs_grad: bool,
+    pub(crate) backward: Option<BackwardFn>,
+    pub(crate) sink: Option<Param>,
+}
+
+/// Reverse-mode autodiff tape.
+///
+/// Create one per forward pass; ops are methods on the graph and return
+/// [`Var`] handles. After [`Graph::backward`], per-node gradients are
+/// available through [`Graph::grad`] and parameter gradients have been
+/// accumulated into their [`Param`] sinks.
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+    pub(crate) grads: RefCell<Vec<Option<Tensor>>>,
+}
+
+impl Graph {
+    /// Fresh, empty tape.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records a non-differentiable input (dataset tensors, labels, masks).
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(Node { value, needs_grad: false, backward: None, sink: None })
+    }
+
+    /// Records a differentiable input that is *not* a parameter — used by
+    /// gradient checking and by composite layers that need `∂out/∂input`.
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(Node { value, needs_grad: true, backward: None, sink: None })
+    }
+
+    /// Binds a trainable [`Param`]: gradients accumulate into the param
+    /// after [`Graph::backward`].
+    pub fn param(&self, p: &Param) -> Var {
+        self.push(Node {
+            value: p.value(),
+            needs_grad: true,
+            backward: None,
+            sink: Some(p.clone()),
+        })
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes.borrow()[v.id as usize].value.clone()
+    }
+
+    /// The gradient of the last [`Graph::backward`] target w.r.t. `v`
+    /// (None if `v` did not require or receive a gradient).
+    pub fn grad(&self, v: Var) -> Option<Tensor> {
+        self.grads.borrow().get(v.id as usize).cloned().flatten()
+    }
+
+    pub(crate) fn push(&self, node: Node) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        let id = nodes.len() as u32;
+        nodes.push(node);
+        Var { id }
+    }
+
+    pub(crate) fn needs(&self, v: Var) -> bool {
+        self.nodes.borrow()[v.id as usize].needs_grad
+    }
+
+    /// Records an op node: `parents` feed it, `backward` maps the upstream
+    /// gradient to per-parent contributions. The closure is dropped when no
+    /// parent requires gradients.
+    pub(crate) fn op(
+        &self,
+        value: Tensor,
+        parents: &[Var],
+        backward: impl Fn(&Tensor) -> Vec<(u32, Tensor)> + 'static,
+    ) -> Var {
+        let needs_grad = parents.iter().any(|p| self.needs(*p));
+        let backward: Option<BackwardFn> =
+            if needs_grad { Some(Box::new(backward)) } else { None };
+        self.push(Node { value, needs_grad, backward, sink: None })
+    }
+
+    /// Runs reverse-mode differentiation seeded with `∂target/∂target = 1`.
+    ///
+    /// `target` is typically a `[1]` loss. Parameter gradients are *added*
+    /// into their sinks, so call [`Param::zero_grad`] (or use an optimizer
+    /// that does) between steps.
+    pub fn backward(&self, target: Var) {
+        let nodes = self.nodes.borrow();
+        let n = nodes.len();
+        let mut grads: Vec<Option<Tensor>> = vec![None; n];
+        let seed = Tensor::ones(nodes[target.id as usize].value.dims());
+        grads[target.id as usize] = Some(seed);
+
+        for id in (0..=target.id as usize).rev() {
+            let Some(g) = grads[id].clone() else { continue };
+            let node = &nodes[id];
+            if !node.needs_grad {
+                continue;
+            }
+            if let Some(back) = &node.backward {
+                for (pid, contrib) in back(&g) {
+                    let slot = &mut grads[pid as usize];
+                    match slot {
+                        Some(acc) => *slot = Some(acc.zip(&contrib, |a, b| a + b)),
+                        None => *slot = Some(contrib),
+                    }
+                }
+            }
+            if let Some(p) = &node.sink {
+                p.accumulate_grad(&g);
+            }
+        }
+        *self.grads.borrow_mut() = grads;
+    }
+
+    // ---------------------------------------------------------------------
+    // Elementwise binary ops (same shape)
+    // ---------------------------------------------------------------------
+
+    fn binary(
+        &self,
+        a: Var,
+        b: Var,
+        f: impl Fn(f32, f32) -> f32,
+        back: impl Fn(&Tensor, &Tensor, &Tensor) -> (Tensor, Tensor) + 'static,
+    ) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.dims(), vb.dims(), "elementwise shape mismatch");
+        let out = va.zip(&vb, f);
+        self.op(out, &[a, b], move |g| {
+            let (da, db) = back(g, &va, &vb);
+            vec![(a.id, da), (b.id, db)]
+        })
+    }
+
+    /// `a + b` (same shape).
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x + y, |g, _, _| (g.clone(), g.clone()))
+    }
+
+    /// `a - b` (same shape).
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        self.binary(a, b, |x, y| x - y, |g, _, _| (g.clone(), g.map(|x| -x)))
+    }
+
+    /// `a ⊙ b` (same shape).
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        self.binary(
+            a,
+            b,
+            |x, y| x * y,
+            |g, va, vb| (g.zip(vb, |x, y| x * y), g.zip(va, |x, y| x * y)),
+        )
+    }
+
+    /// `a ⊘ b` (same shape).
+    pub fn div(&self, a: Var, b: Var) -> Var {
+        self.binary(
+            a,
+            b,
+            |x, y| x / y,
+            |g, va, vb| {
+                let da = g.zip(vb, |gv, y| gv / y);
+                let db = g
+                    .zip(va, |gv, x| gv * x)
+                    .zip(vb, |num, y| -num / (y * y));
+                (da, db)
+            },
+        )
+    }
+
+    /// Elementwise maximum; gradient follows the winner (ties go to `a`).
+    pub fn maximum(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.dims(), vb.dims());
+        let out = va.zip(&vb, f32::max);
+        self.op(out, &[a, b], move |g| {
+            let mask_a = va.zip(&vb, |x, y| if x >= y { 1.0 } else { 0.0 });
+            let da = g.zip(&mask_a, |gv, m| gv * m);
+            let db = g.zip(&mask_a, |gv, m| gv * (1.0 - m));
+            vec![(a.id, da), (b.id, db)]
+        })
+    }
+
+    // ---------------------------------------------------------------------
+    // Elementwise unary ops
+    // ---------------------------------------------------------------------
+
+    fn unary(
+        &self,
+        a: Var,
+        f: impl Fn(f32) -> f32,
+        // dL/dx from (dL/dy, x, y)
+        back: impl Fn(f32, f32, f32) -> f32 + 'static,
+    ) -> Var {
+        let va = self.value(a);
+        let out = va.map(f);
+        let vo = out.clone();
+        self.op(out, &[a], move |g| {
+            let mut d = Vec::with_capacity(va.len());
+            for i in 0..va.len() {
+                d.push(back(g.data()[i], va.data()[i], vo.data()[i]));
+            }
+            vec![(a.id, Tensor::from_vec(d, va.dims()))]
+        })
+    }
+
+    /// `-a`.
+    pub fn neg(&self, a: Var) -> Var {
+        self.unary(a, |x| -x, |g, _, _| -g)
+    }
+
+    /// `a * c` for scalar `c`.
+    pub fn scale(&self, a: Var, c: f32) -> Var {
+        self.unary(a, move |x| x * c, move |g, _, _| g * c)
+    }
+
+    /// `a + c` for scalar `c`.
+    pub fn add_scalar(&self, a: Var, c: f32) -> Var {
+        self.unary(a, move |x| x + c, |g, _, _| g)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        self.unary(a, |x| 1.0 / (1.0 + (-x).exp()), |g, _, y| g * y * (1.0 - y))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        self.unary(a, f32::tanh, |g, _, y| g * (1.0 - y * y))
+    }
+
+    /// Natural exponential.
+    pub fn exp(&self, a: Var) -> Var {
+        self.unary(a, f32::exp, |g, _, y| g * y)
+    }
+
+    /// Natural log of `max(x, eps)` — clamped so downstream losses stay finite.
+    pub fn ln(&self, a: Var) -> Var {
+        const EPS: f32 = 1e-12;
+        self.unary(a, |x| x.max(EPS).ln(), |g, x, _| g / x.max(EPS))
+    }
+
+    /// Square root (of the clamped-positive input).
+    pub fn sqrt(&self, a: Var) -> Var {
+        const EPS: f32 = 1e-12;
+        self.unary(a, |x| x.max(0.0).sqrt(), |g, _, y| g / (2.0 * y.max(EPS)))
+    }
+
+    /// Elementwise square.
+    pub fn square(&self, a: Var) -> Var {
+        self.unary(a, |x| x * x, |g, x, _| 2.0 * g * x)
+    }
+
+    /// LeakyReLU with the given negative slope (paper uses LeakyReLU
+    /// throughout the model).
+    pub fn leaky_relu(&self, a: Var, slope: f32) -> Var {
+        self.unary(
+            a,
+            move |x| if x >= 0.0 { x } else { slope * x },
+            move |g, x, _| if x >= 0.0 { g } else { slope * g },
+        )
+    }
+
+    /// Standard ReLU.
+    pub fn relu(&self, a: Var) -> Var {
+        self.unary(
+            a,
+            |x| x.max(0.0),
+            |g, x, _| if x > 0.0 { g } else { 0.0 },
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Matrix ops
+    // ---------------------------------------------------------------------
+
+    /// `a[n×k] · b[k×m]`.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.shape().rank(), 2, "matmul lhs must be rank-2");
+        assert_eq!(vb.shape().rank(), 2, "matmul rhs must be rank-2");
+        let (n, k) = (va.dims()[0], va.dims()[1]);
+        let (k2, m) = (vb.dims()[0], vb.dims()[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let out = Tensor::from_parts(
+            Shape::new(&[n, m]),
+            kernels::matmul(va.data(), vb.data(), n, k, m),
+        );
+        self.op(out, &[a, b], move |g| {
+            // dA = dC · Bᵀ ; dB = Aᵀ · dC
+            let da = kernels::matmul_nt(g.data(), vb.data(), n, m, k);
+            let db = kernels::matmul_tn(va.data(), g.data(), n, k, m);
+            vec![
+                (a.id, Tensor::from_vec(da, &[n, k])),
+                (b.id, Tensor::from_vec(db, &[k, m])),
+            ]
+        })
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self, a: Var) -> Var {
+        let va = self.value(a);
+        assert_eq!(va.shape().rank(), 2);
+        let (n, m) = (va.dims()[0], va.dims()[1]);
+        let out = Tensor::from_vec(kernels::transpose(va.data(), n, m), &[m, n]);
+        self.op(out, &[a], move |g| {
+            vec![(a.id, Tensor::from_vec(kernels::transpose(g.data(), m, n), &[n, m]))]
+        })
+    }
+
+    /// Adds a `[m]` bias row-wise to an `[n×m]` matrix.
+    pub fn add_bias(&self, x: Var, bias: Var) -> Var {
+        let (vx, vb) = (self.value(x), self.value(bias));
+        let (_n, m) = (vx.dims()[0], vx.dims()[1]);
+        assert_eq!(vb.len(), m, "bias length {} vs cols {}", vb.len(), m);
+        let mut out = vx.data().to_vec();
+        for row in out.chunks_mut(m) {
+            for (o, &b) in row.iter_mut().zip(vb.data().iter()) {
+                *o += b;
+            }
+        }
+        let out = Tensor::from_vec(out, vx.dims());
+        self.op(out, &[x, bias], move |g| {
+            let mut db = vec![0.0f32; m];
+            for row in g.data().chunks(m) {
+                for (d, &gv) in db.iter_mut().zip(row.iter()) {
+                    *d += gv;
+                }
+            }
+            vec![(x.id, g.clone()), (bias.id, Tensor::from_vec(db, &[m]))]
+        })
+    }
+
+    /// Multiplies each row of `x[n×m]` elementwise by a `[m]` vector
+    /// (the LayerNorm gain broadcast).
+    pub fn mul_rowvec(&self, x: Var, v: Var) -> Var {
+        let (vx, vv) = (self.value(x), self.value(v));
+        let (n, m) = (vx.dims()[0], vx.dims()[1]);
+        assert_eq!(vv.len(), m, "row vector length {} vs cols {}", vv.len(), m);
+        let mut out = vx.data().to_vec();
+        for row in out.chunks_mut(m) {
+            for (o, &s) in row.iter_mut().zip(vv.data().iter()) {
+                *o *= s;
+            }
+        }
+        let out = Tensor::from_vec(out, vx.dims());
+        self.op(out, &[x, v], move |g| {
+            let mut dx = vec![0.0f32; n * m];
+            let mut dv = vec![0.0f32; m];
+            for i in 0..n {
+                for j in 0..m {
+                    let idx = i * m + j;
+                    dx[idx] = g.data()[idx] * vv.data()[j];
+                    dv[j] += g.data()[idx] * vx.data()[idx];
+                }
+            }
+            vec![
+                (x.id, Tensor::from_vec(dx, &[n, m])),
+                (v.id, Tensor::from_vec(dv, &[m])),
+            ]
+        })
+    }
+
+    /// Reshape (shares data; gradient reshaped back).
+    pub fn reshape(&self, a: Var, dims: &[usize]) -> Var {
+        let va = self.value(a);
+        let old: Vec<usize> = va.dims().to_vec();
+        let out = va.reshape(dims);
+        self.op(out, &[a], move |g| vec![(a.id, g.reshape(&old))])
+    }
+
+    // ---------------------------------------------------------------------
+    // Reductions & broadcasts
+    // ---------------------------------------------------------------------
+
+    /// Sum of all elements → `[1]`.
+    pub fn sum_all(&self, a: Var) -> Var {
+        let va = self.value(a);
+        let out = Tensor::scalar(va.sum());
+        self.op(out, &[a], move |g| {
+            let gv = g.item();
+            vec![(a.id, Tensor::full(va.dims(), gv))]
+        })
+    }
+
+    /// Mean of all elements → `[1]`.
+    pub fn mean_all(&self, a: Var) -> Var {
+        let va = self.value(a);
+        let n = va.len().max(1) as f32;
+        let out = Tensor::scalar(va.mean());
+        self.op(out, &[a], move |g| {
+            let gv = g.item() / n;
+            vec![(a.id, Tensor::full(va.dims(), gv))]
+        })
+    }
+
+    /// Column means of `[n×m]` → `[1×m]`.
+    pub fn mean_axis0(&self, a: Var) -> Var {
+        let va = self.value(a);
+        let (n, m) = (va.dims()[0], va.dims()[1]);
+        let mut out = vec![0.0f32; m];
+        for row in va.data().chunks(m) {
+            for (o, &v) in out.iter_mut().zip(row.iter()) {
+                *o += v;
+            }
+        }
+        let inv = if n == 0 { 0.0 } else { 1.0 / n as f32 };
+        out.iter_mut().for_each(|o| *o *= inv);
+        let out = Tensor::from_vec(out, &[1, m]);
+        self.op(out, &[a], move |g| {
+            let mut d = vec![0.0f32; n * m];
+            for row in d.chunks_mut(m) {
+                for (o, &gv) in row.iter_mut().zip(g.data().iter()) {
+                    *o = gv * inv;
+                }
+            }
+            vec![(a.id, Tensor::from_vec(d, &[n, m]))]
+        })
+    }
+
+    /// Row sums of `[n×m]` → `[n×1]`.
+    pub fn sum_cols(&self, a: Var) -> Var {
+        let va = self.value(a);
+        let (n, m) = (va.dims()[0], va.dims()[1]);
+        let out: Vec<f32> = va.data().chunks(m).map(|r| r.iter().sum()).collect();
+        let out = Tensor::from_vec(out, &[n, 1]);
+        self.op(out, &[a], move |g| {
+            let mut d = vec![0.0f32; n * m];
+            for (row, &gv) in d.chunks_mut(m).zip(g.data().iter()) {
+                row.iter_mut().for_each(|o| *o = gv);
+            }
+            vec![(a.id, Tensor::from_vec(d, &[n, m]))]
+        })
+    }
+
+    /// Row means of `[n×m]` → `[n×1]`.
+    pub fn mean_cols(&self, a: Var) -> Var {
+        let m = self.value(a).dims()[1].max(1) as f32;
+        let s = self.sum_cols(a);
+        self.scale(s, 1.0 / m)
+    }
+
+    fn colvec_binary(
+        &self,
+        x: Var,
+        c: Var,
+        f: impl Fn(f32, f32) -> f32,
+        // (g, x, c) -> (dx, dc_contrib)
+        back: impl Fn(f32, f32, f32) -> (f32, f32) + 'static,
+    ) -> Var {
+        let (vx, vc) = (self.value(x), self.value(c));
+        let (n, m) = (vx.dims()[0], vx.dims()[1]);
+        assert_eq!(vc.dims(), &[n, 1], "column vector must be [n,1]");
+        let mut out = Vec::with_capacity(n * m);
+        for (i, row) in vx.data().chunks(m).enumerate() {
+            let cv = vc.data()[i];
+            out.extend(row.iter().map(|&v| f(v, cv)));
+        }
+        let out = Tensor::from_vec(out, &[n, m]);
+        self.op(out, &[x, c], move |g| {
+            let mut dx = vec![0.0f32; n * m];
+            let mut dc = vec![0.0f32; n];
+            for i in 0..n {
+                let cv = vc.data()[i];
+                for j in 0..m {
+                    let idx = i * m + j;
+                    let (dxv, dcv) = back(g.data()[idx], vx.data()[idx], cv);
+                    dx[idx] = dxv;
+                    dc[i] += dcv;
+                }
+            }
+            vec![
+                (x.id, Tensor::from_vec(dx, &[n, m])),
+                (c.id, Tensor::from_vec(dc, &[n, 1])),
+            ]
+        })
+    }
+
+    /// `x[n×m] - c[n×1]` broadcast across columns.
+    pub fn sub_colvec(&self, x: Var, c: Var) -> Var {
+        self.colvec_binary(x, c, |v, cv| v - cv, |g, _, _| (g, -g))
+    }
+
+    /// `x[n×m] ⊙ c[n×1]` broadcast across columns.
+    pub fn mul_colvec(&self, x: Var, c: Var) -> Var {
+        self.colvec_binary(x, c, |v, cv| v * cv, |g, xv, cv| (g * cv, g * xv))
+    }
+
+    /// `x[n×m] ⊘ c[n×1]` broadcast across columns.
+    pub fn div_colvec(&self, x: Var, c: Var) -> Var {
+        self.colvec_binary(
+            x,
+            c,
+            |v, cv| v / cv,
+            |g, xv, cv| (g / cv, -g * xv / (cv * cv)),
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Concatenation / slicing
+    // ---------------------------------------------------------------------
+
+    /// Concatenates `[n×p]` and `[n×q]` into `[n×(p+q)]`.
+    pub fn concat_cols(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        let (n, p) = (va.dims()[0], va.dims()[1]);
+        let q = vb.dims()[1];
+        assert_eq!(vb.dims()[0], n, "concat_cols row mismatch");
+        let mut out = Vec::with_capacity(n * (p + q));
+        for i in 0..n {
+            out.extend_from_slice(&va.data()[i * p..(i + 1) * p]);
+            out.extend_from_slice(&vb.data()[i * q..(i + 1) * q]);
+        }
+        let out = Tensor::from_vec(out, &[n, p + q]);
+        self.op(out, &[a, b], move |g| {
+            let mut da = Vec::with_capacity(n * p);
+            let mut db = Vec::with_capacity(n * q);
+            for row in g.data().chunks(p + q) {
+                da.extend_from_slice(&row[..p]);
+                db.extend_from_slice(&row[p..]);
+            }
+            vec![
+                (a.id, Tensor::from_vec(da, &[n, p])),
+                (b.id, Tensor::from_vec(db, &[n, q])),
+            ]
+        })
+    }
+
+    /// Stacks `[n×m]` on top of `[k×m]` into `[(n+k)×m]`.
+    pub fn concat_rows(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        let (n, m) = (va.dims()[0], va.dims()[1]);
+        let k = vb.dims()[0];
+        assert_eq!(vb.dims()[1], m, "concat_rows col mismatch");
+        let mut out = va.data().to_vec();
+        out.extend_from_slice(vb.data());
+        let out = Tensor::from_vec(out, &[n + k, m]);
+        self.op(out, &[a, b], move |g| {
+            let da = Tensor::from_vec(g.data()[..n * m].to_vec(), &[n, m]);
+            let db = Tensor::from_vec(g.data()[n * m..].to_vec(), &[k, m]);
+            vec![(a.id, da), (b.id, db)]
+        })
+    }
+
+    /// Column slice `[n×m] → [n×(to-from)]`.
+    pub fn slice_cols(&self, a: Var, from: usize, to: usize) -> Var {
+        let va = self.value(a);
+        let (n, m) = (va.dims()[0], va.dims()[1]);
+        assert!(from < to && to <= m, "slice_cols {from}..{to} of {m}");
+        let w = to - from;
+        let mut out = Vec::with_capacity(n * w);
+        for row in va.data().chunks(m) {
+            out.extend_from_slice(&row[from..to]);
+        }
+        let out = Tensor::from_vec(out, &[n, w]);
+        self.op(out, &[a], move |g| {
+            let mut d = vec![0.0f32; n * m];
+            for (drow, grow) in d.chunks_mut(m).zip(g.data().chunks(w)) {
+                drow[from..to].copy_from_slice(grow);
+            }
+            vec![(a.id, Tensor::from_vec(d, &[n, m]))]
+        })
+    }
+
+    /// Row slice `[n×m] → [(to-from)×m]`.
+    pub fn slice_rows(&self, a: Var, from: usize, to: usize) -> Var {
+        let va = self.value(a);
+        let (n, m) = (va.dims()[0], va.dims()[1]);
+        assert!(from < to && to <= n, "slice_rows {from}..{to} of {n}");
+        let out = Tensor::from_vec(va.data()[from * m..to * m].to_vec(), &[to - from, m]);
+        self.op(out, &[a], move |g| {
+            let mut d = vec![0.0f32; n * m];
+            d[from * m..to * m].copy_from_slice(g.data());
+            vec![(a.id, Tensor::from_vec(d, &[n, m]))]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values() {
+        let g = Graph::new();
+        let a = g.constant(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = g.constant(Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        assert_eq!(g.value(g.add(a, b)).data(), &[4.0, 6.0]);
+        assert_eq!(g.value(g.mul(a, b)).data(), &[3.0, 8.0]);
+        assert_eq!(g.value(g.sub(a, b)).data(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn backward_simple_chain() {
+        // loss = mean((2x)^2) over x=[1,2]; dloss/dx = 4x ⇒ [4, 8] / ... mean
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let y = g.scale(x, 2.0);
+        let loss = g.mean_all(g.square(y));
+        g.backward(loss);
+        let gx = g.grad(x).unwrap();
+        // d/dx mean(4x²) = 8x/2 = 4x
+        assert!((gx.data()[0] - 4.0).abs() < 1e-5);
+        assert!((gx.data()[1] - 8.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_through_matmul() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = g.leaf(Tensor::eye(2));
+        let c = g.matmul(a, b);
+        let loss = g.sum_all(c);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0, 1.0, 1.0, 1.0]);
+        // dB = Aᵀ·1 = column sums broadcast
+        assert_eq!(g.grad(b).unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_across_fanout() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::scalar(3.0));
+        let y = g.add(x, x); // y = 2x
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().item(), 2.0);
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let g = Graph::new();
+        let x = g.constant(Tensor::scalar(1.0));
+        let y = g.scale(x, 5.0);
+        g.backward(y);
+        assert!(g.grad(x).is_none());
+    }
+
+    #[test]
+    fn maximum_routes_gradient() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, 5.0], &[2]));
+        let b = g.leaf(Tensor::from_vec(vec![3.0, 2.0], &[2]));
+        let m = g.maximum(a, b);
+        assert_eq!(g.value(m).data(), &[3.0, 5.0]);
+        g.backward(g.sum_all(m));
+        assert_eq!(g.grad(a).unwrap().data(), &[0.0, 1.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = g.leaf(Tensor::from_vec(vec![5.0, 6.0], &[2, 1]));
+        let c = g.concat_cols(a, b);
+        assert_eq!(g.value(c).data(), &[1.0, 2.0, 5.0, 3.0, 4.0, 6.0]);
+        let s = g.slice_cols(c, 2, 3);
+        assert_eq!(g.value(s).data(), &[5.0, 6.0]);
+        g.backward(g.sum_all(s));
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(g.grad(a).unwrap().data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn colvec_broadcast_ops() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[2, 2]));
+        let c = g.leaf(Tensor::from_vec(vec![2.0, 4.0], &[2, 1]));
+        let d = g.div_colvec(x, c);
+        assert_eq!(g.value(d).data(), &[1.0, 2.0, 1.5, 2.0]);
+        let m = g.mean_cols(x);
+        assert_eq!(g.value(m).data(), &[3.0, 7.0]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Weight initialization schemes.
+
+use rand::RngExt;
+
+use crate::tensor::Tensor;
+
+/// Glorot/Xavier uniform: `U(−a, a)` with `a = sqrt(6/(fan_in+fan_out))`.
+/// The standard choice for the linear/GAT weights in the model.
+pub fn glorot_uniform<R: RngExt + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(rng, &[fan_in, fan_out], -a, a)
+}
+
+/// Uniform init over `[lo, hi)` with an arbitrary shape.
+pub fn uniform<R: RngExt + ?Sized>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    Tensor::rand_uniform(rng, dims, lo, hi)
+}
+
+/// Normal init `N(mean, std²)` with an arbitrary shape (used for embeddings).
+pub fn normal<R: RngExt + ?Sized>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Tensor {
+    Tensor::randn(rng, dims, mean, std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = glorot_uniform(&mut rng, 64, 64);
+        let a = (6.0f32 / 128.0).sqrt();
+        assert!(w.max() <= a && w.min() >= -a);
+        assert_eq!(w.dims(), &[64, 64]);
+    }
+
+    #[test]
+    fn normal_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = normal(&mut rng, &[10, 5], 0.0, 0.02);
+        assert_eq!(w.dims(), &[10, 5]);
+        assert!(w.max().abs() < 0.2);
+    }
+}

@@ -1,0 +1,373 @@
+//! Raw compute kernels.
+//!
+//! Everything here operates on plain slices so the kernels are trivially
+//! testable and free of autograd concerns. Kernels switch to rayon data
+//! parallelism once the work size crosses [`PAR_THRESHOLD`] — below that the
+//! fork-join overhead dominates (see the perf-book guidance on measuring
+//! before parallelizing).
+
+use rayon::prelude::*;
+
+/// Minimum number of f32 multiply-adds before a kernel bothers with rayon.
+pub(crate) const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// `C[n×m] = A[n×k] · B[k×m]`, row-major, ikj loop order for cache locality.
+pub(crate) fn matmul(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), n * k);
+    debug_assert_eq!(b.len(), k * m);
+    let mut c = vec![0.0f32; n * m];
+    let work = n * k * m;
+    if work >= PAR_THRESHOLD && n > 1 {
+        c.par_chunks_mut(m).enumerate().for_each(|(i, crow)| {
+            matmul_row(&a[i * k..(i + 1) * k], b, crow, k, m);
+        });
+    } else {
+        for i in 0..n {
+            matmul_row(&a[i * k..(i + 1) * k], b, &mut c[i * m..(i + 1) * m], k, m);
+        }
+    }
+    c
+}
+
+#[inline]
+fn matmul_row(arow: &[f32], b: &[f32], crow: &mut [f32], k: usize, m: usize) {
+    for (p, &av) in arow.iter().enumerate().take(k) {
+        if av == 0.0 {
+            continue;
+        }
+        let brow = &b[p * m..(p + 1) * m];
+        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+            *cv += av * bv;
+        }
+    }
+}
+
+/// `C[n×m] = A[k×n]ᵀ · B[k×m]` without materializing the transpose.
+pub(crate) fn matmul_tn(a: &[f32], b: &[f32], k: usize, n: usize, m: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), k * n);
+    debug_assert_eq!(b.len(), k * m);
+    // Accumulate row-by-row of A/B: C += a_pᵀ ⊗ b_p.
+    let work = n * k * m;
+    if work >= PAR_THRESHOLD && n > 1 {
+        let mut c = vec![0.0f32; n * m];
+        c.par_chunks_mut(m).enumerate().for_each(|(i, crow)| {
+            for p in 0..k {
+                let av = a[p * n + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * m..(p + 1) * m];
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += av * bv;
+                }
+            }
+        });
+        c
+    } else {
+        let mut c = vec![0.0f32; n * m];
+        for p in 0..k {
+            let arow = &a[p * n..(p + 1) * n];
+            let brow = &b[p * m..(p + 1) * m];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let crow = &mut c[i * m..(i + 1) * m];
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += av * bv;
+                }
+            }
+        }
+        c
+    }
+}
+
+/// `C[n×m] = A[n×k] · B[m×k]ᵀ` without materializing the transpose.
+pub(crate) fn matmul_nt(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), n * k);
+    debug_assert_eq!(b.len(), m * k);
+    let work = n * k * m;
+    let row = |i: usize, crow: &mut [f32]| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    };
+    let mut c = vec![0.0f32; n * m];
+    if work >= PAR_THRESHOLD && n > 1 {
+        c.par_chunks_mut(m).enumerate().for_each(|(i, crow)| row(i, crow));
+    } else {
+        for (i, crow) in c.chunks_mut(m).enumerate() {
+            row(i, crow);
+        }
+    }
+    c
+}
+
+/// Row-major transpose of an `n×m` matrix.
+pub(crate) fn transpose(a: &[f32], n: usize, m: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            out[j * n + i] = a[i * m + j];
+        }
+    }
+    out
+}
+
+/// Gathers rows of `x` (`rows×d`) by `idx` into an `idx.len()×d` matrix.
+pub(crate) fn gather_rows(x: &[f32], d: usize, idx: &[u32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; idx.len() * d];
+    if idx.len() * d >= PAR_THRESHOLD {
+        out.par_chunks_mut(d).zip(idx.par_iter()).for_each(|(orow, &i)| {
+            orow.copy_from_slice(&x[i as usize * d..(i as usize + 1) * d]);
+        });
+    } else {
+        for (orow, &i) in out.chunks_mut(d).zip(idx.iter()) {
+            orow.copy_from_slice(&x[i as usize * d..(i as usize + 1) * d]);
+        }
+    }
+    out
+}
+
+/// Scatter-add of `src` rows into `out` rows selected by `idx`
+/// (the adjoint of [`gather_rows`]). Sequential: rows may collide.
+pub(crate) fn scatter_add_rows(out: &mut [f32], d: usize, idx: &[u32], src: &[f32]) {
+    debug_assert_eq!(src.len(), idx.len() * d);
+    for (srow, &i) in src.chunks(d).zip(idx.iter()) {
+        let orow = &mut out[i as usize * d..(i as usize + 1) * d];
+        for (o, &s) in orow.iter_mut().zip(srow.iter()) {
+            *o += s;
+        }
+    }
+}
+
+/// Segment sum: sums rows of `x` (`e×d`) into `n_seg` buckets by `seg`.
+pub(crate) fn segment_sum(x: &[f32], d: usize, seg: &[u32], n_seg: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n_seg * d];
+    scatter_add_rows(&mut out, d, seg, x);
+    out
+}
+
+/// Segment max. Returns `(values, argmax_row_index)`; empty segments yield 0
+/// with argmax `u32::MAX` so their backward contribution vanishes.
+pub(crate) fn segment_max(x: &[f32], d: usize, seg: &[u32], n_seg: usize) -> (Vec<f32>, Vec<u32>) {
+    let mut out = vec![f32::NEG_INFINITY; n_seg * d];
+    let mut arg = vec![u32::MAX; n_seg * d];
+    for (r, (xrow, &s)) in x.chunks(d).zip(seg.iter()).enumerate() {
+        let orow = &mut out[s as usize * d..(s as usize + 1) * d];
+        let arow = &mut arg[s as usize * d..(s as usize + 1) * d];
+        for ((o, a), &xv) in orow.iter_mut().zip(arow.iter_mut()).zip(xrow.iter()) {
+            if xv > *o {
+                *o = xv;
+                *a = r as u32;
+            }
+        }
+    }
+    for o in out.iter_mut() {
+        if *o == f32::NEG_INFINITY {
+            *o = 0.0;
+        }
+    }
+    (out, arg)
+}
+
+/// Max over the middle (sequence) axis of an `[n, s, d]` block.
+/// Returns `(values[n×d], argmax_seq_pos[n×d])`.
+pub(crate) fn seq_max(x: &[f32], n: usize, s: usize, d: usize) -> (Vec<f32>, Vec<u32>) {
+    debug_assert_eq!(x.len(), n * s * d);
+    let mut out = vec![f32::NEG_INFINITY; n * d];
+    let mut arg = vec![0u32; n * d];
+    let run = |i: usize, orow: &mut [f32], arow: &mut [u32]| {
+        for t in 0..s {
+            let xrow = &x[(i * s + t) * d..(i * s + t + 1) * d];
+            for ((o, a), &xv) in orow.iter_mut().zip(arow.iter_mut()).zip(xrow.iter()) {
+                if xv > *o {
+                    *o = xv;
+                    *a = t as u32;
+                }
+            }
+        }
+    };
+    if n * s * d >= PAR_THRESHOLD {
+        out.par_chunks_mut(d)
+            .zip(arg.par_chunks_mut(d))
+            .enumerate()
+            .for_each(|(i, (orow, arow))| run(i, orow, arow));
+    } else {
+        for (i, (orow, arow)) in out.chunks_mut(d).zip(arg.chunks_mut(d)).enumerate() {
+            run(i, orow, arow);
+        }
+    }
+    if s == 0 {
+        out.iter_mut().for_each(|o| *o = 0.0);
+    }
+    (out, arg)
+}
+
+/// Row-wise softmax for an `n×m` matrix (numerically stabilized).
+pub(crate) fn softmax_rows(x: &[f32], n: usize, m: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * m];
+    let run = |xrow: &[f32], orow: &mut [f32]| {
+        let mx = xrow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for (o, &v) in orow.iter_mut().zip(xrow.iter()) {
+            let e = (v - mx).exp();
+            *o = e;
+            z += e;
+        }
+        let inv = 1.0 / z;
+        for o in orow.iter_mut() {
+            *o *= inv;
+        }
+    };
+    if n * m >= PAR_THRESHOLD {
+        out.par_chunks_mut(m)
+            .zip(x.par_chunks(m))
+            .for_each(|(orow, xrow)| run(xrow, orow));
+    } else {
+        for (orow, xrow) in out.chunks_mut(m).zip(x.chunks(m)) {
+            run(xrow, orow);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+        let mut c = vec![0.0; n * m];
+        for i in 0..n {
+            for j in 0..m {
+                for p in 0..k {
+                    c[i * m + j] += a[i * k + p] * b[p * m + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a: Vec<f32> = (0..6).map(|x| x as f32).collect();
+        let b: Vec<f32> = (0..12).map(|x| (x as f32) * 0.5).collect();
+        assert_eq!(matmul(&a, &b, 2, 3, 4), naive_matmul(&a, &b, 2, 3, 4));
+    }
+
+    #[test]
+    fn matmul_large_parallel_path() {
+        let n = 64;
+        let k = 32;
+        let m = 48;
+        let a: Vec<f32> = (0..n * k).map(|x| ((x % 7) as f32) - 3.0).collect();
+        let b: Vec<f32> = (0..k * m).map(|x| ((x % 5) as f32) * 0.25).collect();
+        let expect = naive_matmul(&a, &b, n, k, m);
+        let got = matmul(&a, &b, n, k, m);
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let k = 5;
+        let n = 3;
+        let m = 4;
+        let a: Vec<f32> = (0..k * n).map(|x| x as f32 * 0.3 - 2.0).collect();
+        let b: Vec<f32> = (0..k * m).map(|x| x as f32 * 0.1).collect();
+        let at = transpose(&a, k, n);
+        let expect = naive_matmul(&at, &b, n, k, m);
+        let got = matmul_tn(&a, &b, k, n, m);
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let n = 3;
+        let k = 5;
+        let m = 4;
+        let a: Vec<f32> = (0..n * k).map(|x| x as f32 * 0.3 - 2.0).collect();
+        let b: Vec<f32> = (0..m * k).map(|x| x as f32 * 0.1).collect();
+        let bt = transpose(&b, m, k);
+        let expect = naive_matmul(&a, &bt, n, k, m);
+        let got = matmul_nt(&a, &b, n, k, m);
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a: Vec<f32> = (0..6).map(|x| x as f32).collect();
+        let t = transpose(&a, 2, 3);
+        assert_eq!(t, vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+        assert_eq!(transpose(&t, 3, 2), a);
+    }
+
+    #[test]
+    fn gather_scatter_adjoint() {
+        let x: Vec<f32> = (0..8).map(|v| v as f32).collect(); // 4 rows × 2
+        let idx = [2u32, 0, 2];
+        let g = gather_rows(&x, 2, &idx);
+        assert_eq!(g, vec![4.0, 5.0, 0.0, 1.0, 4.0, 5.0]);
+        let mut out = vec![0.0; 8];
+        scatter_add_rows(&mut out, 2, &idx, &g);
+        assert_eq!(out, vec![0.0, 1.0, 0.0, 0.0, 8.0, 10.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn segment_sum_buckets() {
+        let x = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3 rows × 2
+        let seg = [1u32, 0, 1];
+        let s = segment_sum(&x, 2, &seg, 3);
+        assert_eq!(s, vec![3.0, 4.0, 6.0, 8.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn segment_max_tracks_argmax() {
+        let x = [1.0f32, 9.0, 5.0, 2.0, 3.0, 4.0];
+        let seg = [0u32, 0, 0];
+        let (v, a) = segment_max(&x, 2, &seg, 2);
+        assert_eq!(&v[..2], &[5.0, 9.0]);
+        assert_eq!(&a[..2], &[1, 0]);
+        // empty segment is zeroed with MAX sentinel
+        assert_eq!(&v[2..], &[0.0, 0.0]);
+        assert_eq!(&a[2..], &[u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn seq_max_selects_per_feature() {
+        // n=1, s=3, d=2
+        let x = [1.0f32, 0.0, 5.0, -1.0, 2.0, 7.0];
+        let (v, a) = seq_max(&x, 1, 3, 2);
+        assert_eq!(v, vec![5.0, 7.0]);
+        assert_eq!(a, vec![1, 2]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = [1.0f32, 2.0, 3.0, -1.0, 0.0, 1.0];
+        let s = softmax_rows(&x, 2, 3);
+        for row in s.chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        assert!(s[2] > s[1] && s[1] > s[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let x = [1000.0f32, 1000.0];
+        let s = softmax_rows(&x, 1, 2);
+        assert!((s[0] - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,59 @@
+//! # gbm-tensor
+//!
+//! A compact CPU tensor engine with reverse-mode automatic differentiation,
+//! written for the GraphBinMatch reproduction. There is no mature GNN stack in
+//! Rust, so this crate provides the numeric substrate the paper's model needs:
+//!
+//! * [`Tensor`] — an immutable, cheaply-clonable (`Arc`-backed) `f32` tensor
+//!   with 1-D/2-D/3-D shapes and rayon-parallel kernels,
+//! * [`Graph`] — an autograd tape; every differentiable op lives on it and
+//!   records a backward closure,
+//! * [`Param`] / [`ParamStore`] — trainable parameters with gradient sinks,
+//! * [`Adam`] — the optimizer the paper trains with (plus plain SGD),
+//! * [`gradcheck`] — finite-difference gradient verification used across the
+//!   test suite.
+//!
+//! Design notes:
+//! * Kernels parallelize *inside* ops with rayon (data parallelism as in the
+//!   Rayon guide); the tape itself is single-threaded, which keeps autograd
+//!   free of locks on the hot path.
+//! * Graph-neural-network primitives (`gather_rows`, `segment_sum`,
+//!   `segment_max`, `seq_max`) are first-class ops so message passing needs no
+//!   per-edge allocation.
+//!
+//! ```
+//! use gbm_tensor::{Graph, Tensor, Param, Adam, Optimizer};
+//!
+//! // Fit y = 2x with one weight.
+//! let w = Param::new("w", Tensor::from_vec(vec![0.0], &[1, 1]));
+//! let mut opt = Adam::with_lr(0.1);
+//! for _ in 0..200 {
+//!     let g = Graph::new();
+//!     let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1]));
+//!     let y = g.constant(Tensor::from_vec(vec![2.0, 4.0, 6.0], &[3, 1]));
+//!     let pred = g.matmul(x, g.param(&w));
+//!     let diff = g.sub(pred, y);
+//!     let loss = g.mean_all(g.mul(diff, diff));
+//!     g.backward(loss);
+//!     opt.step(&[w.clone()]);
+//! }
+//! assert!((w.value().data()[0] - 2.0).abs() < 1e-3);
+//! ```
+
+mod graph;
+mod init;
+mod kernels;
+mod ops;
+mod optim;
+mod param;
+mod shape;
+mod tensor;
+
+pub mod gradcheck;
+
+pub use graph::{Graph, Var};
+pub use init::{glorot_uniform, normal, uniform};
+pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use param::{Param, ParamStore};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,304 @@
+//! Neural-network and graph-specific ops on the autograd tape.
+//!
+//! These complement the arithmetic core in `graph.rs`: row softmax, dropout,
+//! the GNN scatter/gather primitives, sequence max-pooling (the paper's
+//! "max operation" that collapses token embeddings per node), and losses.
+
+use rand::RngExt;
+
+use crate::graph::{Graph, Var};
+use crate::kernels;
+use crate::tensor::Tensor;
+
+impl Graph {
+    /// Row-wise softmax over the last axis of `[n×m]`.
+    pub fn softmax_rows(&self, a: Var) -> Var {
+        let va = self.value(a);
+        let (n, m) = (va.dims()[0], va.dims()[1]);
+        let out = Tensor::from_vec(kernels::softmax_rows(va.data(), n, m), &[n, m]);
+        let vo = out.clone();
+        self.op(out, &[a], move |g| {
+            // dx = y ⊙ (g - Σ_j g_j y_j) per row
+            let mut d = vec![0.0f32; n * m];
+            for i in 0..n {
+                let yrow = &vo.data()[i * m..(i + 1) * m];
+                let grow = &g.data()[i * m..(i + 1) * m];
+                let dot: f32 = yrow.iter().zip(grow.iter()).map(|(y, gv)| y * gv).sum();
+                for j in 0..m {
+                    d[i * m + j] = yrow[j] * (grow[j] - dot);
+                }
+            }
+            vec![(a.id, Tensor::from_vec(d, &[n, m]))]
+        })
+    }
+
+    /// Inverted dropout: scales kept activations by `1/(1-p)` so inference
+    /// needs no rescaling. Identity when `training` is false or `p == 0`.
+    pub fn dropout<R: RngExt + ?Sized>(&self, a: Var, p: f32, training: bool, rng: &mut R) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        if !training || p == 0.0 {
+            return self.scale(a, 1.0);
+        }
+        let va = self.value(a);
+        let keep = 1.0 - p;
+        let mask: Vec<f32> = (0..va.len())
+            .map(|_| if rng.random_range(0.0f32..1.0) < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask, va.dims());
+        let vm = mask.clone();
+        let out = va.zip(&mask, |x, m| x * m);
+        self.op(out, &[a], move |g| {
+            vec![(a.id, g.zip(&vm, |gv, m| gv * m))]
+        })
+    }
+
+    // ---------------------------------------------------------------------
+    // GNN primitives
+    // ---------------------------------------------------------------------
+
+    /// Gathers rows of `x[rows×d]` by index: output row `r` is `x[idx[r]]`.
+    /// This is both the embedding lookup and the per-edge endpoint gather.
+    pub fn gather_rows(&self, x: Var, idx: &[u32]) -> Var {
+        let vx = self.value(x);
+        let (rows, d) = (vx.dims()[0], vx.dims()[1]);
+        for &i in idx {
+            assert!((i as usize) < rows, "gather index {i} out of {rows}");
+        }
+        let idx_owned: Vec<u32> = idx.to_vec();
+        let out = Tensor::from_vec(
+            kernels::gather_rows(vx.data(), d, &idx_owned),
+            &[idx_owned.len(), d],
+        );
+        self.op(out, &[x], move |g| {
+            let mut dx = vec![0.0f32; rows * d];
+            kernels::scatter_add_rows(&mut dx, d, &idx_owned, g.data());
+            vec![(x.id, Tensor::from_vec(dx, &[rows, d]))]
+        })
+    }
+
+    /// Sums rows of `x[e×d]` into `n_seg` buckets: the message-aggregation
+    /// primitive (`Σ_{j∈N(i)} m_j`).
+    pub fn segment_sum(&self, x: Var, seg: &[u32], n_seg: usize) -> Var {
+        let vx = self.value(x);
+        let (e, d) = (vx.dims()[0], vx.dims()[1]);
+        assert_eq!(seg.len(), e, "segment ids must cover every row");
+        for &s in seg {
+            assert!((s as usize) < n_seg, "segment id {s} out of {n_seg}");
+        }
+        let seg_owned: Vec<u32> = seg.to_vec();
+        let out = Tensor::from_vec(
+            kernels::segment_sum(vx.data(), d, &seg_owned, n_seg),
+            &[n_seg, d],
+        );
+        self.op(out, &[x], move |g| {
+            let dx = kernels::gather_rows(g.data(), d, &seg_owned);
+            vec![(x.id, Tensor::from_vec(dx, &[e, d]))]
+        })
+    }
+
+    /// Per-segment maximum; empty segments yield zero rows. Gradient flows to
+    /// each segment's argmax row only.
+    pub fn segment_max(&self, x: Var, seg: &[u32], n_seg: usize) -> Var {
+        let vx = self.value(x);
+        let (e, d) = (vx.dims()[0], vx.dims()[1]);
+        assert_eq!(seg.len(), e);
+        let seg_owned: Vec<u32> = seg.to_vec();
+        let (vals, arg) = kernels::segment_max(vx.data(), d, &seg_owned, n_seg);
+        let out = Tensor::from_vec(vals, &[n_seg, d]);
+        self.op(out, &[x], move |g| {
+            let mut dx = vec![0.0f32; e * d];
+            for s in 0..n_seg {
+                for j in 0..d {
+                    let r = arg[s * d + j];
+                    if r != u32::MAX {
+                        dx[r as usize * d + j] += g.data()[s * d + j];
+                    }
+                }
+            }
+            vec![(x.id, Tensor::from_vec(dx, &[e, d]))]
+        })
+    }
+
+    /// Numerically-stable softmax over segments of `x[e×1]` scores — the
+    /// GAT attention normalizer (softmax over each node's incoming edges).
+    pub fn segment_softmax(&self, scores: Var, seg: &[u32], n_seg: usize) -> Var {
+        let mx = self.segment_max(scores, seg, n_seg); // [n_seg×1]
+        let mx_e = self.gather_rows(mx, seg); // [e×1]
+        let shifted = self.sub(scores, mx_e);
+        let ex = self.exp(shifted);
+        let denom = self.segment_sum(ex, seg, n_seg); // [n_seg×1]
+        let denom = self.add_scalar(denom, 1e-16);
+        let denom_e = self.gather_rows(denom, seg); // [e×1]
+        self.div(ex, denom_e)
+    }
+
+    /// Max over the sequence axis of a flattened `[n·s × d]` block — the
+    /// paper's reduction of per-node token embeddings to one feature vector.
+    pub fn seq_max(&self, x: Var, n: usize, s: usize) -> Var {
+        let vx = self.value(x);
+        assert_eq!(vx.dims()[0], n * s, "seq_max expects n*s rows");
+        let d = vx.dims()[1];
+        let (vals, arg) = kernels::seq_max(vx.data(), n, s, d);
+        let out = Tensor::from_vec(vals, &[n, d]);
+        self.op(out, &[x], move |g| {
+            let mut dx = vec![0.0f32; n * s * d];
+            for i in 0..n {
+                for j in 0..d {
+                    let t = arg[i * d + j] as usize;
+                    dx[(i * s + t) * d + j] += g.data()[i * d + j];
+                }
+            }
+            vec![(x.id, Tensor::from_vec(dx, &[n * s, d]))]
+        })
+    }
+
+    /// L2-normalizes every row (adds `eps` under the square root).
+    pub fn l2_normalize_rows(&self, x: Var) -> Var {
+        let sq = self.square(x);
+        let norms = self.sum_cols(sq);
+        let norms = self.add_scalar(norms, 1e-12);
+        let norms = self.sqrt(norms);
+        self.div_colvec(x, norms)
+    }
+
+    // ---------------------------------------------------------------------
+    // Losses
+    // ---------------------------------------------------------------------
+
+    /// Binary cross-entropy on raw logits (stable fused form). `targets` is a
+    /// constant tensor of 0/1 labels with the same shape as `logits`.
+    /// Returns a `[1]` mean loss.
+    pub fn bce_with_logits(&self, logits: Var, targets: &Tensor) -> Var {
+        let vx = self.value(logits);
+        assert_eq!(vx.dims(), targets.dims(), "bce target shape mismatch");
+        let n = vx.len().max(1) as f32;
+        let mut loss = 0.0f32;
+        for (&x, &y) in vx.data().iter().zip(targets.data().iter()) {
+            // max(x,0) − x·y + ln(1+e^{−|x|})
+            loss += x.max(0.0) - x * y + (1.0 + (-x.abs()).exp()).ln();
+        }
+        let out = Tensor::scalar(loss / n);
+        let ty = targets.clone();
+        self.op(out, &[logits], move |g| {
+            let gv = g.item() / n;
+            let d: Vec<f32> = vx
+                .data()
+                .iter()
+                .zip(ty.data().iter())
+                .map(|(&x, &y)| gv * (1.0 / (1.0 + (-x).exp()) - y))
+                .collect();
+            vec![(logits.id, Tensor::from_vec(d, vx.dims()))]
+        })
+    }
+
+    /// Mean squared error against a constant target. Returns `[1]`.
+    pub fn mse_loss(&self, pred: Var, target: &Tensor) -> Var {
+        let t = self.constant(target.clone());
+        let diff = self.sub(pred, t);
+        self.mean_all(self.square(diff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn softmax_rows_forward_and_grad_shape() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]));
+        let y = g.softmax_rows(x);
+        let vy = g.value(y);
+        for row in vy.data().chunks(3) {
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        }
+        g.backward(g.sum_all(y));
+        // Σ softmax = 1 regardless of x ⇒ gradient ≈ 0
+        let gx = g.grad(x).unwrap();
+        assert!(gx.data().iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn dropout_keeps_expectation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[100, 100]));
+        let y = g.dropout(x, 0.5, true, &mut rng);
+        let mean = g.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean}");
+        // eval mode is identity
+        let z = g.dropout(x, 0.5, false, &mut rng);
+        assert!(g.value(z).allclose(&Tensor::ones(&[100, 100]), 1e-6));
+    }
+
+    #[test]
+    fn gather_and_segment_sum_inverse_shapes() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let gathered = g.gather_rows(x, &[1, 0, 1]);
+        assert_eq!(g.value(gathered).dims(), &[3, 2]);
+        let summed = g.segment_sum(gathered, &[0, 0, 1], 2);
+        let vs = g.value(summed);
+        assert_eq!(vs.data(), &[4.0, 6.0, 3.0, 4.0]);
+        g.backward(g.sum_all(summed));
+        // every gathered row contributes once
+        assert_eq!(g.grad(x).unwrap().data(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn segment_softmax_normalizes_per_segment() {
+        let g = Graph::new();
+        let s = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 10.0], &[4, 1]));
+        let seg = [0u32, 0, 0, 1];
+        let sm = g.segment_softmax(s, &seg, 2);
+        let v = g.value(sm);
+        assert!((v.data()[..3].iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!((v.data()[3] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn seq_max_reduces_token_axis() {
+        let g = Graph::new();
+        // 2 nodes × 2 tokens × 2 dims
+        let x = g.leaf(Tensor::from_vec(
+            vec![1.0, 8.0, 3.0, 4.0, 5.0, 6.0, 7.0, 2.0],
+            &[4, 2],
+        ));
+        let y = g.seq_max(x, 2, 2);
+        assert_eq!(g.value(y).data(), &[3.0, 8.0, 7.0, 6.0]);
+        g.backward(g.sum_all(y));
+        let gx = g.grad(x).unwrap();
+        assert_eq!(gx.data(), &[0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn bce_with_logits_matches_manual() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![0.0, 2.0], &[2, 1]));
+        let t = Tensor::from_vec(vec![1.0, 0.0], &[2, 1]);
+        let loss = g.bce_with_logits(x, &t);
+        // manual: x=0,y=1: ln2 ; x=2,y=0: 2 + ln(1+e^-2)
+        let expect = ((2.0f32).ln() + 2.0 + (1.0 + (-2.0f32).exp()).ln()) / 2.0;
+        assert!((g.value(loss).item() - expect).abs() < 1e-5);
+        g.backward(loss);
+        let gx = g.grad(x).unwrap();
+        // d = (σ(x) − y)/n
+        assert!((gx.data()[0] - (0.5 - 1.0) / 2.0).abs() < 1e-6);
+        let s2 = 1.0 / (1.0 + (-2.0f32).exp());
+        assert!((gx.data()[1] - s2 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![3.0, 4.0, 0.0, 5.0], &[2, 2]));
+        let y = g.l2_normalize_rows(x);
+        let vy = g.value(y);
+        for row in vy.data().chunks(2) {
+            let norm: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5);
+        }
+    }
+}

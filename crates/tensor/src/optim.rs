@@ -1,0 +1,190 @@
+//! Optimizers: Adam (the paper's choice, §IV-D) and plain SGD, plus global
+//! gradient-norm clipping.
+
+use std::collections::HashMap;
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// A gradient-descent optimizer. `step` applies accumulated gradients and
+/// zeroes them afterwards.
+pub trait Optimizer {
+    /// Applies one update using each param's accumulated gradient, then
+    /// clears the gradients.
+    fn step(&mut self, params: &[Param]);
+}
+
+/// Stochastic gradient descent with fixed learning rate.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &[Param]) {
+        for p in params {
+            let g = p.grad();
+            let lr = self.lr;
+            p.set_value(p.value().zip(&g, |w, gv| w - lr * gv));
+            p.zero_grad();
+        }
+    }
+}
+
+struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// Adam (Kingma & Ba). The paper trains GraphBinMatch with Adam at
+/// `lr = 6.6e-5`; [`Adam::paper`] builds exactly that configuration.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    t: u64,
+    state: HashMap<usize, AdamState>,
+}
+
+impl Adam {
+    /// Adam with custom learning rate and default betas (0.9, 0.999).
+    pub fn with_lr(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, state: HashMap::new() }
+    }
+
+    /// The paper's configuration: `lr = 6.6e-5`.
+    pub fn paper() -> Self {
+        Adam::with_lr(6.6e-5)
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &[Param]) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for p in params {
+            let g = p.grad();
+            let key = p.key();
+            let n = p.len();
+            let st = self
+                .state
+                .entry(key)
+                .or_insert_with(|| AdamState { m: vec![0.0; n], v: vec![0.0; n] });
+            let w = p.value();
+            let mut new_w = Vec::with_capacity(n);
+            for i in 0..n {
+                let gv = g.data()[i];
+                st.m[i] = self.beta1 * st.m[i] + (1.0 - self.beta1) * gv;
+                st.v[i] = self.beta2 * st.v[i] + (1.0 - self.beta2) * gv * gv;
+                let mhat = st.m[i] / bc1;
+                let vhat = st.v[i] / bc2;
+                new_w.push(w.data()[i] - self.lr * mhat / (vhat.sqrt() + self.eps));
+            }
+            let dims: Vec<usize> = w.dims().to_vec();
+            p.set_value(Tensor::from_vec(new_w, &dims));
+            p.zero_grad();
+        }
+    }
+}
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
+    let mut total = 0.0f32;
+    for p in params {
+        let g = p.grad();
+        total += g.data().iter().map(|x| x * x).sum::<f32>();
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            let g = p.grad();
+            let scaled = g.map(|x| x * scale);
+            p.zero_grad();
+            p.accumulate_grad(&scaled);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn quadratic_step(p: &Param) {
+        // loss = (w - 3)², gradient = 2(w-3)
+        let g = Graph::new();
+        let w = g.param(p);
+        let c = g.constant(Tensor::scalar(3.0));
+        let diff = g.sub(w, c);
+        let loss = g.sum_all(g.square(diff));
+        g.backward(loss);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            quadratic_step(&p);
+            opt.step(&[p.clone()]);
+        }
+        assert!((p.value().item() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::scalar(0.0));
+        let mut opt = Adam::with_lr(0.1);
+        for _ in 0..300 {
+            quadratic_step(&p);
+            opt.step(&[p.clone()]);
+        }
+        assert!((p.value().item() - 3.0).abs() < 1e-2, "w = {}", p.value().item());
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let p = Param::new("w", Tensor::scalar(0.0));
+        quadratic_step(&p);
+        assert!(p.grad().item() != 0.0);
+        Sgd::new(0.1).step(&[p.clone()]);
+        assert_eq!(p.grad().item(), 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_norm() {
+        let p = Param::new("w", Tensor::zeros(&[3]));
+        p.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0, 0.0], &[3]));
+        let pre = clip_grad_norm(&[p.clone()], 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((p.grad().norm() - 1.0).abs() < 1e-5);
+        // below-threshold gradients are untouched
+        let q = Param::new("q", Tensor::zeros(&[1]));
+        q.accumulate_grad(&Tensor::scalar(0.5));
+        clip_grad_norm(&[q.clone()], 1.0);
+        assert_eq!(q.grad().item(), 0.5);
+    }
+}

@@ -1,0 +1,185 @@
+//! Trainable parameters and parameter collections.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::tensor::Tensor;
+
+struct ParamInner {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// A named, trainable tensor with an accumulated gradient.
+///
+/// Cloning shares the underlying storage (parameters are identity objects:
+/// the optimizer and every [`crate::Graph::param`] binding see the same
+/// value). Training is single-threaded over the tape, so `Rc<RefCell<_>>`
+/// suffices and keeps the hot path lock-free.
+#[derive(Clone)]
+pub struct Param(Rc<RefCell<ParamInner>>);
+
+impl Param {
+    /// Creates a parameter with zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param(Rc::new(RefCell::new(ParamInner { name: name.into(), value, grad })))
+    }
+
+    /// Parameter name (used in diagnostics and serialization).
+    pub fn name(&self) -> String {
+        self.0.borrow().name.clone()
+    }
+
+    /// Current value (cheap clone — shared buffer).
+    pub fn value(&self) -> Tensor {
+        self.0.borrow().value.clone()
+    }
+
+    /// Replaces the value (used by optimizers and deserialization).
+    pub fn set_value(&self, value: Tensor) {
+        let mut inner = self.0.borrow_mut();
+        assert_eq!(inner.value.dims(), value.dims(), "param shape change");
+        inner.value = value;
+    }
+
+    /// Accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.0.borrow().grad.clone()
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    pub fn accumulate_grad(&self, g: &Tensor) {
+        let mut inner = self.0.borrow_mut();
+        assert_eq!(inner.grad.dims(), g.dims(), "grad shape mismatch");
+        inner.grad = inner.grad.zip(g, |a, b| a + b);
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&self) {
+        let mut inner = self.0.borrow_mut();
+        inner.grad = Tensor::zeros(inner.value.dims());
+    }
+
+    /// Number of scalar weights.
+    pub fn len(&self) -> usize {
+        self.0.borrow().value.len()
+    }
+
+    /// True for (degenerate) zero-sized parameters.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stable identity for optimizer state maps.
+    pub(crate) fn key(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+}
+
+/// An ordered collection of parameters — one per model.
+///
+/// Registration order is the serialization order, so saving and loading is a
+/// plain flat `Vec<f32>` round-trip.
+#[derive(Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Creates, registers, and returns a parameter.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> Param {
+        let p = Param::new(name, value);
+        self.params.push(p.clone());
+        p
+    }
+
+    /// All parameters in registration order.
+    pub fn all(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Total scalar weight count.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(Param::len).sum()
+    }
+
+    /// Zeroes every gradient.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Serializes all weights into one flat buffer (registration order).
+    pub fn snapshot(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_weights());
+        for p in &self.params {
+            out.extend_from_slice(p.value().data());
+        }
+        out
+    }
+
+    /// Restores weights from a [`ParamStore::snapshot`] buffer.
+    pub fn restore(&self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.num_weights(), "snapshot size mismatch");
+        let mut off = 0;
+        for p in &self.params {
+            let n = p.len();
+            let dims: Vec<usize> = p.value().dims().to_vec();
+            p.set_value(Tensor::from_vec(flat[off..off + n].to_vec(), &dims));
+            off += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grad_accumulation_and_reset() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        p.accumulate_grad(&Tensor::from_vec(vec![0.5, 0.5], &[2]));
+        assert_eq!(p.grad().data(), &[1.5, 2.5]);
+        p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clones_share_identity() {
+        let p = Param::new("w", Tensor::zeros(&[1]));
+        let q = p.clone();
+        q.set_value(Tensor::scalar(9.0));
+        assert_eq!(p.value().item(), 9.0);
+        assert_eq!(p.key(), q.key());
+    }
+
+    #[test]
+    fn store_snapshot_roundtrip() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = store.register("b", Tensor::from_vec(vec![3.0], &[1]));
+        let snap = store.snapshot();
+        assert_eq!(snap, vec![1.0, 2.0, 3.0]);
+        a.set_value(Tensor::from_vec(vec![0.0, 0.0], &[2]));
+        b.set_value(Tensor::scalar(0.0));
+        store.restore(&snap);
+        assert_eq!(a.value().data(), &[1.0, 2.0]);
+        assert_eq!(b.value().item(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape change")]
+    fn set_value_shape_checked() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        p.set_value(Tensor::zeros(&[3]));
+    }
+}

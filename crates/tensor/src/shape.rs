@@ -1,0 +1,97 @@
+//! Tensor shapes and index arithmetic.
+
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: an ordered list of dimension sizes.
+///
+/// Rank 0 is not supported; scalars are `[1]` tensors. Most of the engine
+/// works with rank-1 and rank-2 shapes, with rank-3 used for
+/// `[nodes, seq, dim]` token-embedding blocks.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub(crate) Vec<usize>);
+
+impl Shape {
+    /// Builds a shape from dimension sizes. Panics on an empty or zero-free
+    /// check: zero-sized dimensions are allowed (empty graphs produce them).
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "rank-0 shapes are not supported");
+        Shape(dims.to_vec())
+    }
+
+    /// Dimension sizes.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True when the shape holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of rows for rank-2 shapes (first dim otherwise).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.0[0]
+    }
+
+    /// Number of columns for rank-2 shapes.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        assert!(self.rank() >= 2, "cols() on rank-{} shape", self.rank());
+        self.0[1]
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let s = Shape::new(&[3, 4]);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn zero_dim_is_empty() {
+        let s = Shape::new(&[0, 4]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-0")]
+    fn rank0_rejected() {
+        let _ = Shape::new(&[]);
+    }
+}

@@ -1,0 +1,312 @@
+//! The immutable `f32` tensor value type.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::RngExt;
+
+use crate::shape::Shape;
+
+/// An immutable, reference-counted `f32` tensor.
+///
+/// Cloning is O(1) (the buffer is shared through an `Arc`), which lets the
+/// autograd tape capture inputs for backward passes without copying. All
+/// mutation goes through constructors or [`Tensor::map`]-style methods that
+/// produce fresh tensors.
+#[derive(Clone)]
+pub struct Tensor {
+    shape: Shape,
+    data: Arc<Vec<f32>>,
+}
+
+impl Tensor {
+    /// Builds a tensor from a flat `Vec` in row-major order.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { shape, data: Arc::new(data) }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.len();
+        Tensor { shape, data: Arc::new(vec![0.0; n]) }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.len();
+        Tensor { shape, data: Arc::new(vec![value; n]) }
+    }
+
+    /// Scalar wrapped as a `[1]` tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor::from_vec(vec![value], &[1])
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        Tensor::from_vec(data, &[n, n])
+    }
+
+    /// Uniform random tensor over `[lo, hi)`.
+    pub fn rand_uniform<R: RngExt + ?Sized>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.len();
+        let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+        Tensor { shape, data: Arc::new(data) }
+    }
+
+    /// Standard-normal random tensor (Box–Muller; no external distribution
+    /// crates needed).
+    pub fn randn<R: RngExt + ?Sized>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.len();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.random_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mean + std * r * theta.cos());
+            if data.len() < n {
+                data.push(mean + std * r * theta.sin());
+            }
+        }
+        Tensor { shape, data: Arc::new(data) }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension sizes.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.shape.is_empty()
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Element at a rank-2 position.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        debug_assert_eq!(self.shape.rank(), 2);
+        self.data[row * self.shape.cols() + col]
+    }
+
+    /// First element — convenient for `[1]` scalars.
+    #[inline]
+    pub fn item(&self) -> f32 {
+        self.data[0]
+    }
+
+    /// Same buffer viewed under a different shape (must preserve length).
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(shape.len(), self.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        Tensor { shape, data: Arc::clone(&self.data) }
+    }
+
+    /// Elementwise map into a fresh tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data.iter().map(|&x| f(x)).collect();
+        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+    }
+
+    /// Elementwise combination of two same-shape tensors.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.dims(), other.dims(), "zip shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// True when any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Approximate equality within `tol`, elementwise.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.dims() == other.dims()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())))
+    }
+
+    /// Consumes or copies out the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        match Arc::try_unwrap(self.data) {
+            Ok(v) => v,
+            Err(arc) => arc.as_ref().clone(),
+        }
+    }
+
+    pub(crate) fn from_parts(shape: Shape, data: Vec<f32>) -> Tensor {
+        assert_eq!(shape.len(), data.len());
+        Tensor { shape, data: Arc::new(data) }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", &self.data[..])
+        } else {
+            write!(f, " [{:.4}, {:.4}, … ({} elems)]", self.data[0], self.data[1], self.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.at(0, 1), 2.0);
+        assert_eq!(t.at(1, 0), 3.0);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), 1.0);
+    }
+
+    #[test]
+    fn eye_diagonal() {
+        let t = Tensor::eye(3);
+        assert_eq!(t.at(0, 0), 1.0);
+        assert_eq!(t.at(1, 2), 0.0);
+        assert_eq!(t.sum(), 3.0);
+    }
+
+    #[test]
+    fn reshape_shares_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let r = t.reshape(&[4]);
+        assert_eq!(r.dims(), &[4]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape")]
+    fn reshape_length_checked() {
+        Tensor::zeros(&[2, 2]).reshape(&[3]);
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&mut rng, &[10000], 0.0, 1.0);
+        assert!(t.mean().abs() < 0.05, "mean {}", t.mean());
+        let var = t.data().iter().map(|x| x * x).sum::<f32>() / 10000.0;
+        assert!((var - 1.0).abs() < 0.1, "var {}", var);
+    }
+
+    #[test]
+    fn rand_uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::rand_uniform(&mut rng, &[1000], -0.5, 0.5);
+        assert!(t.max() < 0.5 && t.min() >= -0.5);
+    }
+
+    #[test]
+    fn allclose_tolerates_small_error() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0 + 1e-6, 2.0 - 1e-6], &[2]);
+        assert!(a.allclose(&b, 1e-4));
+        assert!(!a.allclose(&Tensor::from_vec(vec![1.1, 2.0], &[2]), 1e-4));
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let b = a.map(f32::abs);
+        assert_eq!(b.data(), &[1.0, 2.0]);
+        let c = a.zip(&b, |x, y| x + y);
+        assert_eq!(c.data(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let a = Tensor::from_vec(vec![1.0, f32::NAN], &[2]);
+        assert!(a.has_non_finite());
+        assert!(!Tensor::ones(&[3]).has_non_finite());
+    }
+}

@@ -1,0 +1,59 @@
+//! Demonstrates the compiler/optimization-level robustness setting behind
+//! Table V: the same program compiled by two compiler personas at five
+//! optimization levels, decompiled, and compared structurally.
+//!
+//! ```text
+//! cargo run --release --example cross_compiler
+//! ```
+
+use graphbinmatch::prelude::*;
+
+const SRC: &str = r#"
+int collatz(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        steps++;
+    }
+    return steps;
+}
+int main() { print(collatz(27)); return 0; }
+"#;
+
+fn main() {
+    let m = Pipeline::compile_source(SourceLang::MiniC, SRC).expect("compiles");
+    let src_graph = build_graph(&m);
+    println!(
+        "source IR: {} insts, graph {} nodes / {} edges\n",
+        m.num_insts(),
+        src_graph.num_nodes(),
+        src_graph.num_edges()
+    );
+
+    println!(
+        "{:<9} {:<6} {:>11} {:>12} {:>11} {:>11}",
+        "compiler", "level", "code bytes", "lifted insts", "graph nodes", "graph edges"
+    );
+    println!("{}", "-".repeat(66));
+    for compiler in [Compiler::Clang, Compiler::Gcc] {
+        for level in OptLevel::ALL {
+            let obj = Pipeline::compile_to_binary(&m, compiler, level).expect("compiles");
+            let lifted = Pipeline::decompile(&obj);
+            let g = build_graph(&lifted);
+            println!(
+                "{:<9} {:<6} {:>11} {:>12} {:>11} {:>11}",
+                compiler.name(),
+                level.name(),
+                obj.code_bytes(),
+                lifted.num_insts(),
+                g.num_nodes(),
+                g.num_edges()
+            );
+        }
+    }
+    println!(
+        "\nhigher optimization restructures the binary further from the source\n\
+         (and gcc output decompiles larger than clang's — both observations\n\
+         match the paper's Table V discussion)."
+    );
+}

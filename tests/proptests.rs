@@ -1,0 +1,181 @@
+//! Property-based tests over the whole pipeline.
+//!
+//! The task library doubles as a random-program generator: any
+//! `(task, seed, language)` triple yields a valid program, which lets
+//! proptest exercise parser round-trips, optimizer semantics preservation,
+//! and compile→decompile equivalence on a large space of real programs.
+
+use proptest::prelude::*;
+
+use gbm_binary::{compile_to_binary, decompile::decompile, optimize, Compiler, OptLevel};
+use gbm_datasets::{style::Style, tasks};
+use gbm_frontends::{compile, SourceLang};
+use gbm_lir::interp::run_function;
+use gbm_lir::{parse_module, verify_module};
+
+fn arb_lang() -> impl Strategy<Value = SourceLang> {
+    prop_oneof![Just(SourceLang::MiniC), Just(SourceLang::MiniJava)]
+}
+
+fn arb_level() -> impl Strategy<Value = OptLevel> {
+    prop_oneof![
+        Just(OptLevel::O0),
+        Just(OptLevel::O1),
+        Just(OptLevel::O2),
+        Just(OptLevel::O3),
+        Just(OptLevel::Oz),
+    ]
+}
+
+fn arb_compiler() -> impl Strategy<Value = Compiler> {
+    prop_oneof![Just(Compiler::Clang), Just(Compiler::Gcc)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated program compiles, verifies, and prints something.
+    #[test]
+    fn generated_programs_compile_and_run(
+        task in 0usize..tasks::NUM_TASKS,
+        seed in 0u64..10_000,
+        lang in arb_lang(),
+    ) {
+        let src = tasks::emit(task, lang, &mut Style::new(seed));
+        let m = compile(lang, "p", &src).expect("generated program compiles");
+        verify_module(&m).expect("verifies");
+        let out = run_function(&m, "main", &[], 5_000_000).expect("runs");
+        prop_assert!(!out.output.is_empty());
+    }
+
+    /// The LIR textual format round-trips: print → parse → print is a fixpoint.
+    #[test]
+    fn lir_print_parse_roundtrip(
+        task in 0usize..tasks::NUM_TASKS,
+        seed in 0u64..10_000,
+        lang in arb_lang(),
+    ) {
+        let src = tasks::emit(task, lang, &mut Style::new(seed));
+        let m = compile(lang, "p", &src).unwrap();
+        let text = m.to_text();
+        let parsed = parse_module(&text).expect("parses back");
+        prop_assert_eq!(parsed.to_text(), text);
+    }
+
+    /// Optimization preserves observable behaviour at every level.
+    #[test]
+    fn optimizer_preserves_semantics(
+        task in 0usize..tasks::NUM_TASKS,
+        seed in 0u64..10_000,
+        lang in arb_lang(),
+        level in arb_level(),
+    ) {
+        let src = tasks::emit(task, lang, &mut Style::new(seed));
+        let m = compile(lang, "p", &src).unwrap();
+        let reference = run_function(&m, "main", &[], 5_000_000).unwrap();
+        let mut opt = m.clone();
+        optimize(&mut opt, level);
+        verify_module(&opt).expect("optimized module verifies");
+        let out = run_function(&opt, "main", &[], 5_000_000).unwrap();
+        prop_assert_eq!(&out.output, &reference.output, "level {}", level);
+    }
+
+    /// Compile → binary → decompile → interpret equals direct interpretation.
+    #[test]
+    fn binary_roundtrip_preserves_semantics(
+        task in 0usize..tasks::NUM_TASKS,
+        seed in 0u64..10_000,
+        lang in arb_lang(),
+        compiler in arb_compiler(),
+        level in arb_level(),
+    ) {
+        let src = tasks::emit(task, lang, &mut Style::new(seed));
+        let m = compile(lang, "p", &src).unwrap();
+        let reference = run_function(&m, "main", &[], 5_000_000).unwrap();
+        let obj = compile_to_binary(&m, compiler, level).expect("codegen");
+        // byte round-trip as well
+        let obj = gbm_binary::ObjectFile::decode(&obj.encode()).expect("bytes");
+        let lifted = decompile(&obj);
+        verify_module(&lifted).expect("lifted verifies");
+        let out = run_function(&lifted, "main", &[], 200_000_000).unwrap();
+        prop_assert_eq!(&out.output, &reference.output, "{}/{}", compiler, level);
+    }
+
+    /// Program graphs are structurally valid with positional data edges.
+    #[test]
+    fn graphs_are_well_formed(
+        task in 0usize..tasks::NUM_TASKS,
+        seed in 0u64..10_000,
+        lang in arb_lang(),
+    ) {
+        let src = tasks::emit(task, lang, &mut Style::new(seed));
+        let m = compile(lang, "p", &src).unwrap();
+        let g = gbm_progml::build_graph(&m);
+        g.validate().expect("edges in range");
+        prop_assert!(g.num_nodes() > 0);
+        let [control, data, _call] = g.edge_counts();
+        prop_assert!(control > 0, "every program has control flow");
+        prop_assert!(data > 0, "every program has dataflow");
+    }
+
+    /// Tokenizer encodings are always fixed-length and in-vocabulary.
+    #[test]
+    fn tokenizer_encodings_bounded(
+        task in 0usize..tasks::NUM_TASKS,
+        seed in 0u64..10_000,
+    ) {
+        use gbm_tokenizer::{Tokenizer, TokenizerConfig};
+        let src = tasks::emit(task, SourceLang::MiniC, &mut Style::new(seed));
+        let m = compile(SourceLang::MiniC, "p", &src).unwrap();
+        let g = gbm_progml::build_graph(&m);
+        let tok = Tokenizer::train_on_graphs(
+            &[&g],
+            gbm_progml::NodeTextMode::FullText,
+            TokenizerConfig { vocab_cap: 128, ..Default::default() },
+        );
+        prop_assert!(tok.seq_len().is_power_of_two());
+        prop_assert!(tok.vocab_size() <= 128);
+        for node in &g.nodes {
+            let ids = tok.encode(&node.full_text);
+            prop_assert_eq!(ids.len(), tok.seq_len());
+            prop_assert!(ids.iter().all(|&id| (id as usize) < tok.vocab_size()));
+        }
+    }
+
+    /// Metric values stay in [0,1] for arbitrary score/label vectors.
+    #[test]
+    fn metrics_bounded(
+        scores in proptest::collection::vec(0.0f32..=1.0, 1..60),
+        seed in 0u64..1000,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let labels: Vec<f32> = scores.iter().map(|_| {
+            if rng.random_range(0..2) == 1 { 1.0 } else { 0.0 }
+        }).collect();
+        for t in [0.1f32, 0.5, 0.9] {
+            let p = gbm_eval::Prf::at(&scores, &labels, t);
+            prop_assert!((0.0..=1.0).contains(&p.precision));
+            prop_assert!((0.0..=1.0).contains(&p.recall));
+            prop_assert!((0.0..=1.0).contains(&p.f1));
+        }
+    }
+
+    /// The Hungarian assignment never beats the row-minima lower bound and
+    /// never loses to the diagonal assignment.
+    #[test]
+    fn hungarian_bounds(
+        n in 1usize..6,
+        cells in proptest::collection::vec(0.0f32..10.0, 36),
+    ) {
+        use gbm_baselines::binpro::hungarian;
+        let cost: Vec<Vec<f32>> = (0..n).map(|i| cells[i*6..i*6+n].to_vec()).collect();
+        let opt = hungarian(&cost);
+        let lower: f32 = cost.iter().map(|row| {
+            row.iter().copied().fold(f32::INFINITY, f32::min)
+        }).sum();
+        let diagonal: f32 = (0..n).map(|i| cost[i][i]).sum();
+        prop_assert!(opt >= lower - 1e-3, "opt {opt} < lower bound {lower}");
+        prop_assert!(opt <= diagonal + 1e-3, "opt {opt} > diagonal {diagonal}");
+    }
+}
