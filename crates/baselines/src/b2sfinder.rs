@@ -67,8 +67,12 @@ fn count_sim(a: usize, b: usize) -> f32 {
 fn weighted_const_overlap(a: &ModuleFeatures, b: &ModuleFeatures, idx: &SpecificityIndex) -> f32 {
     let mut inter = 0.0f32;
     let mut union = 0.0f32;
-    let keys: std::collections::HashSet<i64> =
-        a.int_consts.keys().chain(b.int_consts.keys()).copied().collect();
+    let keys: std::collections::HashSet<i64> = a
+        .int_consts
+        .keys()
+        .chain(b.int_consts.keys())
+        .copied()
+        .collect();
     for c in keys {
         let wa = a.int_consts.get(&c).copied().unwrap_or(0) as f32;
         let wb = b.int_consts.get(&c).copied().unwrap_or(0) as f32;
@@ -149,7 +153,11 @@ impl B2sFinder {
             f.opcode_sim,
         ];
         let wsum: f32 = self.weights.iter().sum();
-        v.iter().zip(self.weights.iter()).map(|(x, w)| x * w).sum::<f32>() / wsum
+        v.iter()
+            .zip(self.weights.iter())
+            .map(|(x, w)| x * w)
+            .sum::<f32>()
+            / wsum
     }
 }
 

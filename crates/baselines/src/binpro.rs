@@ -110,7 +110,11 @@ pub fn signals(a: &Module, b: &Module) -> BinProSignals {
         .filter(|f| !f.is_declaration())
         .map(function_features)
         .collect();
-    let (small, large) = if fa.len() <= fb.len() { (&fa, &fb) } else { (&fb, &fa) };
+    let (small, large) = if fa.len() <= fb.len() {
+        (&fa, &fb)
+    } else {
+        (&fb, &fa)
+    };
     let match_cost = if small.is_empty() {
         1.0
     } else {
@@ -228,13 +232,30 @@ mod tests {
 
     #[test]
     fn training_separates_obvious_signals() {
-        let pos = BinProSignals { match_cost: 0.1, size_gap: 0.05, func_gap: 0.0, loop_gap: 0.0 };
-        let neg = BinProSignals { match_cost: 2.0, size_gap: 0.7, func_gap: 0.5, loop_gap: 0.6 };
+        let pos = BinProSignals {
+            match_cost: 0.1,
+            size_gap: 0.05,
+            func_gap: 0.0,
+            loop_gap: 0.0,
+        };
+        let neg = BinProSignals {
+            match_cost: 2.0,
+            size_gap: 0.7,
+            func_gap: 0.5,
+            loop_gap: 0.6,
+        };
         let mut model = BinPro::new();
-        let data: Vec<(BinProSignals, f32)> =
-            vec![(pos, 1.0), (neg, 0.0), (pos, 1.0), (neg, 0.0)];
+        let data: Vec<(BinProSignals, f32)> = vec![(pos, 1.0), (neg, 0.0), (pos, 1.0), (neg, 0.0)];
         model.train(&data, 300, 0.05);
-        assert!(model.score_signals(&pos) > 0.7, "{}", model.score_signals(&pos));
-        assert!(model.score_signals(&neg) < 0.3, "{}", model.score_signals(&neg));
+        assert!(
+            model.score_signals(&pos) > 0.7,
+            "{}",
+            model.score_signals(&pos)
+        );
+        assert!(
+            model.score_signals(&neg) < 0.3,
+            "{}",
+            model.score_signals(&neg)
+        );
     }
 }

@@ -28,7 +28,15 @@ pub struct FunctionFeatures {
 impl FunctionFeatures {
     /// As a fixed-order slice for distance computations.
     pub fn as_vec(&self) -> [f32; 7] {
-        [self.insts, self.blocks, self.calls, self.branches, self.loops, self.mem_ops, self.arith_ops]
+        [
+            self.insts,
+            self.blocks,
+            self.calls,
+            self.branches,
+            self.loops,
+            self.mem_ops,
+            self.arith_ops,
+        ]
     }
 
     /// Scale-normalized Euclidean distance between two functions.
@@ -160,7 +168,8 @@ mod tests {
 
     #[test]
     fn function_features_count_structure() {
-        let m = module("int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }");
+        let m =
+            module("int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }");
         let ff = function_features(m.function("f").unwrap());
         assert!(ff.insts > 10.0);
         assert!(ff.loops >= 1.0, "loop back edge detected");
@@ -184,12 +193,16 @@ mod tests {
         let mf = module_features(&m);
         assert_eq!(mf.int_consts.get(&777), Some(&2));
         assert_eq!(mf.int_consts.get(&13), Some(&1));
-        assert!(!mf.int_consts.contains_key(&0), "ubiquitous constants filtered");
+        assert!(
+            !mf.int_consts.contains_key(&0),
+            "ubiquitous constants filtered"
+        );
     }
 
     #[test]
     fn opcode_cosine_behaviour() {
-        let m1 = module("int main() { int s = 0; for (int i = 0; i < 5; i++) { s += i; } return s; }");
+        let m1 =
+            module("int main() { int s = 0; for (int i = 0; i < 5; i++) { s += i; } return s; }");
         let f1 = module_features(&m1);
         assert!((opcode_cosine(&f1.opcode_hist, &f1.opcode_hist) - 1.0).abs() < 1e-6);
         let empty = HashMap::new();

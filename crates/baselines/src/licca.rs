@@ -114,7 +114,10 @@ fn visit_stmts(stmts: &[Stmt], depth: usize, p: &mut SyntacticProfile) {
 
 /// Builds the profile from an already-parsed program.
 pub fn profile_program(prog: &Program) -> SyntacticProfile {
-    let mut p = SyntacticProfile { functions: prog.funcs.len(), ..Default::default() };
+    let mut p = SyntacticProfile {
+        functions: prog.funcs.len(),
+        ..Default::default()
+    };
     for f in &prog.funcs {
         p.structure.push(b'F');
         visit_stmts(&f.body, 0, &mut p);
@@ -222,7 +225,10 @@ mod tests {
 
     #[test]
     fn parse_failure_scores_zero() {
-        assert_eq!(Licca::score(SourceLang::MiniC, "int main( {", SourceLang::MiniC, C_LOOP), 0.0);
+        assert_eq!(
+            Licca::score(SourceLang::MiniC, "int main( {", SourceLang::MiniC, C_LOOP),
+            0.0
+        );
     }
 
     #[test]

@@ -70,7 +70,11 @@ pub fn xlir_tokenizer(corpus: &[&Module], seq_len: usize) -> Tokenizer {
     let texts: Vec<String> = corpus.iter().map(|m| m.to_text()).collect();
     Tokenizer::train(
         texts.iter().map(|s| s.as_str()),
-        TokenizerConfig { vocab_cap: 2048, seq_len_override: Some(seq_len), normalize_vars: true },
+        TokenizerConfig {
+            vocab_cap: 2048,
+            seq_len_override: Some(seq_len),
+            normalize_vars: true,
+        },
     )
 }
 
@@ -143,7 +147,14 @@ impl Xlir {
             XlirVariant::Transformer => cfg.embed_dim,
         };
         let proj = Linear::new(&mut store, "xlir.proj", enc_out, cfg.out_dim, true, rng);
-        Xlir { store, cfg, embedding, gates, attn, proj }
+        Xlir {
+            store,
+            cfg,
+            embedding,
+            gates,
+            attn,
+            proj,
+        }
     }
 
     /// Encodes one token sequence to a unit-norm embedding `[1, out_dim]`.
@@ -188,7 +199,9 @@ impl Xlir {
         let attn = g.softmax_rows(scores);
         let ctx = g.matmul(attn, v); // [L, d]
         let x = blk.ln1.forward(g, g.add(x, ctx));
-        let ff = blk.ff2.forward(g, g.leaky_relu(blk.ff1.forward(g, x), 0.01));
+        let ff = blk
+            .ff2
+            .forward(g, g.leaky_relu(blk.ff1.forward(g, x), 0.01));
         let x = blk.ln2.forward(g, g.add(x, ff));
         g.mean_axis0(x) // [1, d]
     }
@@ -202,7 +215,12 @@ impl Xlir {
 
     /// Cosine-based matching score in [0,1] from cached embeddings.
     pub fn score_embeddings(a: &Tensor, b: &Tensor) -> f32 {
-        let dot: f32 = a.data().iter().zip(b.data().iter()).map(|(x, y)| x * y).sum();
+        let dot: f32 = a
+            .data()
+            .iter()
+            .zip(b.data().iter())
+            .map(|(x, y)| x * y)
+            .sum();
         (dot + 1.0) / 2.0
     }
 
@@ -230,7 +248,12 @@ pub struct XlirTrainConfig {
 
 impl Default for XlirTrainConfig {
     fn default() -> Self {
-        XlirTrainConfig { lr: 2e-3, epochs: 6, batch_size: 8, seed: 17 }
+        XlirTrainConfig {
+            lr: 2e-3,
+            epochs: 6,
+            batch_size: 8,
+            seed: 17,
+        }
     }
 }
 
@@ -328,7 +351,10 @@ mod tests {
     fn scores_in_unit_interval_and_self_is_one() {
         let (seqs, tok) = pool();
         let mut rng = StdRng::seed_from_u64(2);
-        let model = Xlir::new(tiny_cfg(XlirVariant::Transformer, tok.vocab_size()), &mut rng);
+        let model = Xlir::new(
+            tiny_cfg(XlirVariant::Transformer, tok.vocab_size()),
+            &mut rng,
+        );
         let s_self = model.score(&seqs[0], &seqs[0]);
         assert!((s_self - 1.0).abs() < 1e-4);
         let s_cross = model.score(&seqs[0], &seqs[2]);
@@ -347,7 +373,12 @@ mod tests {
                 &model,
                 &seqs,
                 &triplets,
-                &XlirTrainConfig { epochs: 8, lr: 5e-3, batch_size: 4, seed: 4 },
+                &XlirTrainConfig {
+                    epochs: 8,
+                    lr: 5e-3,
+                    batch_size: 4,
+                    seed: 4,
+                },
             );
             // either the margin starts satisfied (loss 0) or training drives
             // the loss down — it must never grow

@@ -28,8 +28,7 @@ const SRC: &str = "
 fn setup() -> (gbm_nn::EncodedGraph, Tokenizer) {
     let m = compile(SourceLang::MiniJava, "t", SRC).unwrap();
     let g = build_graph(&m);
-    let tok =
-        Tokenizer::train_on_graphs(&[&g], NodeTextMode::FullText, TokenizerConfig::default());
+    let tok = Tokenizer::train_on_graphs(&[&g], NodeTextMode::FullText, TokenizerConfig::default());
     (encode_graph(&g, &tok, NodeTextMode::FullText), tok)
 }
 
@@ -37,7 +36,11 @@ fn bench_fusion(c: &mut Criterion) {
     let (eg, tok) = setup();
     let mut group = c.benchmark_group("ablation_fusion");
     group.sample_size(20);
-    for (name, fusion) in [("max", Fusion::Max), ("mean", Fusion::Mean), ("sum", Fusion::Sum)] {
+    for (name, fusion) in [
+        ("max", Fusion::Max),
+        ("mean", Fusion::Mean),
+        ("sum", Fusion::Sum),
+    ] {
         let mut cfg = GraphBinMatchConfig::tiny(tok.vocab_size());
         cfg.fusion = fusion;
         let mut rng = StdRng::seed_from_u64(1);
@@ -82,14 +85,13 @@ fn bench_var_token(c: &mut Criterion) {
     let g = build_graph(&m);
     let mut group = c.benchmark_group("ablation_var_token");
     for (name, normalize) in [("var_normalized", true), ("raw_registers", false)] {
-        let cfg = TokenizerConfig { normalize_vars: normalize, ..Default::default() };
+        let cfg = TokenizerConfig {
+            normalize_vars: normalize,
+            ..Default::default()
+        };
         group.bench_function(name, |b| {
             b.iter(|| {
-                let tok = Tokenizer::train_on_graphs(
-                    black_box(&[&g]),
-                    NodeTextMode::FullText,
-                    cfg,
-                );
+                let tok = Tokenizer::train_on_graphs(black_box(&[&g]), NodeTextMode::FullText, cfg);
                 encode_graph(&g, &tok, NodeTextMode::FullText).tokens.len()
             })
         });
@@ -97,5 +99,11 @@ fn bench_var_token(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fusion, bench_pooling, bench_depth, bench_var_token);
+criterion_group!(
+    benches,
+    bench_fusion,
+    bench_pooling,
+    bench_depth,
+    bench_var_token
+);
 criterion_main!(benches);

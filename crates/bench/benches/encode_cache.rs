@@ -1,0 +1,90 @@
+//! Encode-per-pair vs encode-once-then-head: the speedup the encoder/head
+//! split buys. `naive_score_per_pair` runs the full GNN encoder twice per
+//! pair (the pre-split inference path); `store_build_plus_head` amortizes
+//! one encoder forward per unique graph and scores pairs through the cheap
+//! comparison head; `head_only_on_cached` shows the marginal cost per pair
+//! once embeddings exist (the serving steady state).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gbm_frontends::{compile, SourceLang};
+use gbm_nn::{
+    encode_graph, EmbeddingStore, EncodedGraph, GraphBinMatch, GraphBinMatchConfig, PairExample,
+};
+use gbm_progml::{build_graph, NodeTextMode};
+use gbm_tokenizer::{Tokenizer, TokenizerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// 8 graphs, all-vs-all pairs (56): typical eval-split shape in miniature.
+fn setup() -> (GraphBinMatch, Vec<EncodedGraph>, Vec<PairExample>) {
+    let sources: Vec<String> = (0..8)
+        .map(|k| {
+            format!(
+                "int f(int n) {{ int s = {k}; for (int i = 0; i < n; i++) {{ s += i * {}; }} return s; }}
+                 int main() {{ print(f({})); return 0; }}",
+                k + 1,
+                k + 10
+            )
+        })
+        .collect();
+    let graphs: Vec<gbm_progml::ProgramGraph> = sources
+        .iter()
+        .map(|s| build_graph(&compile(SourceLang::MiniC, "t", s).unwrap()))
+        .collect();
+    let refs: Vec<&gbm_progml::ProgramGraph> = graphs.iter().collect();
+    let tok = Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
+    let pool: Vec<EncodedGraph> = graphs
+        .iter()
+        .map(|g| encode_graph(g, &tok, NodeTextMode::FullText))
+        .collect();
+    let mut pairs = Vec::new();
+    for a in 0..pool.len() {
+        for b in 0..pool.len() {
+            if a != b {
+                pairs.push(PairExample {
+                    a,
+                    b,
+                    label: (a % 2 == b % 2) as u8 as f32,
+                });
+            }
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = GraphBinMatch::new(GraphBinMatchConfig::small(tok.vocab_size()), &mut rng);
+    (model, pool, pairs)
+}
+
+fn bench_encode_cache(c: &mut Criterion) {
+    let (model, pool, pairs) = setup();
+    let mut g = c.benchmark_group("encode_cache");
+    g.sample_size(10);
+
+    g.bench_function("naive_score_per_pair", |b| {
+        b.iter(|| {
+            let scores: Vec<f32> = pairs
+                .iter()
+                .map(|p| model.score(&pool[p.a], &pool[p.b]))
+                .collect();
+            black_box(scores)
+        })
+    });
+
+    g.bench_function("store_build_plus_head", |b| {
+        b.iter(|| {
+            let store = EmbeddingStore::build(&model, &pool);
+            black_box(store.score_pairs(&model, &pairs))
+        })
+    });
+
+    let store = EmbeddingStore::build(&model, &pool);
+    g.bench_function("head_only_on_cached", |b| {
+        b.iter(|| black_box(store.score_pairs(&model, &pairs)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode_cache);
+criterion_main!(benches);

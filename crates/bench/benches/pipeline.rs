@@ -88,7 +88,9 @@ fn bench_graphs(c: &mut Criterion) {
     let jm = compile(SourceLang::MiniJava, "t", JAVA_SRC).unwrap();
     let mut g = c.benchmark_group("progml");
     g.bench_function("build_graph_c", |b| b.iter(|| build_graph(black_box(&cm))));
-    g.bench_function("build_graph_java", |b| b.iter(|| build_graph(black_box(&jm))));
+    g.bench_function("build_graph_java", |b| {
+        b.iter(|| build_graph(black_box(&jm)))
+    });
     g.finish();
 }
 

@@ -2,9 +2,9 @@
 //! relation fusion (max/mean/sum), pooling (attention/mean), GNN depth,
 //! and [VAR] tokenizer normalization.
 
+use gbm_binary::{Compiler, OptLevel};
 use gbm_eval::{run_experiment, ExperimentSpec, HarnessConfig};
 use gbm_frontends::SourceLang;
-use gbm_binary::{Compiler, OptLevel};
 
 fn run_with(cfg: &HarnessConfig, label: &str, f1s: &mut Vec<(String, f32)>) {
     let mut spec = ExperimentSpec::cross_language(

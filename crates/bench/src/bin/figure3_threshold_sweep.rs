@@ -5,7 +5,10 @@ fn main() {
     gbm_bench::banner("Figure 3 (threshold sweep)", &cfg);
     let (_, result) = gbm_eval::experiments::table3(&cfg);
     let points = gbm_eval::experiments::figure3(&result);
-    println!("\n{:>9} {:>9} {:>9} {:>9} {:>9}", "Threshold", "Precision", "Recall", "F1", "Accuracy");
+    println!(
+        "\n{:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Threshold", "Precision", "Recall", "F1", "Accuracy"
+    );
     println!("{}", "-".repeat(50));
     for p in &points {
         println!(

@@ -14,7 +14,11 @@ fn main() {
     );
     println!(
         "MiniJava graph: {:>5} nodes {:>5} edges (control {} / data {} / call {})",
-        cs.java_stats.nodes, cs.java_stats.edges, cs.java_stats.control, cs.java_stats.data, cs.java_stats.call
+        cs.java_stats.nodes,
+        cs.java_stats.edges,
+        cs.java_stats.control,
+        cs.java_stats.data,
+        cs.java_stats.call
     );
     println!(
         "size ratio: {:.1}x nodes, {:.1}x edges",

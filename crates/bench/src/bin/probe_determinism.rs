@@ -1,0 +1,144 @@
+//! Cross-process determinism probe: prints a checksum per pipeline stage so
+//! two invocations can be diffed to localize any run-to-run divergence
+//! (HashMap iteration order leaking into results, unseeded randomness, …).
+//!
+//! ```text
+//! cargo run --release -p gbm-bench --bin probe_determinism > a.txt
+//! cargo run --release -p gbm-bench --bin probe_determinism > b.txt
+//! diff a.txt b.txt   # must be empty
+//! ```
+
+use gbm_binary::{Compiler, OptLevel};
+use gbm_datasets::{clcdsa, decompile_all, DatasetConfig};
+use gbm_nn::{
+    encode_graph, predict, train, EmbeddingStore, GraphBinMatch, GraphBinMatchConfig, PairExample,
+    PairSet, TrainConfig,
+};
+use gbm_progml::{build_graph, NodeTextMode};
+use gbm_tokenizer::{Tokenizer, TokenizerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn checksum_bytes(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    // FNV-1a
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn checksum_f32s<'a>(xs: impl IntoIterator<Item = &'a f32>) -> u64 {
+    checksum_bytes(xs.into_iter().flat_map(|x| x.to_le_bytes()))
+}
+
+fn main() {
+    let ds = clcdsa(DatasetConfig {
+        num_tasks: 4,
+        solutions_per_task: 3,
+        seed: 42,
+    });
+    let src_cat: String = ds.solutions.iter().map(|s| s.source.as_str()).collect();
+    println!("sources          {:016x}", checksum_bytes(src_cat.bytes()));
+
+    let ir_cat: String = ds.solutions.iter().map(|s| s.module.to_text()).collect();
+    println!("source_ir        {:016x}", checksum_bytes(ir_cat.bytes()));
+
+    // fine-grained bisect of the binary pipeline
+    let m0 = ds.solutions[0].module.clone();
+    for level in [
+        OptLevel::O0,
+        OptLevel::O1,
+        OptLevel::O2,
+        OptLevel::O3,
+        OptLevel::Oz,
+    ] {
+        let mut m = m0.clone();
+        gbm_binary::optimize(&mut m, level);
+        println!(
+            "opt_{level:<12} {:016x}",
+            checksum_bytes(m.to_text().bytes())
+        );
+        let obj = gbm_binary::compile_module(&m, Compiler::Clang).unwrap();
+        println!("obj_{level:<12} {:016x}", checksum_bytes(obj.encode()));
+        let lifted = gbm_binary::decompile::decompile(&obj);
+        println!(
+            "lift_{level:<11} {:016x}",
+            checksum_bytes(lifted.to_text().bytes())
+        );
+    }
+
+    let idxs: Vec<usize> = (0..ds.solutions.len()).collect();
+    let bins = decompile_all(&ds, &idxs, Compiler::Clang, OptLevel::Oz);
+    let bin_cat: String = idxs.iter().map(|i| bins[i].to_text()).collect();
+    println!("decompiled_ir    {:016x}", checksum_bytes(bin_cat.bytes()));
+
+    let graphs: Vec<_> = idxs
+        .iter()
+        .map(|i| build_graph(&ds.solutions[*i].module))
+        .collect();
+    let graph_cat: String = graphs
+        .iter()
+        .flat_map(|g| g.nodes.iter().map(|n| n.full_text.as_str()))
+        .collect();
+    println!(
+        "graph_nodes      {:016x}",
+        checksum_bytes(graph_cat.bytes())
+    );
+
+    let refs: Vec<&gbm_progml::ProgramGraph> = graphs.iter().collect();
+    let tok = Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
+    let enc: Vec<_> = graphs
+        .iter()
+        .map(|g| encode_graph(g, &tok, NodeTextMode::FullText))
+        .collect();
+    let tok_cat: Vec<u8> = enc
+        .iter()
+        .flat_map(|e| e.tokens.iter().flat_map(|t| t.to_le_bytes()))
+        .collect();
+    println!("token_ids        {:016x}", checksum_bytes(tok_cat));
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);
+    println!(
+        "init_weights     {:016x}",
+        checksum_f32s(&model.store.snapshot())
+    );
+
+    let mut pairs = Vec::new();
+    for a in 0..enc.len() {
+        for b in 0..enc.len() {
+            if a != b {
+                pairs.push(PairExample {
+                    a,
+                    b,
+                    label: (ds.solutions[a].task == ds.solutions[b].task) as u8 as f32,
+                });
+            }
+        }
+    }
+    let data = PairSet { graphs: enc, pairs };
+
+    let store = EmbeddingStore::build(&model, &data.graphs);
+    let emb_cat: Vec<f32> = (0..data.graphs.len())
+        .flat_map(|i| store.embedding(i).data().to_vec())
+        .collect();
+    println!("embeddings       {:016x}", checksum_f32s(&emb_cat));
+
+    let pre = predict(&model, &data);
+    println!("predict_untrained{:016x}", checksum_f32s(&pre));
+
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..Default::default()
+    };
+    train(&model, &data, &cfg, |_, _| {});
+    println!(
+        "trained_weights  {:016x}",
+        checksum_f32s(&model.store.snapshot())
+    );
+
+    let post = predict(&model, &data);
+    println!("predict_trained  {:016x}", checksum_f32s(&post));
+}

@@ -11,18 +11,42 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 
 fn main() {
-    let ds = poj104(DatasetConfig { num_tasks: 3, solutions_per_task: 4, seed: 42 });
-    let graphs: Vec<_> = ds.solutions.iter().map(|s| build_graph(&s.module)).collect();
+    let ds = poj104(DatasetConfig {
+        num_tasks: 3,
+        solutions_per_task: 4,
+        seed: 42,
+    });
+    let graphs: Vec<_> = ds
+        .solutions
+        .iter()
+        .map(|s| build_graph(&s.module))
+        .collect();
     let dec: Vec<_> = ds
         .solutions
         .iter()
-        .map(|s| build_graph(&gbm_datasets::decompiled_module(s, Compiler::Clang, OptLevel::O0)))
+        .map(|s| {
+            build_graph(&gbm_datasets::decompiled_module(
+                s,
+                Compiler::Clang,
+                OptLevel::O0,
+            ))
+        })
         .collect();
     let refs: Vec<&gbm_progml::ProgramGraph> = graphs.iter().chain(dec.iter()).collect();
     let tok = Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
-    println!("tokenizer: vocab {} seq_len {}", tok.vocab_size(), tok.seq_len());
-    let enc: Vec<_> = graphs.iter().map(|g| encode_graph(g, &tok, NodeTextMode::FullText)).collect();
-    let enc_dec: Vec<_> = dec.iter().map(|g| encode_graph(g, &tok, NodeTextMode::FullText)).collect();
+    println!(
+        "tokenizer: vocab {} seq_len {}",
+        tok.vocab_size(),
+        tok.seq_len()
+    );
+    let enc: Vec<_> = graphs
+        .iter()
+        .map(|g| encode_graph(g, &tok, NodeTextMode::FullText))
+        .collect();
+    let enc_dec: Vec<_> = dec
+        .iter()
+        .map(|g| encode_graph(g, &tok, NodeTextMode::FullText))
+        .collect();
 
     let mut rng = StdRng::seed_from_u64(7);
     let mut cfg = GraphBinMatchConfig::small(tok.vocab_size());
@@ -40,8 +64,14 @@ fn main() {
     for (i, e) in embs.iter().enumerate() {
         println!(
             "  g{} task {} nodes {:>4}: [{:.3} {:.3} {:.3} {:.3}] norm {:.3}",
-            i, ds.solutions[i].task, enc[i].n_nodes,
-            e.data()[0], e.data()[1], e.data()[2], e.data()[3], e.norm()
+            i,
+            ds.solutions[i].task,
+            enc[i].n_nodes,
+            e.data()[0],
+            e.data()[1],
+            e.data()[2],
+            e.data()[3],
+            e.norm()
         );
     }
     // pairwise distances
@@ -94,6 +124,7 @@ fn main() {
     }
     let mut pos = Vec::new();
     let mut neg = Vec::new();
+    #[allow(clippy::needless_range_loop)] // (i, j) also index ds.solutions
     for i in 0..enc.len() {
         for j in 0..enc_dec.len() {
             let d = src_embs[i].zip(&dec_embs[j], |a, b| a - b).norm();
@@ -105,9 +136,20 @@ fn main() {
         }
     }
     let mean = |v: &Vec<f32>| v.iter().sum::<f32>() / v.len() as f32;
-    println!("\nsource-vs-decompiled distance: positives {:.3} ({} pairs) vs negatives {:.3} ({} pairs)",
-        mean(&pos), pos.len(), mean(&neg), neg.len());
-    println!("decompiled graph sizes: {:?}", enc_dec.iter().map(|e| e.n_nodes).collect::<Vec<_>>());
-    println!("source graph sizes:     {:?}", enc.iter().map(|e| e.n_nodes).collect::<Vec<_>>());
+    println!(
+        "\nsource-vs-decompiled distance: positives {:.3} ({} pairs) vs negatives {:.3} ({} pairs)",
+        mean(&pos),
+        pos.len(),
+        mean(&neg),
+        neg.len()
+    );
+    println!(
+        "decompiled graph sizes: {:?}",
+        enc_dec.iter().map(|e| e.n_nodes).collect::<Vec<_>>()
+    );
+    println!(
+        "source graph sizes:     {:?}",
+        enc.iter().map(|e| e.n_nodes).collect::<Vec<_>>()
+    );
 }
 // (appended) — pair-level signal check lives in main2; call from main via env

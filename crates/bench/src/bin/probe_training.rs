@@ -11,22 +11,52 @@ fn main() {
     cfg.lr = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6e-3);
     cfg.hidden_dim = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(32);
     cfg.num_layers = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(2);
-    cfg.num_tasks = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(cfg.num_tasks);
-    cfg.solutions_per_task = args.get(6).and_then(|s| s.parse().ok()).unwrap_or(cfg.solutions_per_task);
+    cfg.num_tasks = args
+        .get(5)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(cfg.num_tasks);
+    cfg.solutions_per_task = args
+        .get(6)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(cfg.solutions_per_task);
     let mut spec = ExperimentSpec::single_language(Compiler::Clang, OptLevel::O0);
     spec.with_baselines = false;
     let r = run_experiment(&spec, &cfg);
     for (i, s) in r.train_stats.iter().enumerate() {
-        println!("epoch {:>2}: loss {:.4} acc {:.2}", i + 1, s.loss, s.accuracy);
+        println!(
+            "epoch {:>2}: loss {:.4} acc {:.2}",
+            i + 1,
+            s.loss,
+            s.accuracy
+        );
     }
     println!("test: {}", r.methods[0].prf);
-    let pos: Vec<f32> = r.gbm_scores.iter().zip(&r.labels).filter(|(_, &l)| l == 1.0).map(|(s, _)| *s).collect();
-    let neg: Vec<f32> = r.gbm_scores.iter().zip(&r.labels).filter(|(_, &l)| l == 0.0).map(|(s, _)| *s).collect();
+    let pos: Vec<f32> = r
+        .gbm_scores
+        .iter()
+        .zip(&r.labels)
+        .filter(|(_, &l)| l == 1.0)
+        .map(|(s, _)| *s)
+        .collect();
+    let neg: Vec<f32> = r
+        .gbm_scores
+        .iter()
+        .zip(&r.labels)
+        .filter(|(_, &l)| l == 0.0)
+        .map(|(s, _)| *s)
+        .collect();
     let mean = |v: &Vec<f32>| v.iter().sum::<f32>() / v.len().max(1) as f32;
     let spread = |v: &Vec<f32>| {
         let m = mean(v);
         (v.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / v.len().max(1) as f32).sqrt()
     };
-    println!("test scores: pos mean {:.3} sd {:.3} ({}), neg mean {:.3} sd {:.3} ({})",
-        mean(&pos), spread(&pos), pos.len(), mean(&neg), spread(&neg), neg.len());
+    println!(
+        "test scores: pos mean {:.3} sd {:.3} ({}), neg mean {:.3} sd {:.3} ({})",
+        mean(&pos),
+        spread(&pos),
+        pos.len(),
+        mean(&neg),
+        spread(&neg),
+        neg.len()
+    );
 }

@@ -4,8 +4,12 @@
 fn main() {
     let cfg = gbm_bench::scale_from_env();
     gbm_bench::banner("Table III (cross-language binary-source matching)", &cfg);
-    let (directions, _) = gbm_eval::experiments::table3(&cfg);
+    let (directions, full) = gbm_eval::experiments::table3(&cfg);
     for (label, rows) in directions {
         gbm_bench::print_method_table(&label, &rows);
     }
+    gbm_bench::print_retrieval(
+        "Ranked retrieval on the same test split (C/C++ binaries → Java sources)",
+        &full.retrieval,
+    );
 }

@@ -4,7 +4,10 @@ fn main() {
     let cfg = gbm_bench::scale_from_env();
     gbm_bench::banner("Table V (optimization levels / compilers)", &cfg);
     let rows = gbm_eval::experiments::table5(&cfg);
-    println!("\n{:<9} {:<6} {:>9} {:>9} {:>9}", "Compiler", "Level", "Precision", "Recall", "F1");
+    println!(
+        "\n{:<9} {:<6} {:>9} {:>9} {:>9}",
+        "Compiler", "Level", "Precision", "Recall", "F1"
+    );
     println!("{}", "-".repeat(46));
     for (compiler, level, prf) in rows {
         println!(

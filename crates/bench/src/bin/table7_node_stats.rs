@@ -6,7 +6,10 @@ fn main() {
     gbm_bench::banner("Table VII (node statistics by confusion cell)", &cfg);
     let (_, result) = gbm_eval::experiments::table3(&cfg);
     let rows = gbm_eval::experiments::table7(&result, 0.5);
-    println!("\n{:<16} {:>8} {:>8} {:>10} {:>7}", "Type", "Mean", "Median", "Mean |a-b|", "Count");
+    println!(
+        "\n{:<16} {:>8} {:>8} {:>10} {:>7}",
+        "Type", "Mean", "Median", "Mean |a-b|", "Count"
+    );
     println!("{}", "-".repeat(54));
     for r in rows {
         println!(

@@ -4,7 +4,10 @@ fn main() {
     let cfg = gbm_bench::scale_from_env();
     gbm_bench::banner("Table VIII (text vs full_text embedding)", &cfg);
     let rows = gbm_eval::experiments::table8(&cfg);
-    println!("\n{:<10} {:<15} {:>9} {:>9} {:>9}", "Mode", "Task", "Precision", "Recall", "F1");
+    println!(
+        "\n{:<10} {:<15} {:>9} {:>9} {:>9}",
+        "Mode", "Task", "Precision", "Recall", "F1"
+    );
     println!("{}", "-".repeat(56));
     for (mode, task, prf) in rows {
         println!(

@@ -1,0 +1,57 @@
+//! Ranked binary→source retrieval — the paper's headline use case, run as a
+//! first-class workload: every b-side test graph queries the a-side test
+//! candidates through cached embeddings, reporting MRR and recall@{1,5,10}
+//! next to the pairwise P/R/F1 the other tables print.
+//!
+//! ```text
+//! cargo run --release -p gbm-bench --bin table_retrieval
+//! ```
+
+use gbm_binary::{Compiler, OptLevel};
+use gbm_eval::{run_experiment, ExperimentSpec};
+use gbm_frontends::SourceLang;
+
+fn main() {
+    let cfg = gbm_bench::scale_from_env();
+    gbm_bench::banner("Retrieval (ranked binary→source search)", &cfg);
+
+    let directions = [
+        (
+            "C/C++ binaries → Java sources",
+            ExperimentSpec::cross_language(
+                SourceLang::MiniC,
+                SourceLang::MiniJava,
+                Compiler::Clang,
+                OptLevel::Oz,
+            ),
+        ),
+        (
+            "Java binaries → C/C++ sources",
+            ExperimentSpec::cross_language(
+                SourceLang::MiniJava,
+                SourceLang::MiniC,
+                Compiler::Clang,
+                OptLevel::Oz,
+            ),
+        ),
+    ];
+    for (label, mut spec) in directions {
+        spec.with_baselines = false; // retrieval is GraphBinMatch-only
+        let result = run_experiment(&spec, &cfg);
+        gbm_bench::print_retrieval(label, &result.retrieval);
+        let gbm = &result.methods[0];
+        println!(
+            "(pairwise reference: P={:.2} R={:.2} F1={:.2})",
+            gbm.prf.precision, gbm.prf.recall, gbm.prf.f1
+        );
+    }
+
+    // single-language retrieval: POJ-syn binaries → sources
+    let mut spec = ExperimentSpec::single_language(Compiler::Clang, OptLevel::O0);
+    spec.with_baselines = false;
+    let result = run_experiment(&spec, &cfg);
+    gbm_bench::print_retrieval(
+        "C/C++ binaries → C/C++ sources (POJ-syn)",
+        &result.retrieval,
+    );
+}

@@ -38,7 +38,10 @@ pub fn scale_from_env() -> HarnessConfig {
 /// Prints a `P / R / F1` method table with an optional title.
 pub fn print_method_table(title: &str, rows: &[MethodScore]) {
     println!("\n## {title}");
-    println!("{:<24} {:>9} {:>9} {:>9} {:>10}", "Method", "Precision", "Recall", "F1", "Threshold");
+    println!(
+        "{:<24} {:>9} {:>9} {:>9} {:>10}",
+        "Method", "Precision", "Recall", "F1", "Threshold"
+    );
     println!("{}", "-".repeat(66));
     for m in rows {
         println!(
@@ -48,12 +51,32 @@ pub fn print_method_table(title: &str, rows: &[MethodScore]) {
     }
 }
 
+/// Prints a retrieval-metrics block (MRR / recall@k) for one query set.
+pub fn print_retrieval(title: &str, r: &gbm_eval::RetrievalMetrics) {
+    println!("\n## {title}");
+    println!(
+        "{} queries ranked over {} candidates",
+        r.num_queries, r.num_candidates
+    );
+    println!("{:<12} {:>8}", "Metric", "Value");
+    println!("{}", "-".repeat(21));
+    println!("{:<12} {:>8.3}", "MRR", r.mrr);
+    for &(k, v) in &r.recall_at {
+        println!("{:<12} {:>8.3}", format!("recall@{k}"), v);
+    }
+}
+
 /// Standard banner for every harness binary.
 pub fn banner(what: &str, cfg: &HarnessConfig) {
     println!("=== GraphBinMatch reproduction — {what} ===");
     println!(
         "scale: tasks={} solutions/task/lang={} dims={}/{} layers={} epochs={}",
-        cfg.num_tasks, cfg.solutions_per_task, cfg.embed_dim, cfg.hidden_dim, cfg.num_layers, cfg.epochs
+        cfg.num_tasks,
+        cfg.solutions_per_task,
+        cfg.embed_dim,
+        cfg.hidden_dim,
+        cfg.num_layers,
+        cfg.epochs
     );
 }
 
@@ -73,7 +96,11 @@ mod tests {
             "t",
             &[MethodScore {
                 method: "X".into(),
-                prf: gbm_eval::Prf { precision: 0.5, recall: 0.5, f1: 0.5 },
+                prf: gbm_eval::Prf {
+                    precision: 0.5,
+                    recall: 0.5,
+                    f1: 0.5,
+                },
                 threshold: 0.5,
             }],
         );

@@ -66,6 +66,7 @@ impl std::error::Error for CodegenError {}
 
 /// Lays out module globals exactly as the VM loader does; returns their
 /// byte blobs and link-time addresses.
+#[allow(clippy::type_complexity)]
 pub fn layout_globals(m: &Module) -> (Vec<(String, Vec<u8>)>, HashMap<String, i64>) {
     let mut blobs = Vec::new();
     let mut addrs = HashMap::new();
@@ -91,9 +92,7 @@ pub fn layout_globals(m: &Module) -> (Vec<(String, Vec<u8>)>, HashMap<String, i6
         addrs.insert(g.name.clone(), cursor);
         cursor += data.len() as i64;
         let pad = (8 - (cursor % 8)) % 8;
-        for _ in 0..pad {
-            data.push(0);
-        }
+        data.extend(std::iter::repeat_n(0u8, pad as usize));
         cursor += pad;
         blobs.push((g.name.clone(), data));
     }
@@ -104,8 +103,11 @@ pub fn layout_globals(m: &Module) -> (Vec<(String, Vec<u8>)>, HashMap<String, i6
 pub fn compile_module(m: &Module, style: Compiler) -> Result<ObjectFile, CodegenError> {
     let (globals, global_addrs) = layout_globals(m);
     let bodies: Vec<&Function> = m.functions.iter().filter(|f| !f.is_declaration()).collect();
-    let func_index: HashMap<&str, usize> =
-        bodies.iter().enumerate().map(|(i, f)| (f.name.as_str(), i)).collect();
+    let func_index: HashMap<&str, usize> = bodies
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i))
+        .collect();
     let mut functions = Vec::with_capacity(bodies.len());
     for f in &bodies {
         functions.push(compile_function(f, style, &global_addrs, &func_index)?);
@@ -219,14 +221,17 @@ fn compile_function(
 
     // patch branch targets
     for (idx, target) in std::mem::take(&mut ctx.fixups) {
-        let t = *ctx
-            .block_start
-            .get(&target)
-            .ok_or_else(|| CodegenError { message: format!("unplaced block bb{}", target.0) })?;
+        let t = *ctx.block_start.get(&target).ok_or_else(|| CodegenError {
+            message: format!("unplaced block bb{}", target.0),
+        })?;
         ctx.code[idx].imm = t;
     }
 
-    Ok(ObjFunction { name: f.name.clone(), arity: f.params.len() as u8, code: ctx.code })
+    Ok(ObjFunction {
+        name: f.name.clone(),
+        arity: f.params.len() as u8,
+        code: ctx.code,
+    })
 }
 
 impl<'a> FnCtx<'a> {
@@ -412,7 +417,11 @@ impl<'a> FnCtx<'a> {
                         self.emit_fixup(Op::Jmp, 0, *target);
                     }
                 }
-                InstKind::CondBr { cond, then_bb, else_bb } => {
+                InstKind::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     // φ moves per edge must happen after the condition is
                     // known; route each edge through its move sequence
                     self.load_operand(cond, SCRATCH0)?;
@@ -456,7 +465,11 @@ impl<'a> FnCtx<'a> {
                 InstKind::Call { callee, args, .. } => {
                     self.compile_call(inst, callee, args)?;
                 }
-                InstKind::Gep { elem_ty, base, index } => {
+                InstKind::Gep {
+                    elem_ty,
+                    base,
+                    index,
+                } => {
                     self.load_operand(base, SCRATCH0)?;
                     self.load_operand(index, SCRATCH1)?;
                     self.load_imm(SCRATCH2, elem_ty.size_bytes() as i64);
@@ -464,7 +477,12 @@ impl<'a> FnCtx<'a> {
                     self.emit(Op::Add, SCRATCH0, SCRATCH0, SCRATCH1, 0);
                     self.store_slot(inst.result.expect("gep result"), SCRATCH0);
                 }
-                InstKind::Select { cond, then_v, else_v, .. } => {
+                InstKind::Select {
+                    cond,
+                    then_v,
+                    else_v,
+                    ..
+                } => {
                     self.load_operand(cond, SCRATCH0)?;
                     self.load_operand(then_v, SCRATCH1)?;
                     let skip_idx = self.code.len();
@@ -474,7 +492,12 @@ impl<'a> FnCtx<'a> {
                     self.code[skip_idx].imm = after;
                     self.store_slot(inst.result.expect("select result"), SCRATCH1);
                 }
-                InstKind::Cast { kind, val, from, to } => {
+                InstKind::Cast {
+                    kind,
+                    val,
+                    from,
+                    to,
+                } => {
                     self.load_operand(val, SCRATCH0)?;
                     match kind {
                         CastKind::Bitcast => {}
@@ -535,7 +558,9 @@ impl<'a> FnCtx<'a> {
                 return Ok(());
             }
             other if other.starts_with("rt_") => {
-                return Err(CodegenError { message: format!("unknown intrinsic @{other}") })
+                return Err(CodegenError {
+                    message: format!("unknown intrinsic @{other}"),
+                })
             }
             _ => {}
         }

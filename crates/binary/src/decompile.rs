@@ -16,9 +16,7 @@
 //! An optional cleanup stage (on by default, like RetDec's internal LLVM
 //! passes) runs folding/DCE/CFG simplification over the lifted module.
 
-use gbm_lir::{
-    BinOp, BlockId, CastKind, FunctionBuilder, IcmpPred, InstKind, Module, Operand, Ty,
-};
+use gbm_lir::{BinOp, BlockId, CastKind, FunctionBuilder, IcmpPred, InstKind, Module, Operand, Ty};
 
 use crate::isa::{ObjFunction, ObjectFile, Op, CMP_EQ, CMP_GE, CMP_GT, CMP_LE, CMP_LT, CMP_NE};
 use crate::opt;
@@ -69,7 +67,10 @@ pub fn decompile_with(obj: &ObjectFile, opts: DecompileOptions) -> Module {
         opt::fold_module(&mut m);
         opt::dce_module(&mut m);
     }
-    debug_assert!(gbm_lir::verify_module(&m).is_ok(), "lifted module must verify");
+    debug_assert!(
+        gbm_lir::verify_module(&m).is_ok(),
+        "lifted module must verify"
+    );
     m
 }
 
@@ -120,10 +121,8 @@ fn lift_function(obj: &ObjectFile, idx: usize, f: &ObjFunction) -> gbm_lir::Func
                     is_leader[pc + 1] = true;
                 }
             }
-            Op::Ret | Op::Trap => {
-                if pc + 1 < n {
-                    is_leader[pc + 1] = true;
-                }
+            Op::Ret | Op::Trap if pc + 1 < n => {
+                is_leader[pc + 1] = true;
             }
             _ => {}
         }
@@ -146,8 +145,10 @@ fn lift_function(obj: &ObjectFile, idx: usize, f: &ObjFunction) -> gbm_lir::Func
 
     // register slots in the entry block, then parameter spills
     let entry = fb.entry_block();
-    let reg_slot: Vec<Operand> =
-        (0..crate::isa::NUM_REGS).map(|_| fb.alloca(entry, Ty::I64)).collect();
+    let reg_slot: Vec<Operand> = (0..crate::isa::NUM_REGS)
+        .map(|_| fb.alloca(entry, Ty::I64))
+        .collect();
+    #[allow(clippy::needless_range_loop)] // i is also the parameter index
     for i in 0..f.arity as usize {
         let p = fb.param_operand(i);
         fb.store(entry, Ty::I64, p, reg_slot[i].clone());
@@ -209,7 +210,13 @@ impl<'f> Lifter<'f> {
         if imm == 0 {
             b
         } else {
-            self.fb.binop(self.cur, BinOp::Add, Ty::I64, b, Operand::const_i64(imm as i64))
+            self.fb.binop(
+                self.cur,
+                BinOp::Add,
+                Ty::I64,
+                b,
+                Operand::const_i64(imm as i64),
+            )
         }
     }
 
@@ -223,11 +230,14 @@ impl<'f> Lifter<'f> {
     }
 
     fn as_f64(&mut self, v: Operand) -> Operand {
-        self.fb.cast(self.cur, CastKind::Bitcast, v, Ty::I64, Ty::F64)
+        self.fb
+            .cast(self.cur, CastKind::Bitcast, v, Ty::I64, Ty::F64)
     }
 
+    #[allow(clippy::wrong_self_convention)] // reads as "cast *from* f64"
     fn from_f64(&mut self, v: Operand) -> Operand {
-        self.fb.cast(self.cur, CastKind::Bitcast, v, Ty::F64, Ty::I64)
+        self.fb
+            .cast(self.cur, CastKind::Bitcast, v, Ty::F64, Ty::I64)
     }
 
     fn bool_to_i64(&mut self, v: Operand) -> Operand {
@@ -265,13 +275,9 @@ impl<'f> Lifter<'f> {
             Op::Movi => self.write(inst.rd, Operand::const_i64(inst.imm as i64)),
             Op::Movih => {
                 let v = self.read(inst.rd);
-                let lo = self.fb.binop(
-                    cur,
-                    BinOp::And,
-                    Ty::I64,
-                    v,
-                    Operand::const_i64(0xFFFF_FFFF),
-                );
+                let lo =
+                    self.fb
+                        .binop(cur, BinOp::And, Ty::I64, v, Operand::const_i64(0xFFFF_FFFF));
                 let hi = Operand::const_i64(((inst.imm as u32 as u64) << 32) as i64);
                 let combined = self.fb.binop(self.cur, BinOp::Or, Ty::I64, lo, hi);
                 self.write(inst.rd, combined);
@@ -280,8 +286,16 @@ impl<'f> Lifter<'f> {
                 let v = self.read(inst.rs1);
                 self.write(inst.rd, v);
             }
-            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::And | Op::Or | Op::Xor
-            | Op::Shl | Op::Shr => {
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Rem
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Shl
+            | Op::Shr => {
                 let a = self.read(inst.rs1);
                 let b = self.read(inst.rs2);
                 let op = match inst.op {
@@ -313,7 +327,9 @@ impl<'f> Lifter<'f> {
             Op::Cmp => {
                 let a = self.read(inst.rs1);
                 let b = self.read(inst.rs2);
-                let c = self.fb.icmp(self.cur, Self::pred_of(inst.imm), Ty::I64, a, b);
+                let c = self
+                    .fb
+                    .icmp(self.cur, Self::pred_of(inst.imm), Ty::I64, a, b);
                 let v = self.bool_to_i64(c);
                 self.write(inst.rd, v);
             }
@@ -337,20 +353,26 @@ impl<'f> Lifter<'f> {
                 let b = self.read(inst.rs2);
                 let fa = self.as_f64(a);
                 let fb_ = self.as_f64(b);
-                let c = self.fb.icmp(self.cur, Self::pred_of(inst.imm), Ty::F64, fa, fb_);
+                let c = self
+                    .fb
+                    .icmp(self.cur, Self::pred_of(inst.imm), Ty::F64, fa, fb_);
                 let v = self.bool_to_i64(c);
                 self.write(inst.rd, v);
             }
             Op::Itof => {
                 let a = self.read(inst.rs1);
-                let f = self.fb.cast(self.cur, CastKind::Sitofp, a, Ty::I64, Ty::F64);
+                let f = self
+                    .fb
+                    .cast(self.cur, CastKind::Sitofp, a, Ty::I64, Ty::F64);
                 let bits = self.from_f64(f);
                 self.write(inst.rd, bits);
             }
             Op::Ftoi => {
                 let a = self.read(inst.rs1);
                 let f = self.as_f64(a);
-                let v = self.fb.cast(self.cur, CastKind::Fptosi, f, Ty::F64, Ty::I64);
+                let v = self
+                    .fb
+                    .cast(self.cur, CastKind::Fptosi, f, Ty::F64, Ty::I64);
                 self.write(inst.rd, v);
             }
             Op::Sextb => {
@@ -367,7 +389,9 @@ impl<'f> Lifter<'f> {
             }
             Op::Zextb => {
                 let a = self.read(inst.rs1);
-                let v = self.fb.binop(self.cur, BinOp::And, Ty::I64, a, Operand::const_i64(0xFF));
+                let v = self
+                    .fb
+                    .binop(self.cur, BinOp::And, Ty::I64, a, Operand::const_i64(0xFF));
                 self.write(inst.rd, v);
             }
             Op::Zextw => {
@@ -383,7 +407,9 @@ impl<'f> Lifter<'f> {
             }
             Op::And1 => {
                 let a = self.read(inst.rs1);
-                let v = self.fb.binop(self.cur, BinOp::And, Ty::I64, a, Operand::const_i64(1));
+                let v = self
+                    .fb
+                    .binop(self.cur, BinOp::And, Ty::I64, a, Operand::const_i64(1));
                 self.write(inst.rd, v);
             }
             Op::Ld => {
@@ -431,8 +457,14 @@ impl<'f> Lifter<'f> {
             }
             Op::Jz | Op::Jnz => {
                 let a = self.read(inst.rs1);
-                let pred = if inst.op == Op::Jz { IcmpPred::Eq } else { IcmpPred::Ne };
-                let c = self.fb.icmp(self.cur, pred, Ty::I64, a, Operand::const_i64(0));
+                let pred = if inst.op == Op::Jz {
+                    IcmpPred::Eq
+                } else {
+                    IcmpPred::Ne
+                };
+                let c = self
+                    .fb
+                    .icmp(self.cur, pred, Ty::I64, a, Operand::const_i64(0));
                 let taken = self.target(inst.imm);
                 let fall = self.fallthrough(pc);
                 self.fb.cond_br(self.cur, c, taken, fall);
@@ -456,7 +488,9 @@ impl<'f> Lifter<'f> {
                 self.fb.ret(self.cur, Some(v));
             }
             Op::Salloc => {
-                let blob = self.fb.alloca(self.cur, Ty::I8.array(inst.imm.max(8) as usize));
+                let blob = self
+                    .fb
+                    .alloca(self.cur, Ty::I8.array(inst.imm.max(8) as usize));
                 let p = self.fb.cast(
                     self.cur,
                     CastKind::Bitcast,
@@ -514,7 +548,10 @@ mod tests {
         let dec = decompile(&obj);
         verify_module(&dec).expect("decompiled verifies");
         let dec_out = run_function(&dec, "main", &[], 100_000_000).expect("interp decompiled");
-        assert_eq!(dec_out.output, reference.output, "decompiled {style}/{level}");
+        assert_eq!(
+            dec_out.output, reference.output,
+            "decompiled {style}/{level}"
+        );
         assert_eq!(
             dec_out.ret.map(|v| v.as_i()).unwrap_or(0),
             reference.ret.map(|v| v.as_i()).unwrap_or(0),
@@ -562,7 +599,12 @@ mod tests {
 
     #[test]
     fn java_clang_oz_roundtrip() {
-        full_roundtrip(JAVA_SRC, SourceLang::MiniJava, Compiler::Clang, OptLevel::Oz);
+        full_roundtrip(
+            JAVA_SRC,
+            SourceLang::MiniJava,
+            Compiler::Clang,
+            OptLevel::Oz,
+        );
     }
 
     #[test]

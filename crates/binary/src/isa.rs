@@ -207,7 +207,13 @@ pub struct VisaInst {
 impl VisaInst {
     /// Shorthand constructor.
     pub fn new(op: Op, rd: u8, rs1: u8, rs2: u8, imm: i32) -> Self {
-        VisaInst { op, rd, rs1, rs2, imm }
+        VisaInst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        }
     }
 
     /// Encodes into the fixed 8-byte format.
@@ -229,7 +235,13 @@ impl VisaInst {
         let rs1 = bytes.get_u8();
         let rs2 = bytes.get_u8();
         let imm = bytes.get_i32_le();
-        Some(VisaInst { op, rd, rs1, rs2, imm })
+        Some(VisaInst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        })
     }
 }
 

@@ -42,7 +42,9 @@ fn fold_function(f: &mut Function) -> usize {
                 for op in inst.kind.operands_mut() {
                     *op = resolve(&subst, op);
                 }
-                let Some(result) = inst.result else { return true };
+                let Some(result) = inst.result else {
+                    return true;
+                };
                 if let Some(replacement) = try_fold(&inst.kind) {
                     subst.insert(result, replacement);
                     return false;
@@ -81,11 +83,25 @@ fn try_fold(kind: &InstKind) -> Option<Operand> {
             let (b, _) = const_int(rhs)?;
             Some(Operand::const_bool(pred.eval(a, b)))
         }
-        InstKind::Select { cond, then_v, else_v, .. } => {
+        InstKind::Select {
+            cond,
+            then_v,
+            else_v,
+            ..
+        } => {
             let (c, _) = const_int(cond)?;
-            Some(if c != 0 { then_v.clone() } else { else_v.clone() })
+            Some(if c != 0 {
+                then_v.clone()
+            } else {
+                else_v.clone()
+            })
         }
-        InstKind::Cast { kind, val, from, to } => {
+        InstKind::Cast {
+            kind,
+            val,
+            from,
+            to,
+        } => {
             if *kind == CastKind::Bitcast {
                 return None; // type-level only; keep for realism
             }
@@ -93,7 +109,11 @@ fn try_fold(kind: &InstKind) -> Option<Operand> {
             let out = match kind {
                 CastKind::Zext => {
                     let bits = from.bits().unwrap_or(64);
-                    let mask = if bits >= 64 { -1i64 } else { (1i64 << bits) - 1 };
+                    let mask = if bits >= 64 {
+                        -1i64
+                    } else {
+                        (1i64 << bits) - 1
+                    };
                     v & mask
                 }
                 CastKind::Sext => normalize(v, from),
@@ -101,7 +121,10 @@ fn try_fold(kind: &InstKind) -> Option<Operand> {
                 CastKind::Sitofp => return Some(Operand::ConstF64(v as f64)),
                 CastKind::Fptosi | CastKind::Bitcast => return None,
             };
-            Some(Operand::ConstInt { value: out, ty: to.clone() })
+            Some(Operand::ConstInt {
+                value: out,
+                ty: to.clone(),
+            })
         }
         InstKind::Phi { incomings, .. } => {
             // φ whose incomings all agree collapses to that operand
@@ -155,7 +178,10 @@ fn fold_bin(op: BinOp, ty: &Ty, lhs: &Operand, rhs: &Operand) -> Option<Operand>
             BinOp::Shl => a.wrapping_shl(*b as u32 & 63),
             BinOp::AShr => a.wrapping_shr(*b as u32 & 63),
         };
-        return Some(Operand::ConstInt { value: normalize(r, ty), ty: ty.clone() });
+        return Some(Operand::ConstInt {
+            value: normalize(r, ty),
+            ty: ty.clone(),
+        });
     }
     // algebraic identities
     if let Some((b, _)) = &rc {
@@ -168,7 +194,10 @@ fn fold_bin(op: BinOp, ty: &Ty, lhs: &Operand, rhs: &Operand) -> Option<Operand>
             | (BinOp::Xor, 0) => return Some(lhs.clone()),
             (BinOp::Mul, 1) | (BinOp::SDiv, 1) => return Some(lhs.clone()),
             (BinOp::Mul, 0) | (BinOp::And, 0) => {
-                return Some(Operand::ConstInt { value: 0, ty: ty.clone() })
+                return Some(Operand::ConstInt {
+                    value: 0,
+                    ty: ty.clone(),
+                })
             }
             _ => {}
         }
@@ -178,7 +207,10 @@ fn fold_bin(op: BinOp, ty: &Ty, lhs: &Operand, rhs: &Operand) -> Option<Operand>
             (BinOp::Add, 0) | (BinOp::Or, 0) | (BinOp::Xor, 0) => return Some(rhs.clone()),
             (BinOp::Mul, 1) => return Some(rhs.clone()),
             (BinOp::Mul, 0) | (BinOp::And, 0) => {
-                return Some(Operand::ConstInt { value: 0, ty: ty.clone() })
+                return Some(Operand::ConstInt {
+                    value: 0,
+                    ty: ty.clone(),
+                })
             }
             _ => {}
         }
@@ -187,7 +219,10 @@ fn fold_bin(op: BinOp, ty: &Ty, lhs: &Operand, rhs: &Operand) -> Option<Operand>
     if lhs == rhs && !lhs.is_const() {
         match op {
             BinOp::Sub | BinOp::Xor => {
-                return Some(Operand::ConstInt { value: 0, ty: ty.clone() })
+                return Some(Operand::ConstInt {
+                    value: 0,
+                    ty: ty.clone(),
+                })
             }
             BinOp::And | BinOp::Or => return Some(lhs.clone()),
             _ => {}
@@ -212,14 +247,23 @@ mod tests {
     fn folds_constant_chain() {
         let mut fb = FunctionBuilder::new("f", vec![], Ty::I64);
         let bb = fb.entry_block();
-        let a = fb.binop(bb, BinOp::Add, Ty::I64, Operand::const_i64(2), Operand::const_i64(3));
+        let a = fb.binop(
+            bb,
+            BinOp::Add,
+            Ty::I64,
+            Operand::const_i64(2),
+            Operand::const_i64(3),
+        );
         let b = fb.binop(bb, BinOp::Mul, Ty::I64, a, Operand::const_i64(4));
         fb.ret(bb, Some(b));
         let mut m = Module::new("t");
         m.push_function(fb.finish());
         let m = fold_and_check(m);
         assert_eq!(m.functions[0].num_insts(), 1, "{}", m.to_text());
-        assert_eq!(run_function(&m, "f", &[], 10).unwrap().ret, Some(Val::I(20)));
+        assert_eq!(
+            run_function(&m, "f", &[], 10).unwrap().ret,
+            Some(Val::I(20))
+        );
     }
 
     #[test]
@@ -243,7 +287,13 @@ mod tests {
     fn div_by_zero_not_folded() {
         let mut fb = FunctionBuilder::new("f", vec![], Ty::I64);
         let bb = fb.entry_block();
-        let a = fb.binop(bb, BinOp::SDiv, Ty::I64, Operand::const_i64(1), Operand::const_i64(0));
+        let a = fb.binop(
+            bb,
+            BinOp::SDiv,
+            Ty::I64,
+            Operand::const_i64(1),
+            Operand::const_i64(0),
+        );
         fb.ret(bb, Some(a));
         let mut m = Module::new("t");
         m.push_function(fb.finish());
@@ -255,28 +305,43 @@ mod tests {
     fn icmp_and_select_fold() {
         let mut fb = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
         let bb = fb.entry_block();
-        let c = fb.icmp(bb, IcmpPred::Slt, Ty::I64, Operand::const_i64(1), Operand::const_i64(2));
+        let c = fb.icmp(
+            bb,
+            IcmpPred::Slt,
+            Ty::I64,
+            Operand::const_i64(1),
+            Operand::const_i64(2),
+        );
         let s = fb.select(bb, Ty::I64, c, fb.param_operand(0), Operand::const_i64(9));
         fb.ret(bb, Some(s));
         let mut m = Module::new("t");
         m.push_function(fb.finish());
         let m = fold_and_check(m);
         assert_eq!(m.functions[0].num_insts(), 1);
-        assert_eq!(run_function(&m, "f", &[5], 10).unwrap().ret, Some(Val::I(5)));
+        assert_eq!(
+            run_function(&m, "f", &[5], 10).unwrap().ret,
+            Some(Val::I(5))
+        );
     }
 
     #[test]
     fn i32_wrapping_respected() {
         let mut fb = FunctionBuilder::new("f", vec![], Ty::I32);
         let bb = fb.entry_block();
-        let big = Operand::ConstInt { value: 2_000_000_000, ty: Ty::I32 };
+        let big = Operand::ConstInt {
+            value: 2_000_000_000,
+            ty: Ty::I32,
+        };
         let a = fb.binop(bb, BinOp::Add, Ty::I32, big.clone(), big);
         fb.ret(bb, Some(a));
         let mut m = Module::new("t");
         m.push_function(fb.finish());
         let m = fold_and_check(m);
         let expect = (2_000_000_000i64 + 2_000_000_000) as i32 as i64;
-        assert_eq!(run_function(&m, "f", &[], 10).unwrap().ret, Some(Val::I(expect)));
+        assert_eq!(
+            run_function(&m, "f", &[], 10).unwrap().ret,
+            Some(Val::I(expect))
+        );
     }
 
     #[test]
@@ -297,6 +362,9 @@ mod tests {
         let m = fold_and_check(m);
         assert_eq!(m.functions[0].num_insts(), 1);
         // 300 & 0xFF = 44 (fits in i8 positive)
-        assert_eq!(run_function(&m, "f", &[], 10).unwrap().ret, Some(Val::I(44)));
+        assert_eq!(
+            run_function(&m, "f", &[], 10).unwrap().ret,
+            Some(Val::I(44))
+        );
     }
 }

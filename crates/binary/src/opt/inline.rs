@@ -32,7 +32,9 @@ pub fn inline_module(m: &mut Module, threshold: usize) -> usize {
             // cap per-function growth
             let mut budget = 16usize;
             while budget > 0 {
-                let Some(site) = find_call_site(f, &snapshot) else { break };
+                let Some(site) = find_call_site(f, &snapshot) else {
+                    break;
+                };
                 inline_at(f, site, &snapshot);
                 budget -= 1;
                 round += 1;
@@ -51,13 +53,11 @@ fn is_inlinable(f: &Function, threshold: usize) -> bool {
         return false;
     }
     // no direct self-recursion
-    !f.iter_insts().any(|(_, _, i)| matches!(&i.kind, InstKind::Call { callee, .. } if *callee == f.name))
+    !f.iter_insts()
+        .any(|(_, _, i)| matches!(&i.kind, InstKind::Call { callee, .. } if *callee == f.name))
 }
 
-fn find_call_site(
-    f: &Function,
-    inlinable: &HashMap<String, Function>,
-) -> Option<(BlockId, usize)> {
+fn find_call_site(f: &Function, inlinable: &HashMap<String, Function>) -> Option<(BlockId, usize)> {
     for block in &f.blocks {
         for (i, inst) in block.insts.iter().enumerate() {
             if let InstKind::Call { callee, .. } = &inst.kind {
@@ -105,17 +105,16 @@ fn inline_at(f: &mut Function, site: (BlockId, usize), inlinable: &HashMap<Strin
         b.insts.pop(); // the call itself
         let head_len = b.insts.len();
         let _ = head_len;
-        (
-            std::mem::take(&mut b.insts),
-            tail,
-        )
+        (std::mem::take(&mut b.insts), tail)
     };
     {
         let b = &mut f.blocks[bid.0 as usize];
         b.insts = head;
         b.insts.push(Inst {
             result: None,
-            kind: InstKind::Br { target: BlockId(block_offset) },
+            kind: InstKind::Br {
+                target: BlockId(block_offset),
+            },
         });
     }
 
@@ -147,7 +146,9 @@ fn inline_at(f: &mut Function, site: (BlockId, usize), inlinable: &HashMap<Strin
             // remap block references
             match &mut kind {
                 InstKind::Br { target } => target.0 += block_offset,
-                InstKind::CondBr { then_bb, else_bb, .. } => {
+                InstKind::CondBr {
+                    then_bb, else_bb, ..
+                } => {
                     then_bb.0 += block_offset;
                     else_bb.0 += block_offset;
                 }
@@ -161,7 +162,10 @@ fn inline_at(f: &mut Function, site: (BlockId, usize), inlinable: &HashMap<Strin
             // returns become jumps to the continuation
             if let InstKind::Ret { val } = &kind {
                 ret_sites.push((val.clone(), new_id));
-                insts.push(Inst { result: None, kind: InstKind::Br { target: cont_id } });
+                insts.push(Inst {
+                    result: None,
+                    kind: InstKind::Br { target: cont_id },
+                });
                 continue;
             }
             let result = inst.result.map(|r| ValueId(r.0 + value_offset));
@@ -174,17 +178,17 @@ fn inline_at(f: &mut Function, site: (BlockId, usize), inlinable: &HashMap<Strin
     let mut cont_insts = tail;
     let mut subst: HashMap<ValueId, Operand> = HashMap::new();
     if let Some(result) = call_inst.result {
-        let ret_ty = call_inst.kind.result_ty().expect("call with result has type");
+        let ret_ty = call_inst
+            .kind
+            .result_ty()
+            .expect("call with result has type");
         match ret_sites.len() {
             0 => {
                 subst.insert(result, Operand::Undef(ret_ty));
             }
             1 => {
                 let (val, _) = &ret_sites[0];
-                subst.insert(
-                    result,
-                    val.clone().unwrap_or(Operand::Undef(ret_ty)),
-                );
+                subst.insert(result, val.clone().unwrap_or(Operand::Undef(ret_ty)));
             }
             _ => {
                 let phi_id = ValueId(f.next_value);
@@ -195,13 +199,22 @@ fn inline_at(f: &mut Function, site: (BlockId, usize), inlinable: &HashMap<Strin
                     .collect();
                 cont_insts.insert(
                     0,
-                    Inst { result: Some(phi_id), kind: InstKind::Phi { ty: ret_ty, incomings } },
+                    Inst {
+                        result: Some(phi_id),
+                        kind: InstKind::Phi {
+                            ty: ret_ty,
+                            incomings,
+                        },
+                    },
                 );
                 subst.insert(result, Operand::Value(phi_id));
             }
         }
     }
-    f.blocks.push(Block { id: cont_id, insts: cont_insts });
+    f.blocks.push(Block {
+        id: cont_id,
+        insts: cont_insts,
+    });
     apply_subst(f, &subst);
 }
 
@@ -239,7 +252,9 @@ mod tests {
         // f no longer calls sq
         let f = m.function("f").unwrap();
         assert!(
-            !f.iter_insts().any(|(_, _, i)| matches!(&i.kind, InstKind::Call { callee, .. } if callee == "sq")),
+            !f.iter_insts().any(
+                |(_, _, i)| matches!(&i.kind, InstKind::Call { callee, .. } if callee == "sq")
+            ),
             "{}",
             m.to_text()
         );

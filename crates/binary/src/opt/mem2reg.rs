@@ -30,7 +30,10 @@ fn find_candidates(f: &Function) -> HashMap<ValueId, Candidate> {
         if let InstKind::Alloca { ty } = &inst.kind {
             // arrays are address-taken by construction; skip
             if !matches!(ty, Ty::Array(..)) {
-                allocas.insert(inst.result.expect("alloca result"), Candidate { ty: ty.clone() });
+                allocas.insert(
+                    inst.result.expect("alloca result"),
+                    Candidate { ty: ty.clone() },
+                );
             }
         }
     }
@@ -114,17 +117,36 @@ fn promote_function(f: &mut Function) -> usize {
 
     // φ placement
     // phis[(block, alloca)] = result value id
+    //
+    // Fresh value ids are allocated here, so every iteration below must run
+    // in a deterministic order — HashMap/HashSet order is process-random and
+    // would permute the value numbering (and thus the printed IR) run to run.
     let mut phis: HashMap<(BlockId, ValueId), ValueId> = HashMap::new();
-    for (&alloca, cand) in &candidates {
-        let mut work: Vec<BlockId> = def_blocks.get(&alloca).into_iter().flatten().copied().collect();
+    let mut ordered_allocas: Vec<ValueId> = candidates.keys().copied().collect();
+    ordered_allocas.sort_by_key(|v| v.0);
+    let df_sorted: Vec<Vec<BlockId>> = df
+        .iter()
+        .map(|s| {
+            let mut v: Vec<BlockId> = s.iter().copied().collect();
+            v.sort_by_key(|b| b.0);
+            v
+        })
+        .collect();
+    for &alloca in &ordered_allocas {
+        let mut work: Vec<BlockId> = def_blocks
+            .get(&alloca)
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        work.sort_by_key(|b| b.0);
         let mut placed: HashSet<BlockId> = HashSet::new();
         while let Some(b) = work.pop() {
-            for &frontier in &df[b.0 as usize] {
+            for &frontier in &df_sorted[b.0 as usize] {
                 if placed.insert(frontier) {
                     let id = ValueId(f.next_value);
                     f.next_value += 1;
                     phis.insert((frontier, alloca), id);
-                    let _ = &cand.ty;
                     work.push(frontier);
                 }
             }
@@ -133,6 +155,7 @@ fn promote_function(f: &mut Function) -> usize {
 
     // dominator-tree children
     let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); nblocks];
+    #[allow(clippy::needless_range_loop)] // b is a block id, not just an index
     for b in 1..nblocks {
         if let Some(d) = idom[b] {
             children[d.0 as usize].push(BlockId(b as u32));
@@ -162,7 +185,7 @@ fn promote_function(f: &mut Function) -> usize {
             Action::Visit(b) => {
                 let mut restores: Vec<(ValueId, usize)> = Vec::new();
                 // φs defined at this block head
-                for (&alloca, _) in &candidates {
+                for &alloca in candidates.keys() {
                     if let Some(&phi_id) = phis.get(&(b, alloca)) {
                         let st = stacks.entry(alloca).or_default();
                         restores.push((alloca, st.len()));
@@ -202,10 +225,10 @@ fn promote_function(f: &mut Function) -> usize {
                                 }
                             }
                         }
-                        InstKind::Alloca { .. } => {
-                            if candidates.contains_key(&inst.result.expect("alloca result")) {
-                                removed_insts.insert((b, *idx));
-                            }
+                        InstKind::Alloca { .. }
+                            if candidates.contains_key(&inst.result.expect("alloca result")) =>
+                        {
+                            removed_insts.insert((b, *idx));
                         }
                         _ => {}
                     }
@@ -220,7 +243,10 @@ fn promote_function(f: &mut Function) -> usize {
                                 .cloned()
                                 .unwrap_or(Operand::Undef(cand.ty.clone()));
                             let cur = resolve(&subst, &cur);
-                            phi_incomings.entry((succ, alloca)).or_default().push((cur, b));
+                            phi_incomings
+                                .entry((succ, alloca))
+                                .or_default()
+                                .push((cur, b));
                         }
                     }
                 }
@@ -232,8 +258,13 @@ fn promote_function(f: &mut Function) -> usize {
         }
     }
 
-    // materialize φs at block heads
-    for ((block, alloca), phi_id) in &phis {
+    // materialize φs at block heads (sorted: HashMap order is
+    // process-random and would shuffle the φ order within a block)
+    let mut phi_list: Vec<(BlockId, ValueId, ValueId)> =
+        phis.iter().map(|(&(b, a), &id)| (b, a, id)).collect();
+    phi_list.sort_by_key(|&(b, _, id)| (b.0, id.0));
+    // reverse: each insert(0) prepends, so the last inserted φ ends up first
+    for (block, alloca, phi_id) in phi_list.iter().rev() {
         let cand = &candidates[alloca];
         let mut incomings = phi_incomings.remove(&(*block, *alloca)).unwrap_or_default();
         // every predecessor must contribute exactly once
@@ -246,7 +277,10 @@ fn promote_function(f: &mut Function) -> usize {
         }
         let inst = Inst {
             result: Some(*phi_id),
-            kind: InstKind::Phi { ty: cand.ty.clone(), incomings },
+            kind: InstKind::Phi {
+                ty: cand.ty.clone(),
+                incomings,
+            },
         };
         f.blocks[block.0 as usize].insts.insert(0, inst);
     }
@@ -278,9 +312,9 @@ fn promote_function(f: &mut Function) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gbm_frontends::{compile, SourceLang};
     use gbm_lir::interp::{run_function, Val};
     use gbm_lir::verify_module;
-    use gbm_frontends::{compile, SourceLang};
 
     fn promoted(src: &str) -> (Module, Module) {
         let before = compile(SourceLang::MiniC, "t", src).unwrap();
@@ -293,7 +327,8 @@ mod tests {
 
     #[test]
     fn straightline_promotion() {
-        let (before, after) = promoted("int f(int a, int b) { int x = a + b; int y = x * 2; return y; }");
+        let (before, after) =
+            promoted("int f(int a, int b) { int x = a + b; int y = x * 2; return y; }");
         assert!(count_op(&after, "alloca") < count_op(&before, "alloca"));
         assert_eq!(
             run_function(&after, "f", &[3, 4], 100).unwrap().ret,
@@ -303,12 +338,17 @@ mod tests {
 
     #[test]
     fn diamond_gets_phi() {
-        let (_, after) = promoted(
-            "int f(int a) { int x = 0; if (a > 0) { x = 1; } else { x = 2; } return x; }",
-        );
+        let (_, after) =
+            promoted("int f(int a) { int x = 0; if (a > 0) { x = 1; } else { x = 2; } return x; }");
         assert!(count_op(&after, "phi") >= 1, "{}", after.to_text());
-        assert_eq!(run_function(&after, "f", &[5], 100).unwrap().ret, Some(Val::I(1)));
-        assert_eq!(run_function(&after, "f", &[-5], 100).unwrap().ret, Some(Val::I(2)));
+        assert_eq!(
+            run_function(&after, "f", &[5], 100).unwrap().ret,
+            Some(Val::I(1))
+        );
+        assert_eq!(
+            run_function(&after, "f", &[-5], 100).unwrap().ret,
+            Some(Val::I(2))
+        );
     }
 
     #[test]
@@ -317,7 +357,11 @@ mod tests {
             "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }",
         );
         assert!(count_op(&after, "load") < count_op(&before, "load"));
-        assert!(count_op(&after, "phi") >= 2, "i and s need φs: {}", after.to_text());
+        assert!(
+            count_op(&after, "phi") >= 2,
+            "i and s need φs: {}",
+            after.to_text()
+        );
         for n in [0i64, 1, 5, 10] {
             assert_eq!(
                 run_function(&after, "f", &[n], 10_000).unwrap().ret,
@@ -339,7 +383,10 @@ mod tests {
         verify_module(&after).unwrap();
         // the array alloca must survive (address-taken via bitcast/gep)
         assert!(count_op(&after, "alloca") >= 1);
-        assert_eq!(run_function(&after, "f", &[], 100).unwrap().ret, Some(Val::I(3)));
+        assert_eq!(
+            run_function(&after, "f", &[], 100).unwrap().ret,
+            Some(Val::I(3))
+        );
     }
 
     #[test]

@@ -40,8 +40,13 @@ pub enum OptLevel {
 
 impl OptLevel {
     /// All levels in the Table V sweep order.
-    pub const ALL: [OptLevel; 5] =
-        [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Oz];
+    pub const ALL: [OptLevel; 5] = [
+        OptLevel::O0,
+        OptLevel::O1,
+        OptLevel::O2,
+        OptLevel::O3,
+        OptLevel::Oz,
+    ];
 
     /// Flag-style name (`O0` … `Oz`).
     pub fn name(&self) -> &'static str {
@@ -102,7 +107,10 @@ pub fn optimize(m: &mut Module, level: OptLevel) {
             cleanup(m);
         }
     }
-    debug_assert!(gbm_lir::verify_module(m).is_ok(), "optimized module must verify");
+    debug_assert!(
+        gbm_lir::verify_module(m).is_ok(),
+        "optimized module must verify"
+    );
 }
 
 #[cfg(test)]

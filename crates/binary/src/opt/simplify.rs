@@ -16,7 +16,8 @@ pub fn simplify_module(m: &mut Module) -> usize {
             continue;
         }
         loop {
-            let n = fold_const_branches(f) + drop_unreachable(f) + merge_chains(f) + thread_jumps(f);
+            let n =
+                fold_const_branches(f) + drop_unreachable(f) + merge_chains(f) + thread_jumps(f);
             if n == 0 {
                 break;
             }
@@ -30,8 +31,15 @@ pub fn simplify_module(m: &mut Module) -> usize {
 fn fold_const_branches(f: &mut Function) -> usize {
     let mut n = 0;
     for block in &mut f.blocks {
-        let Some(last) = block.insts.last_mut() else { continue };
-        if let InstKind::CondBr { cond, then_bb, else_bb } = &last.kind {
+        let Some(last) = block.insts.last_mut() else {
+            continue;
+        };
+        if let InstKind::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = &last.kind
+        {
             let target = match cond {
                 Operand::ConstInt { value, .. } => {
                     Some(if *value != 0 { *then_bb } else { *else_bb })
@@ -121,7 +129,12 @@ fn merge_chains(f: &mut Function) -> usize {
         }
     }
     apply_subst(f, &subst);
-    let keep: Vec<BlockId> = f.blocks.iter().map(|b| b.id).filter(|id| *id != s_id).collect();
+    let keep: Vec<BlockId> = f
+        .blocks
+        .iter()
+        .map(|b| b.id)
+        .filter(|id| *id != s_id)
+        .collect();
     rebuild_blocks(f, &keep);
     1
 }
@@ -141,7 +154,10 @@ fn thread_jumps(f: &mut Function) -> usize {
                     continue;
                 }
                 let t = &f.blocks[target.0 as usize];
-                let t_has_phi = t.insts.iter().any(|i| matches!(i.kind, InstKind::Phi { .. }));
+                let t_has_phi = t
+                    .insts
+                    .iter()
+                    .any(|i| matches!(i.kind, InstKind::Phi { .. }));
                 if !t_has_phi {
                     redirect = Some((b.id, *target));
                     break;
@@ -153,7 +169,9 @@ fn thread_jumps(f: &mut Function) -> usize {
             if let Some(last) = block.insts.last_mut() {
                 match &mut last.kind {
                     InstKind::Br { target } if *target == from => *target = to,
-                    InstKind::CondBr { then_bb, else_bb, .. } => {
+                    InstKind::CondBr {
+                        then_bb, else_bb, ..
+                    } => {
                         if *then_bb == from {
                             *then_bb = to;
                         }
@@ -223,7 +241,10 @@ mod tests {
         simplify_module(&mut m);
         verify_module(&m).unwrap();
         assert_eq!(m.functions[0].blocks.len(), 1);
-        assert_eq!(run_function(&m, "f", &[3], 10).unwrap().ret, Some(Val::I(8)));
+        assert_eq!(
+            run_function(&m, "f", &[3], 10).unwrap().ret,
+            Some(Val::I(8))
+        );
     }
 
     #[test]
@@ -246,7 +267,10 @@ mod tests {
         m.push_function(fb.finish());
         simplify_module(&mut m);
         verify_module(&m).unwrap();
-        assert_eq!(run_function(&m, "f", &[1], 10).unwrap().ret, Some(Val::I(21)));
+        assert_eq!(
+            run_function(&m, "f", &[1], 10).unwrap().ret,
+            Some(Val::I(21))
+        );
         assert_eq!(m.functions[0].blocks.len(), 1, "{}", m.to_text());
     }
 
@@ -275,6 +299,9 @@ mod tests {
         verify_module(&m).unwrap();
         simplify_module(&mut m);
         verify_module(&m).unwrap();
-        assert_eq!(run_function(&m, "f", &[5], 1000).unwrap().ret, Some(Val::I(5)));
+        assert_eq!(
+            run_function(&m, "f", &[5], 1000).unwrap().ret,
+            Some(Val::I(5))
+        );
     }
 }

@@ -9,12 +9,15 @@ pub fn strength_reduce_module(m: &mut Module) -> usize {
     for f in &mut m.functions {
         for block in &mut f.blocks {
             for inst in &mut block.insts {
-                let InstKind::Bin { op, ty, lhs, rhs } = &mut inst.kind else { continue };
+                let InstKind::Bin { op, ty, lhs, rhs } = &mut inst.kind else {
+                    continue;
+                };
                 if *op != BinOp::Mul || *ty == Ty::F64 {
                     continue;
                 }
                 // normalize constant to the rhs
-                if matches!(lhs, Operand::ConstInt { .. }) && !matches!(rhs, Operand::ConstInt { .. })
+                if matches!(lhs, Operand::ConstInt { .. })
+                    && !matches!(rhs, Operand::ConstInt { .. })
                 {
                     std::mem::swap(lhs, rhs);
                 }
@@ -22,7 +25,10 @@ pub fn strength_reduce_module(m: &mut Module) -> usize {
                     if *value > 1 && (*value as u64).is_power_of_two() {
                         let k = value.trailing_zeros() as i64;
                         *op = BinOp::Shl;
-                        *rhs = Operand::ConstInt { value: k, ty: ty.clone() };
+                        *rhs = Operand::ConstInt {
+                            value: k,
+                            ty: ty.clone(),
+                        };
                         n += 1;
                     }
                 }
@@ -55,9 +61,15 @@ mod tests {
         let text = m.to_text();
         assert!(text.contains("shl i64 %0, 3"), "{text}");
         assert!(text.contains("shl i64 %0, 2"), "{text}");
-        assert_eq!(run_function(&m, "f", &[5], 100).unwrap().ret, Some(Val::I(60)));
+        assert_eq!(
+            run_function(&m, "f", &[5], 100).unwrap().ret,
+            Some(Val::I(60))
+        );
         // negatives keep wrapping semantics
-        assert_eq!(run_function(&m, "f", &[-3], 100).unwrap().ret, Some(Val::I(-36)));
+        assert_eq!(
+            run_function(&m, "f", &[-3], 100).unwrap().ret,
+            Some(Val::I(-36))
+        );
     }
 
     #[test]

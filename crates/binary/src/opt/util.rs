@@ -74,7 +74,9 @@ pub fn rebuild_blocks(f: &mut Function, keep: &[BlockId]) {
                 InstKind::Br { target } => {
                     *target = remap[target];
                 }
-                InstKind::CondBr { then_bb, else_bb, .. } => {
+                InstKind::CondBr {
+                    then_bb, else_bb, ..
+                } => {
                     *then_bb = remap[then_bb];
                     *else_bb = remap[else_bb];
                 }
@@ -117,7 +119,10 @@ mod tests {
         let mut s = HashMap::new();
         s.insert(ValueId(1), Operand::Value(ValueId(2)));
         s.insert(ValueId(2), Operand::const_i64(5));
-        assert_eq!(resolve(&s, &Operand::Value(ValueId(1))), Operand::const_i64(5));
+        assert_eq!(
+            resolve(&s, &Operand::Value(ValueId(1))),
+            Operand::const_i64(5)
+        );
         assert_eq!(resolve(&s, &Operand::const_i64(9)), Operand::const_i64(9));
     }
 

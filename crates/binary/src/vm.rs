@@ -4,7 +4,9 @@
 //! codegen path: `interp(LIR)` ≡ `vm(codegen(LIR))` ≡
 //! `interp(decompile(codegen(LIR)))` must all agree on observable output.
 
-use crate::isa::{ObjectFile, Op, VisaInst, CMP_EQ, CMP_GE, CMP_GT, CMP_LE, CMP_LT, CMP_NE, NUM_REGS};
+use crate::isa::{
+    ObjectFile, Op, VisaInst, CMP_EQ, CMP_GE, CMP_GT, CMP_LE, CMP_LT, CMP_NE, NUM_REGS,
+};
 
 /// Why VM execution stopped abnormally.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,25 +81,34 @@ impl<'o> Vm<'o> {
         let mut heap = vec![0u8; 64];
         for (_, data) in &obj.globals {
             heap.extend_from_slice(data);
-            while heap.len() % 8 != 0 {
+            while !heap.len().is_multiple_of(8) {
                 heap.push(0);
             }
         }
-        Vm { obj, heap, stack: Vec::new(), output: Vec::new(), fuel, executed: 0 }
+        Vm {
+            obj,
+            heap,
+            stack: Vec::new(),
+            output: Vec::new(),
+            fuel,
+            executed: 0,
+        }
     }
 
     /// Runs the function called `entry` with the given register arguments.
     pub fn run(mut self, entry: &str, args: &[i64]) -> Result<VmOutcome, VmError> {
-        let func = self
-            .obj
-            .function_index(entry)
-            .ok_or(VmError::BadCall(-1))?;
+        let func = self.obj.function_index(entry).ok_or(VmError::BadCall(-1))?;
         let mut frames: Vec<Frame> = Vec::new();
         let mut regs = [0i64; NUM_REGS];
         for (i, a) in args.iter().enumerate().take(6) {
             regs[i] = *a;
         }
-        let mut frame = Frame { func, pc: 0, regs, stack_mark: 0 };
+        let mut frame = Frame {
+            func,
+            pc: 0,
+            regs,
+            stack_mark: 0,
+        };
 
         loop {
             let code = &self.obj.functions[frame.func].code;
@@ -338,7 +349,11 @@ mod tests {
     fn run_insts(code: Vec<VisaInst>, args: &[i64]) -> Result<VmOutcome, VmError> {
         let obj = ObjectFile {
             globals: vec![],
-            functions: vec![ObjFunction { name: "main".into(), arity: args.len() as u8, code }],
+            functions: vec![ObjFunction {
+                name: "main".into(),
+                arity: args.len() as u8,
+                code,
+            }],
         };
         Vm::new(&obj, 100_000).run("main", args)
     }
@@ -413,10 +428,10 @@ mod tests {
         // loop: print 0,1,2
         let out = run_insts(
             vec![
-                VisaInst::new(Op::Movi, 1, 0, 0, 0),  // i = 0
-                VisaInst::new(Op::Movi, 2, 0, 0, 3),  // n = 3
+                VisaInst::new(Op::Movi, 1, 0, 0, 0),     // i = 0
+                VisaInst::new(Op::Movi, 2, 0, 0, 3),     // n = 3
                 VisaInst::new(Op::Cmp, 3, 1, 2, CMP_LT), // 2: c = i < n
-                VisaInst::new(Op::Jz, 0, 3, 0, 7),    // if !c goto 7
+                VisaInst::new(Op::Jz, 0, 3, 0, 7),       // if !c goto 7
                 VisaInst::new(Op::Print, 0, 1, 0, 0),
                 VisaInst::new(Op::Addi, 1, 1, 0, 1),
                 VisaInst::new(Op::Jmp, 0, 0, 0, 2),
@@ -447,7 +462,10 @@ mod tests {
     #[test]
     fn div_by_zero_and_trap() {
         let e = run_insts(
-            vec![VisaInst::new(Op::Div, 0, 0, 1, 0), VisaInst::new(Op::Ret, 0, 0, 0, 0)],
+            vec![
+                VisaInst::new(Op::Div, 0, 0, 1, 0),
+                VisaInst::new(Op::Ret, 0, 0, 0, 0),
+            ],
             &[1, 0],
         )
         .unwrap_err();
@@ -482,7 +500,10 @@ mod tests {
     #[test]
     fn null_access_faults() {
         let e = run_insts(
-            vec![VisaInst::new(Op::Ld, 0, 1, 0, 0), VisaInst::new(Op::Ret, 0, 0, 0, 0)],
+            vec![
+                VisaInst::new(Op::Ld, 0, 1, 0, 0),
+                VisaInst::new(Op::Ret, 0, 0, 0, 0),
+            ],
             &[0],
         )
         .unwrap_err();

@@ -104,14 +104,18 @@ impl Pipeline {
     /// whose model has fresh (untrained) weights. Load trained weights into
     /// `model_mut().store` via `ParamStore::restore` for real matching.
     pub fn fit_tokenizer(corpus: &[&Module]) -> Pipeline {
-        let graphs: Vec<gbm_progml::ProgramGraph> =
-            corpus.iter().map(|m| build_graph(m)).collect();
+        let graphs: Vec<gbm_progml::ProgramGraph> = corpus.iter().map(|m| build_graph(m)).collect();
         let refs: Vec<&gbm_progml::ProgramGraph> = graphs.iter().collect();
         let tokenizer =
             Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
-        let model = GraphBinMatch::new(GraphBinMatchConfig::small(tokenizer.vocab_size()), &mut rng);
-        Pipeline { tokenizer, model, mode: NodeTextMode::FullText }
+        let model =
+            GraphBinMatch::new(GraphBinMatchConfig::small(tokenizer.vocab_size()), &mut rng);
+        Pipeline {
+            tokenizer,
+            model,
+            mode: NodeTextMode::FullText,
+        }
     }
 
     /// The underlying model (train it, or restore trained weights).
@@ -148,11 +152,8 @@ mod tests {
 
     #[test]
     fn facade_end_to_end() {
-        let c = Pipeline::compile_source(
-            SourceLang::MiniC,
-            "int main() { print(42); return 0; }",
-        )
-        .unwrap();
+        let c = Pipeline::compile_source(SourceLang::MiniC, "int main() { print(42); return 0; }")
+            .unwrap();
         let obj = Pipeline::compile_to_binary(&c, Compiler::Gcc, OptLevel::O2).unwrap();
         let lifted = Pipeline::decompile(&obj);
         let mut p = Pipeline::fit_tokenizer(&[&c, &lifted]);

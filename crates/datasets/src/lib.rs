@@ -44,7 +44,11 @@ pub struct DatasetConfig {
 
 impl Default for DatasetConfig {
     fn default() -> Self {
-        DatasetConfig { num_tasks: tasks::NUM_TASKS, solutions_per_task: 5, seed: 42 }
+        DatasetConfig {
+            num_tasks: tasks::NUM_TASKS,
+            solutions_per_task: 5,
+            seed: 42,
+        }
     }
 }
 
@@ -76,7 +80,10 @@ pub struct Dataset {
 
 /// Generates a dataset over the given languages (parallel compile).
 pub fn generate(name: &str, languages: &[SourceLang], cfg: DatasetConfig) -> Dataset {
-    assert!(cfg.num_tasks <= tasks::NUM_TASKS, "task count exceeds library");
+    assert!(
+        cfg.num_tasks <= tasks::NUM_TASKS,
+        "task count exceeds library"
+    );
     let jobs: Vec<(usize, SourceLang, u64)> = (0..cfg.num_tasks)
         .flat_map(|t| {
             languages.iter().flat_map(move |&lang| {
@@ -103,7 +110,12 @@ pub fn generate(name: &str, languages: &[SourceLang], cfg: DatasetConfig) -> Dat
             let source = tasks::emit(task, lang, &mut st);
             let module = compile(lang, tasks::TASK_NAMES[task], &source)
                 .unwrap_or_else(|e| panic!("generated solution must compile: {e}\n{source}"));
-            Solution { task, lang, source, module }
+            Solution {
+                task,
+                lang,
+                source,
+                module,
+            }
         })
         .collect();
     Dataset {
@@ -116,7 +128,11 @@ pub fn generate(name: &str, languages: &[SourceLang], cfg: DatasetConfig) -> Dat
 
 /// The cross-language dataset (CLCDSA stand-in): MiniC + MiniJava.
 pub fn clcdsa(cfg: DatasetConfig) -> Dataset {
-    generate("CLCDSA-syn", &[SourceLang::MiniC, SourceLang::MiniJava], cfg)
+    generate(
+        "CLCDSA-syn",
+        &[SourceLang::MiniC, SourceLang::MiniJava],
+        cfg,
+    )
 }
 
 /// The single-language dataset (POJ-104 stand-in): MiniC only.
@@ -160,7 +176,10 @@ impl Dataset {
                 let idxs = self.of_lang(lang);
                 let ok: usize = idxs
                     .par_iter()
-                    .map(|&i| compile_to_binary(&self.solutions[i].module, compiler, level).is_ok() as usize)
+                    .map(|&i| {
+                        compile_to_binary(&self.solutions[i].module, compiler, level).is_ok()
+                            as usize
+                    })
                     .sum();
                 LangStats {
                     lang,
@@ -297,7 +316,11 @@ mod tests {
     use super::*;
 
     fn tiny_cfg() -> DatasetConfig {
-        DatasetConfig { num_tasks: 6, solutions_per_task: 5, seed: 7 }
+        DatasetConfig {
+            num_tasks: 6,
+            solutions_per_task: 5,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -332,7 +355,11 @@ mod tests {
         let n = ds.solutions.len();
         assert_eq!(split.train.len() + split.valid.len() + split.test.len(), n);
         // 6:2:2 within rounding
-        assert!(split.train.len() > n / 2, "train {} of {n}", split.train.len());
+        assert!(
+            split.train.len() > n / 2,
+            "train {} of {n}",
+            split.train.len()
+        );
         assert!(!split.test.is_empty());
         let mut all: Vec<usize> = split
             .train
@@ -364,19 +391,30 @@ mod tests {
 
     #[test]
     fn stats_report_full_pipeline_success() {
-        let ds = clcdsa(DatasetConfig { num_tasks: 3, solutions_per_task: 2, seed: 1 });
+        let ds = clcdsa(DatasetConfig {
+            num_tasks: 3,
+            solutions_per_task: 2,
+            seed: 1,
+        });
         let stats = ds.stats(Compiler::Clang, OptLevel::O0);
         assert_eq!(stats.len(), 2);
         for s in stats {
             assert_eq!(s.sources, s.ir);
-            assert_eq!(s.binaries, s.sources, "all solutions must compile to binary");
+            assert_eq!(
+                s.binaries, s.sources,
+                "all solutions must compile to binary"
+            );
             assert_eq!(s.decompiled, s.binaries);
         }
     }
 
     #[test]
     fn decompiled_modules_run_like_sources() {
-        let ds = poj104(DatasetConfig { num_tasks: 4, solutions_per_task: 2, seed: 9 });
+        let ds = poj104(DatasetConfig {
+            num_tasks: 4,
+            solutions_per_task: 2,
+            seed: 9,
+        });
         for sol in ds.solutions.iter().take(4) {
             let src_out = gbm_lir::interp::run_function(&sol.module, "main", &[], 5_000_000)
                 .expect("source runs");
@@ -389,7 +427,11 @@ mod tests {
 
     #[test]
     fn decompile_all_is_parallel_and_complete() {
-        let ds = poj104(DatasetConfig { num_tasks: 3, solutions_per_task: 2, seed: 2 });
+        let ds = poj104(DatasetConfig {
+            num_tasks: 3,
+            solutions_per_task: 2,
+            seed: 2,
+        });
         let idxs: Vec<usize> = (0..ds.solutions.len()).collect();
         let map = decompile_all(&ds, &idxs, Compiler::Gcc, OptLevel::O1);
         assert_eq!(map.len(), ds.solutions.len());
@@ -397,7 +439,11 @@ mod tests {
 
     #[test]
     fn java_solutions_have_bigger_ir() {
-        let ds = clcdsa(DatasetConfig { num_tasks: 4, solutions_per_task: 3, seed: 5 });
+        let ds = clcdsa(DatasetConfig {
+            num_tasks: 4,
+            solutions_per_task: 3,
+            seed: 5,
+        });
         let c_mean: f64 = ds
             .of_lang(SourceLang::MiniC)
             .iter()

@@ -23,7 +23,9 @@ const HELPERS: &[&str] = &["compute", "solve", "calc", "work", "process", "run"]
 impl Style {
     /// Deterministic style from a seed.
     pub fn new(seed: u64) -> Style {
-        Style { rng: StdRng::seed_from_u64(seed) }
+        Style {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform pick from a slice.
@@ -62,7 +64,11 @@ impl Style {
     }
 
     /// Two *distinct* names (avoids `int i = 0; int i = 1;`).
-    pub fn distinct2(&mut self, a: fn(&mut Style) -> String, b: fn(&mut Style) -> String) -> (String, String) {
+    pub fn distinct2(
+        &mut self,
+        a: fn(&mut Style) -> String,
+        b: fn(&mut Style) -> String,
+    ) -> (String, String) {
         let x = a(self);
         loop {
             let y = b(self);
@@ -84,14 +90,19 @@ impl Style {
 
     /// Renders a counting loop `for name in [from, to)` in either `for` or
     /// `while` form — one of the main stylistic splits between solutions.
-    pub fn count_loop(&mut self, lang_java: bool, var: &str, from: &str, to: &str, body: &str) -> String {
+    pub fn count_loop(
+        &mut self,
+        lang_java: bool,
+        var: &str,
+        from: &str,
+        to: &str,
+        body: &str,
+    ) -> String {
         let _ = lang_java;
         if self.flag(0.6) {
             format!("for (int {var} = {from}; {var} < {to}; {var}++) {{ {body} }}")
         } else {
-            format!(
-                "int {var} = {from};\nwhile ({var} < {to}) {{ {body} {var}++; }}"
-            )
+            format!("int {var} = {from};\nwhile ({var} < {to}) {{ {body} {var}++; }}")
         }
     }
 }

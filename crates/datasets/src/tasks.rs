@@ -84,15 +84,24 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                             break j;
                         }
                     };
-                    let inner = style.count_loop(java, &j, "0", "6", &format!("{acc} += {i} * {j};"));
+                    let inner =
+                        style.count_loop(java, &j, "0", "6", &format!("{acc} += {i} * {j};"));
                     inner.replace('\n', " ")
                 }
                 _ => format!("{acc} = ({acc} * 31 + {i} * {i} + 7) % 1000;"),
             };
             let body = style.count_loop(java, &i, "1", &format!("{n}"), &update);
-            let tail = if task == 15 { String::new() } else { print(&acc) };
+            let tail = if task == 15 {
+                String::new()
+            } else {
+                print(&acc)
+            };
             let main_body = format!("int {acc} = 0;\n{body}\n{tail}");
-            if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+            if java {
+                java_prog("", &main_body)
+            } else {
+                c_prog("", &main_body)
+            }
         }
 
         // ── factorial ───────────────────────────────────────────────────
@@ -124,7 +133,11 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                     &format!("{acc} *= {i};"),
                 );
                 let main_body = format!("int {acc} = 1;\n{body}\n{}", print(&acc));
-                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+                if java {
+                    java_prog("", &main_body)
+                } else {
+                    c_prog("", &main_body)
+                }
             }
         }
 
@@ -135,16 +148,18 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
             if recursive {
                 let f = style.helper();
                 let p = style.limit();
-                let body = format!(
-                    "if ({p} < 2) {{ return {p}; }} return {f}({p} - 1) + {f}({p} - 2);"
-                );
+                let body =
+                    format!("if ({p} < 2) {{ return {p}; }} return {f}({p} - 1) + {f}({p} - 2);");
                 if java {
                     java_prog(
                         &format!("static int {f}(int {p}) {{ {body} }}"),
                         &print(&format!("{f}({n})")),
                     )
                 } else {
-                    c_prog(&format!("int {f}(int {p}) {{ {body} }}"), &print(&format!("{f}({n})")))
+                    c_prog(
+                        &format!("int {f}(int {p}) {{ {body} }}"),
+                        &print(&format!("{f}({n})")),
+                    )
                 }
             } else {
                 let (a, b) = style.distinct2(|s| s.value(), |s| s.acc());
@@ -158,7 +173,11 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                 let step = format!("int {t} = {a} + {b}; {a} = {b}; {b} = {t};");
                 let body = style.count_loop(java, &i, "0", &format!("{n}"), &step);
                 let main_body = format!("int {a} = 0;\nint {b} = 1;\n{body}\n{}", print(&a));
-                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+                if java {
+                    java_prog("", &main_body)
+                } else {
+                    c_prog("", &main_body)
+                }
             }
         }
 
@@ -193,7 +212,11 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                     "int {a} = {x};\nint {b} = {y};\nwhile ({b} != 0) {{ int {t} = {a} % {b}; {a} = {b}; {b} = {t}; }}\n{}",
                     print(&a)
                 );
-                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+                if java {
+                    java_prog("", &main_body)
+                } else {
+                    c_prog("", &main_body)
+                }
             }
         }
 
@@ -208,7 +231,11 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                 "int {cnt} = 0;\nfor (int {x} = 2; {x} < {n}; {x}++) {{\nint {flag} = 1;\nfor (int {d} = 2; {d} * {d} <= {x}; {d}++) {{ if ({x} % {d} == 0) {{ {flag} = 0; }} }}\nif ({flag} == 1) {{ {cnt}++; }}\n}}\n{}",
                 print(&cnt)
             );
-            if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+            if java {
+                java_prog("", &main_body)
+            } else {
+                c_prog("", &main_body)
+            }
         }
 
         // ── reverse digits / sum digits ─────────────────────────────────
@@ -222,9 +249,7 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                 format!("{r} += {x} % 10;")
             };
             let use_helper = style.flag(0.5);
-            let loop_body = format!(
-                "int {r} = 0;\nwhile ({x} > 0) {{ {update} {x} = {x} / 10; }}"
-            );
+            let loop_body = format!("int {r} = 0;\nwhile ({x} > 0) {{ {update} {x} = {x} / 10; }}");
             if use_helper {
                 let h = style.helper();
                 let body = format!("{loop_body}\nreturn {r};");
@@ -234,11 +259,18 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                         &print(&format!("{h}({seed})")),
                     )
                 } else {
-                    c_prog(&format!("int {h}(int {x}) {{ {body} }}"), &print(&format!("{h}({seed})")))
+                    c_prog(
+                        &format!("int {h}(int {x}) {{ {body} }}"),
+                        &print(&format!("{h}({seed})")),
+                    )
                 }
             } else {
                 let main_body = format!("int {x} = {seed};\n{loop_body}\n{}", print(&r));
-                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+                if java {
+                    java_prog("", &main_body)
+                } else {
+                    c_prog("", &main_body)
+                }
             }
         }
 
@@ -260,12 +292,21 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                     "int {r} = 1;\nint {b} = {base};\nint {e} = {exp};\nwhile ({e} > 0) {{\nif ({e} % 2 == 1) {{ {r} *= {b}; }}\n{b} *= {b};\n{e} = {e} / 2;\n}}\n{}",
                     print(&r)
                 );
-                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+                if java {
+                    java_prog("", &main_body)
+                } else {
+                    c_prog("", &main_body)
+                }
             } else {
                 let i = style.counter();
-                let body = style.count_loop(java, &i, "0", &format!("{exp}"), &format!("{r} *= {base};"));
+                let body =
+                    style.count_loop(java, &i, "0", &format!("{exp}"), &format!("{r} *= {base};"));
                 let main_body = format!("int {r} = 1;\n{body}\n{}", print(&r));
-                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+                if java {
+                    java_prog("", &main_body)
+                } else {
+                    c_prog("", &main_body)
+                }
             }
         }
 
@@ -278,7 +319,11 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                 "int {x} = {start};\nint {steps} = 0;\nwhile ({x} != 1) {{\nif ({x} % 2 == 0) {{ {x} = {x} / 2; }} else {{ {x} = 3 * {x} + 1; }}\n{steps}++;\n}}\n{}",
                 print(&steps)
             );
-            if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+            if java {
+                java_prog("", &main_body)
+            } else {
+                c_prog("", &main_body)
+            }
         }
 
         // ── array tasks ─────────────────────────────────────────────────
@@ -316,7 +361,7 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                                 &format!("if ({arr}[{j}] > {best}) {{ {best} = {arr}[{j}]; }}"),
                             )
                         ),
-                        print(&best),
+                        print(best),
                     )
                 }
                 11 => {
@@ -324,7 +369,13 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                     (
                         format!(
                             "int {s} = 0;\n{}",
-                            style.count_loop(java, &j, "0", &format!("{n}"), &format!("{s} += {arr}[{j}];"))
+                            style.count_loop(
+                                java,
+                                &j,
+                                "0",
+                                &format!("{n}"),
+                                &format!("{s} += {arr}[{j}];")
+                            )
                         ),
                         print(&s),
                     )
@@ -366,7 +417,11 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                 }
             };
             let main_body = format!("{decl}\n{fill_loop}\n{process}\n{tail}");
-            if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+            if java {
+                java_prog("", &main_body)
+            } else {
+                c_prog("", &main_body)
+            }
         }
 
         // ── sort and print ──────────────────────────────────────────────
@@ -402,7 +457,11 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                 "{decl}\nfor (int {k} = 0; {k} < {n}; {k}++) {{ {arr}[{k}] = ({k} * {mul} + 3) % {md}; }}\n{sort}\nfor (int {k} = 0; {k} < {n}; {k}++) {{ {} }}",
                 print(&format!("{arr}[{k}]"))
             );
-            if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+            if java {
+                java_prog("", &main_body)
+            } else {
+                c_prog("", &main_body)
+            }
         }
 
         // ── dot product ─────────────────────────────────────────────────
@@ -432,8 +491,15 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                 &format!("{n}"),
                 &format!("{s} += {a}[{j}] * {b}[{j}];"),
             );
-            let main_body = format!("{decls}\n{fill_loop}\nint {s} = 0;\n{acc_loop}\n{}", print(&s));
-            if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+            let main_body = format!(
+                "{decls}\n{fill_loop}\nint {s} = 0;\n{acc_loop}\n{}",
+                print(&s)
+            );
+            if java {
+                java_prog("", &main_body)
+            } else {
+                c_prog("", &main_body)
+            }
         }
 
         // ── divisor count ───────────────────────────────────────────────
@@ -448,10 +514,9 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
             if use_helper {
                 let h = style.helper();
                 let p = style.value();
-                let body = loop_src.replace(&format!("{x} %"), &format!("{p} %")).replace(
-                    &format!("<= {x}"),
-                    &format!("<= {p}"),
-                );
+                let body = loop_src
+                    .replace(&format!("{x} %"), &format!("{p} %"))
+                    .replace(&format!("<= {x}"), &format!("<= {p}"));
                 if java {
                     java_prog(
                         &format!("static int {h}(int {p}) {{ {body} return {cnt}; }}"),
@@ -465,7 +530,11 @@ pub fn emit(task: usize, lang: SourceLang, style: &mut Style) -> String {
                 }
             } else {
                 let main_body = format!("{loop_src}\n{}", print(&cnt));
-                if java { java_prog("", &main_body) } else { c_prog("", &main_body) }
+                if java {
+                    java_prog("", &main_body)
+                } else {
+                    c_prog("", &main_body)
+                }
             }
         }
 
@@ -480,6 +549,7 @@ mod tests {
     use gbm_lir::interp::run_function;
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // task is an id into several tables
     fn every_task_compiles_and_runs_in_both_languages() {
         for task in 0..NUM_TASKS {
             for lang in [SourceLang::MiniC, SourceLang::MiniJava] {
@@ -487,7 +557,10 @@ mod tests {
                     let mut style = Style::new(seed * 1000 + task as u64);
                     let src = emit(task, lang, &mut style);
                     let m = compile(lang, "t", &src).unwrap_or_else(|e| {
-                        panic!("task {task} ({}) {lang:?} seed {seed}: {e}\n{src}", TASK_NAMES[task])
+                        panic!(
+                            "task {task} ({}) {lang:?} seed {seed}: {e}\n{src}",
+                            TASK_NAMES[task]
+                        )
                     });
                     let out = run_function(&m, "main", &[], 2_000_000).unwrap_or_else(|e| {
                         panic!("task {task} {lang:?} seed {seed} run: {e}\n{src}")
@@ -510,9 +583,14 @@ mod tests {
 
     #[test]
     fn styles_vary_across_seeds() {
-        let variants: std::collections::HashSet<String> =
-            (0..10).map(|s| emit(0, SourceLang::MiniC, &mut Style::new(s))).collect();
-        assert!(variants.len() >= 3, "stylistic variety expected, got {}", variants.len());
+        let variants: std::collections::HashSet<String> = (0..10)
+            .map(|s| emit(0, SourceLang::MiniC, &mut Style::new(s)))
+            .collect();
+        assert!(
+            variants.len() >= 3,
+            "stylistic variety expected, got {}",
+            variants.len()
+        );
     }
 
     #[test]

@@ -8,8 +8,7 @@ use gbm_frontends::SourceLang;
 use gbm_progml::{build_graph, GraphStats, NodeTextMode};
 
 use crate::harness::{
-    run_experiment, DatasetKind, ExperimentResult, ExperimentSpec, HarnessConfig, MethodScore,
-    Side,
+    run_experiment, DatasetKind, ExperimentResult, ExperimentSpec, HarnessConfig, MethodScore, Side,
 };
 use crate::metrics::{mean, median, sweep, Prf, SweepPoint};
 
@@ -50,7 +49,10 @@ fn cross_direction(
     let mut rows = Vec::new();
     for m in &full.methods {
         if m.method == "GraphBinMatch" {
-            rows.push(MethodScore { method: "GraphBinMatch(Tokenizer)".into(), ..m.clone() });
+            rows.push(MethodScore {
+                method: "GraphBinMatch(Tokenizer)".into(),
+                ..m.clone()
+            });
         } else {
             rows.push(m.clone());
         }
@@ -173,8 +175,10 @@ pub fn table7(result: &ExperimentResult, threshold: f32) -> Vec<NodeStatsRow> {
 /// cross-language binary-matching tasks.
 pub fn table8(cfg: &HarnessConfig) -> Vec<(&'static str, &'static str, Prf)> {
     let mut rows = Vec::new();
-    for (mode_name, mode) in [("text", NodeTextMode::Text), ("full_text", NodeTextMode::FullText)]
-    {
+    for (mode_name, mode) in [
+        ("text", NodeTextMode::Text),
+        ("full_text", NodeTextMode::FullText),
+    ] {
         let mut c = *cfg;
         c.text_mode = mode;
         // same-language: POJ source vs binary
@@ -297,6 +301,7 @@ mod tests {
             labels: vec![1.0, 0.0, 1.0, 0.0],
             pair_nodes: vec![(100, 110), (300, 80), (90, 400), (120, 130)],
             train_stats: vec![],
+            retrieval: Default::default(),
         };
         let rows = table7(&result, 0.5);
         let total: usize = rows.iter().map(|r| r.count).sum();

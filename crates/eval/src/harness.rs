@@ -11,15 +11,17 @@ use gbm_baselines::{
     b2sfinder::B2sFinder,
     binpro::{signals, BinPro},
     licca::Licca,
-    xlir::{tokenize_module, train_xlir, xlir_tokenizer, Xlir, XlirConfig, XlirTrainConfig, XlirVariant},
+    xlir::{
+        tokenize_module, train_xlir, xlir_tokenizer, Xlir, XlirConfig, XlirTrainConfig, XlirVariant,
+    },
 };
 use gbm_binary::{Compiler, OptLevel};
 use gbm_datasets::{clcdsa, decompile_all, make_pairs, poj104, Dataset, DatasetConfig, PairSpec};
 use gbm_frontends::SourceLang;
 use gbm_lir::Module;
 use gbm_nn::{
-    encode_graph, predict, train, EncodedGraph, EpochStats, GraphBinMatch, GraphBinMatchConfig,
-    PairExample, PairSet, TrainConfig,
+    encode_graph, train, EmbeddingStore, EncodedGraph, EpochStats, GraphBinMatch,
+    GraphBinMatchConfig, PairExample, PairSet, TrainConfig,
 };
 use gbm_progml::{build_graph, NodeTextMode, ProgramGraph};
 use gbm_tokenizer::{Tokenizer, TokenizerConfig};
@@ -28,6 +30,7 @@ use rand::{RngExt, SeedableRng};
 use rayon::prelude::*;
 
 use crate::metrics::{best_threshold, Prf};
+use crate::retrieval::{retrieval_metrics, retrieve, RetrievalConfig, RetrievalMetrics};
 
 /// Which artifact a pair side uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -145,7 +148,12 @@ pub struct ExperimentSpec {
 
 impl ExperimentSpec {
     /// Cross-language binary↔source matching (the Table III shape).
-    pub fn cross_language(bin_lang: SourceLang, src_lang: SourceLang, compiler: Compiler, level: OptLevel) -> ExperimentSpec {
+    pub fn cross_language(
+        bin_lang: SourceLang,
+        src_lang: SourceLang,
+        compiler: Compiler,
+        level: OptLevel,
+    ) -> ExperimentSpec {
         ExperimentSpec {
             dataset: DatasetKind::Clcdsa,
             a_langs: vec![src_lang],
@@ -212,9 +220,18 @@ pub struct ExperimentResult {
     pub pair_nodes: Vec<(usize, usize)>,
     /// Training curve.
     pub train_stats: Vec<EpochStats>,
+    /// Ranked binary→source retrieval quality on the test split (each
+    /// b-side test graph queries all a-side test graphs through the cached
+    /// embeddings; see [`crate::retrieval`]).
+    pub retrieval: RetrievalMetrics,
 }
 
-fn filter_pool(ds: &Dataset, idxs: &[usize], langs: &[SourceLang], parity: Option<u8>) -> Vec<usize> {
+fn filter_pool(
+    ds: &Dataset,
+    idxs: &[usize],
+    langs: &[SourceLang],
+    parity: Option<u8>,
+) -> Vec<usize> {
     idxs.iter()
         .copied()
         .filter(|&i| langs.contains(&ds.solutions[i].lang))
@@ -318,11 +335,8 @@ pub fn run_experiment(spec: &ExperimentSpec, cfg: &HarnessConfig) -> ExperimentR
         .map(|i| &a_graphs[i])
         .chain(b_train.iter().map(|i| &b_graphs[i]))
         .collect();
-    let tokenizer = Tokenizer::train_on_graphs(
-        &train_graph_refs,
-        cfg.text_mode,
-        TokenizerConfig::default(),
-    );
+    let tokenizer =
+        Tokenizer::train_on_graphs(&train_graph_refs, cfg.text_mode, TokenizerConfig::default());
 
     // encodings; the PairSet graph pool is [a-side..., b-side...]
     let mut pool: Vec<EncodedGraph> = Vec::with_capacity(a_all.len() + b_all.len());
@@ -338,20 +352,54 @@ pub fn run_experiment(spec: &ExperimentSpec, cfg: &HarnessConfig) -> ExperimentR
     }
 
     let same_artifact = spec.a_side == spec.b_side;
-    let train_pairs = side_pairs(&ds, &a_train, &b_train, same_artifact, cfg.seed + 10, cfg.max_train_pos);
-    let valid_pairs = side_pairs(&ds, &a_valid, &b_valid, same_artifact, cfg.seed + 11, cfg.max_eval_pos);
-    let test_pairs = side_pairs(&ds, &a_test, &b_test, same_artifact, cfg.seed + 12, cfg.max_eval_pos);
-    assert!(!train_pairs.is_empty(), "no training pairs — dataset too small");
+    let train_pairs = side_pairs(
+        &ds,
+        &a_train,
+        &b_train,
+        same_artifact,
+        cfg.seed + 10,
+        cfg.max_train_pos,
+    );
+    let valid_pairs = side_pairs(
+        &ds,
+        &a_valid,
+        &b_valid,
+        same_artifact,
+        cfg.seed + 11,
+        cfg.max_eval_pos,
+    );
+    let test_pairs = side_pairs(
+        &ds,
+        &a_test,
+        &b_test,
+        same_artifact,
+        cfg.seed + 12,
+        cfg.max_eval_pos,
+    );
+    assert!(
+        !train_pairs.is_empty(),
+        "no training pairs — dataset too small"
+    );
     assert!(!test_pairs.is_empty(), "no test pairs — dataset too small");
 
     let to_examples = |pairs: &[PairSpec]| -> Vec<PairExample> {
         pairs
             .iter()
-            .map(|p| PairExample { a: a_pos[&p.a], b: b_pos[&p.b], label: p.label })
+            .map(|p| PairExample {
+                a: a_pos[&p.a],
+                b: b_pos[&p.b],
+                label: p.label,
+            })
             .collect()
     };
-    let train_set = PairSet { graphs: pool.clone(), pairs: to_examples(&train_pairs) };
-    let test_set = PairSet { graphs: pool, pairs: to_examples(&test_pairs) };
+    let train_set = PairSet {
+        graphs: pool.clone(),
+        pairs: to_examples(&train_pairs),
+    };
+    let test_set = PairSet {
+        graphs: pool,
+        pairs: to_examples(&test_pairs),
+    };
 
     // ── GraphBinMatch ───────────────────────────────────────────────────
     let model_cfg = GraphBinMatchConfig {
@@ -375,8 +423,41 @@ pub fn run_experiment(spec: &ExperimentSpec, cfg: &HarnessConfig) -> ExperimentR
         seed: cfg.seed + 3,
     };
     let train_stats = train(&model, &train_set, &train_cfg, |_, _| {});
-    let gbm_scores = predict(&model, &test_set);
+
+    // Encode every evaluation graph once (parallel): test pairs, threshold
+    // sweeps, and retrieval all score through the cheap matching head
+    // against this cache. Train-only graphs are skipped — the encoder
+    // forward is the expensive operation.
+    let query_pool: Vec<usize> = b_test.iter().map(|i| b_pos[i]).collect();
+    let cand_pool: Vec<usize> = a_test.iter().map(|i| a_pos[i]).collect();
+    let eval_indices: Vec<usize> = test_set
+        .pairs
+        .iter()
+        .flat_map(|p| [p.a, p.b])
+        .chain(query_pool.iter().copied())
+        .chain(cand_pool.iter().copied())
+        .collect();
+    let store = EmbeddingStore::build_subset(&model, &test_set.graphs, &eval_indices);
+    let gbm_scores = store.score_pairs(&model, &test_set.pairs);
     let labels: Vec<f32> = test_pairs.iter().map(|p| p.label).collect();
+
+    // Ranked retrieval on the test split: each b-side graph (binary side in
+    // binary–source tasks) queries the a-side candidates.
+    let sol_of_pool: HashMap<usize, usize> = a_pos
+        .iter()
+        .map(|(&sol, &p)| (p, sol))
+        .chain(b_pos.iter().map(|(&sol, &p)| (p, sol)))
+        .collect();
+    let retrieval_cfg = RetrievalConfig::default();
+    let ranked = retrieve(
+        &model,
+        &store,
+        &query_pool,
+        &cand_pool,
+        |q, c| ds.solutions[sol_of_pool[&q]].task == ds.solutions[sol_of_pool[&c]].task,
+        &retrieval_cfg,
+    );
+    let retrieval = retrieval_metrics(&ranked, &retrieval_cfg.ks);
 
     let mut methods = vec![MethodScore {
         method: "GraphBinMatch".into(),
@@ -533,7 +614,14 @@ pub fn run_experiment(spec: &ExperimentSpec, cfg: &HarnessConfig) -> ExperimentR
         .map(|p| (a_graphs[&p.a].num_nodes(), b_graphs[&p.b].num_nodes()))
         .collect();
 
-    ExperimentResult { methods, gbm_scores, labels, pair_nodes, train_stats }
+    ExperimentResult {
+        methods,
+        gbm_scores,
+        labels,
+        pair_nodes,
+        train_stats,
+        retrieval,
+    }
 }
 
 #[cfg(test)]
@@ -556,6 +644,17 @@ mod tests {
         for m in &result.methods {
             assert!(m.prf.f1 >= 0.0 && m.prf.f1 <= 1.0);
         }
+        // the retrieval subsystem ran on the same cached embeddings
+        assert!(
+            result.retrieval.num_queries > 0,
+            "retrieval must have queries"
+        );
+        assert!(result.retrieval.num_candidates > 0);
+        assert_eq!(result.retrieval.recall_at.len(), 3, "recall@1/5/10");
+        assert!((0.0..=1.0).contains(&result.retrieval.mrr));
+        for &(_, r) in &result.retrieval.recall_at {
+            assert!((0.0..=1.0).contains(&r));
+        }
     }
 
     #[test]
@@ -564,8 +663,8 @@ mod tests {
         let mut cfg = HarnessConfig::quick();
         cfg.epochs = 1;
         let result = run_experiment(&spec, &cfg);
-        assert!(result.labels.iter().any(|&l| l == 1.0));
-        assert!(result.labels.iter().any(|&l| l == 0.0));
+        assert!(result.labels.contains(&1.0));
+        assert!(result.labels.contains(&0.0));
     }
 
     #[test]

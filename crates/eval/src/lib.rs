@@ -6,15 +6,21 @@
 //! * [`metrics`] — precision/recall/F1 (§IV-E), threshold sweeps (Fig. 3),
 //!   validation-based threshold selection for uncalibrated baselines,
 //! * [`harness`] — the shared experiment pipeline (dataset → artifacts →
-//!   graphs → tokenizer → pairs → training → evaluation),
+//!   graphs → tokenizer → pairs → training → evaluation), built on cached
+//!   graph embeddings (encode once, score many),
+//! * [`retrieval`] — ranked binary→source search over cached embeddings
+//!   with MRR / recall@k reporting,
 //! * [`experiments`] — one runner per table/figure (I, III–VIII, Fig. 3/4).
 
 pub mod experiments;
 pub mod harness;
 pub mod metrics;
+pub mod retrieval;
 
 pub use harness::{
-    run_experiment, DatasetKind, ExperimentResult, ExperimentSpec, HarnessConfig, MethodScore,
-    Side,
+    run_experiment, DatasetKind, ExperimentResult, ExperimentSpec, HarnessConfig, MethodScore, Side,
 };
 pub use metrics::{best_threshold, sweep, Confusion, Prf, SweepPoint};
+pub use retrieval::{
+    rank_candidates, retrieval_metrics, retrieve, RankedQuery, RetrievalConfig, RetrievalMetrics,
+};

@@ -90,13 +90,21 @@ impl Prf {
     /// Metrics at a threshold.
     pub fn at(scores: &[f32], labels: &[f32], threshold: f32) -> Prf {
         let c = Confusion::at(scores, labels, threshold);
-        Prf { precision: c.precision(), recall: c.recall(), f1: c.f1() }
+        Prf {
+            precision: c.precision(),
+            recall: c.recall(),
+            f1: c.f1(),
+        }
     }
 }
 
 impl std::fmt::Display for Prf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "P={:.2} R={:.2} F1={:.2}", self.precision, self.recall, self.f1)
+        write!(
+            f,
+            "P={:.2} R={:.2} F1={:.2}",
+            self.precision, self.recall, self.f1
+        )
     }
 }
 
@@ -119,7 +127,11 @@ pub fn sweep(scores: &[f32], labels: &[f32]) -> Vec<SweepPoint> {
             let c = Confusion::at(scores, labels, t);
             SweepPoint {
                 threshold: t,
-                prf: Prf { precision: c.precision(), recall: c.recall(), f1: c.f1() },
+                prf: Prf {
+                    precision: c.precision(),
+                    recall: c.recall(),
+                    f1: c.f1(),
+                },
                 accuracy: c.accuracy(),
             }
         })
@@ -170,7 +182,15 @@ mod tests {
         let scores = [0.9, 0.8, 0.3, 0.2];
         let labels = [1.0, 0.0, 1.0, 0.0];
         let c = Confusion::at(&scores, &labels, 0.5);
-        assert_eq!(c, Confusion { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
+        );
         assert_eq!(c.precision(), 0.5);
         assert_eq!(c.recall(), 0.5);
         assert_eq!(c.f1(), 0.5);
@@ -182,7 +202,14 @@ mod tests {
         let scores = [0.99, 0.9, 0.1, 0.05];
         let labels = [1.0, 1.0, 0.0, 0.0];
         let p = Prf::at(&scores, &labels, 0.5);
-        assert_eq!(p, Prf { precision: 1.0, recall: 1.0, f1: 1.0 });
+        assert_eq!(
+            p,
+            Prf {
+                precision: 1.0,
+                recall: 1.0,
+                f1: 1.0
+            }
+        );
     }
 
     #[test]

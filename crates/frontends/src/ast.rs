@@ -233,6 +233,9 @@ impl std::error::Error for FrontendError {}
 
 impl From<crate::lex::LexError> for FrontendError {
     fn from(e: crate::lex::LexError) -> Self {
-        FrontendError { line: e.line, message: e.message }
+        FrontendError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }

@@ -63,8 +63,8 @@ const PUNCTS2: &[&str] = &[
     "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "++", "--",
 ];
 const PUNCTS1: &[&str] = &[
-    "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[", "]", ";", ",", ".",
-    "?", ":", "&", "|", "^",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[", "]", ";", ",", ".", "?",
+    ":", "&", "|", "^",
 ];
 
 /// Tokenizes source text. `//` line comments and `/* */` block comments are
@@ -95,7 +95,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             i += 2;
             loop {
                 if i + 1 >= bytes.len() {
-                    return Err(LexError { line, message: "unterminated block comment".into() });
+                    return Err(LexError {
+                        line,
+                        message: "unterminated block comment".into(),
+                    });
                 }
                 if bytes[i] == b'\n' {
                     line += 1;
@@ -110,11 +113,15 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
         }
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
             {
                 i += 1;
             }
-            out.push(Spanned { tok: Tok::Ident(src[start..i].to_string()), line });
+            out.push(Spanned {
+                tok: Tok::Ident(src[start..i].to_string()),
+                line,
+            });
             continue;
         }
         if c.is_ascii_digit() {
@@ -123,22 +130,32 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 i += 1;
             }
             // fraction ⇒ float; `1.` alone stays float too
-            if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && i + 1 < bytes.len()
                 && (bytes[i + 1] as char).is_ascii_digit()
             {
                 i += 1;
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                     i += 1;
                 }
-                let v: f64 = src[start..i]
-                    .parse()
-                    .map_err(|e| LexError { line, message: format!("bad float: {e}") })?;
-                out.push(Spanned { tok: Tok::Float(v), line });
+                let v: f64 = src[start..i].parse().map_err(|e| LexError {
+                    line,
+                    message: format!("bad float: {e}"),
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Float(v),
+                    line,
+                });
             } else {
-                let v: i64 = src[start..i]
-                    .parse()
-                    .map_err(|e| LexError { line, message: format!("bad integer: {e}") })?;
-                out.push(Spanned { tok: Tok::Int(v), line });
+                let v: i64 = src[start..i].parse().map_err(|e| LexError {
+                    line,
+                    message: format!("bad integer: {e}"),
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Int(v),
+                    line,
+                });
             }
             continue;
         }
@@ -146,20 +163,32 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
         if i + 1 < bytes.len() {
             let two = &src[i..i + 2];
             if let Some(p) = PUNCTS2.iter().find(|p| **p == two) {
-                out.push(Spanned { tok: Tok::Punct(p), line });
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    line,
+                });
                 i += 2;
                 continue;
             }
         }
         let one = &src[i..i + 1];
         if let Some(p) = PUNCTS1.iter().find(|p| **p == one) {
-            out.push(Spanned { tok: Tok::Punct(p), line });
+            out.push(Spanned {
+                tok: Tok::Punct(p),
+                line,
+            });
             i += 1;
             continue;
         }
-        return Err(LexError { line, message: format!("unexpected character `{c}`") });
+        return Err(LexError {
+            line,
+            message: format!("unexpected character `{c}`"),
+        });
     }
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -205,11 +234,19 @@ mod tests {
 
     #[test]
     fn floats_and_ints() {
-        assert_eq!(toks("1.5 2 3.25"), vec![Tok::Float(1.5), Tok::Int(2), Tok::Float(3.25), Tok::Eof]);
+        assert_eq!(
+            toks("1.5 2 3.25"),
+            vec![Tok::Float(1.5), Tok::Int(2), Tok::Float(3.25), Tok::Eof]
+        );
         // dot not followed by digit is punctuation (member access)
         assert_eq!(
             toks("a.length"),
-            vec![Tok::Ident("a".into()), Tok::Punct("."), Tok::Ident("length".into()), Tok::Eof]
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("."),
+                Tok::Ident("length".into()),
+                Tok::Eof
+            ]
         );
     }
 

@@ -15,9 +15,7 @@
 
 use std::collections::HashMap;
 
-use gbm_lir::{
-    BinOp, BlockId, CastKind, FunctionBuilder, IcmpPred, Module, Operand, Ty,
-};
+use gbm_lir::{BinOp, BlockId, CastKind, FunctionBuilder, IcmpPred, Module, Operand, Ty};
 
 use crate::ast::*;
 
@@ -77,7 +75,10 @@ fn lower(name: &str, prog: &Program, style: Style) -> Result<Module, FrontendErr
     for f in &prog.funcs {
         sigs.insert(
             f.name.clone(),
-            Sig { params: f.params.iter().map(|(_, t)| t.clone()).collect(), ret: f.ret.clone() },
+            Sig {
+                params: f.params.iter().map(|(_, t)| t.clone()).collect(),
+                ret: f.ret.clone(),
+            },
         );
     }
     if style == Style::Jlang {
@@ -120,7 +121,13 @@ impl<'p> Lowerer<'p> {
             let slot = me.fb.alloca(me.entry, lir_ty(pty, style));
             let p = me.fb.param_operand(i);
             me.fb.store(me.cur, lir_ty(pty, style), p, slot.clone());
-            me.scope_insert(pname.clone(), Local { ptr: slot, ty: pty.clone() });
+            me.scope_insert(
+                pname.clone(),
+                Local {
+                    ptr: slot,
+                    ty: pty.clone(),
+                },
+            );
         }
         me.stmts(&f.body)?;
         if !me.fb.is_terminated(me.cur) {
@@ -133,7 +140,10 @@ impl<'p> Lowerer<'p> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> LResult<T> {
-        Err(FrontendError { line: self.line, message: msg.into() })
+        Err(FrontendError {
+            line: self.line,
+            message: msg.into(),
+        })
     }
 
     fn int_ty(&self) -> Ty {
@@ -148,7 +158,10 @@ impl<'p> Lowerer<'p> {
             TypeAst::Void => None,
             TypeAst::Double => Some(Operand::ConstF64(0.0)),
             TypeAst::Bool => Some(Operand::const_bool(false)),
-            _ => Some(Operand::ConstInt { value: 0, ty: lir_ty(&self.ret, self.style) }),
+            _ => Some(Operand::ConstInt {
+                value: 0,
+                ty: lir_ty(&self.ret, self.style),
+            }),
         }
     }
 
@@ -185,27 +198,46 @@ impl<'p> Lowerer<'p> {
                     None => match ty {
                         TypeAst::Double => Operand::ConstF64(0.0),
                         TypeAst::Bool => Operand::const_bool(false),
-                        _ => Operand::ConstInt { value: 0, ty: lir_ty(ty, self.style) },
+                        _ => Operand::ConstInt {
+                            value: 0,
+                            ty: lir_ty(ty, self.style),
+                        },
                     },
                 };
-                self.fb.store(self.cur, lir_ty(ty, self.style), val, slot.clone());
-                self.scope_insert(name.clone(), Local { ptr: slot, ty: ty.clone() });
+                self.fb
+                    .store(self.cur, lir_ty(ty, self.style), val, slot.clone());
+                self.scope_insert(
+                    name.clone(),
+                    Local {
+                        ptr: slot,
+                        ty: ty.clone(),
+                    },
+                );
             }
             Stmt::DeclArray { name, elem, len } => {
                 let arr_ty = TypeAst::Array(Box::new(elem.clone()));
                 let slot = self.fb.alloca(self.entry, lir_ty(&arr_ty, self.style));
                 let ptr = self.alloc_array(elem, len)?;
-                self.fb.store(self.cur, lir_ty(&arr_ty, self.style), ptr, slot.clone());
-                self.scope_insert(name.clone(), Local { ptr: slot, ty: arr_ty });
+                self.fb
+                    .store(self.cur, lir_ty(&arr_ty, self.style), ptr, slot.clone());
+                self.scope_insert(
+                    name.clone(),
+                    Local {
+                        ptr: slot,
+                        ty: arr_ty,
+                    },
+                );
             }
             Stmt::Assign { target, value } => match target {
                 LValue::Var(name) => {
-                    let local = self
-                        .lookup(name)
-                        .ok_or_else(|| self.err::<()>(format!("unknown variable `{name}`")).unwrap_err())?;
+                    let local = self.lookup(name).ok_or_else(|| {
+                        self.err::<()>(format!("unknown variable `{name}`"))
+                            .unwrap_err()
+                    })?;
                     let (v, vty) = self.expr(value)?;
                     let v = self.coerce(v, &vty, &local.ty)?;
-                    self.fb.store(self.cur, lir_ty(&local.ty, self.style), v, local.ptr);
+                    self.fb
+                        .store(self.cur, lir_ty(&local.ty, self.style), v, local.ptr);
                 }
                 LValue::Index(name, idx) => {
                     let (elem_ty, addr) = self.element_addr(name, idx)?;
@@ -249,7 +281,12 @@ impl<'p> Lowerer<'p> {
                 }
                 self.cur = exit_bb;
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.stmt(i)?;
@@ -338,7 +375,9 @@ impl<'p> Lowerer<'p> {
                 let elem_lir = lir_ty(elem, self.style);
                 // constant length: true stack array (clang); dynamic: heap
                 if let Operand::ConstInt { value, .. } = len_v {
-                    let arr = self.fb.alloca(self.entry, elem_lir.clone().array(value.max(0) as usize));
+                    let arr = self
+                        .fb
+                        .alloca(self.entry, elem_lir.clone().array(value.max(0) as usize));
                     Ok(self.fb.cast(
                         self.cur,
                         CastKind::Bitcast,
@@ -359,7 +398,13 @@ impl<'p> Lowerer<'p> {
                         .fb
                         .call(self.cur, "rt_alloc", Ty::I8.ptr(), vec![bytes])
                         .expect("rt_alloc returns");
-                    Ok(self.fb.cast(self.cur, CastKind::Bitcast, raw, Ty::I8.ptr(), elem_lir.ptr()))
+                    Ok(self.fb.cast(
+                        self.cur,
+                        CastKind::Bitcast,
+                        raw,
+                        Ty::I8.ptr(),
+                        elem_lir.ptr(),
+                    ))
                 }
             }
             Style::Jlang => {
@@ -379,13 +424,16 @@ impl<'p> Lowerer<'p> {
     /// Address of `name[idx]`, with JLang null/bounds checks when applicable.
     /// Returns the element's surface type and address operand.
     fn element_addr(&mut self, name: &str, idx: &Expr) -> LResult<(TypeAst, Operand)> {
-        let local = self
-            .lookup(name)
-            .ok_or_else(|| self.err::<()>(format!("unknown array `{name}`")).unwrap_err())?;
+        let local = self.lookup(name).ok_or_else(|| {
+            self.err::<()>(format!("unknown array `{name}`"))
+                .unwrap_err()
+        })?;
         let TypeAst::Array(elem) = local.ty.clone() else {
             return self.err(format!("`{name}` is not an array"));
         };
-        let arr = self.fb.load(self.cur, lir_ty(&local.ty, self.style), local.ptr);
+        let arr = self
+            .fb
+            .load(self.cur, lir_ty(&local.ty, self.style), local.ptr);
         let (iv, ity) = self.expr(idx)?;
         match self.style {
             Style::Clang => {
@@ -429,7 +477,9 @@ impl<'p> Lowerer<'p> {
         self.fb.cond_br(self.cur, is_null, trap, ok1);
         self.cur = ok1;
         // bounds check
-        let idx64 = self.fb.cast(self.cur, CastKind::Sext, idx32, Ty::I32, Ty::I64);
+        let idx64 = self
+            .fb
+            .cast(self.cur, CastKind::Sext, idx32, Ty::I32, Ty::I64);
         let len = self.fb.load(self.cur, Ty::I64, arr.clone());
         let neg = self.fb.icmp(
             self.cur,
@@ -441,18 +491,23 @@ impl<'p> Lowerer<'p> {
         let ok2 = self.fb.add_block();
         self.fb.cond_br(self.cur, neg, trap, ok2);
         self.cur = ok2;
-        let oob = self.fb.icmp(self.cur, IcmpPred::Sge, Ty::I64, idx64.clone(), len);
+        let oob = self
+            .fb
+            .icmp(self.cur, IcmpPred::Sge, Ty::I64, idx64.clone(), len);
         let ok3 = self.fb.add_block();
         self.fb.cond_br(self.cur, oob, trap, ok3);
         self.cur = ok3;
-        let slot = self.fb.binop(self.cur, BinOp::Add, Ty::I64, idx64, Operand::const_i64(1));
+        let slot = self
+            .fb
+            .binop(self.cur, BinOp::Add, Ty::I64, idx64, Operand::const_i64(1));
         self.fb.gep(self.cur, Ty::I64, arr, slot)
     }
 
     fn store_element(&mut self, elem_ty: &TypeAst, v: Operand, addr: Operand) {
         match self.style {
             Style::Clang => {
-                self.fb.store(self.cur, lir_ty(elem_ty, self.style), v, addr);
+                self.fb
+                    .store(self.cur, lir_ty(elem_ty, self.style), v, addr);
             }
             Style::Jlang => match elem_ty {
                 TypeAst::Double => self.fb.store(self.cur, Ty::F64, v, addr),
@@ -472,7 +527,8 @@ impl<'p> Lowerer<'p> {
                 TypeAst::Double => self.fb.load(self.cur, Ty::F64, addr),
                 _ => {
                     let v64 = self.fb.load(self.cur, Ty::I64, addr);
-                    self.fb.cast(self.cur, CastKind::Trunc, v64, Ty::I64, Ty::I32)
+                    self.fb
+                        .cast(self.cur, CastKind::Trunc, v64, Ty::I64, Ty::I32)
                 }
             },
         }
@@ -489,7 +545,10 @@ impl<'p> Lowerer<'p> {
                 IcmpPred::Ne,
                 self.int_ty(),
                 v,
-                Operand::ConstInt { value: 0, ty: self.int_ty() },
+                Operand::ConstInt {
+                    value: 0,
+                    ty: self.int_ty(),
+                },
             )),
             other => self.err(format!("condition must be bool or int, got {other:?}")),
         }
@@ -501,20 +560,29 @@ impl<'p> Lowerer<'p> {
         }
         match (from, to) {
             (TypeAst::Int, TypeAst::Double) => {
-                Ok(self.fb.cast(self.cur, CastKind::Sitofp, v, self.int_ty(), Ty::F64))
+                Ok(self
+                    .fb
+                    .cast(self.cur, CastKind::Sitofp, v, self.int_ty(), Ty::F64))
             }
             (TypeAst::Double, TypeAst::Int) => {
-                Ok(self.fb.cast(self.cur, CastKind::Fptosi, v, Ty::F64, self.int_ty()))
+                Ok(self
+                    .fb
+                    .cast(self.cur, CastKind::Fptosi, v, Ty::F64, self.int_ty()))
             }
             (TypeAst::Bool, TypeAst::Int) => {
-                Ok(self.fb.cast(self.cur, CastKind::Zext, v, Ty::I1, self.int_ty()))
+                Ok(self
+                    .fb
+                    .cast(self.cur, CastKind::Zext, v, Ty::I1, self.int_ty()))
             }
             (TypeAst::Int, TypeAst::Bool) => Ok(self.fb.icmp(
                 self.cur,
                 IcmpPred::Ne,
                 self.int_ty(),
                 v,
-                Operand::ConstInt { value: 0, ty: self.int_ty() },
+                Operand::ConstInt {
+                    value: 0,
+                    ty: self.int_ty(),
+                },
             )),
             _ => self.err(format!("cannot convert {from:?} to {to:?}")),
         }
@@ -522,16 +590,23 @@ impl<'p> Lowerer<'p> {
 
     fn expr(&mut self, e: &Expr) -> LResult<(Operand, TypeAst)> {
         match e {
-            Expr::IntLit(v) => {
-                Ok((Operand::ConstInt { value: *v, ty: self.int_ty() }, TypeAst::Int))
-            }
+            Expr::IntLit(v) => Ok((
+                Operand::ConstInt {
+                    value: *v,
+                    ty: self.int_ty(),
+                },
+                TypeAst::Int,
+            )),
             Expr::FloatLit(v) => Ok((Operand::ConstF64(*v), TypeAst::Double)),
             Expr::BoolLit(b) => Ok((Operand::const_bool(*b), TypeAst::Bool)),
             Expr::Var(name) => {
-                let local = self
-                    .lookup(name)
-                    .ok_or_else(|| self.err::<()>(format!("unknown variable `{name}`")).unwrap_err())?;
-                let v = self.fb.load(self.cur, lir_ty(&local.ty, self.style), local.ptr);
+                let local = self.lookup(name).ok_or_else(|| {
+                    self.err::<()>(format!("unknown variable `{name}`"))
+                        .unwrap_err()
+                })?;
+                let v = self
+                    .fb
+                    .load(self.cur, lir_ty(&local.ty, self.style), local.ptr);
                 Ok((v, local.ty))
             }
             Expr::Unary(op, inner) => {
@@ -539,7 +614,8 @@ impl<'p> Lowerer<'p> {
                 match op {
                     UnOpAst::Neg => match ty {
                         TypeAst::Double => Ok((
-                            self.fb.binop(self.cur, BinOp::Sub, Ty::F64, Operand::ConstF64(0.0), v),
+                            self.fb
+                                .binop(self.cur, BinOp::Sub, Ty::F64, Operand::ConstF64(0.0), v),
                             TypeAst::Double,
                         )),
                         TypeAst::Int => Ok((
@@ -547,7 +623,10 @@ impl<'p> Lowerer<'p> {
                                 self.cur,
                                 BinOp::Sub,
                                 self.int_ty(),
-                                Operand::ConstInt { value: 0, ty: self.int_ty() },
+                                Operand::ConstInt {
+                                    value: 0,
+                                    ty: self.int_ty(),
+                                },
                                 v,
                             ),
                             TypeAst::Int,
@@ -557,7 +636,13 @@ impl<'p> Lowerer<'p> {
                     UnOpAst::Not => {
                         let b = self.coerce(v, &ty, &TypeAst::Bool)?;
                         Ok((
-                            self.fb.binop(self.cur, BinOp::Xor, Ty::I1, b, Operand::const_bool(true)),
+                            self.fb.binop(
+                                self.cur,
+                                BinOp::Xor,
+                                Ty::I1,
+                                b,
+                                Operand::const_bool(true),
+                            ),
                             TypeAst::Bool,
                         ))
                     }
@@ -594,7 +679,11 @@ impl<'p> Lowerer<'p> {
                     && common == TypeAst::Int
                     && matches!(op, BinOpAst::Div | BinOpAst::Rem)
                 {
-                    let helper = if *op == BinOpAst::Div { "jv_div" } else { "jv_rem" };
+                    let helper = if *op == BinOpAst::Div {
+                        "jv_div"
+                    } else {
+                        "jv_rem"
+                    };
                     let v = self
                         .fb
                         .call(self.cur, helper, Ty::I32, vec![lv, rv])
@@ -621,10 +710,13 @@ impl<'p> Lowerer<'p> {
                 if self.style == Style::Clang {
                     return self.err("len() is not available in MiniC");
                 }
-                let local = self
-                    .lookup(name)
-                    .ok_or_else(|| self.err::<()>(format!("unknown array `{name}`")).unwrap_err())?;
-                let arr = self.fb.load(self.cur, lir_ty(&local.ty, self.style), local.ptr);
+                let local = self.lookup(name).ok_or_else(|| {
+                    self.err::<()>(format!("unknown array `{name}`"))
+                        .unwrap_err()
+                })?;
+                let arr = self
+                    .fb
+                    .load(self.cur, lir_ty(&local.ty, self.style), local.ptr);
                 let trap = self.trap_block();
                 let is_null = self.fb.icmp(
                     self.cur,
@@ -637,7 +729,9 @@ impl<'p> Lowerer<'p> {
                 self.fb.cond_br(self.cur, is_null, trap, ok);
                 self.cur = ok;
                 let len = self.fb.load(self.cur, Ty::I64, arr);
-                let len32 = self.fb.cast(self.cur, CastKind::Trunc, len, Ty::I64, Ty::I32);
+                let len32 = self
+                    .fb
+                    .cast(self.cur, CastKind::Trunc, len, Ty::I64, Ty::I32);
                 Ok((len32, TypeAst::Int))
             }
             Expr::Ternary(c, a, b) => {
@@ -689,7 +783,9 @@ impl<'p> Lowerer<'p> {
         self.fb.br(r_end, merge_bb);
         self.cur = merge_bb;
         let short_val = Operand::const_bool(op == BinOpAst::Or);
-        let ph = self.fb.phi(self.cur, Ty::I1, vec![(short_val, l_end), (rv, r_end)]);
+        let ph = self
+            .fb
+            .phi(self.cur, Ty::I1, vec![(short_val, l_end), (rv, r_end)]);
         Ok((ph, TypeAst::Bool))
     }
 
@@ -722,7 +818,11 @@ impl<'p> Lowerer<'p> {
                     let (b, bty) = self.expr(&args[1])?;
                     let a = self.coerce(a, &aty, &TypeAst::Int)?;
                     let b = self.coerce(b, &bty, &TypeAst::Int)?;
-                    let pred = if name == "min" { IcmpPred::Slt } else { IcmpPred::Sgt };
+                    let pred = if name == "min" {
+                        IcmpPred::Slt
+                    } else {
+                        IcmpPred::Sgt
+                    };
                     let c = self.fb.icmp(self.cur, pred, Ty::I64, a.clone(), b.clone());
                     let r = self.fb.select(self.cur, Ty::I64, c, a, b);
                     return Ok((r, TypeAst::Int));
@@ -775,22 +875,46 @@ fn java_runtime_sigs() -> Vec<(String, Sig)> {
     vec![
         (
             "jv_div".into(),
-            Sig { params: vec![int.clone(), int.clone()], ret: int.clone() },
+            Sig {
+                params: vec![int.clone(), int.clone()],
+                ret: int.clone(),
+            },
         ),
         (
             "jv_rem".into(),
-            Sig { params: vec![int.clone(), int.clone()], ret: int.clone() },
+            Sig {
+                params: vec![int.clone(), int.clone()],
+                ret: int.clone(),
+            },
         ),
-        ("jv_abs".into(), Sig { params: vec![int.clone()], ret: int.clone() }),
+        (
+            "jv_abs".into(),
+            Sig {
+                params: vec![int.clone()],
+                ret: int.clone(),
+            },
+        ),
         (
             "jv_min".into(),
-            Sig { params: vec![int.clone(), int.clone()], ret: int.clone() },
+            Sig {
+                params: vec![int.clone(), int.clone()],
+                ret: int.clone(),
+            },
         ),
         (
             "jv_max".into(),
-            Sig { params: vec![int.clone(), int.clone()], ret: int.clone() },
+            Sig {
+                params: vec![int.clone(), int.clone()],
+                ret: int.clone(),
+            },
         ),
-        ("jv_println".into(), Sig { params: vec![int.clone()], ret: TypeAst::Void }),
+        (
+            "jv_println".into(),
+            Sig {
+                params: vec![int.clone()],
+                ret: TypeAst::Void,
+            },
+        ),
     ]
 }
 
@@ -805,14 +929,22 @@ fn emit_java_runtime(module: &mut Module) {
         let trap = fb.add_block();
         let ok = fb.add_block();
         let n = fb.param_operand(0);
-        let isneg = fb.icmp(bb0, IcmpPred::Slt, Ty::I32, n.clone(), Operand::const_i32(0));
+        let isneg = fb.icmp(
+            bb0,
+            IcmpPred::Slt,
+            Ty::I32,
+            n.clone(),
+            Operand::const_i32(0),
+        );
         fb.cond_br(bb0, isneg, trap, ok);
         fb.call(trap, "rt_trap", Ty::Void, vec![]);
         fb.push(trap, gbm_lir::InstKind::Unreachable);
         let n64 = fb.cast(ok, CastKind::Sext, n, Ty::I32, Ty::I64);
         let bytes = fb.binop(ok, BinOp::Mul, Ty::I64, n64.clone(), Operand::const_i64(8));
         let total = fb.binop(ok, BinOp::Add, Ty::I64, bytes, Operand::const_i64(8));
-        let raw = fb.call(ok, "rt_alloc", Ty::I64.ptr(), vec![total]).expect("alloc");
+        let raw = fb
+            .call(ok, "rt_alloc", Ty::I64.ptr(), vec![total])
+            .expect("alloc");
         fb.store(ok, Ty::I64, n64, raw.clone());
         fb.ret(ok, Some(raw));
         module.push_function(fb.finish());
@@ -839,7 +971,13 @@ fn emit_java_runtime(module: &mut Module) {
         let bb0 = fb.entry_block();
         let x = fb.param_operand(0);
         let neg = fb.binop(bb0, BinOp::Sub, Ty::I32, Operand::const_i32(0), x.clone());
-        let isneg = fb.icmp(bb0, IcmpPred::Slt, Ty::I32, x.clone(), Operand::const_i32(0));
+        let isneg = fb.icmp(
+            bb0,
+            IcmpPred::Slt,
+            Ty::I32,
+            x.clone(),
+            Operand::const_i32(0),
+        );
         let r = fb.select(bb0, Ty::I32, isneg, neg, x);
         fb.ret(bb0, Some(r));
         module.push_function(fb.finish());
@@ -937,15 +1075,27 @@ mod tests {
     fn c_short_circuit_does_not_evaluate_rhs() {
         // rhs would divide by zero — short-circuit must skip it
         let m = compile_c("int f(int x) { if (x != 0 && 10 / x > 1) { return 1; } return 0; }");
-        assert_eq!(run_function(&m, "f", &[0], 1000).unwrap().ret, Some(Val::I(0)));
-        assert_eq!(run_function(&m, "f", &[4], 1000).unwrap().ret, Some(Val::I(1)));
+        assert_eq!(
+            run_function(&m, "f", &[0], 1000).unwrap().ret,
+            Some(Val::I(0))
+        );
+        assert_eq!(
+            run_function(&m, "f", &[4], 1000).unwrap().ret,
+            Some(Val::I(1))
+        );
     }
 
     #[test]
     fn c_ternary_and_builtins() {
         let m = compile_c("int f(int x) { return max(abs(x), 3) + (x > 0 ? 1 : 2); }");
-        assert_eq!(run_function(&m, "f", &[-10], 1000).unwrap().ret, Some(Val::I(12)));
-        assert_eq!(run_function(&m, "f", &[1], 1000).unwrap().ret, Some(Val::I(4)));
+        assert_eq!(
+            run_function(&m, "f", &[-10], 1000).unwrap().ret,
+            Some(Val::I(12))
+        );
+        assert_eq!(
+            run_function(&m, "f", &[1], 1000).unwrap().ret,
+            Some(Val::I(4))
+        );
     }
 
     #[test]
@@ -962,13 +1112,19 @@ mod tests {
                 return s;
             }",
         );
-        assert_eq!(run_function(&m, "main", &[], 10_000).unwrap().ret, Some(Val::I(25)));
+        assert_eq!(
+            run_function(&m, "main", &[], 10_000).unwrap().ret,
+            Some(Val::I(25))
+        );
     }
 
     #[test]
     fn c_recursion() {
         let m = compile_c("int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }");
-        assert_eq!(run_function(&m, "fact", &[6], 10_000).unwrap().ret, Some(Val::I(720)));
+        assert_eq!(
+            run_function(&m, "fact", &[6], 10_000).unwrap().ret,
+            Some(Val::I(720))
+        );
     }
 
     #[test]
@@ -1016,10 +1172,16 @@ mod tests {
                 }
             }",
         );
-        assert_eq!(run_function(&m, "A_get", &[1], 10_000).unwrap().ret, Some(Val::I(20)));
+        assert_eq!(
+            run_function(&m, "A_get", &[1], 10_000).unwrap().ret,
+            Some(Val::I(20))
+        );
         // out-of-bounds traps (Java semantics), unlike MiniC
         let err = run_function(&m, "A_get", &[7], 10_000).unwrap_err();
-        assert!(matches!(err, gbm_lir::interp::ExecError::Trap(_)), "{err:?}");
+        assert!(
+            matches!(err, gbm_lir::interp::ExecError::Trap(_)),
+            "{err:?}"
+        );
         let err = run_function(&m, "A_get", &[-1], 10_000).unwrap_err();
         assert!(matches!(err, gbm_lir::interp::ExecError::Trap(_)));
     }
@@ -1027,7 +1189,10 @@ mod tests {
     #[test]
     fn java_division_traps_on_zero() {
         let m = compile_java("class B { static int d(int a, int b) { return a / b; } }");
-        assert_eq!(run_function(&m, "B_d", &[10, 3], 10_000).unwrap().ret, Some(Val::I(3)));
+        assert_eq!(
+            run_function(&m, "B_d", &[10, 3], 10_000).unwrap().ret,
+            Some(Val::I(3))
+        );
         let err = run_function(&m, "B_d", &[10, 0], 10_000).unwrap_err();
         assert!(matches!(err, gbm_lir::interp::ExecError::Trap(_)));
     }
@@ -1035,14 +1200,18 @@ mod tests {
     #[test]
     fn java_int_is_32_bit() {
         // 2^31 overflows in Java but not in MiniC
-        let j = compile_java(
-            "class C { static int big() { int x = 2000000000; return x + x; } }",
-        );
+        let j = compile_java("class C { static int big() { int x = 2000000000; return x + x; } }");
         let out = run_function(&j, "C_big", &[], 10_000).unwrap();
-        assert_eq!(out.ret, Some(Val::I((2_000_000_000i64 + 2_000_000_000) as i32 as i64)));
+        assert_eq!(
+            out.ret,
+            Some(Val::I((2_000_000_000i64 + 2_000_000_000) as i32 as i64))
+        );
 
         let c = compile_c("int big() { int x = 2000000000; return x + x; }");
-        assert_eq!(run_function(&c, "big", &[], 10_000).unwrap().ret, Some(Val::I(4_000_000_000)));
+        assert_eq!(
+            run_function(&c, "big", &[], 10_000).unwrap().ret,
+            Some(Val::I(4_000_000_000))
+        );
     }
 
     #[test]
@@ -1055,7 +1224,10 @@ mod tests {
                 }
             }",
         );
-        assert_eq!(run_function(&m, "D_f", &[], 10_000).unwrap().ret, Some(Val::I(12)));
+        assert_eq!(
+            run_function(&m, "D_f", &[], 10_000).unwrap().ret,
+            Some(Val::I(12))
+        );
     }
 
     #[test]
@@ -1095,7 +1267,10 @@ mod tests {
                 return s;
             }",
         );
-        assert_eq!(run_function(&m, "main", &[], 10_000).unwrap().ret, Some(Val::I(15)));
+        assert_eq!(
+            run_function(&m, "main", &[], 10_000).unwrap().ret,
+            Some(Val::I(15))
+        );
         assert!(m.to_text().contains("rt_alloc"));
     }
 

@@ -43,7 +43,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
-        Err(FrontendError { line: self.line(), message: msg.into() })
+        Err(FrontendError {
+            line: self.line(),
+            message: msg.into(),
+        })
     }
 
     fn eat_punct(&mut self, p: &str) -> bool {
@@ -124,7 +127,12 @@ impl Parser {
             }
         }
         let body = self.block()?;
-        Ok(FuncDecl { name, params, ret, body })
+        Ok(FuncDecl {
+            name,
+            params,
+            ret,
+            body,
+        })
     }
 
     fn block(&mut self) -> PResult<Vec<Stmt>> {
@@ -158,7 +166,11 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let then = self.block_or_stmt()?;
-            let els = if self.eat_kw("else") { self.block_or_stmt()? } else { vec![] };
+            let els = if self.eat_kw("else") {
+                self.block_or_stmt()?
+            } else {
+                vec![]
+            };
             return Ok(Stmt::If { cond, then, els });
         }
         if self.eat_kw("while") {
@@ -173,11 +185,19 @@ impl Parser {
             let init = if self.eat_punct(";") {
                 None
             } else {
-                let s = if self.peek_is_type() { self.decl()? } else { self.simple_stmt()? };
+                let s = if self.peek_is_type() {
+                    self.decl()?
+                } else {
+                    self.simple_stmt()?
+                };
                 self.expect_punct(";")?;
                 Some(Box::new(s))
             };
-            let cond = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            let cond = if matches!(self.peek(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
             let step = if matches!(self.peek(), Tok::Punct(")")) {
                 None
@@ -186,10 +206,19 @@ impl Parser {
             };
             self.expect_punct(")")?;
             let body = self.block_or_stmt()?;
-            return Ok(Stmt::For { init, cond, step, body });
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
         }
         if self.eat_kw("return") {
-            let val = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            let val = if matches!(self.peek(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
             return Ok(Stmt::Return(val));
         }
@@ -223,10 +252,22 @@ impl Parser {
         if self.eat_punct("[") {
             let len = self.expr()?;
             self.expect_punct("]")?;
-            return Ok(Stmt::DeclArray { name, elem: base, len });
+            return Ok(Stmt::DeclArray {
+                name,
+                elem: base,
+                len,
+            });
         }
-        let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
-        Ok(Stmt::Decl { name, ty: base, init })
+        let init = if self.eat_punct("=") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Decl {
+            name,
+            ty: base,
+            init,
+        })
     }
 
     /// Assignment / compound assignment / increment / call, without `;`.
@@ -276,14 +317,25 @@ impl Parser {
             }
         }
         if self.eat_punct("++") {
-            let value = Expr::Binary(BinOpAst::Add, Box::new(read_back()), Box::new(Expr::IntLit(1)));
+            let value = Expr::Binary(
+                BinOpAst::Add,
+                Box::new(read_back()),
+                Box::new(Expr::IntLit(1)),
+            );
             return Ok(Stmt::Assign { target, value });
         }
         if self.eat_punct("--") {
-            let value = Expr::Binary(BinOpAst::Sub, Box::new(read_back()), Box::new(Expr::IntLit(1)));
+            let value = Expr::Binary(
+                BinOpAst::Sub,
+                Box::new(read_back()),
+                Box::new(Expr::IntLit(1)),
+            );
             return Ok(Stmt::Assign { target, value });
         }
-        self.err(format!("expected assignment operator, found `{}`", self.peek()))
+        self.err(format!(
+            "expected assignment operator, found `{}`",
+            self.peek()
+        ))
     }
 
     fn call_args(&mut self) -> PResult<Vec<Expr>> {
@@ -486,7 +538,9 @@ mod tests {
         assert_eq!(f.params[0].1, TypeAst::int_array());
         match &f.body[0] {
             Stmt::If { cond, .. } => {
-                assert!(matches!(cond, Expr::Binary(BinOpAst::Gt, l, _) if matches!(**l, Expr::Len(_))));
+                assert!(
+                    matches!(cond, Expr::Binary(BinOpAst::Gt, l, _) if matches!(**l, Expr::Len(_)))
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -497,7 +551,13 @@ mod tests {
         let src = "void f() { int buf[10]; buf[3] = 7; }";
         let prog = parse(src).unwrap();
         assert!(matches!(&prog.funcs[0].body[0], Stmt::DeclArray { .. }));
-        assert!(matches!(&prog.funcs[0].body[1], Stmt::Assign { target: LValue::Index(..), .. }));
+        assert!(matches!(
+            &prog.funcs[0].body[1],
+            Stmt::Assign {
+                target: LValue::Index(..),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -525,11 +585,17 @@ mod tests {
         let src = "void f() { int x = 1; x *= 3; x--; }";
         let prog = parse(src).unwrap();
         match &prog.funcs[0].body[1] {
-            Stmt::Assign { value: Expr::Binary(BinOpAst::Mul, ..), .. } => {}
+            Stmt::Assign {
+                value: Expr::Binary(BinOpAst::Mul, ..),
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
         match &prog.funcs[0].body[2] {
-            Stmt::Assign { value: Expr::Binary(BinOpAst::Sub, ..), .. } => {}
+            Stmt::Assign {
+                value: Expr::Binary(BinOpAst::Sub, ..),
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }
@@ -538,7 +604,10 @@ mod tests {
     fn print_statement() {
         let src = "void f() { print(42); }";
         let prog = parse(src).unwrap();
-        assert!(matches!(&prog.funcs[0].body[0], Stmt::Print(Expr::IntLit(42))));
+        assert!(matches!(
+            &prog.funcs[0].body[0],
+            Stmt::Print(Expr::IntLit(42))
+        ));
     }
 
     #[test]

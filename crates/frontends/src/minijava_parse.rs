@@ -53,7 +53,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
-        Err(FrontendError { line: self.line(), message: msg.into() })
+        Err(FrontendError {
+            line: self.line(),
+            message: msg.into(),
+        })
     }
 
     fn eat_punct(&mut self, p: &str) -> bool {
@@ -162,7 +165,12 @@ impl Parser {
         }
         let body = self.block()?;
         let mangled = format!("{}_{}", self.class, name);
-        Ok(FuncDecl { name: mangled, params, ret, body })
+        Ok(FuncDecl {
+            name: mangled,
+            params,
+            ret,
+            body,
+        })
     }
 
     fn block(&mut self) -> PResult<Vec<Stmt>> {
@@ -196,7 +204,11 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let then = self.block_or_stmt()?;
-            let els = if self.eat_kw("else") { self.block_or_stmt()? } else { vec![] };
+            let els = if self.eat_kw("else") {
+                self.block_or_stmt()?
+            } else {
+                vec![]
+            };
             return Ok(Stmt::If { cond, then, els });
         }
         if self.eat_kw("while") {
@@ -211,11 +223,19 @@ impl Parser {
             let init = if self.eat_punct(";") {
                 None
             } else {
-                let s = if self.peek_is_base_type() { self.decl()? } else { self.simple_stmt()? };
+                let s = if self.peek_is_base_type() {
+                    self.decl()?
+                } else {
+                    self.simple_stmt()?
+                };
                 self.expect_punct(";")?;
                 Some(Box::new(s))
             };
-            let cond = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            let cond = if matches!(self.peek(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
             let step = if matches!(self.peek(), Tok::Punct(")")) {
                 None
@@ -224,10 +244,19 @@ impl Parser {
             };
             self.expect_punct(")")?;
             let body = self.block_or_stmt()?;
-            return Ok(Stmt::For { init, cond, step, body });
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
         }
         if self.eat_kw("return") {
-            let val = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            let val = if matches!(self.peek(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
             return Ok(Stmt::Return(val));
         }
@@ -279,7 +308,11 @@ impl Parser {
             self.expect_punct("]")?;
             return Ok(Stmt::DeclArray { name, elem, len });
         }
-        let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+        let init = if self.eat_punct("=") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Stmt::Decl { name, ty, init })
     }
 
@@ -301,7 +334,10 @@ impl Parser {
         if matches!(self.peek(), Tok::Punct("(")) {
             self.bump();
             let args = self.call_args()?;
-            return Ok(Stmt::ExprStmt(Expr::Call(format!("{}_{}", self.class, name), args)));
+            return Ok(Stmt::ExprStmt(Expr::Call(
+                format!("{}_{}", self.class, name),
+                args,
+            )));
         }
 
         let target = if self.eat_punct("[") {
@@ -334,14 +370,25 @@ impl Parser {
             }
         }
         if self.eat_punct("++") {
-            let value = Expr::Binary(BinOpAst::Add, Box::new(read_back()), Box::new(Expr::IntLit(1)));
+            let value = Expr::Binary(
+                BinOpAst::Add,
+                Box::new(read_back()),
+                Box::new(Expr::IntLit(1)),
+            );
             return Ok(Stmt::Assign { target, value });
         }
         if self.eat_punct("--") {
-            let value = Expr::Binary(BinOpAst::Sub, Box::new(read_back()), Box::new(Expr::IntLit(1)));
+            let value = Expr::Binary(
+                BinOpAst::Sub,
+                Box::new(read_back()),
+                Box::new(Expr::IntLit(1)),
+            );
             return Ok(Stmt::Assign { target, value });
         }
-        self.err(format!("expected assignment operator, found `{}`", self.peek()))
+        self.err(format!(
+            "expected assignment operator, found `{}`",
+            self.peek()
+        ))
     }
 
     fn qualified_call(&self, qualifier: &str, method: &str, args: Vec<Expr>) -> PResult<Expr> {
@@ -531,7 +578,11 @@ impl Parser {
 /// Parses a MiniJava compilation unit (one or more classes).
 pub fn parse(src: &str) -> Result<Program, FrontendError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, class: String::new() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        class: String::new(),
+    };
     let mut prog = Program::default();
     while !matches!(p.peek(), Tok::Eof) {
         p.class(&mut prog)?;
@@ -588,7 +639,13 @@ class A {
 "#;
         let prog = parse(src).unwrap();
         let f = prog.func("A_f").unwrap();
-        assert!(matches!(&f.body[0], Stmt::DeclArray { elem: TypeAst::Int, .. }));
+        assert!(matches!(
+            &f.body[0],
+            Stmt::DeclArray {
+                elem: TypeAst::Int,
+                ..
+            }
+        ));
         match &f.body[2] {
             Stmt::Return(Some(Expr::Binary(BinOpAst::Add, l, r))) => {
                 assert!(matches!(**l, Expr::Index(..)));

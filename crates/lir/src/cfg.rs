@@ -7,7 +7,9 @@ use crate::module::{BlockId, Function, InstKind};
 pub fn successors(f: &Function, bb: BlockId) -> Vec<BlockId> {
     match f.blocks[bb.0 as usize].terminator().map(|t| &t.kind) {
         Some(InstKind::Br { target }) => vec![*target],
-        Some(InstKind::CondBr { then_bb, else_bb, .. }) => {
+        Some(InstKind::CondBr {
+            then_bb, else_bb, ..
+        }) => {
             if then_bb == else_bb {
                 vec![*then_bb]
             } else {
@@ -159,7 +161,13 @@ mod tests {
         let bb2 = fb.add_block();
         let bb3 = fb.add_block();
         let p = fb.param_operand(0);
-        let c = fb.icmp(bb0, IcmpPred::Sgt, Ty::I64, p.clone(), Operand::const_i64(0));
+        let c = fb.icmp(
+            bb0,
+            IcmpPred::Sgt,
+            Ty::I64,
+            p.clone(),
+            Operand::const_i64(0),
+        );
         fb.cond_br(bb0, c, bb1, bb2);
         fb.br(bb1, bb3);
         fb.br(bb2, bb3);

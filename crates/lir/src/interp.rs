@@ -11,9 +11,7 @@
 
 use std::collections::HashMap;
 
-use crate::module::{
-    BinOp, BlockId, CastKind, GlobalInit, InstKind, Module, Operand, ValueId,
-};
+use crate::module::{BinOp, BlockId, CastKind, GlobalInit, InstKind, Module, Operand, ValueId};
 use crate::types::Ty;
 
 /// A runtime value: integer/pointer (`I`) or double (`F`).
@@ -125,23 +123,34 @@ impl<'m> Interp<'m> {
             }
             mem.extend_from_slice(&bytes);
             // 8-byte align the next global
-            while mem.len() % 8 != 0 {
+            while !mem.len().is_multiple_of(8) {
                 mem.push(0);
             }
         }
-        Interp { module, mem, globals, fuel, executed: 0, output: Vec::new() }
+        Interp {
+            module,
+            mem,
+            globals,
+            fuel,
+            executed: 0,
+            output: Vec::new(),
+        }
     }
 
     /// Runs `name(args)` to completion.
     pub fn run(mut self, name: &str, args: &[Val]) -> Result<Outcome, ExecError> {
         let ret = self.call(name, args, 0)?;
-        Ok(Outcome { ret, output: self.output, executed: self.executed })
+        Ok(Outcome {
+            ret,
+            output: self.output,
+            executed: self.executed,
+        })
     }
 
     fn alloc(&mut self, bytes: usize) -> i64 {
         let addr = self.mem.len() as i64;
         self.mem.extend(std::iter::repeat_n(0u8, bytes.max(1)));
-        while self.mem.len() % 8 != 0 {
+        while !self.mem.len().is_multiple_of(8) {
             self.mem.push(0);
         }
         addr
@@ -313,7 +322,11 @@ impl<'m> Interp<'m> {
                         next = Some((*target, block));
                         break;
                     }
-                    InstKind::CondBr { cond, then_bb, else_bb } => {
+                    InstKind::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
                         let c = self.operand(cond, &vals)?.as_i();
                         next = Some((if c != 0 { *then_bb } else { *else_bb }, block));
                         break;
@@ -324,7 +337,11 @@ impl<'m> Interp<'m> {
                             None => Ok(None),
                         };
                     }
-                    InstKind::Call { callee, args: call_args, .. } => {
+                    InstKind::Call {
+                        callee,
+                        args: call_args,
+                        ..
+                    } => {
                         let mut av = Vec::with_capacity(call_args.len());
                         for a in call_args {
                             av.push(self.operand(a, &vals)?);
@@ -335,13 +352,22 @@ impl<'m> Interp<'m> {
                                 Some(r.ok_or_else(|| ExecError::Trap("void call result".into()))?);
                         }
                     }
-                    InstKind::Gep { elem_ty, base, index } => {
+                    InstKind::Gep {
+                        elem_ty,
+                        base,
+                        index,
+                    } => {
                         let b = self.operand(base, &vals)?.as_i();
                         let i = self.operand(index, &vals)?.as_i();
                         let addr = b.wrapping_add(i.wrapping_mul(elem_ty.size_bytes() as i64));
                         vals[inst.result.unwrap().0 as usize] = Some(Val::I(addr));
                     }
-                    InstKind::Select { cond, then_v, else_v, .. } => {
+                    InstKind::Select {
+                        cond,
+                        then_v,
+                        else_v,
+                        ..
+                    } => {
                         let c = self.operand(cond, &vals)?.as_i();
                         let v = if c != 0 {
                             self.operand(then_v, &vals)?
@@ -350,7 +376,12 @@ impl<'m> Interp<'m> {
                         };
                         vals[inst.result.unwrap().0 as usize] = Some(v);
                     }
-                    InstKind::Cast { kind, val, from, to } => {
+                    InstKind::Cast {
+                        kind,
+                        val,
+                        from,
+                        to,
+                    } => {
                         let v = self.operand(val, &vals)?;
                         let out = eval_cast(*kind, v, from, to);
                         vals[inst.result.unwrap().0 as usize] = Some(out);
@@ -372,8 +403,9 @@ impl<'m> Interp<'m> {
 
     fn operand(&self, op: &Operand, vals: &[Option<Val>]) -> Result<Val, ExecError> {
         match op {
-            Operand::Value(v) => vals[v.0 as usize]
-                .ok_or_else(|| ExecError::Trap(format!("read of unset %{}", v.0))),
+            Operand::Value(v) => {
+                vals[v.0 as usize].ok_or_else(|| ExecError::Trap(format!("read of unset %{}", v.0)))
+            }
             Operand::ConstInt { value, .. } => Ok(Val::I(*value)),
             Operand::ConstF64(x) => Ok(Val::F(*x)),
             Operand::Global(name) => self
@@ -437,14 +469,16 @@ fn eval_cast(kind: CastKind, v: Val, from: &Ty, to: &Ty) -> Val {
             // reinterpret bits across the int/float divide (decompiled code
             // moves doubles through integer registers)
             (Ty::F64, t) if t.is_int() || t.is_ptr() => Val::I(v.as_f().to_bits() as i64),
-            (f, Ty::F64) if f.is_int() || f.is_ptr() => {
-                Val::F(f64::from_bits(v.as_i() as u64))
-            }
+            (f, Ty::F64) if f.is_int() || f.is_ptr() => Val::F(f64::from_bits(v.as_i() as u64)),
             _ => v,
         },
         CastKind::Zext => {
             let bits = from.bits().unwrap_or(64);
-            let mask = if bits >= 64 { -1i64 } else { (1i64 << bits) - 1 };
+            let mask = if bits >= 64 {
+                -1i64
+            } else {
+                (1i64 << bits) - 1
+            };
             Val::I(v.as_i() & mask)
         }
         CastKind::Sext => Val::I(normalize(v.as_i(), from)),
@@ -536,8 +570,14 @@ mod tests {
         let ph = fb.phi(bb3, Ty::I64, vec![(d1, bb1), (d2, bb2)]);
         fb.ret(bb3, Some(ph));
         m.push_function(fb.finish());
-        assert_eq!(run_function(&m, "absdiff", &[3, 10], 100).unwrap().ret, Some(Val::I(7)));
-        assert_eq!(run_function(&m, "absdiff", &[10, 3], 100).unwrap().ret, Some(Val::I(7)));
+        assert_eq!(
+            run_function(&m, "absdiff", &[3, 10], 100).unwrap().ret,
+            Some(Val::I(7))
+        );
+        assert_eq!(
+            run_function(&m, "absdiff", &[10, 3], 100).unwrap().ret,
+            Some(Val::I(7))
+        );
     }
 
     #[test]
@@ -545,7 +585,9 @@ mod tests {
         let mut m = Module::new("t");
         let mut fb = FunctionBuilder::new("main", vec![], Ty::I64);
         let bb = fb.entry_block();
-        let buf = fb.call(bb, "rt_alloc", Ty::I64, vec![Operand::const_i64(16)]).unwrap();
+        let buf = fb
+            .call(bb, "rt_alloc", Ty::I64, vec![Operand::const_i64(16)])
+            .unwrap();
         fb.store(bb, Ty::I64, Operand::const_i64(99), buf.clone());
         let v = fb.load(bb, Ty::I64, buf);
         fb.call(bb, "rt_print_i64", Ty::Void, vec![v.clone()]);
@@ -565,7 +607,10 @@ mod tests {
         fb.br(bb0, bb1);
         fb.br(bb1, bb1);
         m.push_function(fb.finish());
-        assert_eq!(run_function(&m, "spin", &[], 100).unwrap_err(), ExecError::OutOfFuel);
+        assert_eq!(
+            run_function(&m, "spin", &[], 100).unwrap_err(),
+            ExecError::OutOfFuel
+        );
     }
 
     #[test]
@@ -577,8 +622,14 @@ mod tests {
         let r = fb.binop(bb, BinOp::SDiv, Ty::I64, Operand::const_i64(10), p);
         fb.ret(bb, Some(r));
         m.push_function(fb.finish());
-        assert_eq!(run_function(&m, "d", &[0], 100).unwrap_err(), ExecError::DivByZero);
-        assert_eq!(run_function(&m, "d", &[2], 100).unwrap().ret, Some(Val::I(5)));
+        assert_eq!(
+            run_function(&m, "d", &[0], 100).unwrap_err(),
+            ExecError::DivByZero
+        );
+        assert_eq!(
+            run_function(&m, "d", &[2], 100).unwrap().ret,
+            Some(Val::I(5))
+        );
     }
 
     #[test]
@@ -586,7 +637,14 @@ mod tests {
         let mut m = Module::new("t");
         let mut fb = FunctionBuilder::new("n", vec![], Ty::I64);
         let bb = fb.entry_block();
-        let v = fb.load(bb, Ty::I64, Operand::ConstInt { value: 0, ty: Ty::I64.ptr() });
+        let v = fb.load(
+            bb,
+            Ty::I64,
+            Operand::ConstInt {
+                value: 0,
+                ty: Ty::I64.ptr(),
+            },
+        );
         fb.ret(bb, Some(v));
         m.push_function(fb.finish());
         assert!(matches!(
@@ -604,7 +662,13 @@ mod tests {
         let rec = fb.add_block();
         let base = fb.add_block();
         let n = fb.param_operand(0);
-        let c = fb.icmp(bb0, IcmpPred::Slt, Ty::I64, n.clone(), Operand::const_i64(2));
+        let c = fb.icmp(
+            bb0,
+            IcmpPred::Slt,
+            Ty::I64,
+            n.clone(),
+            Operand::const_i64(2),
+        );
         fb.cond_br(bb0, c, base, rec);
         fb.ret(base, Some(n.clone()));
         let n1 = fb.binop(rec, BinOp::Sub, Ty::I64, n.clone(), Operand::const_i64(1));
@@ -614,7 +678,10 @@ mod tests {
         let s = fb.binop(rec, BinOp::Add, Ty::I64, f1, f2);
         fb.ret(rec, Some(s));
         m.push_function(fb.finish());
-        assert_eq!(run_function(&m, "fib", &[10], 100_000).unwrap().ret, Some(Val::I(55)));
+        assert_eq!(
+            run_function(&m, "fib", &[10], 100_000).unwrap().ret,
+            Some(Val::I(55))
+        );
     }
 
     #[test]
@@ -638,8 +705,14 @@ mod tests {
         let v = fb.load(bb, Ty::I64, p);
         fb.ret(bb, Some(v));
         m.push_function(fb.finish());
-        assert_eq!(run_function(&m, "g", &[1], 100).unwrap().ret, Some(Val::I(6)));
-        assert_eq!(run_function(&m, "g", &[2], 100).unwrap().ret, Some(Val::I(7)));
+        assert_eq!(
+            run_function(&m, "g", &[1], 100).unwrap().ret,
+            Some(Val::I(6))
+        );
+        assert_eq!(
+            run_function(&m, "g", &[2], 100).unwrap().ret,
+            Some(Val::I(7))
+        );
     }
 
     #[test]
@@ -655,8 +728,14 @@ mod tests {
         fb.ret(bb, Some(d));
         m.push_function(fb.finish());
         // 0xFF: zext = 255, sext = -1 ⇒ diff = 256
-        assert_eq!(run_function(&m, "c", &[255], 100).unwrap().ret, Some(Val::I(256)));
+        assert_eq!(
+            run_function(&m, "c", &[255], 100).unwrap().ret,
+            Some(Val::I(256))
+        );
         // 0x7F: both 127 ⇒ 0
-        assert_eq!(run_function(&m, "c", &[127], 100).unwrap().ret, Some(Val::I(0)));
+        assert_eq!(
+            run_function(&m, "c", &[127], 100).unwrap().ret,
+            Some(Val::I(0))
+        );
     }
 }

@@ -45,10 +45,10 @@ mod types;
 mod verify;
 
 pub use module::{
-    BinOp, Block, BlockId, CastKind, Function, FunctionBuilder, Global, GlobalInit, IcmpPred,
-    Inst, InstKind, Module, Operand, ValueId,
+    BinOp, Block, BlockId, CastKind, Function, FunctionBuilder, Global, GlobalInit, IcmpPred, Inst,
+    InstKind, Module, Operand, ValueId,
 };
-pub use printer::{operand_ty, print_function, print_inst};
 pub use parser::{parse_module, ParseError};
+pub use printer::{operand_ty, print_function, print_inst};
 pub use types::Ty;
 pub use verify::{verify_module, VerifyError};

@@ -42,7 +42,10 @@ impl Operand {
 
     /// `i1` boolean constant.
     pub fn const_bool(value: bool) -> Operand {
-        Operand::ConstInt { value: value as i64, ty: Ty::I1 }
+        Operand::ConstInt {
+            value: value as i64,
+            ty: Ty::I1,
+        }
     }
 
     /// The SSA value this operand references, if any.
@@ -115,7 +118,10 @@ impl BinOp {
 
     /// True when `op x y == op y x`.
     pub fn commutative(&self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        )
     }
 }
 
@@ -385,7 +391,12 @@ impl InstKind {
             InstKind::Call { args, .. } => args.iter().collect(),
             InstKind::Phi { incomings, .. } => incomings.iter().map(|(v, _)| v).collect(),
             InstKind::Gep { base, index, .. } => vec![base, index],
-            InstKind::Select { cond, then_v, else_v, .. } => vec![cond, then_v, else_v],
+            InstKind::Select {
+                cond,
+                then_v,
+                else_v,
+                ..
+            } => vec![cond, then_v, else_v],
             InstKind::Cast { val, .. } => vec![val],
         }
     }
@@ -402,7 +413,12 @@ impl InstKind {
             InstKind::Call { args, .. } => args.iter_mut().collect(),
             InstKind::Phi { incomings, .. } => incomings.iter_mut().map(|(v, _)| v).collect(),
             InstKind::Gep { base, index, .. } => vec![base, index],
-            InstKind::Select { cond, then_v, else_v, .. } => vec![cond, then_v, else_v],
+            InstKind::Select {
+                cond,
+                then_v,
+                else_v,
+                ..
+            } => vec![cond, then_v, else_v],
             InstKind::Cast { val, .. } => vec![val],
         }
     }
@@ -522,9 +538,12 @@ impl Function {
 
     /// Iterates `(block_id, inst_index, inst)` over the whole body.
     pub fn iter_insts(&self) -> impl Iterator<Item = (BlockId, usize, &Inst)> {
-        self.blocks
-            .iter()
-            .flat_map(|b| b.insts.iter().enumerate().map(move |(i, inst)| (b.id, i, inst)))
+        self.blocks.iter().flat_map(|b| {
+            b.insts
+                .iter()
+                .enumerate()
+                .map(move |(i, inst)| (b.id, i, inst))
+        })
     }
 }
 
@@ -542,7 +561,11 @@ pub struct Module {
 impl Module {
     /// Empty module.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), globals: Vec::new(), functions: Vec::new() }
+        Module {
+            name: name.into(),
+            globals: Vec::new(),
+            functions: Vec::new(),
+        }
     }
 
     /// Appends a function.
@@ -582,7 +605,10 @@ impl FunctionBuilder {
             name: name.into(),
             params,
             ret_ty,
-            blocks: vec![Block { id: BlockId(0), insts: Vec::new() }],
+            blocks: vec![Block {
+                id: BlockId(0),
+                insts: Vec::new(),
+            }],
             next_value,
         };
         FunctionBuilder { f }
@@ -591,7 +617,13 @@ impl FunctionBuilder {
     /// Declares an external function (no body).
     pub fn declaration(name: impl Into<String>, params: Vec<Ty>, ret_ty: Ty) -> Function {
         let next_value = params.len() as u32;
-        Function { name: name.into(), params, ret_ty, blocks: Vec::new(), next_value }
+        Function {
+            name: name.into(),
+            params,
+            ret_ty,
+            blocks: Vec::new(),
+            next_value,
+        }
     }
 
     /// The entry block id.
@@ -602,7 +634,10 @@ impl FunctionBuilder {
     /// Appends a fresh empty block.
     pub fn add_block(&mut self) -> BlockId {
         let id = BlockId(self.f.blocks.len() as u32);
-        self.f.blocks.push(Block { id, insts: Vec::new() });
+        self.f.blocks.push(Block {
+            id,
+            insts: Vec::new(),
+        });
         id
     }
 
@@ -620,20 +655,28 @@ impl FunctionBuilder {
 
     /// Appends an instruction, allocating a result id when the kind has one.
     pub fn push(&mut self, bb: BlockId, kind: InstKind) -> Option<Operand> {
-        let result = if kind.has_result() { Some(self.fresh()) } else { None };
+        let result = if kind.has_result() {
+            Some(self.fresh())
+        } else {
+            None
+        };
         let op = result.map(Operand::Value);
-        self.f.blocks[bb.0 as usize].insts.push(Inst { result, kind });
+        self.f.blocks[bb.0 as usize]
+            .insts
+            .push(Inst { result, kind });
         op
     }
 
     /// `alloca ty` — returns the slot pointer.
     pub fn alloca(&mut self, bb: BlockId, ty: Ty) -> Operand {
-        self.push(bb, InstKind::Alloca { ty }).expect("alloca yields a value")
+        self.push(bb, InstKind::Alloca { ty })
+            .expect("alloca yields a value")
     }
 
     /// `load ty, ptr`.
     pub fn load(&mut self, bb: BlockId, ty: Ty, ptr: Operand) -> Operand {
-        self.push(bb, InstKind::Load { ty, ptr }).expect("load yields a value")
+        self.push(bb, InstKind::Load { ty, ptr })
+            .expect("load yields a value")
     }
 
     /// `store val, ptr`.
@@ -643,7 +686,8 @@ impl FunctionBuilder {
 
     /// Binary op.
     pub fn binop(&mut self, bb: BlockId, op: BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> Operand {
-        self.push(bb, InstKind::Bin { op, ty, lhs, rhs }).expect("bin yields a value")
+        self.push(bb, InstKind::Bin { op, ty, lhs, rhs })
+            .expect("bin yields a value")
     }
 
     /// Integer compare.
@@ -655,7 +699,8 @@ impl FunctionBuilder {
         lhs: Operand,
         rhs: Operand,
     ) -> Operand {
-        self.push(bb, InstKind::Icmp { pred, ty, lhs, rhs }).expect("icmp yields a value")
+        self.push(bb, InstKind::Icmp { pred, ty, lhs, rhs })
+            .expect("icmp yields a value")
     }
 
     /// Unconditional branch.
@@ -665,7 +710,14 @@ impl FunctionBuilder {
 
     /// Conditional branch.
     pub fn cond_br(&mut self, bb: BlockId, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
-        self.push(bb, InstKind::CondBr { cond, then_bb, else_bb });
+        self.push(
+            bb,
+            InstKind::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            },
+        );
     }
 
     /// Return.
@@ -681,17 +733,33 @@ impl FunctionBuilder {
         ret_ty: Ty,
         args: Vec<Operand>,
     ) -> Option<Operand> {
-        self.push(bb, InstKind::Call { callee: callee.into(), ret_ty, args })
+        self.push(
+            bb,
+            InstKind::Call {
+                callee: callee.into(),
+                ret_ty,
+                args,
+            },
+        )
     }
 
     /// φ node.
     pub fn phi(&mut self, bb: BlockId, ty: Ty, incomings: Vec<(Operand, BlockId)>) -> Operand {
-        self.push(bb, InstKind::Phi { ty, incomings }).expect("phi yields a value")
+        self.push(bb, InstKind::Phi { ty, incomings })
+            .expect("phi yields a value")
     }
 
     /// Pointer arithmetic.
     pub fn gep(&mut self, bb: BlockId, elem_ty: Ty, base: Operand, index: Operand) -> Operand {
-        self.push(bb, InstKind::Gep { elem_ty, base, index }).expect("gep yields a value")
+        self.push(
+            bb,
+            InstKind::Gep {
+                elem_ty,
+                base,
+                index,
+            },
+        )
+        .expect("gep yields a value")
     }
 
     /// Ternary select.
@@ -703,12 +771,30 @@ impl FunctionBuilder {
         then_v: Operand,
         else_v: Operand,
     ) -> Operand {
-        self.push(bb, InstKind::Select { ty, cond, then_v, else_v }).expect("select yields a value")
+        self.push(
+            bb,
+            InstKind::Select {
+                ty,
+                cond,
+                then_v,
+                else_v,
+            },
+        )
+        .expect("select yields a value")
     }
 
     /// Width cast helper.
     pub fn cast(&mut self, bb: BlockId, kind: CastKind, val: Operand, from: Ty, to: Ty) -> Operand {
-        self.push(bb, InstKind::Cast { kind, val, from, to }).expect("cast yields a value")
+        self.push(
+            bb,
+            InstKind::Cast {
+                kind,
+                val,
+                from,
+                to,
+            },
+        )
+        .expect("cast yields a value")
     }
 
     /// True if the block already ends in a terminator.

@@ -41,7 +41,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, message: msg.into() }
+        ParseError {
+            line: self.line,
+            message: msg.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -68,7 +71,10 @@ impl<'a> Cursor<'a> {
         if self.eat(tok) {
             Ok(())
         } else {
-            Err(self.err(format!("expected `{tok}` at `{}`", &self.rest()[..self.rest().len().min(20)])))
+            Err(self.err(format!(
+                "expected `{tok}` at `{}`",
+                &self.rest()[..self.rest().len().min(20)]
+            )))
         }
     }
 
@@ -169,7 +175,10 @@ impl<'a> Cursor<'a> {
             Ok(Operand::ConstF64(v))
         } else {
             let v = self.int()?;
-            Ok(Operand::ConstInt { value: v, ty: ty.clone() })
+            Ok(Operand::ConstInt {
+                value: v,
+                ty: ty.clone(),
+            })
         }
     }
 
@@ -224,7 +233,9 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                     c.expect(",")?;
                 }
             }
-            m.push_function(crate::module::FunctionBuilder::declaration(name, params, ret_ty));
+            m.push_function(crate::module::FunctionBuilder::declaration(
+                name, params, ret_ty,
+            ));
             continue;
         }
         if let Some(rest) = line.strip_prefix("define ") {
@@ -252,7 +263,10 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
             let mut max_value = params.len() as u32;
             loop {
                 let Some((bidx, braw)) = lines.next() else {
-                    return Err(ParseError { line: lineno, message: "unterminated function".into() });
+                    return Err(ParseError {
+                        line: lineno,
+                        message: "unterminated function".into(),
+                    });
                 };
                 let bline = braw.trim();
                 let blineno = bidx + 1;
@@ -270,7 +284,10 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                             line: blineno,
                             message: format!("bad block label `{lbl}`"),
                         })?;
-                    blocks.push(Block { id: BlockId(id), insts: Vec::new() });
+                    blocks.push(Block {
+                        id: BlockId(id),
+                        insts: Vec::new(),
+                    });
                     continue;
                 }
                 let block = blocks.last_mut().ok_or(ParseError {
@@ -292,7 +309,10 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
             });
             continue;
         }
-        return Err(ParseError { line: lineno, message: format!("unrecognized line `{line}`") });
+        return Err(ParseError {
+            line: lineno,
+            message: format!("unrecognized line `{line}`"),
+        });
     }
     Ok(m)
 }
@@ -393,7 +413,12 @@ fn parse_inst(line: &str, lineno: usize) -> Result<Inst, ParseError> {
             let lhs = c.operand(&ty)?;
             c.expect(",")?;
             let rhs = c.operand(&ty)?;
-            InstKind::Bin { op: bop, ty, lhs, rhs }
+            InstKind::Bin {
+                op: bop,
+                ty,
+                lhs,
+                rhs,
+            }
         }
         "icmp" | "fcmp" => {
             let pred = match c.ident()?.as_str() {
@@ -414,7 +439,9 @@ fn parse_inst(line: &str, lineno: usize) -> Result<Inst, ParseError> {
         "br" => {
             c.skip_ws();
             if c.rest().starts_with("label") {
-                InstKind::Br { target: c.block_ref()? }
+                InstKind::Br {
+                    target: c.block_ref()?,
+                }
             } else {
                 c.expect("i1")?;
                 let cond = c.operand(&Ty::I1)?;
@@ -422,7 +449,11 @@ fn parse_inst(line: &str, lineno: usize) -> Result<Inst, ParseError> {
                 let then_bb = c.block_ref()?;
                 c.expect(",")?;
                 let else_bb = c.block_ref()?;
-                InstKind::CondBr { cond, then_bb, else_bb }
+                InstKind::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                }
             }
         }
         "ret" => {
@@ -430,7 +461,9 @@ fn parse_inst(line: &str, lineno: usize) -> Result<Inst, ParseError> {
             if ty == Ty::Void {
                 InstKind::Ret { val: None }
             } else {
-                InstKind::Ret { val: Some(c.operand(&ty)?) }
+                InstKind::Ret {
+                    val: Some(c.operand(&ty)?),
+                }
             }
         }
         "call" => {
@@ -449,7 +482,11 @@ fn parse_inst(line: &str, lineno: usize) -> Result<Inst, ParseError> {
                     c.expect(",")?;
                 }
             }
-            InstKind::Call { callee, ret_ty, args }
+            InstKind::Call {
+                callee,
+                ret_ty,
+                args,
+            }
         }
         "phi" => {
             let ty = c.ty()?;
@@ -474,7 +511,11 @@ fn parse_inst(line: &str, lineno: usize) -> Result<Inst, ParseError> {
             let (_bty, base) = c.typed_operand()?;
             c.expect(",")?;
             let (_ity, index) = c.typed_operand()?;
-            InstKind::Gep { elem_ty, base, index }
+            InstKind::Gep {
+                elem_ty,
+                base,
+                index,
+            }
         }
         "select" => {
             c.expect("i1")?;
@@ -485,7 +526,12 @@ fn parse_inst(line: &str, lineno: usize) -> Result<Inst, ParseError> {
             c.expect(",")?;
             let ty2 = c.ty()?;
             let else_v = c.operand(&ty2)?;
-            InstKind::Select { ty, cond, then_v, else_v }
+            InstKind::Select {
+                ty,
+                cond,
+                then_v,
+                else_v,
+            }
         }
         "zext" | "sext" | "trunc" | "bitcast" | "sitofp" | "fptosi" => {
             let kind = match op.as_str() {
@@ -500,7 +546,12 @@ fn parse_inst(line: &str, lineno: usize) -> Result<Inst, ParseError> {
             let val = c.operand(&from)?;
             c.expect("to")?;
             let to = c.ty()?;
-            InstKind::Cast { kind, val, from, to }
+            InstKind::Cast {
+                kind,
+                val,
+                from,
+                to,
+            }
         }
         "unreachable" => InstKind::Unreachable,
         other => return Err(c.err(format!("unknown opcode `{other}`"))),
@@ -523,7 +574,13 @@ mod tests {
         let a = fb.param_operand(0);
         let b = fb.param_operand(1);
         let s = fb.binop(bb0, BinOp::Add, Ty::I64, a.clone(), b);
-        let cnd = fb.icmp(bb0, IcmpPred::Sgt, Ty::I64, s.clone(), Operand::const_i64(0));
+        let cnd = fb.icmp(
+            bb0,
+            IcmpPred::Sgt,
+            Ty::I64,
+            s.clone(),
+            Operand::const_i64(0),
+        );
         fb.cond_br(bb0, cnd, bb1, bb2);
         fb.ret(bb1, Some(s.clone()));
         let n = fb.binop(bb2, BinOp::Sub, Ty::I64, Operand::const_i64(0), s);
@@ -538,7 +595,11 @@ mod tests {
     #[test]
     fn roundtrip_memory_and_calls() {
         let mut m = Module::new("mem");
-        m.push_function(FunctionBuilder::declaration("rt_print_i64", vec![Ty::I64], Ty::Void));
+        m.push_function(FunctionBuilder::declaration(
+            "rt_print_i64",
+            vec![Ty::I64],
+            Ty::Void,
+        ));
         let mut fb = FunctionBuilder::new("main", vec![], Ty::I64);
         let bb = fb.entry_block();
         let arr = fb.alloca(bb, Ty::I64.array(4));
@@ -605,7 +666,8 @@ mod tests {
 
     #[test]
     fn parses_float_constants() {
-        let text = "define double @h() {\nbb0:\n  %0 = fadd double 1.5, -2.25\n  ret double %0\n}\n";
+        let text =
+            "define double @h() {\nbb0:\n  %0 = fadd double 1.5, -2.25\n  ret double %0\n}\n";
         let m = parse_module(text).unwrap();
         let f = m.function("h").unwrap();
         match &f.blocks[0].insts[0].kind {

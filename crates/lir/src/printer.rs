@@ -19,7 +19,13 @@ pub fn print_module(m: &Module) -> String {
     for f in &m.functions {
         if f.is_declaration() {
             let params: Vec<String> = f.params.iter().map(|t| t.to_string()).collect();
-            let _ = writeln!(out, "declare {} @{}({})", f.ret_ty, f.name, params.join(", "));
+            let _ = writeln!(
+                out,
+                "declare {} @{}({})",
+                f.ret_ty,
+                f.name,
+                params.join(", ")
+            );
         }
     }
     for f in &m.functions {
@@ -60,7 +66,13 @@ pub fn print_function(m: &Module, f: &Function) -> String {
         .enumerate()
         .map(|(i, t)| format!("{t} %{i}"))
         .collect();
-    let _ = writeln!(out, "define {} @{}({}) {{", f.ret_ty, f.name, params.join(", "));
+    let _ = writeln!(
+        out,
+        "define {} @{}({}) {{",
+        f.ret_ty,
+        f.name,
+        params.join(", ")
+    );
     let types = f.value_types();
     for block in &f.blocks {
         let _ = writeln!(out, "bb{}:", block.id.0);
@@ -124,9 +136,18 @@ pub fn print_inst(m: &Module, _f: &Function, types: &[Option<Ty>], inst: &Inst) 
             format!("load {ty}, {}", fmt_typed(m, types, ptr))
         }
         InstKind::Store { ty, val, ptr } => {
-            format!("store {ty} {}, {}", fmt_operand(val), fmt_typed(m, types, ptr))
+            format!(
+                "store {ty} {}, {}",
+                fmt_operand(val),
+                fmt_typed(m, types, ptr)
+            )
         }
-        InstKind::Bin { op, ty, lhs: a, rhs: b } => {
+        InstKind::Bin {
+            op,
+            ty,
+            lhs: a,
+            rhs: b,
+        } => {
             let mn = if *ty == Ty::F64 {
                 op.float_mnemonic().unwrap_or(op.mnemonic())
             } else {
@@ -134,7 +155,12 @@ pub fn print_inst(m: &Module, _f: &Function, types: &[Option<Ty>], inst: &Inst) 
             };
             format!("{mn} {ty} {}, {}", fmt_operand(a), fmt_operand(b))
         }
-        InstKind::Icmp { pred, ty, lhs: a, rhs: b } => {
+        InstKind::Icmp {
+            pred,
+            ty,
+            lhs: a,
+            rhs: b,
+        } => {
             if *ty == Ty::F64 {
                 let fp = match pred.mnemonic() {
                     "eq" => "oeq",
@@ -146,11 +172,20 @@ pub fn print_inst(m: &Module, _f: &Function, types: &[Option<Ty>], inst: &Inst) 
                 };
                 format!("fcmp {fp} double {}, {}", fmt_operand(a), fmt_operand(b))
             } else {
-                format!("icmp {} {ty} {}, {}", pred.mnemonic(), fmt_operand(a), fmt_operand(b))
+                format!(
+                    "icmp {} {ty} {}, {}",
+                    pred.mnemonic(),
+                    fmt_operand(a),
+                    fmt_operand(b)
+                )
             }
         }
         InstKind::Br { target } => format!("br label %bb{}", target.0),
-        InstKind::CondBr { cond, then_bb, else_bb } => format!(
+        InstKind::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!(
             "br i1 {}, label %bb{}, label %bb{}",
             fmt_operand(cond),
             then_bb.0,
@@ -158,7 +193,11 @@ pub fn print_inst(m: &Module, _f: &Function, types: &[Option<Ty>], inst: &Inst) 
         ),
         InstKind::Ret { val: Some(v) } => format!("ret {}", fmt_typed(m, types, v)),
         InstKind::Ret { val: None } => "ret void".to_string(),
-        InstKind::Call { callee, ret_ty, args } => {
+        InstKind::Call {
+            callee,
+            ret_ty,
+            args,
+        } => {
             let args: Vec<String> = args.iter().map(|a| fmt_typed(m, types, a)).collect();
             format!("call {ret_ty} @{callee}({})", args.join(", "))
         }
@@ -169,18 +208,32 @@ pub fn print_inst(m: &Module, _f: &Function, types: &[Option<Ty>], inst: &Inst) 
                 .collect();
             format!("phi {ty} {}", inc.join(", "))
         }
-        InstKind::Gep { elem_ty, base, index } => format!(
+        InstKind::Gep {
+            elem_ty,
+            base,
+            index,
+        } => format!(
             "getelementptr {elem_ty}, {}, {}",
             fmt_typed(m, types, base),
             fmt_typed(m, types, index)
         ),
-        InstKind::Select { ty, cond, then_v, else_v } => format!(
+        InstKind::Select {
+            ty,
+            cond,
+            then_v,
+            else_v,
+        } => format!(
             "select i1 {}, {ty} {}, {ty} {}",
             fmt_operand(cond),
             fmt_operand(then_v),
             fmt_operand(else_v)
         ),
-        InstKind::Cast { kind, val, from, to } => {
+        InstKind::Cast {
+            kind,
+            val,
+            from,
+            to,
+        } => {
             format!("{} {from} {} to {to}", kind.mnemonic(), fmt_operand(val))
         }
         InstKind::Unreachable => "unreachable".to_string(),
@@ -203,7 +256,13 @@ mod tests {
         let slot = fb.alloca(bb0, Ty::I64);
         fb.store(bb0, Ty::I64, p.clone(), slot.clone());
         let v = fb.load(bb0, Ty::I64, slot.clone());
-        let c = fb.icmp(bb0, IcmpPred::Slt, Ty::I64, v.clone(), Operand::const_i64(10));
+        let c = fb.icmp(
+            bb0,
+            IcmpPred::Slt,
+            Ty::I64,
+            v.clone(),
+            Operand::const_i64(10),
+        );
         fb.cond_br(bb0, c, bb1, bb2);
         let dbl = fb.binop(bb1, BinOp::Mul, Ty::I64, v.clone(), Operand::const_i64(2));
         fb.ret(bb1, Some(dbl));
@@ -234,13 +293,20 @@ mod tests {
             init: GlobalInit::Bytes(b"hi\n".to_vec()),
         });
         let text = m.to_text();
-        assert!(text.contains("@msg = global [3 x i8] c\"hi\\0A\""), "{text}");
+        assert!(
+            text.contains("@msg = global [3 x i8] c\"hi\\0A\""),
+            "{text}"
+        );
     }
 
     #[test]
     fn prints_declarations() {
         let mut m = Module::new("d");
-        m.push_function(FunctionBuilder::declaration("rt_alloc", vec![Ty::I64], Ty::I64.ptr()));
+        m.push_function(FunctionBuilder::declaration(
+            "rt_alloc",
+            vec![Ty::I64],
+            Ty::I64.ptr(),
+        ));
         assert!(m.to_text().contains("declare i64* @rt_alloc(i64)"));
     }
 

@@ -46,7 +46,10 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
 }
 
 fn err(f: &Function, msg: impl Into<String>) -> VerifyError {
-    VerifyError { function: f.name.clone(), message: msg.into() }
+    VerifyError {
+        function: f.name.clone(),
+        message: msg.into(),
+    }
 }
 
 fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
@@ -72,7 +75,11 @@ fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
             if inst.kind.has_result() != inst.result.is_some() {
                 return Err(err(
                     f,
-                    format!("bb{} inst {j}: result presence mismatch for {}", b.id.0, inst.kind.opcode()),
+                    format!(
+                        "bb{} inst {j}: result presence mismatch for {}",
+                        b.id.0,
+                        inst.kind.opcode()
+                    ),
                 ));
             }
         }
@@ -107,7 +114,9 @@ fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
         for inst in &b.insts {
             match &inst.kind {
                 InstKind::Br { target } => check_block_ref(*target)?,
-                InstKind::CondBr { then_bb, else_bb, .. } => {
+                InstKind::CondBr {
+                    then_bb, else_bb, ..
+                } => {
                     check_block_ref(*then_bb)?;
                     check_block_ref(*else_bb)?;
                 }
@@ -144,7 +153,9 @@ fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
         for (j, inst) in b.insts.iter().enumerate() {
             match &inst.kind {
                 InstKind::Br { target } => check_block_ref(*target)?,
-                InstKind::CondBr { then_bb, else_bb, .. } => {
+                InstKind::CondBr {
+                    then_bb, else_bb, ..
+                } => {
                     check_block_ref(*then_bb)?;
                     check_block_ref(*else_bb)?;
                 }
@@ -184,7 +195,10 @@ fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                         if reachable[in_bb.0 as usize] && !dominates_use(def, *in_bb, in_len) {
                             return Err(err(
                                 f,
-                                format!("bb{}: phi operand %{} does not dominate edge", b.id.0, v.0),
+                                format!(
+                                    "bb{}: phi operand %{} does not dominate edge",
+                                    b.id.0, v.0
+                                ),
                             ));
                         }
                     }
@@ -198,7 +212,10 @@ fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                         if !dominates_use(def, b.id, j) {
                             return Err(err(
                                 f,
-                                format!("bb{} inst {j}: use of %{} not dominated by its def", b.id.0, v.0),
+                                format!(
+                                    "bb{} inst {j}: use of %{} not dominated by its def",
+                                    b.id.0, v.0
+                                ),
                             ));
                         }
                     }
@@ -258,7 +275,11 @@ mod tests {
             0,
             Inst {
                 result: None,
-                kind: InstKind::Call { callee: "nope".into(), ret_ty: Ty::Void, args: vec![] },
+                kind: InstKind::Call {
+                    callee: "nope".into(),
+                    ret_ty: Ty::Void,
+                    args: vec![],
+                },
             },
         );
         let e = verify_module(&m).unwrap_err();
@@ -288,7 +309,10 @@ mod tests {
         let mut m = ok_module();
         let f = &mut m.functions[0];
         let last = f.blocks[0].insts.len() - 1;
-        f.blocks[0].insts[last] = Inst { result: None, kind: InstKind::Br { target: BlockId(7) } };
+        f.blocks[0].insts[last] = Inst {
+            result: None,
+            kind: InstKind::Br { target: BlockId(7) },
+        };
         let e = verify_module(&m).unwrap_err();
         assert!(e.message.contains("unknown block"), "{e}");
     }
@@ -302,11 +326,7 @@ mod tests {
         fb.br(bb0, bb1);
         fb.br(bb1, bb2);
         // phi claims an incoming from bb0, but bb2's only pred is bb1
-        let ph = fb.phi(
-            bb2,
-            Ty::I64,
-            vec![(Operand::const_i64(1), bb0)],
-        );
+        let ph = fb.phi(bb2, Ty::I64, vec![(Operand::const_i64(1), bb0)]);
         fb.ret(bb2, Some(ph));
         let mut m = Module::new("p");
         m.push_function(fb.finish());
@@ -323,7 +343,13 @@ mod tests {
         let bb2 = fb.add_block();
         let c = fb.param_operand(0);
         fb.cond_br(bb0, c, bb1, bb2);
-        let v = fb.binop(bb1, BinOp::Add, Ty::I64, Operand::const_i64(1), Operand::const_i64(2));
+        let v = fb.binop(
+            bb1,
+            BinOp::Add,
+            Ty::I64,
+            Operand::const_i64(1),
+            Operand::const_i64(2),
+        );
         fb.ret(bb1, Some(v.clone()));
         fb.ret(bb2, Some(v)); // illegal: bb1 does not dominate bb2
         let mut m = Module::new("d");
@@ -335,7 +361,10 @@ mod tests {
     #[test]
     fn rejects_misindexed_blocks() {
         let mut m = ok_module();
-        m.functions[0].blocks.push(Block { id: BlockId(5), insts: vec![] });
+        m.functions[0].blocks.push(Block {
+            id: BlockId(5),
+            insts: vec![],
+        });
         let e = verify_module(&m).unwrap_err();
         assert!(e.message.contains("block id"), "{e}");
     }

@@ -1,0 +1,259 @@
+//! Cached graph embeddings: encode each unique graph **once**, score pairs
+//! through the cheap [`MatchHead`](crate::MatchHead) many times.
+//!
+//! The pre-split pipeline ran the full hetero-GATv2 encoder twice per pair —
+//! O(P) encoder forwards for P pairs. A [`PairSet`](crate::PairSet) draws its
+//! pairs from a shared pool of N graphs with N ≪ 2·P, so batch-encoding the
+//! pool first turns inference into O(N) encoder forwards plus O(P) head
+//! evaluations (each ~`hidden²` flops, orders of magnitude cheaper than a
+//! GNN forward). The `encode_cache` bench in `gbm-bench` documents the
+//! measured speedup.
+//!
+//! Threading: [`Param`](gbm_tensor::Param) is `Rc`-backed, so a model cannot
+//! cross threads. Workers instead get same-weight *replicas* built from a
+//! [`ParamStore::snapshot`](gbm_tensor::ParamStore::snapshot) — cheap (the
+//! CPU-scale models are a few thousand weights) and numerically identical.
+//! All replicas share the parent's encoder forward counter, so
+//! encode-once behaviour stays observable (and is asserted in tests).
+
+use gbm_tensor::Tensor;
+use rayon::prelude::*;
+
+use crate::model::GraphBinMatch;
+use crate::trainer::PairExample;
+use crate::EncodedGraph;
+
+/// Per-worker batch size for parallel encoding/scoring. Small enough to
+/// load-balance uneven graph sizes, large enough to amortize one replica
+/// construction per batch.
+const WORKER_BATCH: usize = 8;
+
+/// Graph embeddings for (a subset of) a graph pool, indexed like the pool.
+pub struct EmbeddingStore {
+    /// `embeddings[i]` is the `[1, hidden]` unit-norm embedding of pool
+    /// graph `i`, or `None` when `i` was outside the requested subset.
+    embeddings: Vec<Option<Tensor>>,
+}
+
+impl EmbeddingStore {
+    /// Encodes every graph in `pool` (one encoder forward each) in parallel.
+    pub fn build(model: &GraphBinMatch, pool: &[EncodedGraph]) -> EmbeddingStore {
+        let all: Vec<usize> = (0..pool.len()).collect();
+        EmbeddingStore::build_subset(model, pool, &all)
+    }
+
+    /// Encodes only the pool graphs named by `indices` (deduplicated); other
+    /// slots stay empty. Exactly one encoder forward per unique index.
+    pub fn build_subset(
+        model: &GraphBinMatch,
+        pool: &[EncodedGraph],
+        indices: &[usize],
+    ) -> EmbeddingStore {
+        let mut unique: Vec<usize> = indices.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+
+        let snapshot = model.store.snapshot();
+        let cfg = *model.config();
+        let counter = model.encoder().counter();
+        // each chunk is a coarse batch of GNN forwards: always worth a thread
+        let encoded: Vec<Vec<(usize, Tensor)>> = unique
+            .par_chunks(WORKER_BATCH)
+            .with_min_len(1)
+            .map(|batch| {
+                let replica =
+                    GraphBinMatch::from_snapshot(cfg, &snapshot, std::sync::Arc::clone(&counter));
+                batch
+                    .iter()
+                    .map(|&i| (i, replica.encoder().embed(&pool[i])))
+                    .collect()
+            })
+            .collect();
+
+        let mut embeddings: Vec<Option<Tensor>> = vec![None; pool.len()];
+        for (i, e) in encoded.into_iter().flatten() {
+            embeddings[i] = Some(e);
+        }
+        EmbeddingStore { embeddings }
+    }
+
+    /// The embedding of pool graph `i`. Panics when `i` was not encoded.
+    pub fn embedding(&self, i: usize) -> &Tensor {
+        self.embeddings[i]
+            .as_ref()
+            .unwrap_or_else(|| panic!("graph {i} was not encoded into this store"))
+    }
+
+    /// Number of pool slots (encoded or not).
+    pub fn len(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// True when no slots exist.
+    pub fn is_empty(&self) -> bool {
+        self.embeddings.is_empty()
+    }
+
+    /// Number of encoded slots.
+    pub fn num_encoded(&self) -> usize {
+        self.embeddings.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Cosine similarity of two encoded graphs. Embeddings are unit-norm,
+    /// so this is a plain dot product — the cheap pre-filter for retrieval.
+    pub fn cosine(&self, a: usize, b: usize) -> f32 {
+        let ea = self.embedding(a).data();
+        let eb = self.embedding(b).data();
+        ea.iter().zip(eb.iter()).map(|(x, y)| x * y).sum()
+    }
+
+    /// Head score in `[0,1]` for pool pair `(a, b)` using cached embeddings.
+    pub fn score(&self, model: &GraphBinMatch, a: usize, b: usize) -> f32 {
+        model
+            .head()
+            .score_embeddings(self.embedding(a), self.embedding(b))
+    }
+
+    /// Scores every pair through the head only (no encoder forwards), in
+    /// parallel. Order matches `pairs`. Bit-identical to scoring each pair
+    /// with [`GraphBinMatch::score`].
+    pub fn score_pairs(&self, model: &GraphBinMatch, pairs: &[PairExample]) -> Vec<f32> {
+        let snapshot = model.store.snapshot();
+        let cfg = *model.config();
+        let counter = model.encoder().counter();
+        let scored: Vec<Vec<f32>> = pairs
+            .par_chunks(WORKER_BATCH.max(pairs.len() / 64))
+            .with_min_len(1)
+            .map(|batch| {
+                let replica =
+                    GraphBinMatch::from_snapshot(cfg, &snapshot, std::sync::Arc::clone(&counter));
+                batch
+                    .iter()
+                    .map(|p| {
+                        replica
+                            .head()
+                            .score_embeddings(self.embedding(p.a), self.embedding(p.b))
+                    })
+                    .collect()
+            })
+            .collect();
+        scored.concat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{encode_graph, GraphBinMatchConfig};
+    use crate::trainer::PairSet;
+    use gbm_frontends::{compile, SourceLang};
+    use gbm_progml::{build_graph, NodeTextMode};
+    use gbm_tokenizer::{Tokenizer, TokenizerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> (PairSet, usize) {
+        let sources: Vec<String> = (0..6)
+            .map(|k| {
+                format!(
+                    "int main() {{ int s = {k}; for (int i = 0; i < {}; i++) {{ s += i; }} print(s); return s; }}",
+                    k + 2
+                )
+            })
+            .collect();
+        let graphs: Vec<gbm_progml::ProgramGraph> = sources
+            .iter()
+            .map(|src| build_graph(&compile(SourceLang::MiniC, "t", src).unwrap()))
+            .collect();
+        let refs: Vec<&gbm_progml::ProgramGraph> = graphs.iter().collect();
+        let tok =
+            Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
+        let pool: Vec<EncodedGraph> = graphs
+            .iter()
+            .map(|g| encode_graph(g, &tok, NodeTextMode::FullText))
+            .collect();
+        let mut pairs = Vec::new();
+        for a in 0..6 {
+            for b in 0..6 {
+                if a != b {
+                    pairs.push(PairExample {
+                        a,
+                        b,
+                        label: (a % 2 == b % 2) as u8 as f32,
+                    });
+                }
+            }
+        }
+        (
+            PairSet {
+                graphs: pool,
+                pairs,
+            },
+            tok.vocab_size(),
+        )
+    }
+
+    #[test]
+    fn store_encodes_each_graph_exactly_once() {
+        let (data, vocab) = toy();
+        let mut rng = StdRng::seed_from_u64(31);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
+        let store = EmbeddingStore::build(&model, &data.graphs);
+        assert_eq!(model.encoder().forward_count(), data.graphs.len());
+        assert_eq!(store.num_encoded(), data.graphs.len());
+        // 30 pairs scored through the head add no encoder forwards
+        let scores = store.score_pairs(&model, &data.pairs);
+        assert_eq!(scores.len(), data.pairs.len());
+        assert_eq!(model.encoder().forward_count(), data.graphs.len());
+    }
+
+    #[test]
+    fn cached_scores_match_direct_scores_bitwise() {
+        let (data, vocab) = toy();
+        let mut rng = StdRng::seed_from_u64(32);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
+        let store = EmbeddingStore::build(&model, &data.graphs);
+        let cached = store.score_pairs(&model, &data.pairs);
+        let direct: Vec<f32> = data
+            .pairs
+            .iter()
+            .map(|p| model.score(&data.graphs[p.a], &data.graphs[p.b]))
+            .collect();
+        assert_eq!(cached, direct, "cached path must be bit-exact");
+    }
+
+    #[test]
+    fn subset_store_leaves_other_slots_empty() {
+        let (data, vocab) = toy();
+        let mut rng = StdRng::seed_from_u64(33);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
+        let store = EmbeddingStore::build_subset(&model, &data.graphs, &[0, 2, 2, 4]);
+        assert_eq!(store.num_encoded(), 3);
+        assert_eq!(
+            model.encoder().forward_count(),
+            3,
+            "duplicates deduplicated"
+        );
+        assert_eq!(store.len(), data.graphs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "was not encoded")]
+    fn missing_slot_panics() {
+        let (data, vocab) = toy();
+        let mut rng = StdRng::seed_from_u64(34);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
+        let store = EmbeddingStore::build_subset(&model, &data.graphs, &[0]);
+        store.embedding(1);
+    }
+
+    #[test]
+    fn cosine_of_identical_graph_is_one() {
+        let (data, vocab) = toy();
+        let mut rng = StdRng::seed_from_u64(35);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
+        let store = EmbeddingStore::build(&model, &data.graphs);
+        assert!((store.cosine(0, 0) - 1.0).abs() < 1e-5);
+        assert!(store.cosine(0, 1) <= 1.0 + 1e-5);
+    }
+}

@@ -67,7 +67,14 @@ impl Gatv2Conv {
             format!("{name}.pos"),
             gbm_tensor::normal(rng, &[max_pos, out_dim], 0.0, 0.02),
         );
-        Gatv2Conv { w_l, w_r, att, pos_emb, max_pos, slope: 0.2 }
+        Gatv2Conv {
+            w_l,
+            w_r,
+            att,
+            pos_emb,
+            max_pos,
+            slope: 0.2,
+        }
     }
 
     /// Applies the conv over one relation. `x` is `[n, in_dim]`; returns
@@ -76,7 +83,11 @@ impl Gatv2Conv {
         // self-loops appended so every node receives at least itself
         let mut src: Vec<u32> = rel.src.clone();
         let mut dst: Vec<u32> = rel.dst.clone();
-        let mut pos: Vec<u32> = rel.pos.iter().map(|&p| p.min(self.max_pos as u32 - 1)).collect();
+        let mut pos: Vec<u32> = rel
+            .pos
+            .iter()
+            .map(|&p| p.min(self.max_pos as u32 - 1))
+            .collect();
         for i in 0..n as u32 {
             src.push(i);
             dst.push(i);
@@ -131,7 +142,16 @@ impl HeteroConv {
         max_pos: usize,
         rng: &mut R,
     ) -> HeteroConv {
-        Self::with_fusion(store, name, n_relations, in_dim, out_dim, max_pos, Fusion::Max, rng)
+        Self::with_fusion(
+            store,
+            name,
+            n_relations,
+            in_dim,
+            out_dim,
+            max_pos,
+            Fusion::Max,
+            rng,
+        )
     }
 
     /// Builds one hetero layer with an explicit fusion mode.
@@ -147,10 +167,23 @@ impl HeteroConv {
         rng: &mut R,
     ) -> HeteroConv {
         let convs = (0..n_relations)
-            .map(|r| Gatv2Conv::new(store, &format!("{name}.rel{r}"), in_dim, out_dim, max_pos, rng))
+            .map(|r| {
+                Gatv2Conv::new(
+                    store,
+                    &format!("{name}.rel{r}"),
+                    in_dim,
+                    out_dim,
+                    max_pos,
+                    rng,
+                )
+            })
             .collect();
         let norm = LayerNorm::new(store, &format!("{name}.ln"), out_dim);
-        HeteroConv { convs, norm, fusion }
+        HeteroConv {
+            convs,
+            norm,
+            fusion,
+        }
     }
 
     /// Applies every relation conv and fuses the outputs.
@@ -223,8 +256,15 @@ mod tests {
         let conv = Gatv2Conv::new(&mut store, "c", 2, 2, 8, &mut rng);
         // node 0 has a distinctive feature; node 1 receives from 0
         let g = Graph::new();
-        let x = g.constant(Tensor::from_vec(vec![5.0, -5.0, 0.0, 0.0, 0.0, 0.0], &[3, 2]));
-        let rel = Relation { src: vec![0], dst: vec![1], pos: vec![0] };
+        let x = g.constant(Tensor::from_vec(
+            vec![5.0, -5.0, 0.0, 0.0, 0.0, 0.0],
+            &[3, 2],
+        ));
+        let rel = Relation {
+            src: vec![0],
+            dst: vec![1],
+            pos: vec![0],
+        };
         let with_edge = g.value(conv.forward(&g, x, &rel, 3));
         let without = g.value(conv.forward(&g, x, &Relation::default(), 3));
         // node 1's embedding changes when the edge is present; node 2's doesn't
@@ -255,7 +295,11 @@ mod tests {
             let mut rng2 = StdRng::seed_from_u64(99);
             let mut store = ParamStore::new();
             let conv = Gatv2Conv::new(&mut store, "c", 3, 3, 4, &mut rng2);
-            let rel = Relation { src: vec![0, 1, 2, 0], dst: vec![1, 2, 3, 3], pos: vec![0, 1, 0, 2] };
+            let rel = Relation {
+                src: vec![0, 1, 2, 0],
+                dst: vec![1, 2, 3, 3],
+                pos: vec![0, 1, 0, 2],
+            };
             let y = conv.forward(g, vs[0], &rel, 4);
             let w = g.constant(Tensor::from_vec(
                 (0..12).map(|i| 0.05 * i as f32).collect(),
@@ -276,7 +320,11 @@ mod tests {
         // identical features everywhere ⇒ all W_r x identical ⇒ weighted sum
         // with any softmax weights equals that same vector
         let x = g.constant(Tensor::ones(&[4, 2]));
-        let rel = Relation { src: vec![0, 1, 2], dst: vec![3, 3, 3], pos: vec![0, 1, 2] };
+        let rel = Relation {
+            src: vec![0, 1, 2],
+            dst: vec![3, 3, 3],
+            pos: vec![0, 1, 2],
+        };
         let y = g.value(conv.forward(&g, x, &rel, 4));
         let row3 = &y.data()[6..8];
         let row0 = &y.data()[0..2];

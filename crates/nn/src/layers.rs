@@ -25,7 +25,12 @@ impl Linear {
     ) -> Linear {
         let w = store.register(format!("{name}.w"), glorot_uniform(rng, in_dim, out_dim));
         let b = bias.then(|| store.register(format!("{name}.b"), Tensor::zeros(&[out_dim])));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer to `[n, in_dim]`.
@@ -83,7 +88,12 @@ impl LayerNorm {
     pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> LayerNorm {
         let gamma = store.register(format!("{name}.gamma"), Tensor::ones(&[dim]));
         let beta = store.register(format!("{name}.beta"), Tensor::zeros(&[dim]));
-        LayerNorm { gamma, beta, dim, eps: 1e-5 }
+        LayerNorm {
+            gamma,
+            beta,
+            dim,
+            eps: 1e-5,
+        }
     }
 
     /// Normalizes each row of `[n, dim]` to zero mean / unit variance, then
@@ -112,7 +122,13 @@ impl Dropout {
     }
 
     /// Applies dropout when `training` is set.
-    pub fn forward<R: RngExt + ?Sized>(&self, g: &Graph, x: Var, training: bool, rng: &mut R) -> Var {
+    pub fn forward<R: RngExt + ?Sized>(
+        &self,
+        g: &Graph,
+        x: Var,
+        training: bool,
+        rng: &mut R,
+    ) -> Var {
         g.dropout(x, self.p, training, rng)
     }
 }
@@ -169,7 +185,10 @@ mod tests {
         let mut store = ParamStore::new();
         let ln = LayerNorm::new(&mut store, "ln", 4);
         let g = Graph::new();
-        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 4]));
+        let x = g.constant(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[2, 4],
+        ));
         let y = g.value(ln.forward(&g, x));
         for row in y.data().chunks(4) {
             let mean: f32 = row.iter().sum::<f32>() / 4.0;
@@ -187,7 +206,10 @@ mod tests {
             let mut store = ParamStore::new();
             let ln = LayerNorm::new(&mut store, "ln", 5);
             let y = ln.forward(g, vs[0]);
-            let w = g.constant(Tensor::from_vec((0..15).map(|i| 0.1 * i as f32).collect(), &[3, 5]));
+            let w = g.constant(Tensor::from_vec(
+                (0..15).map(|i| 0.1 * i as f32).collect(),
+                &[3, 5],
+            ));
             g.sum_all(g.mul(y, w))
         })
         .unwrap();

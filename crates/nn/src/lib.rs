@@ -8,17 +8,25 @@
 //! * [`gatv2`] — single-head GATv2 convolution with positional edge features
 //!   and the heterogeneous stack-&-max wrapper,
 //! * [`pooling`] — SimGNN-style global attention pooling,
-//! * [`model`] — the Siamese [`GraphBinMatch`] network and graph encoding,
+//! * [`model`] — the Siamese [`GraphBinMatch`] network, split into the
+//!   pair-independent [`GraphEncoder`] and the pairwise [`MatchHead`],
+//! * [`embeddings`] — the [`EmbeddingStore`]: parallel encode-once caching
+//!   so many-pair inference costs one encoder forward per unique graph,
 //! * [`trainer`] — minibatched BCE/Adam training and batch prediction.
 
+pub mod embeddings;
 pub mod gatv2;
 pub mod layers;
 pub mod model;
 pub mod pooling;
 pub mod trainer;
 
+pub use embeddings::EmbeddingStore;
 pub use gatv2::{Fusion, Gatv2Conv, HeteroConv, Relation};
 pub use layers::{Dropout, Embedding, LayerNorm, Linear};
-pub use model::{encode_graph, EncodedGraph, GraphBinMatch, GraphBinMatchConfig, PoolKind};
+pub use model::{
+    encode_graph, EncodedGraph, GraphBinMatch, GraphBinMatchConfig, GraphEncoder, MatchHead,
+    PoolKind,
+};
 pub use pooling::AttentionPooling;
 pub use trainer::{predict, train, EpochStats, PairExample, PairSet, TrainConfig};

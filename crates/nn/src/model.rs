@@ -11,12 +11,29 @@
 //! 4. concat → FC + LayerNorm + LeakyReLU → Dropout → FC → (sigmoid at
 //!    inference; training uses the fused logit BCE).
 //!
+//! The model is factored into two composable halves so inference scales the
+//! way XLIR and "Deep Graph Matching and Searching" (Ling et al., 2020)
+//! do it — encode each graph **once**, compare embeddings **many** times:
+//!
+//! * [`GraphEncoder`] — steps 1–3: per-graph, pair-independent, produces the
+//!   unit-norm graph embedding. One forward per unique graph suffices for
+//!   any number of pairs (see [`crate::EmbeddingStore`]).
+//! * [`MatchHead`] — step 4: the cheap pairwise comparison
+//!   (`[a, b, |a−b|, a⊙b]` → FC stack → logit) over two embeddings.
+//! * [`GraphBinMatch`] — the thin Siamese facade over both. Training goes
+//!   through [`GraphBinMatch::forward_pair`], which runs encoder and head on
+//!   one shared autograd tape (shared dropout/rng semantics, unchanged from
+//!   the pre-split model).
+//!
 //! The paper's full scale (128/256×5, vocab 2048, four A100s) is CPU-hostile;
 //! [`GraphBinMatchConfig::small`] is the reduced configuration the experiment
 //! harness trains (documented in EXPERIMENTS.md).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use gbm_progml::{EdgeKind, NodeTextMode, ProgramGraph};
-use gbm_tensor::{Graph, Param, ParamStore, Var};
+use gbm_tensor::{Graph, Param, ParamStore, Tensor, Var};
 use gbm_tokenizer::Tokenizer;
 use rand::RngExt;
 
@@ -136,35 +153,52 @@ pub fn encode_graph(g: &ProgramGraph, tok: &Tokenizer, mode: NodeTextMode) -> En
         let (src, dst, pos) = g.relation(kind);
         relations[kind.index()] = Relation { src, dst, pos };
     }
-    EncodedGraph { tokens, n_nodes: g.num_nodes(), seq_len, relations }
+    EncodedGraph {
+        tokens,
+        n_nodes: g.num_nodes(),
+        seq_len,
+        relations,
+    }
 }
 
-/// The Siamese matching model.
-pub struct GraphBinMatch {
-    /// All trainable parameters.
-    pub store: ParamStore,
-    cfg: GraphBinMatchConfig,
+/// The pair-independent half of the model: token embedding → hetero-GATv2
+/// stack → pooling → L2-normalized graph embedding (`[1, hidden]`).
+///
+/// The encoder has no stochastic layers, so its output is identical in
+/// training and inference mode — which is what makes per-graph embedding
+/// caching (encode once, score many) numerically exact.
+pub struct GraphEncoder {
     embedding: Embedding,
     input_proj: Linear,
     layers: Vec<HeteroConv>,
     pooling: AttentionPooling,
-    fc1: Linear,
-    fc_norm: LayerNorm,
-    dropout: Dropout,
-    fc2: Linear,
+    pool_kind: PoolKind,
+    leaky_slope: f32,
+    /// Counts every encoder forward; shared across [`GraphBinMatch::replica`]
+    /// clones so parallel batch encoding is observable from the parent model.
+    forwards: Arc<AtomicUsize>,
 }
 
-impl GraphBinMatch {
-    /// Builds a model with freshly initialized weights.
-    pub fn new<R: RngExt + ?Sized>(cfg: GraphBinMatchConfig, rng: &mut R) -> GraphBinMatch {
-        let mut store = ParamStore::new();
-        let embedding = Embedding::new(&mut store, "embed", cfg.vocab_size, cfg.embed_dim, rng);
-        let input_proj =
-            Linear::new(&mut store, "input_proj", cfg.embed_dim, cfg.hidden_dim, true, rng);
+impl GraphEncoder {
+    /// Builds the encoder, registering its parameters in `store`.
+    pub fn new<R: RngExt + ?Sized>(
+        store: &mut ParamStore,
+        cfg: &GraphBinMatchConfig,
+        rng: &mut R,
+    ) -> GraphEncoder {
+        let embedding = Embedding::new(store, "embed", cfg.vocab_size, cfg.embed_dim, rng);
+        let input_proj = Linear::new(
+            store,
+            "input_proj",
+            cfg.embed_dim,
+            cfg.hidden_dim,
+            true,
+            rng,
+        );
         let layers = (0..cfg.num_layers)
             .map(|i| {
                 HeteroConv::with_fusion(
-                    &mut store,
+                    store,
                     &format!("conv{i}"),
                     EdgeKind::ALL.len(),
                     cfg.hidden_dim,
@@ -175,26 +209,204 @@ impl GraphBinMatch {
                 )
             })
             .collect();
-        let pooling = AttentionPooling::new(&mut store, "pool", cfg.hidden_dim, rng);
-        // head input: [a, b, |a−b|, a⊙b]. The paper concatenates the two
-        // graph embeddings only; the explicit comparison features make the
-        // similarity learnable at CPU scale (documented in EXPERIMENTS.md).
-        let fc1 = Linear::new(&mut store, "fc1", 4 * cfg.hidden_dim, cfg.hidden_dim, true, rng);
-        let fc_norm = LayerNorm::new(&mut store, "fc_norm", cfg.hidden_dim);
-        let dropout = Dropout::new(cfg.dropout);
-        let fc2 = Linear::new(&mut store, "fc2", cfg.hidden_dim, 1, true, rng);
-        GraphBinMatch {
-            store,
-            cfg,
+        let pooling = AttentionPooling::new(store, "pool", cfg.hidden_dim, rng);
+        GraphEncoder {
             embedding,
             input_proj,
             layers,
             pooling,
+            pool_kind: cfg.pooling,
+            leaky_slope: cfg.leaky_slope,
+            forwards: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Embeds one graph to `[1, hidden]` on the caller's tape (differentiable).
+    pub fn forward(&self, g: &Graph, eg: &EncodedGraph) -> Var {
+        self.forwards.fetch_add(1, Ordering::Relaxed);
+        // token embedding, max over the sequence axis (paper's "max operation")
+        let tok = self.embedding.forward(g, &eg.tokens); // [n·s, e]
+        let node_feat = g.seq_max(tok, eg.n_nodes, eg.seq_len); // [n, e]
+        let mut h = self.input_proj.forward(g, node_feat); // [n, hidden]
+        h = g.leaky_relu(h, self.leaky_slope);
+        for layer in &self.layers {
+            let out = layer.forward(g, h, &eg.relations, eg.n_nodes);
+            h = g.leaky_relu(out, self.leaky_slope);
+        }
+        let pooled = match self.pool_kind {
+            PoolKind::Attention => self.pooling.forward(g, h), // [1, hidden]
+            PoolKind::Mean => g.mean_axis0(h),
+        };
+        // unit-norm graph embeddings: the matching head compares directions,
+        // not magnitudes, so size disparities (Fig. 4) cannot swamp the signal
+        g.l2_normalize_rows(pooled)
+    }
+
+    /// Embeds one graph to a plain `[1, hidden]` tensor (inference; own tape).
+    pub fn embed(&self, eg: &EncodedGraph) -> Tensor {
+        let g = Graph::new();
+        let e = self.forward(&g, eg);
+        g.value(e)
+    }
+
+    /// Total encoder forwards since construction (shared with replicas).
+    pub fn forward_count(&self) -> usize {
+        self.forwards.load(Ordering::Relaxed)
+    }
+
+    /// Resets the forward counter (benchmark bookkeeping).
+    pub fn reset_forward_count(&self) {
+        self.forwards.store(0, Ordering::Relaxed)
+    }
+
+    /// The shared forward counter (handed to thread-local replicas).
+    pub fn counter(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.forwards)
+    }
+
+    fn share_counter(&mut self, counter: Arc<AtomicUsize>) {
+        self.forwards = counter;
+    }
+}
+
+/// The pairwise half of the model: comparison features over two graph
+/// embeddings → FC + LayerNorm + LeakyReLU → Dropout → FC → logit.
+pub struct MatchHead {
+    fc1: Linear,
+    fc_norm: LayerNorm,
+    dropout: Dropout,
+    fc2: Linear,
+    leaky_slope: f32,
+}
+
+impl MatchHead {
+    /// Builds the head, registering its parameters in `store`.
+    pub fn new<R: RngExt + ?Sized>(
+        store: &mut ParamStore,
+        cfg: &GraphBinMatchConfig,
+        rng: &mut R,
+    ) -> MatchHead {
+        // head input: [a, b, |a−b|, a⊙b]. The paper concatenates the two
+        // graph embeddings only; the explicit comparison features make the
+        // similarity learnable at CPU scale (documented in EXPERIMENTS.md).
+        let fc1 = Linear::new(store, "fc1", 4 * cfg.hidden_dim, cfg.hidden_dim, true, rng);
+        let fc_norm = LayerNorm::new(store, "fc_norm", cfg.hidden_dim);
+        let dropout = Dropout::new(cfg.dropout);
+        let fc2 = Linear::new(store, "fc2", cfg.hidden_dim, 1, true, rng);
+        MatchHead {
             fc1,
             fc_norm,
             dropout,
             fc2,
+            leaky_slope: cfg.leaky_slope,
         }
+    }
+
+    /// Produces the raw matching logit `[1,1]` from two `[1, hidden]`
+    /// embeddings already on the caller's tape.
+    pub fn forward<R: RngExt + ?Sized>(
+        &self,
+        g: &Graph,
+        ea: Var,
+        eb: Var,
+        training: bool,
+        rng: &mut R,
+    ) -> Var {
+        let diff = g.sub(ea, eb);
+        let absdiff = g.maximum(diff, g.neg(diff));
+        let prod = g.mul(ea, eb);
+        let cat = g.concat_cols(g.concat_cols(ea, eb), g.concat_cols(absdiff, prod)); // [1, 4h]
+        let x = self.fc1.forward(g, cat);
+        let x = self.fc_norm.forward(g, x);
+        let x = g.leaky_relu(x, self.leaky_slope);
+        let x = self.dropout.forward(g, x, training, rng);
+        self.fc2.forward(g, x) // logit
+    }
+
+    /// Raw matching logit for two cached embeddings (inference; own tape).
+    pub fn logit_embeddings(&self, ea: &Tensor, eb: &Tensor) -> f32 {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0); // unused: eval mode
+        let g = Graph::new();
+        let va = g.constant(ea.clone());
+        let vb = g.constant(eb.clone());
+        let logit = self.forward(&g, va, vb, false, &mut rng);
+        g.value(logit).item()
+    }
+
+    /// Matching score in `[0,1]` for two cached embeddings (inference).
+    pub fn score_embeddings(&self, ea: &Tensor, eb: &Tensor) -> f32 {
+        1.0 / (1.0 + (-self.logit_embeddings(ea, eb)).exp())
+    }
+}
+
+/// The Siamese matching model: a [`GraphEncoder`] and a [`MatchHead`] behind
+/// the original single-struct API.
+pub struct GraphBinMatch {
+    /// All trainable parameters (encoder first, head second — the
+    /// serialization order of [`ParamStore::snapshot`]).
+    pub store: ParamStore,
+    cfg: GraphBinMatchConfig,
+    encoder: GraphEncoder,
+    head: MatchHead,
+}
+
+impl GraphBinMatch {
+    /// Builds a model with freshly initialized weights.
+    pub fn new<R: RngExt + ?Sized>(cfg: GraphBinMatchConfig, rng: &mut R) -> GraphBinMatch {
+        let mut store = ParamStore::new();
+        let encoder = GraphEncoder::new(&mut store, &cfg, rng);
+        let head = MatchHead::new(&mut store, &cfg, rng);
+        GraphBinMatch {
+            store,
+            cfg,
+            encoder,
+            head,
+        }
+    }
+
+    /// Rebuilds a model from a configuration and a weight snapshot
+    /// ([`ParamStore::snapshot`] order). The replica shares `counter` so
+    /// encoder forwards performed on worker threads remain observable.
+    pub fn from_snapshot(
+        cfg: GraphBinMatchConfig,
+        weights: &[f32],
+        counter: Arc<AtomicUsize>,
+    ) -> GraphBinMatch {
+        // init weights are immediately overwritten by the snapshot, so skip
+        // real PRNG work during construction (replicas are built per worker
+        // batch — dead Box-Muller draws would rival the useful head flops)
+        struct NullRng;
+        impl rand::RngCore for NullRng {
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+        }
+        let mut model = GraphBinMatch::new(cfg, &mut NullRng);
+        model.store.restore(weights);
+        model.encoder.share_counter(counter);
+        model
+    }
+
+    /// A same-weights clone for worker threads ([`Param`] is `Rc`-backed, so
+    /// models cannot be shared across threads directly; replicas carry their
+    /// own parameters and share only the encoder forward counter).
+    pub fn replica(&self) -> GraphBinMatch {
+        GraphBinMatch::from_snapshot(
+            self.cfg,
+            &self.store.snapshot(),
+            Arc::clone(&self.encoder.forwards),
+        )
+    }
+
+    /// The pair-independent graph encoder.
+    pub fn encoder(&self) -> &GraphEncoder {
+        &self.encoder
+    }
+
+    /// The pairwise matching head.
+    pub fn head(&self) -> &MatchHead {
+        &self.head
     }
 
     /// Model configuration.
@@ -221,25 +433,12 @@ impl GraphBinMatch {
         rng: &mut R,
     ) -> Var {
         let _ = (training, rng); // graph encoder has no stochastic layers
-        // token embedding, max over the sequence axis (paper's "max operation")
-        let tok = self.embedding.forward(g, &eg.tokens); // [n·s, e]
-        let node_feat = g.seq_max(tok, eg.n_nodes, eg.seq_len); // [n, e]
-        let mut h = self.input_proj.forward(g, node_feat); // [n, hidden]
-        h = g.leaky_relu(h, self.cfg.leaky_slope);
-        for layer in &self.layers {
-            let out = layer.forward(g, h, &eg.relations, eg.n_nodes);
-            h = g.leaky_relu(out, self.cfg.leaky_slope);
-        }
-        let pooled = match self.cfg.pooling {
-            PoolKind::Attention => self.pooling.forward(g, h), // [1, hidden]
-            PoolKind::Mean => g.mean_axis0(h),
-        };
-        // unit-norm graph embeddings: the matching head compares directions,
-        // not magnitudes, so size disparities (Fig. 4) cannot swamp the signal
-        g.l2_normalize_rows(pooled)
+        self.encoder.forward(g, eg)
     }
 
-    /// Produces the raw matching logit for a pair (`[1,1]`).
+    /// Produces the raw matching logit for a pair (`[1,1]`): both sides
+    /// through the encoder and the head on one shared tape — the training
+    /// path, identical in semantics to the pre-split model.
     pub fn forward_pair<R: RngExt + ?Sized>(
         &self,
         g: &Graph,
@@ -248,20 +447,16 @@ impl GraphBinMatch {
         training: bool,
         rng: &mut R,
     ) -> Var {
-        let ea = self.embed_graph(g, a, training, rng);
-        let eb = self.embed_graph(g, b, training, rng);
-        let diff = g.sub(ea, eb);
-        let absdiff = g.maximum(diff, g.neg(diff));
-        let prod = g.mul(ea, eb);
-        let cat = g.concat_cols(g.concat_cols(ea, eb), g.concat_cols(absdiff, prod)); // [1, 4h]
-        let x = self.fc1.forward(g, cat);
-        let x = self.fc_norm.forward(g, x);
-        let x = g.leaky_relu(x, self.cfg.leaky_slope);
-        let x = self.dropout.forward(g, x, training, rng);
-        self.fc2.forward(g, x) // logit
+        let ea = self.encoder.forward(g, a);
+        let eb = self.encoder.forward(g, b);
+        self.head.forward(g, ea, eb, training, rng)
     }
 
     /// Matching score in `[0,1]` (inference mode).
+    ///
+    /// Encodes both sides, so P calls cost 2·P encoder forwards. For
+    /// many-pair scoring over a shared graph pool use
+    /// [`crate::EmbeddingStore`], which encodes each unique graph once.
     pub fn score(&self, a: &EncodedGraph, b: &EncodedGraph) -> f32 {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(0); // unused: eval mode
@@ -310,8 +505,8 @@ mod tests {
         let (tok, e1, _) = fixtures();
         assert_eq!(e1.tokens.len(), e1.n_nodes * tok.seq_len());
         assert!(e1.n_edges() > 0);
-        assert!(e1.relations[EdgeKind::Control.index()].len() > 0);
-        assert!(e1.relations[EdgeKind::Data.index()].len() > 0);
+        assert!(!e1.relations[EdgeKind::Control.index()].is_empty());
+        assert!(!e1.relations[EdgeKind::Data.index()].is_empty());
     }
 
     #[test]
@@ -376,5 +571,42 @@ mod tests {
         assert_eq!(cfg.hidden_dim, 256);
         assert_eq!(cfg.num_layers, 5);
         assert_eq!(cfg.vocab_size, 2048);
+    }
+
+    #[test]
+    fn cached_head_scoring_matches_forward_pair_bitwise() {
+        let (tok, e1, e2) = fixtures();
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);
+        let ea = model.encoder().embed(&e1);
+        let eb = model.encoder().embed(&e2);
+        let cached = model.head().score_embeddings(&ea, &eb);
+        let direct = model.score(&e1, &e2);
+        assert_eq!(cached, direct, "cached-embedding path must be bit-exact");
+    }
+
+    #[test]
+    fn encoder_forward_counter_counts() {
+        let (tok, e1, e2) = fixtures();
+        let mut rng = StdRng::seed_from_u64(22);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);
+        assert_eq!(model.encoder().forward_count(), 0);
+        model.score(&e1, &e2); // pairwise path: two encoder forwards
+        assert_eq!(model.encoder().forward_count(), 2);
+        model.encoder().embed(&e1); // cached path: one forward per graph
+        assert_eq!(model.encoder().forward_count(), 3);
+        model.encoder().reset_forward_count();
+        assert_eq!(model.encoder().forward_count(), 0);
+    }
+
+    #[test]
+    fn replica_scores_identically_and_shares_counter() {
+        let (tok, e1, e2) = fixtures();
+        let mut rng = StdRng::seed_from_u64(23);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);
+        let replica = model.replica();
+        assert_eq!(replica.score(&e1, &e2), model.score(&e1, &e2));
+        // both scores above went through the shared counter: 2 + 2
+        assert_eq!(model.encoder().forward_count(), 4);
     }
 }

@@ -22,7 +22,10 @@ impl AttentionPooling {
         dim: usize,
         rng: &mut R,
     ) -> AttentionPooling {
-        let w = store.register(format!("{name}.w"), gbm_tensor::glorot_uniform(rng, dim, dim));
+        let w = store.register(
+            format!("{name}.w"),
+            gbm_tensor::glorot_uniform(rng, dim, dim),
+        );
         AttentionPooling { w, dim }
     }
 
@@ -66,7 +69,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut store = ParamStore::new();
         let pool = AttentionPooling::new(&mut store, "p", 3, &mut rng);
-        let rows = [vec![1.0f32, 2.0, 3.0], vec![-1.0, 0.5, 2.0], vec![0.0, 0.0, 1.0]];
+        let rows = [
+            vec![1.0f32, 2.0, 3.0],
+            vec![-1.0, 0.5, 2.0],
+            vec![0.0, 0.0, 1.0],
+        ];
         let forward = |order: &[usize]| {
             let g = Graph::new();
             let data: Vec<f32> = order.iter().flat_map(|&i| rows[i].clone()).collect();

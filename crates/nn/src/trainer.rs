@@ -6,6 +6,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::embeddings::EmbeddingStore;
 use crate::model::{EncodedGraph, GraphBinMatch};
 
 /// One labelled pair, indexing into a [`PairSet`]'s graph pool.
@@ -59,7 +60,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { lr: 1e-3, epochs: 8, batch_size: 8, grad_clip: 5.0, seed: 42 }
+        TrainConfig {
+            lr: 1e-3,
+            epochs: 8,
+            batch_size: 8,
+            grad_clip: 5.0,
+            seed: 42,
+        }
     }
 }
 
@@ -137,11 +144,16 @@ pub fn train(
 }
 
 /// Scores every pair in the set (inference mode). Order matches `data.pairs`.
+///
+/// Encode-once/score-many: each unique graph referenced by the pairs goes
+/// through the encoder exactly once (in parallel), then every pair is scored
+/// through the cheap matching head only (also in parallel). Bit-identical to
+/// calling [`GraphBinMatch::score`] per pair, asymptotically cheaper —
+/// O(N + M) encoder forwards instead of O(P) for P pairs over N + M graphs.
 pub fn predict(model: &GraphBinMatch, data: &PairSet) -> Vec<f32> {
-    data.pairs
-        .iter()
-        .map(|p| model.score(&data.graphs[p.a], &data.graphs[p.b]))
-        .collect()
+    let used: Vec<usize> = data.pairs.iter().flat_map(|p| [p.a, p.b]).collect();
+    let store = EmbeddingStore::build_subset(model, &data.graphs, &used);
+    store.score_pairs(model, &data.pairs)
 }
 
 #[cfg(test)]
@@ -170,7 +182,8 @@ mod tests {
             .map(|src| build_graph(&compile(SourceLang::MiniC, "t", src).unwrap()))
             .collect();
         let refs: Vec<&gbm_progml::ProgramGraph> = graphs.iter().collect();
-        let tok = Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
+        let tok =
+            Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
         let encoded: Vec<_> = graphs
             .iter()
             .map(|g| encode_graph(g, &tok, NodeTextMode::FullText))
@@ -180,14 +193,32 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 if i != j {
-                    pairs.push(PairExample { a: i, b: j, label: 1.0 });
-                    pairs.push(PairExample { a: 4 + i, b: 4 + j, label: 1.0 });
+                    pairs.push(PairExample {
+                        a: i,
+                        b: j,
+                        label: 1.0,
+                    });
+                    pairs.push(PairExample {
+                        a: 4 + i,
+                        b: 4 + j,
+                        label: 1.0,
+                    });
                 }
-                pairs.push(PairExample { a: i, b: 4 + j, label: 0.0 });
+                pairs.push(PairExample {
+                    a: i,
+                    b: 4 + j,
+                    label: 0.0,
+                });
             }
         }
         let vocab = tok.vocab_size();
-        (PairSet { graphs: encoded, pairs }, vocab)
+        (
+            PairSet {
+                graphs: encoded,
+                pairs,
+            },
+            vocab,
+        )
     }
 
     #[test]
@@ -195,7 +226,13 @@ mod tests {
         let (data, vocab) = toy_pairset();
         let mut rng = StdRng::seed_from_u64(11);
         let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
-        let cfg = TrainConfig { lr: 5e-3, epochs: 12, batch_size: 8, grad_clip: 5.0, seed: 3 };
+        let cfg = TrainConfig {
+            lr: 5e-3,
+            epochs: 12,
+            batch_size: 8,
+            grad_clip: 5.0,
+            seed: 3,
+        };
         let stats = train(&model, &data, &cfg, |_, _| {});
         let first = stats.first().unwrap();
         let last = stats.last().unwrap();
@@ -205,7 +242,11 @@ mod tests {
             first.loss,
             last.loss
         );
-        assert!(last.accuracy >= 0.8, "toy task should be learnable: {}", last.accuracy);
+        assert!(
+            last.accuracy >= 0.8,
+            "toy task should be learnable: {}",
+            last.accuracy
+        );
     }
 
     #[test]
@@ -224,7 +265,10 @@ mod tests {
         let run = || {
             let mut rng = StdRng::seed_from_u64(13);
             let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
-            let cfg = TrainConfig { epochs: 2, ..Default::default() };
+            let cfg = TrainConfig {
+                epochs: 2,
+                ..Default::default()
+            };
             train(&model, &data, &cfg, |_, _| {});
             predict(&model, &data)
         };
@@ -232,10 +276,33 @@ mod tests {
     }
 
     #[test]
+    fn predict_is_encode_once_and_matches_pairwise_path_bitwise() {
+        let (data, vocab) = toy_pairset();
+        let mut rng = StdRng::seed_from_u64(15);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
+        model.encoder().reset_forward_count();
+        let fast = predict(&model, &data);
+        // all 8 pool graphs appear in pairs: exactly one encoder forward each,
+        // not two per pair as the naive path would do
+        assert_eq!(model.encoder().forward_count(), data.graphs.len());
+        let naive: Vec<f32> = data
+            .pairs
+            .iter()
+            .map(|p| model.score(&data.graphs[p.a], &data.graphs[p.b]))
+            .collect();
+        assert_eq!(fast, naive, "cached predict must be bit-exact");
+    }
+
+    #[test]
     #[should_panic(expected = "empty training set")]
     fn empty_set_rejected() {
         let mut rng = StdRng::seed_from_u64(14);
         let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(16), &mut rng);
-        train(&model, &PairSet::default(), &TrainConfig::default(), |_, _| {});
+        train(
+            &model,
+            &PairSet::default(),
+            &TrainConfig::default(),
+            |_, _| {},
+        );
     }
 }

@@ -43,7 +43,11 @@ pub enum NodeKind {
 
 impl NodeKind {
     /// All kinds, in feature-index order.
-    pub const ALL: [NodeKind; 3] = [NodeKind::Instruction, NodeKind::Variable, NodeKind::Constant];
+    pub const ALL: [NodeKind; 3] = [
+        NodeKind::Instruction,
+        NodeKind::Variable,
+        NodeKind::Constant,
+    ];
 
     /// Dense index for embeddings.
     pub fn index(&self) -> usize {
@@ -173,7 +177,10 @@ impl ProgramGraph {
         let n = self.nodes.len() as u32;
         for (i, e) in self.edges.iter().enumerate() {
             if e.src >= n || e.dst >= n {
-                return Err(format!("edge {i} out of range: {} -> {} (n={n})", e.src, e.dst));
+                return Err(format!(
+                    "edge {i} out of range: {} -> {} (n={n})",
+                    e.src, e.dst
+                ));
             }
         }
         Ok(())
@@ -194,15 +201,33 @@ pub fn build_graph(m: &Module) -> ProgramGraph {
         if f.is_declaration() {
             continue;
         }
-        build_function(m, f, &mut g, &mut const_nodes, &mut entry_of, &mut rets_of, &mut call_sites);
+        build_function(
+            m,
+            f,
+            &mut g,
+            &mut const_nodes,
+            &mut entry_of,
+            &mut rets_of,
+            &mut call_sites,
+        );
     }
 
     // interprocedural call edges
     for (site, callee) in call_sites {
         if let Some(&entry) = entry_of.get(callee.as_str()) {
-            g.edges.push(Edge { kind: EdgeKind::Call, src: site, dst: entry, position: 0 });
+            g.edges.push(Edge {
+                kind: EdgeKind::Call,
+                src: site,
+                dst: entry,
+                position: 0,
+            });
             for &ret in rets_of.get(callee.as_str()).into_iter().flatten() {
-                g.edges.push(Edge { kind: EdgeKind::Call, src: ret, dst: site, position: 0 });
+                g.edges.push(Edge {
+                    kind: EdgeKind::Call,
+                    src: ret,
+                    dst: site,
+                    position: 0,
+                });
             }
         }
     }
@@ -255,7 +280,11 @@ fn build_function<'m>(
         };
         *const_nodes.entry(full.clone()).or_insert_with(|| {
             let id = g.nodes.len() as u32;
-            g.nodes.push(Node { kind: NodeKind::Constant, text, full_text: full });
+            g.nodes.push(Node {
+                kind: NodeKind::Constant,
+                text,
+                full_text: full,
+            });
             id
         })
     };
@@ -286,24 +315,51 @@ fn build_function<'m>(
                     Operand::Value(v) => var_for(g, v.0),
                     other => const_for(g, other),
                 };
-                g.edges.push(Edge { kind: EdgeKind::Data, src, dst: me, position: pos as u32 });
+                g.edges.push(Edge {
+                    kind: EdgeKind::Data,
+                    src,
+                    dst: me,
+                    position: pos as u32,
+                });
             }
             // data edge: result out
             if let Some(r) = inst.result {
                 let dst = var_for(g, r.0);
-                g.edges.push(Edge { kind: EdgeKind::Data, src: me, dst, position: 0 });
+                g.edges.push(Edge {
+                    kind: EdgeKind::Data,
+                    src: me,
+                    dst,
+                    position: 0,
+                });
             }
             // control edges
             match &inst.kind {
                 InstKind::Br { target } => {
                     let dst = inst_node[&(target.0, 0)];
-                    g.edges.push(Edge { kind: EdgeKind::Control, src: me, dst, position: 0 });
+                    g.edges.push(Edge {
+                        kind: EdgeKind::Control,
+                        src: me,
+                        dst,
+                        position: 0,
+                    });
                 }
-                InstKind::CondBr { then_bb, else_bb, .. } => {
+                InstKind::CondBr {
+                    then_bb, else_bb, ..
+                } => {
                     let t = inst_node[&(then_bb.0, 0)];
-                    g.edges.push(Edge { kind: EdgeKind::Control, src: me, dst: t, position: 0 });
+                    g.edges.push(Edge {
+                        kind: EdgeKind::Control,
+                        src: me,
+                        dst: t,
+                        position: 0,
+                    });
                     let e = inst_node[&(else_bb.0, 0)];
-                    g.edges.push(Edge { kind: EdgeKind::Control, src: me, dst: e, position: 1 });
+                    g.edges.push(Edge {
+                        kind: EdgeKind::Control,
+                        src: me,
+                        dst: e,
+                        position: 1,
+                    });
                 }
                 InstKind::Ret { .. } => {
                     rets_of.entry(f.name.as_str()).or_default().push(me);
@@ -316,7 +372,12 @@ fn build_function<'m>(
             // fallthrough control edge
             if i + 1 < block.insts.len() {
                 let next = inst_node[&(block.id.0, i + 1)];
-                g.edges.push(Edge { kind: EdgeKind::Control, src: me, dst: next, position: 0 });
+                g.edges.push(Edge {
+                    kind: EdgeKind::Control,
+                    src: me,
+                    dst: next,
+                    position: 0,
+                });
             }
         }
     }
@@ -341,7 +402,13 @@ impl GraphStats {
     /// Computes stats for a graph.
     pub fn of(g: &ProgramGraph) -> GraphStats {
         let [control, data, call] = g.edge_counts();
-        GraphStats { nodes: g.num_nodes(), edges: g.num_edges(), control, data, call }
+        GraphStats {
+            nodes: g.num_nodes(),
+            edges: g.num_edges(),
+            control,
+            data,
+            call,
+        }
     }
 }
 
@@ -400,13 +467,21 @@ mod tests {
             .filter(|e| e.kind == EdgeKind::Control && e.src == br)
             .collect();
         assert_eq!(succ.len(), 2);
-        assert_eq!(succ.iter().map(|e| e.position).max(), Some(1), "then=0, else=1");
+        assert_eq!(
+            succ.iter().map(|e| e.position).max(),
+            Some(1),
+            "then=0, else=1"
+        );
     }
 
     #[test]
     fn call_edges_connect_caller_and_callee() {
         let g = c_graph("int sq(int x) { return x * x; } int main() { return sq(4); }");
-        let calls: Vec<&Edge> = g.edges.iter().filter(|e| e.kind == EdgeKind::Call).collect();
+        let calls: Vec<&Edge> = g
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Call)
+            .collect();
         // exactly one call-site→entry edge; one return edge per `ret` in the
         // callee (lowering leaves a dead default-return block, so ≥ 1)
         let entries = calls.iter().filter(|e| e.dst != calls[0].src).count();
@@ -487,8 +562,12 @@ mod tests {
         )
         .unwrap();
         let src_g = build_graph(&m);
-        let obj = gbm_binary::compile_to_binary(&m, gbm_binary::Compiler::Clang, gbm_binary::OptLevel::O0)
-            .unwrap();
+        let obj = gbm_binary::compile_to_binary(
+            &m,
+            gbm_binary::Compiler::Clang,
+            gbm_binary::OptLevel::O0,
+        )
+        .unwrap();
         let dec = gbm_binary::decompile::decompile(&obj);
         let dec_g = build_graph(&dec);
         assert_ne!(src_g.num_nodes(), dec_g.num_nodes());

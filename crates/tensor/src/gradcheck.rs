@@ -108,9 +108,12 @@ mod tests {
             g.mean_all(m)
         })
         .unwrap();
-        check(&[a.clone()], |g, vs| g.mean_all(g.sigmoid(vs[0]))).unwrap();
-        check(&[a.clone()], |g, vs| g.mean_all(g.tanh(vs[0]))).unwrap();
-        check(&[a.clone()], |g, vs| g.mean_all(g.exp(vs[0]))).unwrap();
+        check(std::slice::from_ref(&a), |g, vs| {
+            g.mean_all(g.sigmoid(vs[0]))
+        })
+        .unwrap();
+        check(std::slice::from_ref(&a), |g, vs| g.mean_all(g.tanh(vs[0]))).unwrap();
+        check(std::slice::from_ref(&a), |g, vs| g.mean_all(g.exp(vs[0]))).unwrap();
         check(&[a], |g, vs| g.mean_all(g.leaky_relu(vs[0], 0.2))).unwrap();
     }
 
@@ -229,6 +232,9 @@ mod rowvec_tests {
         let mut rng = StdRng::seed_from_u64(52);
         let x = Tensor::rand_uniform(&mut rng, &[3, 4], -1.0, 1.0);
         let v = Tensor::rand_uniform(&mut rng, &[4], 0.5, 1.5);
-        check(&[x, v], |g, vs| g.mean_all(g.square(g.mul_rowvec(vs[0], vs[1])))).unwrap();
+        check(&[x, v], |g, vs| {
+            g.mean_all(g.square(g.mul_rowvec(vs[0], vs[1])))
+        })
+        .unwrap();
     }
 }

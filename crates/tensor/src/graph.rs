@@ -59,13 +59,23 @@ impl Graph {
 
     /// Records a non-differentiable input (dataset tensors, labels, masks).
     pub fn constant(&self, value: Tensor) -> Var {
-        self.push(Node { value, needs_grad: false, backward: None, sink: None })
+        self.push(Node {
+            value,
+            needs_grad: false,
+            backward: None,
+            sink: None,
+        })
     }
 
     /// Records a differentiable input that is *not* a parameter — used by
     /// gradient checking and by composite layers that need `∂out/∂input`.
     pub fn leaf(&self, value: Tensor) -> Var {
-        self.push(Node { value, needs_grad: true, backward: None, sink: None })
+        self.push(Node {
+            value,
+            needs_grad: true,
+            backward: None,
+            sink: None,
+        })
     }
 
     /// Binds a trainable [`Param`]: gradients accumulate into the param
@@ -111,9 +121,17 @@ impl Graph {
         backward: impl Fn(&Tensor) -> Vec<(u32, Tensor)> + 'static,
     ) -> Var {
         let needs_grad = parents.iter().any(|p| self.needs(*p));
-        let backward: Option<BackwardFn> =
-            if needs_grad { Some(Box::new(backward)) } else { None };
-        self.push(Node { value, needs_grad, backward, sink: None })
+        let backward: Option<BackwardFn> = if needs_grad {
+            Some(Box::new(backward))
+        } else {
+            None
+        };
+        self.push(Node {
+            value,
+            needs_grad,
+            backward,
+            sink: None,
+        })
     }
 
     /// Runs reverse-mode differentiation seeded with `∂target/∂target = 1`.
@@ -198,9 +216,7 @@ impl Graph {
             |x, y| x / y,
             |g, va, vb| {
                 let da = g.zip(vb, |gv, y| gv / y);
-                let db = g
-                    .zip(va, |gv, x| gv * x)
-                    .zip(vb, |num, y| -num / (y * y));
+                let db = g.zip(va, |gv, x| gv * x).zip(vb, |num, y| -num / (y * y));
                 (da, db)
             },
         )
@@ -301,11 +317,7 @@ impl Graph {
 
     /// Standard ReLU.
     pub fn relu(&self, a: Var) -> Var {
-        self.unary(
-            a,
-            |x| x.max(0.0),
-            |g, x, _| if x > 0.0 { g } else { 0.0 },
-        )
+        self.unary(a, |x| x.max(0.0), |g, x, _| if x > 0.0 { g } else { 0.0 })
     }
 
     // ---------------------------------------------------------------------
@@ -342,7 +354,10 @@ impl Graph {
         let (n, m) = (va.dims()[0], va.dims()[1]);
         let out = Tensor::from_vec(kernels::transpose(va.data(), n, m), &[m, n]);
         self.op(out, &[a], move |g| {
-            vec![(a.id, Tensor::from_vec(kernels::transpose(g.data(), m, n), &[n, m]))]
+            vec![(
+                a.id,
+                Tensor::from_vec(kernels::transpose(g.data(), m, n), &[n, m]),
+            )]
         })
     }
 
@@ -385,6 +400,7 @@ impl Graph {
         self.op(out, &[x, v], move |g| {
             let mut dx = vec![0.0f32; n * m];
             let mut dv = vec![0.0f32; m];
+            #[allow(clippy::needless_range_loop)] // (i, j) are matrix coordinates
             for i in 0..n {
                 for j in 0..m {
                     let idx = i * m + j;
@@ -498,6 +514,7 @@ impl Graph {
         self.op(out, &[x, c], move |g| {
             let mut dx = vec![0.0f32; n * m];
             let mut dc = vec![0.0f32; n];
+            #[allow(clippy::needless_range_loop)] // (i, j) are matrix coordinates
             for i in 0..n {
                 let cv = vc.data()[i];
                 for j in 0..m {

@@ -100,7 +100,9 @@ pub(crate) fn matmul_nt(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> V
     };
     let mut c = vec![0.0f32; n * m];
     if work >= PAR_THRESHOLD && n > 1 {
-        c.par_chunks_mut(m).enumerate().for_each(|(i, crow)| row(i, crow));
+        c.par_chunks_mut(m)
+            .enumerate()
+            .for_each(|(i, crow)| row(i, crow));
     } else {
         for (i, crow) in c.chunks_mut(m).enumerate() {
             row(i, crow);
@@ -124,9 +126,11 @@ pub(crate) fn transpose(a: &[f32], n: usize, m: usize) -> Vec<f32> {
 pub(crate) fn gather_rows(x: &[f32], d: usize, idx: &[u32]) -> Vec<f32> {
     let mut out = vec![0.0f32; idx.len() * d];
     if idx.len() * d >= PAR_THRESHOLD {
-        out.par_chunks_mut(d).zip(idx.par_iter()).for_each(|(orow, &i)| {
-            orow.copy_from_slice(&x[i as usize * d..(i as usize + 1) * d]);
-        });
+        out.par_chunks_mut(d)
+            .zip(idx.par_iter())
+            .for_each(|(orow, &i)| {
+                orow.copy_from_slice(&x[i as usize * d..(i as usize + 1) * d]);
+            });
     } else {
         for (orow, &i) in out.chunks_mut(d).zip(idx.iter()) {
             orow.copy_from_slice(&x[i as usize * d..(i as usize + 1) * d]);

@@ -42,14 +42,18 @@ impl Graph {
         let va = self.value(a);
         let keep = 1.0 - p;
         let mask: Vec<f32> = (0..va.len())
-            .map(|_| if rng.random_range(0.0f32..1.0) < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.random_range(0.0f32..1.0) < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Tensor::from_vec(mask, va.dims());
         let vm = mask.clone();
         let out = va.zip(&mask, |x, m| x * m);
-        self.op(out, &[a], move |g| {
-            vec![(a.id, g.zip(&vm, |gv, m| gv * m))]
-        })
+        self.op(out, &[a], move |g| vec![(a.id, g.zip(&vm, |gv, m| gv * m))])
     }
 
     // ---------------------------------------------------------------------
@@ -208,7 +212,10 @@ mod tests {
     #[test]
     fn softmax_rows_forward_and_grad_shape() {
         let g = Graph::new();
-        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]));
+        let x = g.leaf(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0],
+            &[2, 3],
+        ));
         let y = g.softmax_rows(x);
         let vy = g.value(y);
         for row in vy.data().chunks(3) {

@@ -61,7 +61,14 @@ pub struct Adam {
 impl Adam {
     /// Adam with custom learning rate and default betas (0.9, 0.999).
     pub fn with_lr(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, state: HashMap::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            state: HashMap::new(),
+        }
     }
 
     /// The paper's configuration: `lr = 6.6e-5`.
@@ -85,10 +92,10 @@ impl Optimizer for Adam {
             let g = p.grad();
             let key = p.key();
             let n = p.len();
-            let st = self
-                .state
-                .entry(key)
-                .or_insert_with(|| AdamState { m: vec![0.0; n], v: vec![0.0; n] });
+            let st = self.state.entry(key).or_insert_with(|| AdamState {
+                m: vec![0.0; n],
+                v: vec![0.0; n],
+            });
             let w = p.value();
             let mut new_w = Vec::with_capacity(n);
             for i in 0..n {
@@ -148,7 +155,7 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         for _ in 0..100 {
             quadratic_step(&p);
-            opt.step(&[p.clone()]);
+            opt.step(std::slice::from_ref(&p));
         }
         assert!((p.value().item() - 3.0).abs() < 1e-3);
     }
@@ -159,9 +166,13 @@ mod tests {
         let mut opt = Adam::with_lr(0.1);
         for _ in 0..300 {
             quadratic_step(&p);
-            opt.step(&[p.clone()]);
+            opt.step(std::slice::from_ref(&p));
         }
-        assert!((p.value().item() - 3.0).abs() < 1e-2, "w = {}", p.value().item());
+        assert!(
+            (p.value().item() - 3.0).abs() < 1e-2,
+            "w = {}",
+            p.value().item()
+        );
         assert_eq!(opt.steps(), 300);
     }
 
@@ -170,7 +181,7 @@ mod tests {
         let p = Param::new("w", Tensor::scalar(0.0));
         quadratic_step(&p);
         assert!(p.grad().item() != 0.0);
-        Sgd::new(0.1).step(&[p.clone()]);
+        Sgd::new(0.1).step(std::slice::from_ref(&p));
         assert_eq!(p.grad().item(), 0.0);
     }
 
@@ -178,13 +189,13 @@ mod tests {
     fn clip_grad_norm_bounds_norm() {
         let p = Param::new("w", Tensor::zeros(&[3]));
         p.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0, 0.0], &[3]));
-        let pre = clip_grad_norm(&[p.clone()], 1.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert!((pre - 5.0).abs() < 1e-6);
         assert!((p.grad().norm() - 1.0).abs() < 1e-5);
         // below-threshold gradients are untouched
         let q = Param::new("q", Tensor::zeros(&[1]));
         q.accumulate_grad(&Tensor::scalar(0.5));
-        clip_grad_norm(&[q.clone()], 1.0);
+        clip_grad_norm(std::slice::from_ref(&q), 1.0);
         assert_eq!(q.grad().item(), 0.5);
     }
 }

@@ -24,7 +24,11 @@ impl Param {
     /// Creates a parameter with zeroed gradient.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.dims());
-        Param(Rc::new(RefCell::new(ParamInner { name: name.into(), value, grad })))
+        Param(Rc::new(RefCell::new(ParamInner {
+            name: name.into(),
+            value,
+            grad,
+        })))
     }
 
     /// Parameter name (used in diagnostics and serialization).

@@ -30,14 +30,20 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor { shape, data: Arc::new(data) }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// All-zeros tensor.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let n = shape.len();
-        Tensor { shape, data: Arc::new(vec![0.0; n]) }
+        Tensor {
+            shape,
+            data: Arc::new(vec![0.0; n]),
+        }
     }
 
     /// All-ones tensor.
@@ -49,7 +55,10 @@ impl Tensor {
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let n = shape.len();
-        Tensor { shape, data: Arc::new(vec![value; n]) }
+        Tensor {
+            shape,
+            data: Arc::new(vec![value; n]),
+        }
     }
 
     /// Scalar wrapped as a `[1]` tensor.
@@ -71,7 +80,10 @@ impl Tensor {
         let shape = Shape::new(dims);
         let n = shape.len();
         let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
-        Tensor { shape, data: Arc::new(data) }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// Standard-normal random tensor (Box–Muller; no external distribution
@@ -90,7 +102,10 @@ impl Tensor {
                 data.push(mean + std * r * theta.sin());
             }
         }
-        Tensor { shape, data: Arc::new(data) }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// The tensor's shape.
@@ -139,14 +154,26 @@ impl Tensor {
     /// Same buffer viewed under a different shape (must preserve length).
     pub fn reshape(&self, dims: &[usize]) -> Tensor {
         let shape = Shape::new(dims);
-        assert_eq!(shape.len(), self.len(), "reshape {:?} -> {:?}", self.shape, shape);
-        Tensor { shape, data: Arc::clone(&self.data) }
+        assert_eq!(
+            shape.len(),
+            self.len(),
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
+        Tensor {
+            shape,
+            data: Arc::clone(&self.data),
+        }
     }
 
     /// Elementwise map into a fresh tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         let data = self.data.iter().map(|&x| f(x)).collect();
-        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(data),
+        }
     }
 
     /// Elementwise combination of two same-shape tensors.
@@ -158,7 +185,10 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(data),
+        }
     }
 
     /// Sum of all elements.
@@ -215,7 +245,10 @@ impl Tensor {
 
     pub(crate) fn from_parts(shape: Shape, data: Vec<f32>) -> Tensor {
         assert_eq!(shape.len(), data.len());
-        Tensor { shape, data: Arc::new(data) }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 }
 
@@ -225,7 +258,13 @@ impl fmt::Debug for Tensor {
         if self.len() <= 16 {
             write!(f, " {:?}", &self.data[..])
         } else {
-            write!(f, " [{:.4}, {:.4}, … ({} elems)]", self.data[0], self.data[1], self.len())
+            write!(
+                f,
+                " [{:.4}, {:.4}, … ({} elems)]",
+                self.data[0],
+                self.data[1],
+                self.len()
+            )
         }
     }
 }

@@ -43,7 +43,11 @@ pub struct TokenizerConfig {
 
 impl Default for TokenizerConfig {
     fn default() -> Self {
-        TokenizerConfig { vocab_cap: 2048, seq_len_override: None, normalize_vars: true }
+        TokenizerConfig {
+            vocab_cap: 2048,
+            seq_len_override: None,
+            normalize_vars: true,
+        }
     }
 }
 
@@ -90,10 +94,18 @@ impl Tokenizer {
             vocab.insert(tok, Self::NUM_SPECIALS + i as u32);
         }
         let seq_len = cfg.seq_len_override.unwrap_or_else(|| {
-            let mean = if count == 0 { 1 } else { total_len.div_ceil(count) };
+            let mean = if count == 0 {
+                1
+            } else {
+                total_len.div_ceil(count)
+            };
             mean.max(1).next_power_of_two()
         });
-        Tokenizer { vocab, seq_len, normalize_vars: cfg.normalize_vars }
+        Tokenizer {
+            vocab,
+            seq_len,
+            normalize_vars: cfg.normalize_vars,
+        }
     }
 
     /// Trains on the node attributes of a set of program graphs.
@@ -179,7 +191,10 @@ pub fn pre_tokenize_with(text: &str, normalize_vars: bool) -> Vec<String> {
             i = j.max(i + 1);
             continue;
         }
-        if c == '@' || c.is_ascii_alphanumeric() || c == '_' || c == '-' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()
+        if c == '@'
+            || c.is_ascii_alphanumeric()
+            || c == '_'
+            || c == '-' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()
         {
             let start = i;
             i += 1;
@@ -235,7 +250,11 @@ mod tests {
         let corpus = ["%1 = add i64 %2, %3"];
         let tok = Tokenizer::train(
             corpus.iter().copied(),
-            TokenizerConfig { vocab_cap: 2048, seq_len_override: Some(4), normalize_vars: true },
+            TokenizerConfig {
+                vocab_cap: 2048,
+                seq_len_override: Some(4),
+                normalize_vars: true,
+            },
         );
         let short = tok.encode("ret");
         assert_eq!(short.len(), 4);
@@ -258,7 +277,11 @@ mod tests {
         let texts: Vec<String> = (0..5000).map(|i| format!("tok{i}")).collect();
         let tok = Tokenizer::train(
             texts.iter().map(|s| s.as_str()),
-            TokenizerConfig { vocab_cap: 100, seq_len_override: None, normalize_vars: true },
+            TokenizerConfig {
+                vocab_cap: 100,
+                seq_len_override: None,
+                normalize_vars: true,
+            },
         );
         assert!(tok.vocab_size() <= 100);
     }
@@ -291,8 +314,10 @@ mod tests {
         )
         .unwrap();
         let g = gbm_progml::build_graph(&m);
-        let full = Tokenizer::train_on_graphs(&[&g], NodeTextMode::FullText, TokenizerConfig::default());
-        let text = Tokenizer::train_on_graphs(&[&g], NodeTextMode::Text, TokenizerConfig::default());
+        let full =
+            Tokenizer::train_on_graphs(&[&g], NodeTextMode::FullText, TokenizerConfig::default());
+        let text =
+            Tokenizer::train_on_graphs(&[&g], NodeTextMode::Text, TokenizerConfig::default());
         // full_text corpora have longer sequences and bigger vocabularies
         assert!(full.seq_len() >= text.seq_len());
         assert!(full.vocab_size() >= text.vocab_size());

@@ -1,0 +1,96 @@
+//! Ranked binary→source search — the paper's headline workload. Given a
+//! stripped binary, rank a corpus of candidate sources (here: both MiniC and
+//! MiniJava solutions) by matching score and see whether the true origin
+//! lands on top.
+//!
+//! Retrieval runs encode-once/score-many: every graph goes through the GNN
+//! encoder exactly once, queries are ranked through the cheap matching head
+//! over the cached embeddings.
+//!
+//! ```text
+//! cargo run --release --example binary_search
+//! ```
+
+use gbm_eval::{rank_candidates, RetrievalConfig};
+use gbm_nn::{encode_graph, EmbeddingStore, GraphBinMatch, GraphBinMatchConfig};
+use gbm_progml::{build_graph, NodeTextMode};
+use gbm_tokenizer::{Tokenizer, TokenizerConfig};
+use graphbinmatch::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // a corpus of candidate sources drawn from the synthetic task library —
+    // 6 tasks, one MiniC and one MiniJava solution each
+    let tasks: Vec<usize> = (0..6).collect();
+    let mut corpus: Vec<(String, Module)> = Vec::new();
+    for &t in &tasks {
+        for (lang, tag) in [(SourceLang::MiniC, "c"), (SourceLang::MiniJava, "java")] {
+            let src = gbm_datasets::tasks::emit(
+                t,
+                lang,
+                &mut gbm_datasets::style::Style::new(7 + t as u64),
+            );
+            let name = format!("{}.{tag}", gbm_datasets::tasks::TASK_NAMES[t]);
+            corpus.push((
+                name,
+                Pipeline::compile_source(lang, &src).expect("task compiles"),
+            ));
+        }
+    }
+
+    // the "unknown" binary under analysis: task 2's MiniC solution, compiled
+    // with a different style seed, optimized, and decompiled RetDec-style
+    let query_task = 2usize;
+    let unknown_src = gbm_datasets::tasks::emit(
+        query_task,
+        SourceLang::MiniC,
+        &mut gbm_datasets::style::Style::new(99),
+    );
+    let unknown = Pipeline::compile_source(SourceLang::MiniC, &unknown_src).unwrap();
+    let obj = Pipeline::compile_to_binary(&unknown, Compiler::Gcc, OptLevel::O2).unwrap();
+    let lifted = Pipeline::decompile(&obj);
+
+    // graphs + tokenizer over the whole pool, then one encoder pass per graph
+    let graphs: Vec<gbm_progml::ProgramGraph> = corpus
+        .iter()
+        .map(|(_, m)| build_graph(m))
+        .chain(std::iter::once(build_graph(&lifted)))
+        .collect();
+    let refs: Vec<&gbm_progml::ProgramGraph> = graphs.iter().collect();
+    let tok = Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
+    let pool: Vec<_> = graphs
+        .iter()
+        .map(|g| encode_graph(g, &tok, NodeTextMode::FullText))
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = GraphBinMatch::new(GraphBinMatchConfig::small(tok.vocab_size()), &mut rng);
+    let store = EmbeddingStore::build(&model, &pool);
+    println!(
+        "encoded {} graphs with {} encoder forwards (one each)\n",
+        pool.len(),
+        model.encoder().forward_count()
+    );
+
+    // rank all sources for the decompiled query (pool index = last)
+    let query = pool.len() - 1;
+    let candidates: Vec<usize> = (0..corpus.len()).collect();
+    let ranking = rank_candidates(
+        &model,
+        &store,
+        query,
+        &candidates,
+        &RetrievalConfig::default(),
+    );
+
+    println!(
+        "ranked candidates for the unknown binary (truth: {}):",
+        corpus[query_task * 2].0
+    );
+    for (rank, (c, score)) in ranking.iter().take(5).enumerate() {
+        println!("  {:>2}. {:<24} score {score:.3}", rank + 1, corpus[*c].0);
+    }
+    println!("\n(untrained model — scores are illustrative; the table_retrieval");
+    println!(" binary reports MRR/recall@k with a trained model)");
+}

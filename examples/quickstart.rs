@@ -38,14 +38,20 @@ class Main {
     let j_module =
         Pipeline::compile_source(SourceLang::MiniJava, java_source).expect("Java compiles");
     println!("MiniC IR: {} instructions", c_module.num_insts());
-    println!("MiniJava IR: {} instructions (JLang-style runtime included)", j_module.num_insts());
+    println!(
+        "MiniJava IR: {} instructions (JLang-style runtime included)",
+        j_module.num_insts()
+    );
 
     // 2. binary side: compile the C program and decompile it
     let binary = Pipeline::compile_to_binary(&c_module, Compiler::Clang, OptLevel::Oz)
         .expect("binary compiles");
     println!("binary: {} bytes of VISA code", binary.code_bytes());
     let lifted = Pipeline::decompile(&binary);
-    println!("decompiled IR: {} instructions (type-degraded)", lifted.num_insts());
+    println!(
+        "decompiled IR: {} instructions (type-degraded)",
+        lifted.num_insts()
+    );
 
     // 3. graphs
     let bin_graph = build_graph(&lifted);

@@ -12,7 +12,11 @@ use graphbinmatch::prelude::*;
 
 fn main() {
     // a small source corpus: solutions to several tasks in both languages
-    let ds = clcdsa(DatasetConfig { num_tasks: 6, solutions_per_task: 2, seed: 11 });
+    let ds = clcdsa(DatasetConfig {
+        num_tasks: 6,
+        solutions_per_task: 2,
+        seed: 11,
+    });
     println!("source corpus: {} files", ds.solutions.len());
 
     // the "unknown binary": one MiniC solution compiled at O2 and stripped
@@ -23,9 +27,12 @@ fn main() {
         .position(|s| s.lang == SourceLang::MiniC && s.task == 3)
         .expect("corpus has a task-3 C solution");
     let target_task = ds.solutions[target_idx].task;
-    let binary =
-        Pipeline::compile_to_binary(&ds.solutions[target_idx].module, Compiler::Gcc, OptLevel::O2)
-            .expect("compiles");
+    let binary = Pipeline::compile_to_binary(
+        &ds.solutions[target_idx].module,
+        Compiler::Gcc,
+        OptLevel::O2,
+    )
+    .expect("compiles");
     let lifted = Pipeline::decompile(&binary);
     println!(
         "unknown binary: {} bytes, decompiles to {} IR instructions",
@@ -47,7 +54,11 @@ fn main() {
     println!("\ntop-5 retrieved sources (untrained model — rankings are illustrative):");
     for (rank, (i, score)) in ranked.iter().take(5).enumerate() {
         let s = &ds.solutions[*i];
-        let marker = if s.task == target_task { "  <-- same task" } else { "" };
+        let marker = if s.task == target_task {
+            "  <-- same task"
+        } else {
+            ""
+        };
         println!(
             "  {}. score {:.3}  task={:<16} lang={}{}",
             rank + 1,

@@ -27,7 +27,12 @@ fn main() {
 
     println!("\ntraining curve:");
     for (i, s) in result.train_stats.iter().enumerate() {
-        println!("  epoch {:>2}: loss {:.4}  train-acc {:.2}", i + 1, s.loss, s.accuracy);
+        println!(
+            "  epoch {:>2}: loss {:.4}  train-acc {:.2}",
+            i + 1,
+            s.loss,
+            s.accuracy
+        );
     }
     println!("\ntest-set results (threshold 0.5):");
     for m in &result.methods {

@@ -90,7 +90,10 @@ fn trained_model_beats_chance_on_held_out_pairs() {
     // than coin-flipping on at least the training curve
     let first = result.train_stats.first().unwrap();
     let last = result.train_stats.last().unwrap();
-    assert!(last.loss <= first.loss + 0.05, "training diverged: {first:?} -> {last:?}");
+    assert!(
+        last.loss <= first.loss + 0.05,
+        "training diverged: {first:?} -> {last:?}"
+    );
 }
 
 /// Seed helper so the integration test reads naturally.
@@ -106,7 +109,11 @@ impl WithSeed for gbm_eval::HarnessConfig {
 #[test]
 fn dataset_statistics_match_table1_shape() {
     use gbm_datasets::{clcdsa, DatasetConfig};
-    let ds = clcdsa(DatasetConfig { num_tasks: 4, solutions_per_task: 3, seed: 1 });
+    let ds = clcdsa(DatasetConfig {
+        num_tasks: 4,
+        solutions_per_task: 3,
+        seed: 1,
+    });
     let stats = ds.stats(Compiler::Clang, OptLevel::Oz);
     assert_eq!(stats.len(), 2);
     for s in &stats {

@@ -1,0 +1,115 @@
+//! A minimal stand-in for the `bytes` crate: the [`Buf`] / [`BufMut`]
+//! little-endian accessors the VISA object-file codec uses, implemented for
+//! `&[u8]` (reading advances the slice) and `Vec<u8>` (writing appends).
+
+/// Sequential little-endian reads; each call consumes from the front.
+///
+/// Callers must check remaining length first (as the real crate requires);
+/// reads past the end panic.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `i32`.
+    fn get_i32_le(&mut self) -> i32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        let (_, rest) = self.split_at(n);
+        *self = rest;
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_le_bytes([head[0], head[1]])
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes([head[0], head[1], head[2], head[3]])
+    }
+
+    fn get_i32_le(&mut self) -> i32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        i32::from_le_bytes([head[0], head[1], head[2], head[3]])
+    }
+}
+
+/// Sequential little-endian writes (append-only).
+pub trait BufMut {
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Writes a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Writes a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Writes a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i32_le(&mut self, v: i32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u16_le(0x1234);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_i32_le(-7);
+        let mut r: &[u8] = &out;
+        assert_eq!(r.remaining(), 11);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_i32_le(), -7);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_end_panics() {
+        let mut r: &[u8] = &[1];
+        let _ = r.get_u32_le();
+    }
+}

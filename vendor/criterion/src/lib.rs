@@ -1,0 +1,167 @@
+//! A minimal wall-clock benchmark harness exposing the subset of the
+//! `criterion` API the workspace's benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function`, `sample_size`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over enough
+//! iterations to fill a fixed budget; the mean per-iteration time is printed.
+//! There is no statistical analysis or HTML report — the point is a cheap,
+//! dependency-free `cargo bench` that still surfaces relative costs.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Target warm-up time per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(60);
+
+/// Times one closure; handed to `bench_function` callbacks.
+pub struct Bencher {
+    /// Mean per-iteration time of the measured run.
+    elapsed_per_iter: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records its mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up, also yields a per-iter estimate
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((MEASURE_BUDGET.as_secs_f64() / per_iter.max(1e-9)) as u64)
+            .clamp(1, 10_000_000)
+            .min(self.iters.max(1) * 1_000_000); // sample_size keeps a soft cap
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_per_iter = start.elapsed() / iters as u32;
+        self.iters = iters;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let t = b.elapsed_per_iter;
+    let pretty = if t >= Duration::from_millis(1) {
+        format!("{:>10.3} ms", t.as_secs_f64() * 1e3)
+    } else {
+        format!("{:>10.3} µs", t.as_secs_f64() * 1e6)
+    };
+    println!("{name:<48} time: {pretty}/iter  ({} iters)", b.iters);
+}
+
+/// Benchmark registry/runner (criterion-compatible shell).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+        }
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+            iters: 1,
+        };
+        f(&mut b);
+        report(&id, &b);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the harness sizes runs by a
+    /// fixed time budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+            iters: 1,
+        };
+        f(&mut b);
+        report(&id, &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one name, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .bench_function("inner", |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,297 @@
+//! A minimal property-testing harness exposing the subset of the `proptest`
+//! API the workspace's tests use: the [`proptest!`] macro, [`Strategy`] with
+//! range / [`Just`] / [`prop_oneof!`] / [`collection::vec`] strategies, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from real proptest: failing cases are reported with their
+//! case number but are **not shrunk**, and sampling is deterministic per
+//! test function (seeded from the test name) so failures reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A recipe for generating random values of one type.
+///
+/// Object-safe (sampling takes a concrete [`StdRng`]) so heterogeneous
+/// strategies can be unioned by [`prop_oneof!`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(usize, u64, u32, i64, i32);
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        rng.random_range(self.clone())
+    }
+}
+
+/// Uniform choice among boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given options; must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<i32>> for SizeRange {
+        fn from(r: std::ops::Range<i32>) -> Self {
+            SizeRange {
+                lo: r.start as usize,
+                hi: r.end as usize,
+            }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.lo..self.size.hi.max(self.size.lo + 1));
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of the test name — the per-test seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(
+            {
+                let boxed: Box<dyn $crate::Strategy<Value = _>> = Box::new($strategy);
+                boxed
+            }
+        ),+])
+    };
+}
+
+/// Asserts a condition inside a property (panics with the failing case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Declares property tests: each `fn` samples its arguments from the given
+/// strategies and runs the body for `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; ) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut __rng = <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(
+                $crate::seed_for(stringify!($name)),
+            );
+            for __case in 0..config.cases {
+                let _ = __case;
+                $(let $pat = $crate::Strategy::sample(&($strategy), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_small() -> impl Strategy<Value = u32> {
+        prop_oneof![Just(1u32), Just(2u32), Just(3u32)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, y in 0.0f32..=1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        /// Unions only produce their options.
+        #[test]
+        fn oneof_produces_options(v in arb_small()) {
+            prop_assert!((1..=3).contains(&v));
+        }
+
+        /// Collection vec respects the size range.
+        #[test]
+        fn vec_sizes(xs in crate::collection::vec(0i32..5, 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+            prop_assert!(xs.iter().all(|&x| (0..5).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn seed_is_stable_per_name() {
+        assert_eq!(crate::seed_for("abc"), crate::seed_for("abc"));
+        assert_ne!(crate::seed_for("abc"), crate::seed_for("abd"));
+    }
+}

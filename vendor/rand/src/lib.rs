@@ -1,0 +1,262 @@
+//! A compact, dependency-free stand-in for the `rand` crate.
+//!
+//! The workspace vendors its external dependencies (see the root README);
+//! this crate implements exactly the surface the codebase uses:
+//!
+//! * [`RngExt::random_range`] over integer and float ranges,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`rngs::StdRng`] — xoshiro256++ seeded through SplitMix64,
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//!
+//! Everything is deterministic given a seed, across platforms: the
+//! experiment harness and the test suite rely on that.
+
+/// A source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive; integer or
+    /// float). Panics on an empty range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> RngExt for T {}
+
+/// A range that knows how to sample itself uniformly.
+///
+/// The element type is a trait *parameter* (as in real rand), so type
+/// inference can flow from the call site's expected result type into the
+/// range's literal type — `rng.random_range(0.0..1.0) < p` with `p: f32`
+/// resolves the literals to `f32`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+/// Uniform integer in `[0, span)` without modulo bias (rejection sampling).
+fn uniform_u64<G: RngCore + ?Sized>(rng: &mut G, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_u64(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Uniform f32 in `[0, 1)` using the top 24 bits of one word.
+fn unit_f32<G: RngCore + ?Sized>(rng: &mut G) -> f32 {
+    ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + (self.end - self.start) * unit_f32(rng);
+        // guard against round-up at the high end of wide ranges
+        if v >= self.end {
+            self.end - (self.end - self.start) * f32::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for std::ops::RangeInclusive<f32> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> f32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let u = ((rng.next_u64() >> 40) as f32) * (1.0 / ((1u64 << 24) - 1) as f32);
+        (lo + (hi - lo) * u).clamp(lo, hi)
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + (self.end - self.start) * u;
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman & Vigna),
+    /// seeded by expanding the `u64` seed through SplitMix64. Fast, decent
+    /// statistical quality, and fully deterministic across platforms.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::RngExt;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngExt + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngExt + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0u64..u64::MAX),
+                b.random_range(0u64..u64::MAX)
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_give_distinct_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0..1u64 << 60)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0..1u64 << 60)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn int_ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.random_range(5usize..17);
+            assert!((5..17).contains(&v));
+            let w = rng.random_range(-4i32..=4);
+            assert!((-4..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lo_half = 0;
+        for _ in 0..1000 {
+            let v = rng.random_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&v));
+            if v < 0.5 {
+                lo_half += 1;
+            }
+            let w = rng.random_range(0.0f32..=1.0);
+            assert!((0.0..=1.0).contains(&w));
+        }
+        assert!(
+            (300..700).contains(&lo_half),
+            "uniformity way off: {lo_half}"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -1,0 +1,240 @@
+//! A compact stand-in for `rayon` built on `std::thread::scope`.
+//!
+//! The workspace vendors its external dependencies (see the root README);
+//! this crate implements the data-parallel surface the codebase uses:
+//!
+//! * `slice.par_iter()` / `vec.par_iter()`,
+//! * `slice.par_chunks(n)` / `slice.par_chunks_mut(n)`,
+//! * adaptor chains `.map(..)`, `.zip(..)`, `.enumerate()`,
+//! * terminals `.for_each(..)` and `.collect::<Vec<_>>() / ::<HashMap<_,_>>()`.
+//!
+//! Unlike real rayon there is no work-stealing pool: each *stage* splits its
+//! items into contiguous per-thread buckets and runs them on scoped threads,
+//! falling back to the current thread when the workload is too small to
+//! amortize a spawn (see [`MIN_ITEMS_PER_THREAD`]). Order is preserved, so
+//! `collect` sees items in the same order as the sequential iterator — a
+//! property the deterministic experiment harness relies on.
+
+use std::num::NonZeroUsize;
+
+/// Below this many items per would-be thread a stage runs sequentially by
+/// default: an OS thread spawn costs tens of microseconds, which dwarfs
+/// fine-grained stages (tensor-kernel rows). Coarse-grained callers whose
+/// items are each worth milliseconds (e.g. GNN forwards) override this with
+/// [`Par::with_min_len`].
+const DEFAULT_MIN_ITEMS_PER_THREAD: usize = 16;
+
+fn worker_count(items: usize, min_per_thread: usize) -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    avail.min(items / min_per_thread.max(1)).max(1)
+}
+
+/// Maps `items` to a new vector, preserving order, using scoped threads when
+/// the workload is large enough.
+fn parallel_map<T, U, F>(items: Vec<T>, min_per_thread: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n, min_per_thread);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut buckets: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        buckets.push(std::mem::replace(&mut rest, tail));
+    }
+    buckets.push(rest);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| s.spawn(move || bucket.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eager "parallel iterator": adaptors apply immediately (in parallel for
+/// [`Par::map`] / [`Par::for_each`]), terminals drain the buffered items.
+pub struct Par<T> {
+    items: Vec<T>,
+    min_per_thread: usize,
+}
+
+impl<T: Send> Par<T> {
+    fn new(items: Vec<T>) -> Par<T> {
+        Par {
+            items,
+            min_per_thread: DEFAULT_MIN_ITEMS_PER_THREAD,
+        }
+    }
+
+    /// Sets the minimum items per worker thread (as in real rayon). Use
+    /// `with_min_len(1)` when each item is itself a coarse batch of work —
+    /// otherwise small item counts run sequentially.
+    pub fn with_min_len(mut self, n: usize) -> Par<T> {
+        self.min_per_thread = n.max(1);
+        self
+    }
+
+    /// Parallel map; preserves item order.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> Par<U> {
+        Par {
+            items: parallel_map(self.items, self.min_per_thread, f),
+            min_per_thread: self.min_per_thread,
+        }
+    }
+
+    /// Pairs items positionally with another parallel iterator.
+    pub fn zip<U: Send>(self, other: Par<U>) -> Par<(T, U)> {
+        Par {
+            items: self.items.into_iter().zip(other.items).collect(),
+            min_per_thread: self.min_per_thread,
+        }
+    }
+
+    /// Attaches the item index.
+    pub fn enumerate(self) -> Par<(usize, T)> {
+        Par {
+            items: self.items.into_iter().enumerate().collect(),
+            min_per_thread: self.min_per_thread,
+        }
+    }
+
+    /// Runs `f` over every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, self.min_per_thread, f);
+    }
+
+    /// Drains into any `FromIterator` collection, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// `.par_iter()` on shared slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// A parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> Par<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Par<&'a T> {
+        Par::new(self.iter().collect())
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Par<&'a T> {
+        Par::new(self.iter().collect())
+    }
+}
+
+/// `.par_chunks(n)` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `n`-sized sub-slices (last may be shorter).
+    fn par_chunks(&self, n: usize) -> Par<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, n: usize) -> Par<&[T]> {
+        Par::new(self.chunks(n).collect())
+    }
+}
+
+/// `.par_chunks_mut(n)` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable `n`-sized sub-slices.
+    fn par_chunks_mut(&mut self, n: usize) -> Par<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, n: usize) -> Par<&mut [T]> {
+        Par::new(self.chunks_mut(n).collect())
+    }
+}
+
+/// One-stop imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, Par, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_map_collect_hashmap() {
+        let keys: Vec<usize> = (0..1000).collect();
+        let m: HashMap<usize, usize> = keys.par_iter().map(|&k| (k, k * k)).collect();
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&7], 49);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_cell() {
+        let mut v = vec![0u32; 4096];
+        v.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for (j, cell) in chunk.iter_mut().enumerate() {
+                *cell = (i * 64 + j) as u32;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn zip_pairs_positionally() {
+        let mut out = vec![0i64; 1000];
+        let src: Vec<i64> = (0..1000).collect();
+        out.par_chunks_mut(10)
+            .zip(src.par_chunks(10))
+            .for_each(|(o, s)| o.copy_from_slice(s));
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn with_min_len_allows_coarse_items_to_parallelize() {
+        // 4 items would run sequentially under the default threshold; with
+        // min_len 1 they may spread across threads — results must be
+        // identical either way
+        let xs: Vec<u64> = (0..4).collect();
+        let ys: Vec<u64> = xs.par_iter().with_min_len(1).map(|&x| x * 3).collect();
+        assert_eq!(ys, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn tiny_workloads_run_sequentially_but_correctly() {
+        let xs = [1, 2, 3];
+        let ys: Vec<i32> = xs.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(ys, vec![2, 3, 4]);
+    }
+}
