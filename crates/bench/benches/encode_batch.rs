@@ -1,0 +1,146 @@
+//! Per-graph vs disjoint-union batched pool encoding.
+//!
+//! Three baselines, worst to best:
+//!
+//! * `per_graph_replica` — the PR 1 `EmbeddingStore` path: snapshot/restore
+//!   a whole model replica per worker unit, then one full encoder forward
+//!   per graph. This is the reference the acceptance ratio compares
+//!   against.
+//! * `per_graph` — one shared model, one encoder forward per graph,
+//!   sequential: the strongest possible unbatched baseline (no replica
+//!   cost), isolating the pure batching win.
+//! * `batched_bN` — N graphs per [`GraphBatch`], one forward per chunk,
+//!   also sequential, so the ratio excludes thread-level parallelism.
+//!
+//! `store_build` is the production [`EmbeddingStore::build`] (rayon across
+//! batches — identical to `batched_b8` plus one replica per chunk on a
+//! single-core runner).
+//!
+//! Scale: `GBM_BENCH_SCALE=quick` runs the CI smoke subset (tiny/small
+//! configs, fewer batch sizes); the default also covers the paper-scale
+//! 128/256×5 configuration. Baseline numbers live in
+//! `BENCH_encode_batch.json` at the repo root; `scripts/check_bench_regression.py`
+//! compares a fresh run's batched/per-graph speedups against them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gbm_frontends::{compile, SourceLang};
+use gbm_nn::{encode_graph, EmbeddingStore, EncodedGraph, GraphBinMatch, GraphBinMatchConfig};
+use gbm_progml::{build_graph, NodeTextMode};
+use gbm_tokenizer::{Tokenizer, TokenizerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_mode() -> bool {
+    matches!(std::env::var("GBM_BENCH_SCALE").as_deref(), Ok("quick"))
+}
+
+/// A pool of MiniC programs with deliberately uneven graph sizes (straight
+/// line, loops, nested loops) — the shape mix a real eval split has.
+fn build_pool(n: usize) -> (Tokenizer, Vec<EncodedGraph>) {
+    let sources: Vec<String> = (0..n)
+        .map(|k| match k % 3 {
+            0 => format!(
+                "int main() {{ int s = {k} + 2; int t = s * 3; print(s + t); return 0; }}"
+            ),
+            1 => format!(
+                "int f(int n) {{ int s = {k}; for (int i = 0; i < n; i++) {{ s += i * {}; }} return s; }}
+                 int main() {{ print(f({})); return 0; }}",
+                k + 1,
+                k + 10
+            ),
+            _ => format!(
+                "int main() {{ int s = 0; for (int i = 0; i < {}; i++) {{ for (int j = 0; j < i; j++) {{ s += i * j + {k}; }} }} print(s); return s; }}",
+                k + 3
+            ),
+        })
+        .collect();
+    let graphs: Vec<gbm_progml::ProgramGraph> = sources
+        .iter()
+        .map(|s| build_graph(&compile(SourceLang::MiniC, "t", s).unwrap()))
+        .collect();
+    let refs: Vec<&gbm_progml::ProgramGraph> = graphs.iter().collect();
+    let tok = Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
+    let pool: Vec<EncodedGraph> = graphs
+        .iter()
+        .map(|g| encode_graph(g, &tok, NodeTextMode::FullText))
+        .collect();
+    (tok, pool)
+}
+
+fn model_for(name: &str, vocab: usize) -> GraphBinMatch {
+    let cfg = match name {
+        "tiny" => GraphBinMatchConfig::tiny(vocab),
+        "small" => GraphBinMatchConfig::small(vocab),
+        "paper" => GraphBinMatchConfig::paper(vocab),
+        other => panic!("unknown config {other}"),
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    GraphBinMatch::new(cfg, &mut rng)
+}
+
+fn bench_config(c: &mut Criterion, config: &str, pool_size: usize, batch_sizes: &[usize]) {
+    let (tok, pool) = build_pool(pool_size);
+    let model = model_for(config, tok.vocab_size());
+    let mut g = c.benchmark_group(format!("encode_batch_{config}"));
+    g.sample_size(10);
+
+    // PR 1 store path: model replica snapshot/restore per worker unit, then
+    // per-graph encoder forwards
+    g.bench_function("per_graph_replica", |b| {
+        b.iter(|| {
+            let embs: Vec<_> = pool
+                .iter()
+                .map(|eg| {
+                    let replica = model.replica();
+                    replica.encoder().embed(eg)
+                })
+                .collect();
+            black_box(embs)
+        })
+    });
+
+    // strongest unbatched baseline: shared model, sequential forwards
+    g.bench_function("per_graph", |b| {
+        b.iter(|| {
+            let embs: Vec<_> = pool.iter().map(|eg| model.encoder().embed(eg)).collect();
+            black_box(embs)
+        })
+    });
+
+    // batched path at several batch sizes, sequential over chunks
+    for &bs in batch_sizes {
+        g.bench_function(format!("batched_b{bs}"), |b| {
+            b.iter(|| {
+                let mut embs = Vec::with_capacity(pool.len());
+                for chunk in pool.chunks(bs) {
+                    let refs: Vec<&EncodedGraph> = chunk.iter().collect();
+                    embs.extend(model.encoder().embed_batch(&refs));
+                }
+                black_box(embs)
+            })
+        });
+    }
+
+    // the production store build (rayon across batches)
+    g.bench_function("store_build", |b| {
+        b.iter(|| black_box(EmbeddingStore::build(&model, &pool)))
+    });
+
+    g.finish();
+}
+
+fn bench_encode_batch(c: &mut Criterion) {
+    if quick_mode() {
+        bench_config(c, "tiny", 8, &[4, 8]);
+        bench_config(c, "small", 8, &[4, 8]);
+    } else {
+        bench_config(c, "tiny", 16, &[2, 4, 8, 16]);
+        bench_config(c, "small", 16, &[2, 4, 8, 16]);
+        bench_config(c, "paper", 8, &[4, 8]);
+    }
+}
+
+criterion_group!(benches, bench_encode_batch);
+criterion_main!(benches);

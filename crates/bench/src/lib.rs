@@ -15,8 +15,9 @@
 
 use gbm_eval::{HarnessConfig, MethodScore};
 
-/// Reads `GBM_SCALE` (and optional `GBM_EPOCHS` / `GBM_SEED` overrides) and
-/// returns the corresponding harness configuration.
+/// Reads `GBM_SCALE` (and optional `GBM_EPOCHS` / `GBM_SEED` /
+/// `GBM_ENCODE_BATCH` overrides) and returns the corresponding harness
+/// configuration.
 pub fn scale_from_env() -> HarnessConfig {
     let mut cfg = match std::env::var("GBM_SCALE").as_deref() {
         Ok("quick") => HarnessConfig::quick(),
@@ -30,6 +31,11 @@ pub fn scale_from_env() -> HarnessConfig {
     if let Ok(s) = std::env::var("GBM_SEED") {
         if let Ok(n) = s.parse() {
             cfg.seed = n;
+        }
+    }
+    if let Ok(b) = std::env::var("GBM_ENCODE_BATCH") {
+        if let Ok(n) = b.parse() {
+            cfg.encode_batch_size = n;
         }
     }
     cfg

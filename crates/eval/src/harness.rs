@@ -82,6 +82,9 @@ pub struct HarnessConfig {
     pub max_train_pos: usize,
     /// Cap on positive eval pairs (valid and test each).
     pub max_eval_pos: usize,
+    /// Graphs per batched encoder forward when building the evaluation
+    /// embedding cache (see [`EmbeddingStore::build_subset_batched`]).
+    pub encode_batch_size: usize,
 }
 
 impl HarnessConfig {
@@ -100,6 +103,7 @@ impl HarnessConfig {
             batch_size: 8,
             max_train_pos: 40,
             max_eval_pos: 20,
+            encode_batch_size: 4,
         }
     }
 
@@ -119,6 +123,7 @@ impl HarnessConfig {
             batch_size: 8,
             max_train_pos: 150,
             max_eval_pos: 60,
+            encode_batch_size: 8,
         }
     }
 }
@@ -437,7 +442,12 @@ pub fn run_experiment(spec: &ExperimentSpec, cfg: &HarnessConfig) -> ExperimentR
         .chain(query_pool.iter().copied())
         .chain(cand_pool.iter().copied())
         .collect();
-    let store = EmbeddingStore::build_subset(&model, &test_set.graphs, &eval_indices);
+    let store = EmbeddingStore::build_subset_batched(
+        &model,
+        &test_set.graphs,
+        &eval_indices,
+        cfg.encode_batch_size,
+    );
     let gbm_scores = store.score_pairs(&model, &test_set.pairs);
     let labels: Vec<f32> = test_pairs.iter().map(|p| p.label).collect();
 

@@ -6,15 +6,18 @@
 //! pairs from a shared pool of N graphs with N ≪ 2·P, so batch-encoding the
 //! pool first turns inference into O(N) encoder forwards plus O(P) head
 //! evaluations (each ~`hidden²` flops, orders of magnitude cheaper than a
-//! GNN forward). The `encode_cache` bench in `gbm-bench` documents the
-//! measured speedup.
+//! GNN forward). Those O(N) forwards in turn run as ⌈N/B⌉ **disjoint-union
+//! batched** forwards ([`GraphBatch`](crate::GraphBatch)): every layer
+//! processes B graphs' nodes in one kernel, which the `encode_batch` bench
+//! in `gbm-bench` measures against the per-graph path.
 //!
 //! Threading: [`Param`](gbm_tensor::Param) is `Rc`-backed, so a model cannot
-//! cross threads. Workers instead get same-weight *replicas* built from a
+//! cross threads. Worker threads get same-weight *replicas* built from a
 //! [`ParamStore::snapshot`](gbm_tensor::ParamStore::snapshot) — cheap (the
-//! CPU-scale models are a few thousand weights) and numerically identical.
-//! All replicas share the parent's encoder forward counter, so
-//! encode-once behaviour stays observable (and is asserted in tests).
+//! CPU-scale models are a few thousand weights) and numerically identical —
+//! one replica per *batch* of graphs, never one per graph. All replicas
+//! share the parent's encoder forward counter, so encode-once behaviour
+//! stays observable (and is asserted in tests).
 
 use gbm_tensor::Tensor;
 use rayon::prelude::*;
@@ -23,9 +26,12 @@ use crate::model::GraphBinMatch;
 use crate::trainer::PairExample;
 use crate::EncodedGraph;
 
-/// Per-worker batch size for parallel encoding/scoring. Small enough to
-/// load-balance uneven graph sizes, large enough to amortize one replica
-/// construction per batch.
+/// Default graphs per batched encoder forward (and per worker replica).
+/// Small enough to load-balance uneven graph sizes across threads, large
+/// enough that per-op tape/kernel overheads amortize across the union.
+pub const DEFAULT_ENCODE_BATCH: usize = 8;
+
+/// Per-worker chunk size for parallel head scoring.
 const WORKER_BATCH: usize = 8;
 
 /// Graph embeddings for (a subset of) a graph pool, indexed like the pool.
@@ -36,19 +42,44 @@ pub struct EmbeddingStore {
 }
 
 impl EmbeddingStore {
-    /// Encodes every graph in `pool` (one encoder forward each) in parallel.
+    /// Encodes every graph in `pool` in parallel, batched by
+    /// [`DEFAULT_ENCODE_BATCH`].
     pub fn build(model: &GraphBinMatch, pool: &[EncodedGraph]) -> EmbeddingStore {
+        EmbeddingStore::build_batched(model, pool, DEFAULT_ENCODE_BATCH)
+    }
+
+    /// Encodes every graph in `pool` with an explicit encode batch size.
+    pub fn build_batched(
+        model: &GraphBinMatch,
+        pool: &[EncodedGraph],
+        batch_size: usize,
+    ) -> EmbeddingStore {
         let all: Vec<usize> = (0..pool.len()).collect();
-        EmbeddingStore::build_subset(model, pool, &all)
+        EmbeddingStore::build_subset_batched(model, pool, &all, batch_size)
     }
 
     /// Encodes only the pool graphs named by `indices` (deduplicated); other
-    /// slots stay empty. Exactly one encoder forward per unique index.
+    /// slots stay empty.
     pub fn build_subset(
         model: &GraphBinMatch,
         pool: &[EncodedGraph],
         indices: &[usize],
     ) -> EmbeddingStore {
+        EmbeddingStore::build_subset_batched(model, pool, indices, DEFAULT_ENCODE_BATCH)
+    }
+
+    /// Encodes the pool graphs named by `indices` (deduplicated) in batches
+    /// of `batch_size`: rayon fans the batches out across worker replicas,
+    /// and each batch runs **one** disjoint-union encoder forward. The
+    /// encoder forward counter still advances once per unique graph, so
+    /// encode-once semantics stay observable.
+    pub fn build_subset_batched(
+        model: &GraphBinMatch,
+        pool: &[EncodedGraph],
+        indices: &[usize],
+        batch_size: usize,
+    ) -> EmbeddingStore {
+        let batch_size = batch_size.max(1);
         let mut unique: Vec<usize> = indices.to_vec();
         unique.sort_unstable();
         unique.dedup();
@@ -56,17 +87,16 @@ impl EmbeddingStore {
         let snapshot = model.store.snapshot();
         let cfg = *model.config();
         let counter = model.encoder().counter();
-        // each chunk is a coarse batch of GNN forwards: always worth a thread
+        // each chunk is one batched GNN forward: always worth a thread
         let encoded: Vec<Vec<(usize, Tensor)>> = unique
-            .par_chunks(WORKER_BATCH)
+            .par_chunks(batch_size)
             .with_min_len(1)
             .map(|batch| {
                 let replica =
                     GraphBinMatch::from_snapshot(cfg, &snapshot, std::sync::Arc::clone(&counter));
-                batch
-                    .iter()
-                    .map(|&i| (i, replica.encoder().embed(&pool[i])))
-                    .collect()
+                let graphs: Vec<&EncodedGraph> = batch.iter().map(|&i| &pool[i]).collect();
+                let embs = replica.encoder().embed_batch(&graphs);
+                batch.iter().copied().zip(embs).collect()
             })
             .collect();
 
@@ -245,6 +275,36 @@ mod tests {
         let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
         let store = EmbeddingStore::build_subset(&model, &data.graphs, &[0]);
         store.embedding(1);
+    }
+
+    #[test]
+    fn every_batch_size_yields_matching_embeddings_and_counter() {
+        let (data, vocab) = toy();
+        let mut rng = StdRng::seed_from_u64(36);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
+        let reference: Vec<Tensor> = data
+            .graphs
+            .iter()
+            .map(|eg| model.encoder().embed(eg))
+            .collect();
+        model.encoder().reset_forward_count();
+        for bs in [1, 2, 3, data.graphs.len(), data.graphs.len() + 5] {
+            model.encoder().reset_forward_count();
+            let store = EmbeddingStore::build_batched(&model, &data.graphs, bs);
+            assert_eq!(
+                model.encoder().forward_count(),
+                data.graphs.len(),
+                "batch size {bs} must still count one encode per graph"
+            );
+            for (i, r) in reference.iter().enumerate() {
+                for (b, s) in store.embedding(i).data().iter().zip(r.data().iter()) {
+                    assert!(
+                        (b - s).abs() < 1e-4,
+                        "batch size {bs}, graph {i}: {b} vs {s}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

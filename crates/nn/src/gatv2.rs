@@ -27,6 +27,40 @@ impl Relation {
     pub fn is_empty(&self) -> bool {
         self.src.is_empty()
     }
+
+    /// Precomputes the self-loop-augmented, position-clamped edge lists the
+    /// conv actually runs on. The conv used to rebuild these by cloning on
+    /// **every layer of every forward**; preparing once per
+    /// [`EncodedGraph`](crate::EncodedGraph) / `GraphBatch` amortizes the
+    /// work across the whole layer stack.
+    pub fn prepare(&self, n: usize, max_pos: usize) -> PreparedRelation {
+        let e = self.len() + n;
+        let mut src = Vec::with_capacity(e);
+        let mut dst = Vec::with_capacity(e);
+        let mut pos = Vec::with_capacity(e);
+        src.extend_from_slice(&self.src);
+        dst.extend_from_slice(&self.dst);
+        pos.extend(self.pos.iter().map(|&p| p.min(max_pos as u32 - 1)));
+        for i in 0..n as u32 {
+            src.push(i);
+            dst.push(i);
+            pos.push(0);
+        }
+        PreparedRelation { src, dst, pos }
+    }
+}
+
+/// A relation's adjacency with self-loops appended (PyG's default, so
+/// isolated nodes keep a transformed signal) and positions clamped to the
+/// conv's embedding range — ready for any number of conv layers.
+#[derive(Clone, Debug, Default)]
+pub struct PreparedRelation {
+    /// Edge sources, self-loops last.
+    pub src: Vec<u32>,
+    /// Edge destinations, self-loops last.
+    pub dst: Vec<u32>,
+    /// Clamped edge positions (self-loops use position 0).
+    pub pos: Vec<u32>,
 }
 
 /// Single-head GATv2 convolution with positional edge features.
@@ -78,34 +112,26 @@ impl Gatv2Conv {
     }
 
     /// Applies the conv over one relation. `x` is `[n, in_dim]`; returns
-    /// `[n, out_dim]`.
+    /// `[n, out_dim]`. Convenience wrapper that prepares the relation on the
+    /// spot; encoder hot paths prepare once and call
+    /// [`Gatv2Conv::forward_prepared`].
     pub fn forward(&self, g: &Graph, x: Var, rel: &Relation, n: usize) -> Var {
-        // self-loops appended so every node receives at least itself
-        let mut src: Vec<u32> = rel.src.clone();
-        let mut dst: Vec<u32> = rel.dst.clone();
-        let mut pos: Vec<u32> = rel
-            .pos
-            .iter()
-            .map(|&p| p.min(self.max_pos as u32 - 1))
-            .collect();
-        for i in 0..n as u32 {
-            src.push(i);
-            dst.push(i);
-            pos.push(0);
-        }
+        self.forward_prepared(g, x, &rel.prepare(n, self.max_pos), n)
+    }
 
+    /// Applies the conv over a prepared (self-loop-augmented) relation.
+    pub fn forward_prepared(&self, g: &Graph, x: Var, rel: &PreparedRelation, n: usize) -> Var {
         let h_l = self.w_l.forward(g, x); // target transform [n, out]
         let h_r = self.w_r.forward(g, x); // source/message transform [n, out]
 
-        let h_l_d = g.gather_rows(h_l, &dst); // [e, out]
-        let h_r_s = g.gather_rows(h_r, &src); // [e, out]
-        let pe = g.gather_rows(g.param(&self.pos_emb), &pos); // [e, out]
-        let z = g.add(g.add(h_l_d, h_r_s), pe);
-        let z = g.leaky_relu(z, self.slope);
+        let h_l_d = g.gather_rows(h_l, &rel.dst); // [e, out]
+        let h_r_s = g.gather_rows(h_r, &rel.src); // [e, out]
+        let pe = g.gather_rows(g.param(&self.pos_emb), &rel.pos); // [e, out]
+        let z = g.add3_leaky_relu(h_l_d, h_r_s, pe, self.slope);
         let scores = g.matmul(z, g.param(&self.att)); // [e, 1]
-        let alpha = g.segment_softmax(scores, &dst, n); // [e, 1]
-        let msg = g.mul_colvec(h_r_s, alpha); // [e, out] — α broadcast
-        g.segment_sum(msg, &dst, n)
+        let alpha = g.segment_softmax(scores, &rel.dst, n); // [e, 1]
+                                                            // fused Σ α·(W_r x_s) per destination — one pass over the messages
+        g.segment_weighted_sum(h_r_s, alpha, &rel.dst, n)
     }
 }
 
@@ -186,12 +212,31 @@ impl HeteroConv {
         }
     }
 
-    /// Applies every relation conv and fuses the outputs.
+    /// Applies every relation conv and fuses the outputs (preparing each
+    /// relation on the spot — hot paths use
+    /// [`HeteroConv::forward_prepared`]).
     pub fn forward(&self, g: &Graph, x: Var, relations: &[Relation], n: usize) -> Var {
+        let prepared: Vec<PreparedRelation> = relations
+            .iter()
+            .zip(self.convs.iter())
+            .map(|(rel, conv)| rel.prepare(n, conv.max_pos))
+            .collect();
+        self.forward_prepared(g, x, &prepared, n)
+    }
+
+    /// Applies every relation conv over pre-prepared adjacency and fuses the
+    /// outputs.
+    pub fn forward_prepared(
+        &self,
+        g: &Graph,
+        x: Var,
+        relations: &[PreparedRelation],
+        n: usize,
+    ) -> Var {
         assert_eq!(relations.len(), self.convs.len(), "relation arity mismatch");
         let mut fused: Option<Var> = None;
         for (conv, rel) in self.convs.iter().zip(relations.iter()) {
-            let out = conv.forward(g, x, rel, n);
+            let out = conv.forward_prepared(g, x, rel, n);
             fused = Some(match fused {
                 None => out,
                 Some(acc) => match self.fusion {

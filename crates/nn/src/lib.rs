@@ -7,13 +7,19 @@
 //! * [`layers`] — Linear, Embedding, LayerNorm, Dropout,
 //! * [`gatv2`] — single-head GATv2 convolution with positional edge features
 //!   and the heterogeneous stack-&-max wrapper,
-//! * [`pooling`] — SimGNN-style global attention pooling,
+//! * [`pooling`] — SimGNN-style global attention pooling (per-graph and
+//!   segment-batched),
 //! * [`model`] — the Siamese [`GraphBinMatch`] network, split into the
 //!   pair-independent [`GraphEncoder`] and the pairwise [`MatchHead`],
-//! * [`embeddings`] — the [`EmbeddingStore`]: parallel encode-once caching
-//!   so many-pair inference costs one encoder forward per unique graph,
-//! * [`trainer`] — minibatched BCE/Adam training and batch prediction.
+//! * [`batch`] — [`GraphBatch`]: disjoint-union mini-batches so the encoder
+//!   runs one B-fold-larger kernel per layer instead of B small ones,
+//! * [`embeddings`] — the [`EmbeddingStore`]: parallel batched encode-once
+//!   caching so many-pair inference costs one encoder forward per unique
+//!   graph (and one *batched* forward per chunk of them),
+//! * [`trainer`] — minibatched BCE/Adam training (batched encoding of each
+//!   step's unique graphs) and batch prediction.
 
+pub mod batch;
 pub mod embeddings;
 pub mod gatv2;
 pub mod layers;
@@ -21,8 +27,9 @@ pub mod model;
 pub mod pooling;
 pub mod trainer;
 
+pub use batch::GraphBatch;
 pub use embeddings::EmbeddingStore;
-pub use gatv2::{Fusion, Gatv2Conv, HeteroConv, Relation};
+pub use gatv2::{Fusion, Gatv2Conv, HeteroConv, PreparedRelation, Relation};
 pub use layers::{Dropout, Embedding, LayerNorm, Linear};
 pub use model::{
     encode_graph, EncodedGraph, GraphBinMatch, GraphBinMatchConfig, GraphEncoder, MatchHead,

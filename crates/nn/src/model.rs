@@ -37,7 +37,8 @@ use gbm_tensor::{Graph, Param, ParamStore, Tensor, Var};
 use gbm_tokenizer::Tokenizer;
 use rand::RngExt;
 
-use crate::gatv2::{Fusion, HeteroConv, Relation};
+use crate::batch::GraphBatch;
+use crate::gatv2::{Fusion, HeteroConv, PreparedRelation, Relation};
 use crate::layers::{Dropout, Embedding, LayerNorm, Linear};
 use crate::pooling::AttentionPooling;
 
@@ -174,6 +175,7 @@ pub struct GraphEncoder {
     pooling: AttentionPooling,
     pool_kind: PoolKind,
     leaky_slope: f32,
+    max_pos: usize,
     /// Counts every encoder forward; shared across [`GraphBinMatch::replica`]
     /// clones so parallel batch encoding is observable from the parent model.
     forwards: Arc<AtomicUsize>,
@@ -217,20 +219,33 @@ impl GraphEncoder {
             pooling,
             pool_kind: cfg.pooling,
             leaky_slope: cfg.leaky_slope,
+            max_pos: cfg.max_pos,
             forwards: Arc::new(AtomicUsize::new(0)),
         }
+    }
+
+    /// The positional-embedding range of the conv stack (what
+    /// [`GraphBatch::new`] clamps edge positions against).
+    pub fn max_pos(&self) -> usize {
+        self.max_pos
     }
 
     /// Embeds one graph to `[1, hidden]` on the caller's tape (differentiable).
     pub fn forward(&self, g: &Graph, eg: &EncodedGraph) -> Var {
         self.forwards.fetch_add(1, Ordering::Relaxed);
+        // self-loops/clamping once per forward, not once per layer
+        let prepared: Vec<PreparedRelation> = eg
+            .relations
+            .iter()
+            .map(|r| r.prepare(eg.n_nodes, self.max_pos))
+            .collect();
         // token embedding, max over the sequence axis (paper's "max operation")
         let tok = self.embedding.forward(g, &eg.tokens); // [n·s, e]
         let node_feat = g.seq_max(tok, eg.n_nodes, eg.seq_len); // [n, e]
         let mut h = self.input_proj.forward(g, node_feat); // [n, hidden]
         h = g.leaky_relu(h, self.leaky_slope);
         for layer in &self.layers {
-            let out = layer.forward(g, h, &eg.relations, eg.n_nodes);
+            let out = layer.forward_prepared(g, h, &prepared, eg.n_nodes);
             h = g.leaky_relu(out, self.leaky_slope);
         }
         let pooled = match self.pool_kind {
@@ -242,11 +257,59 @@ impl GraphEncoder {
         g.l2_normalize_rows(pooled)
     }
 
+    /// Embeds a disjoint-union batch to `[num_graphs, hidden]` on the
+    /// caller's tape (differentiable). Row `b` matches what
+    /// [`GraphEncoder::forward`] produces for member graph `b` — the whole
+    /// stack (token embedding → hetero-GATv2 → pooling → unit-norm) runs as
+    /// one autodiff graph over the block-diagonal union, so each layer does
+    /// one large kernel launch instead of one per graph.
+    pub fn forward_batch(&self, g: &Graph, batch: &GraphBatch) -> Var {
+        self.forwards
+            .fetch_add(batch.num_graphs(), Ordering::Relaxed);
+        let tok = self.embedding.forward(g, &batch.tokens); // [N·s, e]
+        let node_feat = g.seq_max(tok, batch.total_nodes, batch.seq_len); // [N, e]
+        let mut h = self.input_proj.forward(g, node_feat); // [N, hidden]
+        h = g.leaky_relu(h, self.leaky_slope);
+        for layer in &self.layers {
+            let out = layer.forward_prepared(g, h, &batch.relations, batch.total_nodes);
+            h = g.leaky_relu(out, self.leaky_slope);
+        }
+        let pooled = match self.pool_kind {
+            PoolKind::Attention => {
+                self.pooling
+                    .forward_batch(g, h, &batch.graph_id, &batch.sizes) // [B, hidden]
+            }
+            PoolKind::Mean => g.segment_mean(h, &batch.graph_id, batch.num_graphs()),
+        };
+        g.l2_normalize_rows(pooled)
+    }
+
     /// Embeds one graph to a plain `[1, hidden]` tensor (inference; own tape).
     pub fn embed(&self, eg: &EncodedGraph) -> Tensor {
         let g = Graph::new();
         let e = self.forward(&g, eg);
         g.value(e)
+    }
+
+    /// Embeds many graphs through one batched forward, returning one
+    /// `[1, hidden]` tensor per input graph (inference; own tape).
+    pub fn embed_batch(&self, graphs: &[&EncodedGraph]) -> Vec<Tensor> {
+        if graphs.is_empty() {
+            return Vec::new();
+        }
+        let batch = GraphBatch::new(graphs, self.max_pos);
+        let g = Graph::new();
+        let out = self.forward_batch(&g, &batch);
+        let val = g.value(out); // [B, hidden]
+        let hidden = val.dims()[1];
+        (0..graphs.len())
+            .map(|b| {
+                Tensor::from_vec(
+                    val.data()[b * hidden..(b + 1) * hidden].to_vec(),
+                    &[1, hidden],
+                )
+            })
+            .collect()
     }
 
     /// Total encoder forwards since construction (shared with replicas).
@@ -597,6 +660,145 @@ mod tests {
         assert_eq!(model.encoder().forward_count(), 3);
         model.encoder().reset_forward_count();
         assert_eq!(model.encoder().forward_count(), 0);
+    }
+
+    /// A mixed-size pool: real compiled graphs plus hand-built edge cases
+    /// (single-node graph, empty-relation graph).
+    fn mixed_pool(vocab: usize) -> Vec<EncodedGraph> {
+        let (_, e1, e2) = fixtures();
+        let seq_len = e1.seq_len;
+        let single = EncodedGraph {
+            tokens: vec![1; seq_len],
+            n_nodes: 1,
+            seq_len,
+            relations: Default::default(),
+        };
+        // several nodes, but no edges in any relation
+        let empty_rel = EncodedGraph {
+            tokens: (0..4 * seq_len).map(|t| (t % vocab) as u32).collect(),
+            n_nodes: 4,
+            seq_len,
+            relations: Default::default(),
+        };
+        vec![e1, single, e2, empty_rel]
+    }
+
+    #[test]
+    fn batched_embeddings_match_per_graph_within_1e4() {
+        let (tok, _, _) = fixtures();
+        let pool = mixed_pool(tok.vocab_size());
+        let mut rng = StdRng::seed_from_u64(40);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);
+        let refs: Vec<&EncodedGraph> = pool.iter().collect();
+        let batched = model.encoder().embed_batch(&refs);
+        assert_eq!(batched.len(), pool.len());
+        for (i, eg) in pool.iter().enumerate() {
+            let solo = model.encoder().embed(eg);
+            assert_eq!(batched[i].dims(), solo.dims());
+            for (b, s) in batched[i].data().iter().zip(solo.data().iter()) {
+                assert!(
+                    (b - s).abs() < 1e-4,
+                    "graph {i}: batched {b} vs per-graph {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_embeddings_match_for_mean_pooling() {
+        let (tok, _, _) = fixtures();
+        let pool = mixed_pool(tok.vocab_size());
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut cfg = GraphBinMatchConfig::tiny(tok.vocab_size());
+        cfg.pooling = PoolKind::Mean;
+        let model = GraphBinMatch::new(cfg, &mut rng);
+        let refs: Vec<&EncodedGraph> = pool.iter().collect();
+        let batched = model.encoder().embed_batch(&refs);
+        for (i, eg) in pool.iter().enumerate() {
+            let solo = model.encoder().embed(eg);
+            for (b, s) in batched[i].data().iter().zip(solo.data().iter()) {
+                assert!((b - s).abs() < 1e-4, "graph {i}: {b} vs {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_counts_member_graphs() {
+        let (tok, e1, e2) = fixtures();
+        let mut rng = StdRng::seed_from_u64(42);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);
+        model.encoder().reset_forward_count();
+        model.encoder().embed_batch(&[&e1, &e2, &e1]);
+        assert_eq!(model.encoder().forward_count(), 3);
+        assert!(model.encoder().embed_batch(&[]).is_empty());
+        assert_eq!(model.encoder().forward_count(), 3);
+    }
+
+    #[test]
+    fn forward_batch_gradcheck_against_param_finite_differences() {
+        // Finite-difference gradcheck in *parameter* space: the encoder's
+        // only inputs are token ids, so leaves can't carry the probe — the
+        // trainable weights do. Loss = Σ (W ⊙ embeddings) over a 3-graph
+        // disjoint union.
+        let (tok, e1, e2) = fixtures();
+        let pool = [e1.clone(), e2, e1];
+        let mut rng = StdRng::seed_from_u64(43);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);
+        let refs: Vec<&EncodedGraph> = pool.iter().collect();
+        let hidden = model.config().hidden_dim;
+        let weight = Tensor::from_vec(
+            (0..3 * hidden)
+                .map(|i| ((i % 7) as f32 - 3.0) * 0.1)
+                .collect(),
+            &[3, hidden],
+        );
+
+        let loss_value = |m: &GraphBinMatch| -> f32 {
+            let g = Graph::new();
+            let batch = crate::GraphBatch::new(&refs, m.encoder().max_pos());
+            let out = m.encoder().forward_batch(&g, &batch);
+            let w = g.constant(weight.clone());
+            g.value(g.sum_all(g.mul(out, w))).item()
+        };
+
+        // analytic gradients through forward_batch
+        model.store.zero_grad();
+        let g = Graph::new();
+        let batch = crate::GraphBatch::new(&refs, model.encoder().max_pos());
+        let out = model.encoder().forward_batch(&g, &batch);
+        let w = g.constant(weight.clone());
+        g.backward(g.sum_all(g.mul(out, w)));
+        let analytic: Vec<f32> = model
+            .params()
+            .iter()
+            .flat_map(|p| p.grad().data().to_vec())
+            .collect();
+
+        // numeric probes spread across the whole weight vector
+        let snapshot = model.store.snapshot();
+        let total = snapshot.len();
+        let eps = 1e-2f32;
+        let mut checked = 0;
+        for idx in (0..total).step_by((total / 24).max(1)) {
+            let mut plus = snapshot.clone();
+            plus[idx] += eps;
+            model.store.restore(&plus);
+            let lp = loss_value(&model);
+            let mut minus = snapshot.clone();
+            minus[idx] -= eps;
+            model.store.restore(&minus);
+            let lm = loss_value(&model);
+            model.store.restore(&snapshot);
+            let fd = (lp - lm) / (2.0 * eps);
+            let ag = analytic[idx];
+            let err = (fd - ag).abs();
+            assert!(
+                err <= 3e-2 * (1.0 + fd.abs().max(ag.abs())),
+                "weight {idx}: finite-diff {fd:.5} vs autograd {ag:.5}"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 20, "probe a meaningful sample of weights");
     }
 
     #[test]

@@ -44,6 +44,31 @@ impl AttentionPooling {
         let pooled = g.matmul(g.transpose(att), h); // [1, d]
         g.scale(pooled, 1.0 / (n as f32).sqrt())
     }
+
+    /// Pools a disjoint union of graphs `[n_total, d] → [num_graphs, d]`.
+    ///
+    /// `graph_id[i]` names the graph of node row `i`; `sizes[b]` is graph
+    /// `b`'s node count. Every step is the segment-keyed generalization of
+    /// [`AttentionPooling::forward`] — each graph sees only its own context,
+    /// so batched pooling matches the per-graph path (asserted to 1e-4 in
+    /// the model tests).
+    pub fn forward_batch(&self, g: &Graph, h: Var, graph_id: &[u32], sizes: &[usize]) -> Var {
+        let b = sizes.len();
+        let mean = g.segment_mean(h, graph_id, b); // [B, d]
+        let c = g.tanh(g.matmul(mean, g.param(&self.w))); // [B, d]
+        let c_nodes = g.gather_rows(c, graph_id); // [n, d] — own graph's context
+        let scores = g.sum_cols(g.mul(h, c_nodes)); // [n, 1] — hᵢ · c_{graph(i)}
+        let att = g.sigmoid(scores); // [n, 1]
+        let weighted = g.mul_colvec(h, att); // [n, d]
+        let pooled = g.segment_sum(weighted, graph_id, b); // [B, d]
+                                                           // same 1/√n size normalization as the single-graph path, per graph
+        let inv_sqrt: Vec<f32> = sizes
+            .iter()
+            .map(|&n| 1.0 / (n.max(1) as f32).sqrt())
+            .collect();
+        let scale = g.constant(gbm_tensor::Tensor::from_vec(inv_sqrt, &[b, 1]));
+        g.mul_colvec(pooled, scale)
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use std::cell::RefCell;
 
 use crate::kernels;
 use crate::param::Param;
+use crate::scratch;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -250,7 +251,7 @@ impl Graph {
         let out = va.map(f);
         let vo = out.clone();
         self.op(out, &[a], move |g| {
-            let mut d = Vec::with_capacity(va.len());
+            let mut d = scratch::take_with_capacity(va.len());
             for i in 0..va.len() {
                 d.push(back(g.data()[i], va.data()[i], vo.data()[i]));
             }
@@ -366,7 +367,8 @@ impl Graph {
         let (vx, vb) = (self.value(x), self.value(bias));
         let (_n, m) = (vx.dims()[0], vx.dims()[1]);
         assert_eq!(vb.len(), m, "bias length {} vs cols {}", vb.len(), m);
-        let mut out = vx.data().to_vec();
+        let mut out = scratch::take_with_capacity(vx.len());
+        out.extend_from_slice(vx.data());
         for row in out.chunks_mut(m) {
             for (o, &b) in row.iter_mut().zip(vb.data().iter()) {
                 *o += b;
@@ -374,7 +376,7 @@ impl Graph {
         }
         let out = Tensor::from_vec(out, vx.dims());
         self.op(out, &[x, bias], move |g| {
-            let mut db = vec![0.0f32; m];
+            let mut db = scratch::take_zeroed(m);
             for row in g.data().chunks(m) {
                 for (d, &gv) in db.iter_mut().zip(row.iter()) {
                     *d += gv;
@@ -390,7 +392,8 @@ impl Graph {
         let (vx, vv) = (self.value(x), self.value(v));
         let (n, m) = (vx.dims()[0], vx.dims()[1]);
         assert_eq!(vv.len(), m, "row vector length {} vs cols {}", vv.len(), m);
-        let mut out = vx.data().to_vec();
+        let mut out = scratch::take_with_capacity(vx.len());
+        out.extend_from_slice(vx.data());
         for row in out.chunks_mut(m) {
             for (o, &s) in row.iter_mut().zip(vv.data().iter()) {
                 *o *= s;
@@ -398,8 +401,8 @@ impl Graph {
         }
         let out = Tensor::from_vec(out, vx.dims());
         self.op(out, &[x, v], move |g| {
-            let mut dx = vec![0.0f32; n * m];
-            let mut dv = vec![0.0f32; m];
+            let mut dx = scratch::take_zeroed(n * m);
+            let mut dv = scratch::take_zeroed(m);
             #[allow(clippy::needless_range_loop)] // (i, j) are matrix coordinates
             for i in 0..n {
                 for j in 0..m {
@@ -452,7 +455,7 @@ impl Graph {
     pub fn mean_axis0(&self, a: Var) -> Var {
         let va = self.value(a);
         let (n, m) = (va.dims()[0], va.dims()[1]);
-        let mut out = vec![0.0f32; m];
+        let mut out = scratch::take_zeroed(m);
         for row in va.data().chunks(m) {
             for (o, &v) in out.iter_mut().zip(row.iter()) {
                 *o += v;
@@ -462,7 +465,7 @@ impl Graph {
         out.iter_mut().for_each(|o| *o *= inv);
         let out = Tensor::from_vec(out, &[1, m]);
         self.op(out, &[a], move |g| {
-            let mut d = vec![0.0f32; n * m];
+            let mut d = scratch::take_zeroed(n * m);
             for row in d.chunks_mut(m) {
                 for (o, &gv) in row.iter_mut().zip(g.data().iter()) {
                     *o = gv * inv;
@@ -479,7 +482,7 @@ impl Graph {
         let out: Vec<f32> = va.data().chunks(m).map(|r| r.iter().sum()).collect();
         let out = Tensor::from_vec(out, &[n, 1]);
         self.op(out, &[a], move |g| {
-            let mut d = vec![0.0f32; n * m];
+            let mut d = scratch::take_zeroed(n * m);
             for (row, &gv) in d.chunks_mut(m).zip(g.data().iter()) {
                 row.iter_mut().for_each(|o| *o = gv);
             }
@@ -505,15 +508,15 @@ impl Graph {
         let (vx, vc) = (self.value(x), self.value(c));
         let (n, m) = (vx.dims()[0], vx.dims()[1]);
         assert_eq!(vc.dims(), &[n, 1], "column vector must be [n,1]");
-        let mut out = Vec::with_capacity(n * m);
+        let mut out = scratch::take_with_capacity(n * m);
         for (i, row) in vx.data().chunks(m).enumerate() {
             let cv = vc.data()[i];
             out.extend(row.iter().map(|&v| f(v, cv)));
         }
         let out = Tensor::from_vec(out, &[n, m]);
         self.op(out, &[x, c], move |g| {
-            let mut dx = vec![0.0f32; n * m];
-            let mut dc = vec![0.0f32; n];
+            let mut dx = scratch::take_zeroed(n * m);
+            let mut dc = scratch::take_zeroed(n);
             #[allow(clippy::needless_range_loop)] // (i, j) are matrix coordinates
             for i in 0..n {
                 let cv = vc.data()[i];
@@ -561,15 +564,15 @@ impl Graph {
         let (n, p) = (va.dims()[0], va.dims()[1]);
         let q = vb.dims()[1];
         assert_eq!(vb.dims()[0], n, "concat_cols row mismatch");
-        let mut out = Vec::with_capacity(n * (p + q));
+        let mut out = scratch::take_with_capacity(n * (p + q));
         for i in 0..n {
             out.extend_from_slice(&va.data()[i * p..(i + 1) * p]);
             out.extend_from_slice(&vb.data()[i * q..(i + 1) * q]);
         }
         let out = Tensor::from_vec(out, &[n, p + q]);
         self.op(out, &[a, b], move |g| {
-            let mut da = Vec::with_capacity(n * p);
-            let mut db = Vec::with_capacity(n * q);
+            let mut da = scratch::take_with_capacity(n * p);
+            let mut db = scratch::take_with_capacity(n * q);
             for row in g.data().chunks(p + q) {
                 da.extend_from_slice(&row[..p]);
                 db.extend_from_slice(&row[p..]);
@@ -587,7 +590,8 @@ impl Graph {
         let (n, m) = (va.dims()[0], va.dims()[1]);
         let k = vb.dims()[0];
         assert_eq!(vb.dims()[1], m, "concat_rows col mismatch");
-        let mut out = va.data().to_vec();
+        let mut out = scratch::take_with_capacity((n + k) * m);
+        out.extend_from_slice(va.data());
         out.extend_from_slice(vb.data());
         let out = Tensor::from_vec(out, &[n + k, m]);
         self.op(out, &[a, b], move |g| {
@@ -603,13 +607,13 @@ impl Graph {
         let (n, m) = (va.dims()[0], va.dims()[1]);
         assert!(from < to && to <= m, "slice_cols {from}..{to} of {m}");
         let w = to - from;
-        let mut out = Vec::with_capacity(n * w);
+        let mut out = scratch::take_with_capacity(n * w);
         for row in va.data().chunks(m) {
             out.extend_from_slice(&row[from..to]);
         }
         let out = Tensor::from_vec(out, &[n, w]);
         self.op(out, &[a], move |g| {
-            let mut d = vec![0.0f32; n * m];
+            let mut d = scratch::take_zeroed(n * m);
             for (drow, grow) in d.chunks_mut(m).zip(g.data().chunks(w)) {
                 drow[from..to].copy_from_slice(grow);
             }
@@ -624,7 +628,7 @@ impl Graph {
         assert!(from < to && to <= n, "slice_rows {from}..{to} of {n}");
         let out = Tensor::from_vec(va.data()[from * m..to * m].to_vec(), &[to - from, m]);
         self.op(out, &[a], move |g| {
-            let mut d = vec![0.0f32; n * m];
+            let mut d = scratch::take_zeroed(n * m);
             d[from * m..to * m].copy_from_slice(g.data());
             vec![(a.id, Tensor::from_vec(d, &[n, m]))]
         })

@@ -1,23 +1,72 @@
 //! Raw compute kernels.
 //!
 //! Everything here operates on plain slices so the kernels are trivially
-//! testable and free of autograd concerns. Kernels switch to rayon data
-//! parallelism once the work size crosses [`PAR_THRESHOLD`] — below that the
-//! fork-join overhead dominates (see the perf-book guidance on measuring
-//! before parallelizing).
+//! testable and free of autograd concerns. Output buffers come from the
+//! thread-local [`scratch`] pool, so steady-state batch loops reuse capacity
+//! instead of allocating a fresh `Vec` per op.
+//!
+//! Parallelism: kernels switch to rayon data parallelism once the work size
+//! crosses a threshold. The vendored rayon spawns scoped OS threads per
+//! stage (tens of µs each), so the thresholds are sized to amortize a spawn,
+//! not just a fork-join: compute-bound kernels (matmul family) gate on FLOPs
+//! via [`PAR_THRESHOLD`], memory-bound kernels (gather, sequence max, row
+//! softmax) need far more elements before threads pay off and gate on
+//! [`PAR_THRESHOLD_MEMBOUND`] — a straight copy moves ~4 f32/ns, so anything
+//! below ~256K elements finishes before a spawn completes.
 
+use crate::scratch;
 use rayon::prelude::*;
+use std::sync::OnceLock;
 
-/// Minimum number of f32 multiply-adds before a kernel bothers with rayon.
-pub(crate) const PAR_THRESHOLD: usize = 16 * 1024;
+/// Minimum number of f32 multiply-adds before a compute-bound kernel bothers
+/// with rayon (~25 µs of single-thread arithmetic — the break-even point
+/// against one scoped-thread spawn; measured in `microbench` below).
+pub(crate) const PAR_THRESHOLD: usize = 128 * 1024;
+
+/// Minimum number of f32 elements touched before a memory-bound kernel
+/// (gather / seq-max / softmax) parallelizes. Copies are ~10× cheaper per
+/// element than multiply-adds, so the bar is correspondingly higher.
+pub(crate) const PAR_THRESHOLD_MEMBOUND: usize = 256 * 1024;
+
+/// True when this host can actually run more than one worker. The rayon
+/// parallel adaptors are eager (they materialize chunk lists before
+/// dispatch), so on single-core hosts the "parallel" path is pure
+/// overhead — measured ~40% on batched-size matmuls — and must be skipped.
+#[inline]
+pub(crate) fn multicore() -> bool {
+    #[cfg(test)]
+    if FORCE_PARALLEL.load(std::sync::atomic::Ordering::Relaxed) {
+        return true;
+    }
+    static CORES: OnceLock<bool> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get() > 1)
+            .unwrap_or(false)
+    })
+}
+
+/// Test hook: forces the parallel branches on, so they stay covered even on
+/// single-core CI hosts (the vendored rayon degrades to sequential execution
+/// of the same closures when only one worker exists).
+#[cfg(test)]
+pub(crate) static FORCE_PARALLEL: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
 
 /// `C[n×m] = A[n×k] · B[k×m]`, row-major, ikj loop order for cache locality.
+///
+/// The inner loop is deliberately branch-free: skipping `a == 0.0` entries
+/// looks attractive for sparse inputs, but the model's one-hot lookups go
+/// through [`gather_rows`], so every matmul on the hot path multiplies dense
+/// activations by dense weights — there the zero-test is a mispredicted
+/// branch per FLOP (measured 6–20% slower at GNN layer shapes; see the
+/// `microbench` module).
 pub(crate) fn matmul(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
     debug_assert_eq!(a.len(), n * k);
     debug_assert_eq!(b.len(), k * m);
-    let mut c = vec![0.0f32; n * m];
+    let mut c = scratch::take_zeroed(n * m);
     let work = n * k * m;
-    if work >= PAR_THRESHOLD && n > 1 {
+    if work >= PAR_THRESHOLD && n > 1 && multicore() {
         c.par_chunks_mut(m).enumerate().for_each(|(i, crow)| {
             matmul_row(&a[i * k..(i + 1) * k], b, crow, k, m);
         });
@@ -32,9 +81,6 @@ pub(crate) fn matmul(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<
 #[inline]
 fn matmul_row(arow: &[f32], b: &[f32], crow: &mut [f32], k: usize, m: usize) {
     for (p, &av) in arow.iter().enumerate().take(k) {
-        if av == 0.0 {
-            continue;
-        }
         let brow = &b[p * m..(p + 1) * m];
         for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
             *cv += av * bv;
@@ -48,38 +94,30 @@ pub(crate) fn matmul_tn(a: &[f32], b: &[f32], k: usize, n: usize, m: usize) -> V
     debug_assert_eq!(b.len(), k * m);
     // Accumulate row-by-row of A/B: C += a_pᵀ ⊗ b_p.
     let work = n * k * m;
-    if work >= PAR_THRESHOLD && n > 1 {
-        let mut c = vec![0.0f32; n * m];
+    let mut c = scratch::take_zeroed(n * m);
+    if work >= PAR_THRESHOLD && n > 1 && multicore() {
         c.par_chunks_mut(m).enumerate().for_each(|(i, crow)| {
             for p in 0..k {
                 let av = a[p * n + i];
-                if av == 0.0 {
-                    continue;
-                }
                 let brow = &b[p * m..(p + 1) * m];
                 for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
                     *cv += av * bv;
                 }
             }
         });
-        c
     } else {
-        let mut c = vec![0.0f32; n * m];
         for p in 0..k {
             let arow = &a[p * n..(p + 1) * n];
             let brow = &b[p * m..(p + 1) * m];
             for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
                 let crow = &mut c[i * m..(i + 1) * m];
                 for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
                     *cv += av * bv;
                 }
             }
         }
-        c
     }
+    c
 }
 
 /// `C[n×m] = A[n×k] · B[m×k]ᵀ` without materializing the transpose.
@@ -98,8 +136,8 @@ pub(crate) fn matmul_nt(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> V
             *cv = acc;
         }
     };
-    let mut c = vec![0.0f32; n * m];
-    if work >= PAR_THRESHOLD && n > 1 {
+    let mut c = scratch::take_zeroed(n * m);
+    if work >= PAR_THRESHOLD && n > 1 && multicore() {
         c.par_chunks_mut(m)
             .enumerate()
             .for_each(|(i, crow)| row(i, crow));
@@ -113,7 +151,7 @@ pub(crate) fn matmul_nt(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> V
 
 /// Row-major transpose of an `n×m` matrix.
 pub(crate) fn transpose(a: &[f32], n: usize, m: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; n * m];
+    let mut out = scratch::take_zeroed(n * m);
     for i in 0..n {
         for j in 0..m {
             out[j * n + i] = a[i * m + j];
@@ -124,8 +162,8 @@ pub(crate) fn transpose(a: &[f32], n: usize, m: usize) -> Vec<f32> {
 
 /// Gathers rows of `x` (`rows×d`) by `idx` into an `idx.len()×d` matrix.
 pub(crate) fn gather_rows(x: &[f32], d: usize, idx: &[u32]) -> Vec<f32> {
-    let mut out = vec![0.0f32; idx.len() * d];
-    if idx.len() * d >= PAR_THRESHOLD {
+    let mut out = scratch::take_zeroed(idx.len() * d);
+    if idx.len() * d >= PAR_THRESHOLD_MEMBOUND && multicore() {
         out.par_chunks_mut(d)
             .zip(idx.par_iter())
             .for_each(|(orow, &i)| {
@@ -153,15 +191,59 @@ pub(crate) fn scatter_add_rows(out: &mut [f32], d: usize, idx: &[u32], src: &[f3
 
 /// Segment sum: sums rows of `x` (`e×d`) into `n_seg` buckets by `seg`.
 pub(crate) fn segment_sum(x: &[f32], d: usize, seg: &[u32], n_seg: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; n_seg * d];
+    let mut out = scratch::take_zeroed(n_seg * d);
     scatter_add_rows(&mut out, d, seg, x);
     out
+}
+
+/// Fused `segment_sum(x ⊙ w, seg)`: scales row `r` of `x` by `w[r]` while
+/// scattering it into its bucket — one pass over `x` instead of a
+/// materialized `e×d` product followed by a second scatter pass. This is the
+/// GNN message-aggregation hot loop (`Σ α_j · m_j` per destination).
+pub(crate) fn segment_weighted_sum(
+    x: &[f32],
+    w: &[f32],
+    d: usize,
+    seg: &[u32],
+    n_seg: usize,
+) -> Vec<f32> {
+    debug_assert_eq!(x.len(), seg.len() * d);
+    debug_assert_eq!(w.len(), seg.len());
+    let mut out = scratch::take_zeroed(n_seg * d);
+    for ((xrow, &wv), &s) in x.chunks(d).zip(w.iter()).zip(seg.iter()) {
+        let orow = &mut out[s as usize * d..(s as usize + 1) * d];
+        for (o, &xv) in orow.iter_mut().zip(xrow.iter()) {
+            *o += xv * wv;
+        }
+    }
+    out
+}
+
+/// Segment mean: averages rows of `x` (`e×d`) into `n_seg` buckets by `seg`.
+/// Returns `(means, row_counts)`; empty segments stay zero. This is the
+/// node→graph pooling reduction for batched (disjoint-union) encoding.
+pub(crate) fn segment_mean(x: &[f32], d: usize, seg: &[u32], n_seg: usize) -> (Vec<f32>, Vec<u32>) {
+    let mut out = scratch::take_zeroed(n_seg * d);
+    scatter_add_rows(&mut out, d, seg, x);
+    let mut counts = vec![0u32; n_seg];
+    for &s in seg {
+        counts[s as usize] += 1;
+    }
+    for (orow, &c) in out.chunks_mut(d).zip(counts.iter()) {
+        if c > 0 {
+            let inv = 1.0 / c as f32;
+            for o in orow.iter_mut() {
+                *o *= inv;
+            }
+        }
+    }
+    (out, counts)
 }
 
 /// Segment max. Returns `(values, argmax_row_index)`; empty segments yield 0
 /// with argmax `u32::MAX` so their backward contribution vanishes.
 pub(crate) fn segment_max(x: &[f32], d: usize, seg: &[u32], n_seg: usize) -> (Vec<f32>, Vec<u32>) {
-    let mut out = vec![f32::NEG_INFINITY; n_seg * d];
+    let mut out = scratch::take_filled(n_seg * d, f32::NEG_INFINITY);
     let mut arg = vec![u32::MAX; n_seg * d];
     for (r, (xrow, &s)) in x.chunks(d).zip(seg.iter()).enumerate() {
         let orow = &mut out[s as usize * d..(s as usize + 1) * d];
@@ -185,7 +267,7 @@ pub(crate) fn segment_max(x: &[f32], d: usize, seg: &[u32], n_seg: usize) -> (Ve
 /// Returns `(values[n×d], argmax_seq_pos[n×d])`.
 pub(crate) fn seq_max(x: &[f32], n: usize, s: usize, d: usize) -> (Vec<f32>, Vec<u32>) {
     debug_assert_eq!(x.len(), n * s * d);
-    let mut out = vec![f32::NEG_INFINITY; n * d];
+    let mut out = scratch::take_filled(n * d, f32::NEG_INFINITY);
     let mut arg = vec![0u32; n * d];
     let run = |i: usize, orow: &mut [f32], arow: &mut [u32]| {
         for t in 0..s {
@@ -198,7 +280,7 @@ pub(crate) fn seq_max(x: &[f32], n: usize, s: usize, d: usize) -> (Vec<f32>, Vec
             }
         }
     };
-    if n * s * d >= PAR_THRESHOLD {
+    if n * s * d >= PAR_THRESHOLD_MEMBOUND && multicore() {
         out.par_chunks_mut(d)
             .zip(arg.par_chunks_mut(d))
             .enumerate()
@@ -216,7 +298,7 @@ pub(crate) fn seq_max(x: &[f32], n: usize, s: usize, d: usize) -> (Vec<f32>, Vec
 
 /// Row-wise softmax for an `n×m` matrix (numerically stabilized).
 pub(crate) fn softmax_rows(x: &[f32], n: usize, m: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; n * m];
+    let mut out = scratch::take_zeroed(n * m);
     let run = |xrow: &[f32], orow: &mut [f32]| {
         let mx = xrow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut z = 0.0f32;
@@ -230,7 +312,7 @@ pub(crate) fn softmax_rows(x: &[f32], n: usize, m: usize) -> Vec<f32> {
             *o *= inv;
         }
     };
-    if n * m >= PAR_THRESHOLD {
+    if n * m >= PAR_THRESHOLD_MEMBOUND && multicore() {
         out.par_chunks_mut(m)
             .zip(x.par_chunks(m))
             .for_each(|(orow, xrow)| run(xrow, orow));
@@ -267,16 +349,53 @@ mod tests {
 
     #[test]
     fn matmul_large_parallel_path() {
+        // force the parallel branches so this covers them even on a
+        // single-core host, where multicore() would otherwise gate them off
+        FORCE_PARALLEL.store(true, std::sync::atomic::Ordering::Relaxed);
         let n = 64;
-        let k = 32;
+        let k = 64;
         let m = 48;
         let a: Vec<f32> = (0..n * k).map(|x| ((x % 7) as f32) - 3.0).collect();
         let b: Vec<f32> = (0..k * m).map(|x| ((x % 5) as f32) * 0.25).collect();
+        assert!(n * k * m >= PAR_THRESHOLD, "exercise the parallel path");
         let expect = naive_matmul(&a, &b, n, k, m);
         let got = matmul(&a, &b, n, k, m);
-        for (g, e) in got.iter().zip(expect.iter()) {
-            assert!((g - e).abs() < 1e-4);
+        let got_tn = matmul_tn(&transpose(&a, n, k), &b, k, n, m);
+        let got_nt = matmul_nt(&a, &transpose(&b, k, m), n, k, m);
+        FORCE_PARALLEL.store(false, std::sync::atomic::Ordering::Relaxed);
+        for ((g, gtn), (gnt, e)) in got
+            .iter()
+            .zip(got_tn.iter())
+            .zip(got_nt.iter().zip(expect.iter()))
+        {
+            assert!((g - e).abs() < 1e-3);
+            assert!((gtn - e).abs() < 1e-3);
+            assert!((gnt - e).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn gather_softmax_seqmax_parallel_paths_match_serial() {
+        let d = 16;
+        let rows = 64;
+        let x: Vec<f32> = (0..rows * d).map(|v| (v % 11) as f32 - 5.0).collect();
+        let idx: Vec<u32> = (0..(PAR_THRESHOLD_MEMBOUND / d + 1) as u32)
+            .map(|i| i % rows as u32)
+            .collect();
+        let serial = gather_rows(&x, d, &idx[..8]);
+        let soft_serial = softmax_rows(&x, 16, 64);
+        FORCE_PARALLEL.store(true, std::sync::atomic::Ordering::Relaxed);
+        let parallel = gather_rows(&x, d, &idx);
+        let (smx, sarg) = seq_max(&x, rows / 4, 4, d);
+        let soft_parallel = softmax_rows(&x, 16, 64);
+        FORCE_PARALLEL.store(false, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(soft_serial, soft_parallel);
+        assert_eq!(&parallel[..serial.len()], &serial[..]);
+        assert_eq!(parallel.len(), idx.len() * d);
+        // seq_max parallel output must agree with the serial run
+        let (smx2, sarg2) = seq_max(&x, rows / 4, 4, d);
+        assert_eq!(smx, smx2);
+        assert_eq!(sarg, sarg2);
     }
 
     #[test]
@@ -337,6 +456,15 @@ mod tests {
     }
 
     #[test]
+    fn segment_mean_divides_by_count() {
+        let x = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3 rows × 2
+        let seg = [1u32, 0, 1];
+        let (m, counts) = segment_mean(&x, 2, &seg, 3);
+        assert_eq!(m, vec![3.0, 4.0, 3.0, 4.0, 0.0, 0.0]);
+        assert_eq!(counts, vec![1, 2, 0]);
+    }
+
+    #[test]
     fn segment_max_tracks_argmax() {
         let x = [1.0f32, 9.0, 5.0, 2.0, 3.0, 4.0];
         let seg = [0u32, 0, 0];
@@ -373,5 +501,91 @@ mod tests {
         let x = [1000.0f32, 1000.0];
         let s = softmax_rows(&x, 1, 2);
         assert!((s[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kernels_are_clean_on_recycled_buffers() {
+        // Poison the pool with buffers in the same size class the kernels
+        // will request (matmul(4,4,4) wants 16 floats → class 4; the
+        // segment_max below wants 12 → also class 4), then verify outputs
+        // carry no stale values. A poison buffer in the wrong class would
+        // never be handed back and make this test vacuous.
+        let poison = vec![f32::NAN; 16];
+        let ptr = poison.as_ptr() as usize;
+        crate::scratch::give(poison);
+        let a = vec![1.0f32; 16];
+        let c = matmul(&a, &a, 4, 4, 4);
+        assert_eq!(
+            c.as_ptr() as usize,
+            ptr,
+            "poison buffer must actually be recycled for this test to bite"
+        );
+        assert!(c.iter().all(|&v| v == 4.0));
+        crate::scratch::give(vec![f32::NAN; 16]);
+        let (v, _) = segment_max(&a, 4, &[0, 0, 1, 1], 3);
+        assert!(v.iter().all(|&x| x.is_finite()));
+    }
+}
+
+/// Kernel tuning measurements (`cargo test -p gbm-tensor --release
+/// microbench -- --ignored --nocapture`). The numbers that justified the
+/// current thresholds and the branch-free matmul inner loop are recorded in
+/// EXPERIMENTS.md §Batched encoding.
+#[cfg(test)]
+mod microbench {
+    use super::*;
+    use std::time::Instant;
+
+    fn bench(name: &str, mut f: impl FnMut()) {
+        for _ in 0..3 {
+            f();
+        }
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while start.elapsed().as_millis() < 300 {
+            f();
+            iters += 1;
+        }
+        let per = start.elapsed().as_secs_f64() / iters as f64;
+        println!("{name:<40} {:>10.2} us/iter ({iters} iters)", per * 1e6);
+    }
+
+    #[test]
+    #[ignore]
+    fn matmul_profiles() {
+        // typical batched-GNN shapes: [n,32]x[32,32] dense, n = nodes in batch
+        for &n in &[64usize, 300, 1200] {
+            let a: Vec<f32> = (0..n * 32).map(|x| (x % 13) as f32 * 0.1 - 0.5).collect();
+            let b: Vec<f32> = (0..32 * 32).map(|x| (x % 7) as f32 * 0.1).collect();
+            bench(&format!("matmul dense n={n} k=32 m=32"), || {
+                std::hint::black_box(matmul(&a, &b, n, 32, 32));
+            });
+        }
+        // sparse lhs (90% zeros) — the case a zero-skip branch would target
+        let n = 300;
+        let a: Vec<f32> = (0..n * 32)
+            .map(|x| if x % 10 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let b: Vec<f32> = (0..32 * 32).map(|x| (x % 7) as f32 * 0.1).collect();
+        bench("matmul sparse90 n=300 k=32 m=32", || {
+            std::hint::black_box(matmul(&a, &b, n, 32, 32));
+        });
+        // paper-scale dense: [n,256]x[256,256]
+        let n = 300;
+        let a: Vec<f32> = (0..n * 256).map(|x| (x % 13) as f32 * 0.1 - 0.5).collect();
+        let b: Vec<f32> = (0..256 * 256).map(|x| (x % 7) as f32 * 0.1).collect();
+        bench("matmul dense n=300 k=256 m=256", || {
+            std::hint::black_box(matmul(&a, &b, n, 256, 256));
+        });
+        let bt: Vec<f32> = (0..300 * 256).map(|x| (x % 7) as f32 * 0.1).collect();
+        bench("matmul_tn k=300 n=256 m=256", || {
+            std::hint::black_box(matmul_tn(&a, &bt, 300, 256, 256));
+        });
+        // gather/scatter: memory-bound
+        let x: Vec<f32> = (0..1200 * 32).map(|v| v as f32).collect();
+        let idx: Vec<u32> = (0..4000u32).map(|i| i % 1200).collect();
+        bench("gather_rows 4000x32 from 1200", || {
+            std::hint::black_box(gather_rows(&x, 32, &idx));
+        });
     }
 }

@@ -18,8 +18,13 @@
 //!   Rayon guide); the tape itself is single-threaded, which keeps autograd
 //!   free of locks on the hot path.
 //! * Graph-neural-network primitives (`gather_rows`, `segment_sum`,
-//!   `segment_max`, `seq_max`) are first-class ops so message passing needs no
-//!   per-edge allocation.
+//!   `segment_mean`, `segment_max`, `seq_max`) are first-class ops so message
+//!   passing needs no per-edge allocation. Segment ops keyed by a per-node
+//!   `graph_id` vector also implement node→graph pooling for batched
+//!   (disjoint-union) encoding.
+//! * Kernel outputs and tensor buffers cycle through a thread-local scratch
+//!   pool (`scratch`): dropping a tensor recycles its capacity, so hot batch
+//!   loops stop round-tripping the global allocator.
 //!
 //! ```
 //! use gbm_tensor::{Graph, Tensor, Param, Adam, Optimizer};
@@ -46,6 +51,9 @@ mod kernels;
 mod ops;
 mod optim;
 mod param;
+mod scratch;
+#[cfg(test)]
+mod segment_props;
 mod shape;
 mod tensor;
 

@@ -8,6 +8,7 @@ use rand::RngExt;
 
 use crate::graph::{Graph, Var};
 use crate::kernels;
+use crate::scratch;
 use crate::tensor::Tensor;
 
 impl Graph {
@@ -19,7 +20,7 @@ impl Graph {
         let vo = out.clone();
         self.op(out, &[a], move |g| {
             // dx = y ⊙ (g - Σ_j g_j y_j) per row
-            let mut d = vec![0.0f32; n * m];
+            let mut d = scratch::take_zeroed(n * m);
             for i in 0..n {
                 let yrow = &vo.data()[i * m..(i + 1) * m];
                 let grow = &g.data()[i * m..(i + 1) * m];
@@ -60,6 +61,47 @@ impl Graph {
     // GNN primitives
     // ---------------------------------------------------------------------
 
+    /// Fused `leaky_relu(a + b + c)` over three same-shape tensors — the
+    /// GATv2 pre-attention sum (`W_l x_d + W_r x_s + P[pos]`) in one pass
+    /// instead of two adds plus an activation, each streaming the full
+    /// `e×d` edge block through cache.
+    pub fn add3_leaky_relu(&self, a: Var, b: Var, c: Var, slope: f32) -> Var {
+        let (va, vb, vc) = (self.value(a), self.value(b), self.value(c));
+        assert_eq!(va.dims(), vb.dims(), "add3 shape mismatch");
+        assert_eq!(va.dims(), vc.dims(), "add3 shape mismatch");
+        let n = va.len();
+        let mut out = scratch::take_with_capacity(n);
+        out.extend(
+            va.data()
+                .iter()
+                .zip(vb.data().iter())
+                .zip(vc.data().iter())
+                .map(|((&x, &y), &z)| {
+                    let s = x + y + z;
+                    if s >= 0.0 {
+                        s
+                    } else {
+                        slope * s
+                    }
+                }),
+        );
+        let dims: Vec<usize> = va.dims().to_vec();
+        let out = Tensor::from_vec(out, &dims);
+        let vo = out.clone();
+        self.op(out, &[a, b, c], move |g| {
+            let mut d = scratch::take_with_capacity(n);
+            d.extend(g.data().iter().zip(vo.data().iter()).map(|(&gv, &yv)| {
+                if yv >= 0.0 {
+                    gv
+                } else {
+                    slope * gv
+                }
+            }));
+            let dt = Tensor::from_vec(d, vo.dims());
+            vec![(a.id, dt.clone()), (b.id, dt.clone()), (c.id, dt)]
+        })
+    }
+
     /// Gathers rows of `x[rows×d]` by index: output row `r` is `x[idx[r]]`.
     /// This is both the embedding lookup and the per-edge endpoint gather.
     pub fn gather_rows(&self, x: Var, idx: &[u32]) -> Var {
@@ -74,7 +116,7 @@ impl Graph {
             &[idx_owned.len(), d],
         );
         self.op(out, &[x], move |g| {
-            let mut dx = vec![0.0f32; rows * d];
+            let mut dx = scratch::take_zeroed(rows * d);
             kernels::scatter_add_rows(&mut dx, d, &idx_owned, g.data());
             vec![(x.id, Tensor::from_vec(dx, &[rows, d]))]
         })
@@ -100,6 +142,72 @@ impl Graph {
         })
     }
 
+    /// Fused `segment_sum(x ⊙ w, seg, n_seg)` for a column weight `w[e×1]`:
+    /// the GAT message aggregation `Σ_{j∈N(i)} α_j m_j` in one pass over the
+    /// messages, with no materialized `e×d` product.
+    pub fn segment_weighted_sum(&self, x: Var, w: Var, seg: &[u32], n_seg: usize) -> Var {
+        let (vx, vw) = (self.value(x), self.value(w));
+        let (e, d) = (vx.dims()[0], vx.dims()[1]);
+        assert_eq!(vw.dims(), &[e, 1], "weights must be [e,1]");
+        assert_eq!(seg.len(), e, "segment ids must cover every row");
+        for &s in seg {
+            assert!((s as usize) < n_seg, "segment id {s} out of {n_seg}");
+        }
+        let seg_owned: Vec<u32> = seg.to_vec();
+        let out = Tensor::from_vec(
+            kernels::segment_weighted_sum(vx.data(), vw.data(), d, &seg_owned, n_seg),
+            &[n_seg, d],
+        );
+        self.op(out, &[x, w], move |g| {
+            // dx[r] = w[r] · g[seg[r]] ; dw[r] = x[r] · g[seg[r]]
+            let mut dx = scratch::take_zeroed(e * d);
+            let mut dw = scratch::take_zeroed(e);
+            for (r, &s) in seg_owned.iter().enumerate() {
+                let grow = &g.data()[s as usize * d..(s as usize + 1) * d];
+                let xrow = &vx.data()[r * d..(r + 1) * d];
+                let wv = vw.data()[r];
+                let drow = &mut dx[r * d..(r + 1) * d];
+                let mut dot = 0.0f32;
+                for ((o, &gv), &xv) in drow.iter_mut().zip(grow.iter()).zip(xrow.iter()) {
+                    *o = gv * wv;
+                    dot += gv * xv;
+                }
+                dw[r] = dot;
+            }
+            vec![
+                (x.id, Tensor::from_vec(dx, &[e, d])),
+                (w.id, Tensor::from_vec(dw, &[e, 1])),
+            ]
+        })
+    }
+
+    /// Per-segment mean of `x[e×d]` over `n_seg` buckets; empty segments
+    /// yield zero rows. With `seg` holding a per-node `graph_id`, this is the
+    /// mean read-out of batched (disjoint-union) graph encoding.
+    pub fn segment_mean(&self, x: Var, seg: &[u32], n_seg: usize) -> Var {
+        let vx = self.value(x);
+        let (e, d) = (vx.dims()[0], vx.dims()[1]);
+        assert_eq!(seg.len(), e, "segment ids must cover every row");
+        for &s in seg {
+            assert!((s as usize) < n_seg, "segment id {s} out of {n_seg}");
+        }
+        let seg_owned: Vec<u32> = seg.to_vec();
+        let (vals, counts) = kernels::segment_mean(vx.data(), d, &seg_owned, n_seg);
+        let out = Tensor::from_vec(vals, &[n_seg, d]);
+        self.op(out, &[x], move |g| {
+            // dx row r = g[seg[r]] / count[seg[r]]
+            let mut dx = scratch::take_zeroed(e * d);
+            for (drow, &s) in dx.chunks_mut(d).zip(seg_owned.iter()) {
+                let grow = &g.data()[s as usize * d..(s as usize + 1) * d];
+                let inv = 1.0 / counts[s as usize] as f32;
+                for (o, &gv) in drow.iter_mut().zip(grow.iter()) {
+                    *o = gv * inv;
+                }
+            }
+            vec![(x.id, Tensor::from_vec(dx, &[e, d]))]
+        })
+    }
+
     /// Per-segment maximum; empty segments yield zero rows. Gradient flows to
     /// each segment's argmax row only.
     pub fn segment_max(&self, x: Var, seg: &[u32], n_seg: usize) -> Var {
@@ -110,7 +218,7 @@ impl Graph {
         let (vals, arg) = kernels::segment_max(vx.data(), d, &seg_owned, n_seg);
         let out = Tensor::from_vec(vals, &[n_seg, d]);
         self.op(out, &[x], move |g| {
-            let mut dx = vec![0.0f32; e * d];
+            let mut dx = scratch::take_zeroed(e * d);
             for s in 0..n_seg {
                 for j in 0..d {
                     let r = arg[s * d + j];
@@ -145,7 +253,7 @@ impl Graph {
         let (vals, arg) = kernels::seq_max(vx.data(), n, s, d);
         let out = Tensor::from_vec(vals, &[n, d]);
         self.op(out, &[x], move |g| {
-            let mut dx = vec![0.0f32; n * s * d];
+            let mut dx = scratch::take_zeroed(n * s * d);
             for i in 0..n {
                 for j in 0..d {
                     let t = arg[i * d + j] as usize;
@@ -252,6 +360,99 @@ mod tests {
         g.backward(g.sum_all(summed));
         // every gathered row contributes once
         assert_eq!(g.grad(x).unwrap().data(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn add3_leaky_relu_matches_composition() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, -2.0, 0.5, -0.1], &[2, 2]));
+        let b = g.leaf(Tensor::from_vec(vec![0.5, 0.5, -1.0, -0.5], &[2, 2]));
+        let c = g.leaf(Tensor::from_vec(vec![-0.2, 0.1, 0.2, -0.4], &[2, 2]));
+        let fused = g.add3_leaky_relu(a, b, c, 0.2);
+        let reference = g.leaky_relu(g.add(g.add(a, b), c), 0.2);
+        assert_eq!(g.value(fused).data(), g.value(reference).data());
+        g.backward(g.sum_all(fused));
+        // negative sums get slope-scaled gradient on every parent
+        let ga = g.grad(a).unwrap();
+        assert_eq!(ga.data(), &[1.0, 0.2, 0.2, 0.2]);
+        assert_eq!(g.grad(b).unwrap().data(), ga.data());
+        assert_eq!(g.grad(c).unwrap().data(), ga.data());
+    }
+
+    #[test]
+    fn add3_leaky_relu_gradcheck() {
+        use crate::gradcheck;
+        let mut rng = StdRng::seed_from_u64(23);
+        // keep values away from the kink at 0 for finite differences
+        let a = Tensor::rand_uniform(&mut rng, &[3, 4], 0.1, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[3, 4], -1.0, -0.6);
+        let c = Tensor::rand_uniform(&mut rng, &[3, 4], 0.2, 0.4);
+        gradcheck::check(&[a, b, c], |g, vs| {
+            g.mean_all(g.square(g.add3_leaky_relu(vs[0], vs[1], vs[2], 0.2)))
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn segment_weighted_sum_matches_mul_then_sum() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            &[3, 2],
+        ));
+        let w = g.leaf(Tensor::from_vec(vec![0.5, 2.0, -1.0], &[3, 1]));
+        let seg = [0u32, 1, 1];
+        let fused = g.segment_weighted_sum(x, w, &seg, 2);
+        let reference = g.segment_sum(g.mul_colvec(x, w), &seg, 2);
+        assert_eq!(g.value(fused).data(), g.value(reference).data());
+        g.backward(g.sum_all(fused));
+        assert_eq!(g.grad(x).unwrap().data(), &[0.5, 0.5, 2.0, 2.0, -1.0, -1.0]);
+        assert_eq!(g.grad(w).unwrap().data(), &[3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn segment_weighted_sum_gradcheck() {
+        use crate::gradcheck;
+        let mut rng = StdRng::seed_from_u64(19);
+        let x = Tensor::rand_uniform(&mut rng, &[5, 3], -1.0, 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[5, 1], -1.0, 1.0);
+        gradcheck::check(&[x, w], |g, vs| {
+            let out = g.segment_weighted_sum(vs[0], vs[1], &[0, 2, 0, 1, 2], 3);
+            g.mean_all(g.square(out))
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn segment_mean_forward_and_gradient() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            &[3, 2],
+        ));
+        let m = g.segment_mean(x, &[1, 1, 0], 3);
+        let vm = g.value(m);
+        assert_eq!(vm.dims(), &[3, 2]);
+        assert_eq!(vm.data(), &[5.0, 6.0, 2.0, 3.0, 0.0, 0.0]);
+        g.backward(g.sum_all(m));
+        // each row contributes 1/count to its segment's mean
+        assert_eq!(g.grad(x).unwrap().data(), &[0.5, 0.5, 0.5, 0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn segment_mean_gradcheck() {
+        use crate::gradcheck;
+        let mut rng = StdRng::seed_from_u64(17);
+        let x = Tensor::rand_uniform(&mut rng, &[5, 3], -1.0, 1.0);
+        gradcheck::check(&[x], |g, vs| {
+            let m = g.segment_mean(vs[0], &[0, 2, 0, 2, 1], 3);
+            let w = g.constant(Tensor::from_vec(
+                (0..9).map(|i| 0.2 * i as f32).collect(),
+                &[3, 3],
+            ));
+            g.sum_all(g.mul(m, w))
+        })
+        .unwrap();
     }
 
     #[test]

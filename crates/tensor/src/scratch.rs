@@ -1,0 +1,220 @@
+//! Thread-local scratch-buffer recycling for kernel outputs.
+//!
+//! Every op on the tape materializes its result (and, during backward, its
+//! gradient) as a fresh `Vec<f32>`. Inside a batched encoder forward that is
+//! thousands of short-lived allocations per step, all clustered around a few
+//! hot sizes — a textbook free-list workload. [`Tensor`](crate::Tensor)
+//! storage returns its buffer here on drop, and kernels draw their output
+//! buffers from [`take_zeroed`] / [`take_with_capacity`], so steady-state
+//! batch loops recycle capacity instead of round-tripping the global
+//! allocator.
+//!
+//! Buffers are bucketed by power-of-two capacity class, so both `take` and
+//! `give` are O(1) — a flat free list degrades to an O(live-buffers) scan
+//! per op, which is slower than just calling malloc. The pool is strictly
+//! thread-local (no locks; a buffer freed on a worker thread feeds that
+//! worker's next batch) and budgeted: oversized buffers and anything beyond
+//! [`MAX_POOLED_LEN`] total floats are released to the allocator, so a
+//! thread can never hoard more than ~64 MB.
+
+use std::cell::RefCell;
+
+/// Largest single buffer worth pooling (f32 elements). Anything bigger is a
+/// one-off (whole-dataset matrices), not a per-op temporary.
+const MAX_BUFFER_LEN: usize = 1 << 22; // 4M f32 = 16 MB
+
+/// Total pooled capacity budget per thread (f32 elements).
+const MAX_POOLED_LEN: usize = 1 << 24; // 16M f32 = 64 MB
+
+/// Size classes: bucket `k` holds buffers with capacity in `[2^k, 2^(k+1))`.
+const NUM_CLASSES: usize = 23; // up to MAX_BUFFER_LEN
+
+/// Buffers kept per size class — enough for one forward's working set of a
+/// hot size without letting any class grow unbounded.
+const MAX_PER_CLASS: usize = 64;
+
+struct Pool {
+    classes: [Vec<Vec<f32>>; NUM_CLASSES],
+    /// Sum of `capacity()` over all pooled buffers.
+    pooled: usize,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool {
+        classes: std::array::from_fn(|_| Vec::new()),
+        pooled: 0,
+    });
+}
+
+/// The bucket whose every member can hold `len` elements.
+#[inline]
+fn class_of_request(len: usize) -> usize {
+    // smallest k with 2^k >= len
+    (usize::BITS - len.max(1).next_power_of_two().leading_zeros() - 1) as usize
+}
+
+/// The bucket a buffer of capacity `cap` files under: largest k with
+/// `2^k <= cap`, so every buffer in bucket k satisfies requests ≤ `2^k`.
+#[inline]
+fn class_of_capacity(cap: usize) -> usize {
+    (usize::BITS - cap.leading_zeros() - 1) as usize
+}
+
+fn reuse(min_capacity: usize) -> Option<Vec<f32>> {
+    let class = class_of_request(min_capacity);
+    if class >= NUM_CLASSES {
+        return None;
+    }
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        let buf = pool.classes[class].pop()?;
+        pool.pooled -= buf.capacity();
+        debug_assert!(buf.capacity() >= min_capacity);
+        Some(buf)
+    })
+}
+
+/// A zeroed buffer of exactly `len`, reusing pooled capacity when available.
+pub(crate) fn take_zeroed(len: usize) -> Vec<f32> {
+    take_filled(len, 0.0)
+}
+
+/// A `fill`-initialized buffer of exactly `len`.
+pub(crate) fn take_filled(len: usize, fill: f32) -> Vec<f32> {
+    match reuse(len) {
+        Some(mut buf) => {
+            buf.clear();
+            buf.resize(len, fill);
+            buf
+        }
+        None => vec![fill; len],
+    }
+}
+
+/// An *empty* buffer with at least `capacity` headroom — for kernels that
+/// build their output with `push`/`extend` and need no zero-fill.
+pub(crate) fn take_with_capacity(capacity: usize) -> Vec<f32> {
+    match reuse(capacity) {
+        Some(mut buf) => {
+            buf.clear();
+            buf
+        }
+        None => Vec::with_capacity(capacity),
+    }
+}
+
+/// Returns a buffer to this thread's pool (or frees it when over budget).
+pub(crate) fn give(buf: Vec<f32>) {
+    let cap = buf.capacity();
+    if cap == 0 || cap > MAX_BUFFER_LEN {
+        return;
+    }
+    let class = class_of_capacity(cap);
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.pooled + cap <= MAX_POOLED_LEN && pool.classes[class].len() < MAX_PER_CLASS {
+            pool.pooled += cap;
+            pool.classes[class].push(buf);
+        }
+    });
+}
+
+/// Tensor storage that recycles its buffer through the scratch pool on drop.
+pub(crate) struct Storage(Vec<f32>);
+
+impl Storage {
+    #[inline]
+    pub(crate) fn new(data: Vec<f32>) -> Storage {
+        Storage(data)
+    }
+
+    #[inline]
+    pub(crate) fn data(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// Moves the buffer out; the emptied storage then drops as a no-op.
+    pub(crate) fn take(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.0)
+    }
+}
+
+impl Drop for Storage {
+    fn drop(&mut self) {
+        give(std::mem::take(&mut self.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mapping_is_sound() {
+        // a buffer filed under class_of_capacity(cap) must satisfy every
+        // request routed to the same class
+        for cap in [1usize, 2, 3, 7, 8, 9, 1000, 1024, 1025] {
+            for len in [1usize, 2, 3, 7, 8, 9, 1000, 1024, 1025] {
+                if class_of_request(len) == class_of_capacity(cap) {
+                    assert!(cap >= len, "cap {cap} must hold len {len}");
+                }
+            }
+        }
+        assert_eq!(class_of_request(1), 0);
+        assert_eq!(class_of_request(2), 1);
+        assert_eq!(class_of_request(3), 2);
+        assert_eq!(class_of_capacity(1024), 10);
+        assert_eq!(class_of_request(1024), 10);
+        assert_eq!(class_of_request(1025), 11);
+    }
+
+    #[test]
+    fn buffers_round_trip_through_pool() {
+        let a = take_zeroed(1024);
+        let ptr = a.as_ptr() as usize;
+        give(a);
+        // 1000 routes to class 10, same as the 1024-cap buffer we returned
+        let b = take_zeroed(1000);
+        assert_eq!(b.as_ptr() as usize, ptr, "capacity must be reused");
+        assert_eq!(b.len(), 1000);
+        assert!(b.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn take_filled_overwrites_stale_contents() {
+        give(vec![7.0f32; 64]);
+        let buf = take_filled(64, 1.5);
+        assert!(buf.iter().all(|&x| x == 1.5));
+    }
+
+    #[test]
+    fn take_with_capacity_is_empty() {
+        give(vec![3.0f32; 128]);
+        let buf = take_with_capacity(128);
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 128);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_pooled() {
+        let huge = vec![0.0f32; MAX_BUFFER_LEN + 1];
+        give(huge);
+        POOL.with(|p| assert!(p.borrow().pooled <= MAX_POOLED_LEN));
+    }
+
+    #[test]
+    fn storage_returns_buffer_on_drop() {
+        let s = Storage::new(vec![1.0f32; 512]);
+        let ptr = s.data().as_ptr() as usize;
+        drop(s);
+        let buf = take_zeroed(512);
+        assert_eq!(buf.as_ptr() as usize, ptr);
+    }
+
+    #[test]
+    fn storage_take_skips_pool() {
+        let s = Storage::new(vec![2.0f32; 16]);
+        let v = s.take();
+        assert_eq!(v, vec![2.0f32; 16]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests for the `segment_*` kernel family (and its gather
+//! adjoint) over random shapes and segment assignments — the primitives the
+//! batched (disjoint-union) graph encoder leans on.
+
+use proptest::prelude::*;
+
+use crate::graph::Graph;
+use crate::tensor::Tensor;
+
+/// Normalizes raw samples into a valid `(x[e×d], seg)` problem: segment ids
+/// wrap into `0..n_seg`, and the data vector is cycled out to `e·d` floats.
+fn mk_problem(d: usize, n_seg: usize, seg_raw: &[u32], xs: &[f32]) -> (Vec<f32>, Vec<u32>) {
+    let seg: Vec<u32> = seg_raw.iter().map(|&s| s % n_seg as u32).collect();
+    let e = seg.len();
+    let x: Vec<f32> = (0..e * d).map(|i| xs[i % xs.len()]).collect();
+    (x, seg)
+}
+
+fn naive_segment_sum(x: &[f32], d: usize, seg: &[u32], n_seg: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n_seg * d];
+    for (row, &s) in x.chunks(d).zip(seg.iter()) {
+        for (j, &v) in row.iter().enumerate() {
+            out[s as usize * d + j] += v;
+        }
+    }
+    out
+}
+
+fn counts_of(seg: &[u32], n_seg: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_seg];
+    for &s in seg {
+        counts[s as usize] += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// segment_sum matches the naive per-row scatter.
+    #[test]
+    fn segment_sum_matches_naive(
+        d in 1usize..6,
+        n_seg in 1usize..8,
+        seg_raw in proptest::collection::vec(0u32..64, 0..20),
+        xs in proptest::collection::vec(-4.0f32..4.0, 1..128),
+    ) {
+        let (x, seg) = mk_problem(d, n_seg, &seg_raw, &xs);
+        let g = Graph::new();
+        let v = g.constant(Tensor::from_vec(x.clone(), &[seg.len(), d]));
+        let out = g.value(g.segment_sum(v, &seg, n_seg));
+        let expect = naive_segment_sum(&x, d, &seg, n_seg);
+        prop_assert_eq!(out.dims(), &[n_seg, d]);
+        for (a, b) in out.data().iter().zip(expect.iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    /// segment_mean is segment_sum divided by per-segment counts; empty
+    /// segments stay exactly zero.
+    #[test]
+    fn segment_mean_matches_sum_over_count(
+        d in 1usize..6,
+        n_seg in 1usize..8,
+        seg_raw in proptest::collection::vec(0u32..64, 0..20),
+        xs in proptest::collection::vec(-4.0f32..4.0, 1..128),
+    ) {
+        let (x, seg) = mk_problem(d, n_seg, &seg_raw, &xs);
+        let g = Graph::new();
+        let v = g.constant(Tensor::from_vec(x.clone(), &[seg.len(), d]));
+        let out = g.value(g.segment_mean(v, &seg, n_seg));
+        let sums = naive_segment_sum(&x, d, &seg, n_seg);
+        let counts = counts_of(&seg, n_seg);
+        for s in 0..n_seg {
+            for j in 0..d {
+                let got = out.data()[s * d + j];
+                if counts[s] == 0 {
+                    prop_assert_eq!(got, 0.0);
+                } else {
+                    let expect = sums[s * d + j] / counts[s] as f32;
+                    prop_assert!((got - expect).abs() < 1e-4, "{} vs {}", got, expect);
+                }
+            }
+        }
+    }
+
+    /// segment_max picks the true per-segment per-feature maximum (zero for
+    /// empty segments).
+    #[test]
+    fn segment_max_matches_naive(
+        d in 1usize..6,
+        n_seg in 1usize..8,
+        seg_raw in proptest::collection::vec(0u32..64, 0..20),
+        xs in proptest::collection::vec(-4.0f32..4.0, 1..128),
+    ) {
+        let (x, seg) = mk_problem(d, n_seg, &seg_raw, &xs);
+        let g = Graph::new();
+        let v = g.constant(Tensor::from_vec(x.clone(), &[seg.len(), d]));
+        let out = g.value(g.segment_max(v, &seg, n_seg));
+        for s in 0..n_seg {
+            for j in 0..d {
+                let expect = x
+                    .chunks(d)
+                    .zip(seg.iter())
+                    .filter(|&(_, &r)| r as usize == s)
+                    .map(|(row, _)| row[j])
+                    .fold(f32::NEG_INFINITY, f32::max);
+                let expect = if expect == f32::NEG_INFINITY { 0.0 } else { expect };
+                prop_assert_eq!(out.data()[s * d + j], expect);
+            }
+        }
+    }
+
+    /// The segment_sum gradient is a gather: every row receives its
+    /// segment's upstream gradient exactly once.
+    #[test]
+    fn segment_sum_gradient_is_gather(
+        d in 1usize..6,
+        n_seg in 1usize..8,
+        seg_raw in proptest::collection::vec(0u32..64, 1..20),
+        xs in proptest::collection::vec(-4.0f32..4.0, 1..128),
+    ) {
+        let (x, seg) = mk_problem(d, n_seg, &seg_raw, &xs);
+        let g = Graph::new();
+        let v = g.leaf(Tensor::from_vec(x, &[seg.len(), d]));
+        let out = g.segment_sum(v, &seg, n_seg);
+        g.backward(g.sum_all(out));
+        let grad = g.grad(v).unwrap();
+        prop_assert!(grad.data().iter().all(|&gv| gv == 1.0));
+    }
+
+    /// segment_mean gradient distributes 1/count to every member row.
+    #[test]
+    fn segment_mean_gradient_is_inverse_count(
+        d in 1usize..6,
+        n_seg in 1usize..8,
+        seg_raw in proptest::collection::vec(0u32..64, 1..20),
+        xs in proptest::collection::vec(-4.0f32..4.0, 1..128),
+    ) {
+        let (x, seg) = mk_problem(d, n_seg, &seg_raw, &xs);
+        let counts = counts_of(&seg, n_seg);
+        let g = Graph::new();
+        let v = g.leaf(Tensor::from_vec(x, &[seg.len(), d]));
+        let out = g.segment_mean(v, &seg, n_seg);
+        g.backward(g.sum_all(out));
+        let grad = g.grad(v).unwrap();
+        for (row, &s) in grad.data().chunks(d).zip(seg.iter()) {
+            let expect = 1.0 / counts[s as usize] as f32;
+            for &gv in row {
+                prop_assert!((gv - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// segment_softmax sums to one within every non-empty segment.
+    #[test]
+    fn segment_softmax_normalizes(
+        n_seg in 1usize..8,
+        seg_raw in proptest::collection::vec(0u32..64, 1..20),
+        xs in proptest::collection::vec(-6.0f32..6.0, 1..128),
+    ) {
+        let (scores, seg) = mk_problem(1, n_seg, &seg_raw, &xs);
+        let g = Graph::new();
+        let v = g.constant(Tensor::from_vec(scores, &[seg.len(), 1]));
+        let sm = g.value(g.segment_softmax(v, &seg, n_seg));
+        let mut sums = vec![0.0f32; n_seg];
+        for (row, &s) in sm.data().iter().zip(seg.iter()) {
+            prop_assert!(*row >= 0.0 && *row <= 1.0 + 1e-6);
+            sums[s as usize] += row;
+        }
+        let counts = counts_of(&seg, n_seg);
+        for (s, &sum) in sums.iter().enumerate() {
+            if counts[s] > 0 {
+                prop_assert!((sum - 1.0).abs() < 1e-4, "segment {} sums to {}", s, sum);
+            }
+        }
+    }
+
+    /// gather → segment_sum with the same index vector reproduces each row
+    /// scaled by its multiplicity (the GNN message-passing adjoint pair).
+    #[test]
+    fn gather_then_segment_sum_counts_multiplicity(
+        d in 1usize..6,
+        n_seg in 1usize..8,
+        seg_raw in proptest::collection::vec(0u32..64, 1..20),
+    ) {
+        let seg: Vec<u32> = seg_raw.iter().map(|&s| s % n_seg as u32).collect();
+        let table: Vec<f32> = (0..n_seg * d).map(|i| i as f32 * 0.25 - 1.0).collect();
+        let g = Graph::new();
+        let v = g.constant(Tensor::from_vec(table.clone(), &[n_seg, d]));
+        let gathered = g.gather_rows(v, &seg);
+        let back = g.value(g.segment_sum(gathered, &seg, n_seg));
+        let counts = counts_of(&seg, n_seg);
+        for s in 0..n_seg {
+            for j in 0..d {
+                let expect = table[s * d + j] * counts[s] as f32;
+                let got = back.data()[s * d + j];
+                prop_assert!((got - expect).abs() < 1e-3, "{} vs {}", got, expect);
+            }
+        }
+    }
+}

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use rand::RngExt;
 
+use crate::scratch::{self, Storage};
 use crate::shape::Shape;
 
 /// An immutable, reference-counted `f32` tensor.
@@ -12,11 +13,13 @@ use crate::shape::Shape;
 /// Cloning is O(1) (the buffer is shared through an `Arc`), which lets the
 /// autograd tape capture inputs for backward passes without copying. All
 /// mutation goes through constructors or [`Tensor::map`]-style methods that
-/// produce fresh tensors.
+/// produce fresh tensors. Dropping the last reference recycles the buffer
+/// through the thread-local [`scratch`] pool, so per-op temporaries in hot
+/// batch loops reuse capacity instead of hitting the allocator.
 #[derive(Clone)]
 pub struct Tensor {
     shape: Shape,
-    data: Arc<Vec<f32>>,
+    data: Arc<Storage>,
 }
 
 impl Tensor {
@@ -32,7 +35,7 @@ impl Tensor {
         );
         Tensor {
             shape,
-            data: Arc::new(data),
+            data: Arc::new(Storage::new(data)),
         }
     }
 
@@ -42,7 +45,7 @@ impl Tensor {
         let n = shape.len();
         Tensor {
             shape,
-            data: Arc::new(vec![0.0; n]),
+            data: Arc::new(Storage::new(scratch::take_zeroed(n))),
         }
     }
 
@@ -57,7 +60,7 @@ impl Tensor {
         let n = shape.len();
         Tensor {
             shape,
-            data: Arc::new(vec![value; n]),
+            data: Arc::new(Storage::new(scratch::take_filled(n, value))),
         }
     }
 
@@ -82,7 +85,7 @@ impl Tensor {
         let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
         Tensor {
             shape,
-            data: Arc::new(data),
+            data: Arc::new(Storage::new(data)),
         }
     }
 
@@ -104,7 +107,7 @@ impl Tensor {
         }
         Tensor {
             shape,
-            data: Arc::new(data),
+            data: Arc::new(Storage::new(data)),
         }
     }
 
@@ -135,20 +138,20 @@ impl Tensor {
     /// Raw row-major data.
     #[inline]
     pub fn data(&self) -> &[f32] {
-        &self.data
+        self.data.data()
     }
 
     /// Element at a rank-2 position.
     #[inline]
     pub fn at(&self, row: usize, col: usize) -> f32 {
         debug_assert_eq!(self.shape.rank(), 2);
-        self.data[row * self.shape.cols() + col]
+        self.data.data()[row * self.shape.cols() + col]
     }
 
     /// First element — convenient for `[1]` scalars.
     #[inline]
     pub fn item(&self) -> f32 {
-        self.data[0]
+        self.data.data()[0]
     }
 
     /// Same buffer viewed under a different shape (must preserve length).
@@ -169,31 +172,33 @@ impl Tensor {
 
     /// Elementwise map into a fresh tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data = self.data.iter().map(|&x| f(x)).collect();
+        let mut data = scratch::take_with_capacity(self.len());
+        data.extend(self.data().iter().map(|&x| f(x)));
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(data),
+            data: Arc::new(Storage::new(data)),
         }
     }
 
     /// Elementwise combination of two same-shape tensors.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.dims(), other.dims(), "zip shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = scratch::take_with_capacity(self.len());
+        data.extend(
+            self.data()
+                .iter()
+                .zip(other.data().iter())
+                .map(|(&a, &b)| f(a, b)),
+        );
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(data),
+            data: Arc::new(Storage::new(data)),
         }
     }
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.data().iter().sum()
     }
 
     /// Mean of all elements (0 for empty tensors).
@@ -207,39 +212,42 @@ impl Tensor {
 
     /// Maximum element (−∞ for empty tensors).
     pub fn max(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (+∞ for empty tensors).
     pub fn min(&self) -> f32 {
-        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
     }
 
     /// Euclidean norm.
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+        self.data().iter().map(|x| x * x).sum::<f32>().sqrt()
     }
 
     /// True when any element is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
-        self.data.iter().any(|x| !x.is_finite())
+        self.data().iter().any(|x| !x.is_finite())
     }
 
     /// Approximate equality within `tol`, elementwise.
     pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
         self.dims() == other.dims()
             && self
-                .data
+                .data()
                 .iter()
-                .zip(other.data.iter())
+                .zip(other.data().iter())
                 .all(|(a, b)| (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())))
     }
 
     /// Consumes or copies out the underlying buffer.
     pub fn into_vec(self) -> Vec<f32> {
         match Arc::try_unwrap(self.data) {
-            Ok(v) => v,
-            Err(arc) => arc.as_ref().clone(),
+            Ok(storage) => storage.take(),
+            Err(arc) => arc.data().to_vec(),
         }
     }
 
@@ -247,7 +255,7 @@ impl Tensor {
         assert_eq!(shape.len(), data.len());
         Tensor {
             shape,
-            data: Arc::new(data),
+            data: Arc::new(Storage::new(data)),
         }
     }
 }
@@ -256,13 +264,13 @@ impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?}", self.shape)?;
         if self.len() <= 16 {
-            write!(f, " {:?}", &self.data[..])
+            write!(f, " {:?}", self.data())
         } else {
             write!(
                 f,
                 " [{:.4}, {:.4}, … ({} elems)]",
-                self.data[0],
-                self.data[1],
+                self.data()[0],
+                self.data()[1],
                 self.len()
             )
         }

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare a fresh `encode_batch` bench run against the checked-in baseline.
+
+Usage:
+    cargo bench -p gbm-bench --bench encode_batch | tee bench_out.txt
+    python3 scripts/check_bench_regression.py [--quick] bench_out.txt
+
+Absolute times are machine-dependent, so the gate is on *ratios inside one
+run*: for every config group, the speedup of the best batched variant
+(`batched_b*` / `store_build`) over `per_graph_replica` (the PR 1 path) is
+compared against the same speedup recorded in BENCH_encode_batch.json. A
+fresh speedup more than REGRESSION_TOLERANCE worse than baseline fails the
+check — that is the signal that batching stopped paying for itself, however
+fast the host is.
+
+`--quick` compares against the `quick_ms` baseline section (the CI smoke
+run, `GBM_BENCH_SCALE=quick`); the default compares against `full_ms`.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REGRESSION_TOLERANCE = 0.20  # fail when a speedup degrades by more than 20%
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_encode_batch.json"
+
+ROW = re.compile(
+    r"(?P<name>encode_batch_\w+/\S+)\s+time:\s+(?P<value>[0-9.]+)\s*(?P<unit>ms|µs|us)/iter"
+)
+
+UNIT_MS = {"ms": 1.0, "µs": 1e-3, "us": 1e-3}
+
+
+def parse_run(text: str) -> dict:
+    times = {}
+    for m in ROW.finditer(text):
+        times[m.group("name")] = float(m.group("value")) * UNIT_MS[m.group("unit")]
+    return times
+
+
+def speedups(times: dict) -> dict:
+    """Per config group: time(per_graph_replica) / time(best batched)."""
+    out = {}
+    groups = {name.split("/")[0] for name in times}
+    for g in sorted(groups):
+        base = times.get(f"{g}/per_graph_replica")
+        batched = [
+            t
+            for name, t in times.items()
+            if name.startswith(f"{g}/")
+            and ("batched_b" in name or name.endswith("store_build"))
+        ]
+        if base is None or not batched:
+            continue
+        out[g] = base / min(batched)
+    return out
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if a != "--quick"]
+    quick = "--quick" in sys.argv[1:]
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+    run_text = Path(args[0]).read_text()
+    fresh = parse_run(run_text)
+    if not fresh:
+        print("error: no bench rows found in input (expected 'group/name time: X ms/iter')")
+        return 2
+
+    baseline_doc = json.loads(BASELINE.read_text())
+    section = "quick_ms" if quick else "full_ms"
+    base_times = baseline_doc[section]
+
+    fresh_sp = speedups(fresh)
+    base_sp = speedups(base_times)
+
+    print(f"{'config':<24} {'baseline':>9} {'fresh':>9}  verdict")
+    print("-" * 56)
+    failed = False
+    for g, b in sorted(base_sp.items()):
+        f = fresh_sp.get(g)
+        if f is None:
+            print(f"{g:<24} {b:>8.2f}x {'—':>9}  MISSING (row absent in fresh run)")
+            failed = True
+            continue
+        ok = f >= b * (1.0 - REGRESSION_TOLERANCE)
+        verdict = "ok" if ok else f"REGRESSION (>{REGRESSION_TOLERANCE:.0%} below baseline)"
+        print(f"{g:<24} {b:>8.2f}x {f:>8.2f}x  {verdict}")
+        failed |= not ok
+    if failed:
+        print("\nbatched-encoding speedup regressed; see BENCH_encode_batch.json for baselines")
+        return 1
+    print("\nall batched-encoding speedups within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
