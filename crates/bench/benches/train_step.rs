@@ -1,0 +1,142 @@
+//! Training-step cost per objective (BCE vs triplet vs InfoNCE).
+//!
+//! All three objectives share the step pipeline — sample → gather unique
+//! graphs → one disjoint-union forward → loss over the shared `[U, hidden]`
+//! embedding matrix — so the bench isolates what the *objective* adds on
+//! top: per-pair head forwards for BCE versus one similarity matrix (plus
+//! mining/masking) for the contrastive losses. ROADMAP's point that in-batch
+//! negatives are "nearly free" once the embedding matrix exists is exactly
+//! the claim `scripts/check_bench_regression.py --bench train_step` gates:
+//! the contrastive/BCE cost ratio must not regress against
+//! `BENCH_train_step.json`.
+//!
+//! Each iteration restores the model from a weight snapshot and trains one
+//! epoch, so measured work is identical run to run (no weight drift).
+//!
+//! Scale: `GBM_BENCH_SCALE=quick` runs the CI smoke subset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gbm_datasets::{group_pairs_by_anchor, PairSpec};
+use gbm_frontends::{compile, SourceLang};
+use gbm_nn::{
+    encode_graph, train, EncodedGraph, GraphBinMatch, GraphBinMatchConfig, PairExample, PairSet,
+    TrainConfig, TrainObjective,
+};
+use gbm_progml::{build_graph, NodeTextMode};
+use gbm_tokenizer::{Tokenizer, TokenizerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_mode() -> bool {
+    matches!(std::env::var("GBM_BENCH_SCALE").as_deref(), Ok("quick"))
+}
+
+/// A pool with `n_tasks` program families, `per_task` variants each —
+/// same-family pairs are positives, cross-family pairs negatives.
+fn build_pairset(n_tasks: usize, per_task: usize, batch_size: usize) -> (PairSet, usize) {
+    let sources: Vec<String> = (0..n_tasks)
+        .flat_map(|t| {
+            (0..per_task).map(move |k| match t % 3 {
+                0 => format!(
+                    "int main() {{ int s = {k} + 2; int t = s * {}; print(s + t); return 0; }}",
+                    t + 3
+                ),
+                1 => format!(
+                    "int f(int n) {{ int s = {k}; for (int i = 0; i < n; i++) {{ s += i * {}; }} return s; }}
+                     int main() {{ print(f({})); return 0; }}",
+                    t + 1,
+                    k + 10
+                ),
+                _ => format!(
+                    "int main() {{ int s = 0; for (int i = 0; i < {}; i++) {{ for (int j = 0; j < i; j++) {{ s += i * j + {k}; }} }} print(s); return s; }}",
+                    t + k + 3
+                ),
+            })
+        })
+        .collect();
+    let graphs: Vec<gbm_progml::ProgramGraph> = sources
+        .iter()
+        .map(|s| build_graph(&compile(SourceLang::MiniC, "t", s).unwrap()))
+        .collect();
+    let refs: Vec<&gbm_progml::ProgramGraph> = graphs.iter().collect();
+    let tok = Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
+    let pool: Vec<EncodedGraph> = graphs
+        .iter()
+        .map(|g| encode_graph(g, &tok, NodeTextMode::FullText))
+        .collect();
+
+    let task_of = |i: usize| i / per_task;
+    let mut specs = Vec::new();
+    for a in 0..pool.len() {
+        for b in 0..pool.len() {
+            if a != b && task_of(a) == task_of(b) {
+                specs.push(PairSpec { a, b, label: 1.0 });
+            } else if a != b && (a + b) % 3 == 0 {
+                specs.push(PairSpec { a, b, label: 0.0 });
+            }
+        }
+    }
+    // anchor-grouped layout works for every objective (BCE reshuffles pairs
+    // anyway), so all three train on the identical pair sequence
+    let specs = group_pairs_by_anchor(&specs, batch_size, 7);
+    let pairs: Vec<PairExample> = specs
+        .iter()
+        .map(|p| PairExample {
+            a: p.a,
+            b: p.b,
+            label: p.label,
+        })
+        .collect();
+    (
+        PairSet {
+            graphs: pool,
+            pairs,
+        },
+        tok.vocab_size(),
+    )
+}
+
+fn bench_batch_size(c: &mut Criterion, n_tasks: usize, per_task: usize, batch_size: usize) {
+    let (data, vocab) = build_pairset(n_tasks, per_task, batch_size);
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
+    let snapshot = model.store.snapshot();
+
+    let mut g = c.benchmark_group(format!("train_step_b{batch_size}"));
+    g.sample_size(10);
+    for objective in [
+        TrainObjective::PairwiseBce,
+        TrainObjective::triplet(),
+        TrainObjective::info_nce(),
+    ] {
+        let cfg = TrainConfig {
+            lr: 5e-3,
+            epochs: 1,
+            batch_size,
+            grad_clip: 5.0,
+            seed: 3,
+            objective,
+        };
+        g.bench_function(objective.name(), |b| {
+            b.iter(|| {
+                model.store.restore(&snapshot);
+                black_box(train(&model, &data, &cfg, |_, _| {}))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    if quick_mode() {
+        bench_batch_size(c, 4, 3, 8);
+    } else {
+        bench_batch_size(c, 6, 4, 8);
+        bench_batch_size(c, 6, 4, 16);
+    }
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Objective ablation: the cross-language experiment trained with BCE,
+//! triplet, and InfoNCE, comparing pair classification (P/R/F1) and ranked
+//! retrieval (MRR, recall@k) per objective.
+//!
+//! ```text
+//! GBM_SCALE=quick cargo run --release -p gbm-bench --bin ablation_objectives
+//! ```
+
+use gbm_bench::{banner, scale_from_env};
+use gbm_eval::experiments::objective_ablation;
+use gbm_nn::TrainObjective;
+
+fn main() {
+    let cfg = scale_from_env();
+    banner(
+        "objective ablation (cross-language C binary vs Java source)",
+        &cfg,
+    );
+
+    let objectives = [
+        TrainObjective::PairwiseBce,
+        TrainObjective::triplet(),
+        TrainObjective::info_nce(),
+    ];
+    let results = objective_ablation(&cfg, &objectives);
+
+    println!(
+        "\n{:<16} {:>6} {:>6} {:>6} {:>8} {:>9} {:>9} {:>10}",
+        "Objective", "P", "R", "F1", "MRR", "recall@1", "recall@5", "recall@10"
+    );
+    println!("{}", "-".repeat(76));
+    for r in &results {
+        let gbm = &r.methods[0];
+        let recall = |k: usize| {
+            r.retrieval
+                .recall_at
+                .iter()
+                .find(|&&(kk, _)| kk == k)
+                .map(|&(_, v)| v)
+                .unwrap_or(f32::NAN)
+        };
+        println!(
+            "{:<16} {:>6.2} {:>6.2} {:>6.2} {:>8.3} {:>9.3} {:>9.3} {:>10.3}",
+            r.objective.to_string(),
+            gbm.prf.precision,
+            gbm.prf.recall,
+            gbm.prf.f1,
+            r.retrieval.mrr,
+            recall(1),
+            recall(5),
+            recall(10),
+        );
+    }
+    println!(
+        "\n({} retrieval queries over {} candidates; BCE ranks by matching head, \
+         triplet/infonce rank by embedding cosine)",
+        results[0].retrieval.num_queries, results[0].retrieval.num_candidates
+    );
+}

@@ -14,29 +14,53 @@
 //! minutes on a laptop). Default: `standard`.
 
 use gbm_eval::{HarnessConfig, MethodScore};
+use gbm_nn::TrainObjective;
+
+/// Reads and parses an environment knob. Invalid values warn loudly on
+/// stderr and fall back to the built-in default instead of being silently
+/// ignored — a typo'd `GBM_EPOCHS=1O` must not masquerade as a real run.
+fn env_knob<T: std::str::FromStr>(name: &str, what: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring invalid {name}={raw:?} (expected {what}); using the default"
+            );
+            None
+        }
+    }
+}
 
 /// Reads `GBM_SCALE` (and optional `GBM_EPOCHS` / `GBM_SEED` /
-/// `GBM_ENCODE_BATCH` overrides) and returns the corresponding harness
-/// configuration.
+/// `GBM_ENCODE_BATCH` / `GBM_OBJECTIVE` overrides) and returns the
+/// corresponding harness configuration. Invalid values warn and fall back.
 pub fn scale_from_env() -> HarnessConfig {
-    let mut cfg = match std::env::var("GBM_SCALE").as_deref() {
-        Ok("quick") => HarnessConfig::quick(),
-        _ => HarnessConfig::standard(),
+    let mut cfg = match std::env::var("GBM_SCALE").ok().as_deref() {
+        Some("quick") => HarnessConfig::quick(),
+        Some("standard") | None => HarnessConfig::standard(),
+        Some(other) => {
+            eprintln!(
+                "warning: ignoring invalid GBM_SCALE={other:?} (expected quick | standard); \
+                 using standard"
+            );
+            HarnessConfig::standard()
+        }
     };
-    if let Ok(e) = std::env::var("GBM_EPOCHS") {
-        if let Ok(n) = e.parse() {
-            cfg.epochs = n;
-        }
+    if let Some(n) = env_knob("GBM_EPOCHS", "a non-negative integer") {
+        cfg.epochs = n;
     }
-    if let Ok(s) = std::env::var("GBM_SEED") {
-        if let Ok(n) = s.parse() {
-            cfg.seed = n;
-        }
+    if let Some(n) = env_knob("GBM_SEED", "an unsigned integer") {
+        cfg.seed = n;
     }
-    if let Ok(b) = std::env::var("GBM_ENCODE_BATCH") {
-        if let Ok(n) = b.parse() {
-            cfg.encode_batch_size = n;
-        }
+    if let Some(n) = env_knob("GBM_ENCODE_BATCH", "a positive integer") {
+        cfg.encode_batch_size = n;
+    }
+    if let Some(o) = env_knob::<TrainObjective>(
+        "GBM_OBJECTIVE",
+        "bce | triplet[:margin] | infonce[:temperature]",
+    ) {
+        cfg.objective = o;
     }
     cfg
 }
@@ -90,10 +114,45 @@ pub fn banner(what: &str, cfg: &HarnessConfig) {
 mod tests {
     use super::*;
 
+    /// One test covers every env knob: setting/reading process-wide
+    /// environment from parallel tests would race.
     #[test]
-    fn default_scale_is_standard() {
+    fn default_scale_is_standard_and_env_knobs_fall_back_loudly() {
         let cfg = scale_from_env();
         assert!(cfg.num_tasks >= HarnessConfig::quick().num_tasks);
+        assert_eq!(cfg.objective, TrainObjective::PairwiseBce);
+
+        // valid overrides apply
+        std::env::set_var("GBM_SCALE", "quick");
+        std::env::set_var("GBM_EPOCHS", "3");
+        std::env::set_var("GBM_OBJECTIVE", "triplet:0.4");
+        let cfg = scale_from_env();
+        assert_eq!(cfg.num_tasks, HarnessConfig::quick().num_tasks);
+        assert_eq!(cfg.epochs, 3);
+        assert_eq!(cfg.objective, TrainObjective::Triplet { margin: 0.4 });
+
+        // invalid values warn (stderr) and fall back to the scale default
+        std::env::set_var("GBM_EPOCHS", "1O");
+        std::env::set_var("GBM_ENCODE_BATCH", "many");
+        std::env::set_var("GBM_OBJECTIVE", "hinge");
+        std::env::set_var("GBM_SCALE", "enormous");
+        let cfg = scale_from_env();
+        assert_eq!(cfg.epochs, HarnessConfig::standard().epochs);
+        assert_eq!(
+            cfg.encode_batch_size,
+            HarnessConfig::standard().encode_batch_size
+        );
+        assert_eq!(cfg.objective, TrainObjective::PairwiseBce);
+        assert_eq!(cfg.num_tasks, HarnessConfig::standard().num_tasks);
+
+        for var in [
+            "GBM_SCALE",
+            "GBM_EPOCHS",
+            "GBM_ENCODE_BATCH",
+            "GBM_OBJECTIVE",
+        ] {
+            std::env::remove_var(var);
+        }
     }
 
     #[test]

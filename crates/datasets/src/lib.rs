@@ -289,6 +289,70 @@ pub fn make_pairs(
     pairs
 }
 
+/// Reorders labelled pairs into anchor-grouped minibatches of `batch_size`:
+/// every positive pair of an anchor (`a`-side solution) lands in the same
+/// batch window, and negatives fill the remaining slots.
+///
+/// In-batch contrastive objectives (triplet mining, InfoNCE) need this
+/// layout: an anchor's positives must be co-located with it so they can be
+/// targets, while pairs from *other* anchors in the window supply the
+/// in-batch negatives. A uniform pair shuffle gives neither guarantee. The
+/// trainer's group-preserving epoch shuffle permutes whole windows, never
+/// their contents, so the property holds across epochs.
+///
+/// The trainer reconstructs windows by chunking the returned list at
+/// `batch_size`, so every window except the last is emitted at exactly
+/// `batch_size` pairs: a group that does not fit the current window's
+/// remaining space is pushed to the next boundary by padding with
+/// negatives. Only when the negatives run out (or a group exceeds
+/// `batch_size` outright) does a group split — and then across *adjacent*
+/// windows. A split never corrupts training: the trainer masks false
+/// negatives through the global positive-link set, not window membership.
+///
+/// Returns the same multiset of pairs.
+pub fn group_pairs_by_anchor(pairs: &[PairSpec], batch_size: usize, seed: u64) -> Vec<PairSpec> {
+    let batch_size = batch_size.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // positive groups per anchor, in first-seen order, then shuffled
+    let mut anchor_of: HashMap<usize, usize> = HashMap::new();
+    let mut groups: Vec<Vec<PairSpec>> = Vec::new();
+    let mut negatives: Vec<PairSpec> = Vec::new();
+    for p in pairs {
+        if p.label >= 0.5 {
+            let slot = *anchor_of.entry(p.a).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[slot].push(*p);
+        } else {
+            negatives.push(*p);
+        }
+    }
+    groups.shuffle(&mut rng);
+    negatives.shuffle(&mut rng);
+
+    // next-fit emission aligned to batch_size boundaries: a group either
+    // fits the current window's remaining space or starts a fresh window
+    // after negative padding fills the current one to the boundary
+    let mut out: Vec<PairSpec> = Vec::with_capacity(pairs.len());
+    for group in groups {
+        let space = (batch_size - out.len() % batch_size) % batch_size;
+        if group.len() > space {
+            for _ in 0..space {
+                match negatives.pop() {
+                    Some(n) => out.push(n),
+                    None => break, // padding exhausted: the group splits
+                }
+            }
+        }
+        out.extend(group);
+    }
+    // remaining negatives fill the last window, then trail
+    out.append(&mut negatives);
+    out
+}
+
 /// Materializes the binary-side module for one solution:
 /// optimize → compile → encode/decode bytes → decompile.
 pub fn decompiled_module(sol: &Solution, compiler: Compiler, level: OptLevel) -> Module {
@@ -387,6 +451,104 @@ mod tests {
             let same = ds.solutions[p.a].task == ds.solutions[p.b].task;
             assert_eq!(same, p.label == 1.0);
         }
+    }
+
+    #[test]
+    fn anchor_grouping_preserves_pairs_and_colocates_positives() {
+        let ds = clcdsa(tiny_cfg());
+        let c = ds.of_lang(SourceLang::MiniC);
+        let j = ds.of_lang(SourceLang::MiniJava);
+        let pairs = make_pairs(&ds, &c, &j, 5, 40);
+        let batch_size = 8;
+        let grouped = group_pairs_by_anchor(&pairs, batch_size, 7);
+
+        // same multiset of pairs
+        assert_eq!(grouped.len(), pairs.len());
+        let key = |p: &PairSpec| (p.a, p.b, p.label as u8);
+        let mut a: Vec<_> = pairs.iter().map(key).collect();
+        let mut b: Vec<_> = grouped.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+
+        // every anchor's positives land in one batch window (groups fit here)
+        let mut window_of: HashMap<usize, usize> = HashMap::new();
+        for (i, p) in grouped.iter().enumerate() {
+            if p.label >= 0.5 {
+                let w = i / batch_size;
+                if let Some(&prev) = window_of.get(&p.a) {
+                    assert_eq!(prev, w, "anchor {} split across windows", p.a);
+                } else {
+                    window_of.insert(p.a, w);
+                }
+            }
+        }
+
+        // windows holding positives mix several distinct anchors
+        let n_pos_windows = window_of.values().collect::<std::collections::HashSet<_>>();
+        assert!(
+            window_of.len() > n_pos_windows.len(),
+            "each positive window should hold multiple anchors"
+        );
+    }
+
+    #[test]
+    fn anchor_grouping_is_deterministic_and_splits_oversized_groups() {
+        let pairs: Vec<PairSpec> = (0..10)
+            .map(|b| PairSpec {
+                a: 0,
+                b: b + 1,
+                label: 1.0,
+            })
+            .collect();
+        let g1 = group_pairs_by_anchor(&pairs, 4, 3);
+        let g2 = group_pairs_by_anchor(&pairs, 4, 3);
+        assert_eq!(g1, g2, "same seed, same layout");
+        assert_eq!(g1.len(), 10, "oversized groups split, nothing dropped");
+    }
+
+    #[test]
+    fn anchor_grouping_stays_window_aligned_when_negatives_pad() {
+        // two 3-positive anchors + plenty of negatives at batch_size 4: the
+        // flat list chunked at 4 must keep each anchor inside one window
+        // (a group that misses the boundary gets negative padding first)
+        let mut pairs: Vec<PairSpec> = Vec::new();
+        for a in [0usize, 1] {
+            for b in 0..3 {
+                pairs.push(PairSpec {
+                    a,
+                    b: 10 + a * 10 + b,
+                    label: 1.0,
+                });
+            }
+        }
+        for n in 0..6 {
+            pairs.push(PairSpec {
+                a: 50 + n,
+                b: 90 + n,
+                label: 0.0,
+            });
+        }
+        let batch_size = 4;
+        let grouped = group_pairs_by_anchor(&pairs, batch_size, 11);
+        assert_eq!(grouped.len(), pairs.len());
+        let mut window_of: HashMap<usize, usize> = HashMap::new();
+        for (i, p) in grouped.iter().enumerate() {
+            if p.label >= 0.5 {
+                let w = i / batch_size;
+                assert_eq!(
+                    *window_of.entry(p.a).or_insert(w),
+                    w,
+                    "anchor {} split across chunked windows",
+                    p.a
+                );
+            }
+        }
+        // without negatives the same layout must fall back to an *adjacent*
+        // split rather than dropping or duplicating pairs
+        let no_neg: Vec<PairSpec> = pairs.iter().filter(|p| p.label >= 0.5).copied().collect();
+        let grouped = group_pairs_by_anchor(&no_neg, batch_size, 11);
+        assert_eq!(grouped.len(), no_neg.len());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use gbm_binary::{Compiler, OptLevel};
 use gbm_datasets::{clcdsa, poj104, DatasetConfig, LangStats};
 use gbm_frontends::SourceLang;
+use gbm_nn::TrainObjective;
 use gbm_progml::{build_graph, GraphStats, NodeTextMode};
 
 use crate::harness::{
@@ -239,6 +240,34 @@ pub fn figure4(seed: u64) -> CaseStudy {
     }
 }
 
+/// Objective ablation: the same cross-language experiment trained with each
+/// [`TrainObjective`], so pair-classification (P/R/F1) and ranked-retrieval
+/// (MRR, recall@k) quality can be compared per objective. BCE evaluates
+/// through the matching head; triplet/InfoNCE evaluate in cosine space —
+/// each objective is scored by the comparator it actually trained.
+pub fn objective_ablation(
+    cfg: &HarnessConfig,
+    objectives: &[TrainObjective],
+) -> Vec<ExperimentResult> {
+    let spec = ExperimentSpec {
+        with_baselines: false,
+        ..ExperimentSpec::cross_language(
+            SourceLang::MiniC,
+            SourceLang::MiniJava,
+            Compiler::Clang,
+            OptLevel::Oz,
+        )
+    };
+    objectives
+        .iter()
+        .map(|&objective| {
+            let mut c = *cfg;
+            c.objective = objective;
+            run_experiment(&spec, &c)
+        })
+        .collect()
+}
+
 /// Ablation support: hetero-fusion variants (used by the ablation bench).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FusionKind {
@@ -302,6 +331,7 @@ mod tests {
             pair_nodes: vec![(100, 110), (300, 80), (90, 400), (120, 130)],
             train_stats: vec![],
             retrieval: Default::default(),
+            objective: TrainObjective::PairwiseBce,
         };
         let rows = table7(&result, 0.5);
         let total: usize = rows.iter().map(|r| r.count).sum();

@@ -16,12 +16,15 @@ use gbm_baselines::{
     },
 };
 use gbm_binary::{Compiler, OptLevel};
-use gbm_datasets::{clcdsa, decompile_all, make_pairs, poj104, Dataset, DatasetConfig, PairSpec};
+use gbm_datasets::{
+    clcdsa, decompile_all, group_pairs_by_anchor, make_pairs, poj104, Dataset, DatasetConfig,
+    PairSpec,
+};
 use gbm_frontends::SourceLang;
 use gbm_lir::Module;
 use gbm_nn::{
     encode_graph, train, EmbeddingStore, EncodedGraph, EpochStats, GraphBinMatch,
-    GraphBinMatchConfig, PairExample, PairSet, TrainConfig,
+    GraphBinMatchConfig, PairExample, PairSet, Scoring, TrainConfig, TrainObjective,
 };
 use gbm_progml::{build_graph, NodeTextMode, ProgramGraph};
 use gbm_tokenizer::{Tokenizer, TokenizerConfig};
@@ -30,7 +33,7 @@ use rand::{RngExt, SeedableRng};
 use rayon::prelude::*;
 
 use crate::metrics::{best_threshold, Prf};
-use crate::retrieval::{retrieval_metrics, retrieve, RetrievalConfig, RetrievalMetrics};
+use crate::retrieval::{retrieval_metrics, retrieve, RankBy, RetrievalConfig, RetrievalMetrics};
 
 /// Which artifact a pair side uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -85,6 +88,11 @@ pub struct HarnessConfig {
     /// Graphs per batched encoder forward when building the evaluation
     /// embedding cache (see [`EmbeddingStore::build_subset_batched`]).
     pub encode_batch_size: usize,
+    /// Training objective (`GBM_OBJECTIVE` overrides it in the table
+    /// binaries). BCE-trained models evaluate through the matching head;
+    /// contrastive models evaluate in cosine space (see
+    /// [`TrainObjective::scoring`]).
+    pub objective: TrainObjective,
 }
 
 impl HarnessConfig {
@@ -104,6 +112,7 @@ impl HarnessConfig {
             max_train_pos: 40,
             max_eval_pos: 20,
             encode_batch_size: 4,
+            objective: TrainObjective::PairwiseBce,
         }
     }
 
@@ -124,6 +133,7 @@ impl HarnessConfig {
             max_train_pos: 150,
             max_eval_pos: 60,
             encode_batch_size: 8,
+            objective: TrainObjective::PairwiseBce,
         }
     }
 }
@@ -227,8 +237,11 @@ pub struct ExperimentResult {
     pub train_stats: Vec<EpochStats>,
     /// Ranked binary→source retrieval quality on the test split (each
     /// b-side test graph queries all a-side test graphs through the cached
-    /// embeddings; see [`crate::retrieval`]).
+    /// embeddings; see [`crate::retrieval`]). Ranked by head score for
+    /// BCE-trained models, by cosine for contrastively-trained ones.
     pub retrieval: RetrievalMetrics,
+    /// The objective the model was trained with.
+    pub objective: TrainObjective,
 }
 
 fn filter_pool(
@@ -357,7 +370,7 @@ pub fn run_experiment(spec: &ExperimentSpec, cfg: &HarnessConfig) -> ExperimentR
     }
 
     let same_artifact = spec.a_side == spec.b_side;
-    let train_pairs = side_pairs(
+    let mut train_pairs = side_pairs(
         &ds,
         &a_train,
         &b_train,
@@ -365,6 +378,11 @@ pub fn run_experiment(spec: &ExperimentSpec, cfg: &HarnessConfig) -> ExperimentR
         cfg.seed + 10,
         cfg.max_train_pos,
     );
+    if cfg.objective.is_in_batch() {
+        // in-batch objectives need each anchor's positives inside its
+        // minibatch window; the trainer's epoch shuffle preserves windows
+        train_pairs = group_pairs_by_anchor(&train_pairs, cfg.batch_size, cfg.seed + 13);
+    }
     let valid_pairs = side_pairs(
         &ds,
         &a_valid,
@@ -426,21 +444,31 @@ pub fn run_experiment(spec: &ExperimentSpec, cfg: &HarnessConfig) -> ExperimentR
         batch_size: cfg.batch_size,
         grad_clip: 5.0,
         seed: cfg.seed + 3,
+        objective: cfg.objective,
     };
     let train_stats = train(&model, &train_set, &train_cfg, |_, _| {});
 
     // Encode every evaluation graph once (parallel): test pairs, threshold
-    // sweeps, and retrieval all score through the cheap matching head
-    // against this cache. Train-only graphs are skipped — the encoder
-    // forward is the expensive operation.
+    // sweeps, and retrieval all score through this cache. Train-only graphs
+    // are skipped — the encoder forward is the expensive operation. Cosine
+    // scoring additionally needs the validation pairs' graphs to tune its
+    // decision threshold (cosine is uncalibrated, unlike the BCE head).
+    let scoring = cfg.objective.scoring();
     let query_pool: Vec<usize> = b_test.iter().map(|i| b_pos[i]).collect();
     let cand_pool: Vec<usize> = a_test.iter().map(|i| a_pos[i]).collect();
+    let valid_examples = to_examples(&valid_pairs);
     let eval_indices: Vec<usize> = test_set
         .pairs
         .iter()
         .flat_map(|p| [p.a, p.b])
         .chain(query_pool.iter().copied())
         .chain(cand_pool.iter().copied())
+        .chain(
+            valid_examples
+                .iter()
+                .filter(|_| scoring == Scoring::Cosine)
+                .flat_map(|p| [p.a, p.b]),
+        )
         .collect();
     let store = EmbeddingStore::build_subset_batched(
         &model,
@@ -448,7 +476,23 @@ pub fn run_experiment(spec: &ExperimentSpec, cfg: &HarnessConfig) -> ExperimentR
         &eval_indices,
         cfg.encode_batch_size,
     );
-    let gbm_scores = store.score_pairs(&model, &test_set.pairs);
+    // cosine is in [-1,1]; (c+1)/2 maps it onto the [0,1] score scale the
+    // metrics and sweeps expect
+    let cosine_scores = |pairs: &[PairExample]| -> Vec<f32> {
+        pairs
+            .iter()
+            .map(|p| (store.cosine(p.a, p.b) + 1.0) * 0.5)
+            .collect()
+    };
+    let (gbm_scores, gbm_threshold) = match scoring {
+        Scoring::Head => (store.score_pairs(&model, &test_set.pairs), 0.5),
+        Scoring::Cosine => {
+            let valid_scores = cosine_scores(&valid_examples);
+            let valid_labels: Vec<f32> = valid_pairs.iter().map(|p| p.label).collect();
+            let thr = best_threshold(&valid_scores, &valid_labels);
+            (cosine_scores(&test_set.pairs), thr)
+        }
+    };
     let labels: Vec<f32> = test_pairs.iter().map(|p| p.label).collect();
 
     // Ranked retrieval on the test split: each b-side graph (binary side in
@@ -458,7 +502,13 @@ pub fn run_experiment(spec: &ExperimentSpec, cfg: &HarnessConfig) -> ExperimentR
         .map(|(&sol, &p)| (p, sol))
         .chain(b_pos.iter().map(|(&sol, &p)| (p, sol)))
         .collect();
-    let retrieval_cfg = RetrievalConfig::default();
+    let retrieval_cfg = RetrievalConfig {
+        rank_by: match scoring {
+            Scoring::Head => RankBy::Head,
+            Scoring::Cosine => RankBy::Cosine,
+        },
+        ..Default::default()
+    };
     let ranked = retrieve(
         &model,
         &store,
@@ -471,8 +521,8 @@ pub fn run_experiment(spec: &ExperimentSpec, cfg: &HarnessConfig) -> ExperimentR
 
     let mut methods = vec![MethodScore {
         method: "GraphBinMatch".into(),
-        prf: Prf::at(&gbm_scores, &labels, 0.5),
-        threshold: 0.5,
+        prf: Prf::at(&gbm_scores, &labels, gbm_threshold),
+        threshold: gbm_threshold,
     }];
 
     // ── baselines on the same pairs ─────────────────────────────────────
@@ -631,6 +681,7 @@ pub fn run_experiment(spec: &ExperimentSpec, cfg: &HarnessConfig) -> ExperimentR
         pair_nodes,
         train_stats,
         retrieval,
+        objective: cfg.objective,
     }
 }
 
@@ -665,6 +716,29 @@ mod tests {
         for &(_, r) in &result.retrieval.recall_at {
             assert!((0.0..=1.0).contains(&r));
         }
+    }
+
+    #[test]
+    fn contrastive_objective_runs_and_ranks_by_cosine() {
+        let spec = ExperimentSpec::cross_language(
+            SourceLang::MiniC,
+            SourceLang::MiniJava,
+            Compiler::Clang,
+            OptLevel::Oz,
+        );
+        let mut cfg = HarnessConfig::quick();
+        cfg.epochs = 2;
+        cfg.objective = TrainObjective::info_nce();
+        let mut no_baselines = spec.clone();
+        no_baselines.with_baselines = false;
+        let result = run_experiment(&no_baselines, &cfg);
+        assert_eq!(result.objective, TrainObjective::info_nce());
+        assert_eq!(result.gbm_scores.len(), result.labels.len());
+        // cosine scores land on the [0,1] scale after the affine map
+        assert!(result.gbm_scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        // the threshold was validation-tuned, not the head's fixed 0.5
+        assert!((0.0..=1.0).contains(&result.methods[0].threshold));
+        assert!(result.retrieval.num_queries > 0);
     }
 
     #[test]

@@ -22,5 +22,6 @@ pub use harness::{
 };
 pub use metrics::{best_threshold, sweep, Confusion, Prf, SweepPoint};
 pub use retrieval::{
-    rank_candidates, retrieval_metrics, retrieve, RankedQuery, RetrievalConfig, RetrievalMetrics,
+    rank_candidates, retrieval_metrics, retrieve, RankBy, RankedQuery, RetrievalConfig,
+    RetrievalMetrics,
 };

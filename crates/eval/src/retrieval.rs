@@ -16,6 +16,19 @@
 use gbm_nn::{EmbeddingStore, GraphBinMatch};
 use rayon::prelude::*;
 
+/// Which score orders the candidates of a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RankBy {
+    /// Matching-head probability (BCE-trained models; the head is the
+    /// calibrated comparator).
+    #[default]
+    Head,
+    /// Embedding cosine similarity (contrastively-trained models: the
+    /// embedding geometry is the trained comparator, XLIR-style; the head
+    /// never saw gradient).
+    Cosine,
+}
+
 /// Retrieval configuration.
 #[derive(Clone, Debug)]
 pub struct RetrievalConfig {
@@ -23,7 +36,10 @@ pub struct RetrievalConfig {
     pub ks: Vec<usize>,
     /// When `Some(k)`, head-rerank only the top-k candidates by cosine;
     /// the rest are ranked below by cosine. `None` head-scores everything.
+    /// Ignored under [`RankBy::Cosine`] (cosine *is* the ranking there).
     pub prefilter: Option<usize>,
+    /// Ranking score.
+    pub rank_by: RankBy,
 }
 
 impl Default for RetrievalConfig {
@@ -31,6 +47,7 @@ impl Default for RetrievalConfig {
         RetrievalConfig {
             ks: vec![1, 5, 10],
             prefilter: None,
+            rank_by: RankBy::Head,
         }
     }
 }
@@ -84,6 +101,10 @@ pub fn rank_candidates(
         .iter()
         .map(|&c| (c, store.cosine(query, c)))
         .collect();
+    if cfg.rank_by == RankBy::Cosine {
+        sort_desc(&mut by_cosine);
+        return by_cosine;
+    }
     match cfg.prefilter {
         Some(k) if k < by_cosine.len() => {
             sort_desc(&mut by_cosine);
@@ -290,10 +311,34 @@ mod tests {
             assert_eq!(rq.ranking.len(), 3, "all candidates ranked");
             assert_eq!(rq.relevant.len(), 1);
         }
+        // cosine-only ranking covers every candidate too, and agrees with
+        // the store's own cosine ordering
+        let cosine_cfg = RetrievalConfig {
+            rank_by: RankBy::Cosine,
+            ..Default::default()
+        };
+        let by_cos = retrieve(
+            &model,
+            &store,
+            &queries,
+            &candidates,
+            |q, c| q + 2 == c,
+            &cosine_cfg,
+        );
+        for rq in &by_cos {
+            assert_eq!(rq.ranking.len(), 3);
+            for w in rq.ranking.windows(2) {
+                assert!(w[0].1 >= w[1].1, "cosine ranking must be sorted");
+            }
+            for &(c, s) in &rq.ranking {
+                assert_eq!(s, store.cosine(rq.query, c));
+            }
+        }
         // a pre-filter of 1 must still rank every candidate
         let cfg = RetrievalConfig {
             ks: vec![1, 3],
             prefilter: Some(1),
+            rank_by: RankBy::Head,
         };
         let filtered = retrieve(
             &model,

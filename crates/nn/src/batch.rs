@@ -19,6 +19,54 @@ use gbm_progml::EdgeKind;
 use crate::gatv2::PreparedRelation;
 use crate::model::EncodedGraph;
 
+/// Sorted, deduplicated pool indices with a pool-index → row lookup: the
+/// shared "gather the unique graphs" step of batch assembly. Both the
+/// trainer (one [`GraphBatch`] forward per optimizer step, one row per
+/// unique graph) and [`EmbeddingStore`](crate::EmbeddingStore) (subset
+/// encoding) build their unique sets through this type, so the dedup and
+/// row-ordering conventions cannot drift apart.
+#[derive(Clone, Debug, Default)]
+pub struct UniqueIndex {
+    sorted: Vec<usize>,
+}
+
+impl UniqueIndex {
+    /// Deduplicates `indices`; rows are assigned in ascending pool order.
+    pub fn new(indices: impl IntoIterator<Item = usize>) -> UniqueIndex {
+        let mut sorted: Vec<usize> = indices.into_iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        UniqueIndex { sorted }
+    }
+
+    /// The unique pool indices in row order.
+    pub fn indices(&self) -> &[usize] {
+        &self.sorted
+    }
+
+    /// Number of unique indices (= embedding-matrix rows).
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no indices were gathered.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The embedding-matrix row of pool index `i`, if it was gathered.
+    pub fn try_row_of(&self, i: usize) -> Option<usize> {
+        self.sorted.binary_search(&i).ok()
+    }
+
+    /// The embedding-matrix row of pool index `i`. Panics when `i` was not
+    /// part of the gathered set.
+    pub fn row_of(&self, i: usize) -> usize {
+        self.try_row_of(i)
+            .unwrap_or_else(|| panic!("pool index {i} not in the gathered unique set"))
+    }
+}
+
 /// A disjoint union of [`EncodedGraph`]s ready for one batched encoder
 /// forward.
 #[derive(Clone, Debug)]
@@ -164,5 +212,22 @@ mod tests {
     #[should_panic(expected = "empty graph batch")]
     fn empty_batch_rejected() {
         GraphBatch::new(&[], 4);
+    }
+
+    #[test]
+    fn unique_index_dedups_and_maps_rows() {
+        let u = UniqueIndex::new([7usize, 2, 7, 5, 2]);
+        assert_eq!(u.indices(), &[2, 5, 7]);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.row_of(2), 0);
+        assert_eq!(u.row_of(5), 1);
+        assert_eq!(u.row_of(7), 2);
+        assert_eq!(u.try_row_of(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the gathered unique set")]
+    fn unique_index_rejects_foreign_lookup() {
+        UniqueIndex::new([1usize]).row_of(2);
     }
 }

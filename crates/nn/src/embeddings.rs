@@ -22,6 +22,7 @@
 use gbm_tensor::Tensor;
 use rayon::prelude::*;
 
+use crate::batch::UniqueIndex;
 use crate::model::GraphBinMatch;
 use crate::trainer::PairExample;
 use crate::EncodedGraph;
@@ -80,15 +81,14 @@ impl EmbeddingStore {
         batch_size: usize,
     ) -> EmbeddingStore {
         let batch_size = batch_size.max(1);
-        let mut unique: Vec<usize> = indices.to_vec();
-        unique.sort_unstable();
-        unique.dedup();
+        let unique = UniqueIndex::new(indices.iter().copied());
 
         let snapshot = model.store.snapshot();
         let cfg = *model.config();
         let counter = model.encoder().counter();
         // each chunk is one batched GNN forward: always worth a thread
         let encoded: Vec<Vec<(usize, Tensor)>> = unique
+            .indices()
             .par_chunks(batch_size)
             .with_min_len(1)
             .map(|batch| {

@@ -16,18 +16,26 @@
 //! * [`embeddings`] — the [`EmbeddingStore`]: parallel batched encode-once
 //!   caching so many-pair inference costs one encoder forward per unique
 //!   graph (and one *batched* forward per chunk of them),
-//! * [`trainer`] — minibatched BCE/Adam training (batched encoding of each
-//!   step's unique graphs) and batch prediction.
+//! * [`objective`] — pluggable [`TrainObjective`]s over the shared batch
+//!   embedding matrix: pairwise BCE (the paper's loss), XLIR-style triplet
+//!   with in-batch hard-negative mining, and InfoNCE,
+//! * `sampler` / `step` (internal) — minibatch assembly and the per-step
+//!   gather → batched forward → objective → optimizer pipeline,
+//! * [`trainer`] — the Adam training loop over any objective, plus batch
+//!   prediction.
 
 pub mod batch;
 pub mod embeddings;
 pub mod gatv2;
 pub mod layers;
 pub mod model;
+pub mod objective;
 pub mod pooling;
+pub(crate) mod sampler;
+pub(crate) mod step;
 pub mod trainer;
 
-pub use batch::GraphBatch;
+pub use batch::{GraphBatch, UniqueIndex};
 pub use embeddings::EmbeddingStore;
 pub use gatv2::{Fusion, Gatv2Conv, HeteroConv, PreparedRelation, Relation};
 pub use layers::{Dropout, Embedding, LayerNorm, Linear};
@@ -35,5 +43,8 @@ pub use model::{
     encode_graph, EncodedGraph, GraphBinMatch, GraphBinMatchConfig, GraphEncoder, MatchHead,
     PoolKind,
 };
+pub use objective::{Scoring, TrainObjective};
 pub use pooling::AttentionPooling;
-pub use trainer::{predict, train, EpochStats, PairExample, PairSet, TrainConfig};
+pub use trainer::{
+    predict, predict_scored, train, EpochStats, PairExample, PairSet, PairSetError, TrainConfig,
+};

@@ -1,0 +1,627 @@
+//! Pluggable training objectives over the shared batch-embedding matrix.
+//!
+//! Every optimizer step encodes its batch's unique graphs into one
+//! `[U, hidden]` matrix (see [`crate::step`]); a [`TrainObjective`] then
+//! turns that matrix plus the batch's labelled pairs into a scalar loss:
+//!
+//! * [`TrainObjective::PairwiseBce`] — the paper's loss (§IV-D): per-pair
+//!   matching-head logits against 0/1 labels. Reproduces the pre-refactor
+//!   trainer bit-exactly (same tape order, same RNG stream).
+//! * [`TrainObjective::Triplet`] — XLIR-style margin ranking in embedding
+//!   space with in-batch hard-negative mining: each positive pair is an
+//!   (anchor, positive); the hardest allowed negative is the most-similar
+//!   in-batch candidate not positively linked to the anchor.
+//! * [`TrainObjective::InfoNce`] — in-batch softmax contrastive loss with
+//!   temperature: anchors score every in-batch candidate through one
+//!   similarity matrix; the target column is the matching candidate and
+//!   other known positives are masked out of the softmax.
+//!
+//! The contrastive objectives optimise cosine geometry directly (embeddings
+//! are unit-norm, so the similarity matrix *is* the cosine matrix) — the
+//! quantity the retrieval path ranks by. [`TrainObjective::scoring`] tells
+//! the evaluation layer which scoring function training calibrated.
+
+use std::collections::HashSet;
+
+use gbm_tensor::{Graph, Tensor, Var};
+use rand::RngExt;
+
+use crate::model::GraphBinMatch;
+
+/// Additive logit mask for candidates excluded from a softmax.
+const NEG_INF_MASK: f32 = -1e9;
+
+/// Which training objective drives the optimizer steps.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum TrainObjective {
+    /// Per-pair binary cross-entropy through the matching head (the paper's
+    /// loss). Scores with the head at evaluation time.
+    #[default]
+    PairwiseBce,
+    /// Margin-ranking triplet loss with in-batch hard-negative mining
+    /// (hardest allowed negative per anchor from the cosine matrix).
+    Triplet {
+        /// Required cosine gap between positive and hardest negative.
+        margin: f32,
+    },
+    /// In-batch softmax contrastive loss (InfoNCE) over the similarity
+    /// matrix, labels = matching pairs.
+    InfoNce {
+        /// Softmax temperature (logits are `cosine / temperature`).
+        temperature: f32,
+    },
+}
+
+/// Which scoring function evaluation should use for a trained model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scoring {
+    /// Matching-head probability (BCE-calibrated models).
+    Head,
+    /// Embedding cosine similarity (contrastive models: the head was never
+    /// trained, the embedding geometry was).
+    Cosine,
+}
+
+impl TrainObjective {
+    /// Default triplet margin (cosine units).
+    pub const DEFAULT_MARGIN: f32 = 0.3;
+    /// Default InfoNCE temperature.
+    pub const DEFAULT_TEMPERATURE: f32 = 0.1;
+
+    /// Triplet objective with the default margin.
+    pub fn triplet() -> TrainObjective {
+        TrainObjective::Triplet {
+            margin: Self::DEFAULT_MARGIN,
+        }
+    }
+
+    /// InfoNCE objective with the default temperature.
+    pub fn info_nce() -> TrainObjective {
+        TrainObjective::InfoNce {
+            temperature: Self::DEFAULT_TEMPERATURE,
+        }
+    }
+
+    /// Short name for tables and env knobs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrainObjective::PairwiseBce => "bce",
+            TrainObjective::Triplet { .. } => "triplet",
+            TrainObjective::InfoNce { .. } => "infonce",
+        }
+    }
+
+    /// True for objectives that compare embeddings *within* a batch and
+    /// therefore need anchor-grouped minibatches (each anchor's positives
+    /// co-located) rather than a uniform pair shuffle.
+    pub fn is_in_batch(&self) -> bool {
+        !matches!(self, TrainObjective::PairwiseBce)
+    }
+
+    /// The scoring function this objective calibrates.
+    pub fn scoring(&self) -> Scoring {
+        match self {
+            TrainObjective::PairwiseBce => Scoring::Head,
+            _ => Scoring::Cosine,
+        }
+    }
+}
+
+impl std::fmt::Display for TrainObjective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainObjective::PairwiseBce => write!(f, "bce"),
+            TrainObjective::Triplet { margin } => write!(f, "triplet:{margin}"),
+            TrainObjective::InfoNce { temperature } => write!(f, "infonce:{temperature}"),
+        }
+    }
+}
+
+impl std::str::FromStr for TrainObjective {
+    type Err = String;
+
+    /// Parses `bce` | `triplet[:margin]` | `infonce[:temperature]`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, param) = match s.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (s, None),
+        };
+        let parse_param = |p: Option<&str>, default: f32, what: &str| -> Result<f32, String> {
+            match p {
+                None => Ok(default),
+                Some(raw) => raw
+                    .parse::<f32>()
+                    .ok()
+                    .filter(|v| v.is_finite() && *v > 0.0)
+                    .ok_or_else(|| format!("invalid {what} {raw:?} (want a positive number)")),
+            }
+        };
+        match name.to_ascii_lowercase().as_str() {
+            "bce" | "pairwise_bce" | "pairwise-bce" => match param {
+                None => Ok(TrainObjective::PairwiseBce),
+                Some(p) => Err(format!("bce takes no parameter, got {p:?}")),
+            },
+            "triplet" => Ok(TrainObjective::Triplet {
+                margin: parse_param(param, Self::DEFAULT_MARGIN, "triplet margin")?,
+            }),
+            "infonce" | "info_nce" | "info-nce" => Ok(TrainObjective::InfoNce {
+                temperature: parse_param(param, Self::DEFAULT_TEMPERATURE, "infonce temperature")?,
+            }),
+            other => Err(format!(
+                "unknown objective {other:?} (want bce | triplet[:margin] | infonce[:temperature])"
+            )),
+        }
+    }
+}
+
+/// One batch's pairs resolved into embedding-matrix rows.
+#[derive(Clone, Debug, Default)]
+pub struct BatchRows {
+    /// `(row_a, row_b, label)` per pair, rows into the `[U, hidden]` matrix,
+    /// in batch order.
+    pub pairs: Vec<(usize, usize, f32)>,
+    /// Pool graph index behind each embedding row (ascending, from
+    /// [`UniqueIndex`](crate::batch::UniqueIndex)).
+    pub pool_of_row: Vec<usize>,
+}
+
+/// Example/correct counters produced alongside a batch loss.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepCounts {
+    /// Examples the loss averaged over (pairs for BCE, anchors otherwise).
+    pub examples: usize,
+    /// BCE: pairs classified correctly at 0.5. Contrastive: anchors whose
+    /// positive outranks every allowed in-batch negative.
+    pub correct: usize,
+}
+
+impl TrainObjective {
+    /// Evaluates the objective over the shared embedding matrix `emb`
+    /// (`[U, hidden]`, on the tape `g`). Returns the scalar loss plus
+    /// counters, or `None` when the batch gives this objective nothing to
+    /// optimise (a contrastive batch without a usable anchor/negative).
+    ///
+    /// `links` holds every positive `(pool_a, pool_b)` of the full training
+    /// set, both orders — the mining/masking guard against treating an
+    /// unlabelled-in-this-batch positive as a negative.
+    pub fn loss<R: RngExt + ?Sized>(
+        &self,
+        g: &Graph,
+        model: &GraphBinMatch,
+        emb: Var,
+        rows: &BatchRows,
+        links: &HashSet<(usize, usize)>,
+        rng: &mut R,
+    ) -> Option<(Var, StepCounts)> {
+        match *self {
+            TrainObjective::PairwiseBce => pairwise_bce(g, model, emb, rows, rng),
+            TrainObjective::Triplet { margin } => triplet(g, emb, rows, links, margin),
+            TrainObjective::InfoNce { temperature } => info_nce(g, emb, rows, links, temperature),
+        }
+    }
+}
+
+/// The paper's loss, bit-exact with the pre-refactor trainer: per-pair row
+/// slices off the shared matrix, head forward (dropout draws in pair order),
+/// fused-logit BCE, mean over the batch.
+fn pairwise_bce<R: RngExt + ?Sized>(
+    g: &Graph,
+    model: &GraphBinMatch,
+    emb: Var,
+    rows: &BatchRows,
+    rng: &mut R,
+) -> Option<(Var, StepCounts)> {
+    let mut total = None;
+    let mut correct = 0usize;
+    for &(ra, rb, label) in &rows.pairs {
+        let ea = g.slice_rows(emb, ra, ra + 1);
+        let eb = g.slice_rows(emb, rb, rb + 1);
+        let logit = model.head().forward(g, ea, eb, true, rng);
+        let target = Tensor::from_vec(vec![label], &[1, 1]);
+        let loss = g.bce_with_logits(logit, &target);
+        // track training accuracy from the same forward pass
+        let p = 1.0 / (1.0 + (-g.value(logit).item()).exp());
+        if (p >= 0.5) == (label >= 0.5) {
+            correct += 1;
+        }
+        total = Some(match total {
+            None => loss,
+            Some(acc) => g.add(acc, loss),
+        });
+    }
+    let total = total?;
+    let mean = g.scale(total, 1.0 / rows.pairs.len() as f32);
+    Some((
+        mean,
+        StepCounts {
+            examples: rows.pairs.len(),
+            correct,
+        },
+    ))
+}
+
+/// The in-batch candidate bank: every distinct b-side row of the batch, in
+/// ascending row order. Contrastive anchors score against these.
+fn candidate_bank(rows: &BatchRows) -> Vec<usize> {
+    let mut bank: Vec<usize> = rows.pairs.iter().map(|&(_, rb, _)| rb).collect();
+    bank.sort_unstable();
+    bank.dedup();
+    bank
+}
+
+/// True when candidate row `cand` may serve as a negative for the anchor
+/// behind pool index `anchor_pool`: not the anchor's own graph, and not
+/// positively linked to it anywhere in the training set.
+fn allowed_negative(
+    rows: &BatchRows,
+    links: &HashSet<(usize, usize)>,
+    anchor_pool: usize,
+    cand: usize,
+) -> bool {
+    let cand_pool = rows.pool_of_row[cand];
+    cand_pool != anchor_pool && !links.contains(&(anchor_pool, cand_pool))
+}
+
+/// Raw cosine of two embedding rows (embeddings are unit-norm).
+fn row_cosine(emb_val: &Tensor, a: usize, b: usize) -> f32 {
+    let d = emb_val.dims()[1];
+    let xa = &emb_val.data()[a * d..(a + 1) * d];
+    let xb = &emb_val.data()[b * d..(b + 1) * d];
+    xa.iter().zip(xb.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// XLIR-style margin ranking: `mean(relu(margin − s(a,p) + s(a,n*)))` with
+/// `n*` the hardest allowed in-batch negative, mined from the cosine values.
+/// Gradients flow through one [`Graph::similarity_matrix`] over the kept
+/// anchors and the candidate bank.
+fn triplet(
+    g: &Graph,
+    emb: Var,
+    rows: &BatchRows,
+    links: &HashSet<(usize, usize)>,
+    margin: f32,
+) -> Option<(Var, StepCounts)> {
+    let bank = candidate_bank(rows);
+    let emb_val = g.value(emb);
+    // mine on values: hardest allowed negative per positive-pair anchor
+    let mut kept: Vec<(usize, usize, usize)> = Vec::new(); // (row_a, pos col, neg col)
+    let mut correct = 0usize;
+    for &(ra, rb, label) in &rows.pairs {
+        if label < 0.5 {
+            continue;
+        }
+        let anchor_pool = rows.pool_of_row[ra];
+        let hardest = bank
+            .iter()
+            .enumerate()
+            .filter(|&(_, &cand)| allowed_negative(rows, links, anchor_pool, cand))
+            .map(|(col, &cand)| (col, row_cosine(&emb_val, ra, cand)))
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        let Some((neg_col, neg_sim)) = hardest else {
+            continue; // no usable negative (e.g. a batch of one)
+        };
+        let pos_col = bank.binary_search(&rb).expect("positive in bank");
+        if row_cosine(&emb_val, ra, rb) > neg_sim {
+            correct += 1;
+        }
+        kept.push((ra, pos_col, neg_col));
+    }
+    if kept.is_empty() {
+        return None;
+    }
+
+    let k = kept.len();
+    let anchors = g.gather_rows(
+        emb,
+        &kept.iter().map(|&(ra, _, _)| ra as u32).collect::<Vec<_>>(),
+    );
+    let cands = g.gather_rows(emb, &bank.iter().map(|&r| r as u32).collect::<Vec<_>>());
+    let sim = g.similarity_matrix(anchors, cands); // [k, |bank|]
+                                                   // select s(a,p) and s(a,n*) per anchor with constant one-hot masks
+    let mut pos_mask = vec![0.0f32; k * bank.len()];
+    let mut neg_mask = vec![0.0f32; k * bank.len()];
+    for (i, &(_, pos_col, neg_col)) in kept.iter().enumerate() {
+        pos_mask[i * bank.len() + pos_col] = 1.0;
+        neg_mask[i * bank.len() + neg_col] = 1.0;
+    }
+    let dims = [k, bank.len()];
+    let s_pos = g.sum_cols(g.mul(sim, g.constant(Tensor::from_vec(pos_mask, &dims))));
+    let s_neg = g.sum_cols(g.mul(sim, g.constant(Tensor::from_vec(neg_mask, &dims))));
+    let violation = g.add_scalar(g.sub(s_neg, s_pos), margin); // [k, 1]
+    let loss = g.mean_all(g.relu(violation));
+    Some((
+        loss,
+        StepCounts {
+            examples: k,
+            correct,
+        },
+    ))
+}
+
+/// In-batch softmax contrastive loss: anchors (positive pairs' a-sides)
+/// score the whole candidate bank through one similarity matrix, logits are
+/// `cosine / temperature`, the target column is the matching candidate, and
+/// other known positives of the anchor are masked out of the softmax.
+fn info_nce(
+    g: &Graph,
+    emb: Var,
+    rows: &BatchRows,
+    links: &HashSet<(usize, usize)>,
+    temperature: f32,
+) -> Option<(Var, StepCounts)> {
+    let bank = candidate_bank(rows);
+    let anchors: Vec<(usize, usize)> = rows
+        .pairs
+        .iter()
+        .filter(|&&(_, _, label)| label >= 0.5)
+        .map(|&(ra, rb, _)| (ra, rb))
+        .collect();
+    if anchors.is_empty() {
+        return None;
+    }
+
+    let k = anchors.len();
+    let a_rows = g.gather_rows(
+        emb,
+        &anchors.iter().map(|&(ra, _)| ra as u32).collect::<Vec<_>>(),
+    );
+    let cands = g.gather_rows(emb, &bank.iter().map(|&r| r as u32).collect::<Vec<_>>());
+    let sim = g.similarity_matrix(a_rows, cands); // [k, |bank|]
+    let logits = g.scale(sim, 1.0 / temperature);
+
+    // mask out false negatives: candidates positively linked to the anchor
+    // (or the anchor's own graph) that are not this row's target
+    let mut targets = Vec::with_capacity(k);
+    let mut mask = vec![0.0f32; k * bank.len()];
+    for (i, &(ra, rb)) in anchors.iter().enumerate() {
+        let target_col = bank.binary_search(&rb).expect("positive in bank");
+        targets.push(target_col);
+        for (col, &cand) in bank.iter().enumerate() {
+            if col != target_col && !allowed_negative(rows, links, rows.pool_of_row[ra], cand) {
+                mask[i * bank.len() + col] = NEG_INF_MASK;
+            }
+        }
+    }
+    let masked = g.add(logits, g.constant(Tensor::from_vec(mask, &[k, bank.len()])));
+
+    // in-batch retrieval accuracy: target col wins the (masked) argmax
+    let mv = g.value(masked);
+    let correct = (0..k)
+        .filter(|&i| {
+            let row = &mv.data()[i * bank.len()..(i + 1) * bank.len()];
+            let best = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(j, _)| j);
+            best == Some(targets[i])
+        })
+        .count();
+
+    let loss = g.softmax_cross_entropy_rows(masked, &targets);
+    Some((
+        loss,
+        StepCounts {
+            examples: k,
+            correct,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_tensor::gradcheck;
+
+    fn unit_rows(data: Vec<f32>, n: usize, d: usize) -> Tensor {
+        let mut v = data;
+        for row in v.chunks_mut(d) {
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+            row.iter_mut().for_each(|x| *x /= norm);
+        }
+        Tensor::from_vec(v, &[n, d])
+    }
+
+    /// 4 graphs: rows 0,1 similar (a positive pair), rows 2,3 another pair.
+    fn toy_rows() -> (Tensor, BatchRows, HashSet<(usize, usize)>) {
+        let emb = unit_rows(
+            vec![
+                1.0, 0.1, 0.0, //
+                0.9, 0.2, 0.1, //
+                0.0, 1.0, 0.2, //
+                0.1, 0.9, 0.3,
+            ],
+            4,
+            3,
+        );
+        let rows = BatchRows {
+            pairs: vec![(0, 1, 1.0), (2, 3, 1.0), (0, 3, 0.0)],
+            pool_of_row: vec![10, 11, 12, 13],
+        };
+        let mut links = HashSet::new();
+        for (a, b) in [(10, 11), (12, 13)] {
+            links.insert((a, b));
+            links.insert((b, a));
+        }
+        (emb, rows, links)
+    }
+
+    #[test]
+    fn objective_parsing_roundtrip_and_errors() {
+        assert_eq!(
+            "bce".parse::<TrainObjective>().unwrap(),
+            TrainObjective::PairwiseBce
+        );
+        assert_eq!(
+            "Triplet".parse::<TrainObjective>().unwrap(),
+            TrainObjective::triplet()
+        );
+        assert_eq!(
+            "triplet:0.5".parse::<TrainObjective>().unwrap(),
+            TrainObjective::Triplet { margin: 0.5 }
+        );
+        assert_eq!(
+            "infonce:0.07".parse::<TrainObjective>().unwrap(),
+            TrainObjective::InfoNce { temperature: 0.07 }
+        );
+        assert!("nope".parse::<TrainObjective>().is_err());
+        assert!("triplet:-1".parse::<TrainObjective>().is_err());
+        assert!("triplet:abc".parse::<TrainObjective>().is_err());
+        assert!("bce:0.5".parse::<TrainObjective>().is_err());
+        // Display output parses back
+        for o in [
+            TrainObjective::PairwiseBce,
+            TrainObjective::triplet(),
+            TrainObjective::info_nce(),
+        ] {
+            assert_eq!(o.to_string().parse::<TrainObjective>().unwrap(), o);
+        }
+    }
+
+    #[test]
+    fn scoring_and_sampling_follow_objective() {
+        assert_eq!(TrainObjective::PairwiseBce.scoring(), Scoring::Head);
+        assert!(!TrainObjective::PairwiseBce.is_in_batch());
+        assert_eq!(TrainObjective::triplet().scoring(), Scoring::Cosine);
+        assert!(TrainObjective::triplet().is_in_batch());
+        assert_eq!(TrainObjective::info_nce().scoring(), Scoring::Cosine);
+    }
+
+    #[test]
+    fn triplet_loss_values_and_mining_are_correct() {
+        let (emb, rows, links) = toy_rows();
+        let g = Graph::new();
+        let e = g.leaf(emb.clone());
+        let (loss, counts) = triplet(&g, e, &rows, &links, 0.3).unwrap();
+        // anchors: the two positive pairs; hardest negative for anchor 0 is
+        // the most-similar bank row not linked to graph 10 (rows 2 or 3)
+        assert_eq!(counts.examples, 2);
+        assert_eq!(counts.correct, 2, "positives clearly outrank negatives");
+        let lv = g.value(loss).item();
+        // both anchors: pos-sim ≫ neg-sim, margin 0.3 → hinge at most margin
+        assert!((0.0..=0.3).contains(&lv), "hinge loss {lv} implausible");
+        g.backward(loss);
+        assert!(g.grad(e).is_some(), "gradient must reach the embeddings");
+    }
+
+    #[test]
+    fn triplet_batch_of_one_has_no_negative_and_skips() {
+        let emb = unit_rows(vec![1.0, 0.0, 0.8, 0.2], 2, 2);
+        let rows = BatchRows {
+            pairs: vec![(0, 1, 1.0)],
+            pool_of_row: vec![5, 6],
+        };
+        let mut links = HashSet::new();
+        links.insert((5, 6));
+        links.insert((6, 5));
+        let g = Graph::new();
+        let e = g.leaf(emb);
+        assert!(triplet(&g, e, &rows, &links, 0.3).is_none());
+    }
+
+    #[test]
+    fn info_nce_batch_of_one_is_zero_loss() {
+        // one anchor, one candidate: softmax over a single column → loss 0
+        let emb = unit_rows(vec![1.0, 0.0, 0.8, 0.2], 2, 2);
+        let rows = BatchRows {
+            pairs: vec![(0, 1, 1.0)],
+            pool_of_row: vec![5, 6],
+        };
+        let links = HashSet::new();
+        let g = Graph::new();
+        let e = g.leaf(emb);
+        let (loss, counts) = info_nce(&g, e, &rows, &links, 0.1).unwrap();
+        assert_eq!(g.value(loss).item(), 0.0);
+        assert_eq!(counts.examples, 1);
+        assert_eq!(counts.correct, 1);
+        g.backward(loss);
+        let grad = g.grad(e).unwrap();
+        assert!(grad.data().iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn contrastive_objectives_skip_batches_without_positives() {
+        let emb = unit_rows(vec![1.0, 0.0, 0.0, 1.0], 2, 2);
+        let rows = BatchRows {
+            pairs: vec![(0, 1, 0.0)],
+            pool_of_row: vec![5, 6],
+        };
+        let links = HashSet::new();
+        let g = Graph::new();
+        let e = g.leaf(emb);
+        assert!(triplet(&g, e, &rows, &links, 0.3).is_none());
+        assert!(info_nce(&g, e, &rows, &links, 0.1).is_none());
+    }
+
+    #[test]
+    fn info_nce_masks_known_positives_out_of_the_softmax() {
+        // anchor 0 has two positives (rows 1 and 3); when targeting row 1,
+        // row 3's column must be masked, not treated as a negative
+        let emb = unit_rows(
+            vec![
+                1.0, 0.0, 0.0, //
+                0.9, 0.1, 0.0, //
+                0.0, 1.0, 0.0, //
+                0.95, 0.05, 0.0,
+            ],
+            4,
+            3,
+        );
+        let rows = BatchRows {
+            pairs: vec![(0, 1, 1.0), (0, 3, 1.0), (2, 1, 0.0)],
+            pool_of_row: vec![20, 21, 22, 23],
+        };
+        let mut links = HashSet::new();
+        for (a, b) in [(20, 21), (20, 23)] {
+            links.insert((a, b));
+            links.insert((b, a));
+        }
+        let g = Graph::new();
+        let e = g.leaf(emb);
+        let (loss, counts) = info_nce(&g, e, &rows, &links, 0.5).unwrap();
+        assert_eq!(counts.examples, 2);
+        // with masking, anchor 0's row-1 target competes only against row 1
+        // itself plus unlinked candidates — row 3 (cos ≈ 0.999) is excluded,
+        // so both anchors rank their target first
+        assert_eq!(counts.correct, 2);
+        assert!(g.value(loss).item().is_finite());
+    }
+
+    #[test]
+    fn triplet_gradcheck_through_mining_and_similarity() {
+        let (emb, rows, links) = toy_rows();
+        gradcheck::check(&[emb], |g, vs| {
+            triplet(g, vs[0], &rows, &links, 0.9)
+                .expect("anchors present")
+                .0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn info_nce_gradcheck() {
+        let (emb, rows, links) = toy_rows();
+        gradcheck::check(&[emb], |g, vs| {
+            info_nce(g, vs[0], &rows, &links, 0.5)
+                .expect("anchors present")
+                .0
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn info_nce_gradcheck_batch_of_one() {
+        // the degenerate batch-of-one: loss is identically 0, and the
+        // finite-difference check must agree (zero gradient everywhere)
+        let emb = unit_rows(vec![1.0, 0.2, 0.6, 0.4], 2, 2);
+        let rows = BatchRows {
+            pairs: vec![(0, 1, 1.0)],
+            pool_of_row: vec![5, 6],
+        };
+        let links = HashSet::new();
+        gradcheck::check(&[emb], |g, vs| {
+            info_nce(g, vs[0], &rows, &links, 0.1).unwrap().0
+        })
+        .unwrap();
+    }
+}

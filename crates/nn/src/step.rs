@@ -1,0 +1,88 @@
+//! One optimizer step: gather → batched forward → objective → update.
+//!
+//! The step pipeline is objective-agnostic: every step encodes its batch's
+//! unique graphs through **one** disjoint-union [`GraphBatch`] forward into
+//! a shared `[U, hidden]` embedding matrix, hands that matrix to the
+//! [`TrainObjective`], and applies the optimizer if the objective produced
+//! a loss. Dropout draws (BCE only) stay in pair order, so the RNG stream
+//! is unchanged from the per-pair formulation.
+
+use std::collections::HashSet;
+
+use gbm_tensor::{clip_grad_norm, Graph, Optimizer};
+use rand::RngExt;
+
+use crate::batch::{GraphBatch, UniqueIndex};
+use crate::model::{EncodedGraph, GraphBinMatch};
+use crate::objective::BatchRows;
+use crate::trainer::{PairSet, TrainConfig};
+
+/// What one optimizer step contributed to the epoch statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct StepOutcome {
+    /// Loss × examples (f64 accumulation, as the legacy loop did).
+    pub loss_sum: f64,
+    /// Examples the loss averaged over.
+    pub examples: usize,
+    /// Correct examples (objective-specific; see `StepCounts`).
+    pub correct: usize,
+}
+
+/// Runs one training step over the pairs named by `batch` (indices into
+/// `data.pairs`). Shared graphs appear once in the embedding matrix and
+/// accumulate gradient through row fan-out, exactly like the inference-side
+/// [`EmbeddingStore`](crate::EmbeddingStore) batching — asymptotically
+/// 2·batch/unique cheaper than per-pair encoding.
+pub(crate) fn run_train_step<R: RngExt + ?Sized>(
+    model: &GraphBinMatch,
+    data: &PairSet,
+    batch: &[usize],
+    cfg: &TrainConfig,
+    links: &HashSet<(usize, usize)>,
+    opt: &mut dyn Optimizer,
+    rng: &mut R,
+) -> StepOutcome {
+    // in-batch objectives produce no loss without a positive pair — skip
+    // the batch *before* paying for the encoder forward (anchor-grouped
+    // layouts legitimately emit trailing negative-only windows)
+    if cfg.objective.is_in_batch() && !batch.iter().any(|&pi| data.pairs[pi].label >= 0.5) {
+        return StepOutcome::default();
+    }
+
+    let g = Graph::new();
+    let unique = UniqueIndex::new(
+        batch
+            .iter()
+            .flat_map(|&pi| [data.pairs[pi].a, data.pairs[pi].b]),
+    );
+    let member_graphs: Vec<&EncodedGraph> =
+        unique.indices().iter().map(|&i| &data.graphs[i]).collect();
+    let gb = GraphBatch::new(&member_graphs, model.encoder().max_pos());
+    let emb = model.encoder().forward_batch(&g, &gb); // [U, hidden]
+
+    let rows = BatchRows {
+        pairs: batch
+            .iter()
+            .map(|&pi| {
+                let p = data.pairs[pi];
+                (unique.row_of(p.a), unique.row_of(p.b), p.label)
+            })
+            .collect(),
+        pool_of_row: unique.indices().to_vec(),
+    };
+
+    let Some((loss, counts)) = cfg.objective.loss(&g, model, emb, &rows, links, rng) else {
+        return StepOutcome::default();
+    };
+    g.backward(loss);
+    let loss_sum = g.value(loss).item() as f64 * counts.examples as f64;
+    if cfg.grad_clip > 0.0 {
+        clip_grad_norm(model.params(), cfg.grad_clip);
+    }
+    opt.step(model.params());
+    StepOutcome {
+        loss_sum,
+        examples: counts.examples,
+        correct: counts.correct,
+    }
+}

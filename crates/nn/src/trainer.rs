@@ -1,20 +1,30 @@
-//! Training loop: minibatched BCE with Adam (the paper's optimizer, §IV-D),
-//! gradient clipping, and per-epoch statistics.
+//! Training loop: minibatched Adam (the paper's optimizer, §IV-D) over a
+//! pluggable [`TrainObjective`], with gradient clipping and per-epoch
+//! statistics.
 //!
-//! Each optimizer step encodes its batch's unique graphs through **one**
-//! disjoint-union [`GraphBatch`] forward (the training-side counterpart of
-//! the inference-side [`EmbeddingStore`] batching) and evaluates the pair
-//! heads off that shared tape. Dropout draws stay in pair order, so the RNG
-//! stream is unchanged from the per-pair formulation.
+//! The loop itself is objective-agnostic plumbing; each step is
+//! (sample → gather unique graphs → one [`GraphBatch`](crate::GraphBatch)
+//! forward → objective over the shared `[U, hidden]` embedding matrix →
+//! backward → optimizer), split across three modules:
+//!
+//! * `sampler` — minibatch assembly (legacy pair shuffle for BCE,
+//!   group-preserving shuffle for in-batch objectives),
+//! * [`crate::objective`] — the loss over the embedding matrix,
+//! * `step` — the gather/forward/backward/update pipeline.
+//!
+//! With [`TrainObjective::PairwiseBce`] (the default) the trajectory is
+//! bit-exact with the pre-refactor BCE trainer: same RNG stream, same tape
+//! order (asserted in tests against an inline copy of the old loop).
 
-use gbm_tensor::{clip_grad_norm, Adam, Graph, Optimizer, Tensor};
+use gbm_tensor::Adam;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::batch::GraphBatch;
 use crate::embeddings::EmbeddingStore;
 use crate::model::{EncodedGraph, GraphBinMatch};
+use crate::objective::{Scoring, TrainObjective};
+use crate::sampler::BatchSampler;
+use crate::step::run_train_step;
 
 /// One labelled pair, indexing into a [`PairSet`]'s graph pool.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -37,6 +47,29 @@ pub struct PairSet {
     pub pairs: Vec<PairExample>,
 }
 
+/// A [`PairSet`] whose pairs reference graphs outside the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairSetError {
+    /// Index of the offending pair in `pairs`.
+    pub pair: usize,
+    /// The out-of-bounds graph index it references.
+    pub graph: usize,
+    /// Size of the graph pool.
+    pub pool: usize,
+}
+
+impl std::fmt::Display for PairSetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pair {} references graph {} outside the pool of {} graphs",
+            self.pair, self.graph, self.pool
+        )
+    }
+}
+
+impl std::error::Error for PairSetError {}
+
 impl PairSet {
     /// Number of pairs.
     pub fn len(&self) -> usize {
@@ -46,6 +79,38 @@ impl PairSet {
     /// True when there are no pairs.
     pub fn is_empty(&self) -> bool {
         self.pairs.is_empty()
+    }
+
+    /// Bounds-checks every pair against the graph pool, so malformed sets
+    /// fail with a description at the trainer's entry instead of panicking
+    /// deep inside batch assembly.
+    pub fn validate(&self) -> Result<(), PairSetError> {
+        for (i, p) in self.pairs.iter().enumerate() {
+            for graph in [p.a, p.b] {
+                if graph >= self.graphs.len() {
+                    return Err(PairSetError {
+                        pair: i,
+                        graph,
+                        pool: self.graphs.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Every positive `(a, b)` of the set, both orders — what in-batch
+    /// objectives consult so a positive that happens to share a batch with a
+    /// foreign anchor is never mined as that anchor's negative.
+    pub fn positive_links(&self) -> std::collections::HashSet<(usize, usize)> {
+        let mut links = std::collections::HashSet::new();
+        for p in &self.pairs {
+            if p.label >= 0.5 {
+                links.insert((p.a, p.b));
+                links.insert((p.b, p.a));
+            }
+        }
+        links
     }
 }
 
@@ -63,6 +128,8 @@ pub struct TrainConfig {
     pub grad_clip: f32,
     /// Shuffling/dropout seed.
     pub seed: u64,
+    /// Loss driving the optimizer steps.
+    pub objective: TrainObjective,
 }
 
 impl Default for TrainConfig {
@@ -73,6 +140,7 @@ impl Default for TrainConfig {
             batch_size: 8,
             grad_clip: 5.0,
             seed: 42,
+            objective: TrainObjective::PairwiseBce,
         }
     }
 }
@@ -80,9 +148,11 @@ impl Default for TrainConfig {
 /// Loss/accuracy after one epoch.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EpochStats {
-    /// Mean BCE loss.
+    /// Mean objective loss per example (pairs for BCE, anchors for the
+    /// in-batch objectives).
     pub loss: f32,
-    /// Training accuracy at threshold 0.5.
+    /// BCE: training accuracy at threshold 0.5. Contrastive: fraction of
+    /// anchors whose positive outranks every allowed in-batch negative.
     pub accuracy: f32,
 }
 
@@ -96,66 +166,30 @@ pub fn train(
     mut on_epoch: impl FnMut(usize, &EpochStats),
 ) -> Vec<EpochStats> {
     assert!(!data.is_empty(), "empty training set");
+    if let Err(e) = data.validate() {
+        panic!("invalid training PairSet: {e}");
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::with_lr(cfg.lr);
-    let mut order: Vec<usize> = (0..data.pairs.len()).collect();
+    let links = data.positive_links();
+    let mut sampler = BatchSampler::new(data.pairs.len(), cfg.batch_size, &cfg.objective);
     let mut stats = Vec::with_capacity(cfg.epochs);
 
     for epoch in 0..cfg.epochs {
-        order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
+        let mut examples = 0usize;
         let mut correct = 0usize;
 
-        for batch in order.chunks(cfg.batch_size) {
-            let g = Graph::new();
-            // One disjoint-union encoder forward over the batch's unique
-            // graphs; every pair's head then reads its two rows off the same
-            // tape. Mathematically identical to per-pair encoding (shared
-            // graphs accumulate gradient through row-slice fan-out instead
-            // of repeated forwards), asymptotically 2·batch/unique cheaper.
-            let mut unique: Vec<usize> = batch
-                .iter()
-                .flat_map(|&pi| [data.pairs[pi].a, data.pairs[pi].b])
-                .collect();
-            unique.sort_unstable();
-            unique.dedup();
-            let row_of = |gi: usize| unique.binary_search(&gi).expect("graph in batch");
-            let member_graphs: Vec<&EncodedGraph> =
-                unique.iter().map(|&i| &data.graphs[i]).collect();
-            let gb = GraphBatch::new(&member_graphs, model.encoder().max_pos());
-            let emb = model.encoder().forward_batch(&g, &gb); // [U, hidden]
-
-            let mut total = None;
-            for &pi in batch {
-                let pair = data.pairs[pi];
-                let ea = g.slice_rows(emb, row_of(pair.a), row_of(pair.a) + 1);
-                let eb = g.slice_rows(emb, row_of(pair.b), row_of(pair.b) + 1);
-                let logit = model.head().forward(&g, ea, eb, true, &mut rng);
-                let target = Tensor::from_vec(vec![pair.label], &[1, 1]);
-                let loss = g.bce_with_logits(logit, &target);
-                // track training accuracy from the same forward pass
-                let p = 1.0 / (1.0 + (-g.value(logit).item()).exp());
-                if (p >= 0.5) == (pair.label >= 0.5) {
-                    correct += 1;
-                }
-                total = Some(match total {
-                    None => loss,
-                    Some(acc) => g.add(acc, loss),
-                });
-            }
-            let total = total.expect("non-empty batch");
-            let mean = g.scale(total, 1.0 / batch.len() as f32);
-            g.backward(mean);
-            epoch_loss += g.value(mean).item() as f64 * batch.len() as f64;
-            if cfg.grad_clip > 0.0 {
-                clip_grad_norm(model.params(), cfg.grad_clip);
-            }
-            opt.step(model.params());
+        for batch in sampler.epoch(&mut rng) {
+            let outcome = run_train_step(model, data, &batch, cfg, &links, &mut opt, &mut rng);
+            epoch_loss += outcome.loss_sum;
+            examples += outcome.examples;
+            correct += outcome.correct;
         }
 
         let s = EpochStats {
-            loss: (epoch_loss / data.pairs.len() as f64) as f32,
-            accuracy: correct as f32 / data.pairs.len() as f32,
+            loss: (epoch_loss / examples.max(1) as f64) as f32,
+            accuracy: correct as f32 / examples.max(1) as f32,
         };
         on_epoch(epoch, &s);
         stats.push(s);
@@ -163,17 +197,40 @@ pub fn train(
     stats
 }
 
-/// Scores every pair in the set (inference mode). Order matches `data.pairs`.
+/// Scores every pair in the set (inference mode) through the **matching
+/// head**. Order matches `data.pairs`.
 ///
 /// Encode-once/score-many: each unique graph referenced by the pairs goes
 /// through the encoder exactly once (in parallel), then every pair is scored
 /// through the cheap matching head only (also in parallel). Bit-identical to
 /// calling [`GraphBinMatch::score`] per pair, asymptotically cheaper —
 /// O(N + M) encoder forwards instead of O(P) for P pairs over N + M graphs.
+///
+/// Head scores are only calibrated for BCE-trained models: contrastive
+/// objectives never send gradient through the head. For a model trained
+/// with [`TrainObjective::Triplet`]/[`TrainObjective::InfoNce`], score with
+/// [`predict_scored`] and the objective's [`TrainObjective::scoring`].
 pub fn predict(model: &GraphBinMatch, data: &PairSet) -> Vec<f32> {
+    predict_scored(model, data, Scoring::Head)
+}
+
+/// Scores every pair with an explicit scoring function: the head for
+/// BCE-trained models, embedding cosine (affinely mapped onto `[0,1]` as
+/// `(c+1)/2`) for contrastively-trained ones. Order matches `data.pairs`.
+pub fn predict_scored(model: &GraphBinMatch, data: &PairSet, scoring: Scoring) -> Vec<f32> {
+    if let Err(e) = data.validate() {
+        panic!("invalid PairSet: {e}");
+    }
     let used: Vec<usize> = data.pairs.iter().flat_map(|p| [p.a, p.b]).collect();
     let store = EmbeddingStore::build_subset(model, &data.graphs, &used);
-    store.score_pairs(model, &data.pairs)
+    match scoring {
+        Scoring::Head => store.score_pairs(model, &data.pairs),
+        Scoring::Cosine => data
+            .pairs
+            .iter()
+            .map(|p| (store.cosine(p.a, p.b) + 1.0) * 0.5)
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +309,7 @@ mod tests {
             batch_size: 8,
             grad_clip: 5.0,
             seed: 3,
+            objective: TrainObjective::PairwiseBce,
         };
         let stats = train(&model, &data, &cfg, |_, _| {});
         let first = stats.first().unwrap();
@@ -269,6 +327,175 @@ mod tests {
         );
     }
 
+    /// The pre-refactor BCE training loop, kept verbatim as the parity
+    /// reference: the `PairwiseBce` objective must reproduce its trajectory
+    /// bit-exactly (same RNG stream, same tape order).
+    fn legacy_bce_train(
+        model: &GraphBinMatch,
+        data: &PairSet,
+        cfg: &TrainConfig,
+    ) -> Vec<EpochStats> {
+        use crate::batch::GraphBatch;
+        use gbm_tensor::{clip_grad_norm, Adam, Graph, Optimizer, Tensor};
+        use rand::seq::SliceRandom;
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut opt = Adam::with_lr(cfg.lr);
+        let mut order: Vec<usize> = (0..data.pairs.len()).collect();
+        let mut stats = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut correct = 0usize;
+            for batch in order.chunks(cfg.batch_size) {
+                let g = Graph::new();
+                let mut unique: Vec<usize> = batch
+                    .iter()
+                    .flat_map(|&pi| [data.pairs[pi].a, data.pairs[pi].b])
+                    .collect();
+                unique.sort_unstable();
+                unique.dedup();
+                let row_of = |gi: usize| unique.binary_search(&gi).expect("graph in batch");
+                let member_graphs: Vec<&EncodedGraph> =
+                    unique.iter().map(|&i| &data.graphs[i]).collect();
+                let gb = GraphBatch::new(&member_graphs, model.encoder().max_pos());
+                let emb = model.encoder().forward_batch(&g, &gb);
+                let mut total = None;
+                for &pi in batch {
+                    let pair = data.pairs[pi];
+                    let ea = g.slice_rows(emb, row_of(pair.a), row_of(pair.a) + 1);
+                    let eb = g.slice_rows(emb, row_of(pair.b), row_of(pair.b) + 1);
+                    let logit = model.head().forward(&g, ea, eb, true, &mut rng);
+                    let target = Tensor::from_vec(vec![pair.label], &[1, 1]);
+                    let loss = g.bce_with_logits(logit, &target);
+                    let p = 1.0 / (1.0 + (-g.value(logit).item()).exp());
+                    if (p >= 0.5) == (pair.label >= 0.5) {
+                        correct += 1;
+                    }
+                    total = Some(match total {
+                        None => loss,
+                        Some(acc) => g.add(acc, loss),
+                    });
+                }
+                let total = total.expect("non-empty batch");
+                let mean = g.scale(total, 1.0 / batch.len() as f32);
+                g.backward(mean);
+                epoch_loss += g.value(mean).item() as f64 * batch.len() as f64;
+                if cfg.grad_clip > 0.0 {
+                    clip_grad_norm(model.params(), cfg.grad_clip);
+                }
+                opt.step(model.params());
+            }
+            stats.push(EpochStats {
+                loss: (epoch_loss / data.pairs.len() as f64) as f32,
+                accuracy: correct as f32 / data.pairs.len() as f32,
+            });
+        }
+        stats
+    }
+
+    #[test]
+    fn pairwise_bce_is_bit_exact_with_the_pre_refactor_trainer() {
+        let (data, vocab) = toy_pairset();
+        let cfg = TrainConfig {
+            lr: 5e-3,
+            epochs: 3,
+            batch_size: 8,
+            grad_clip: 5.0,
+            seed: 5,
+            objective: TrainObjective::PairwiseBce,
+        };
+        // dropout > 0 so RNG-stream parity is actually exercised
+        let mut model_cfg = GraphBinMatchConfig::tiny(vocab);
+        model_cfg.dropout = 0.1;
+
+        let mut rng = StdRng::seed_from_u64(17);
+        let model_new = GraphBinMatch::new(model_cfg, &mut rng);
+        let stats_new = train(&model_new, &data, &cfg, |_, _| {});
+        let scores_new = predict(&model_new, &data);
+
+        let mut rng = StdRng::seed_from_u64(17);
+        let model_old = GraphBinMatch::new(model_cfg, &mut rng);
+        let stats_old = legacy_bce_train(&model_old, &data, &cfg);
+        let scores_old = predict(&model_old, &data);
+
+        for (n, o) in stats_new.iter().zip(stats_old.iter()) {
+            assert_eq!(n.loss, o.loss, "epoch loss must be bit-exact");
+            assert_eq!(n.accuracy, o.accuracy);
+        }
+        assert_eq!(scores_new, scores_old, "trained weights must be bit-exact");
+    }
+
+    #[test]
+    fn contrastive_objectives_learn_embedding_geometry() {
+        let (data, vocab) = toy_pairset();
+        for objective in [TrainObjective::triplet(), TrainObjective::info_nce()] {
+            let mut rng = StdRng::seed_from_u64(19);
+            let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
+            let cfg = TrainConfig {
+                lr: 5e-3,
+                epochs: 10,
+                batch_size: 8,
+                grad_clip: 5.0,
+                seed: 3,
+                objective,
+            };
+            let stats = train(&model, &data, &cfg, |_, _| {});
+            let last = stats.last().unwrap();
+            assert!(
+                last.accuracy >= 0.9,
+                "{objective}: in-batch retrieval accuracy {} too low",
+                last.accuracy
+            );
+            // trained geometry: same-family cosine above cross-family cosine
+            let store = EmbeddingStore::build(&model, &data.graphs);
+            let same = store.cosine(0, 1);
+            let cross = store.cosine(0, 5);
+            assert!(
+                same > cross,
+                "{objective}: same-family cosine {same} vs cross {cross}"
+            );
+            // the objective's own scoring function separates the classes
+            let scores = predict_scored(&model, &data, objective.scoring());
+            let mean = |label: f32| {
+                let v: Vec<f32> = data
+                    .pairs
+                    .iter()
+                    .zip(scores.iter())
+                    .filter(|(p, _)| p.label == label)
+                    .map(|(_, &s)| s)
+                    .collect();
+                v.iter().sum::<f32>() / v.len() as f32
+            };
+            assert!(
+                mean(1.0) > mean(0.0),
+                "{objective}: cosine scoring must separate positives"
+            );
+        }
+    }
+
+    #[test]
+    fn contrastive_training_skips_negative_only_batches_before_encoding() {
+        let (mut data, vocab) = toy_pairset();
+        data.pairs.retain(|p| p.label < 0.5);
+        assert!(!data.pairs.is_empty());
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
+        let cfg = TrainConfig {
+            epochs: 1,
+            objective: TrainObjective::info_nce(),
+            ..Default::default()
+        };
+        model.encoder().reset_forward_count();
+        let stats = train(&model, &data, &cfg, |_, _| {});
+        assert_eq!(
+            model.encoder().forward_count(),
+            0,
+            "unusable batches must not pay for encoder forwards"
+        );
+        assert_eq!(stats[0].loss, 0.0);
+    }
+
     #[test]
     fn predict_matches_pair_order_and_range() {
         let (data, vocab) = toy_pairset();
@@ -282,17 +509,24 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (data, vocab) = toy_pairset();
-        let run = || {
-            let mut rng = StdRng::seed_from_u64(13);
-            let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
-            let cfg = TrainConfig {
-                epochs: 2,
-                ..Default::default()
+        for objective in [
+            TrainObjective::PairwiseBce,
+            TrainObjective::triplet(),
+            TrainObjective::info_nce(),
+        ] {
+            let run = || {
+                let mut rng = StdRng::seed_from_u64(13);
+                let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
+                let cfg = TrainConfig {
+                    epochs: 2,
+                    objective,
+                    ..Default::default()
+                };
+                train(&model, &data, &cfg, |_, _| {});
+                predict(&model, &data)
             };
-            train(&model, &data, &cfg, |_, _| {});
-            predict(&model, &data)
-        };
-        assert_eq!(run(), run());
+            assert_eq!(run(), run(), "{objective} must be deterministic");
+        }
     }
 
     #[test]
@@ -324,5 +558,42 @@ mod tests {
             &TrainConfig::default(),
             |_, _| {},
         );
+    }
+
+    #[test]
+    fn validate_reports_out_of_bounds_pairs() {
+        let (mut data, _) = toy_pairset();
+        assert_eq!(data.validate(), Ok(()));
+        data.pairs.push(PairExample {
+            a: 1,
+            b: data.graphs.len(),
+            label: 1.0,
+        });
+        let err = data.validate().unwrap_err();
+        assert_eq!(err.pair, data.pairs.len() - 1);
+        assert_eq!(err.graph, data.graphs.len());
+        assert_eq!(err.pool, data.graphs.len());
+        assert!(err.to_string().contains("outside the pool"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the pool")]
+    fn train_rejects_malformed_pairs_at_entry() {
+        let (mut data, vocab) = toy_pairset();
+        data.pairs[0].a = data.graphs.len() + 7;
+        let mut rng = StdRng::seed_from_u64(16);
+        let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
+        train(&model, &data, &TrainConfig::default(), |_, _| {});
+    }
+
+    #[test]
+    fn positive_links_hold_both_orders() {
+        let (data, _) = toy_pairset();
+        let links = data.positive_links();
+        let pos = data.pairs.iter().find(|p| p.label == 1.0).unwrap();
+        assert!(links.contains(&(pos.a, pos.b)));
+        assert!(links.contains(&(pos.b, pos.a)));
+        let neg = data.pairs.iter().find(|p| p.label == 0.0).unwrap();
+        assert!(!links.contains(&(neg.a, neg.b)));
     }
 }

@@ -273,6 +273,67 @@ impl Graph {
         self.div_colvec(x, norms)
     }
 
+    /// Batched similarity matrix `a[n×d] · b[m×d]ᵀ → [n×m]`: every pairwise
+    /// dot product between the rows of two embedding matrices in one kernel.
+    /// With unit-norm rows (the encoder's output) entry `(i, j)` is the
+    /// cosine similarity of embedding `i` and embedding `j` — the quantity
+    /// in-batch contrastive objectives (triplet mining, InfoNCE logits)
+    /// score over.
+    pub fn similarity_matrix(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.shape().rank(), 2, "similarity lhs must be rank-2");
+        assert_eq!(vb.shape().rank(), 2, "similarity rhs must be rank-2");
+        let (n, d) = (va.dims()[0], va.dims()[1]);
+        let (m, d2) = (vb.dims()[0], vb.dims()[1]);
+        assert_eq!(d, d2, "similarity embedding dims {d} vs {d2}");
+        let out = Tensor::from_vec(kernels::matmul_nt(va.data(), vb.data(), n, d, m), &[n, m]);
+        self.op(out, &[a, b], move |g| {
+            // dA = G · B ; dB = Gᵀ · A
+            let da = kernels::matmul(g.data(), vb.data(), n, m, d);
+            let db = kernels::matmul_tn(g.data(), va.data(), n, m, d);
+            vec![
+                (a.id, Tensor::from_vec(da, &[n, d])),
+                (b.id, Tensor::from_vec(db, &[m, d])),
+            ]
+        })
+    }
+
+    /// Mean softmax cross-entropy over the rows of `logits[n×m]` against one
+    /// target column per row (stable fused log-sum-exp form). Returns a `[1]`
+    /// mean loss — the InfoNCE objective over an in-batch similarity matrix,
+    /// where `targets[i]` names row `i`'s matching column.
+    pub fn softmax_cross_entropy_rows(&self, logits: Var, targets: &[usize]) -> Var {
+        let vx = self.value(logits);
+        let (n, m) = (vx.dims()[0], vx.dims()[1]);
+        assert_eq!(targets.len(), n, "one target per row");
+        for &t in targets {
+            assert!(t < m, "target column {t} out of {m}");
+        }
+        let inv_n = 1.0 / n.max(1) as f32;
+        let mut loss = 0.0f32;
+        for (row, &t) in vx.data().chunks(m).zip(targets.iter()) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+            loss += lse - row[t];
+        }
+        let out = Tensor::scalar(loss * inv_n);
+        let targets_owned: Vec<usize> = targets.to_vec();
+        self.op(out, &[logits], move |g| {
+            // d = (softmax(row) − onehot(target)) / n, scaled by upstream
+            let gv = g.item() * inv_n;
+            let mut d = scratch::take_zeroed(n * m);
+            for (i, (row, drow)) in vx.data().chunks(m).zip(d.chunks_mut(m)).enumerate() {
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let denom: f32 = row.iter().map(|&x| (x - max).exp()).sum();
+                for (o, &x) in drow.iter_mut().zip(row.iter()) {
+                    *o = gv * (x - max).exp() / denom;
+                }
+                drow[targets_owned[i]] -= gv;
+            }
+            vec![(logits.id, Tensor::from_vec(d, &[n, m]))]
+        })
+    }
+
     // ---------------------------------------------------------------------
     // Losses
     // ---------------------------------------------------------------------
@@ -496,6 +557,89 @@ mod tests {
         assert!((gx.data()[0] - (0.5 - 1.0) / 2.0).abs() < 1e-6);
         let s2 = 1.0 / (1.0 + (-2.0f32).exp());
         assert!((gx.data()[1] - s2 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn similarity_matrix_matches_manual_dots() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = g.leaf(Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+            &[3, 2],
+        ));
+        let s = g.similarity_matrix(a, b);
+        let vs = g.value(s);
+        assert_eq!(vs.dims(), &[2, 3]);
+        assert_eq!(vs.data(), &[1.0, 2.0, 3.0, 3.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn similarity_matrix_matches_matmul_transpose() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let g = Graph::new();
+        let a = g.leaf(Tensor::rand_uniform(&mut rng, &[4, 3], -1.0, 1.0));
+        let b = g.leaf(Tensor::rand_uniform(&mut rng, &[5, 3], -1.0, 1.0));
+        let fused = g.similarity_matrix(a, b);
+        let reference = g.matmul(a, g.transpose(b));
+        assert_eq!(g.value(fused).data(), g.value(reference).data());
+    }
+
+    #[test]
+    fn similarity_matrix_gradcheck() {
+        use crate::gradcheck;
+        let mut rng = StdRng::seed_from_u64(62);
+        let a = Tensor::rand_uniform(&mut rng, &[3, 4], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[2, 4], -1.0, 1.0);
+        gradcheck::check(&[a, b], |g, vs| {
+            let s = g.similarity_matrix(vs[0], vs[1]);
+            let w = g.constant(Tensor::from_vec(
+                (0..6).map(|i| 0.3 * i as f32 - 0.7).collect(),
+                &[3, 2],
+            ));
+            g.mean_all(g.mul(s, w))
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn softmax_cross_entropy_rows_matches_manual() {
+        let g = Graph::new();
+        // row 0: uniform logits → loss ln(3); row 1: huge margin → ~0
+        let x = g.leaf(Tensor::from_vec(
+            vec![1.0, 1.0, 1.0, 20.0, 0.0, 0.0],
+            &[2, 3],
+        ));
+        let loss = g.softmax_cross_entropy_rows(x, &[2, 0]);
+        let expect = (3.0f32.ln() + 0.0) / 2.0;
+        assert!((g.value(loss).item() - expect).abs() < 1e-4);
+        g.backward(loss);
+        let gx = g.grad(x).unwrap();
+        // row-0 gradient: softmax (1/3 each) minus onehot at col 2, over n=2
+        assert!((gx.data()[0] - (1.0 / 3.0) / 2.0).abs() < 1e-5);
+        assert!((gx.data()[2] - (1.0 / 3.0 - 1.0) / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_cross_entropy_rows_gradcheck() {
+        use crate::gradcheck;
+        let mut rng = StdRng::seed_from_u64(63);
+        let x = Tensor::rand_uniform(&mut rng, &[4, 5], -2.0, 2.0);
+        gradcheck::check(&[x], |g, vs| {
+            g.softmax_cross_entropy_rows(vs[0], &[1, 4, 0, 2])
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn softmax_cross_entropy_single_row_single_column_is_zero() {
+        // the degenerate batch-of-one case: one row, one candidate — the
+        // softmax is 1, the loss exactly 0, and the gradient exactly 0
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![3.7], &[1, 1]));
+        let loss = g.softmax_cross_entropy_rows(x, &[0]);
+        assert_eq!(g.value(loss).item(), 0.0);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().data(), &[0.0]);
     }
 
     #[test]

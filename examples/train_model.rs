@@ -1,14 +1,31 @@
 //! Trains a GraphBinMatch model on the synthetic CLCDSA dataset and reports
-//! held-out precision/recall/F1 — the core experiment of the paper, scaled
-//! to run in about a minute.
+//! held-out precision/recall/F1 plus ranked-retrieval quality — the core
+//! experiment of the paper, scaled to run in about a minute.
 //!
 //! ```text
 //! cargo run --release --example train_model
+//! GBM_OBJECTIVE=infonce cargo run --release --example train_model
 //! ```
+//!
+//! `GBM_OBJECTIVE` selects the training objective: `bce` (the paper's
+//! pairwise loss, the default), `triplet[:margin]`, or
+//! `infonce[:temperature]` (XLIR-style contrastive losses over the batch
+//! embedding matrix). Invalid values warn and fall back to BCE.
 
 use gbm_binary::{Compiler, OptLevel};
 use gbm_eval::{run_experiment, ExperimentSpec, HarnessConfig};
 use gbm_frontends::SourceLang;
+use gbm_nn::{Scoring, TrainObjective};
+
+fn objective_from_env() -> TrainObjective {
+    match std::env::var("GBM_OBJECTIVE") {
+        Err(_) => TrainObjective::PairwiseBce,
+        Ok(raw) => raw.parse().unwrap_or_else(|e| {
+            eprintln!("warning: ignoring invalid GBM_OBJECTIVE ({e}); using bce");
+            TrainObjective::PairwiseBce
+        }),
+    }
+}
 
 fn main() {
     // cross-language binary-source matching: MiniC binaries vs MiniJava source
@@ -21,7 +38,9 @@ fn main() {
     let mut cfg = HarnessConfig::quick();
     cfg.epochs = 6;
     cfg.num_tasks = 8;
+    cfg.objective = objective_from_env();
 
+    println!("objective: {}", cfg.objective);
     println!("generating dataset, compiling, decompiling, building graphs…");
     let result = run_experiment(&spec, &cfg);
 
@@ -34,11 +53,24 @@ fn main() {
             s.accuracy
         );
     }
-    println!("\ntest-set results (threshold 0.5):");
+    println!("\ntest-set results:");
     for m in &result.methods {
         println!(
-            "  {:<22} P={:.2} R={:.2} F1={:.2}",
-            m.method, m.prf.precision, m.prf.recall, m.prf.f1
+            "  {:<22} P={:.2} R={:.2} F1={:.2} (thr {:.2})",
+            m.method, m.prf.precision, m.prf.recall, m.prf.f1, m.threshold
         );
+    }
+    println!(
+        "\nretrieval ({} queries over {} candidates, ranked by {}):",
+        result.retrieval.num_queries,
+        result.retrieval.num_candidates,
+        match result.objective.scoring() {
+            Scoring::Cosine => "embedding cosine",
+            Scoring::Head => "matching head",
+        }
+    );
+    println!("  MRR {:.3}", result.retrieval.mrr);
+    for &(k, v) in &result.retrieval.recall_at {
+        println!("  recall@{k} {v:.3}");
     }
 }

@@ -1,17 +1,29 @@
 #!/usr/bin/env python3
-"""Compare a fresh `encode_batch` bench run against the checked-in baseline.
+"""Compare a fresh bench run against its checked-in baseline.
 
 Usage:
     cargo bench -p gbm-bench --bench encode_batch | tee bench_out.txt
     python3 scripts/check_bench_regression.py [--quick] bench_out.txt
 
-Absolute times are machine-dependent, so the gate is on *ratios inside one
-run*: for every config group, the speedup of the best batched variant
-(`batched_b*` / `store_build`) over `per_graph_replica` (the PR 1 path) is
-compared against the same speedup recorded in BENCH_encode_batch.json. A
-fresh speedup more than REGRESSION_TOLERANCE worse than baseline fails the
-check — that is the signal that batching stopped paying for itself, however
-fast the host is.
+    cargo bench -p gbm-bench --bench train_step | tee train_step_out.txt
+    python3 scripts/check_bench_regression.py --bench train_step [--quick] train_step_out.txt
+
+Absolute times are machine-dependent, so every gate is on *ratios inside one
+run*:
+
+* `encode_batch` (default): for every config group, the speedup of the best
+  batched variant (`batched_b*` / `store_build`) over `per_graph_replica`
+  (the PR 1 path) is compared against the same speedup recorded in
+  BENCH_encode_batch.json. A fresh speedup more than REGRESSION_TOLERANCE
+  worse than baseline fails — the signal that batching stopped paying for
+  itself, however fast the host is.
+
+* `train_step`: for every batch-size group, the cost ratio of each
+  contrastive objective over `bce` (time(objective) / time(bce)) is compared
+  against BENCH_train_step.json. A fresh ratio more than
+  REGRESSION_TOLERANCE above baseline fails — the signal that in-batch
+  objectives stopped being "nearly free" on top of the shared batched
+  forward.
 
 `--quick` compares against the `quick_ms` baseline section (the CI smoke
 run, `GBM_BENCH_SCALE=quick`); the default compares against `full_ms`.
@@ -22,25 +34,34 @@ import re
 import sys
 from pathlib import Path
 
-REGRESSION_TOLERANCE = 0.20  # fail when a speedup degrades by more than 20%
-BASELINE = Path(__file__).resolve().parent.parent / "BENCH_encode_batch.json"
+REGRESSION_TOLERANCE = 0.20  # fail when a gated ratio degrades by more than 20%
+ROOT = Path(__file__).resolve().parent.parent
+BASELINES = {
+    "encode_batch": ROOT / "BENCH_encode_batch.json",
+    "train_step": ROOT / "BENCH_train_step.json",
+}
 
 ROW = re.compile(
-    r"(?P<name>encode_batch_\w+/\S+)\s+time:\s+(?P<value>[0-9.]+)\s*(?P<unit>ms|µs|us)/iter"
+    r"(?P<name>\w+/\S+)\s+time:\s+(?P<value>[0-9.]+)\s*(?P<unit>ms|µs|us)/iter"
 )
 
 UNIT_MS = {"ms": 1.0, "µs": 1e-3, "us": 1e-3}
 
 
-def parse_run(text: str) -> dict:
+def parse_run(text: str, bench: str) -> dict:
     times = {}
     for m in ROW.finditer(text):
-        times[m.group("name")] = float(m.group("value")) * UNIT_MS[m.group("unit")]
+        name = m.group("name")
+        if name.startswith(bench):
+            times[name] = float(m.group("value")) * UNIT_MS[m.group("unit")]
     return times
 
 
-def speedups(times: dict) -> dict:
-    """Per config group: time(per_graph_replica) / time(best batched)."""
+def encode_batch_ratios(times: dict) -> dict:
+    """Per config group: time(per_graph_replica) / time(best batched).
+
+    Higher is better; a fresh value *below* baseline is a regression.
+    """
     out = {}
     groups = {name.split("/")[0] for name in times}
     for g in sorted(groups):
@@ -57,42 +78,86 @@ def speedups(times: dict) -> dict:
     return out
 
 
+def train_step_ratios(times: dict) -> dict:
+    """Per batch-size group and contrastive objective: time(obj) / time(bce).
+
+    Lower is better; a fresh value *above* baseline is a regression.
+    """
+    out = {}
+    groups = {name.split("/")[0] for name in times}
+    for g in sorted(groups):
+        bce = times.get(f"{g}/bce")
+        if bce is None:
+            continue
+        for name, t in times.items():
+            prefix = f"{g}/"
+            if name.startswith(prefix) and not name.endswith("/bce"):
+                out[name] = t / bce
+    return out
+
+
+# per-bench: (ratio fn, True when higher-is-better)
+GATES = {
+    "encode_batch": (encode_batch_ratios, True),
+    "train_step": (train_step_ratios, False),
+}
+
+
 def main() -> int:
-    args = [a for a in sys.argv[1:] if a != "--quick"]
-    quick = "--quick" in sys.argv[1:]
-    if len(args) != 1:
+    args = sys.argv[1:]
+    quick = "--quick" in args
+    args = [a for a in args if a != "--quick"]
+    bench = "encode_batch"
+    if "--bench" in args:
+        i = args.index("--bench")
+        try:
+            bench = args[i + 1]
+        except IndexError:
+            print(__doc__)
+            return 2
+        del args[i : i + 2]
+    if len(args) != 1 or bench not in GATES:
         print(__doc__)
         return 2
+    ratio_fn, higher_is_better = GATES[bench]
+
     run_text = Path(args[0]).read_text()
-    fresh = parse_run(run_text)
+    fresh = parse_run(run_text, bench)
     if not fresh:
-        print("error: no bench rows found in input (expected 'group/name time: X ms/iter')")
+        print(
+            f"error: no {bench} rows found in input "
+            "(expected 'group/name time: X ms/iter')"
+        )
         return 2
 
-    baseline_doc = json.loads(BASELINE.read_text())
+    baseline_doc = json.loads(BASELINES[bench].read_text())
     section = "quick_ms" if quick else "full_ms"
     base_times = baseline_doc[section]
 
-    fresh_sp = speedups(fresh)
-    base_sp = speedups(base_times)
+    fresh_r = ratio_fn(fresh)
+    base_r = ratio_fn(base_times)
 
-    print(f"{'config':<24} {'baseline':>9} {'fresh':>9}  verdict")
-    print("-" * 56)
+    unit = "x" if higher_is_better else "×bce"
+    print(f"{'gate':<28} {'baseline':>10} {'fresh':>10}  verdict")
+    print("-" * 62)
     failed = False
-    for g, b in sorted(base_sp.items()):
-        f = fresh_sp.get(g)
+    for g, b in sorted(base_r.items()):
+        f = fresh_r.get(g)
         if f is None:
-            print(f"{g:<24} {b:>8.2f}x {'—':>9}  MISSING (row absent in fresh run)")
+            print(f"{g:<28} {b:>9.2f}{unit} {'—':>10}  MISSING (row absent in fresh run)")
             failed = True
             continue
-        ok = f >= b * (1.0 - REGRESSION_TOLERANCE)
-        verdict = "ok" if ok else f"REGRESSION (>{REGRESSION_TOLERANCE:.0%} below baseline)"
-        print(f"{g:<24} {b:>8.2f}x {f:>8.2f}x  {verdict}")
+        if higher_is_better:
+            ok = f >= b * (1.0 - REGRESSION_TOLERANCE)
+        else:
+            ok = f <= b * (1.0 + REGRESSION_TOLERANCE)
+        verdict = "ok" if ok else f"REGRESSION (>{REGRESSION_TOLERANCE:.0%} off baseline)"
+        print(f"{g:<28} {b:>9.2f}{unit} {f:>9.2f}{unit}  {verdict}")
         failed |= not ok
     if failed:
-        print("\nbatched-encoding speedup regressed; see BENCH_encode_batch.json for baselines")
+        print(f"\n{bench} ratios regressed; see {BASELINES[bench].name} for baselines")
         return 1
-    print("\nall batched-encoding speedups within tolerance of baseline")
+    print(f"\nall {bench} ratios within tolerance of baseline")
     return 0
 
 

@@ -161,6 +161,45 @@ proptest! {
         }
     }
 
+    /// The similarity-matrix kernel agrees with naive per-entry dot products,
+    /// for arbitrary shapes and values, and is symmetric under swapping its
+    /// arguments (Sᵀ(a,b) = S(b,a)).
+    #[test]
+    fn similarity_matrix_kernel_matches_naive_dots(
+        n in 1usize..5,
+        m in 1usize..5,
+        d in 1usize..6,
+        cells in proptest::collection::vec(-2.0f32..2.0, 60),
+    ) {
+        use gbm_tensor::{Graph, Tensor};
+        let a_data: Vec<f32> = (0..n * d).map(|i| cells[i % cells.len()]).collect();
+        let b_data: Vec<f32> = (0..m * d).map(|i| cells[(i * 7 + 3) % cells.len()]).collect();
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(a_data.clone(), &[n, d]));
+        let b = g.leaf(Tensor::from_vec(b_data.clone(), &[m, d]));
+        let s = g.similarity_matrix(a, b);
+        let vs = g.value(s);
+        prop_assert_eq!(vs.dims(), &[n, m]);
+        for i in 0..n {
+            for j in 0..m {
+                let naive: f32 = (0..d).map(|k| a_data[i * d + k] * b_data[j * d + k]).sum();
+                let got = vs.data()[i * m + j];
+                prop_assert!(
+                    (got - naive).abs() <= 1e-4 * (1.0 + naive.abs()),
+                    "entry ({}, {}): {} vs naive {}", i, j, got, naive
+                );
+            }
+        }
+        // transpose symmetry
+        let swapped = g.similarity_matrix(b, a);
+        let vt = g.value(swapped);
+        for i in 0..n {
+            for j in 0..m {
+                prop_assert_eq!(vs.data()[i * m + j], vt.data()[j * n + i]);
+            }
+        }
+    }
+
     /// The Hungarian assignment never beats the row-minima lower bound and
     /// never loses to the diagonal assignment.
     #[test]
