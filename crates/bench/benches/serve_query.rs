@@ -1,0 +1,212 @@
+//! Serving-path query latency: coalesced batch encode + sharded top-K scan
+//! vs the unbatched per-query encode + scan baselines.
+//!
+//! Every variant answers the same Q "unknown binary" queries against the
+//! same pre-encoded candidate pool, end to end (query-graph encode
+//! included — candidates are pre-encoded in both paths, as any serving
+//! system would have them):
+//!
+//! * `per_query_head_scan` — the repo's pre-serve *default* retrieval path
+//!   (`rank_candidates` under `RankBy::Head`, the shape
+//!   `examples/binary_search.rs` ships): one model replica + one encoder
+//!   forward per query, then a match-head score for **every** candidate
+//!   (each ~hidden² flops on its own tape) and a full sort. This is the
+//!   path the serving layer retires — the head leaves the hot loop.
+//! * `per_query_cosine_scan` — the strongest unbatched baseline
+//!   (contrastively-trained models, `RankBy::Cosine`): per-query replica +
+//!   encode, then materialize every candidate's cosine and fully sort.
+//! * `serve_bB_sS` — the `gbm-serve` path: queries coalesce through an
+//!   `EncodeCoalescer` (batch B, one disjoint-union forward per flush) and
+//!   each embedding answers through a `ShardedIndex` over S shards
+//!   (blocked per-shard top-K partial select + k-way merge). Identical
+//!   rankings to `per_query_cosine_scan`'s top-K (asserted before timing).
+//! * `serve_rerank_b8_sS` — the same, plus a match-head re-rank of the
+//!   merged top-K (the retrieve-then-rerank shape for BCE-trained models):
+//!   K head evaluations per query instead of pool-size many.
+//!
+//! Scale: `GBM_BENCH_SCALE=quick` runs the CI smoke subset (128-graph
+//! pool); the default covers the 1024-graph pool of the acceptance
+//! criterion. Baselines live in `BENCH_serve_query.json`;
+//! `scripts/check_bench_regression.py --bench serve_query` gates both
+//! speedup ratios (head baseline vs reranked serve, cosine baseline vs
+//! cosine serve).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gbm_nn::{EmbeddingStore, EncodedGraph, GraphBinMatch, GraphBinMatchConfig};
+use gbm_serve::{CoalescerConfig, EncodeCoalescer, IndexConfig, ShardedIndex, VirtualClock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_mode() -> bool {
+    matches!(std::env::var("GBM_BENCH_SCALE").as_deref(), Ok("quick"))
+}
+
+/// The cosine baseline's scan: every candidate scored, full sort, truncate.
+fn full_cosine_top_k(store: &EmbeddingStore, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+    let mut scores: Vec<(usize, f32)> = (0..store.len())
+        .map(|c| {
+            let e = store.embedding(c).data();
+            (c, e.iter().zip(query.iter()).map(|(x, y)| x * y).sum())
+        })
+        .collect();
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scores.truncate(k);
+    scores
+}
+
+/// The head baseline's scan: the `rank_candidates` `RankBy::Head` shape —
+/// one match-head forward per candidate, full sort, truncate.
+fn full_head_top_k(
+    model: &GraphBinMatch,
+    store: &EmbeddingStore,
+    query: &gbm_tensor::Tensor,
+    k: usize,
+) -> Vec<(usize, f32)> {
+    let mut scores: Vec<(usize, f32)> = (0..store.len())
+        .map(|c| (c, model.head().score_embeddings(query, store.embedding(c))))
+        .collect();
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scores.truncate(k);
+    scores
+}
+
+/// Runs all Q queries through the serve path once; `rerank` re-scores the
+/// merged top-K through the match head (retrieve-then-rerank).
+fn serve_queries(
+    model: &GraphBinMatch,
+    index: &ShardedIndex,
+    queries: &[EncodedGraph],
+    batch: usize,
+    k: usize,
+    rerank: bool,
+) -> Vec<Vec<(u64, f32)>> {
+    let clock = VirtualClock::new();
+    let mut coalescer = EncodeCoalescer::new(CoalescerConfig {
+        max_batch: batch,
+        max_wait: 1,
+    });
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|g| coalescer.submit(model, g.clone(), &clock))
+        .collect();
+    coalescer.flush(model); // drain the sub-batch remainder
+    tickets
+        .into_iter()
+        .map(|t| {
+            let emb = coalescer.poll(t).expect("flushed");
+            let mut top = index.query(emb.data(), k);
+            if rerank {
+                for (id, score) in top.iter_mut() {
+                    let ce = index.embedding(*id).expect("ranked id is indexed");
+                    *score = model.head().score_embeddings(&emb, &ce);
+                }
+                top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            }
+            top
+        })
+        .collect()
+}
+
+fn bench_pool(c: &mut Criterion, label: &str, pool_size: usize, num_queries: usize) {
+    const K: usize = 10;
+    let (tok, all) = gbm_bench::minic_pool(pool_size + num_queries);
+    let (candidates, queries) = all.split_at(pool_size);
+    let queries = queries.to_vec();
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);
+    let store = EmbeddingStore::build(&model, candidates);
+
+    let shard_counts: &[usize] = if quick_mode() { &[4] } else { &[1, 4, 8] };
+    let extra_batches: &[usize] = if quick_mode() { &[] } else { &[16, 32] };
+    let indexes: Vec<(usize, ShardedIndex)> = shard_counts
+        .iter()
+        .map(|&s| {
+            (
+                s,
+                ShardedIndex::build(
+                    &model,
+                    candidates,
+                    IndexConfig {
+                        num_shards: s,
+                        encode_batch: 8,
+                    },
+                ),
+            )
+        })
+        .collect();
+
+    // correctness gate before timing: the serve path must rank exactly like
+    // the monolithic cosine scan
+    for (s, index) in &indexes {
+        let served = serve_queries(&model, index, &queries[..1], 8, K, false);
+        let emb = model.replica().encoder().embed(&queries[0]);
+        let scanned = full_cosine_top_k(&store, emb.data(), K);
+        let served: Vec<(usize, f32)> = served[0].iter().map(|&(id, x)| (id as usize, x)).collect();
+        assert_eq!(
+            served, scanned,
+            "shards={s}: serve path must rank identically"
+        );
+    }
+
+    let mut g = c.benchmark_group(format!("serve_query_{label}"));
+    g.sample_size(10);
+
+    g.bench_function("per_query_head_scan", |b| {
+        b.iter(|| {
+            let rankings: Vec<Vec<(usize, f32)>> = queries
+                .iter()
+                .map(|qg| {
+                    let replica = model.replica();
+                    let emb = replica.encoder().embed(qg);
+                    full_head_top_k(&replica, &store, &emb, K)
+                })
+                .collect();
+            black_box(rankings)
+        })
+    });
+
+    g.bench_function("per_query_cosine_scan", |b| {
+        b.iter(|| {
+            let rankings: Vec<Vec<(usize, f32)>> = queries
+                .iter()
+                .map(|qg| {
+                    let replica = model.replica();
+                    let emb = replica.encoder().embed(qg);
+                    full_cosine_top_k(&store, emb.data(), K)
+                })
+                .collect();
+            black_box(rankings)
+        })
+    });
+
+    for &(s, ref index) in &indexes {
+        g.bench_function(format!("serve_b8_s{s}"), |b| {
+            b.iter(|| black_box(serve_queries(&model, index, &queries, 8, K, false)))
+        });
+        g.bench_function(format!("serve_rerank_b8_s{s}"), |b| {
+            b.iter(|| black_box(serve_queries(&model, index, &queries, 8, K, true)))
+        });
+    }
+    if let Some((_, index4)) = indexes.iter().find(|(s, _)| *s == 4).or(indexes.first()) {
+        for &bsz in extra_batches {
+            g.bench_function(format!("serve_b{bsz}_s4"), |b| {
+                b.iter(|| black_box(serve_queries(&model, index4, &queries, bsz, K, false)))
+            });
+        }
+    }
+
+    g.finish();
+}
+
+fn bench_serve_query(c: &mut Criterion) {
+    if quick_mode() {
+        bench_pool(c, "tiny_128", 128, 16);
+    } else {
+        bench_pool(c, "tiny_1k", 1024, 32);
+    }
+}
+
+criterion_group!(benches, bench_serve_query);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! probe_serve: coalescer behaviour under load, on the virtual clock.
+//!
+//! Simulates request arrivals at a range of rates (requests per tick,
+//! deterministic fractional accumulator — no RNG, so every run is
+//! identical), drives an [`EncodeCoalescer`] with `max_batch = 8` /
+//! `max_wait = 4`, and reports per rate:
+//!
+//! * mean batch fill (graphs per batched forward) and the full/timer flush
+//!   split — how well coalescing converts arrival pressure into batch
+//!   efficiency;
+//! * heap allocations per encoded graph over successive simulation
+//!   windows, counted by a wrapping global allocator — flat across windows
+//!   means the steady state recycles buffers (the `gbm-tensor` scratch
+//!   pool) instead of growing.
+//!
+//! EXPERIMENTS.md records a run of this probe.
+//!
+//! ```text
+//! cargo run --release -p gbm-bench --bin probe_serve
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gbm_nn::{GraphBinMatch, GraphBinMatchConfig};
+use gbm_serve::{CoalescerConfig, EncodeCoalescer, VirtualClock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counts every heap allocation on top of the system allocator — the
+/// direct observable for "steady-state allocation is flat".
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const MAX_BATCH: usize = 8;
+const MAX_WAIT: u64 = 4;
+const TICKS: u64 = 400;
+const WINDOWS: usize = 4;
+
+fn main() {
+    let (tok, requests) = gbm_bench::minic_pool(32);
+    let vocab = tok.vocab_size();
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng);
+    // warm the scratch pool / embeddings once so window 1 isn't all cold-start
+    let _ = model.encoder().embed(&requests[0]);
+
+    println!("=== coalescer under load (virtual clock) ===");
+    println!(
+        "max_batch={MAX_BATCH} max_wait={MAX_WAIT} ticks={TICKS}; \
+         allocs/graph over {WINDOWS} equal windows (flat = steady state)"
+    );
+    println!(
+        "{:>9} {:>9} {:>8} {:>6} {:>6} {:>10}  allocs/graph per window",
+        "rate", "requests", "flushes", "full", "timer", "mean fill"
+    );
+    println!("{}", "-".repeat(88));
+
+    for &rate in &[0.25f64, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let clock = VirtualClock::new();
+        let mut co = EncodeCoalescer::new(CoalescerConfig {
+            max_batch: MAX_BATCH,
+            max_wait: MAX_WAIT,
+        });
+        let mut acc = 0.0f64;
+        let mut submitted = 0usize;
+        let mut window_allocs: Vec<f64> = Vec::new();
+        let mut window_start_allocs = ALLOCS.load(Ordering::Relaxed);
+        let mut window_start_encoded = 0usize;
+        let mut tickets = Vec::new();
+        for tick in 0..TICKS {
+            // deterministic arrivals: `rate` requests per tick on average
+            acc += rate;
+            while acc >= 1.0 {
+                acc -= 1.0;
+                let g = requests[submitted % requests.len()].clone();
+                tickets.push(co.submit(&model, g, &clock));
+                submitted += 1;
+            }
+            co.pump(&model, &clock);
+            clock.advance(1);
+            // tickets drain as they complete (a caller would poll its own)
+            tickets.retain(|&t| co.poll(t).is_none());
+            if (tick + 1) % (TICKS / WINDOWS as u64) == 0 {
+                let allocs_now = ALLOCS.load(Ordering::Relaxed);
+                let encoded_now = co.stats().encoded;
+                let graphs = (encoded_now - window_start_encoded).max(1);
+                window_allocs.push((allocs_now - window_start_allocs) as f64 / graphs as f64);
+                window_start_allocs = allocs_now;
+                window_start_encoded = encoded_now;
+            }
+        }
+        co.flush(&model);
+        let s = co.stats().clone();
+        let windows: Vec<String> = window_allocs.iter().map(|a| format!("{a:>7.0}")).collect();
+        println!(
+            "{:>9.2} {:>9} {:>8} {:>6} {:>6} {:>10.2}  {}",
+            rate,
+            submitted,
+            s.flushes,
+            s.full_flushes,
+            s.timer_flushes,
+            s.mean_batch_fill(),
+            windows.join(" ")
+        );
+    }
+    println!(
+        "\n(arrivals are a fractional accumulator — rate 0.5 = one request every \
+         2 ticks; the\n virtual clock makes every row bit-reproducible)"
+    );
+}

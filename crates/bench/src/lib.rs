@@ -14,7 +14,10 @@
 //! minutes on a laptop). Default: `standard`.
 
 use gbm_eval::{HarnessConfig, MethodScore};
-use gbm_nn::TrainObjective;
+use gbm_frontends::{compile, SourceLang};
+use gbm_nn::{encode_graph, EncodedGraph, TrainObjective};
+use gbm_progml::{build_graph, NodeTextMode};
+use gbm_tokenizer::{Tokenizer, TokenizerConfig};
 
 /// Reads and parses an environment knob. Invalid values warn loudly on
 /// stderr and fall back to the built-in default instead of being silently
@@ -63,6 +66,42 @@ pub fn scale_from_env() -> HarnessConfig {
         cfg.objective = o;
     }
     cfg
+}
+
+/// A shared bench workload: `n` MiniC programs with deliberately uneven
+/// graph shapes (straight line, loop, nested loops — the mix a real
+/// candidate pool has), encoded against a tokenizer trained on themselves.
+/// Used by the `serve_query` bench and the `probe_serve` load probe, so
+/// their pools cannot drift apart.
+pub fn minic_pool(n: usize) -> (Tokenizer, Vec<EncodedGraph>) {
+    let sources: Vec<String> = (0..n)
+        .map(|k| match k % 3 {
+            0 => format!(
+                "int main() {{ int s = {k} + 2; int t = s * 3; print(s + t); return 0; }}"
+            ),
+            1 => format!(
+                "int f(int n) {{ int s = {k}; for (int i = 0; i < n; i++) {{ s += i * {}; }} return s; }}
+                 int main() {{ print(f({})); return 0; }}",
+                k % 17 + 1,
+                k % 23 + 10
+            ),
+            _ => format!(
+                "int main() {{ int s = 0; for (int i = 0; i < {}; i++) {{ for (int j = 0; j < i; j++) {{ s += i * j + {k}; }} }} print(s); return s; }}",
+                k % 11 + 3
+            ),
+        })
+        .collect();
+    let graphs: Vec<gbm_progml::ProgramGraph> = sources
+        .iter()
+        .map(|s| build_graph(&compile(SourceLang::MiniC, "t", s).unwrap()))
+        .collect();
+    let refs: Vec<&gbm_progml::ProgramGraph> = graphs.iter().collect();
+    let tok = Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
+    let pool = graphs
+        .iter()
+        .map(|g| encode_graph(g, &tok, NodeTextMode::FullText))
+        .collect();
+    (tok, pool)
 }
 
 /// Prints a `P / R / F1` method table with an optional title.

@@ -9,7 +9,11 @@
 //!   graphs → tokenizer → pairs → training → evaluation), built on cached
 //!   graph embeddings (encode once, score many),
 //! * [`retrieval`] — ranked binary→source search over cached embeddings
-//!   with MRR / recall@k reporting,
+//!   with MRR / recall@k reporting, monolithic
+//!   ([`retrieve`](retrieval::retrieve)) or through the `gbm-serve`
+//!   sharded top-K index
+//!   ([`retrieve_topk_sharded`](retrieval::retrieve_topk_sharded), same
+//!   rankings — asserted),
 //! * [`experiments`] — one runner per table/figure (I, III–VIII, Fig. 3/4).
 
 pub mod experiments;
@@ -22,6 +26,6 @@ pub use harness::{
 };
 pub use metrics::{best_threshold, sweep, Confusion, Prf, SweepPoint};
 pub use retrieval::{
-    rank_candidates, retrieval_metrics, retrieve, RankBy, RankedQuery, RetrievalConfig,
-    RetrievalMetrics,
+    rank_candidates, retrieval_metrics, retrieve, retrieve_topk_sharded, RankBy, RankedQuery,
+    RetrievalConfig, RetrievalMetrics,
 };

@@ -14,6 +14,7 @@
 //! reranked head — so metrics are still defined over the full candidate set.
 
 use gbm_nn::{EmbeddingStore, GraphBinMatch};
+use gbm_serve::ShardedIndex;
 use rayon::prelude::*;
 
 /// Which score orders the candidates of a query.
@@ -36,7 +37,9 @@ pub struct RetrievalConfig {
     pub ks: Vec<usize>,
     /// When `Some(k)`, head-rerank only the top-k candidates by cosine;
     /// the rest are ranked below by cosine. `None` head-scores everything.
-    /// Ignored under [`RankBy::Cosine`] (cosine *is* the ranking there).
+    /// Meaningless under [`RankBy::Cosine`] (cosine *is* the ranking
+    /// there): that combination warns loudly on stderr once and the
+    /// prefilter is ignored.
     pub prefilter: Option<usize>,
     /// Ranking score.
     pub rank_by: RankBy,
@@ -102,6 +105,18 @@ pub fn rank_candidates(
         .map(|&c| (c, store.cosine(query, c)))
         .collect();
     if cfg.rank_by == RankBy::Cosine {
+        if cfg.prefilter.is_some() {
+            // same convention as the env knobs: a config that cannot mean
+            // what it says must not be silently ignored
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: RetrievalConfig.prefilter is ignored under RankBy::Cosine \
+                     (cosine already ranks every candidate — there is no head stage to \
+                     pre-filter); drop the prefilter or rank by RankBy::Head"
+                );
+            });
+        }
         sort_desc(&mut by_cosine);
         return by_cosine;
     }
@@ -156,6 +171,79 @@ where
                         .copied()
                         .filter(|&c| is_relevant(q, c))
                         .collect(),
+                })
+                .collect()
+        })
+        .collect();
+    ranked.concat()
+}
+
+/// Serving-path retrieval: each query's top-`k` candidates come from a
+/// [`ShardedIndex`] scan (parallel per-shard blocked top-K + k-way merge)
+/// instead of a full monolithic ranking. Index ids must be pool indices
+/// (the [`ShardedIndex::build`] convention) and the queries' embeddings
+/// must be present in `store`.
+///
+/// For a pool-built index the truncated ranking is *identical* — ids,
+/// scores, and tie order — to the first `k` entries of
+/// [`rank_candidates`] under [`RankBy::Cosine`] over the same candidates
+/// (asserted for 1/2/7 shards in the tests below).
+///
+/// `rerank_head: true` re-scores the merged top-`k` through the matching
+/// head and reorders by head probability — the retrieve-then-rerank shape
+/// for BCE-trained models, now over K candidates instead of the pool.
+pub fn retrieve_topk_sharded<F>(
+    model: &GraphBinMatch,
+    index: &ShardedIndex,
+    store: &EmbeddingStore,
+    queries: &[usize],
+    k: usize,
+    is_relevant: F,
+    rerank_head: bool,
+) -> Vec<RankedQuery>
+where
+    F: Fn(usize, usize) -> bool + Sync,
+{
+    let candidate_ids = index.ids();
+    // Param is Rc-backed: head re-ranking needs same-weight replicas; the
+    // cosine-only path never touches the weights, so it skips the snapshot
+    let snapshot = rerank_head.then(|| model.store.snapshot());
+    let model_cfg = *model.config();
+    let counter = model.encoder().counter();
+    let ranked: Vec<Vec<RankedQuery>> = queries
+        .par_chunks(4)
+        .with_min_len(1)
+        .map(|batch| {
+            let replica = snapshot.as_ref().map(|snap| {
+                GraphBinMatch::from_snapshot(model_cfg, snap, std::sync::Arc::clone(&counter))
+            });
+            batch
+                .iter()
+                .map(|&q| {
+                    let top = index.query(store.embedding(q).data(), k);
+                    let mut ranking: Vec<(usize, f32)> =
+                        top.iter().map(|&(id, s)| (id as usize, s)).collect();
+                    if let Some(replica) = &replica {
+                        let qe = store.embedding(q);
+                        for (c, score) in ranking.iter_mut() {
+                            let ce = index
+                                .embedding(*c as u64)
+                                .expect("ranked id must be indexed");
+                            *score = replica.head().score_embeddings(qe, &ce);
+                        }
+                        ranking.sort_by(|a, b| {
+                            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                    }
+                    RankedQuery {
+                        query: q,
+                        ranking,
+                        relevant: candidate_ids
+                            .iter()
+                            .map(|&id| id as usize)
+                            .filter(|&c| is_relevant(q, c))
+                            .collect(),
+                    }
                 })
                 .collect()
         })
@@ -262,6 +350,192 @@ mod tests {
         assert_eq!(m.num_queries, 0);
         assert_eq!(m.mrr, 0.0);
         assert_eq!(m.recall_at, vec![(1, 0.0), (5, 0.0)]);
+    }
+
+    /// The shared serve-crate fixture (`gbm_serve::testfix`): same MiniC
+    /// pool template as the serve-side equivalence tests, by construction.
+    fn toy_pool(n: usize, seed: u64) -> (Vec<gbm_nn::EncodedGraph>, gbm_nn::GraphBinMatch) {
+        let (pool, vocab) = gbm_serve::testfix::toy(n);
+        (pool, gbm_serve::testfix::model(vocab, seed))
+    }
+
+    /// The acceptance-criterion equivalence: sharded top-K over 1/2/7
+    /// shards returns exactly the first K entries (ids, scores, tie order)
+    /// of the monolithic `rank_candidates` cosine ranking — including an
+    /// empty-shard layout and k beyond the pool size.
+    #[test]
+    fn sharded_topk_equals_monolithic_rank_candidates() {
+        use gbm_serve::{IndexConfig, ShardedIndex};
+
+        let (pool, model) = toy_pool(8, 51);
+        let store = EmbeddingStore::build(&model, &pool);
+        let candidates: Vec<usize> = (0..pool.len()).collect();
+        let cosine_cfg = RetrievalConfig {
+            rank_by: RankBy::Cosine,
+            ..Default::default()
+        };
+        for shards in [1usize, 2, 7] {
+            let index = ShardedIndex::build(
+                &model,
+                &pool,
+                IndexConfig {
+                    num_shards: shards,
+                    encode_batch: 4,
+                },
+            );
+            for &q in &[0usize, 3, 7] {
+                let monolith = rank_candidates(&model, &store, q, &candidates, &cosine_cfg);
+                for k in [1usize, 4, pool.len(), pool.len() + 5] {
+                    let sharded = index.query(store.embedding(q).data(), k);
+                    let want: Vec<(usize, f32)> = monolith
+                        .iter()
+                        .copied()
+                        .take(k.min(candidates.len()))
+                        .collect();
+                    let got: Vec<(usize, f32)> =
+                        sharded.iter().map(|&(id, s)| (id as usize, s)).collect();
+                    assert_eq!(
+                        got, want,
+                        "shards={shards} q={q} k={k}: sharded ranking must be identical"
+                    );
+                }
+            }
+        }
+    }
+
+    /// More shards than graphs: some shards are empty, rankings unchanged.
+    #[test]
+    fn sharded_topk_with_empty_shards_matches_monolith() {
+        use gbm_serve::{IndexConfig, ShardedIndex};
+
+        let (pool, model) = toy_pool(4, 52);
+        let store = EmbeddingStore::build(&model, &pool);
+        let index = ShardedIndex::build(
+            &model,
+            &pool,
+            IndexConfig {
+                num_shards: 7,
+                encode_batch: 8,
+            },
+        );
+        assert!(index.shard_sizes().contains(&0));
+        let candidates: Vec<usize> = (0..pool.len()).collect();
+        let cfg = RetrievalConfig {
+            rank_by: RankBy::Cosine,
+            ..Default::default()
+        };
+        let monolith = rank_candidates(&model, &store, 1, &candidates, &cfg);
+        let got: Vec<(usize, f32)> = index
+            .query(store.embedding(1).data(), pool.len() + 3)
+            .iter()
+            .map(|&(id, s)| (id as usize, s))
+            .collect();
+        assert_eq!(
+            got, monolith,
+            "k > pool size returns the full exact ranking"
+        );
+    }
+
+    /// `retrieve_topk_sharded` agrees with `retrieve` (cosine) truncated to
+    /// k, and its head-reranked variant agrees with head scores over the
+    /// same top-K set.
+    #[test]
+    fn retrieve_topk_sharded_matches_monolithic_retrieve() {
+        use gbm_serve::{IndexConfig, ShardedIndex};
+
+        let (pool, model) = toy_pool(7, 53);
+        let store = EmbeddingStore::build(&model, &pool);
+        let index = ShardedIndex::build(
+            &model,
+            &pool,
+            IndexConfig {
+                num_shards: 3,
+                encode_batch: 4,
+            },
+        );
+        let queries = [0usize, 2, 6];
+        let candidates: Vec<usize> = (0..pool.len()).collect();
+        let is_rel = |q: usize, c: usize| q % 2 == c % 2 && q != c;
+        let k = 4;
+        let monolith = retrieve(
+            &model,
+            &store,
+            &queries,
+            &candidates,
+            is_rel,
+            &RetrievalConfig {
+                rank_by: RankBy::Cosine,
+                ..Default::default()
+            },
+        );
+        let sharded = retrieve_topk_sharded(&model, &index, &store, &queries, k, is_rel, false);
+        assert_eq!(sharded.len(), monolith.len());
+        for (s, m) in sharded.iter().zip(&monolith) {
+            assert_eq!(s.query, m.query);
+            assert_eq!(s.relevant, m.relevant, "relevant sets must agree");
+            assert_eq!(s.ranking.len(), k);
+            assert_eq!(
+                s.ranking,
+                m.ranking[..k].to_vec(),
+                "query {}: sharded top-{k} must equal the monolithic prefix",
+                s.query
+            );
+        }
+        // head re-rank: same candidate set, ordered by head score
+        let reranked = retrieve_topk_sharded(&model, &index, &store, &queries, k, is_rel, true);
+        for (r, s) in reranked.iter().zip(&sharded) {
+            let mut r_ids: Vec<usize> = r.ranking.iter().map(|&(c, _)| c).collect();
+            let mut s_ids: Vec<usize> = s.ranking.iter().map(|&(c, _)| c).collect();
+            r_ids.sort_unstable();
+            s_ids.sort_unstable();
+            assert_eq!(r_ids, s_ids, "re-ranking reorders, never changes, the set");
+            for w in r.ranking.windows(2) {
+                assert!(w[0].1 >= w[1].1, "head-reranked scores must be sorted");
+            }
+            for &(c, score) in &r.ranking {
+                let expect = store.score(&model, r.query, c);
+                assert!(
+                    (score - expect).abs() < 1e-6,
+                    "head score mismatch for ({}, {c})",
+                    r.query
+                );
+            }
+        }
+    }
+
+    /// The prefilter+Cosine combination must keep ranking every candidate
+    /// by cosine (the prefilter is ignored with a loud warning, not
+    /// applied, and not a panic).
+    #[test]
+    fn cosine_with_prefilter_still_ranks_all_candidates_by_cosine() {
+        let (pool, model) = toy_pool(5, 54);
+        let store = EmbeddingStore::build(&model, &pool);
+        let candidates: Vec<usize> = (1..pool.len()).collect();
+        let plain = rank_candidates(
+            &model,
+            &store,
+            0,
+            &candidates,
+            &RetrievalConfig {
+                rank_by: RankBy::Cosine,
+                ..Default::default()
+            },
+        );
+        let with_prefilter = rank_candidates(
+            &model,
+            &store,
+            0,
+            &candidates,
+            &RetrievalConfig {
+                rank_by: RankBy::Cosine,
+                prefilter: Some(2),
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            with_prefilter, plain,
+            "prefilter must be ignored (warned) under RankBy::Cosine"
+        );
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Injected time for the serving layer.
+//!
+//! The coalescer's flush-on-timeout behaviour depends on "how long has the
+//! oldest request waited" — reading the OS clock for that makes every test
+//! and load probe nondeterministic. Time is therefore a capability passed in
+//! by the caller: production uses [`WallClock`] (milliseconds since server
+//! start), tests and the load probes drive a [`VirtualClock`] by hand and
+//! get bit-reproducible flush schedules.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// A monotonic tick source. Ticks are dimensionless — the coalescer only
+/// compares differences against its `max_wait` — but [`WallClock`] maps one
+/// tick to one millisecond.
+pub trait Clock {
+    /// Current tick count (monotonic, starts near zero).
+    fn now(&self) -> u64;
+}
+
+/// A hand-driven clock for deterministic tests and load simulation.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    ticks: Cell<u64>,
+}
+
+impl VirtualClock {
+    /// A clock at tick zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Advances time by `n` ticks.
+    pub fn advance(&self, n: u64) {
+        self.ticks.set(self.ticks.get() + n);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> u64 {
+        self.ticks.get()
+    }
+}
+
+/// Real time: one tick per millisecond since construction.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// A clock starting at the current instant.
+    pub fn new() -> WallClock {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_only_by_hand() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(3);
+        c.advance(4);
+        assert_eq!(c.now(), 7);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

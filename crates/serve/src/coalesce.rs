@@ -1,0 +1,348 @@
+//! Request coalescing: many arriving encode requests, few encoder forwards.
+//!
+//! A serving front-end receives graphs one at a time, but the encoder is at
+//! its best running a disjoint-union [`GraphBatch`](gbm_nn::GraphBatch)
+//! forward over many graphs at once (the PR 2 batching win). The
+//! [`EncodeCoalescer`] sits between the two: requests queue until either
+//! `max_batch` graphs are waiting (*full flush*) or the oldest request has
+//! waited `max_wait` clock ticks (*timer flush* — the latency bound), then
+//! one batched forward encodes the whole queue and each caller collects its
+//! own `[1, hidden]` row by [`Ticket`].
+//!
+//! Time comes from an injected [`Clock`], so a test or load probe driving a
+//! [`VirtualClock`](crate::VirtualClock) sees exactly reproducible flush
+//! schedules and batch fills. Steady-state allocation stays flat: the
+//! batched forward draws its buffers from `gbm-tensor`'s thread-local
+//! scratch pool, and the queue itself recycles its capacity.
+
+use std::collections::HashMap;
+
+use gbm_nn::{EncodedGraph, GraphBinMatch};
+use gbm_tensor::Tensor;
+
+use crate::clock::Clock;
+
+/// Flush policy for an [`EncodeCoalescer`].
+#[derive(Clone, Copy, Debug)]
+pub struct CoalescerConfig {
+    /// Flush as soon as this many requests are queued (one batched forward
+    /// encodes them all). Also the upper bound on batch fill.
+    pub max_batch: usize,
+    /// Flush when the *oldest* queued request has waited this many clock
+    /// ticks — the tail-latency bound under light load.
+    pub max_wait: u64,
+}
+
+impl Default for CoalescerConfig {
+    fn default() -> CoalescerConfig {
+        CoalescerConfig {
+            max_batch: gbm_nn::embeddings::DEFAULT_ENCODE_BATCH,
+            max_wait: 2,
+        }
+    }
+}
+
+/// Handle to one submitted encode request; redeem it with
+/// [`EncodeCoalescer::poll`] after a flush.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+/// Aggregate coalescer behaviour — the load-probe observables.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CoalescerStats {
+    /// Batched forwards run.
+    pub flushes: usize,
+    /// Graphs encoded across all flushes.
+    pub encoded: usize,
+    /// Flushes triggered by the queue reaching `max_batch`.
+    pub full_flushes: usize,
+    /// Flushes triggered by the `max_wait` deadline.
+    pub timer_flushes: usize,
+    /// Unconditional flushes ([`EncodeCoalescer::flush`] called directly).
+    pub forced_flushes: usize,
+}
+
+impl CoalescerStats {
+    /// Mean graphs per batched forward — the coalescing quality metric
+    /// (1.0 = no coalescing happened, `max_batch` = every flush was full).
+    pub fn mean_batch_fill(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.encoded as f64 / self.flushes as f64
+        }
+    }
+}
+
+struct PendingRequest {
+    ticket: Ticket,
+    graph: EncodedGraph,
+    enqueued_at: u64,
+}
+
+/// Queues encode requests and flushes them through one batched encoder
+/// forward per batch. Single-owner by design: the tape underneath is
+/// single-threaded, so a server wraps this in its own synchronization while
+/// tests drive it directly.
+pub struct EncodeCoalescer {
+    cfg: CoalescerConfig,
+    pending: Vec<PendingRequest>,
+    ready: HashMap<Ticket, Tensor>,
+    next_ticket: u64,
+    stats: CoalescerStats,
+}
+
+impl EncodeCoalescer {
+    /// An empty coalescer with the given flush policy (`max_batch` is
+    /// clamped to at least 1).
+    pub fn new(cfg: CoalescerConfig) -> EncodeCoalescer {
+        EncodeCoalescer {
+            cfg: CoalescerConfig {
+                max_batch: cfg.max_batch.max(1),
+                ..cfg
+            },
+            pending: Vec::new(),
+            ready: HashMap::new(),
+            next_ticket: 0,
+            stats: CoalescerStats::default(),
+        }
+    }
+
+    /// Queues `graph` for encoding at the clock's current tick and returns
+    /// the ticket its embedding will be filed under. Reaching `max_batch`
+    /// queued requests flushes immediately (a *full flush*).
+    pub fn submit(
+        &mut self,
+        model: &GraphBinMatch,
+        graph: EncodedGraph,
+        clock: &dyn Clock,
+    ) -> Ticket {
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.pending.push(PendingRequest {
+            ticket,
+            graph,
+            enqueued_at: clock.now(),
+        });
+        if self.pending.len() >= self.cfg.max_batch {
+            self.stats.full_flushes += 1;
+            self.run_flush(model);
+        }
+        ticket
+    }
+
+    /// Timer path: flushes the queue when the oldest queued request has
+    /// waited at least `max_wait` ticks. Call this on every server tick.
+    /// Returns the number of graphs encoded (0 when the deadline hasn't
+    /// passed or the queue is empty).
+    pub fn pump(&mut self, model: &GraphBinMatch, clock: &dyn Clock) -> usize {
+        let Some(oldest) = self.pending.first() else {
+            return 0;
+        };
+        if clock.now().saturating_sub(oldest.enqueued_at) < self.cfg.max_wait {
+            return 0;
+        }
+        self.stats.timer_flushes += 1;
+        self.run_flush(model)
+    }
+
+    /// Unconditionally encodes everything queued (shutdown / test path).
+    pub fn flush(&mut self, model: &GraphBinMatch) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        self.stats.forced_flushes += 1;
+        self.run_flush(model)
+    }
+
+    fn run_flush(&mut self, model: &GraphBinMatch) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        let graphs: Vec<&EncodedGraph> = self.pending.iter().map(|r| &r.graph).collect();
+        // one disjoint-union forward for the whole flush; row i belongs to
+        // submission i (embed_batch preserves input order)
+        let rows = model.encoder().embed_batch(&graphs);
+        drop(graphs);
+        self.stats.flushes += 1;
+        let encoded = self.pending.len();
+        self.stats.encoded += encoded;
+        // drain (not take) so the queue keeps its capacity across flushes
+        for (req, row) in self.pending.drain(..).zip(rows) {
+            self.ready.insert(req.ticket, row);
+        }
+        encoded
+    }
+
+    /// Collects (and removes) the embedding for `ticket`, if its batch has
+    /// flushed. A second poll of the same ticket returns `None`.
+    pub fn poll(&mut self, ticket: Ticket) -> Option<Tensor> {
+        self.ready.remove(&ticket)
+    }
+
+    /// Abandons `ticket`: drops it from the queue (never encoded) or from
+    /// the ready map (embedding discarded). A front-end that times a
+    /// request out must call this, or the unredeemed embedding stays in
+    /// `ready` for the coalescer's lifetime. Returns whether the ticket
+    /// still existed.
+    pub fn cancel(&mut self, ticket: Ticket) -> bool {
+        if let Some(pos) = self.pending.iter().position(|r| r.ticket == ticket) {
+            self.pending.remove(pos);
+            return true;
+        }
+        self.ready.remove(&ticket).is_some()
+    }
+
+    /// Requests queued but not yet encoded.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Encoded embeddings awaiting collection.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Behaviour counters since construction.
+    pub fn stats(&self) -> &CoalescerStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::testfix::{model, toy};
+
+    #[test]
+    fn full_queue_flushes_immediately() {
+        let (pool, vocab) = toy(4);
+        let model = model(vocab, 1);
+        let clock = VirtualClock::new();
+        let mut co = EncodeCoalescer::new(CoalescerConfig {
+            max_batch: 4,
+            max_wait: 10,
+        });
+        let tickets: Vec<Ticket> = pool
+            .iter()
+            .map(|g| co.submit(&model, g.clone(), &clock))
+            .collect();
+        // the 4th submit crossed max_batch: everything encoded in ONE forward
+        assert_eq!(co.pending_len(), 0);
+        assert_eq!(model.encoder().forward_count(), 4);
+        assert_eq!(co.stats().flushes, 1);
+        assert_eq!(co.stats().full_flushes, 1);
+        assert_eq!(co.stats().mean_batch_fill(), 4.0);
+        for t in tickets {
+            assert!(co.poll(t).is_some());
+            assert!(co.poll(t).is_none(), "tickets redeem exactly once");
+        }
+    }
+
+    #[test]
+    fn timer_flush_waits_for_the_deadline() {
+        let (pool, vocab) = toy(2);
+        let model = model(vocab, 2);
+        let clock = VirtualClock::new();
+        let mut co = EncodeCoalescer::new(CoalescerConfig {
+            max_batch: 8,
+            max_wait: 3,
+        });
+        let t0 = co.submit(&model, pool[0].clone(), &clock);
+        clock.advance(1);
+        let t1 = co.submit(&model, pool[1].clone(), &clock);
+        // deadline not reached: pump is a no-op
+        assert_eq!(co.pump(&model, &clock), 0);
+        assert_eq!(co.pending_len(), 2);
+        clock.advance(2); // oldest has now waited 3 ticks
+        assert_eq!(co.pump(&model, &clock), 2);
+        assert_eq!(co.stats().timer_flushes, 1);
+        assert_eq!(co.stats().mean_batch_fill(), 2.0);
+        assert!(co.poll(t0).is_some());
+        assert!(co.poll(t1).is_some());
+        // an empty queue never timer-flushes
+        clock.advance(100);
+        assert_eq!(co.pump(&model, &clock), 0);
+        assert_eq!(co.stats().flushes, 1);
+    }
+
+    #[test]
+    fn rows_route_to_their_tickets_and_match_single_graph_encoding() {
+        let (pool, vocab) = toy(5);
+        let model = model(vocab, 3);
+        let clock = VirtualClock::new();
+        let mut co = EncodeCoalescer::new(CoalescerConfig {
+            max_batch: 3,
+            max_wait: 1,
+        });
+        // submit out of pool order so row routing is actually exercised
+        let order = [3usize, 0, 4, 2, 1];
+        let tickets: Vec<(usize, Ticket)> = order
+            .iter()
+            .map(|&i| (i, co.submit(&model, pool[i].clone(), &clock)))
+            .collect();
+        co.flush(&model); // drain the 2-request remainder
+        assert_eq!(co.stats().flushes, 2);
+        assert_eq!(co.stats().full_flushes, 1);
+        assert_eq!(co.stats().forced_flushes, 1);
+        for (i, t) in tickets {
+            let got = co.poll(t).expect("all batches flushed");
+            let solo = model.encoder().embed(&pool[i]);
+            for (a, b) in got.data().iter().zip(solo.data().iter()) {
+                assert!((a - b).abs() < 1e-4, "graph {i}: coalesced {a} vs solo {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_evicts_pending_and_ready_tickets() {
+        let (pool, vocab) = toy(3);
+        let model = model(vocab, 6);
+        let clock = VirtualClock::new();
+        let mut co = EncodeCoalescer::new(CoalescerConfig {
+            max_batch: 8,
+            max_wait: 1,
+        });
+        // pending cancel: the request never encodes
+        let t0 = co.submit(&model, pool[0].clone(), &clock);
+        assert!(co.cancel(t0));
+        assert_eq!(co.pending_len(), 0);
+        co.flush(&model);
+        assert_eq!(model.encoder().forward_count(), 0);
+        assert!(co.poll(t0).is_none());
+        // ready cancel: an abandoned embedding leaves the map
+        let t1 = co.submit(&model, pool[1].clone(), &clock);
+        let t2 = co.submit(&model, pool[2].clone(), &clock);
+        co.flush(&model);
+        assert_eq!(co.ready_len(), 2);
+        assert!(co.cancel(t1));
+        assert_eq!(co.ready_len(), 1);
+        assert!(co.poll(t1).is_none());
+        assert!(co.poll(t2).is_some(), "other tickets are untouched");
+        assert!(!co.cancel(t1), "double cancel reports absence");
+    }
+
+    #[test]
+    fn flush_of_empty_queue_is_a_no_op() {
+        let (_, vocab) = toy(1);
+        let model = model(vocab, 4);
+        let mut co = EncodeCoalescer::new(CoalescerConfig::default());
+        assert_eq!(co.flush(&model), 0);
+        assert_eq!(co.stats(), &CoalescerStats::default());
+        assert_eq!(co.stats().mean_batch_fill(), 0.0);
+    }
+
+    #[test]
+    fn max_batch_of_zero_degrades_to_one() {
+        let (pool, vocab) = toy(1);
+        let model = model(vocab, 5);
+        let clock = VirtualClock::new();
+        let mut co = EncodeCoalescer::new(CoalescerConfig {
+            max_batch: 0,
+            max_wait: 1,
+        });
+        let t = co.submit(&model, pool[0].clone(), &clock);
+        assert!(co.poll(t).is_some(), "batch size 1: submit flushes at once");
+    }
+}

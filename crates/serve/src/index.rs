@@ -1,0 +1,623 @@
+//! The sharded embedding index: the candidate pool as S dense shards, each
+//! answering top-K cosine queries with a blocked partial-select scan.
+//!
+//! Graph ids map to shards by a stable hash ([`shard_of`] — splitmix64, so
+//! placement never depends on insertion order or process state). Each shard
+//! owns a row-major `[rows × hidden]` embedding matrix — embeddings are
+//! unit-norm, so cosine *is* the dot product and a shard query is one
+//! matvec + [`top_k`] partial select, O(rows · hidden + rows · log K), with
+//! a block-sized buffer instead of an all-rows score materialization.
+//! Shards scan in parallel (rayon) and the per-shard sorted lists k-way
+//! merge by `(score desc, id asc)`.
+//!
+//! **Exactness:** after [`ShardedIndex::build`], a query returns exactly the
+//! first K entries of the monolithic ranking — the stable descending cosine
+//! sort over the whole pool that `gbm_eval::retrieval::rank_candidates`
+//! produces under `RankBy::Cosine` — for *any* shard count, ties included
+//! (dot products accumulate in the same order as
+//! [`EmbeddingStore::cosine`](gbm_nn::EmbeddingStore::cosine), so scores are
+//! bit-identical). After incremental [`insert`](ShardedIndex::insert)/
+//! [`remove`](ShardedIndex::remove), exact-tie order within a shard follows
+//! row order (insertion order, perturbed by remove's swap-fill) instead of
+//! id order; scores themselves stay exact.
+//!
+//! Incremental updates batch: `insert` queues the graph in its shard's
+//! pending list and re-encodes a full pending batch through **one**
+//! disjoint-union forward; [`flush`](ShardedIndex::flush) drains the
+//! remainders (e.g. before serving a query — pending graphs are invisible
+//! to [`query`](ShardedIndex::query) until flushed).
+
+use std::collections::HashMap;
+
+use gbm_nn::{EmbeddingStore, EncodedGraph, GraphBinMatch};
+use gbm_tensor::{top_k, Tensor};
+use rayon::prelude::*;
+
+/// Identifier of a graph in the index (for pool-backed indexes: the pool
+/// position).
+pub type GraphId = u64;
+
+/// Rows scored per block in a shard scan: big enough to amortize the
+/// per-block partial select, small enough that the score buffer stays in
+/// cache instead of materializing all rows' scores.
+const SCAN_BLOCK: usize = 256;
+
+/// Sharding and encoding policy for a [`ShardedIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct IndexConfig {
+    /// Number of hash shards (clamped to at least 1).
+    pub num_shards: usize,
+    /// Graphs per batched encoder forward, both at build time and for the
+    /// pending-insert re-encode batches.
+    pub encode_batch: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> IndexConfig {
+        IndexConfig {
+            num_shards: 4,
+            encode_batch: gbm_nn::embeddings::DEFAULT_ENCODE_BATCH,
+        }
+    }
+}
+
+/// splitmix64: a stable, well-mixed 64-bit hash (sequential ids spread
+/// uniformly instead of striping).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shard owning `id` — a pure function of the id, never of index state,
+/// so routing stays consistent across rebuilds, processes, and hosts.
+pub fn shard_of(id: GraphId, num_shards: usize) -> usize {
+    (splitmix64(id) % num_shards.max(1) as u64) as usize
+}
+
+/// Same accumulation order as [`EmbeddingStore::cosine`] — keeps sharded
+/// scores bit-identical to the monolithic scan.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// One shard: a dense embedding matrix plus its pending (queued, not yet
+/// encoded) inserts.
+#[derive(Default)]
+struct Shard {
+    /// `ids[r]` owns matrix row `r`.
+    ids: Vec<GraphId>,
+    /// Row-major `[ids.len() × hidden]`.
+    rows: Vec<f32>,
+    /// id → row, for O(1) remove/contains.
+    row_of: HashMap<GraphId, usize>,
+    /// Queued inserts awaiting their batched re-encode.
+    pending: Vec<(GraphId, EncodedGraph)>,
+}
+
+impl Shard {
+    fn push_row(&mut self, id: GraphId, row: &[f32]) {
+        self.row_of.insert(id, self.ids.len());
+        self.ids.push(id);
+        self.rows.extend_from_slice(row);
+    }
+
+    fn remove_encoded(&mut self, id: GraphId, hidden: usize) -> bool {
+        let Some(row) = self.row_of.remove(&id) else {
+            return false;
+        };
+        let last = self.ids.len() - 1;
+        if row != last {
+            // swap-fill the hole with the last row
+            let moved = self.ids[last];
+            self.ids[row] = moved;
+            self.row_of.insert(moved, row);
+            let (head, tail) = self.rows.split_at_mut(last * hidden);
+            head[row * hidden..(row + 1) * hidden].copy_from_slice(&tail[..hidden]);
+        }
+        self.ids.pop();
+        self.rows.truncate(last * hidden);
+        true
+    }
+
+    /// Blocked top-K scan: score `SCAN_BLOCK` rows at a time into a reused
+    /// buffer, partial-select each block, and merge into the running best
+    /// list. Returns `(id, score)` sorted by `(score desc, row asc)`.
+    fn scan_top_k(&self, query: &[f32], k: usize, hidden: usize) -> Vec<(GraphId, f32)> {
+        if k == 0 || self.ids.is_empty() {
+            return Vec::new();
+        }
+        let mut best: Vec<(usize, f32)> = Vec::new();
+        let mut scores = [0.0f32; SCAN_BLOCK];
+        for (block, rows) in self.rows.chunks(SCAN_BLOCK * hidden).enumerate() {
+            let n = rows.len() / hidden;
+            for (r, row) in rows.chunks_exact(hidden).enumerate() {
+                scores[r] = dot(query, row);
+            }
+            let block_best = top_k(&scores[..n], k);
+            let offset = block * SCAN_BLOCK;
+            best = merge_row_ranked(
+                best,
+                block_best
+                    .into_iter()
+                    .map(|(r, s)| (r + offset, s))
+                    .collect(),
+                k,
+            );
+        }
+        best.into_iter().map(|(r, s)| (self.ids[r], s)).collect()
+    }
+}
+
+/// Merges two `(row, score)` lists, each sorted by `(score desc, row asc)`,
+/// keeping the best `k`.
+fn merge_row_ranked(a: Vec<(usize, f32)>, b: Vec<(usize, f32)>, k: usize) -> Vec<(usize, f32)> {
+    if a.is_empty() {
+        return b;
+    }
+    let mut out = Vec::with_capacity(k.min(a.len() + b.len()));
+    let (mut i, mut j) = (0, 0);
+    while out.len() < k && (i < a.len() || j < b.len()) {
+        let take_a = match (a.get(i), b.get(j)) {
+            (Some(&(ra, sa)), Some(&(rb, sb))) => {
+                sb.total_cmp(&sa).then(ra.cmp(&rb)) != std::cmp::Ordering::Greater
+            }
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_a {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out
+}
+
+/// The graph pool partitioned into hash shards of batched-encoded
+/// embeddings, queryable for exact top-K cosine neighbours.
+pub struct ShardedIndex {
+    shards: Vec<Shard>,
+    cfg: IndexConfig,
+    /// Embedding width; 0 until the first row is encoded.
+    hidden: usize,
+}
+
+impl ShardedIndex {
+    /// An empty index (rows arrive via [`insert`](ShardedIndex::insert)).
+    pub fn new(cfg: IndexConfig) -> ShardedIndex {
+        let cfg = IndexConfig {
+            num_shards: cfg.num_shards.max(1),
+            encode_batch: cfg.encode_batch.max(1),
+        };
+        ShardedIndex {
+            shards: (0..cfg.num_shards).map(|_| Shard::default()).collect(),
+            cfg,
+            hidden: 0,
+        }
+    }
+
+    /// Builds the index over a whole pool: one batched
+    /// [`EmbeddingStore`] encode (rayon across batches), then rows
+    /// partitioned by [`shard_of`]. Graph `i` gets id `i`.
+    pub fn build(model: &GraphBinMatch, pool: &[EncodedGraph], cfg: IndexConfig) -> ShardedIndex {
+        let mut index = ShardedIndex::new(cfg);
+        if pool.is_empty() {
+            return index;
+        }
+        let store = EmbeddingStore::build_batched(model, pool, index.cfg.encode_batch);
+        index.hidden = store.embedding(0).dims()[1];
+        for i in 0..pool.len() {
+            let id = i as GraphId;
+            let shard = shard_of(id, index.cfg.num_shards);
+            index.shards[shard].push_row(id, store.embedding(i).data());
+        }
+        index
+    }
+
+    /// Queues `graph` under `id` in its shard's pending batch; a full batch
+    /// (`encode_batch` graphs) re-encodes immediately through one batched
+    /// forward. Inserting an existing id replaces it.
+    pub fn insert(&mut self, model: &GraphBinMatch, id: GraphId, graph: EncodedGraph) {
+        self.remove(id);
+        let shard = shard_of(id, self.cfg.num_shards);
+        self.shards[shard].pending.push((id, graph));
+        if self.shards[shard].pending.len() >= self.cfg.encode_batch {
+            self.flush_shard(model, shard);
+        }
+    }
+
+    /// Encodes every shard's pending batch (shards in parallel, one batched
+    /// forward per shard batch). Returns the number of graphs encoded.
+    pub fn flush(&mut self, model: &GraphBinMatch) -> usize {
+        let work: Vec<(usize, Vec<(GraphId, EncodedGraph)>)> = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, s)| !s.pending.is_empty())
+            .map(|(i, s)| (i, std::mem::take(&mut s.pending)))
+            .collect();
+        if work.is_empty() {
+            return 0;
+        }
+        let snapshot = model.store.snapshot();
+        let model_cfg = *model.config();
+        let counter = model.encoder().counter();
+        let encode_batch = self.cfg.encode_batch;
+        // each item is one or more whole batched forwards: always worth a thread
+        let encoded: Vec<(usize, Vec<(GraphId, Tensor)>)> = work
+            .par_iter()
+            .with_min_len(1)
+            .map(|(shard, batch)| {
+                let replica = GraphBinMatch::from_snapshot(
+                    model_cfg,
+                    &snapshot,
+                    std::sync::Arc::clone(&counter),
+                );
+                let mut rows = Vec::with_capacity(batch.len());
+                for chunk in batch.chunks(encode_batch) {
+                    let graphs: Vec<&EncodedGraph> = chunk.iter().map(|(_, g)| g).collect();
+                    let embs = replica.encoder().embed_batch(&graphs);
+                    rows.extend(chunk.iter().map(|(id, _)| *id).zip(embs));
+                }
+                (*shard, rows)
+            })
+            .collect();
+        let mut total = 0;
+        for (shard, rows) in encoded {
+            for (id, emb) in rows {
+                if self.hidden == 0 {
+                    self.hidden = emb.dims()[1];
+                }
+                self.shards[shard].push_row(id, emb.data());
+                total += 1;
+            }
+        }
+        total
+    }
+
+    fn flush_shard(&mut self, model: &GraphBinMatch, shard: usize) {
+        let batch = std::mem::take(&mut self.shards[shard].pending);
+        if batch.is_empty() {
+            return;
+        }
+        let graphs: Vec<&EncodedGraph> = batch.iter().map(|(_, g)| g).collect();
+        let embs = model.encoder().embed_batch(&graphs);
+        for ((id, _), emb) in batch.iter().zip(embs) {
+            if self.hidden == 0 {
+                self.hidden = emb.dims()[1];
+            }
+            self.shards[shard].push_row(*id, emb.data());
+        }
+    }
+
+    /// Removes `id` (encoded or still pending). Returns whether it existed.
+    pub fn remove(&mut self, id: GraphId) -> bool {
+        let hidden = self.hidden;
+        let shard = &mut self.shards[shard_of(id, self.cfg.num_shards)];
+        if let Some(pos) = shard.pending.iter().position(|(pid, _)| *pid == id) {
+            shard.pending.remove(pos);
+            return true;
+        }
+        shard.remove_encoded(id, hidden)
+    }
+
+    /// Exact top-K cosine neighbours of `query` (a `[hidden]` embedding
+    /// slice, e.g. `Tensor::data()` of a coalescer row): shards scan in
+    /// parallel, sorted shard lists k-way merge by `(score desc, id asc)`.
+    /// Pending (unflushed) inserts are not searched.
+    pub fn query(&self, query: &[f32], k: usize) -> Vec<(GraphId, f32)> {
+        if k == 0 || self.num_encoded() == 0 {
+            return Vec::new();
+        }
+        assert_eq!(
+            query.len(),
+            self.hidden,
+            "query embedding width must match the index"
+        );
+        let hidden = self.hidden;
+        let per_shard: Vec<Vec<(GraphId, f32)>> = self
+            .shards
+            .par_iter()
+            .with_min_len(1)
+            .map(|s| s.scan_top_k(query, k, hidden))
+            .collect();
+        merge_shard_ranked(per_shard, k)
+    }
+
+    /// The embedding row of `id`, if encoded.
+    pub fn embedding(&self, id: GraphId) -> Option<Tensor> {
+        let shard = &self.shards[shard_of(id, self.cfg.num_shards)];
+        let row = *shard.row_of.get(&id)?;
+        Some(Tensor::from_vec(
+            shard.rows[row * self.hidden..(row + 1) * self.hidden].to_vec(),
+            &[1, self.hidden],
+        ))
+    }
+
+    /// True when `id` is encoded or pending.
+    pub fn contains(&self, id: GraphId) -> bool {
+        let shard = &self.shards[shard_of(id, self.cfg.num_shards)];
+        shard.row_of.contains_key(&id) || shard.pending.iter().any(|(pid, _)| *pid == id)
+    }
+
+    /// Encoded (searchable) graphs across all shards.
+    pub fn num_encoded(&self) -> usize {
+        self.shards.iter().map(|s| s.ids.len()).sum()
+    }
+
+    /// Queued inserts not yet encoded.
+    pub fn num_pending(&self) -> usize {
+        self.shards.iter().map(|s| s.pending.len()).sum()
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.cfg.num_shards
+    }
+
+    /// Encoded rows per shard (load-balance observability).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.ids.len()).collect()
+    }
+
+    /// Every encoded id, ascending.
+    pub fn ids(&self) -> Vec<GraphId> {
+        let mut ids: Vec<GraphId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.ids.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// K-way merge of per-shard lists (each sorted by score desc, ties in
+/// ascending-id order for built indexes) into the global top-K, comparing
+/// `(score desc, id asc)`.
+fn merge_shard_ranked(lists: Vec<Vec<(GraphId, f32)>>, k: usize) -> Vec<(GraphId, f32)> {
+    use std::cmp::Ordering;
+    let mut cursors = vec![0usize; lists.len()];
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let mut best: Option<(usize, GraphId, f32)> = None;
+        for (li, list) in lists.iter().enumerate() {
+            if let Some(&(id, score)) = list.get(cursors[li]) {
+                let better = match best {
+                    None => true,
+                    Some((_, bid, bscore)) => {
+                        score.total_cmp(&bscore).then(bid.cmp(&id)) == Ordering::Greater
+                    }
+                };
+                if better {
+                    best = Some((li, id, score));
+                }
+            }
+        }
+        let Some((li, id, score)) = best else { break };
+        cursors[li] += 1;
+        out.push((id, score));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testfix::{model, toy};
+
+    /// The monolithic reference: stable descending cosine sort over every
+    /// encoded pool index (what rank_candidates does under RankBy::Cosine).
+    fn monolith_ranking(store: &EmbeddingStore, query: &[f32], n: usize) -> Vec<(GraphId, f32)> {
+        let mut all: Vec<(GraphId, f32)> = (0..n)
+            .map(|i| (i as GraphId, dot(query, store.embedding(i).data())))
+            .collect();
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        all
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_total() {
+        for id in 0..100u64 {
+            for shards in [1usize, 2, 7] {
+                let s = shard_of(id, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(id, shards), "routing must be pure");
+            }
+        }
+        assert_eq!(shard_of(42, 0), 0, "zero shards clamps to one");
+    }
+
+    #[test]
+    fn sharded_query_equals_monolith_for_every_shard_count() {
+        let (pool, vocab) = toy(9);
+        let model = model(vocab, 11);
+        let store = EmbeddingStore::build(&model, &pool);
+        let query = store.embedding(0).data().to_vec();
+        let expect = monolith_ranking(&store, &query, pool.len());
+        for shards in [1usize, 2, 7] {
+            let index = ShardedIndex::build(
+                &model,
+                &pool,
+                IndexConfig {
+                    num_shards: shards,
+                    encode_batch: 4,
+                },
+            );
+            assert_eq!(index.num_shards(), shards);
+            assert_eq!(index.num_encoded(), pool.len());
+            for k in [1usize, 3, pool.len(), pool.len() + 10] {
+                let got = index.query(&query, k);
+                let want: Vec<(GraphId, f32)> =
+                    expect.iter().copied().take(k.min(pool.len())).collect();
+                assert_eq!(
+                    got, want,
+                    "shards={shards} k={k} must match monolith exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_graphs_leaves_empty_shards_queryable() {
+        let (pool, vocab) = toy(3);
+        let model = model(vocab, 12);
+        let index = ShardedIndex::build(
+            &model,
+            &pool,
+            IndexConfig {
+                num_shards: 7,
+                encode_batch: 8,
+            },
+        );
+        let sizes = index.shard_sizes();
+        assert_eq!(sizes.len(), 7);
+        assert_eq!(sizes.iter().sum::<usize>(), 3);
+        assert!(
+            sizes.contains(&0),
+            "3 graphs over 7 shards must leave empty shards"
+        );
+        let store = EmbeddingStore::build(&model, &pool);
+        let q = store.embedding(1).data().to_vec();
+        let got = index.query(&q, 10);
+        assert_eq!(got.len(), 3, "k beyond pool size returns the whole pool");
+        assert_eq!(got, monolith_ranking(&store, &q, 3));
+    }
+
+    #[test]
+    fn insert_batches_then_flushes_one_forward_per_batch() {
+        let (pool, vocab) = toy(6);
+        let model = model(vocab, 13);
+        let mut index = ShardedIndex::new(IndexConfig {
+            num_shards: 1,
+            encode_batch: 4,
+        });
+        for (i, g) in pool.iter().enumerate().take(3) {
+            index.insert(&model, i as GraphId, g.clone());
+        }
+        assert_eq!(index.num_pending(), 3, "below encode_batch: still queued");
+        assert_eq!(model.encoder().forward_count(), 0);
+        index.insert(&model, 3, pool[3].clone());
+        // 4th insert filled the batch: one disjoint-union forward, 4 rows
+        assert_eq!(index.num_pending(), 0);
+        assert_eq!(index.num_encoded(), 4);
+        assert_eq!(model.encoder().forward_count(), 4);
+        // remainder drains through flush()
+        index.insert(&model, 4, pool[4].clone());
+        index.insert(&model, 5, pool[5].clone());
+        assert_eq!(index.flush(&model), 2);
+        assert_eq!(index.num_encoded(), 6);
+        assert_eq!(
+            index.flush(&model),
+            0,
+            "flush with nothing pending is a no-op"
+        );
+    }
+
+    #[test]
+    fn inserted_rows_match_store_embeddings_and_serve_queries() {
+        let (pool, vocab) = toy(5);
+        let model = model(vocab, 14);
+        let mut index = ShardedIndex::new(IndexConfig {
+            num_shards: 2,
+            encode_batch: 2,
+        });
+        for (i, g) in pool.iter().enumerate() {
+            index.insert(&model, i as GraphId, g.clone());
+        }
+        index.flush(&model);
+        let store = EmbeddingStore::build(&model.replica(), &pool);
+        for i in 0..pool.len() {
+            let row = index.embedding(i as GraphId).expect("flushed");
+            for (a, b) in row.data().iter().zip(store.embedding(i).data().iter()) {
+                assert!((a - b).abs() < 1e-4, "graph {i}: {a} vs {b}");
+            }
+        }
+        let q = store.embedding(2).data().to_vec();
+        let got = index.query(&q, 2);
+        assert_eq!(got[0].0, 2, "a graph is its own nearest neighbour");
+        assert!((got[0].1 - 1.0).abs() < 1e-4, "unit-norm self-cosine is 1");
+    }
+
+    #[test]
+    fn remove_hides_rows_and_pending_inserts() {
+        let (pool, vocab) = toy(5);
+        let model = model(vocab, 15);
+        let mut index = ShardedIndex::build(
+            &model,
+            &pool,
+            IndexConfig {
+                num_shards: 2,
+                encode_batch: 4,
+            },
+        );
+        assert!(index.contains(1));
+        assert!(index.remove(1));
+        assert!(!index.contains(1));
+        assert!(!index.remove(1), "double remove reports absence");
+        assert_eq!(index.num_encoded(), 4);
+        let store = EmbeddingStore::build(&model.replica(), &pool);
+        let q = store.embedding(1).data().to_vec();
+        assert!(
+            index.query(&q, 10).iter().all(|&(id, _)| id != 1),
+            "removed ids never surface in rankings"
+        );
+        // pending removes too
+        index.insert(&model, 1, pool[1].clone());
+        assert!(index.contains(1));
+        assert!(index.remove(1));
+        assert_eq!(index.num_pending(), 0);
+        // re-insert replaces rather than duplicates
+        index.insert(&model, 0, pool[0].clone());
+        index.flush(&model);
+        assert_eq!(index.ids().iter().filter(|&&id| id == 0).count(), 1);
+    }
+
+    #[test]
+    fn empty_index_answers_empty() {
+        let index = ShardedIndex::new(IndexConfig::default());
+        assert_eq!(index.query(&[0.0; 4], 5), vec![]);
+        assert_eq!(index.num_encoded(), 0);
+        assert_eq!(index.ids(), Vec::<GraphId>::new());
+        let (pool, vocab) = toy(1);
+        let model = model(vocab, 16);
+        let built = ShardedIndex::build(&model, &pool[..0], IndexConfig::default());
+        assert_eq!(built.num_encoded(), 0);
+        assert_eq!(built.query(&[], 3), vec![]);
+    }
+
+    #[test]
+    fn blocked_scan_crosses_block_boundaries() {
+        // a synthetic shard larger than SCAN_BLOCK: the running merge across
+        // blocks must agree with one top_k over all scores
+        let hidden = 4;
+        let n = SCAN_BLOCK * 2 + 37;
+        let mut shard = Shard::default();
+        let mut all_rows: Vec<Vec<f32>> = Vec::new();
+        let mut state = 9u64;
+        for i in 0..n {
+            let mut row = Vec::with_capacity(hidden);
+            for _ in 0..hidden {
+                state = splitmix64(state);
+                row.push((state % 1000) as f32 / 1000.0 - 0.5);
+            }
+            shard.push_row(i as GraphId, &row);
+            all_rows.push(row);
+        }
+        let query = vec![0.3f32, -0.7, 0.2, 0.9];
+        let scores: Vec<f32> = all_rows.iter().map(|r| dot(&query, r)).collect();
+        for k in [1usize, 5, 100, n + 5] {
+            let expect: Vec<(GraphId, f32)> = gbm_tensor::top_k(&scores, k)
+                .into_iter()
+                .map(|(i, s)| (i as GraphId, s))
+                .collect();
+            let got = shard.scan_top_k(&query, k, hidden);
+            assert_eq!(got, expect, "k={k}");
+        }
+    }
+}

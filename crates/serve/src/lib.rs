@@ -1,0 +1,38 @@
+//! # gbm-serve
+//!
+//! The serving layer: everything between "a trained model and a graph pool"
+//! and "answer top-K queries under load". Contrastively-trained models rank
+//! by plain embedding dot product ([`RankBy::Cosine`] in `gbm-eval`), so the
+//! hot retrieval path needs no match head at all — serving reduces to an
+//! embedding-index scan, the shape of XLIR's IR-embedding search:
+//!
+//! * [`ShardedIndex`] — the candidate pool partitioned across S shards by a
+//!   stable hash of graph id. Each shard owns a dense row-major embedding
+//!   matrix built through the batched encoder, supports incremental
+//!   `insert`/`remove` (inserts queue into a pending batch that re-encodes
+//!   through **one** disjoint-union forward), and answers queries with a
+//!   blocked top-K dot-product scan ([`gbm_tensor::top_k`]). Shards scan in
+//!   parallel (rayon) and their sorted partial results k-way merge.
+//! * [`EncodeCoalescer`] — the request-side batcher: incoming encode
+//!   requests queue until `max_batch` graphs are waiting or the oldest has
+//!   waited `max_wait` clock ticks, then one [`GraphBatch`] forward encodes
+//!   the whole flush and every caller picks up its own row by ticket.
+//! * [`Clock`] / [`VirtualClock`] — time is injected, never read from the
+//!   OS, so coalescing behaviour (flush timing, batch fill under a given
+//!   arrival rate) is exactly reproducible in tests and load probes.
+//!
+//! Rankings are *exact*: a sharded top-K scan returns the same candidates in
+//! the same order as a full monolithic
+//! [`EmbeddingStore`](gbm_nn::EmbeddingStore) scan (equality asserted in
+//! tests here and in `gbm-eval`, which wires this index into its retrieval
+//! API). `RankBy::Cosine` is documented in `gbm_eval::retrieval`.
+
+pub mod clock;
+pub mod coalesce;
+pub mod index;
+#[cfg(any(test, feature = "test-fixtures"))]
+pub mod testfix;
+
+pub use clock::{Clock, VirtualClock, WallClock};
+pub use coalesce::{CoalescerConfig, CoalescerStats, EncodeCoalescer, Ticket};
+pub use index::{shard_of, GraphId, IndexConfig, ShardedIndex};

@@ -1,0 +1,41 @@
+//! Shared test fixture: a small MiniC graph pool + tiny model, used by the
+//! coalescer and index test suites here and (behind the `test-fixtures`
+//! feature) by `gbm-eval`'s sharded-equivalence tests — one template, so
+//! the pools the equivalence suites test against cannot drift apart.
+
+use gbm_frontends::{compile, SourceLang};
+use gbm_nn::{encode_graph, EncodedGraph, GraphBinMatch, GraphBinMatchConfig};
+use gbm_progml::{build_graph, NodeTextMode};
+use gbm_tokenizer::{Tokenizer, TokenizerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `n` MiniC loop programs with varying trip counts, encoded against a
+/// tokenizer trained on themselves. Returns `(pool, vocab_size)`.
+pub fn toy(n: usize) -> (Vec<EncodedGraph>, usize) {
+    let sources: Vec<String> = (0..n)
+        .map(|k| {
+            format!(
+                "int main() {{ int s = {k}; for (int i = 0; i < {}; i++) {{ s += i * {k}; }} print(s); return s; }}",
+                k % 5 + 2
+            )
+        })
+        .collect();
+    let graphs: Vec<gbm_progml::ProgramGraph> = sources
+        .iter()
+        .map(|s| build_graph(&compile(SourceLang::MiniC, "t", s).unwrap()))
+        .collect();
+    let refs: Vec<&gbm_progml::ProgramGraph> = graphs.iter().collect();
+    let tok = Tokenizer::train_on_graphs(&refs, NodeTextMode::FullText, TokenizerConfig::default());
+    let pool = graphs
+        .iter()
+        .map(|g| encode_graph(g, &tok, NodeTextMode::FullText))
+        .collect();
+    (pool, tok.vocab_size())
+}
+
+/// A seeded tiny-config model over `vocab` tokens.
+pub fn model(vocab: usize, seed: u64) -> GraphBinMatch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    GraphBinMatch::new(GraphBinMatchConfig::tiny(vocab), &mut rng)
+}

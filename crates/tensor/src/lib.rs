@@ -54,6 +54,9 @@ mod param;
 mod scratch;
 #[cfg(test)]
 mod segment_props;
+mod select;
+#[cfg(test)]
+mod select_props;
 mod shape;
 mod tensor;
 
@@ -63,5 +66,6 @@ pub use graph::{Graph, Var};
 pub use init::{glorot_uniform, normal, uniform};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
 pub use param::{Param, ParamStore};
+pub use select::top_k;
 pub use shape::Shape;
 pub use tensor::Tensor;

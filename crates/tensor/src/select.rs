@@ -1,0 +1,153 @@
+//! Partial selection: the top-K entries of a score slice without a full sort.
+//!
+//! Retrieval serving scans a shard's candidate scores and keeps only the K
+//! best — sorting all N scores to read K of them is O(N log N) wasted work
+//! and, worse, materializes an N-sized ranking per query. [`top_k`] keeps a
+//! bounded K-entry heap instead: O(N log K) time, O(K) space, and an output
+//! ordering (score descending, ties by ascending index) chosen to match what
+//! a *stable* descending sort of the full slice produces — so callers can
+//! swap a full argsort for the partial select without changing a single
+//! ranking (property-tested in `select_props`).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One kept entry. The `Ord` impl orders entries by *rank*: `Less` means
+/// "ranks earlier" (higher score, or equal score and lower index), so a
+/// max-heap of `Entry` exposes the worst kept entry at its root.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    score: f32,
+    index: usize,
+}
+
+impl Entry {
+    /// `Less` when `self` ranks strictly earlier than `other`.
+    fn rank_cmp(&self, other: &Entry) -> Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Entry) -> bool {
+        self.rank_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> Ordering {
+        self.rank_cmp(other)
+    }
+}
+
+/// The `min(k, values.len())` best `(index, score)` entries of `values`,
+/// best first; equal scores rank by ascending index. Equivalent to a stable
+/// descending sort of the whole slice truncated to `k`, in O(N log K).
+///
+/// `total_cmp` ordering is used, so NaNs don't poison the comparison: a
+/// positive NaN deterministically ranks before every finite score (IEEE
+/// total order), identically in the partial select and the full sort.
+pub fn top_k(values: &[f32], k: usize) -> Vec<(usize, f32)> {
+    let k = k.min(values.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    // max-heap under rank order: the root is the worst entry kept so far
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for (index, &score) in values.iter().enumerate() {
+        let e = Entry { score, index };
+        if heap.len() < k {
+            heap.push(e);
+        } else if e.rank_cmp(heap.peek().expect("heap is non-empty")) == Ordering::Less {
+            heap.pop();
+            heap.push(e);
+        }
+    }
+    // into_sorted_vec is ascending under Ord = best-ranked first
+    heap.into_sorted_vec()
+        .into_iter()
+        .map(|e| (e.index, e.score))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reference: stable descending sort of every index, truncated.
+    fn argsort_top_k(values: &[f32], k: usize) -> Vec<(usize, f32)> {
+        let mut all: Vec<(usize, f32)> = values.iter().copied().enumerate().collect();
+        all.sort_by(|a, b| b.1.total_cmp(&a.1)); // stable: ties keep index order
+        all.truncate(k.min(values.len()));
+        all
+    }
+
+    #[test]
+    fn hand_checked_selection() {
+        let v = [0.1f32, 0.9, -0.5, 0.9, 0.3];
+        assert_eq!(top_k(&v, 3), vec![(1, 0.9), (3, 0.9), (4, 0.3)]);
+        assert_eq!(top_k(&v, 1), vec![(1, 0.9)]);
+    }
+
+    #[test]
+    fn k_of_zero_and_empty_input() {
+        assert_eq!(top_k(&[1.0, 2.0], 0), vec![]);
+        assert_eq!(top_k(&[], 5), vec![]);
+    }
+
+    #[test]
+    fn k_at_least_len_is_a_full_stable_sort() {
+        let v = [2.0f32, 2.0, 1.0, 3.0];
+        let full = vec![(3, 3.0), (0, 2.0), (1, 2.0), (2, 1.0)];
+        assert_eq!(top_k(&v, 4), full);
+        assert_eq!(top_k(&v, 100), full);
+    }
+
+    #[test]
+    fn all_ties_rank_by_index() {
+        let v = [7.0f32; 6];
+        assert_eq!(top_k(&v, 4), vec![(0, 7.0), (1, 7.0), (2, 7.0), (3, 7.0)]);
+    }
+
+    #[test]
+    fn nans_order_deterministically() {
+        // total_cmp: +NaN sits above +inf, so NaN entries rank first — and
+        // exactly as the argsort reference ranks them (no poisoned sort)
+        let v = [f32::NAN, 1.0, f32::NAN, 2.0];
+        for k in [2, 4] {
+            let got = top_k(&v, k);
+            let expect = argsort_top_k(&v, k);
+            assert_eq!(got.len(), expect.len());
+            for (g, e) in got.iter().zip(&expect) {
+                assert_eq!(g.0, e.0);
+            }
+        }
+        assert_eq!(top_k(&v, 2)[0].0, 0, "first NaN ranks before the second");
+        assert_eq!(top_k(&v, 2)[1].0, 2);
+    }
+
+    #[test]
+    fn matches_argsort_on_fixed_cases() {
+        let cases: Vec<Vec<f32>> = vec![
+            vec![],
+            vec![0.0],
+            vec![1.0, -1.0, 0.5, 0.5, 0.5, -2.0, 3.0],
+            (0..100)
+                .map(|i| ((i * 37) % 11) as f32 * 0.25 - 1.0)
+                .collect(),
+        ];
+        for v in &cases {
+            for k in [0, 1, 2, 3, v.len(), v.len() + 2] {
+                assert_eq!(top_k(v, k), argsort_top_k(v, k), "len={} k={k}", v.len());
+            }
+        }
+    }
+}

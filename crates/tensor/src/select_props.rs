@@ -1,0 +1,53 @@
+//! Property tests for the [`top_k`](crate::select::top_k) partial select:
+//! over random score slices and cutoffs, the heap-based selection must agree
+//! — indices *and* ordering, ties broken by index — with a full stable
+//! descending argsort truncated to `k`.
+
+use proptest::prelude::*;
+
+use crate::select::top_k;
+
+/// The O(N log N) reference ranking: every index, stable-sorted by
+/// descending score (stability gives equal scores ascending-index order).
+fn argsort_desc(values: &[f32]) -> Vec<(usize, f32)> {
+    let mut all: Vec<(usize, f32)> = values.iter().copied().enumerate().collect();
+    all.sort_by(|a, b| b.1.total_cmp(&a.1));
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// top_k equals the truncated full argsort for every k, including
+    /// k = 0, k = len, and k > len.
+    #[test]
+    fn top_k_matches_truncated_argsort(
+        values in proptest::collection::vec(-4.0f32..4.0, 0..64),
+        k in 0usize..80,
+    ) {
+        let mut expect = argsort_desc(&values);
+        expect.truncate(k.min(values.len()));
+        let got = top_k(&values, k);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Duplicated scores stress the tie path: quantizing to a handful of
+    /// distinct values forces many equal-score runs.
+    #[test]
+    fn top_k_breaks_ties_by_index(
+        raw in proptest::collection::vec(0u32..4, 1..48),
+        k in 1usize..48,
+    ) {
+        let values: Vec<f32> = raw.iter().map(|&q| q as f32 * 0.5).collect();
+        let got = top_k(&values, k);
+        let mut expect = argsort_desc(&values);
+        expect.truncate(k.min(values.len()));
+        prop_assert_eq!(&got, &expect);
+        // explicit tie invariant: equal scores appear in ascending index order
+        for w in got.windows(2) {
+            if w[0].1 == w[1].1 {
+                prop_assert!(w[0].0 < w[1].0, "tie order {} vs {}", w[0].0, w[1].0);
+            }
+        }
+    }
+}

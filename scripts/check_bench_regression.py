@@ -8,6 +8,9 @@ Usage:
     cargo bench -p gbm-bench --bench train_step | tee train_step_out.txt
     python3 scripts/check_bench_regression.py --bench train_step [--quick] train_step_out.txt
 
+    cargo bench -p gbm-bench --bench serve_query | tee serve_query_out.txt
+    python3 scripts/check_bench_regression.py --bench serve_query [--quick] serve_query_out.txt
+
 Absolute times are machine-dependent, so every gate is on *ratios inside one
 run*:
 
@@ -25,6 +28,13 @@ run*:
   objectives stopped being "nearly free" on top of the shared batched
   forward.
 
+* `serve_query`: per pool group, two speedups of the serving path over its
+  unbatched per-query baselines — `per_query_head_scan / best
+  serve_rerank_*` (the head leaving the hot loop) and
+  `per_query_cosine_scan / best serve_b*` (the pure coalescing + partial
+  select win) — compared against BENCH_serve_query.json. A fresh speedup
+  more than REGRESSION_TOLERANCE below baseline fails.
+
 `--quick` compares against the `quick_ms` baseline section (the CI smoke
 run, `GBM_BENCH_SCALE=quick`); the default compares against `full_ms`.
 """
@@ -39,6 +49,7 @@ ROOT = Path(__file__).resolve().parent.parent
 BASELINES = {
     "encode_batch": ROOT / "BENCH_encode_batch.json",
     "train_step": ROOT / "BENCH_train_step.json",
+    "serve_query": ROOT / "BENCH_serve_query.json",
 }
 
 ROW = re.compile(
@@ -96,10 +107,34 @@ def train_step_ratios(times: dict) -> dict:
     return out
 
 
+def serve_query_ratios(times: dict) -> dict:
+    """Per pool group: baseline time / best serving-path time.
+
+    Higher is better; a fresh value *below* baseline is a regression.
+    `serve_b*` names the cosine serving variants, `serve_rerank_*` the
+    head-reranked ones — each is gated against its like-for-like baseline.
+    """
+    out = {}
+    groups = {name.split("/")[0] for name in times}
+    for g in sorted(groups):
+        head = times.get(f"{g}/per_query_head_scan")
+        cosine = times.get(f"{g}/per_query_cosine_scan")
+        rerank = [
+            t for name, t in times.items() if name.startswith(f"{g}/serve_rerank_")
+        ]
+        serve = [t for name, t in times.items() if name.startswith(f"{g}/serve_b")]
+        if head is not None and rerank:
+            out[f"{g}/head_vs_rerank"] = head / min(rerank)
+        if cosine is not None and serve:
+            out[f"{g}/cosine_vs_serve"] = cosine / min(serve)
+    return out
+
+
 # per-bench: (ratio fn, True when higher-is-better)
 GATES = {
     "encode_batch": (encode_batch_ratios, True),
     "train_step": (train_step_ratios, False),
+    "serve_query": (serve_query_ratios, True),
 }
 
 
