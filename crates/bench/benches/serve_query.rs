@@ -23,19 +23,35 @@
 //! * `serve_rerank_b8_sS` — the same, plus a match-head re-rank of the
 //!   merged top-K (the retrieve-then-rerank shape for BCE-trained models):
 //!   K head evaluations per query instead of pool-size many.
+//! * `serve_q8_b8_s4` — the serve path with `ScanPrecision::Int8`: int8
+//!   coarse scan + exact f32 re-rank of the error-margin-widened
+//!   candidates. On this pool of near-duplicate MiniC programs (cosines
+//!   packed tighter than the int8 resolution) the margin admits most rows,
+//!   so this entry documents the *degenerate* regime — correctness kept,
+//!   speed ≈ f32. Informational, not gated.
+//! * `scan_f32` / `scan_i8_w4` (own `serve_query_scan*` group) — the scan
+//!   kernels isolated, over a synthetic spread pool at serving scale
+//!   (`ShardedIndex::from_rows`, unit-norm rows, 16384×128 full /
+//!   4096×64 quick) where the f32 scan is memory-bound and the margin
+//!   zone is a handful of rows. *This* pair carries the quantization
+//!   acceptance gate: `f32_vs_i8_scan` ≥ 1.5×, checked against
+//!   `BENCH_serve_query.json` like the other ratios. Rankings are
+//!   asserted identical before timing.
 //!
 //! Scale: `GBM_BENCH_SCALE=quick` runs the CI smoke subset (128-graph
 //! pool); the default covers the 1024-graph pool of the acceptance
 //! criterion. Baselines live in `BENCH_serve_query.json`;
-//! `scripts/check_bench_regression.py --bench serve_query` gates both
+//! `scripts/check_bench_regression.py --bench serve_query` gates the
 //! speedup ratios (head baseline vs reranked serve, cosine baseline vs
-//! cosine serve).
+//! cosine serve, f32 scan vs int8 scan).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use gbm_nn::{EmbeddingStore, EncodedGraph, GraphBinMatch, GraphBinMatchConfig};
-use gbm_serve::{CoalescerConfig, EncodeCoalescer, IndexConfig, ShardedIndex, VirtualClock};
+use gbm_serve::{
+    CoalescerConfig, EncodeCoalescer, IndexConfig, ScanPrecision, ShardedIndex, VirtualClock,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -131,6 +147,7 @@ fn bench_pool(c: &mut Criterion, label: &str, pool_size: usize, num_queries: usi
                     IndexConfig {
                         num_shards: s,
                         encode_batch: 8,
+                        ..Default::default()
                     },
                 ),
             )
@@ -197,14 +214,101 @@ fn bench_pool(c: &mut Criterion, label: &str, pool_size: usize, num_queries: usi
         }
     }
 
+    // the quantized serve path on this pool: near-duplicate programs are
+    // the margin's degenerate regime (most rows stay candidates), so this
+    // entry documents correctness-preserving degradation, not a win — the
+    // gated quantization speedup lives in the `scan` group below
+    let q8_index = ShardedIndex::build(
+        &model,
+        candidates,
+        IndexConfig {
+            num_shards: 4,
+            encode_batch: 8,
+            precision: ScanPrecision::Int8 { widen: 4 },
+        },
+    );
+    {
+        let served = serve_queries(&model, &q8_index, &queries[..1], 8, K, false);
+        let emb = model.replica().encoder().embed(&queries[0]);
+        let scanned = full_cosine_top_k(&store, emb.data(), K);
+        let served: Vec<(usize, f32)> = served[0].iter().map(|&(id, x)| (id as usize, x)).collect();
+        assert_eq!(served, scanned, "int8 serve path must rank identically");
+    }
+    g.bench_function("serve_q8_b8_s4", |b| {
+        b.iter(|| black_box(serve_queries(&model, &q8_index, &queries, 8, K, false)))
+    });
+
+    g.finish();
+}
+
+/// The isolated scan comparison: identical `ShardedIndex::query` calls over
+/// the same rows, one index scanning f32, one scanning int8 codes with the
+/// exact re-rank. The pool is spread (random unit vectors), so the margin
+/// zone is small and the int8 path's 4×-smaller scan footprint pays off.
+fn bench_scan(c: &mut Criterion, label: &str, rows_n: usize, hidden: usize, num_queries: usize) {
+    const K: usize = 10;
+    let rows = gbm_bench::synth_unit_rows(rows_n, hidden, 42);
+    let queries: Vec<Vec<f32>> = (0..num_queries)
+        .map(|i| gbm_bench::synth_unit_rows(1, hidden, 1000 + i as u64))
+        .collect();
+    let mk = |precision| {
+        ShardedIndex::from_rows(
+            &rows,
+            hidden,
+            IndexConfig {
+                num_shards: 4,
+                encode_batch: 8,
+                precision,
+            },
+        )
+    };
+    let f32_index = mk(ScanPrecision::F32);
+    let i8_indexes: Vec<(usize, ShardedIndex)> = [1usize, 4]
+        .iter()
+        .map(|&w| (w, mk(ScanPrecision::Int8 { widen: w })))
+        .collect();
+
+    // correctness gate before timing: int8 must rank exactly like f32,
+    // at every widen factor (the margin, not the floor, carries exactness)
+    for q in &queries {
+        let expect = f32_index.query(q, K);
+        for (w, idx) in &i8_indexes {
+            assert_eq!(
+                idx.query(q, K),
+                expect,
+                "widen={w}: int8 scan must reproduce the f32 ranking exactly"
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group(format!("serve_query_scan_{label}"));
+    g.sample_size(10);
+    g.bench_function("scan_f32", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(f32_index.query(q, K));
+            }
+        })
+    });
+    for (w, idx) in &i8_indexes {
+        g.bench_function(format!("scan_i8_w{w}"), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(idx.query(q, K));
+                }
+            })
+        });
+    }
     g.finish();
 }
 
 fn bench_serve_query(c: &mut Criterion) {
     if quick_mode() {
         bench_pool(c, "tiny_128", 128, 16);
+        bench_scan(c, "4k_h64", 4096, 64, 8);
     } else {
         bench_pool(c, "tiny_1k", 1024, 32);
+        bench_scan(c, "16k_h128", 16384, 128, 16);
     }
 }
 

@@ -1,0 +1,248 @@
+//! probe_quant: the quantized-serving numbers behind EXPERIMENTS.md.
+//!
+//! Everything is deterministic (seeded model, splitmix synthetic rows), so
+//! runs diff cleanly across PRs. Two pools bracket the regimes:
+//!
+//! * **spread** — random unit-norm rows at serving scale (the
+//!   `serve_query_scan_*` bench pool): quantization error is far below the
+//!   score gaps, the margin zone is a handful of rows, and the int8 scan
+//!   wins.
+//! * **near-dup** — encoder embeddings of template-generated MiniC
+//!   programs: cosines pack tighter than the int8 resolution, pure
+//!   count-based candidate widening *cannot* reach recall 1, and the error
+//!   margin (correctly) degrades toward re-scoring the pool.
+//!
+//! Reported per pool:
+//!
+//! * max observed `|approx − exact|` dot error vs the analytic bound
+//!   (`gbm_quant::dot_error_bound`) — the bound must dominate;
+//! * recall@K of the *pure count-based* top-`K·widen` pre-re-rank
+//!   candidate set per widen factor — the motivation for the margin cut
+//!   `gbm-serve` actually ships (which makes final rankings exact
+//!   unconditionally);
+//! * mean margin-zone candidate set size per query (rows the exact re-rank
+//!   scores) vs pool size;
+//! * scan footprint: `ShardedIndex::scan_bytes()` at f32 vs int8 (~4×).
+//!
+//! ```text
+//! cargo run --release -p gbm-bench --bin probe_quant [-- --json]
+//! ```
+
+use gbm_nn::{EmbeddingStore, GraphBinMatch, GraphBinMatchConfig};
+use gbm_quant::{dot_error_bound, quantize_vector, QuantizedMatrix};
+use gbm_serve::{IndexConfig, ScanPrecision, ShardedIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const K: usize = 10;
+const WIDENS: [usize; 4] = [1, 2, 4, 8];
+
+struct PoolReport {
+    name: &'static str,
+    rows_n: usize,
+    hidden: usize,
+    max_err: f32,
+    max_bound: f32,
+    /// `(widen, recall@K of the count-based top-K·widen candidate set)`.
+    count_recall: Vec<(usize, f64)>,
+    /// Mean margin-zone candidate rows the exact re-rank scores per query.
+    mean_margin_cands: f64,
+    f32_scan_bytes: usize,
+    i8_scan_bytes: usize,
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// The exact top-K rows of `rows` for `query` by f32 dot, ties by row.
+fn exact_top_k(rows: &[f32], hidden: usize, query: &[f32], k: usize) -> Vec<usize> {
+    let scores: Vec<f32> = rows.chunks_exact(hidden).map(|r| dot(query, r)).collect();
+    gbm_tensor::top_k(&scores, k)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+}
+
+fn analyze(
+    name: &'static str,
+    rows: Vec<f32>,
+    hidden: usize,
+    queries: Vec<Vec<f32>>,
+) -> PoolReport {
+    let rows_n = rows.len() / hidden;
+    let mat = QuantizedMatrix::from_rows(&rows, hidden);
+
+    let mut max_err = 0.0f32;
+    let mut max_bound = 0.0f32;
+    let mut recall_hits = vec![0usize; WIDENS.len()];
+    let mut recall_total = 0usize;
+    for query in &queries {
+        let q = quantize_vector(query);
+        let truth = exact_top_k(&rows, hidden, query, K);
+        recall_total += truth.len();
+        // approximate ranking over the whole pool
+        let approx: Vec<f32> = (0..rows_n).map(|r| mat.approx_dot(r, &q)).collect();
+        for r in 0..rows_n {
+            let exact = dot(query, &rows[r * hidden..(r + 1) * hidden]);
+            max_err = max_err.max((exact - approx[r]).abs());
+            max_bound = max_bound.max(dot_error_bound(
+                query,
+                &rows[r * hidden..(r + 1) * hidden],
+                q.scale,
+                mat.scale(r),
+            ));
+        }
+        for (wi, &widen) in WIDENS.iter().enumerate() {
+            let kprime = (K * widen).min(rows_n);
+            let cand: Vec<usize> = gbm_tensor::top_k(&approx, kprime)
+                .into_iter()
+                .map(|(r, _)| r)
+                .collect();
+            recall_hits[wi] += truth.iter().filter(|t| cand.contains(t)).count();
+        }
+    }
+    let count_recall: Vec<(usize, f64)> = WIDENS
+        .iter()
+        .zip(&recall_hits)
+        .map(|(&w, &h)| (w, h as f64 / recall_total as f64))
+        .collect();
+
+    // the shipped path: margin-widened candidates, counted per query
+    // through one single-shard QuantizedShard (the per-shard behaviour)
+    let mut qshard = gbm_serve::QuantizedShard::new();
+    for row in rows.chunks_exact(hidden) {
+        qshard.push_row(row);
+    }
+    let mut margin_cands = 0usize;
+    for query in &queries {
+        let q = quantize_vector(query);
+        let l1_q: f32 = query.iter().map(|v| v.abs()).sum();
+        let margin = 2.0 * qshard.max_dot_error(&q, l1_q);
+        margin_cands += qshard.scan_candidates(&q, K, margin).len();
+    }
+    let mean_margin_cands = margin_cands as f64 / queries.len() as f64;
+
+    let mk = |precision| {
+        ShardedIndex::from_rows(
+            &rows,
+            hidden,
+            IndexConfig {
+                num_shards: 4,
+                encode_batch: 8,
+                precision,
+            },
+        )
+    };
+    PoolReport {
+        name,
+        rows_n,
+        hidden,
+        max_err,
+        max_bound,
+        count_recall,
+        mean_margin_cands,
+        f32_scan_bytes: mk(ScanPrecision::F32).scan_bytes(),
+        i8_scan_bytes: mk(ScanPrecision::Int8 { widen: 1 }).scan_bytes(),
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let quick = matches!(std::env::var("GBM_SCALE").as_deref(), Ok("quick"));
+
+    // spread pool: the scan bench's synthetic serving-scale rows
+    let (sn, sh, nq) = if quick { (1024, 64, 8) } else { (4096, 64, 16) };
+    let spread_rows = gbm_bench::synth_unit_rows(sn, sh, 42);
+    let spread_queries: Vec<Vec<f32>> = (0..nq)
+        .map(|i| gbm_bench::synth_unit_rows(1, sh, 1000 + i as u64))
+        .collect();
+
+    // near-duplicate pool: encoder embeddings of template MiniC programs
+    let n_graphs = if quick { 48 } else { 96 };
+    let (tok, pool) = gbm_bench::minic_pool(n_graphs + 8);
+    let mut rng = StdRng::seed_from_u64(9);
+    let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);
+    let store = EmbeddingStore::build(&model, &pool);
+    let hidden = store.embedding(0).dims()[1];
+    let mut emb_rows = Vec::with_capacity(n_graphs * hidden);
+    for i in 0..n_graphs {
+        emb_rows.extend_from_slice(store.embedding(i).data());
+    }
+    let emb_queries: Vec<Vec<f32>> = (n_graphs..n_graphs + 8)
+        .map(|i| store.embedding(i).data().to_vec())
+        .collect();
+
+    let reports = [
+        analyze("spread", spread_rows, sh, spread_queries),
+        analyze("near-dup", emb_rows, hidden, emb_queries),
+    ];
+
+    if json {
+        println!("{{");
+        println!("  \"k\": {K},");
+        println!("  \"pools\": [");
+        for (i, r) in reports.iter().enumerate() {
+            let recalls: Vec<String> = r
+                .count_recall
+                .iter()
+                .map(|(w, rec)| format!("{{\"widen\": {w}, \"recall\": {rec:.4}}}"))
+                .collect();
+            let comma = if i + 1 < reports.len() { "," } else { "" };
+            println!(
+                "    {{\"pool\": \"{}\", \"rows\": {}, \"hidden\": {}, \
+                 \"max_abs_dot_error\": {:.6}, \"analytic_bound\": {:.6}, \
+                 \"count_based_recall\": [{}], \"mean_margin_candidates\": {:.1}, \
+                 \"f32_scan_bytes\": {}, \"i8_scan_bytes\": {}}}{comma}",
+                r.name,
+                r.rows_n,
+                r.hidden,
+                r.max_err,
+                r.max_bound,
+                recalls.join(", "),
+                r.mean_margin_cands,
+                r.f32_scan_bytes,
+                r.i8_scan_bytes,
+            );
+        }
+        println!("  ]");
+        println!("}}");
+        return;
+    }
+
+    println!("=== int8 quantized scan: error, candidate recall, footprint (K = {K}) ===");
+    for r in &reports {
+        println!(
+            "\npool `{}` ({} rows × {} hidden):",
+            r.name, r.rows_n, r.hidden
+        );
+        println!(
+            "  max |approx − exact| dot error  {:>10.6}   (analytic bound {:.6}; bound must dominate: {})",
+            r.max_err,
+            r.max_bound,
+            if r.max_err <= r.max_bound { "yes" } else { "NO — bound violated!" }
+        );
+        println!("  recall@{K} of the count-based top-K·widen pre-re-rank candidate set:");
+        for (w, rec) in &r.count_recall {
+            println!("    widen = {w}: {rec:.3}");
+        }
+        println!(
+            "  margin-cut candidates actually re-ranked: {:.1} rows/query of {} ({:.1}%)",
+            r.mean_margin_cands,
+            r.rows_n,
+            100.0 * r.mean_margin_cands / r.rows_n as f64
+        );
+        println!(
+            "  scan footprint: {} B f32 → {} B int8 ({:.2}x smaller)",
+            r.f32_scan_bytes,
+            r.i8_scan_bytes,
+            r.f32_scan_bytes as f64 / r.i8_scan_bytes as f64
+        );
+    }
+    println!(
+        "\n(count-based widening alone cannot reach recall 1 on the near-dup pool — \
+         that is why\n gbm-serve's int8 scan admits the analytic error-margin zone \
+         around the K' cut, making\n final rankings exact unconditionally; on spread \
+         pools the zone is a handful of rows)"
+    );
+}

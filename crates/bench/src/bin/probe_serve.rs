@@ -16,8 +16,13 @@
 //! EXPERIMENTS.md records a run of this probe.
 //!
 //! ```text
-//! cargo run --release -p gbm-bench --bin probe_serve
+//! cargo run --release -p gbm-bench --bin probe_serve [-- --json]
 //! ```
+//!
+//! `--json` emits the same per-rate records as a JSON document (one
+//! `rates` array, fields named like the table columns), so
+//! allocation-per-graph and batch-fill trends can be diffed across PRs the
+//! way the `BENCH_*.json` baselines are.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,7 +56,20 @@ const MAX_WAIT: u64 = 4;
 const TICKS: u64 = 400;
 const WINDOWS: usize = 4;
 
+/// One arrival rate's observables — a row of the table, a record of the
+/// `--json` document.
+struct RateRecord {
+    rate: f64,
+    requests: usize,
+    flushes: usize,
+    full_flushes: usize,
+    timer_flushes: usize,
+    mean_fill: f64,
+    allocs_per_graph: Vec<f64>,
+}
+
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let (tok, requests) = gbm_bench::minic_pool(32);
     let vocab = tok.vocab_size();
     let mut rng = StdRng::seed_from_u64(1);
@@ -59,16 +77,19 @@ fn main() {
     // warm the scratch pool / embeddings once so window 1 isn't all cold-start
     let _ = model.encoder().embed(&requests[0]);
 
-    println!("=== coalescer under load (virtual clock) ===");
-    println!(
-        "max_batch={MAX_BATCH} max_wait={MAX_WAIT} ticks={TICKS}; \
-         allocs/graph over {WINDOWS} equal windows (flat = steady state)"
-    );
-    println!(
-        "{:>9} {:>9} {:>8} {:>6} {:>6} {:>10}  allocs/graph per window",
-        "rate", "requests", "flushes", "full", "timer", "mean fill"
-    );
-    println!("{}", "-".repeat(88));
+    let mut records: Vec<RateRecord> = Vec::new();
+    if !json {
+        println!("=== coalescer under load (virtual clock) ===");
+        println!(
+            "max_batch={MAX_BATCH} max_wait={MAX_WAIT} ticks={TICKS}; \
+             allocs/graph over {WINDOWS} equal windows (flat = steady state)"
+        );
+        println!(
+            "{:>9} {:>9} {:>8} {:>6} {:>6} {:>10}  allocs/graph per window",
+            "rate", "requests", "flushes", "full", "timer", "mean fill"
+        );
+        println!("{}", "-".repeat(88));
+    }
 
     for &rate in &[0.25f64, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let clock = VirtualClock::new();
@@ -106,15 +127,35 @@ fn main() {
         }
         co.flush(&model);
         let s = co.stats().clone();
-        let windows: Vec<String> = window_allocs.iter().map(|a| format!("{a:>7.0}")).collect();
+        records.push(RateRecord {
+            rate,
+            requests: submitted,
+            flushes: s.flushes,
+            full_flushes: s.full_flushes,
+            timer_flushes: s.timer_flushes,
+            mean_fill: s.mean_batch_fill(),
+            allocs_per_graph: window_allocs,
+        });
+    }
+
+    if json {
+        print_json(&records);
+        return;
+    }
+    for r in &records {
+        let windows: Vec<String> = r
+            .allocs_per_graph
+            .iter()
+            .map(|a| format!("{a:>7.0}"))
+            .collect();
         println!(
             "{:>9.2} {:>9} {:>8} {:>6} {:>6} {:>10.2}  {}",
-            rate,
-            submitted,
-            s.flushes,
-            s.full_flushes,
-            s.timer_flushes,
-            s.mean_batch_fill(),
+            r.rate,
+            r.requests,
+            r.flushes,
+            r.full_flushes,
+            r.timer_flushes,
+            r.mean_fill,
             windows.join(" ")
         );
     }
@@ -122,4 +163,36 @@ fn main() {
         "\n(arrivals are a fractional accumulator — rate 0.5 = one request every \
          2 ticks; the\n virtual clock makes every row bit-reproducible)"
     );
+}
+
+/// Hand-rolled JSON (no serde in the workspace): stable key order, one
+/// record per rate, floats with enough digits to diff meaningfully.
+fn print_json(records: &[RateRecord]) {
+    println!("{{");
+    println!(
+        "  \"meta\": {{\"max_batch\": {MAX_BATCH}, \"max_wait\": {MAX_WAIT}, \
+         \"ticks\": {TICKS}, \"windows\": {WINDOWS}}},"
+    );
+    println!("  \"rates\": [");
+    for (i, r) in records.iter().enumerate() {
+        let windows: Vec<String> = r
+            .allocs_per_graph
+            .iter()
+            .map(|a| format!("{a:.1}"))
+            .collect();
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        println!(
+            "    {{\"rate\": {:.2}, \"requests\": {}, \"flushes\": {}, \"full_flushes\": {}, \
+             \"timer_flushes\": {}, \"mean_fill\": {:.3}, \"allocs_per_graph\": [{}]}}{comma}",
+            r.rate,
+            r.requests,
+            r.flushes,
+            r.full_flushes,
+            r.timer_flushes,
+            r.mean_fill,
+            windows.join(", ")
+        );
+    }
+    println!("  ]");
+    println!("}}");
 }

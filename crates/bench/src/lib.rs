@@ -104,6 +104,37 @@ pub fn minic_pool(n: usize) -> (Tokenizer, Vec<EncodedGraph>) {
     (tok, pool)
 }
 
+/// Deterministic unit-norm synthetic rows (splitmix64 driven): the spread
+/// embedding pool for quantized-scan benchmarking. Shared by the
+/// `serve_query` bench's `scan_*` group and the `probe_quant` probe, so
+/// the pool the probe characterizes is *by construction* the pool the
+/// gated bench times.
+pub fn synth_unit_rows(n: usize, hidden: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed;
+    let mut next = || {
+        // splitmix64, mapped to [-1, 1)
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % 2_000_000) as f32 / 1_000_000.0 - 1.0
+    };
+    let mut rows = vec![0.0f32; n * hidden];
+    for row in rows.chunks_exact_mut(hidden) {
+        let mut norm = 0.0f32;
+        for v in row.iter_mut() {
+            *v = next();
+            norm += *v * *v;
+        }
+        let inv = 1.0 / norm.sqrt().max(1e-12);
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    rows
+}
+
 /// Prints a `P / R / F1` method table with an optional title.
 pub fn print_method_table(title: &str, rows: &[MethodScore]) {
     println!("\n## {title}");

@@ -187,7 +187,12 @@ where
 /// For a pool-built index the truncated ranking is *identical* — ids,
 /// scores, and tie order — to the first `k` entries of
 /// [`rank_candidates`] under [`RankBy::Cosine`] over the same candidates
-/// (asserted for 1/2/7 shards in the tests below).
+/// (asserted for 1/2/7 shards in the tests below). That holds at *either*
+/// scan precision: an index built with
+/// [`ScanPrecision::Int8`](gbm_serve::ScanPrecision) coarse-scans
+/// quantized rows and re-scores the error-margin-widened candidate set
+/// with exact f32 dots, so its rankings equal the f32 index's for any
+/// widen factor (also asserted below).
 ///
 /// `rerank_head: true` re-scores the merged top-`k` through the matching
 /// head and reorders by head probability — the retrieve-then-rerank shape
@@ -381,6 +386,7 @@ mod tests {
                 IndexConfig {
                     num_shards: shards,
                     encode_batch: 4,
+                    ..Default::default()
                 },
             );
             for &q in &[0usize, 3, 7] {
@@ -403,6 +409,94 @@ mod tests {
         }
     }
 
+    /// The int8 acceptance criterion at the retrieval layer: an
+    /// Int8-precision index reproduces the monolithic `rank_candidates`
+    /// cosine ranking exactly — ids, scores, tie order — across shard
+    /// counts and widen factors, k up to and beyond the pool.
+    #[test]
+    fn sharded_topk_int8_equals_monolithic_rank_candidates() {
+        use gbm_serve::{IndexConfig, ScanPrecision, ShardedIndex};
+
+        let (pool, model) = toy_pool(8, 51);
+        let store = EmbeddingStore::build(&model, &pool);
+        let candidates: Vec<usize> = (0..pool.len()).collect();
+        let cosine_cfg = RetrievalConfig {
+            rank_by: RankBy::Cosine,
+            ..Default::default()
+        };
+        for shards in [1usize, 2, 7] {
+            for widen in [1usize, 2, 4] {
+                let index = ShardedIndex::build(
+                    &model,
+                    &pool,
+                    IndexConfig {
+                        num_shards: shards,
+                        encode_batch: 4,
+                        precision: ScanPrecision::Int8 { widen },
+                    },
+                );
+                for &q in &[0usize, 3, 7] {
+                    let monolith = rank_candidates(&model, &store, q, &candidates, &cosine_cfg);
+                    for k in [1usize, 4, pool.len(), pool.len() + 5] {
+                        let sharded = index.query(store.embedding(q).data(), k);
+                        let want: Vec<(usize, f32)> = monolith
+                            .iter()
+                            .copied()
+                            .take(k.min(candidates.len()))
+                            .collect();
+                        let got: Vec<(usize, f32)> =
+                            sharded.iter().map(|&(id, s)| (id as usize, s)).collect();
+                        assert_eq!(
+                            got, want,
+                            "shards={shards} widen={widen} q={q} k={k}: int8 ranking \
+                             must be identical"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// `retrieve_topk_sharded` over an Int8 index returns exactly what it
+    /// returns over an F32 index — rankings, relevant sets, and the
+    /// head-reranked variant included.
+    #[test]
+    fn retrieve_topk_sharded_is_precision_invariant() {
+        use gbm_serve::{IndexConfig, ScanPrecision, ShardedIndex};
+
+        let (pool, model) = toy_pool(7, 53);
+        let store = EmbeddingStore::build(&model, &pool);
+        let mk = |precision| {
+            ShardedIndex::build(
+                &model,
+                &pool,
+                IndexConfig {
+                    num_shards: 3,
+                    encode_batch: 4,
+                    precision,
+                },
+            )
+        };
+        let f32_index = mk(ScanPrecision::F32);
+        let int8_index = mk(ScanPrecision::Int8 { widen: 2 });
+        let queries = [0usize, 2, 6];
+        let is_rel = |q: usize, c: usize| q % 2 == c % 2 && q != c;
+        for rerank in [false, true] {
+            let f = retrieve_topk_sharded(&model, &f32_index, &store, &queries, 4, is_rel, rerank);
+            let i = retrieve_topk_sharded(&model, &int8_index, &store, &queries, 4, is_rel, rerank);
+            assert_eq!(f.len(), i.len());
+            for (a, b) in f.iter().zip(&i) {
+                assert_eq!(a.query, b.query);
+                assert_eq!(a.relevant, b.relevant);
+                assert_eq!(
+                    a.ranking, b.ranking,
+                    "rerank={rerank} query {}: precision must not change results",
+                    a.query
+                );
+            }
+        }
+    }
+
     /// More shards than graphs: some shards are empty, rankings unchanged.
     #[test]
     fn sharded_topk_with_empty_shards_matches_monolith() {
@@ -416,6 +510,7 @@ mod tests {
             IndexConfig {
                 num_shards: 7,
                 encode_batch: 8,
+                ..Default::default()
             },
         );
         assert!(index.shard_sizes().contains(&0));
@@ -451,6 +546,7 @@ mod tests {
             IndexConfig {
                 num_shards: 3,
                 encode_batch: 4,
+                ..Default::default()
             },
         );
         let queries = [0usize, 2, 6];

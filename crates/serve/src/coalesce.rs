@@ -15,7 +15,7 @@
 //! batched forward draws its buffers from `gbm-tensor`'s thread-local
 //! scratch pool, and the queue itself recycles its capacity.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use gbm_nn::{EncodedGraph, GraphBinMatch};
 use gbm_tensor::Tensor;
@@ -80,6 +80,38 @@ struct PendingRequest {
     enqueued_at: u64,
 }
 
+/// A drained flush batch whose encode is *in flight*: produced by
+/// [`EncodeCoalescer::begin_flush`], redeemed by
+/// [`EncodeCoalescer::complete_flush`]. Splitting the flush in two is the
+/// worker-thread integration point (the encoder forward can run outside
+/// the coalescer's owner), and it makes the mid-flight window first-class:
+/// a ticket cancelled while its batch is in flight has its row *dropped*
+/// at completion instead of leaking into the ready map.
+///
+/// Dropping a `FlushBatch` without completing it abandons its requests:
+/// their tickets never resolve (poll returns `None` forever).
+pub struct FlushBatch {
+    requests: Vec<(Ticket, EncodedGraph)>,
+}
+
+impl FlushBatch {
+    /// The graphs to encode, in ticket order (row `i` of the batched
+    /// forward must answer ticket `i`).
+    pub fn graphs(&self) -> Vec<&EncodedGraph> {
+        self.requests.iter().map(|(_, g)| g).collect()
+    }
+
+    /// Requests in this batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the batch carries no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
 /// Queues encode requests and flushes them through one batched encoder
 /// forward per batch. Single-owner by design: the tape underneath is
 /// single-threaded, so a server wraps this in its own synchronization while
@@ -88,6 +120,12 @@ pub struct EncodeCoalescer {
     cfg: CoalescerConfig,
     pending: Vec<PendingRequest>,
     ready: HashMap<Ticket, Tensor>,
+    /// Tickets whose batch is between [`begin_flush`](Self::begin_flush)
+    /// and [`complete_flush`](Self::complete_flush).
+    in_flight: HashSet<Ticket>,
+    /// In-flight tickets cancelled mid-flight: their rows are dropped at
+    /// completion instead of entering `ready`.
+    cancelled_in_flight: HashSet<Ticket>,
     next_ticket: u64,
     stats: CoalescerStats,
 }
@@ -103,6 +141,8 @@ impl EncodeCoalescer {
             },
             pending: Vec::new(),
             ready: HashMap::new(),
+            in_flight: HashSet::new(),
+            cancelled_in_flight: HashSet::new(),
             next_ticket: 0,
             stats: CoalescerStats::default(),
         }
@@ -156,20 +196,57 @@ impl EncodeCoalescer {
     }
 
     fn run_flush(&mut self, model: &GraphBinMatch) -> usize {
-        if self.pending.is_empty() {
+        let Some(batch) = self.begin_flush() else {
             return 0;
-        }
-        let graphs: Vec<&EncodedGraph> = self.pending.iter().map(|r| &r.graph).collect();
+        };
         // one disjoint-union forward for the whole flush; row i belongs to
         // submission i (embed_batch preserves input order)
-        let rows = model.encoder().embed_batch(&graphs);
-        drop(graphs);
-        self.stats.flushes += 1;
-        let encoded = self.pending.len();
-        self.stats.encoded += encoded;
+        let rows = model.encoder().embed_batch(&batch.graphs());
+        self.complete_flush(batch, rows)
+    }
+
+    /// Drains the queue into a [`FlushBatch`] and marks its tickets *in
+    /// flight* (`None` when nothing is queued). The caller owns the encode:
+    /// run `model.encoder().embed_batch(&batch.graphs())` — on a worker
+    /// thread if it likes — and hand the rows back through
+    /// [`complete_flush`](Self::complete_flush). Flush-trigger stats
+    /// (`full`/`timer`/`forced`) are the trigger's business; this counts
+    /// nothing.
+    pub fn begin_flush(&mut self) -> Option<FlushBatch> {
+        if self.pending.is_empty() {
+            return None;
+        }
         // drain (not take) so the queue keeps its capacity across flushes
-        for (req, row) in self.pending.drain(..).zip(rows) {
-            self.ready.insert(req.ticket, row);
+        let requests: Vec<(Ticket, EncodedGraph)> = self
+            .pending
+            .drain(..)
+            .map(|r| {
+                self.in_flight.insert(r.ticket);
+                (r.ticket, r.graph)
+            })
+            .collect();
+        Some(FlushBatch { requests })
+    }
+
+    /// Files the encoded rows of `batch` (row `i` answers ticket `i` —
+    /// `embed_batch` preserves input order; length mismatch panics).
+    /// Tickets cancelled while the batch was in flight have their rows
+    /// dropped here — the embedding never enters the ready map, so a
+    /// timed-out caller leaks nothing. Returns the number of rows encoded.
+    pub fn complete_flush(&mut self, batch: FlushBatch, rows: Vec<Tensor>) -> usize {
+        assert_eq!(
+            batch.requests.len(),
+            rows.len(),
+            "one encoded row per flushed request"
+        );
+        self.stats.flushes += 1;
+        let encoded = batch.requests.len();
+        self.stats.encoded += encoded;
+        for ((ticket, _), row) in batch.requests.into_iter().zip(rows) {
+            self.in_flight.remove(&ticket);
+            if !self.cancelled_in_flight.remove(&ticket) {
+                self.ready.insert(ticket, row);
+            }
         }
         encoded
     }
@@ -180,15 +257,22 @@ impl EncodeCoalescer {
         self.ready.remove(&ticket)
     }
 
-    /// Abandons `ticket`: drops it from the queue (never encoded) or from
-    /// the ready map (embedding discarded). A front-end that times a
-    /// request out must call this, or the unredeemed embedding stays in
-    /// `ready` for the coalescer's lifetime. Returns whether the ticket
-    /// still existed.
+    /// Abandons `ticket`: drops it from the queue (never encoded), marks it
+    /// cancelled if its batch is mid-flight (the encoded row is dropped at
+    /// [`complete_flush`](Self::complete_flush) — it never reaches the
+    /// ready map), or evicts it from the ready map (embedding discarded).
+    /// A front-end that times a request out must call this, or the
+    /// unredeemed embedding stays in `ready` for the coalescer's lifetime.
+    /// Returns whether the ticket still existed (a second cancel of the
+    /// same ticket reports `false`).
     pub fn cancel(&mut self, ticket: Ticket) -> bool {
         if let Some(pos) = self.pending.iter().position(|r| r.ticket == ticket) {
             self.pending.remove(pos);
             return true;
+        }
+        if self.in_flight.contains(&ticket) {
+            // first cancel wins; a repeat finds it already in the set
+            return self.cancelled_in_flight.insert(ticket);
         }
         self.ready.remove(&ticket).is_some()
     }
@@ -196,6 +280,13 @@ impl EncodeCoalescer {
     /// Requests queued but not yet encoded.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Tickets whose flush batch is between `begin_flush` and
+    /// `complete_flush` (always 0 when using the one-shot
+    /// `submit`/`pump`/`flush` API, which encodes synchronously).
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
     }
 
     /// Encoded embeddings awaiting collection.
@@ -321,6 +412,57 @@ mod tests {
         assert!(co.poll(t1).is_none());
         assert!(co.poll(t2).is_some(), "other tickets are untouched");
         assert!(!co.cancel(t1), "double cancel reports absence");
+    }
+
+    /// The mid-flight cancel regression: a ticket cancelled between
+    /// `begin_flush` and `complete_flush` must have its result dropped at
+    /// completion — not filed into `ready` (where an abandoned caller
+    /// would leak it forever) — and must not leave tracking residue.
+    #[test]
+    fn cancel_mid_flight_drops_the_result_without_leaking() {
+        let (pool, vocab) = toy(3);
+        let model = model(vocab, 7);
+        let clock = VirtualClock::new();
+        let mut co = EncodeCoalescer::new(CoalescerConfig {
+            max_batch: 8,
+            max_wait: 1,
+        });
+        let t0 = co.submit(&model, pool[0].clone(), &clock);
+        let t1 = co.submit(&model, pool[1].clone(), &clock);
+        let batch = co.begin_flush().expect("two requests queued");
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert_eq!(co.pending_len(), 0, "begin_flush drains the queue");
+        assert_eq!(co.in_flight_len(), 2);
+        // the batch is mid-flight: cancel must succeed, exactly once
+        assert!(co.cancel(t0), "mid-flight cancel reports the ticket live");
+        assert!(!co.cancel(t0), "double mid-flight cancel reports absence");
+        let rows = model.encoder().embed_batch(&batch.graphs());
+        assert_eq!(co.complete_flush(batch, rows), 2, "both rows were encoded");
+        // cancelled row dropped, surviving row filed, nothing leaked
+        assert_eq!(co.in_flight_len(), 0);
+        assert_eq!(co.ready_len(), 1, "cancelled embedding never enters ready");
+        assert!(co.poll(t0).is_none());
+        assert!(co.poll(t1).is_some());
+        assert!(
+            !co.cancel(t0),
+            "post-completion cancel finds no residue (no ticket leak)"
+        );
+        assert_eq!(co.stats().flushes, 1);
+        assert_eq!(co.stats().encoded, 2);
+        // a fresh submit after the cycle behaves normally
+        let t2 = co.submit(&model, pool[2].clone(), &clock);
+        co.flush(&model);
+        assert!(co.poll(t2).is_some());
+    }
+
+    #[test]
+    fn begin_flush_on_empty_queue_is_none() {
+        let (_, vocab) = toy(1);
+        let _model = model(vocab, 8);
+        let mut co = EncodeCoalescer::new(CoalescerConfig::default());
+        assert!(co.begin_flush().is_none());
+        assert_eq!(co.in_flight_len(), 0);
     }
 
     #[test]

@@ -30,8 +30,11 @@
 use std::collections::HashMap;
 
 use gbm_nn::{EmbeddingStore, EncodedGraph, GraphBinMatch};
+use gbm_quant::quantize_vector;
 use gbm_tensor::{top_k, Tensor};
 use rayon::prelude::*;
+
+use crate::quantized::{QuantizedShard, ScanPrecision};
 
 /// Identifier of a graph in the index (for pool-backed indexes: the pool
 /// position).
@@ -40,7 +43,7 @@ pub type GraphId = u64;
 /// Rows scored per block in a shard scan: big enough to amortize the
 /// per-block partial select, small enough that the score buffer stays in
 /// cache instead of materializing all rows' scores.
-const SCAN_BLOCK: usize = 256;
+pub(crate) const SCAN_BLOCK: usize = 256;
 
 /// Sharding and encoding policy for a [`ShardedIndex`].
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +53,11 @@ pub struct IndexConfig {
     /// Graphs per batched encoder forward, both at build time and for the
     /// pending-insert re-encode batches.
     pub encode_batch: usize,
+    /// Shard-scan scoring: exact f32 dots, or an int8 coarse scan over a
+    /// quantized row mirror followed by an exact f32 re-score of the
+    /// widened candidate set ([`ScanPrecision::Int8`]'s `widen` is clamped
+    /// to at least 1).
+    pub precision: ScanPrecision,
 }
 
 impl Default for IndexConfig {
@@ -57,6 +65,7 @@ impl Default for IndexConfig {
         IndexConfig {
             num_shards: 4,
             encode_batch: gbm_nn::embeddings::DEFAULT_ENCODE_BATCH,
+            precision: ScanPrecision::F32,
         }
     }
 }
@@ -84,7 +93,8 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// One shard: a dense embedding matrix plus its pending (queued, not yet
-/// encoded) inserts.
+/// encoded) inserts, and — when the index scans at int8 — a quantized
+/// mirror of the rows maintained in lockstep.
 #[derive(Default)]
 struct Shard {
     /// `ids[r]` owns matrix row `r`.
@@ -95,6 +105,9 @@ struct Shard {
     row_of: HashMap<GraphId, usize>,
     /// Queued inserts awaiting their batched re-encode.
     pending: Vec<(GraphId, EncodedGraph)>,
+    /// int8 code mirror of `rows` (`Some` iff the index scans at
+    /// [`ScanPrecision::Int8`]); every push/remove updates both.
+    quant: Option<QuantizedShard>,
 }
 
 impl Shard {
@@ -102,6 +115,9 @@ impl Shard {
         self.row_of.insert(id, self.ids.len());
         self.ids.push(id);
         self.rows.extend_from_slice(row);
+        if let Some(q) = &mut self.quant {
+            q.push_row(row);
+        }
     }
 
     fn remove_encoded(&mut self, id: GraphId, hidden: usize) -> bool {
@@ -119,6 +135,9 @@ impl Shard {
         }
         self.ids.pop();
         self.rows.truncate(last * hidden);
+        if let Some(q) = &mut self.quant {
+            q.swap_remove_row(row);
+        }
         true
     }
 
@@ -149,11 +168,56 @@ impl Shard {
         }
         best.into_iter().map(|(r, s)| (self.ids[r], s)).collect()
     }
+
+    /// Quantized top-K scan: an int8 coarse scan keeps the approximate
+    /// top-`k·widen` rows plus the quantization-error margin zone, then
+    /// exactly those candidates are re-scored against the retained f32
+    /// rows — same [`dot`] accumulation order as the f32 scan, candidates
+    /// visited in ascending row order, so ids, scores, and tie order all
+    /// match [`Shard::scan_top_k`] unconditionally (the margin provably
+    /// covers the true top-K; see `quantized`'s module docs).
+    fn scan_top_k_int8(
+        &self,
+        query: &[f32],
+        q: &gbm_quant::QuantizedVector,
+        l1_q: f32,
+        k: usize,
+        widen: usize,
+        hidden: usize,
+    ) -> Vec<(GraphId, f32)> {
+        if k == 0 || self.ids.is_empty() {
+            return Vec::new();
+        }
+        let quant = self
+            .quant
+            .as_ref()
+            .expect("int8 scan requires the quantized mirror");
+        let margin = 2.0 * quant.max_dot_error(q, l1_q);
+        let kprime = k.saturating_mul(widen.max(1)).min(self.ids.len());
+        let candidates = quant.scan_candidates(q, kprime, margin);
+        // exact re-rank in ascending row order: top_k ties then break by
+        // candidate position = row index, exactly as the full f32 scan
+        let mut cand_rows: Vec<usize> = candidates.into_iter().map(|(r, _)| r).collect();
+        cand_rows.sort_unstable();
+        let exact: Vec<f32> = cand_rows
+            .iter()
+            .map(|&r| dot(query, &self.rows[r * hidden..(r + 1) * hidden]))
+            .collect();
+        top_k(&exact, k)
+            .into_iter()
+            .map(|(i, s)| (self.ids[cand_rows[i]], s))
+            .collect()
+    }
 }
 
 /// Merges two `(row, score)` lists, each sorted by `(score desc, row asc)`,
-/// keeping the best `k`.
-fn merge_row_ranked(a: Vec<(usize, f32)>, b: Vec<(usize, f32)>, k: usize) -> Vec<(usize, f32)> {
+/// keeping the best `k`. Shared with the quantized coarse scan
+/// (`quantized::QuantizedShard::scan_candidates`).
+pub(crate) fn merge_row_ranked(
+    a: Vec<(usize, f32)>,
+    b: Vec<(usize, f32)>,
+    k: usize,
+) -> Vec<(usize, f32)> {
     if a.is_empty() {
         return b;
     }
@@ -193,12 +257,41 @@ impl ShardedIndex {
         let cfg = IndexConfig {
             num_shards: cfg.num_shards.max(1),
             encode_batch: cfg.encode_batch.max(1),
+            precision: match cfg.precision {
+                ScanPrecision::Int8 { widen } => ScanPrecision::Int8 {
+                    widen: widen.max(1),
+                },
+                p => p,
+            },
         };
+        let quantized = matches!(cfg.precision, ScanPrecision::Int8 { .. });
         ShardedIndex {
-            shards: (0..cfg.num_shards).map(|_| Shard::default()).collect(),
+            shards: (0..cfg.num_shards)
+                .map(|_| Shard {
+                    quant: quantized.then(QuantizedShard::new),
+                    ..Shard::default()
+                })
+                .collect(),
             cfg,
             hidden: 0,
         }
+    }
+
+    /// Builds an index directly from precomputed unit-norm embedding rows
+    /// (row-major `[n × hidden]`; row `i` gets id `i`) — the "load a
+    /// serialized embedding matrix" path: no model or encoder involved, so
+    /// pools far beyond what a test model could encode can be served (and
+    /// benchmarked) from stored rows.
+    pub fn from_rows(rows: &[f32], hidden: usize, cfg: IndexConfig) -> ShardedIndex {
+        assert!(hidden > 0, "hidden must be positive");
+        assert_eq!(rows.len() % hidden, 0, "rows must be a whole matrix");
+        let mut index = ShardedIndex::new(cfg);
+        index.hidden = hidden;
+        for (i, row) in rows.chunks_exact(hidden).enumerate() {
+            let id = i as GraphId;
+            index.shards[shard_of(id, index.cfg.num_shards)].push_row(id, row);
+        }
+        index
     }
 
     /// Builds the index over a whole pool: one batched
@@ -320,13 +413,46 @@ impl ShardedIndex {
             "query embedding width must match the index"
         );
         let hidden = self.hidden;
+        let precision = self.cfg.precision;
+        // the quantized query and its L1 norm are shard-independent:
+        // compute once here, not once per shard in the fan-out
+        let quant_query = matches!(precision, ScanPrecision::Int8 { .. }).then(|| {
+            (
+                quantize_vector(query),
+                query.iter().map(|v| v.abs()).sum::<f32>(),
+            )
+        });
         let per_shard: Vec<Vec<(GraphId, f32)>> = self
             .shards
             .par_iter()
             .with_min_len(1)
-            .map(|s| s.scan_top_k(query, k, hidden))
+            .map(|s| match (precision, &quant_query) {
+                (ScanPrecision::Int8 { widen }, Some((q, l1_q))) => {
+                    s.scan_top_k_int8(query, q, *l1_q, k, widen, hidden)
+                }
+                _ => s.scan_top_k(query, k, hidden),
+            })
             .collect();
         merge_shard_ranked(per_shard, k)
+    }
+
+    /// Bytes one full scan pass touches under the configured precision:
+    /// the dense f32 matrices, or the int8 code mirrors plus per-row
+    /// scales (~4× less) — the quantization memory story, reported by
+    /// `probe_quant`.
+    pub fn scan_bytes(&self) -> usize {
+        match self.cfg.precision {
+            ScanPrecision::F32 => self
+                .shards
+                .iter()
+                .map(|s| s.rows.len() * std::mem::size_of::<f32>())
+                .sum(),
+            ScanPrecision::Int8 { .. } => self
+                .shards
+                .iter()
+                .map(|s| s.quant.as_ref().map_or(0, |q| q.scan_bytes()))
+                .sum(),
+        }
     }
 
     /// The embedding row of `id`, if encoded.
@@ -447,6 +573,7 @@ mod tests {
                 IndexConfig {
                     num_shards: shards,
                     encode_batch: 4,
+                    ..Default::default()
                 },
             );
             assert_eq!(index.num_shards(), shards);
@@ -473,6 +600,7 @@ mod tests {
             IndexConfig {
                 num_shards: 7,
                 encode_batch: 8,
+                ..Default::default()
             },
         );
         let sizes = index.shard_sizes();
@@ -496,6 +624,7 @@ mod tests {
         let mut index = ShardedIndex::new(IndexConfig {
             num_shards: 1,
             encode_batch: 4,
+            ..Default::default()
         });
         for (i, g) in pool.iter().enumerate().take(3) {
             index.insert(&model, i as GraphId, g.clone());
@@ -526,6 +655,7 @@ mod tests {
         let mut index = ShardedIndex::new(IndexConfig {
             num_shards: 2,
             encode_batch: 2,
+            ..Default::default()
         });
         for (i, g) in pool.iter().enumerate() {
             index.insert(&model, i as GraphId, g.clone());
@@ -554,6 +684,7 @@ mod tests {
             IndexConfig {
                 num_shards: 2,
                 encode_batch: 4,
+                ..Default::default()
             },
         );
         assert!(index.contains(1));
@@ -576,6 +707,149 @@ mod tests {
         index.insert(&model, 0, pool[0].clone());
         index.flush(&model);
         assert_eq!(index.ids().iter().filter(|&&id| id == 0).count(), 1);
+    }
+
+    /// The int8 acceptance criterion: a quantized index answers every
+    /// query with exactly the monolithic f32 cosine ranking — ids, scores,
+    /// tie order — across shard counts and widen factors.
+    #[test]
+    fn int8_query_equals_monolith_across_shards_and_widen_factors() {
+        let (pool, vocab) = toy(9);
+        let model = model(vocab, 11);
+        let store = EmbeddingStore::build(&model, &pool);
+        for shards in [1usize, 2, 7] {
+            for widen in [2usize, 4, 8] {
+                let index = ShardedIndex::build(
+                    &model,
+                    &pool,
+                    IndexConfig {
+                        num_shards: shards,
+                        encode_batch: 4,
+                        precision: ScanPrecision::Int8 { widen },
+                    },
+                );
+                for &q in &[0usize, 4, 8] {
+                    let query = store.embedding(q).data().to_vec();
+                    let expect = monolith_ranking(&store, &query, pool.len());
+                    for k in [1usize, 3, pool.len(), pool.len() + 10] {
+                        let got = index.query(&query, k);
+                        let want: Vec<(GraphId, f32)> =
+                            expect.iter().copied().take(k.min(pool.len())).collect();
+                        assert_eq!(
+                            got, want,
+                            "shards={shards} widen={widen} q={q} k={k}: int8 ranking must \
+                             be identical to the f32 monolith"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Incremental insert/remove keeps the quantized mirror in lockstep
+    /// with the f32 rows: after a churn sequence, an Int8 index answers
+    /// exactly like an F32 index that saw the same operations.
+    #[test]
+    fn int8_mirror_survives_insert_remove_churn() {
+        let (pool, vocab) = toy(8);
+        let model = model(vocab, 17);
+        let mk = |precision| {
+            let mut index = ShardedIndex::new(IndexConfig {
+                num_shards: 3,
+                encode_batch: 2,
+                precision,
+            });
+            for (i, g) in pool.iter().enumerate() {
+                index.insert(&model, i as GraphId, g.clone());
+            }
+            index.flush(&model);
+            index.remove(2);
+            index.remove(5);
+            index.insert(&model, 5, pool[5].clone());
+            index.flush(&model);
+            index
+        };
+        let f32_index = mk(ScanPrecision::F32);
+        let int8_index = mk(ScanPrecision::Int8 { widen: 4 });
+        assert_eq!(int8_index.num_encoded(), f32_index.num_encoded());
+        assert_eq!(int8_index.ids(), f32_index.ids());
+        let store = EmbeddingStore::build(&model.replica(), &pool);
+        for &q in &[0usize, 3, 7] {
+            let query = store.embedding(q).data().to_vec();
+            for k in [1usize, 4, 10] {
+                assert_eq!(
+                    int8_index.query(&query, k),
+                    f32_index.query(&query, k),
+                    "q={q} k={k}: churned int8 index must match the churned f32 index"
+                );
+            }
+        }
+    }
+
+    /// `from_rows` routes precomputed rows like `build` routes encoded
+    /// ones, at both precisions, and the widen=0 config degrades to 1.
+    #[test]
+    fn from_rows_matches_build_routing_and_scan() {
+        let hidden = 6;
+        let n = 23;
+        let mut state = 3u64;
+        let mut rows = Vec::with_capacity(n * hidden);
+        for _ in 0..n * hidden {
+            state = splitmix64(state);
+            rows.push((state % 2000) as f32 / 1000.0 - 1.0);
+        }
+        let f32_index = ShardedIndex::from_rows(
+            &rows,
+            hidden,
+            IndexConfig {
+                num_shards: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(f32_index.num_encoded(), n);
+        assert_eq!(f32_index.ids(), (0..n as GraphId).collect::<Vec<_>>());
+        let int8_index = ShardedIndex::from_rows(
+            &rows,
+            hidden,
+            IndexConfig {
+                num_shards: 3,
+                encode_batch: 8,
+                precision: ScanPrecision::Int8 { widen: 0 },
+            },
+        );
+        // footprint: codes + one f32 scale per row vs 4 bytes per element
+        assert_eq!(f32_index.scan_bytes(), n * hidden * 4);
+        assert_eq!(int8_index.scan_bytes(), n * hidden + n * 4);
+        let query = rows[..hidden].to_vec();
+        for k in [1usize, 5, n] {
+            let f = f32_index.query(&query, k);
+            let q = int8_index.query(&query, k);
+            assert_eq!(f.len(), q.len());
+            // widen clamped to 1: the candidate set is coarse, but every
+            // returned score is the exact f32 dot of its row and the list
+            // is ranked
+            for w in q.windows(2) {
+                assert!(w[0].1 >= w[1].1, "int8 results stay ranked (k={k})");
+            }
+            for &(id, score) in &q {
+                let r = id as usize;
+                let exact = dot(&query, &rows[r * hidden..(r + 1) * hidden]);
+                assert_eq!(score, exact, "id {id}: re-ranked score is exact (k={k})");
+            }
+        }
+        // a generous widen recovers the exact f32 ranking
+        let wide = ShardedIndex::from_rows(
+            &rows,
+            hidden,
+            IndexConfig {
+                num_shards: 3,
+                encode_batch: 8,
+                precision: ScanPrecision::Int8 { widen: 8 },
+            },
+        );
+        for k in [1usize, 5, n] {
+            assert_eq!(wide.query(&query, k), f32_index.query(&query, k), "k={k}");
+        }
     }
 
     #[test]

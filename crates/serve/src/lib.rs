@@ -13,6 +13,12 @@
 //!   through **one** disjoint-union forward), and answers queries with a
 //!   blocked top-K dot-product scan ([`gbm_tensor::top_k`]). Shards scan in
 //!   parallel (rayon) and their sorted partial results k-way merge.
+//! * [`ScanPrecision`] / [`QuantizedShard`] — the int8 scan path: each
+//!   shard shadows its f32 rows with a `gbm-quant` per-row symmetric code
+//!   matrix (~4× smaller scan footprint), coarse-scans it for a widened
+//!   top-K′ candidate set, and re-scores exactly those candidates against
+//!   the retained f32 rows — final rankings equal the f32 scan (ids,
+//!   scores, tie order) whenever the widened set covers the true top-K.
 //! * [`EncodeCoalescer`] — the request-side batcher: incoming encode
 //!   requests queue until `max_batch` graphs are waiting or the oldest has
 //!   waited `max_wait` clock ticks, then one [`GraphBatch`] forward encodes
@@ -30,9 +36,11 @@
 pub mod clock;
 pub mod coalesce;
 pub mod index;
+pub mod quantized;
 #[cfg(any(test, feature = "test-fixtures"))]
 pub mod testfix;
 
 pub use clock::{Clock, VirtualClock, WallClock};
-pub use coalesce::{CoalescerConfig, CoalescerStats, EncodeCoalescer, Ticket};
+pub use coalesce::{CoalescerConfig, CoalescerStats, EncodeCoalescer, FlushBatch, Ticket};
 pub use index::{shard_of, GraphId, IndexConfig, ShardedIndex};
+pub use quantized::{QuantizedShard, ScanPrecision};

@@ -1,0 +1,296 @@
+//! The int8 coarse-scan half of quantized serving.
+//!
+//! A [`QuantizedShard`] shadows one shard's dense f32 row matrix with a
+//! [`gbm_quant::QuantizedMatrix`] — one byte per element plus a per-row
+//! scale, ~4× less memory touched per scan — and answers *candidate*
+//! queries: which rows could be in the exact top-K. The shard then
+//! re-scores exactly those candidates against its retained f32 rows
+//! (`Shard::scan_top_k_int8` in `index.rs`) — the coarse-scan →
+//! exact-re-rank shape of Ling et al.'s deep graph matching search.
+//!
+//! **Why the candidate cut is a margin, not just a count.** Candidate
+//! selection keeps the approximate top-K′ (`K′ = k · widen`, the coarse
+//! floor) *plus every row whose approximate score is within an analytic
+//! error margin of the K′-th best*. Per-row symmetric quantization bounds
+//! each element's rounding error by `scale / 2`, which bounds every row's
+//! dot error by `bound_r` ([`gbm_quant::dot_error_bound`]); if `t` is the
+//! K′-th best approximate score, every true top-K row must score at least
+//! `t − 2·max_r bound_r` approximately (it beats K′ rows exactly, each of
+//! which approximates to within one bound of `t`). Admitting that whole
+//! margin zone makes the re-ranked top-K **unconditionally** the exact f32
+//! ranking — ids, scores, tie order — not just empirically on friendly
+//! pools. On well-spread pools the zone is a handful of rows; on
+//! near-duplicate pools (scores packed tighter than the quantization
+//! resolution) it degrades gracefully toward re-scoring the shard rather
+//! than returning a wrong ranking. `probe_quant` measures both regimes.
+
+use gbm_quant::{QuantizedMatrix, QuantizedVector};
+use gbm_tensor::top_k;
+
+use crate::index::{merge_row_ranked, SCAN_BLOCK};
+
+/// How a shard scan scores candidate rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ScanPrecision {
+    /// Exact f32 dot products over the full row matrix (the PR 4 path).
+    #[default]
+    F32,
+    /// Quantized int8 coarse scan over a per-row symmetric code matrix:
+    /// each shard keeps the approximate top-`widen · k` rows plus the
+    /// quantization-error margin zone around the cut, then re-scores just
+    /// those candidates with exact f32 dots. Results *always* equal the
+    /// f32 ranking — ids, scores, tie order (the margin admits every row
+    /// the rounding error could have demoted; equivalence-tested across
+    /// shard counts and widen factors).
+    Int8 {
+        /// Coarse-floor widening factor: each shard's coarse scan keeps at
+        /// least `k · widen` rows before the error-margin zone is added
+        /// (`0` is clamped to 1). Larger values pre-admit more candidates;
+        /// exactness never depends on it.
+        widen: usize,
+    },
+}
+
+/// The int8 mirror of one shard's embedding rows: maintained alongside the
+/// f32 matrix (same push / swap-fill lifecycle, asserted in tests) and
+/// scanned for the candidate rows an exact re-rank must score.
+#[derive(Default)]
+pub struct QuantizedShard {
+    /// `None` until the first row arrives (the row width isn't known
+    /// before then — same convention as `ShardedIndex::hidden == 0`).
+    mat: Option<QuantizedMatrix>,
+    /// Largest row scale ever pushed. Removals leave it stale-high, which
+    /// only *grows* the error margin — conservative, never wrong.
+    max_scale: f32,
+    /// Largest row L1 norm ever pushed (same stale-high convention).
+    max_l1: f32,
+}
+
+impl QuantizedShard {
+    /// An empty mirror.
+    pub fn new() -> QuantizedShard {
+        QuantizedShard::default()
+    }
+
+    /// Quantizes and appends one f32 row (call in lockstep with the f32
+    /// matrix's push).
+    pub fn push_row(&mut self, row: &[f32]) {
+        let mat = self
+            .mat
+            .get_or_insert_with(|| QuantizedMatrix::new(row.len()));
+        mat.push_row(row);
+        self.max_scale = self.max_scale.max(mat.scale(mat.rows() - 1));
+        self.max_l1 = self.max_l1.max(row.iter().map(|v| v.abs()).sum());
+    }
+
+    /// Swap-fill removal of row `r` (call in lockstep with the f32
+    /// matrix's swap-remove).
+    pub fn swap_remove_row(&mut self, r: usize) {
+        self.mat
+            .as_mut()
+            .expect("remove on an empty quantized shard")
+            .swap_remove_row(r);
+    }
+
+    /// Mirrored row count.
+    pub fn rows(&self) -> usize {
+        self.mat.as_ref().map_or(0, |m| m.rows())
+    }
+
+    /// Bytes one full coarse scan touches (codes + scales).
+    pub fn scan_bytes(&self) -> usize {
+        self.mat.as_ref().map_or(0, |m| m.scan_bytes())
+    }
+
+    /// A bound on `|approx − exact|` valid for *every* row in this shard
+    /// against the given query: [`gbm_quant::dot_error_bound`] evaluated
+    /// at the shard's per-row maxima (`l1_q` is the query's L1 norm),
+    /// padded 5% + ε for the f32 arithmetic the real-number derivation
+    /// ignores. Padding only admits more candidates.
+    pub fn max_dot_error(&self, q: &QuantizedVector, l1_q: f32) -> f32 {
+        let n = q.codes.len() as f32;
+        let bound = self.max_scale * 0.5 * l1_q
+            + q.scale * 0.5 * self.max_l1
+            + n * q.scale * self.max_scale * 0.25;
+        bound * 1.05 + 1e-6
+    }
+
+    /// The candidate rows an exact re-rank must score to reproduce the f32
+    /// top-`k` (`kprime = k · widen` is the coarse floor): the approximate
+    /// top-`kprime` rows **plus** every row whose approximate score is
+    /// within `margin` of the `kprime`-th best. With
+    /// `margin ≥ 2 · max_dot_error`, the set provably contains the true
+    /// top-`k` — a true top-k row beats `kprime` rows exactly, each of
+    /// which approximates to within one error bound of the cut.
+    ///
+    /// Returns `(row, approx_score)` sorted by `(score desc, row asc)`;
+    /// blocked like the f32 scan (a `SCAN_BLOCK` score buffer + partial
+    /// select per block), with the margin zone accumulated alongside and
+    /// pruned as the running cut rises.
+    pub fn scan_candidates(
+        &self,
+        q: &QuantizedVector,
+        kprime: usize,
+        margin: f32,
+    ) -> Vec<(usize, f32)> {
+        let Some(mat) = &self.mat else {
+            return Vec::new();
+        };
+        if kprime == 0 {
+            return Vec::new();
+        }
+        let rows = mat.rows();
+        // running top-kprime (tracked only to know the threshold) and the
+        // full candidate set so far: every row that cleared the threshold
+        // in force when its block was scored. The threshold only rises, so
+        // a row excluded then would be excluded by the final cut too — and
+        // the final retain makes the set exactly {rows: score ≥ t_final}.
+        let mut best: Vec<(usize, f32)> = Vec::new();
+        let mut cands: Vec<(usize, f32)> = Vec::new();
+        let mut scores = [0.0f32; SCAN_BLOCK];
+        let mut start = 0;
+        while start < rows {
+            let n = SCAN_BLOCK.min(rows - start);
+            let mut block_max = f32::NEG_INFINITY;
+            for (i, s) in scores[..n].iter_mut().enumerate() {
+                *s = mat.approx_dot(start + i, q);
+                block_max = block_max.max(*s);
+            }
+            // the per-block partial select only matters when the block can
+            // actually displace an entry of the running top-kprime
+            let cut = (best.len() >= kprime).then(|| best[kprime - 1].1);
+            if cut.is_none_or(|c| block_max >= c) {
+                best = merge_row_ranked(
+                    best,
+                    top_k(&scores[..n], kprime)
+                        .into_iter()
+                        .map(|(r, s)| (r + start, s))
+                        .collect(),
+                    kprime,
+                );
+            }
+            // collect against the freshest threshold (merging first only
+            // tightens it — any row clearing the final cut clears every
+            // earlier one, so nothing admissible is lost)
+            let t = threshold(&best, kprime, margin);
+            for (i, &s) in scores[..n].iter().enumerate() {
+                if t.is_none_or(|t| s >= t) {
+                    cands.push((start + i, s));
+                }
+            }
+            // keep the set from growing unboundedly between blocks: prune
+            // against the (monotonically risen) threshold
+            if cands.len() > kprime + SCAN_BLOCK {
+                if let Some(t) = threshold(&best, kprime, margin) {
+                    cands.retain(|&(_, s)| s >= t);
+                }
+            }
+            start += n;
+        }
+        if let Some(t) = threshold(&best, kprime, margin) {
+            cands.retain(|&(_, s)| s >= t);
+        }
+        cands.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        cands
+    }
+}
+
+/// The margin threshold once the coarse floor is full: `kprime`-th best
+/// approximate score minus the margin. `None` while fewer than `kprime`
+/// rows have been seen (everything is still a candidate).
+fn threshold(best: &[(usize, f32)], kprime: usize, margin: f32) -> Option<f32> {
+    (best.len() >= kprime).then(|| best[kprime - 1].1 - margin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_quant::quantize_vector;
+
+    fn synth_rows(n: usize, hidden: usize) -> Vec<f32> {
+        (0..n * hidden)
+            .map(|i| ((i * 37 + 11) % 201) as f32 / 100.0 - 1.0)
+            .collect()
+    }
+
+    #[test]
+    fn candidates_cross_block_boundaries_and_sort_by_score_then_row() {
+        let hidden = 8;
+        let n = SCAN_BLOCK + 50;
+        let rows = synth_rows(n, hidden);
+        let mut shard = QuantizedShard::new();
+        for row in rows.chunks_exact(hidden) {
+            shard.push_row(row);
+        }
+        assert_eq!(shard.rows(), n);
+        let query: Vec<f32> = (0..hidden).map(|i| (i as f32 * 0.3).sin()).collect();
+        let q = quantize_vector(&query);
+        // reference: quantize each row independently and full-sort
+        let mat = QuantizedMatrix::from_rows(&rows, hidden);
+        let mut expect: Vec<(usize, f32)> = (0..n).map(|r| (r, mat.approx_dot(r, &q))).collect();
+        expect.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for kprime in [1usize, 7, SCAN_BLOCK, n + 3] {
+            for margin in [0.0f32, 0.05] {
+                let got = shard.scan_candidates(&q, kprime, margin);
+                // exactly the rows at or above (kprime-th best − margin)
+                let cut = expect[kprime.min(n) - 1].1 - margin;
+                let want: Vec<(usize, f32)> = expect
+                    .iter()
+                    .copied()
+                    .take_while(|&(_, s)| s >= cut)
+                    .collect();
+                assert_eq!(got, want, "kprime={kprime} margin={margin}");
+                assert!(got.len() >= kprime.min(n), "floor always kept");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_shard_and_zero_kprime_answer_empty() {
+        let shard = QuantizedShard::new();
+        let q = quantize_vector(&[1.0, 2.0]);
+        assert_eq!(shard.scan_candidates(&q, 5, 0.1), vec![]);
+        assert_eq!(shard.rows(), 0);
+        assert_eq!(shard.scan_bytes(), 0);
+        let mut filled = QuantizedShard::new();
+        filled.push_row(&[1.0, 2.0]);
+        assert_eq!(filled.scan_candidates(&q, 0, 0.1), vec![]);
+    }
+
+    #[test]
+    fn margin_covers_true_rows_on_a_near_duplicate_pool() {
+        // the adversarial case: rows packed tighter than the quantization
+        // resolution — the margin must admit (up to) the whole shard
+        // rather than let the coarse ranking decide
+        let hidden = 16;
+        let base: Vec<f32> = (0..hidden).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let mut shard = QuantizedShard::new();
+        let n = 40;
+        let mut all_rows = Vec::new();
+        for r in 0..n {
+            let mut row = base.clone();
+            row[0] += r as f32 * 1e-5; // differences far below scale/2
+            shard.push_row(&row);
+            all_rows.push(row);
+        }
+        let q = quantize_vector(&base);
+        let l1_q: f32 = base.iter().map(|v| v.abs()).sum();
+        let margin = 2.0 * shard.max_dot_error(&q, l1_q);
+        let got = shard.scan_candidates(&q, 2, margin);
+        assert_eq!(
+            got.len(),
+            n,
+            "near-duplicate rows are indistinguishable at int8: all stay candidates"
+        );
+    }
+
+    #[test]
+    fn scan_bytes_tracks_push_and_remove() {
+        let mut shard = QuantizedShard::new();
+        shard.push_row(&[1.0; 16]);
+        shard.push_row(&[2.0; 16]);
+        assert_eq!(shard.scan_bytes(), 2 * (16 + 4));
+        shard.swap_remove_row(0);
+        assert_eq!(shard.scan_bytes(), 16 + 4);
+    }
+}

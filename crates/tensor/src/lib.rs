@@ -47,6 +47,7 @@
 
 mod graph;
 mod init;
+mod intdot;
 mod kernels;
 mod ops;
 mod optim;
@@ -64,6 +65,7 @@ pub mod gradcheck;
 
 pub use graph::{Graph, Var};
 pub use init::{glorot_uniform, normal, uniform};
+pub use intdot::dot_i8_blocked;
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
 pub use param::{Param, ParamStore};
 pub use select::top_k;

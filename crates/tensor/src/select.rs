@@ -52,9 +52,19 @@ impl Ord for Entry {
 /// best first; equal scores rank by ascending index. Equivalent to a stable
 /// descending sort of the whole slice truncated to `k`, in O(N log K).
 ///
-/// `total_cmp` ordering is used, so NaNs don't poison the comparison: a
-/// positive NaN deterministically ranks before every finite score (IEEE
-/// total order), identically in the partial select and the full sort.
+/// # Contract (edge cases)
+///
+/// * **`k = 0` or empty input** — returns an empty `Vec`; never panics,
+///   never allocates a heap.
+/// * **`k ≥ values.len()`** — returns the full stable descending ranking
+///   (every index exactly once).
+/// * **NaN scores** — ordering is [`f32::total_cmp`]'s IEEE total order, so
+///   NaNs don't poison the comparison and results stay deterministic: a
+///   *positive* NaN ranks above `+∞` (before every finite score), a
+///   *negative* NaN ranks below `-∞` (after every finite score), and
+///   equal-bit-pattern NaNs tie by ascending index — identically in the
+///   partial select and the full argsort (property-tested with injected
+///   NaNs of both signs in `select_props`).
 pub fn top_k(values: &[f32], k: usize) -> Vec<(usize, f32)> {
     let k = k.min(values.len());
     if k == 0 {

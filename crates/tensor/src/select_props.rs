@@ -31,6 +31,43 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 
+    /// NaN-score inputs (both signs, injected at random positions) keep the
+    /// documented contract: total_cmp order, +NaN above +inf, -NaN below
+    /// -inf, NaN ties by index — indistinguishable from the full argsort.
+    #[test]
+    fn top_k_with_nans_matches_truncated_argsort(
+        values in proptest::collection::vec(
+            prop_oneof![
+                -4.0f32..4.0,
+                -4.0f32..4.0,
+                -4.0f32..4.0,
+                -4.0f32..4.0,
+                Just(f32::NAN),
+                Just(-f32::NAN),
+                Just(f32::INFINITY),
+                Just(f32::NEG_INFINITY),
+            ],
+            0..48,
+        ),
+        k in 0usize..56,
+    ) {
+        let mut expect = argsort_desc(&values);
+        expect.truncate(k.min(values.len()));
+        let got = top_k(&values, k);
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            // compare by index + bit pattern: NaN != NaN under PartialEq
+            prop_assert_eq!(g.0, e.0);
+            prop_assert_eq!(g.1.to_bits(), e.1.to_bits());
+        }
+        // positive NaNs, when selected, rank before every finite entry
+        if let Some(first_finite) = got.iter().position(|(_, s)| s.is_finite()) {
+            for (_, s) in &got[..first_finite] {
+                prop_assert!(!s.is_finite());
+            }
+        }
+    }
+
     /// Duplicated scores stress the tie path: quantizing to a handful of
     /// distinct values forces many equal-score runs.
     #[test]

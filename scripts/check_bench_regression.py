@@ -33,7 +33,12 @@ run*:
   serve_rerank_*` (the head leaving the hot loop) and
   `per_query_cosine_scan / best serve_b*` (the pure coalescing + partial
   select win) — compared against BENCH_serve_query.json. A fresh speedup
-  more than REGRESSION_TOLERANCE below baseline fails.
+  more than REGRESSION_TOLERANCE below baseline fails. The
+  `serve_query_scan_*` groups additionally gate the quantized path:
+  `scan_f32 / best scan_i8_*` (the int8 coarse-scan + exact-re-rank win
+  over the dense f32 scan; the bench itself asserts ranking equivalence
+  before timing, so an equivalence regression fails the bench step
+  outright).
 
 `--quick` compares against the `quick_ms` baseline section (the CI smoke
 run, `GBM_BENCH_SCALE=quick`); the default compares against `full_ms`.
@@ -127,6 +132,10 @@ def serve_query_ratios(times: dict) -> dict:
             out[f"{g}/head_vs_rerank"] = head / min(rerank)
         if cosine is not None and serve:
             out[f"{g}/cosine_vs_serve"] = cosine / min(serve)
+        scan_f32 = times.get(f"{g}/scan_f32")
+        scan_i8 = [t for name, t in times.items() if name.startswith(f"{g}/scan_i8_")]
+        if scan_f32 is not None and scan_i8:
+            out[f"{g}/f32_vs_i8_scan"] = scan_f32 / min(scan_i8)
     return out
 
 
