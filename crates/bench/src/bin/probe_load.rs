@@ -1,0 +1,235 @@
+//! probe_load: sustained mixed insert/query load on the concurrent server.
+//!
+//! Spins up a [`gbm_serve::Server`] over a synthetic unit-norm row pool
+//! (no model — inserts publish precomputed rows, so the probe measures the
+//! *serving* pipeline: channel fan-out, shard-pinned scan workers, the
+//! single-writer publish path) and hammers it from `CLIENTS` threads. Each
+//! client interleaves top-K queries with periodic row inserts and removes
+//! (mixed read/write load, the regime where a scan serialization bug —
+//! e.g. holding the write lock across an encode — would show up as a p99
+//! cliff). Per-operation latency goes into a thread-local
+//! [`LatencyHistogram`]; the histograms merge after the run, so the timed
+//! path shares no state between clients.
+//!
+//! One row per scan-worker count (1, 2, 4) reports sustained QPS and
+//! p50/p90/p99/max query latency. EXPERIMENTS.md records a run. Note the
+//! worker threads are real OS threads: on a single-core host the
+//! multi-worker rows measure pipelining overhead, not parallel speedup —
+//! the `meta.host_cores` field records what the numbers mean.
+//!
+//! ```text
+//! cargo run --release -p gbm-bench --bin probe_load [-- --json]
+//! ```
+//!
+//! Before any timing, the probe asserts the concurrent fan-out answer is
+//! exactly the single-threaded [`ShardedIndex::query`] answer on this
+//! pool — a wrong-but-fast server must fail loudly, not get benchmarked.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gbm_bench::{synth_unit_rows, LatencyHistogram};
+use gbm_serve::{CoalescerConfig, IndexConfig, Server, ServerConfig, ShardedIndex, VirtualClock};
+
+const ROWS: usize = 8192;
+const HIDDEN: usize = 64;
+const SHARDS: usize = 8;
+const K: usize = 10;
+const CLIENTS: usize = 2;
+const OPS_PER_CLIENT: usize = 1500;
+/// Every N-th client op is an insert; the op after an insert removes an
+/// earlier inserted id, keeping the pool size bounded.
+const INSERT_EVERY: usize = 16;
+const SEED: u64 = 77;
+
+struct ThreadRecord {
+    scan_workers: usize,
+    queries: u64,
+    inserts: u64,
+    removes: u64,
+    secs: f64,
+    hist: LatencyHistogram,
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let rows = synth_unit_rows(ROWS, HIDDEN, SEED);
+    let icfg = IndexConfig {
+        num_shards: SHARDS,
+        ..Default::default()
+    };
+
+    // correctness first: the fanned-out concurrent answer must be exactly
+    // the single-threaded one before its speed means anything
+    let reference = ShardedIndex::from_rows(&rows, HIDDEN, icfg);
+    {
+        let server = mk_server(&rows, icfg, 4);
+        for q in 0..8 {
+            let query = &rows[q * 131 * HIDDEN..(q * 131 + 1) * HIDDEN];
+            assert_eq!(
+                server.query(query, K),
+                reference.query(query, K),
+                "concurrent fan-out diverged from the single-threaded scan"
+            );
+        }
+    }
+
+    let mut records = Vec::new();
+    for workers in [1usize, 2, 4] {
+        records.push(run_load(&rows, icfg, workers));
+    }
+
+    if json {
+        print_json(&records);
+        return;
+    }
+    println!("=== concurrent server under mixed load ===");
+    println!(
+        "pool {ROWS}×{HIDDEN} f32, {SHARDS} shards, k={K}; {CLIENTS} clients × \
+         {OPS_PER_CLIENT} ops, 1 insert+remove per {INSERT_EVERY} ops; \
+         host cores: {}",
+        host_cores()
+    );
+    println!(
+        "{:>8} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10}",
+        "workers", "queries", "qps", "p50 µs", "p90 µs", "p99 µs", "max µs"
+    );
+    println!("{}", "-".repeat(72));
+    for r in &records {
+        println!(
+            "{:>8} {:>9} {:>9.0} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            r.scan_workers,
+            r.queries,
+            r.queries as f64 / r.secs,
+            r.hist.p50() as f64 / 1e3,
+            r.hist.p90() as f64 / 1e3,
+            r.hist.p99() as f64 / 1e3,
+            r.hist.max() as f64 / 1e3,
+        );
+    }
+    println!(
+        "\n(latencies are per-query wall time inside a client thread; on a \
+         1-core host extra\n workers measure pipelining overhead, not speedup)"
+    );
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn mk_server(rows: &[f32], icfg: IndexConfig, workers: usize) -> Server {
+    Server::from_rows(
+        rows,
+        HIDDEN,
+        ServerConfig {
+            scan_workers: workers,
+            coalescer: CoalescerConfig::default(),
+            index: icfg,
+        },
+        Arc::new(VirtualClock::new()),
+    )
+}
+
+fn run_load(rows: &[f32], icfg: IndexConfig, workers: usize) -> ThreadRecord {
+    let server = Arc::new(mk_server(rows, icfg, workers));
+    // brief warm-up so page faults / lazy init stay out of the histogram
+    for q in 0..16 {
+        let query = &rows[q * 17 * HIDDEN..(q * 17 + 1) * HIDDEN];
+        let _ = server.query(query, K);
+    }
+    let started = Instant::now();
+    let mut clients = Vec::new();
+    for c in 0..CLIENTS {
+        let server = Arc::clone(&server);
+        let rows = rows.to_vec();
+        clients.push(std::thread::spawn(move || {
+            let mut hist = LatencyHistogram::new();
+            let mut queries = 0u64;
+            let mut inserts = 0u64;
+            let mut removes = 0u64;
+            // private id space per client, far above the pool's 0..ROWS
+            let id_base = 1_000_000 * (c as u64 + 1);
+            for op in 0..OPS_PER_CLIENT {
+                if op % INSERT_EVERY == INSERT_EVERY - 1 {
+                    let id = id_base + inserts;
+                    let src = ((op * 613 + c * 37) % ROWS) * HIDDEN;
+                    server
+                        .insert_row(id, rows[src..src + HIDDEN].to_vec())
+                        .wait();
+                    inserts += 1;
+                    // bound the live extra rows: remove the one before last
+                    if inserts >= 2 {
+                        server.remove(id_base + inserts - 2).wait();
+                        removes += 1;
+                    }
+                    continue;
+                }
+                let src = ((op * 257 + c * 8191) % ROWS) * HIDDEN;
+                let query = &rows[src..src + HIDDEN];
+                let t0 = Instant::now();
+                let top = server.query(query, K);
+                hist.record(t0.elapsed().as_nanos() as u64);
+                queries += 1;
+                assert!(top.len() == K, "full pool always fills k");
+            }
+            (hist, queries, inserts, removes)
+        }));
+    }
+    let mut hist = LatencyHistogram::new();
+    let (mut queries, mut inserts, mut removes) = (0u64, 0u64, 0u64);
+    for cl in clients {
+        let (h, q, i, r) = cl.join().expect("client thread panicked");
+        hist.merge(&h);
+        queries += q;
+        inserts += i;
+        removes += r;
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let server = Arc::into_inner(server).expect("clients joined");
+    let report = server.shutdown();
+    assert!(
+        report.is_drained(),
+        "load run leaked server state: {report:?}"
+    );
+    ThreadRecord {
+        scan_workers: workers,
+        queries,
+        inserts,
+        removes,
+        secs,
+        hist,
+    }
+}
+
+/// Hand-rolled JSON (no serde in the workspace): stable key order, one
+/// record per scan-worker count, latencies in microseconds.
+fn print_json(records: &[ThreadRecord]) {
+    println!("{{");
+    println!(
+        "  \"meta\": {{\"rows\": {ROWS}, \"hidden\": {HIDDEN}, \"shards\": {SHARDS}, \
+         \"k\": {K}, \"clients\": {CLIENTS}, \"ops_per_client\": {OPS_PER_CLIENT}, \
+         \"insert_every\": {INSERT_EVERY}, \"host_cores\": {}}},",
+        host_cores()
+    );
+    println!("  \"threads\": [");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        println!(
+            "    {{\"scan_workers\": {}, \"queries\": {}, \"inserts\": {}, \"removes\": {}, \
+             \"qps\": {:.0}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"max_us\": {:.1}, \"mean_us\": {:.1}}}{comma}",
+            r.scan_workers,
+            r.queries,
+            r.inserts,
+            r.removes,
+            r.queries as f64 / r.secs,
+            r.hist.p50() as f64 / 1e3,
+            r.hist.p90() as f64 / 1e3,
+            r.hist.p99() as f64 / 1e3,
+            r.hist.max() as f64 / 1e3,
+            r.hist.mean() / 1e3,
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

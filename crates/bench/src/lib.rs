@@ -13,6 +13,10 @@
 //! `quick` (seconds, smoke test) or `standard` (the EXPERIMENTS.md setting,
 //! minutes on a laptop). Default: `standard`.
 
+pub mod latency;
+
+pub use latency::LatencyHistogram;
+
 use gbm_eval::{HarnessConfig, MethodScore};
 use gbm_frontends::{compile, SourceLang};
 use gbm_nn::{encode_graph, EncodedGraph, TrainObjective};

@@ -7,21 +7,25 @@
 //! start), tests and the load probes drive a [`VirtualClock`] by hand and
 //! get bit-reproducible flush schedules.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// A monotonic tick source. Ticks are dimensionless — the coalescer only
 /// compares differences against its `max_wait` — but [`WallClock`] maps one
-/// tick to one millisecond.
-pub trait Clock {
+/// tick to one millisecond. Implementations must be `Sync`: the concurrent
+/// serving front-end shares one clock between its encode worker and the
+/// submitting threads.
+pub trait Clock: Send + Sync {
     /// Current tick count (monotonic, starts near zero).
     fn now(&self) -> u64;
 }
 
-/// A hand-driven clock for deterministic tests and load simulation.
+/// A hand-driven clock for deterministic tests and load simulation. Backed
+/// by an atomic so a test can advance time underneath a running server
+/// thread and still get a reproducible flush schedule.
 #[derive(Debug, Default)]
 pub struct VirtualClock {
-    ticks: Cell<u64>,
+    ticks: AtomicU64,
 }
 
 impl VirtualClock {
@@ -32,13 +36,13 @@ impl VirtualClock {
 
     /// Advances time by `n` ticks.
     pub fn advance(&self, n: u64) {
-        self.ticks.set(self.ticks.get() + n);
+        self.ticks.fetch_add(n, Ordering::SeqCst);
     }
 }
 
 impl Clock for VirtualClock {
     fn now(&self) -> u64 {
-        self.ticks.get()
+        self.ticks.load(Ordering::SeqCst)
     }
 }
 
@@ -80,6 +84,14 @@ mod tests {
         c.advance(3);
         c.advance(4);
         assert_eq!(c.now(), 7);
+    }
+
+    #[test]
+    fn virtual_clock_is_shareable_across_threads() {
+        let c = std::sync::Arc::new(VirtualClock::new());
+        let c2 = std::sync::Arc::clone(&c);
+        std::thread::spawn(move || c2.advance(5)).join().unwrap();
+        assert_eq!(c.now(), 5, "advances from another thread are visible");
     }
 
     #[test]

@@ -42,6 +42,32 @@ impl Default for CoalescerConfig {
     }
 }
 
+impl CoalescerConfig {
+    /// Applies the `GBM_FLUSH_TICKS` environment knob (the `max_wait`
+    /// deadline, in clock ticks) on top of this config. Invalid values warn
+    /// on stderr and leave the existing value in force.
+    pub fn with_env(mut self) -> CoalescerConfig {
+        if let Some(t) = crate::env::env_knob("GBM_FLUSH_TICKS", "a non-negative tick count") {
+            self.max_wait = t;
+        }
+        self
+    }
+}
+
+/// What caused a caller-driven flush — bookkeeping for the two-phase
+/// [`EncodeCoalescer::begin_flush`]/[`EncodeCoalescer::complete_flush`] API,
+/// where the trigger decision lives with the caller (a server worker loop)
+/// rather than inside `submit`/`pump`/`flush`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushTrigger {
+    /// The queue reached `max_batch`.
+    Full,
+    /// The oldest request crossed the `max_wait` deadline.
+    Timer,
+    /// An unconditional drain (shutdown / test path).
+    Forced,
+}
+
 /// Handle to one submitted encode request; redeem it with
 /// [`EncodeCoalescer::poll`] after a flush.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -110,6 +136,14 @@ impl FlushBatch {
     pub fn is_empty(&self) -> bool {
         self.requests.is_empty()
     }
+
+    /// The tickets of this batch, in row order (ticket `i` is answered by
+    /// row `i` of the batched forward) — what a worker loop needs to route
+    /// each row to its reply handle after
+    /// [`complete_flush`](EncodeCoalescer::complete_flush).
+    pub fn tickets(&self) -> Vec<Ticket> {
+        self.requests.iter().map(|(t, _)| *t).collect()
+    }
 }
 
 /// Queues encode requests and flushes them through one batched encoder
@@ -157,6 +191,22 @@ impl EncodeCoalescer {
         graph: EncodedGraph,
         clock: &dyn Clock,
     ) -> Ticket {
+        let ticket = self.enqueue(graph, clock);
+        if self.pending.len() >= self.cfg.max_batch {
+            self.note_flush_trigger(FlushTrigger::Full);
+            self.run_flush(model);
+        }
+        ticket
+    }
+
+    /// Queues `graph` *without* flushing, whatever the queue length — the
+    /// submission half of the two-phase worker API. The caller owns the
+    /// flush policy: check [`pending_len`](Self::pending_len) against
+    /// `max_batch` and [`flush_due`](Self::flush_due) against the clock,
+    /// then drive [`begin_flush`](Self::begin_flush)/
+    /// [`complete_flush`](Self::complete_flush) itself (recording the
+    /// trigger via [`note_flush_trigger`](Self::note_flush_trigger)).
+    pub fn enqueue(&mut self, graph: EncodedGraph, clock: &dyn Clock) -> Ticket {
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
         self.pending.push(PendingRequest {
@@ -164,11 +214,27 @@ impl EncodeCoalescer {
             graph,
             enqueued_at: clock.now(),
         });
-        if self.pending.len() >= self.cfg.max_batch {
-            self.stats.full_flushes += 1;
-            self.run_flush(model);
-        }
         ticket
+    }
+
+    /// True when the oldest queued request has waited at least `max_wait`
+    /// ticks — the timer-flush condition, split out so a worker loop can
+    /// test it without owning a model (false on an empty queue).
+    pub fn flush_due(&self, clock: &dyn Clock) -> bool {
+        self.pending.first().is_some_and(|oldest| {
+            clock.now().saturating_sub(oldest.enqueued_at) >= self.cfg.max_wait
+        })
+    }
+
+    /// Records what caused a caller-driven flush in [`CoalescerStats`]
+    /// (`begin_flush` itself counts nothing — the trigger decision belongs
+    /// to whoever made it).
+    pub fn note_flush_trigger(&mut self, trigger: FlushTrigger) {
+        match trigger {
+            FlushTrigger::Full => self.stats.full_flushes += 1,
+            FlushTrigger::Timer => self.stats.timer_flushes += 1,
+            FlushTrigger::Forced => self.stats.forced_flushes += 1,
+        }
     }
 
     /// Timer path: flushes the queue when the oldest queued request has
@@ -176,13 +242,10 @@ impl EncodeCoalescer {
     /// Returns the number of graphs encoded (0 when the deadline hasn't
     /// passed or the queue is empty).
     pub fn pump(&mut self, model: &GraphBinMatch, clock: &dyn Clock) -> usize {
-        let Some(oldest) = self.pending.first() else {
-            return 0;
-        };
-        if clock.now().saturating_sub(oldest.enqueued_at) < self.cfg.max_wait {
+        if !self.flush_due(clock) {
             return 0;
         }
-        self.stats.timer_flushes += 1;
+        self.note_flush_trigger(FlushTrigger::Timer);
         self.run_flush(model)
     }
 
@@ -191,8 +254,13 @@ impl EncodeCoalescer {
         if self.pending.is_empty() {
             return 0;
         }
-        self.stats.forced_flushes += 1;
+        self.note_flush_trigger(FlushTrigger::Forced);
         self.run_flush(model)
+    }
+
+    /// The flush policy this coalescer was built with.
+    pub fn config(&self) -> CoalescerConfig {
+        self.cfg
     }
 
     fn run_flush(&mut self, model: &GraphBinMatch) -> usize {
@@ -454,6 +522,38 @@ mod tests {
         let t2 = co.submit(&model, pool[2].clone(), &clock);
         co.flush(&model);
         assert!(co.poll(t2).is_some());
+    }
+
+    /// The worker-loop API: `enqueue` never flushes (even past `max_batch`),
+    /// `flush_due` reports the timer condition without a model, and the
+    /// caller-driven two-phase flush routes every row by `tickets()`.
+    #[test]
+    fn enqueue_and_flush_due_leave_the_flush_policy_to_the_caller() {
+        let (pool, vocab) = toy(5);
+        let model = model(vocab, 9);
+        let clock = VirtualClock::new();
+        let mut co = EncodeCoalescer::new(CoalescerConfig {
+            max_batch: 2,
+            max_wait: 3,
+        });
+        assert!(!co.flush_due(&clock), "empty queue is never due");
+        let tickets: Vec<Ticket> = pool.iter().map(|g| co.enqueue(g.clone(), &clock)).collect();
+        assert_eq!(co.pending_len(), 5, "enqueue ignores max_batch");
+        assert_eq!(model.encoder().forward_count(), 0);
+        assert!(!co.flush_due(&clock), "deadline not reached yet");
+        clock.advance(3);
+        assert!(co.flush_due(&clock));
+        co.note_flush_trigger(FlushTrigger::Timer);
+        let batch = co.begin_flush().expect("queue is non-empty");
+        assert_eq!(batch.tickets(), tickets, "tickets come back in row order");
+        let rows = model.encoder().embed_batch(&batch.graphs());
+        assert_eq!(co.complete_flush(batch, rows), 5);
+        assert!(!co.flush_due(&clock), "drained queue is no longer due");
+        assert_eq!(co.stats().timer_flushes, 1);
+        assert_eq!(co.stats().flushes, 1);
+        for t in tickets {
+            assert!(co.poll(t).is_some());
+        }
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Environment knobs for the serving layer, with the workspace's
+//! warn-and-fall-back contract: an invalid value prints a warning on stderr
+//! and the built-in default stays in force — a typo'd `GBM_FLUSH_TICKS=2O`
+//! must not masquerade as a tuned deployment (the same contract
+//! `gbm-bench`'s `GBM_EPOCHS`-style knobs follow).
+
+/// Reads and parses an environment knob. `None` when the variable is unset
+/// *or* unparsable (the latter warns loudly).
+pub(crate) fn env_knob<T: std::str::FromStr>(name: &str, what: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring invalid {name}={raw:?} (expected {what}); using the default"
+            );
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::coalesce::CoalescerConfig;
+    use crate::server::ServerConfig;
+
+    /// One test covers both serving knobs: env vars are process-wide, so
+    /// splitting this across parallel tests would race.
+    #[test]
+    fn serve_env_knobs_apply_and_fall_back_loudly() {
+        // unset: defaults in force
+        std::env::remove_var("GBM_FLUSH_TICKS");
+        std::env::remove_var("GBM_SERVE_WORKERS");
+        let co = CoalescerConfig::default().with_env();
+        assert_eq!(co.max_wait, CoalescerConfig::default().max_wait);
+        let sv = ServerConfig::default().with_env();
+        assert_eq!(sv.scan_workers, ServerConfig::default().scan_workers);
+
+        // valid overrides apply
+        std::env::set_var("GBM_FLUSH_TICKS", "9");
+        std::env::set_var("GBM_SERVE_WORKERS", "3");
+        assert_eq!(CoalescerConfig::default().with_env().max_wait, 9);
+        let sv = ServerConfig::default().with_env();
+        assert_eq!(sv.scan_workers, 3);
+        assert_eq!(
+            sv.coalescer.max_wait, 9,
+            "ServerConfig::with_env composes the coalescer knob"
+        );
+
+        // invalid values warn (stderr) and fall back — not silently ignore
+        std::env::set_var("GBM_FLUSH_TICKS", "2O");
+        std::env::set_var("GBM_SERVE_WORKERS", "-1");
+        assert_eq!(
+            CoalescerConfig::default().with_env().max_wait,
+            CoalescerConfig::default().max_wait
+        );
+        assert_eq!(
+            ServerConfig::default().with_env().scan_workers,
+            ServerConfig::default().scan_workers
+        );
+
+        // zero workers degrade to one at construction, like num_shards
+        std::env::set_var("GBM_SERVE_WORKERS", "0");
+        assert_eq!(ServerConfig::default().with_env().scan_workers, 0);
+
+        std::env::remove_var("GBM_FLUSH_TICKS");
+        std::env::remove_var("GBM_SERVE_WORKERS");
+    }
+}

@@ -212,7 +212,8 @@ impl Shard {
 
 /// Merges two `(row, score)` lists, each sorted by `(score desc, row asc)`,
 /// keeping the best `k`. Shared with the quantized coarse scan
-/// (`quantized::QuantizedShard::scan_candidates`).
+/// (`quantized::QuantizedShard::scan_candidates`). Thin wrapper over the
+/// general ranked k-way merge in `gbm-tensor`.
 pub(crate) fn merge_row_ranked(
     a: Vec<(usize, f32)>,
     b: Vec<(usize, f32)>,
@@ -221,25 +222,7 @@ pub(crate) fn merge_row_ranked(
     if a.is_empty() {
         return b;
     }
-    let mut out = Vec::with_capacity(k.min(a.len() + b.len()));
-    let (mut i, mut j) = (0, 0);
-    while out.len() < k && (i < a.len() || j < b.len()) {
-        let take_a = match (a.get(i), b.get(j)) {
-            (Some(&(ra, sa)), Some(&(rb, sb))) => {
-                sb.total_cmp(&sa).then(ra.cmp(&rb)) != std::cmp::Ordering::Greater
-            }
-            (Some(_), None) => true,
-            (None, _) => false,
-        };
-        if take_a {
-            out.push(a[i]);
-            i += 1;
-        } else {
-            out.push(b[j]);
-            j += 1;
-        }
-    }
-    out
+    gbm_tensor::merge_ranked(&[a, b], k)
 }
 
 /// The graph pool partitioned into hash shards of batched-encoded
@@ -388,6 +371,25 @@ impl ShardedIndex {
         }
     }
 
+    /// Publishes a precomputed embedding row under `id`, replacing any
+    /// existing row or pending insert — the serving front-end's write
+    /// entry point: the expensive encode runs off to the side (an encode
+    /// worker's batched forward) and only this O(hidden) append happens
+    /// under the index writer's lock. The first published row fixes the
+    /// index width, exactly like the first encoded batch.
+    pub fn insert_row(&mut self, id: GraphId, row: &[f32]) {
+        if self.hidden == 0 {
+            self.hidden = row.len();
+        }
+        assert_eq!(
+            row.len(),
+            self.hidden,
+            "published row width must match the index"
+        );
+        self.remove(id);
+        self.shards[shard_of(id, self.cfg.num_shards)].push_row(id, row);
+    }
+
     /// Removes `id` (encoded or still pending). Returns whether it existed.
     pub fn remove(&mut self, id: GraphId) -> bool {
         let hidden = self.hidden;
@@ -416,24 +418,84 @@ impl ShardedIndex {
         let precision = self.cfg.precision;
         // the quantized query and its L1 norm are shard-independent:
         // compute once here, not once per shard in the fan-out
-        let quant_query = matches!(precision, ScanPrecision::Int8 { .. }).then(|| {
-            (
-                quantize_vector(query),
-                query.iter().map(|v| v.abs()).sum::<f32>(),
-            )
-        });
+        let quant_query = Self::prepare_query(precision, query);
         let per_shard: Vec<Vec<(GraphId, f32)>> = self
             .shards
             .par_iter()
             .with_min_len(1)
-            .map(|s| match (precision, &quant_query) {
-                (ScanPrecision::Int8 { widen }, Some((q, l1_q))) => {
-                    s.scan_top_k_int8(query, q, *l1_q, k, widen, hidden)
-                }
-                _ => s.scan_top_k(query, k, hidden),
-            })
+            .map(|s| Self::scan_shard(s, query, &quant_query, k, precision, hidden))
             .collect();
-        merge_shard_ranked(per_shard, k)
+        gbm_tensor::merge_ranked(&per_shard, k)
+    }
+
+    /// The shard-independent half of a query under `precision`: the
+    /// quantized query codes and L1 norm (only at int8 — `None` at f32).
+    fn prepare_query(
+        precision: ScanPrecision,
+        query: &[f32],
+    ) -> Option<(gbm_quant::QuantizedVector, f32)> {
+        matches!(precision, ScanPrecision::Int8 { .. }).then(|| {
+            (
+                quantize_vector(query),
+                query.iter().map(|v| v.abs()).sum::<f32>(),
+            )
+        })
+    }
+
+    /// One shard's sorted top-K partial under `precision` — the unit of
+    /// work both `query` and `query_shards` fan out.
+    fn scan_shard(
+        shard: &Shard,
+        query: &[f32],
+        quant_query: &Option<(gbm_quant::QuantizedVector, f32)>,
+        k: usize,
+        precision: ScanPrecision,
+        hidden: usize,
+    ) -> Vec<(GraphId, f32)> {
+        match (precision, quant_query) {
+            (ScanPrecision::Int8 { widen }, Some((q, l1_q))) => {
+                shard.scan_top_k_int8(query, q, *l1_q, k, widen, hidden)
+            }
+            _ => shard.scan_top_k(query, k, hidden),
+        }
+    }
+
+    /// The fan-out half of [`query`](Self::query): scans only the shards in
+    /// `shards` (sequentially — a scan worker thread *is* the parallelism)
+    /// and returns their merged top-K partial, ranked by `(score desc,
+    /// id asc)`. Merging the partials of any disjoint cover of
+    /// `0..num_shards()` with [`gbm_tensor::merge_ranked`] reproduces
+    /// `query`'s answer exactly — ids, scores, and tie order (the merge is
+    /// associative; equivalence-tested across partitions, shard counts,
+    /// and precisions). Scoring — including the int8 coarse scan's
+    /// quantized query, recomputed here per call — is bit-identical to the
+    /// full query path.
+    pub fn query_shards(
+        &self,
+        shards: std::ops::Range<usize>,
+        query: &[f32],
+        k: usize,
+    ) -> Vec<(GraphId, f32)> {
+        assert!(shards.end <= self.shards.len(), "shard range out of bounds");
+        let live = self.shards[shards.clone()]
+            .iter()
+            .any(|s| !s.ids.is_empty());
+        if k == 0 || !live {
+            return Vec::new();
+        }
+        assert_eq!(
+            query.len(),
+            self.hidden,
+            "query embedding width must match the index"
+        );
+        let hidden = self.hidden;
+        let precision = self.cfg.precision;
+        let quant_query = Self::prepare_query(precision, query);
+        let per_shard: Vec<Vec<(GraphId, f32)>> = self.shards[shards]
+            .iter()
+            .map(|s| Self::scan_shard(s, query, &quant_query, k, precision, hidden))
+            .collect();
+        gbm_tensor::merge_ranked(&per_shard, k)
     }
 
     /// Bytes one full scan pass touches under the configured precision:
@@ -501,35 +563,6 @@ impl ShardedIndex {
         ids.sort_unstable();
         ids
     }
-}
-
-/// K-way merge of per-shard lists (each sorted by score desc, ties in
-/// ascending-id order for built indexes) into the global top-K, comparing
-/// `(score desc, id asc)`.
-fn merge_shard_ranked(lists: Vec<Vec<(GraphId, f32)>>, k: usize) -> Vec<(GraphId, f32)> {
-    use std::cmp::Ordering;
-    let mut cursors = vec![0usize; lists.len()];
-    let mut out = Vec::with_capacity(k);
-    while out.len() < k {
-        let mut best: Option<(usize, GraphId, f32)> = None;
-        for (li, list) in lists.iter().enumerate() {
-            if let Some(&(id, score)) = list.get(cursors[li]) {
-                let better = match best {
-                    None => true,
-                    Some((_, bid, bscore)) => {
-                        score.total_cmp(&bscore).then(bid.cmp(&id)) == Ordering::Greater
-                    }
-                };
-                if better {
-                    best = Some((li, id, score));
-                }
-            }
-        }
-        let Some((li, id, score)) = best else { break };
-        cursors[li] += 1;
-        out.push((id, score));
-    }
-    out
 }
 
 #[cfg(test)]
@@ -850,6 +883,101 @@ mod tests {
         for k in [1usize, 5, n] {
             assert_eq!(wide.query(&query, k), f32_index.query(&query, k), "k={k}");
         }
+    }
+
+    /// `query_shards` over any disjoint cover of the shard range, merged
+    /// with `merge_ranked`, must reproduce `query` exactly — the invariant
+    /// the concurrent scan workers stand on — at both precisions.
+    #[test]
+    fn query_shards_partials_merge_to_the_full_query() {
+        let hidden = 8;
+        let n = 300;
+        let mut state = 5u64;
+        let mut rows = Vec::with_capacity(n * hidden);
+        for _ in 0..n * hidden {
+            state = splitmix64(state);
+            rows.push((state % 2000) as f32 / 1000.0 - 1.0);
+        }
+        let query = rows[..hidden].to_vec();
+        for shards in [1usize, 2, 7] {
+            for precision in [ScanPrecision::F32, ScanPrecision::Int8 { widen: 2 }] {
+                let index = ShardedIndex::from_rows(
+                    &rows,
+                    hidden,
+                    IndexConfig {
+                        num_shards: shards,
+                        encode_batch: 8,
+                        precision,
+                    },
+                );
+                for k in [1usize, 10, n + 5] {
+                    let expect = index.query(&query, k);
+                    // whole range in one call
+                    assert_eq!(index.query_shards(0..shards, &query, k), expect);
+                    // every contiguous 2-way split
+                    for mid in 0..=shards {
+                        let partials = vec![
+                            index.query_shards(0..mid, &query, k),
+                            index.query_shards(mid..shards, &query, k),
+                        ];
+                        assert_eq!(
+                            gbm_tensor::merge_ranked(&partials, k),
+                            expect,
+                            "shards={shards} split={mid} k={k} precision={precision:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_row_publishes_replaces_and_scans_like_from_rows() {
+        let hidden = 4;
+        let n = 9;
+        let rows: Vec<f32> = (0..n * hidden)
+            .map(|i| ((i * 31 + 7) % 200) as f32 / 100.0 - 1.0)
+            .collect();
+        let reference = ShardedIndex::from_rows(
+            &rows,
+            hidden,
+            IndexConfig {
+                num_shards: 3,
+                ..Default::default()
+            },
+        );
+        // same rows published one by one, out of order
+        let mut index = ShardedIndex::new(IndexConfig {
+            num_shards: 3,
+            ..Default::default()
+        });
+        for i in (0..n).rev() {
+            index.insert_row(i as GraphId, &rows[i * hidden..(i + 1) * hidden]);
+        }
+        assert_eq!(index.num_encoded(), n);
+        assert_eq!(index.ids(), reference.ids());
+        let query = rows[hidden..2 * hidden].to_vec();
+        // scores are exact dots of the published rows, so rankings agree
+        // entry-for-entry wherever scores are distinct
+        assert_eq!(index.query(&query, 3), reference.query(&query, 3));
+        // re-publishing an id replaces, never duplicates
+        index.insert_row(4, &rows[..hidden]);
+        assert_eq!(index.num_encoded(), n);
+        assert_eq!(
+            index.embedding(4).unwrap().data(),
+            &rows[..hidden],
+            "replacement row is the one served"
+        );
+        // int8 indexes keep their code mirror in lockstep with publishes
+        let mut q8 = ShardedIndex::new(IndexConfig {
+            num_shards: 3,
+            encode_batch: 8,
+            precision: ScanPrecision::Int8 { widen: 4 },
+        });
+        for i in 0..n {
+            q8.insert_row(i as GraphId, &rows[i * hidden..(i + 1) * hidden]);
+        }
+        assert_eq!(q8.query(&query, 5), reference.query(&query, 5));
     }
 
     #[test]

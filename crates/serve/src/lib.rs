@@ -26,6 +26,14 @@
 //! * [`Clock`] / [`VirtualClock`] — time is injected, never read from the
 //!   OS, so coalescing behaviour (flush timing, batch fill under a given
 //!   arrival rate) is exactly reproducible in tests and load probes.
+//! * [`Server`] — the concurrent front-end tying it together: one encode
+//!   worker drives the coalescer's two-phase flush (the batched forward
+//!   runs off-lock, overlapping scans), N shard-pinned scan workers answer
+//!   query fan-outs via [`ShardedIndex::query_shards`], and callers k-way
+//!   merge the sorted partials — bit-identical to the single-threaded
+//!   query. Submissions resolve through oneshot handles, never polling.
+//!   `GBM_SERVE_WORKERS` / `GBM_FLUSH_TICKS` tune the topology from the
+//!   environment ([`ServerConfig::with_env`]).
 //!
 //! Rankings are *exact*: a sharded top-K scan returns the same candidates in
 //! the same order as a full monolithic
@@ -35,12 +43,17 @@
 
 pub mod clock;
 pub mod coalesce;
+mod env;
 pub mod index;
 pub mod quantized;
+pub mod server;
 #[cfg(any(test, feature = "test-fixtures"))]
 pub mod testfix;
 
 pub use clock::{Clock, VirtualClock, WallClock};
-pub use coalesce::{CoalescerConfig, CoalescerStats, EncodeCoalescer, FlushBatch, Ticket};
+pub use coalesce::{
+    CoalescerConfig, CoalescerStats, EncodeCoalescer, FlushBatch, FlushTrigger, Ticket,
+};
 pub use index::{shard_of, GraphId, IndexConfig, ShardedIndex};
 pub use quantized::{QuantizedShard, ScanPrecision};
+pub use server::{EncodeHandle, InsertHandle, RemoveHandle, Server, ServerConfig, ServerReport};

@@ -59,10 +59,18 @@ pub struct QuantizedShard {
     /// `None` until the first row arrives (the row width isn't known
     /// before then — same convention as `ShardedIndex::hidden == 0`).
     mat: Option<QuantizedMatrix>,
-    /// Largest row scale ever pushed. Removals leave it stale-high, which
-    /// only *grows* the error margin — conservative, never wrong.
+    /// L1 norm of each *live* f32 row, in row order (swap-fill on remove,
+    /// mirroring the code matrix) — what lets removal recompute the exact
+    /// maxima below instead of leaving them stale.
+    l1s: Vec<f32>,
+    /// Largest scale among the **live** rows. Removing the max-scale row
+    /// recomputes this exactly over the survivors, so the error margin
+    /// tracks the pool that actually remains: after an outlier row leaves,
+    /// the margin shrinks back and the coarse scan stops over-admitting
+    /// candidates on its account.
     max_scale: f32,
-    /// Largest row L1 norm ever pushed (same stale-high convention).
+    /// Largest L1 norm among the live rows (same exact-on-remove
+    /// maintenance).
     max_l1: f32,
 }
 
@@ -79,17 +87,33 @@ impl QuantizedShard {
             .mat
             .get_or_insert_with(|| QuantizedMatrix::new(row.len()));
         mat.push_row(row);
+        let l1 = row.iter().map(|v| v.abs()).sum();
+        self.l1s.push(l1);
         self.max_scale = self.max_scale.max(mat.scale(mat.rows() - 1));
-        self.max_l1 = self.max_l1.max(row.iter().map(|v| v.abs()).sum());
+        self.max_l1 = self.max_l1.max(l1);
     }
 
     /// Swap-fill removal of row `r` (call in lockstep with the f32
-    /// matrix's swap-remove).
+    /// matrix's swap-remove). When the removed row held the maximum scale
+    /// or L1 norm, the maximum is recomputed exactly over the surviving
+    /// rows — an O(rows) pass paid only on those removals — so
+    /// [`max_dot_error`](Self::max_dot_error) stays the tight bound for
+    /// the live pool instead of ratcheting up forever under churn.
     pub fn swap_remove_row(&mut self, r: usize) {
-        self.mat
+        let mat = self
+            .mat
             .as_mut()
-            .expect("remove on an empty quantized shard")
-            .swap_remove_row(r);
+            .expect("remove on an empty quantized shard");
+        let removed_scale = mat.scale(r);
+        let removed_l1 = self.l1s[r];
+        mat.swap_remove_row(r);
+        self.l1s.swap_remove(r);
+        if removed_scale >= self.max_scale {
+            self.max_scale = (0..mat.rows()).map(|i| mat.scale(i)).fold(0.0, f32::max);
+        }
+        if removed_l1 >= self.max_l1 {
+            self.max_l1 = self.l1s.iter().copied().fold(0.0, f32::max);
+        }
     }
 
     /// Mirrored row count.
@@ -282,6 +306,60 @@ mod tests {
             n,
             "near-duplicate rows are indistinguishable at int8: all stay candidates"
         );
+    }
+
+    /// The churn regression for the margin satellite: removing an outlier
+    /// row must shrink `max_dot_error` back to exactly the bound of a
+    /// shard that never saw the outlier — stale-high maxima would keep the
+    /// fat margin (and its over-admitted candidates) forever.
+    #[test]
+    fn error_margin_shrinks_back_after_removing_the_outlier() {
+        let hidden = 8;
+        let normal: Vec<Vec<f32>> = (0..5)
+            .map(|r| {
+                (0..hidden)
+                    .map(|i| ((r * hidden + i) as f32 * 0.21).sin() * 0.3)
+                    .collect()
+            })
+            .collect();
+        let outlier: Vec<f32> = (0..hidden).map(|i| 50.0 + i as f32).collect();
+        let query: Vec<f32> = (0..hidden).map(|i| (i as f32 * 0.4).cos()).collect();
+        let q = quantize_vector(&query);
+        let l1_q: f32 = query.iter().map(|v| v.abs()).sum();
+
+        let mut clean = QuantizedShard::new();
+        for row in &normal {
+            clean.push_row(row);
+        }
+        let clean_bound = clean.max_dot_error(&q, l1_q);
+
+        // outlier first, so its removal swap-fills from the middle of the
+        // row order rather than popping the tail
+        let mut churned = QuantizedShard::new();
+        churned.push_row(&outlier);
+        for row in &normal {
+            churned.push_row(row);
+        }
+        let fat_bound = churned.max_dot_error(&q, l1_q);
+        assert!(
+            fat_bound > 10.0 * clean_bound,
+            "outlier inflates the bound ({fat_bound} vs {clean_bound})"
+        );
+        churned.swap_remove_row(0);
+        assert_eq!(churned.rows(), normal.len());
+        assert_eq!(
+            churned.max_dot_error(&q, l1_q),
+            clean_bound,
+            "maxima recompute exactly: the bound equals a never-outlier shard"
+        );
+        // removing a non-max row keeps the (already tight) bound intact
+        churned.swap_remove_row(1);
+        assert!(churned.max_dot_error(&q, l1_q) <= clean_bound);
+        // drain to empty: the maxima collapse to zero, not NaN/-inf
+        while churned.rows() > 0 {
+            churned.swap_remove_row(0);
+        }
+        assert_eq!(churned.max_dot_error(&q, l1_q), 1e-6);
     }
 
     #[test]

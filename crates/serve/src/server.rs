@@ -1,0 +1,956 @@
+//! The concurrent serving front-end: pipelined encode/scan workers over the
+//! sharded index.
+//!
+//! [`Server`] turns the passive building blocks of this crate — the
+//! [`EncodeCoalescer`]'s two-phase flush seam and the [`ShardedIndex`]'s
+//! shard-range scan entry point — into a running multi-threaded pipeline:
+//!
+//! ```text
+//!  submit/insert/remove ──► encode worker ──────────► Arc<RwLock<index>>
+//!  (any thread, channel)    owns coalescer+replica         ▲ write (brief)
+//!                           embed_batch OFF-lock           │
+//!                                                          │ read
+//!  query (any thread) ──► scan workers (shard-pinned) ◄────┘
+//!                     ◄── partial top-K per worker, caller k-way merges
+//! ```
+//!
+//! * **One encode worker** owns the model replica and the coalescer. Every
+//!   write (encode request, row publish, remove) flows through its channel,
+//!   so index mutation is single-writer by construction. The worker drives
+//!   the coalescer's caller-side flush policy — full flush at `max_batch`,
+//!   timer flush when the injected [`Clock`] says the oldest request crossed
+//!   `max_wait` — and runs the expensive batched forward *without holding
+//!   any lock*: only the final O(hidden) row publish takes the index write
+//!   lock. Scans overlap encodes; that is the pipelining.
+//! * **N scan workers**, each pinned to a contiguous shard range. A query
+//!   fans out one [`ShardedIndex::query_shards`] job per worker, collects
+//!   the sorted partials, and k-way merges them with
+//!   [`gbm_tensor::merge_ranked`]. Because the ranked merge is associative
+//!   over shard groupings, the fanned-out answer is **exactly** — ids,
+//!   scores, tie order — the single-threaded [`ShardedIndex::query`] answer
+//!   for every worker count (equivalence-tested across shard counts and
+//!   scan precisions).
+//! * **Oneshot replies**: submissions return handles backed by rendezvous
+//!   channels, not polled tickets. [`EncodeHandle::wait`] blocks until the
+//!   flush that carries its row completes; inserts and removes ack the same
+//!   way. A remove that lands while its id's insert is still coalescing
+//!   cancels the pending ticket and still resolves the insert's handle —
+//!   nothing ever hangs and no ticket leaks ([`ServerReport`] proves it at
+//!   shutdown).
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::AtomicUsize;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gbm_nn::{EncodedGraph, GraphBinMatch, GraphBinMatchConfig};
+use gbm_tensor::Tensor;
+
+use crate::clock::Clock;
+use crate::coalesce::{CoalescerConfig, CoalescerStats, EncodeCoalescer, FlushTrigger, Ticket};
+use crate::index::{GraphId, IndexConfig, ShardedIndex};
+
+/// Worker topology and flush policy for a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Scan worker threads (clamped at construction to
+    /// `1..=index.num_shards` — a worker with no shards would answer
+    /// nothing).
+    pub scan_workers: usize,
+    /// Encode coalescing policy (the encode worker drives it).
+    pub coalescer: CoalescerConfig,
+    /// Sharding and scan precision of the index being served.
+    pub index: IndexConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            scan_workers: 2,
+            coalescer: CoalescerConfig::default(),
+            index: IndexConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Applies the serving environment knobs on top of this config:
+    /// `GBM_SERVE_WORKERS` (scan worker threads) and, via
+    /// [`CoalescerConfig::with_env`], `GBM_FLUSH_TICKS`. Invalid values
+    /// warn on stderr and leave the built-in defaults in force.
+    pub fn with_env(mut self) -> ServerConfig {
+        if let Some(w) =
+            crate::env::env_knob::<usize>("GBM_SERVE_WORKERS", "a scan worker thread count")
+        {
+            self.scan_workers = w;
+        }
+        self.coalescer = self.coalescer.with_env();
+        self
+    }
+}
+
+/// End-of-life accounting from [`Server::shutdown`]. A clean run reports
+/// every gauge zero: the final forced flush drained the queue, every row
+/// reached its reply handle or publish, and no ticket was left behind —
+/// the stress tests assert exactly that.
+#[derive(Clone, Debug)]
+pub struct ServerReport {
+    /// Coalescer behaviour over the server's lifetime (flush counts by
+    /// trigger, batch fill).
+    pub coalescer: CoalescerStats,
+    /// Requests still queued un-encoded at exit (leak if nonzero).
+    pub pending: usize,
+    /// Tickets caught between `begin_flush` and `complete_flush` at exit
+    /// (leak if nonzero).
+    pub in_flight: usize,
+    /// Encoded rows never delivered to a handle (leak if nonzero).
+    pub ready: usize,
+    /// Reply destinations never resolved (a lost reply if nonzero).
+    pub unresolved: usize,
+}
+
+impl ServerReport {
+    /// True when nothing leaked: no queued work, no in-flight tickets, no
+    /// undelivered rows, no unresolved reply handles.
+    pub fn is_drained(&self) -> bool {
+        self.pending == 0 && self.in_flight == 0 && self.ready == 0 && self.unresolved == 0
+    }
+}
+
+/// Everything a worker thread needs to rebuild the (non-`Send`) model:
+/// the `Copy` config, a flat weight snapshot, and the shared forward
+/// counter. The replica is constructed *inside* the thread.
+struct ModelSpec {
+    cfg: GraphBinMatchConfig,
+    snapshot: Vec<f32>,
+    counter: Arc<AtomicUsize>,
+}
+
+/// Where a flushed embedding row goes.
+enum EncodeDest {
+    /// Hand the row to the submitting caller.
+    Reply(SyncSender<Tensor>),
+    /// Publish the row into the index under `id`, then ack.
+    Publish { id: GraphId, done: SyncSender<()> },
+}
+
+enum Request {
+    Encode {
+        graph: Box<EncodedGraph>,
+        dest: EncodeDest,
+    },
+    InsertRow {
+        id: GraphId,
+        row: Vec<f32>,
+        done: SyncSender<()>,
+    },
+    Remove {
+        id: GraphId,
+        done: SyncSender<bool>,
+    },
+    Shutdown {
+        report: SyncSender<ServerReport>,
+    },
+}
+
+struct ScanJob {
+    query: Arc<[f32]>,
+    k: usize,
+    reply: SyncSender<Vec<(GraphId, f32)>>,
+}
+
+/// Blocks until the submitted graph's coalescer batch flushes, then yields
+/// its embedding row.
+pub struct EncodeHandle {
+    rx: Receiver<Tensor>,
+}
+
+impl EncodeHandle {
+    /// The `[1, hidden]` embedding of the submitted graph. Blocks until
+    /// its batch flushes (full, timer, or shutdown).
+    pub fn wait(self) -> Tensor {
+        self.rx.recv().expect("server encode worker exited early")
+    }
+
+    /// The embedding if its batch has already flushed; `None` while it is
+    /// still coalescing.
+    pub fn try_wait(&self) -> Option<Tensor> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Resolves when the inserted graph's row is published into the index —
+/// or when a concurrent remove cancels the still-coalescing insert (the
+/// handle never hangs either way).
+pub struct InsertHandle {
+    rx: Receiver<()>,
+}
+
+impl InsertHandle {
+    /// Blocks until the insert is published (or cancelled by a remove).
+    pub fn wait(self) {
+        self.rx.recv().expect("server encode worker exited early");
+    }
+}
+
+/// Resolves with whether the removed id existed (encoded or pending).
+pub struct RemoveHandle {
+    rx: Receiver<bool>,
+}
+
+impl RemoveHandle {
+    /// Blocks until the remove is applied; true when the id existed.
+    pub fn wait(self) -> bool {
+        self.rx.recv().expect("server encode worker exited early")
+    }
+}
+
+/// The running pipeline: one encode worker, N shard-pinned scan workers,
+/// the shared index between them. `Sync` — share it behind an [`Arc`] and
+/// hit it from as many threads as the load offers.
+pub struct Server {
+    index: Arc<RwLock<ShardedIndex>>,
+    encode_tx: Option<Sender<Request>>,
+    encode_worker: Option<JoinHandle<()>>,
+    scan_txs: Vec<Sender<ScanJob>>,
+    scan_workers: Vec<JoinHandle<()>>,
+    has_model: bool,
+}
+
+impl Server {
+    /// Starts a server encoding with (a replica of) `model` over an
+    /// initially-empty index. The clock drives the coalescer's timer
+    /// flushes — [`WallClock`](crate::WallClock) in production, a shared
+    /// [`VirtualClock`](crate::VirtualClock) in tests and load probes.
+    pub fn new(model: &GraphBinMatch, cfg: ServerConfig, clock: Arc<dyn Clock>) -> Server {
+        let spec = ModelSpec {
+            cfg: *model.config(),
+            snapshot: model.store.snapshot(),
+            counter: model.encoder().counter(),
+        };
+        Server::start(Some(spec), ShardedIndex::new(cfg.index), cfg, clock)
+    }
+
+    /// Starts a server over precomputed unit-norm rows (row `i` gets id
+    /// `i`) with no model attached: [`query`](Self::query),
+    /// [`insert_row`](Self::insert_row) and [`remove`](Self::remove) serve
+    /// normally, while [`submit`](Self::submit)/[`insert`](Self::insert)
+    /// panic — there is nothing to encode with.
+    pub fn from_rows(
+        rows: &[f32],
+        hidden: usize,
+        cfg: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Server {
+        Server::start(
+            None,
+            ShardedIndex::from_rows(rows, hidden, cfg.index),
+            cfg,
+            clock,
+        )
+    }
+
+    fn start(
+        model: Option<ModelSpec>,
+        index: ShardedIndex,
+        cfg: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Server {
+        let has_model = model.is_some();
+        let index = Arc::new(RwLock::new(index));
+        let num_shards = index.read().unwrap().num_shards();
+        let workers = cfg.scan_workers.clamp(1, num_shards);
+        let mut scan_txs = Vec::with_capacity(workers);
+        let mut scan_workers = Vec::with_capacity(workers);
+        for w in 0..workers {
+            // contiguous near-even ranges covering 0..num_shards exactly
+            let range = (w * num_shards / workers)..((w + 1) * num_shards / workers);
+            let (tx, rx) = mpsc::channel::<ScanJob>();
+            let idx = Arc::clone(&index);
+            scan_txs.push(tx);
+            scan_workers.push(std::thread::spawn(move || scan_worker_loop(rx, idx, range)));
+        }
+        let (encode_tx, encode_rx) = mpsc::channel::<Request>();
+        let idx = Arc::clone(&index);
+        let coalescer = cfg.coalescer;
+        let encode_worker =
+            std::thread::spawn(move || encode_worker_loop(encode_rx, model, idx, clock, coalescer));
+        Server {
+            index,
+            encode_tx: Some(encode_tx),
+            encode_worker: Some(encode_worker),
+            scan_txs,
+            scan_workers,
+            has_model,
+        }
+    }
+
+    fn send(&self, req: Request) {
+        self.encode_tx
+            .as_ref()
+            .expect("server already shut down")
+            .send(req)
+            .expect("encode worker alive while the server holds its sender");
+    }
+
+    /// Submits a graph for coalesced encoding; the handle resolves with
+    /// its embedding row when the batch flushes. Panics on a model-less
+    /// ([`from_rows`](Self::from_rows)) server.
+    pub fn submit(&self, graph: EncodedGraph) -> EncodeHandle {
+        assert!(
+            self.has_model,
+            "submit requires a server built with a model"
+        );
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.send(Request::Encode {
+            graph: Box::new(graph),
+            dest: EncodeDest::Reply(tx),
+        });
+        EncodeHandle { rx }
+    }
+
+    /// Encodes `graph` through the coalescer and publishes its row into
+    /// the index under `id` (replacing any existing row — id routing is
+    /// the index's stable hash). Panics on a model-less server.
+    pub fn insert(&self, id: GraphId, graph: EncodedGraph) -> InsertHandle {
+        assert!(
+            self.has_model,
+            "insert requires a server built with a model"
+        );
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.send(Request::Encode {
+            graph: Box::new(graph),
+            dest: EncodeDest::Publish { id, done: tx },
+        });
+        InsertHandle { rx }
+    }
+
+    /// Publishes a precomputed embedding row under `id` — no encode, but
+    /// still routed through the encode worker so index writes stay
+    /// single-writer and ordered with coalescing inserts for the same id.
+    pub fn insert_row(&self, id: GraphId, row: Vec<f32>) -> InsertHandle {
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.send(Request::InsertRow { id, row, done: tx });
+        InsertHandle { rx }
+    }
+
+    /// Removes `id`: cancels a still-coalescing insert for it (resolving
+    /// that insert's handle) and deletes its encoded row. The handle
+    /// resolves with whether the id existed.
+    pub fn remove(&self, id: GraphId) -> RemoveHandle {
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.send(Request::Remove { id, done: tx });
+        RemoveHandle { rx }
+    }
+
+    /// Exact top-K cosine neighbours of `query`, served by the scan-worker
+    /// fan-out: one shard-range partial per worker, k-way merged here.
+    /// Identical — ids, scores, tie order — to
+    /// [`ShardedIndex::query`] on the same index state.
+    pub fn query(&self, query: &[f32], k: usize) -> Vec<(GraphId, f32)> {
+        let q: Arc<[f32]> = query.into();
+        let mut replies = Vec::with_capacity(self.scan_txs.len());
+        for tx in &self.scan_txs {
+            let (rtx, rrx) = mpsc::sync_channel(1);
+            tx.send(ScanJob {
+                query: Arc::clone(&q),
+                k,
+                reply: rtx,
+            })
+            .expect("scan worker alive while the server holds its sender");
+            replies.push(rrx);
+        }
+        let partials: Vec<Vec<(GraphId, f32)>> = replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("scan worker answers every job"))
+            .collect();
+        gbm_tensor::merge_ranked(&partials, k)
+    }
+
+    /// Encoded (searchable) rows right now.
+    pub fn num_encoded(&self) -> usize {
+        self.index.read().unwrap().num_encoded()
+    }
+
+    /// Every encoded id, ascending.
+    pub fn ids(&self) -> Vec<GraphId> {
+        self.index.read().unwrap().ids()
+    }
+
+    /// The published embedding row of `id`, if present.
+    pub fn embedding(&self, id: GraphId) -> Option<Tensor> {
+        self.index.read().unwrap().embedding(id)
+    }
+
+    /// Scan worker threads actually running (after clamping to the shard
+    /// count).
+    pub fn scan_worker_count(&self) -> usize {
+        self.scan_txs.len()
+    }
+
+    /// Gracefully stops the pipeline: the encode worker force-flushes
+    /// whatever is still coalescing (resolving every outstanding handle),
+    /// reports its end-of-life accounting, and every thread joins.
+    pub fn shutdown(mut self) -> ServerReport {
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.send(Request::Shutdown { report: tx });
+        let report = rx.recv().expect("encode worker reports before exiting");
+        self.join_workers();
+        report
+    }
+
+    fn join_workers(&mut self) {
+        // dropping the senders is the stop signal; join for a clean exit
+        drop(self.encode_tx.take());
+        if let Some(h) = self.encode_worker.take() {
+            let _ = h.join();
+        }
+        self.scan_txs.clear();
+        for h in self.scan_workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    /// Dropping without [`shutdown`](Self::shutdown) still drains: the
+    /// worker force-flushes on disconnect, then everything joins.
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
+fn scan_worker_loop(rx: Receiver<ScanJob>, index: Arc<RwLock<ShardedIndex>>, shards: Range<usize>) {
+    while let Ok(job) = rx.recv() {
+        let partial = index
+            .read()
+            .unwrap()
+            .query_shards(shards.clone(), &job.query, job.k);
+        // a caller that gave up on the query just drops its receiver
+        let _ = job.reply.send(partial);
+    }
+}
+
+/// How long the encode worker blocks on its channel before re-checking the
+/// timer-flush deadline — the staleness bound on `max_wait` enforcement.
+const WORKER_POLL: Duration = Duration::from_millis(1);
+
+fn encode_worker_loop(
+    rx: Receiver<Request>,
+    model: Option<ModelSpec>,
+    index: Arc<RwLock<ShardedIndex>>,
+    clock: Arc<dyn Clock>,
+    cfg: CoalescerConfig,
+) {
+    // the replica is built here, inside the worker thread: the model's
+    // parameter store is not Send, so it crosses the boundary as
+    // (config, weight snapshot, counter) and is reconstituted on arrival
+    let replica = model.map(|m| {
+        GraphBinMatch::from_snapshot(m.cfg, &m.snapshot, std::sync::Arc::clone(&m.counter))
+    });
+    let mut co = EncodeCoalescer::new(cfg);
+    let max_batch = co.config().max_batch;
+    let mut dests: HashMap<Ticket, EncodeDest> = HashMap::new();
+    // the live publish ticket per id, so a remove (or a replacing insert)
+    // can cancel a still-coalescing insert for the same id
+    let mut publish_ticket: HashMap<GraphId, Ticket> = HashMap::new();
+
+    // One coalescer flush: drain the queue, run the batched forward with NO
+    // lock held (scans keep serving), then publish/reply row by row — only
+    // the O(hidden) insert_row takes the write lock.
+    fn flush(
+        co: &mut EncodeCoalescer,
+        trigger: FlushTrigger,
+        replica: &Option<GraphBinMatch>,
+        dests: &mut HashMap<Ticket, EncodeDest>,
+        publish_ticket: &mut HashMap<GraphId, Ticket>,
+        index: &RwLock<ShardedIndex>,
+    ) {
+        let Some(batch) = co.begin_flush() else {
+            return;
+        };
+        co.note_flush_trigger(trigger);
+        let model = replica
+            .as_ref()
+            .expect("encode requests only reach a server built with a model");
+        let rows = model.encoder().embed_batch(&batch.graphs());
+        let tickets = batch.tickets();
+        co.complete_flush(batch, rows);
+        for t in tickets {
+            let Some(dest) = dests.remove(&t) else {
+                continue; // cancelled earlier; its handle already resolved
+            };
+            let row = co.poll(t);
+            match dest {
+                EncodeDest::Reply(tx) => {
+                    if let Some(row) = row {
+                        // a caller that dropped its handle just loses the row
+                        let _ = tx.send(row);
+                    }
+                }
+                EncodeDest::Publish { id, done } => {
+                    if let Some(row) = row {
+                        if publish_ticket.get(&id) == Some(&t) {
+                            publish_ticket.remove(&id);
+                        }
+                        index.write().unwrap().insert_row(id, row.data());
+                    }
+                    let _ = done.send(());
+                }
+            }
+        }
+    }
+
+    // a cancelled publish still resolves its insert handle — nothing hangs
+    fn cancel_publish(
+        co: &mut EncodeCoalescer,
+        dests: &mut HashMap<Ticket, EncodeDest>,
+        ticket: Ticket,
+    ) {
+        co.cancel(ticket);
+        if let Some(EncodeDest::Publish { done, .. }) = dests.remove(&ticket) {
+            let _ = done.send(());
+        }
+    }
+
+    let mut shutdown_report: Option<SyncSender<ServerReport>> = None;
+    'serve: loop {
+        let mut next = match rx.recv_timeout(WORKER_POLL) {
+            Ok(req) => Some(req),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break 'serve,
+        };
+        // handle the received request, then drain the burst behind it
+        while let Some(req) = next {
+            match req {
+                Request::Encode { graph, dest } => {
+                    let t = co.enqueue(*graph, &*clock);
+                    if let EncodeDest::Publish { id, .. } = &dest {
+                        if let Some(old) = publish_ticket.insert(*id, t) {
+                            // replaced while still coalescing: the newer
+                            // insert wins, the older handle resolves now
+                            cancel_publish(&mut co, &mut dests, old);
+                        }
+                    }
+                    dests.insert(t, dest);
+                    if co.pending_len() >= max_batch {
+                        flush(
+                            &mut co,
+                            FlushTrigger::Full,
+                            &replica,
+                            &mut dests,
+                            &mut publish_ticket,
+                            &index,
+                        );
+                    }
+                }
+                Request::InsertRow { id, row, done } => {
+                    if let Some(old) = publish_ticket.remove(&id) {
+                        cancel_publish(&mut co, &mut dests, old);
+                    }
+                    index.write().unwrap().insert_row(id, &row);
+                    let _ = done.send(());
+                }
+                Request::Remove { id, done } => {
+                    let mut existed = false;
+                    if let Some(t) = publish_ticket.remove(&id) {
+                        cancel_publish(&mut co, &mut dests, t);
+                        existed = true;
+                    }
+                    existed |= index.write().unwrap().remove(id);
+                    let _ = done.send(existed);
+                }
+                Request::Shutdown { report } => {
+                    shutdown_report = Some(report);
+                    break;
+                }
+            }
+            next = rx.try_recv().ok();
+        }
+        if shutdown_report.is_some() {
+            break 'serve;
+        }
+        if co.flush_due(&*clock) {
+            flush(
+                &mut co,
+                FlushTrigger::Timer,
+                &replica,
+                &mut dests,
+                &mut publish_ticket,
+                &index,
+            );
+        }
+    }
+    // final drain: whatever is still coalescing flushes now, so every
+    // outstanding handle resolves before the worker exits
+    if co.pending_len() > 0 {
+        flush(
+            &mut co,
+            FlushTrigger::Forced,
+            &replica,
+            &mut dests,
+            &mut publish_ticket,
+            &index,
+        );
+    }
+    if let Some(report) = shutdown_report {
+        let _ = report.send(ServerReport {
+            coalescer: co.stats().clone(),
+            pending: co.pending_len(),
+            in_flight: co.in_flight_len(),
+            ready: co.ready_len(),
+            unresolved: dests.len(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::quantized::ScanPrecision;
+    use crate::testfix::{model, toy};
+
+    fn synth_rows(n: usize, hidden: usize, seed: u64) -> Vec<f32> {
+        // splitmix64, the same mixer the index routes with
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        (0..n * hidden)
+            .map(|_| (next() % 2000) as f32 / 1000.0 - 1.0)
+            .collect()
+    }
+
+    /// The headline acceptance criterion: the fanned-out concurrent query
+    /// answers **exactly** — ids, scores, tie order — like the
+    /// single-threaded `ShardedIndex::query`, for every shard count ×
+    /// precision × worker count combination.
+    #[test]
+    fn concurrent_query_equals_single_threaded_across_shards_and_precisions() {
+        let hidden = 8;
+        let n = 500;
+        let rows = synth_rows(n, hidden, 21);
+        let queries = [
+            rows[..hidden].to_vec(),
+            rows[40 * hidden..41 * hidden].to_vec(),
+        ];
+        for shards in [1usize, 2, 7] {
+            for precision in [ScanPrecision::F32, ScanPrecision::Int8 { widen: 2 }] {
+                let icfg = IndexConfig {
+                    num_shards: shards,
+                    encode_batch: 8,
+                    precision,
+                };
+                let reference = ShardedIndex::from_rows(&rows, hidden, icfg);
+                for workers in [1usize, 2, 3] {
+                    let server = Server::from_rows(
+                        &rows,
+                        hidden,
+                        ServerConfig {
+                            scan_workers: workers,
+                            index: icfg,
+                            ..Default::default()
+                        },
+                        Arc::new(VirtualClock::new()),
+                    );
+                    assert_eq!(server.scan_worker_count(), workers.min(shards));
+                    for q in &queries {
+                        for k in [1usize, 10, n + 3] {
+                            assert_eq!(
+                                server.query(q, k),
+                                reference.query(q, k),
+                                "shards={shards} workers={workers} k={k} \
+                                 precision={precision:?}"
+                            );
+                        }
+                    }
+                    let report = server.shutdown();
+                    assert!(report.is_drained(), "query-only server leaks: {report:?}");
+                }
+            }
+        }
+    }
+
+    /// Oneshot semantics: `submit` resolves with the same row a direct
+    /// solo encode produces, and a full coalescer batch flushes without
+    /// the clock moving.
+    #[test]
+    fn submit_resolves_with_the_coalesced_embedding() {
+        let (pool, vocab) = toy(4);
+        let m = model(vocab, 31);
+        let server = Server::new(
+            &m,
+            ServerConfig {
+                coalescer: CoalescerConfig {
+                    max_batch: 4,
+                    max_wait: 1_000_000,
+                },
+                ..Default::default()
+            },
+            Arc::new(VirtualClock::new()),
+        );
+        let handles: Vec<EncodeHandle> = pool.iter().map(|g| server.submit(g.clone())).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let got = h.wait();
+            let solo = m.encoder().embed(&pool[i]);
+            for (a, b) in got.data().iter().zip(solo.data().iter()) {
+                assert!((a - b).abs() < 1e-4, "graph {i}: coalesced {a} vs solo {b}");
+            }
+        }
+        let report = server.shutdown();
+        assert!(report.is_drained(), "{report:?}");
+        assert_eq!(report.coalescer.full_flushes, 1, "one full batch");
+        assert_eq!(report.coalescer.encoded, 4);
+    }
+
+    /// Timer flushes fire off the injected clock, not wall time: a lone
+    /// request sits coalescing while the virtual clock is still, and
+    /// resolves once the clock crosses `max_wait`.
+    #[test]
+    fn timer_flush_fires_on_the_injected_clock() {
+        let (pool, vocab) = toy(1);
+        let m = model(vocab, 32);
+        let clock = Arc::new(VirtualClock::new());
+        let server = Server::new(
+            &m,
+            ServerConfig {
+                coalescer: CoalescerConfig {
+                    max_batch: 100,
+                    max_wait: 5,
+                },
+                ..Default::default()
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let h = server.insert(7, pool[0].clone());
+        // the virtual clock has not moved: the worker polls but never
+        // reaches the deadline, so the request must still be coalescing
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(server.num_encoded(), 0, "no flush before the deadline");
+        clock.advance(5);
+        h.wait(); // resolves via the timer flush
+        assert_eq!(server.num_encoded(), 1);
+        assert!(server.embedding(7).is_some());
+        let report = server.shutdown();
+        assert!(report.is_drained(), "{report:?}");
+        assert_eq!(report.coalescer.timer_flushes, 1);
+    }
+
+    /// Insert/remove lifecycle through the server: publish, replace,
+    /// remove-of-encoded, remove-of-pending (which must cancel the ticket
+    /// AND resolve the insert handle), and remove-of-absent.
+    #[test]
+    fn insert_remove_lifecycle_never_hangs_or_leaks() {
+        let (pool, vocab) = toy(5);
+        let m = model(vocab, 33);
+        let clock = Arc::new(VirtualClock::new());
+        let server = Server::new(
+            &m,
+            ServerConfig {
+                coalescer: CoalescerConfig {
+                    max_batch: 2,
+                    max_wait: 1_000_000,
+                },
+                index: IndexConfig {
+                    num_shards: 3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        // two inserts fill a batch and publish
+        let h0 = server.insert(0, pool[0].clone());
+        let h1 = server.insert(1, pool[1].clone());
+        h0.wait();
+        h1.wait();
+        assert_eq!(server.ids(), vec![0, 1]);
+        // a query served by the worker fan-out sees the published rows
+        let q = server.embedding(0).unwrap();
+        let top = server.query(q.data(), 1);
+        assert_eq!(top[0].0, 0, "a row is its own nearest neighbour");
+        // re-insert replaces: same id, still two rows
+        let h = server.insert(1, pool[2].clone());
+        let h2 = server.insert(2, pool[3].clone());
+        h.wait();
+        h2.wait();
+        assert_eq!(server.ids(), vec![0, 1, 2]);
+        // remove of an encoded row
+        assert!(server.remove(1).wait());
+        assert_eq!(server.ids(), vec![0, 2]);
+        assert!(!server.remove(1).wait(), "double remove reports absence");
+        // remove of a *pending* insert: batch never fills, clock never
+        // moves — only the cancel can resolve the handle
+        let pending = server.insert(9, pool[4].clone());
+        assert!(server.remove(9).wait(), "pending insert counts as existing");
+        pending.wait(); // resolved by the cancel, not a flush
+        assert!(server.embedding(9).is_none(), "cancelled row never lands");
+        // a replacing insert also resolves the handle it replaces
+        let old = server.insert(5, pool[0].clone());
+        let new = server.insert(5, pool[1].clone());
+        old.wait();
+        let report = server.shutdown(); // forced flush publishes id 5
+        drop(new);
+        assert!(report.is_drained(), "{report:?}");
+        assert!(report.coalescer.forced_flushes >= 1);
+    }
+
+    /// `insert_row` publishes precomputed rows through the same
+    /// single-writer path, usable on a model-less server.
+    #[test]
+    fn insert_row_serves_on_a_model_less_server() {
+        let hidden = 4;
+        let rows = synth_rows(6, hidden, 44);
+        let server = Server::from_rows(
+            &rows,
+            hidden,
+            ServerConfig::default(),
+            Arc::new(VirtualClock::new()),
+        );
+        assert_eq!(server.num_encoded(), 6);
+        server.insert_row(100, rows[..hidden].to_vec()).wait();
+        assert_eq!(server.num_encoded(), 7);
+        let top = server.query(&rows[..hidden], 2);
+        // id 0 and id 100 share the same row: exact tie, id order decides
+        assert_eq!(top[0].1, top[1].1);
+        assert!(server.remove(100).wait());
+        let report = server.shutdown();
+        assert!(report.is_drained(), "{report:?}");
+        assert_eq!(report.coalescer.flushes, 0, "no encodes ever ran");
+    }
+
+    /// The seeded concurrency stress: submitter threads (disjoint id
+    /// spaces), a remover pass, and querier threads hammer one shared
+    /// server. Afterwards: no ticket leaks, no lost replies (every handle
+    /// resolved), and the final index state equals a serially-replayed
+    /// reference — ids exactly, rows within batched-encode tolerance.
+    #[test]
+    fn concurrent_stress_replay_matches_serial() {
+        let (pool, vocab) = toy(6);
+        let m = model(vocab, 35);
+        let clock = Arc::new(VirtualClock::new());
+        let server = Arc::new(Server::new(
+            &m,
+            ServerConfig {
+                scan_workers: 2,
+                coalescer: CoalescerConfig {
+                    max_batch: 4,
+                    max_wait: 2,
+                },
+                index: IndexConfig {
+                    num_shards: 3,
+                    encode_batch: 4,
+                    ..Default::default()
+                },
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        ));
+        const PER_THREAD: usize = 12;
+        let mut threads = Vec::new();
+        for t in 0..3u64 {
+            let server = Arc::clone(&server);
+            let pool = pool.clone();
+            threads.push(std::thread::spawn(move || {
+                // insert a private id range, then remove every third id;
+                // per-thread state is deterministic whatever the schedule
+                let ids: Vec<GraphId> = (0..PER_THREAD as u64).map(|i| t * 1000 + i).collect();
+                let handles: Vec<InsertHandle> = ids
+                    .iter()
+                    .map(|&id| server.insert(id, pool[id as usize % pool.len()].clone()))
+                    .collect();
+                for h in handles {
+                    h.wait();
+                }
+                for &id in ids.iter().step_by(3) {
+                    assert!(server.remove(id).wait(), "own insert must exist");
+                }
+            }));
+        }
+        for q in 0..2usize {
+            let server = Arc::clone(&server);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..40 {
+                    // queries against whatever is published right now must
+                    // stay well-formed: ranked, no duplicates, len ≤ k
+                    if let Some(row) = server.embedding((i % 5) as GraphId) {
+                        let k = 3 + q;
+                        let top = server.query(row.data(), k);
+                        assert!(top.len() <= k);
+                        for w in top.windows(2) {
+                            assert!(w[0].1 >= w[1].1, "ranked");
+                            assert_ne!(w[0].0, w[1].0, "no duplicate ids");
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            }));
+        }
+        // keep virtual time moving so timer flushes can fire under load
+        {
+            let clock = Arc::clone(&clock);
+            let ticker = std::thread::spawn(move || {
+                for _ in 0..200 {
+                    clock.advance(1);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+            for th in threads {
+                th.join().expect("stress thread panicked");
+            }
+            ticker.join().unwrap();
+        }
+        let server = Arc::into_inner(server).expect("all thread clones joined");
+        let got_ids = server.ids();
+        let got_rows: Vec<Tensor> = got_ids
+            .iter()
+            .map(|&id| server.embedding(id).expect("listed id has a row"))
+            .collect();
+        let report = server.shutdown();
+        assert!(report.is_drained(), "leaked state at shutdown: {report:?}");
+        assert_eq!(
+            report.coalescer.encoded,
+            3 * PER_THREAD,
+            "every insert was encoded exactly once (cancelled-before-encode \
+             would under-count, duplicates would over-count)"
+        );
+        // serial replay: disjoint per-thread id spaces make the final state
+        // independent of the interleaving, so one fixed order reproduces it
+        let mut reference = ShardedIndex::new(IndexConfig {
+            num_shards: 3,
+            encode_batch: 4,
+            ..Default::default()
+        });
+        for t in 0..3u64 {
+            for i in 0..PER_THREAD as u64 {
+                let id = t * 1000 + i;
+                reference.insert(&m, id, pool[id as usize % pool.len()].clone());
+            }
+        }
+        reference.flush(&m);
+        for t in 0..3u64 {
+            for i in (0..PER_THREAD as u64).step_by(3) {
+                assert!(reference.remove(t * 1000 + i));
+            }
+        }
+        assert_eq!(got_ids, reference.ids(), "final id set matches the replay");
+        for (id, row) in got_ids.iter().zip(&got_rows) {
+            let want = reference.embedding(*id).unwrap();
+            for (a, b) in row.data().iter().zip(want.data().iter()) {
+                // both sides batched-encode, with different batch splits:
+                // rows agree to batching tolerance, not bitwise
+                assert!(
+                    (a - b).abs() < 5e-4,
+                    "id {id}: server row {a} vs replay row {b}"
+                );
+            }
+        }
+    }
+}

@@ -49,6 +49,7 @@ mod graph;
 mod init;
 mod intdot;
 mod kernels;
+mod merge;
 mod ops;
 mod optim;
 mod param;
@@ -66,6 +67,7 @@ pub mod gradcheck;
 pub use graph::{Graph, Var};
 pub use init::{glorot_uniform, normal, uniform};
 pub use intdot::dot_i8_blocked;
+pub use merge::merge_ranked;
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
 pub use param::{Param, ParamStore};
 pub use select::top_k;

@@ -1,0 +1,190 @@
+//! Ranked k-way merge: combine per-partition top-K lists into a global one.
+//!
+//! The serving layer's scans produce one `(index, score)` list per shard —
+//! each already ranked by `(score desc, index asc)` — and the global answer
+//! is the best `k` entries across all of them. [`merge_ranked`] merges with
+//! a bounded binary heap over the list heads: O((L + k) · log L) for L
+//! lists instead of flattening and re-sorting, and it never materializes
+//! more than `k` output entries.
+//!
+//! The comparator is the same IEEE total order the rest of the retrieval
+//! stack ranks by (`f32::total_cmp` descending, ties by ascending index,
+//! then by list position), which makes the merge **associative**: merging
+//! per-shard lists directly, or pre-merging arbitrary disjoint groups of
+//! them (one per scan worker) and merging those partials, yields the same
+//! sequence whenever indices are unique across lists. That associativity is
+//! what lets the concurrent serving front-end fan shards out across worker
+//! threads and still return results bit-identical to a single-threaded
+//! scan — it only requires the head comparator to be total, not the lists
+//! to be perfectly sorted, so per-shard tie conventions (row order within a
+//! shard after churn) survive the merge unchanged.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One heap entry: a list head. `Ord` is *reversed* rank order so that
+/// `BinaryHeap` (a max-heap) exposes the best-ranked head at its root.
+struct Head<I> {
+    index: I,
+    score: f32,
+    /// Which input list this head came from (deterministic tie-break when
+    /// two lists carry an identical `(score, index)` entry).
+    list: usize,
+    /// Position of the next element of that list.
+    next: usize,
+}
+
+impl<I: Ord> Head<I> {
+    /// `Less` when `self` ranks strictly earlier (higher score, then lower
+    /// index, then lower list position).
+    fn rank_cmp(&self, other: &Head<I>) -> Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.index.cmp(&other.index))
+            .then(self.list.cmp(&other.list))
+    }
+}
+
+impl<I: Ord> PartialEq for Head<I> {
+    fn eq(&self, other: &Head<I>) -> bool {
+        self.rank_cmp(other) == Ordering::Equal
+    }
+}
+impl<I: Ord> Eq for Head<I> {}
+impl<I: Ord> PartialOrd for Head<I> {
+    fn partial_cmp(&self, other: &Head<I>) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<I: Ord> Ord for Head<I> {
+    fn cmp(&self, other: &Head<I>) -> Ordering {
+        // reversed: the max-heap root is the earliest-ranked head
+        other.rank_cmp(self)
+    }
+}
+
+/// Merges `lists` — each a `(index, score)` list ranked best-first by
+/// `(score desc, index asc)` — into the best `k` entries overall, ranked the
+/// same way. Entries are consumed in list order, so within one list the
+/// caller's ordering convention (e.g. row-order ties) is preserved; across
+/// lists the head comparator decides, exactly as a flat k-way merge would.
+pub fn merge_ranked<I: Ord + Copy>(lists: &[Vec<(I, f32)>], k: usize) -> Vec<(I, f32)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Head<I>> = BinaryHeap::with_capacity(lists.len());
+    for (li, list) in lists.iter().enumerate() {
+        if let Some(&(index, score)) = list.first() {
+            heap.push(Head {
+                index,
+                score,
+                list: li,
+                next: 1,
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(k.min(lists.iter().map(Vec::len).sum()));
+    while out.len() < k {
+        let Some(head) = heap.pop() else { break };
+        out.push((head.index, head.score));
+        if let Some(&(index, score)) = lists[head.list].get(head.next) {
+            heap.push(Head {
+                index,
+                score,
+                list: head.list,
+                next: head.next + 1,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: flatten everything and stable-sort by `(score desc,
+    /// index asc)` — valid whenever the inputs are genuinely sorted.
+    fn flat_ranked(lists: &[Vec<(usize, f32)>], k: usize) -> Vec<(usize, f32)> {
+        let mut all: Vec<(usize, f32)> = lists.iter().flatten().copied().collect();
+        all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn merges_sorted_lists_like_a_flat_sort() {
+        let lists = vec![
+            vec![(0usize, 0.9f32), (3, 0.5), (6, -0.2)],
+            vec![(1, 0.9), (4, 0.4)],
+            vec![],
+            vec![(2, 1.3), (5, 0.5), (7, 0.5)],
+        ];
+        for k in [0usize, 1, 3, 8, 20] {
+            assert_eq!(merge_ranked(&lists, k), flat_ranked(&lists, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_answer_empty() {
+        assert_eq!(merge_ranked::<usize>(&[], 5), vec![]);
+        assert_eq!(merge_ranked::<usize>(&[vec![], vec![]], 5), vec![]);
+        assert_eq!(merge_ranked(&[vec![(1usize, 1.0f32)]], 0), vec![]);
+    }
+
+    /// The property the concurrent fan-out leans on: pre-merging disjoint
+    /// groups of lists, then merging the partials, equals merging all the
+    /// lists at once — even when within-list tie order disagrees with the
+    /// cross-list comparator (row-order ties inside a churned shard).
+    #[test]
+    fn merge_is_associative_over_list_groupings() {
+        // list 0 carries a tie in *reverse* index order (row order after a
+        // swap-fill remove) — the merge must preserve it in place
+        let lists = vec![
+            vec![(5usize, 1.0f32), (3, 1.0), (9, 0.1)],
+            vec![(4, 1.0), (8, 0.3)],
+            vec![(2, 0.7), (7, 0.3)],
+            vec![(6, 2.0), (1, 0.3)],
+        ];
+        let k = 9;
+        let flat = merge_ranked(&lists, k);
+        // every 2-group partition of the 4 lists
+        for split in [
+            (vec![0usize], vec![1usize, 2, 3]),
+            (vec![0, 1], vec![2, 3]),
+            (vec![0, 3], vec![1, 2]),
+            (vec![0, 1, 2], vec![3]),
+        ] {
+            let ga: Vec<Vec<(usize, f32)>> = split.0.iter().map(|&i| lists[i].clone()).collect();
+            let gb: Vec<Vec<(usize, f32)>> = split.1.iter().map(|&i| lists[i].clone()).collect();
+            let partials = vec![merge_ranked(&ga, k), merge_ranked(&gb, k)];
+            assert_eq!(merge_ranked(&partials, k), flat, "split {:?}", split);
+        }
+        // the reverse-order tie from list 0 survives verbatim: 5 before 3
+        let pos5 = flat.iter().position(|&(i, _)| i == 5).unwrap();
+        let pos3 = flat.iter().position(|&(i, _)| i == 3).unwrap();
+        assert!(pos5 < pos3, "within-list order is preserved");
+    }
+
+    #[test]
+    fn truncated_partials_still_merge_exactly() {
+        // workers may truncate their partials to k before the final merge —
+        // safe because no list contributes more than k global entries
+        let lists = vec![
+            (0..20)
+                .map(|i| (i * 2, 1.0 - i as f32 * 0.01))
+                .collect::<Vec<_>>(),
+            (0..20)
+                .map(|i| (i * 2 + 1, 0.995 - i as f32 * 0.01))
+                .collect(),
+        ];
+        let k = 7;
+        let full = merge_ranked(&lists, k);
+        let truncated: Vec<Vec<(usize, f32)>> = lists
+            .iter()
+            .map(|l| l.iter().copied().take(k).collect())
+            .collect();
+        assert_eq!(merge_ranked(&truncated, k), full);
+    }
+}

@@ -11,6 +11,9 @@ Usage:
     cargo bench -p gbm-bench --bench serve_query | tee serve_query_out.txt
     python3 scripts/check_bench_regression.py --bench serve_query [--quick] serve_query_out.txt
 
+    cargo bench -p gbm-bench --bench serve_concurrent | tee serve_concurrent_out.txt
+    python3 scripts/check_bench_regression.py --bench serve_concurrent [--quick] serve_concurrent_out.txt
+
 Absolute times are machine-dependent, so every gate is on *ratios inside one
 run*:
 
@@ -40,6 +43,18 @@ run*:
   before timing, so an equivalence regression fails the bench step
   outright).
 
+* `serve_concurrent`: per pool group, two ratio families against
+  BENCH_serve_concurrent.json — `scaling_tT = scan_t1 / scan_tT` (the
+  worker fan-out must not cost throughput; a worker scanning shards it
+  does not own, or scans serialized behind a held write lock, craters
+  this on any host) and `tail_tT = p50_tT / p99_tT` (a p99 blowing up
+  relative to p50 is the tail-latency regression signature, host speed
+  cancels out). Both are higher-is-better. Additionally every fresh
+  `p99_tT` must stay under the absolute `meta.p99_ceiling_ms` ceiling for
+  the section — the only absolute-time gate in this script, set loose
+  enough (~5-7x baseline) that host variance passes but a real tail
+  pathology does not.
+
 `--quick` compares against the `quick_ms` baseline section (the CI smoke
 run, `GBM_BENCH_SCALE=quick`); the default compares against `full_ms`.
 """
@@ -55,6 +70,7 @@ BASELINES = {
     "encode_batch": ROOT / "BENCH_encode_batch.json",
     "train_step": ROOT / "BENCH_train_step.json",
     "serve_query": ROOT / "BENCH_serve_query.json",
+    "serve_concurrent": ROOT / "BENCH_serve_concurrent.json",
 }
 
 ROW = re.compile(
@@ -139,11 +155,51 @@ def serve_query_ratios(times: dict) -> dict:
     return out
 
 
+def serve_concurrent_ratios(times: dict) -> dict:
+    """Per pool group: worker-scaling and tail-latency ratios.
+
+    `scaling_tT` = scan_t1 / scan_tT — the T-worker fan-out relative to one
+    worker (1-core hosts sit near 1.0; fan-out bugs crater it anywhere).
+    `tail_tT` = p50_tT / p99_tT — how close the tail sits to the median
+    (host speed cancels; a growing tail drops it). Higher is better for
+    both.
+    """
+    out = {}
+    groups = {name.split("/")[0] for name in times}
+    for g in sorted(groups):
+        t1 = times.get(f"{g}/scan_t1")
+        for name, t in sorted(times.items()):
+            prefix = f"{g}/scan_t"
+            if t1 is not None and name.startswith(prefix) and name != f"{g}/scan_t1":
+                out[f"{g}/scaling_t{name[len(prefix):]}"] = t1 / t
+            if name.startswith(f"{g}/p50_t"):
+                tt = name.split("_t")[-1]
+                p99 = times.get(f"{g}/p99_t{tt}")
+                if p99 is not None:
+                    out[f"{g}/tail_t{tt}"] = t / p99
+    return out
+
+
+def p99_ceiling_failures(fresh: dict, baseline_doc: dict, quick: bool) -> list:
+    """Absolute tail gate: fresh p99 rows must stay under the baseline's
+    `meta.p99_ceiling_ms` for the section. Returns failure messages."""
+    ceiling = baseline_doc.get("meta", {}).get("p99_ceiling_ms", {})
+    limit = ceiling.get("quick" if quick else "full")
+    if limit is None:
+        return []
+    return [
+        f"{name}: {t:.3f} ms exceeds the p99 ceiling of {limit:.1f} ms"
+        for name, t in sorted(fresh.items())
+        if "/p99_t" in name and t > limit
+    ]
+
+
 # per-bench: (ratio fn, True when higher-is-better)
 GATES = {
     "encode_batch": (encode_batch_ratios, True),
     "train_step": (train_step_ratios, False),
     "serve_query": (serve_query_ratios, True),
+    "serve_concurrent": (serve_concurrent_ratios, True),
 }
 
 
@@ -198,6 +254,11 @@ def main() -> int:
         verdict = "ok" if ok else f"REGRESSION (>{REGRESSION_TOLERANCE:.0%} off baseline)"
         print(f"{g:<28} {b:>9.2f}{unit} {f:>9.2f}{unit}  {verdict}")
         failed |= not ok
+    if bench == "serve_concurrent":
+        ceiling_failures = p99_ceiling_failures(fresh, baseline_doc, quick)
+        for msg in ceiling_failures:
+            print(f"CEILING: {msg}")
+        failed |= bool(ceiling_failures)
     if failed:
         print(f"\n{bench} ratios regressed; see {BASELINES[bench].name} for baselines")
         return 1
