@@ -1,0 +1,185 @@
+//! probe_recover: crash-kill recovery drill over real files, with the
+//! cold-start comparison the persistence layer exists for.
+//!
+//! The drill (all state under `target/probe_recover-state/`, wiped first):
+//!
+//! 1. **Session 1** — boot a durable server on an empty directory, insert
+//!    the first half of a MiniC embedding pool (every op WAL-logged), shut
+//!    down cleanly, then checkpoint offline (snapshot + WAL compaction).
+//! 2. **Session 2** — boot from that snapshot, insert the second half and
+//!    remove every 5th id, then **crash**: the server is dropped without
+//!    shutdown and torn junk is appended to the WAL, as a kill mid-append
+//!    would leave it.
+//! 3. **Recovery** — timed `recover()`: newest snapshot + WAL tail replay
+//!    (the torn tail dropped and counted). The recovered index is asserted
+//!    rank-identical — ids, scores, tie order — to a never-crashed serial
+//!    replay of every acked op.
+//! 4. **Cold-start comparison** — recovery time vs re-encoding the same
+//!    pool through the GNN encoder (the only alternative way to rebuild
+//!    the index). The probe asserts the ≥10× speedup the persistence
+//!    layer promises.
+//!
+//! EXPERIMENTS.md records a run of this probe.
+//!
+//! ```text
+//! cargo run --release -p gbm-bench --bin probe_recover [-- --json]
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gbm_nn::{GraphBinMatch, GraphBinMatchConfig};
+use gbm_serve::persist::{checkpoint, recover, DurabilityConfig};
+use gbm_serve::{
+    GraphId, IndexConfig, ScanPrecision, Server, ServerConfig, ShardedIndex, VirtualClock,
+};
+use gbm_store::{FileStorage, Storage, WAL_FILE};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const POOL: usize = 48;
+const SHARDS: usize = 4;
+
+fn state_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/probe_recover-state")
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let (tok, pool) = gbm_bench::minic_pool(POOL);
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);
+    let _ = model.encoder().embed(&pool[0]); // warm scratch buffers
+
+    // the cold-start alternative: re-encode the whole pool through the GNN
+    let t0 = Instant::now();
+    let rows: Vec<Vec<f32>> = pool
+        .iter()
+        .map(|g| model.encoder().embed(g).data().to_vec())
+        .collect();
+    let reencode = t0.elapsed();
+    let hidden = rows[0].len();
+
+    let dir = state_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    let storage: Arc<dyn Storage> = Arc::new(FileStorage::new());
+    let dcfg = DurabilityConfig::new(&dir);
+    let icfg = IndexConfig {
+        num_shards: SHARDS,
+        encode_batch: 8,
+        precision: ScanPrecision::Int8 { widen: 2 },
+    };
+    let scfg = ServerConfig {
+        scan_workers: 2,
+        index: icfg,
+        ..Default::default()
+    };
+
+    // session 1: first half of the pool, clean shutdown, offline checkpoint
+    let rec = recover(Arc::clone(&storage), &dcfg, icfg).expect("fresh boot");
+    let server = Server::durable(
+        None,
+        rec.index,
+        scfg,
+        Arc::new(VirtualClock::new()),
+        rec.wal,
+    );
+    for (i, row) in rows.iter().take(POOL / 2).enumerate() {
+        server.insert_row(i as GraphId, row.clone()).wait();
+    }
+    let report = server.shutdown();
+    assert!(report.is_drained() && report.is_durable(), "{report:?}");
+    let mut rec = recover(Arc::clone(&storage), &dcfg, icfg).expect("reload for checkpoint");
+    checkpoint(
+        Arc::clone(&storage),
+        &dcfg,
+        &rec.index,
+        None,
+        None,
+        &mut rec.wal,
+    )
+    .expect("checkpoint");
+
+    // session 2: second half + removals, then crash-kill mid-append
+    let server = Server::durable(
+        None,
+        rec.index,
+        scfg,
+        Arc::new(VirtualClock::new()),
+        rec.wal,
+    );
+    for (i, row) in rows.iter().enumerate().skip(POOL / 2) {
+        server.insert_row(i as GraphId, row.clone()).wait();
+    }
+    for id in (0..POOL as GraphId).step_by(5) {
+        server.remove(id).wait();
+    }
+    drop(server); // kill: no shutdown, no final sync
+    storage
+        .append(&dir.join(WAL_FILE), &[0xDE, 0xAD, 0xBE])
+        .expect("simulate a torn mid-append kill");
+
+    // timed recovery
+    let t0 = Instant::now();
+    let rec = recover(Arc::clone(&storage), &dcfg, icfg).expect("crash recovery");
+    let recovery = t0.elapsed();
+
+    // never-crashed reference: serial replay of every acked op
+    let mut reference = ShardedIndex::new(icfg);
+    for (i, row) in rows.iter().enumerate() {
+        reference.insert_row(i as GraphId, row);
+    }
+    for id in (0..POOL as GraphId).step_by(5) {
+        reference.remove(id);
+    }
+    assert_eq!(rec.index.ids(), reference.ids(), "recovered id set");
+    for q in rows.iter().step_by(7) {
+        for k in [1usize, 5, POOL] {
+            assert_eq!(
+                rec.index.query(q, k),
+                reference.query(q, k),
+                "recovered rankings must be exact"
+            );
+        }
+    }
+
+    let ops_replayed = rec.replayed_ops;
+    let speedup = reencode.as_secs_f64() / recovery.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 10.0,
+        "cold start from snapshot+WAL must be ≥10× faster than re-encoding \
+         (got {speedup:.1}×: recover {recovery:?} vs re-encode {reencode:?})"
+    );
+
+    if json {
+        println!("{{");
+        println!("  \"meta\": {{\"pool\": {POOL}, \"shards\": {SHARDS}, \"hidden\": {hidden}}},");
+        println!(
+            "  \"crash\": {{\"snapshot_seq\": {}, \"replayed_ops\": {}, \"torn_bytes\": {}}},",
+            rec.snapshot_seq, ops_replayed, rec.torn_bytes
+        );
+        println!(
+            "  \"cold_start\": {{\"recover_us\": {}, \"reencode_us\": {}, \"speedup\": {:.1}}}",
+            recovery.as_micros(),
+            reencode.as_micros(),
+            speedup
+        );
+        println!("}}");
+        return;
+    }
+    println!("=== crash-kill recovery drill (MiniC pool, real files) ===");
+    println!(
+        "pool={POOL} graphs, hidden={hidden}, shards={SHARDS}, int8 index; \
+         state under target/probe_recover-state/"
+    );
+    println!(
+        "crash state : snapshot at seq {}, {} WAL ops replayed, {} torn bytes dropped",
+        rec.snapshot_seq, ops_replayed, rec.torn_bytes
+    );
+    println!("rankings    : recovered index rank-identical to never-crashed replay");
+    println!(
+        "cold start  : recover {:.2?} vs re-encode {:.2?}  ({speedup:.0}x faster)",
+        recovery, reencode
+    );
+}

@@ -32,6 +32,7 @@ pub mod model;
 pub mod objective;
 pub mod pooling;
 pub(crate) mod sampler;
+pub mod spec;
 pub(crate) mod step;
 pub mod trainer;
 
@@ -45,6 +46,7 @@ pub use model::{
 };
 pub use objective::{Scoring, TrainObjective};
 pub use pooling::AttentionPooling;
+pub use spec::ModelSpec;
 pub use trainer::{
     predict, predict_scored, train, EpochStats, PairExample, PairSet, PairSetError, TrainConfig,
 };

@@ -43,7 +43,7 @@ use crate::layers::{Dropout, Embedding, LayerNorm, Linear};
 use crate::pooling::AttentionPooling;
 
 /// Model hyper-parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GraphBinMatchConfig {
     /// Tokenizer vocabulary size.
     pub vocab_size: usize,
@@ -431,11 +431,25 @@ impl GraphBinMatch {
     /// Rebuilds a model from a configuration and a weight snapshot
     /// ([`ParamStore::snapshot`] order). The replica shares `counter` so
     /// encoder forwards performed on worker threads remain observable.
+    /// Panics when the weight count does not match the configuration; use
+    /// [`GraphBinMatch::try_from_snapshot`] for untrusted (persisted)
+    /// weights.
     pub fn from_snapshot(
         cfg: GraphBinMatchConfig,
         weights: &[f32],
         counter: Arc<AtomicUsize>,
     ) -> GraphBinMatch {
+        GraphBinMatch::try_from_snapshot(cfg, weights, counter).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`GraphBinMatch::from_snapshot`] with a typed weight-count check,
+    /// for weights read from disk: a snapshot whose config and weight
+    /// vector disagree is an error, not a panic.
+    pub fn try_from_snapshot(
+        cfg: GraphBinMatchConfig,
+        weights: &[f32],
+        counter: Arc<AtomicUsize>,
+    ) -> Result<GraphBinMatch, String> {
         // init weights are immediately overwritten by the snapshot, so skip
         // real PRNG work during construction (replicas are built per worker
         // batch — dead Box-Muller draws would rival the useful head flops)
@@ -446,9 +460,16 @@ impl GraphBinMatch {
             }
         }
         let mut model = GraphBinMatch::new(cfg, &mut NullRng);
+        if weights.len() != model.num_weights() {
+            return Err(format!(
+                "snapshot has {} weights but config needs {}",
+                weights.len(),
+                model.num_weights()
+            ));
+        }
         model.store.restore(weights);
         model.encoder.share_counter(counter);
-        model
+        Ok(model)
     }
 
     /// A same-weights clone for worker threads ([`Param`] is `Rc`-backed, so

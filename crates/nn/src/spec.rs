@@ -1,0 +1,138 @@
+//! A thread-portable, persistence-ready description of a trained model:
+//! configuration plus a flat weight snapshot. `Param` is `Rc`-backed, so a
+//! live [`GraphBinMatch`] can neither cross threads nor be written to
+//! disk; a [`ModelSpec`] can do both, and [`ModelSpec::build`] turns it
+//! back into a live model wherever it lands (an encode worker, a process
+//! recovering from a snapshot).
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
+use crate::gatv2::Fusion;
+use crate::model::{GraphBinMatch, GraphBinMatchConfig, PoolKind};
+
+/// Configuration plus flat weights — everything needed to reconstruct a
+/// model bit-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelSpec {
+    /// Hyper-parameters.
+    pub cfg: GraphBinMatchConfig,
+    /// Flat parameter snapshot (`ParamStore::snapshot` order).
+    pub weights: Vec<f32>,
+}
+
+/// Number of words [`ModelSpec::config_words`] produces.
+const CONFIG_WORDS: usize = 9;
+
+impl ModelSpec {
+    /// Captures a live model's configuration and weights.
+    pub fn capture(model: &GraphBinMatch) -> ModelSpec {
+        ModelSpec {
+            cfg: *model.config(),
+            weights: model.store.snapshot(),
+        }
+    }
+
+    /// Rebuilds a live model sharing `counter` as its encoder forward
+    /// counter. Fails (typed, no panic) when weights and config disagree —
+    /// the persistence path's validation.
+    pub fn build(&self, counter: Arc<AtomicUsize>) -> Result<GraphBinMatch, String> {
+        GraphBinMatch::try_from_snapshot(self.cfg, &self.weights, counter)
+    }
+
+    /// The configuration as opaque u64 words for the snapshot format
+    /// (floats stored as their bit patterns, enums as stable tags).
+    pub fn config_words(&self) -> Vec<u64> {
+        let c = &self.cfg;
+        vec![
+            c.vocab_size as u64,
+            c.embed_dim as u64,
+            c.hidden_dim as u64,
+            c.num_layers as u64,
+            c.dropout.to_bits() as u64,
+            c.leaky_slope.to_bits() as u64,
+            c.max_pos as u64,
+            match c.fusion {
+                Fusion::Max => 0,
+                Fusion::Mean => 1,
+                Fusion::Sum => 2,
+            },
+            match c.pooling {
+                PoolKind::Attention => 0,
+                PoolKind::Mean => 1,
+            },
+        ]
+    }
+
+    /// Inverse of [`ModelSpec::config_words`]. Rejects word counts or enum
+    /// tags this build does not know.
+    pub fn from_words(words: &[u64], weights: Vec<f32>) -> Result<ModelSpec, String> {
+        if words.len() != CONFIG_WORDS {
+            return Err(format!(
+                "model config has {} words, expected {CONFIG_WORDS}",
+                words.len()
+            ));
+        }
+        let cfg = GraphBinMatchConfig {
+            vocab_size: words[0] as usize,
+            embed_dim: words[1] as usize,
+            hidden_dim: words[2] as usize,
+            num_layers: words[3] as usize,
+            dropout: f32::from_bits(words[4] as u32),
+            leaky_slope: f32::from_bits(words[5] as u32),
+            max_pos: words[6] as usize,
+            fusion: match words[7] {
+                0 => Fusion::Max,
+                1 => Fusion::Mean,
+                2 => Fusion::Sum,
+                t => return Err(format!("unknown fusion tag {t}")),
+            },
+            pooling: match words[8] {
+                0 => PoolKind::Attention,
+                1 => PoolKind::Mean,
+                t => return Err(format!("unknown pooling tag {t}")),
+            },
+        };
+        Ok(ModelSpec { cfg, weights })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_model() -> GraphBinMatch {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        GraphBinMatch::new(GraphBinMatchConfig::small(64), &mut rng)
+    }
+
+    #[test]
+    fn capture_words_roundtrip_rebuilds_identically() {
+        let model = tiny_model();
+        let spec = ModelSpec::capture(&model);
+        let words = spec.config_words();
+        let back = ModelSpec::from_words(&words, spec.weights.clone()).unwrap();
+        assert_eq!(back, spec);
+        let rebuilt = back.build(Arc::new(AtomicUsize::new(0))).unwrap();
+        assert_eq!(rebuilt.store.snapshot(), model.store.snapshot());
+        assert_eq!(*rebuilt.config(), *model.config());
+    }
+
+    #[test]
+    fn mismatched_specs_are_typed_errors() {
+        let model = tiny_model();
+        let mut spec = ModelSpec::capture(&model);
+        spec.weights.pop();
+        assert!(spec.build(Arc::new(AtomicUsize::new(0))).is_err());
+
+        let spec = ModelSpec::capture(&model);
+        let mut words = spec.config_words();
+        assert!(ModelSpec::from_words(&words[..5], vec![]).is_err(), "short");
+        words[7] = 99;
+        assert!(
+            ModelSpec::from_words(&words, vec![]).is_err(),
+            "bad fusion tag"
+        );
+    }
+}

@@ -135,6 +135,16 @@ impl QuantizedMatrix {
         &self.codes[r * self.hidden..(r + 1) * self.hidden]
     }
 
+    /// The full row-major code matrix (for persistence).
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// All per-row scales in row order (for persistence).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
     /// The scale of row `r`.
     pub fn scale(&self, r: usize) -> f32 {
         self.scales[r]

@@ -553,6 +553,44 @@ impl ShardedIndex {
         self.shards.iter().map(|s| s.ids.len()).collect()
     }
 
+    /// The index's (clamped) configuration.
+    pub fn config(&self) -> IndexConfig {
+        self.cfg
+    }
+
+    /// Embedding width (0 until the first row arrives).
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Pins the embedding width before any row arrives — the restore path
+    /// (`persist`) uses this so a recovered-then-emptied index keeps
+    /// rejecting wrong-width rows exactly like the index it images.
+    pub(crate) fn set_hidden(&mut self, hidden: usize) {
+        assert!(
+            self.hidden == 0 || self.hidden == hidden,
+            "cannot change the width of a non-empty index"
+        );
+        self.hidden = hidden;
+    }
+
+    /// Shard `s`'s ids in row order — row order is the ranking tie-break,
+    /// so persistence must image it exactly (unlike [`ids`](Self::ids),
+    /// which sorts).
+    pub fn shard_ids(&self, s: usize) -> &[GraphId] {
+        &self.shards[s].ids
+    }
+
+    /// Shard `s`'s dense row-major embedding matrix.
+    pub fn shard_rows(&self, s: usize) -> &[f32] {
+        &self.shards[s].rows
+    }
+
+    /// Shard `s`'s int8 mirror, when the index scans quantized.
+    pub fn shard_quant(&self, s: usize) -> Option<&QuantizedShard> {
+        self.shards[s].quant.as_ref()
+    }
+
     /// Every encoded id, ascending.
     pub fn ids(&self) -> Vec<GraphId> {
         let mut ids: Vec<GraphId> = self

@@ -34,6 +34,16 @@
 //!   query. Submissions resolve through oneshot handles, never polling.
 //!   `GBM_SERVE_WORKERS` / `GBM_FLUSH_TICKS` tune the topology from the
 //!   environment ([`ServerConfig::with_env`]).
+//! * [`persist`] — crash-safe persistence: checksummed atomic snapshots of
+//!   the index (plus tokenizer and model) and an append-only op WAL the
+//!   durable server tees every insert/remove through. [`recover`] rebuilds
+//!   serving state from the newest verifying snapshot plus a WAL tail
+//!   replay, rank-identical to a never-crashed replay of the durable ops —
+//!   every corruption surfaces as a typed error, never a wrong ranking.
+//!   Storage is injected ([`gbm_store::Storage`]) so crashes, torn writes,
+//!   and bit rot are deterministically testable, mirroring the injected
+//!   [`Clock`]. `GBM_SNAPSHOT_DIR` / `GBM_WAL_FSYNC` tune durability from
+//!   the environment ([`DurabilityConfig::with_env`]).
 //!
 //! Rankings are *exact*: a sharded top-K scan returns the same candidates in
 //! the same order as a full monolithic
@@ -45,6 +55,7 @@ pub mod clock;
 pub mod coalesce;
 mod env;
 pub mod index;
+pub mod persist;
 pub mod quantized;
 pub mod server;
 #[cfg(any(test, feature = "test-fixtures"))]
@@ -55,5 +66,10 @@ pub use coalesce::{
     CoalescerConfig, CoalescerStats, EncodeCoalescer, FlushBatch, FlushTrigger, Ticket,
 };
 pub use index::{shard_of, GraphId, IndexConfig, ShardedIndex};
+pub use persist::{
+    checkpoint, recover, restore_index, snapshot_index, DurabilityConfig, PersistError, Recovery,
+};
 pub use quantized::{QuantizedShard, ScanPrecision};
-pub use server::{EncodeHandle, InsertHandle, RemoveHandle, Server, ServerConfig, ServerReport};
+pub use server::{
+    EncodeHandle, InsertHandle, RemoveHandle, ServeError, Server, ServerConfig, ServerReport,
+};

@@ -1,0 +1,875 @@
+//! Crash-safe persistence for the serving stack: conversion between live
+//! serving types ([`ShardedIndex`], [`Tokenizer`], [`ModelSpec`]) and
+//! `gbm-store`'s plain snapshot/WAL data, plus the recovery orchestration.
+//!
+//! ```text
+//!  running server ──append──► wal.log        (every insert/remove, seq N)
+//!       │
+//!       └─checkpoint()──────► snap-{N}.gbms  (atomic write, then the WAL
+//!                                             restarts at N+1)
+//!  crash ▼
+//!  recover(): newest verifying snapshot  ──►  replay WAL ops with seq > N
+//!             (corrupt ones skipped,          (torn tail dropped+counted,
+//!              reported by name)               gaps = typed SeqGap error)
+//! ```
+//!
+//! The recovery contract, enforced by the tests below and the proptest
+//! suite in `tests/persist_prop.rs`: the recovered index is
+//! **rank-identical** — ids, scores, tie order — to a never-crashed index
+//! that applied the same durable operation prefix, or recovery fails with
+//! a typed error. Never a silently wrong ranking.
+//!
+//! Two properties make the equivalence exact rather than approximate:
+//!
+//! * WAL inserts carry the embedding row, so replay is pure index
+//!   arithmetic — no model, no re-encode drift.
+//! * Replay is resumable by sequence number: a snapshot at `last_seq = N`
+//!   skips ops `≤ N` instead of re-applying them. Re-applying would be
+//!   *score*-safe but would perturb per-shard row order — the exact-tie
+//!   order — so idempotent replay is deliberately not the mechanism.
+//!
+//! Quantized (int8) indexes restore by *requantizing* the f32 rows —
+//! quantization is deterministic, so the rebuilt mirror must be bit-equal
+//! to the snapshot's stored codes; any difference is a typed
+//! [`PersistError::QuantMismatch`], catching corruption that slipped past
+//! no checksum but would change coarse-scan behaviour.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gbm_nn::ModelSpec;
+use gbm_store::{
+    load_newest_snapshot, parse_snapshot_seq, save_snapshot, ModelData, PrecisionTag, QuantData,
+    ShardData, SnapshotData, Storage, StoreError, TokenizerData, Wal, WalOp, WAL_FILE,
+};
+use gbm_tokenizer::Tokenizer;
+
+use crate::index::{shard_of, GraphId, IndexConfig, ShardedIndex};
+use crate::quantized::ScanPrecision;
+
+/// Where and how durably serving state persists.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding the snapshots and the WAL.
+    pub dir: PathBuf,
+    /// Fsync the WAL after every append (durable to the op, slower) rather
+    /// than at sync points (shutdown, checkpoint).
+    pub fsync_each: bool,
+}
+
+impl DurabilityConfig {
+    /// Persistence under `dir`, syncing at sync points only.
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync_each: false,
+        }
+    }
+
+    /// Applies the persistence environment knobs on top of this config:
+    /// `GBM_SNAPSHOT_DIR` (the durability directory) and `GBM_WAL_FSYNC`
+    /// (`true`/`false`: fsync every WAL append). Invalid values warn on
+    /// stderr and leave the built-in defaults in force, like every other
+    /// `GBM_*` knob.
+    pub fn with_env(mut self) -> DurabilityConfig {
+        if let Some(dir) =
+            crate::env::env_knob::<PathBuf>("GBM_SNAPSHOT_DIR", "a snapshot directory path")
+        {
+            self.dir = dir;
+        }
+        if let Some(fsync) =
+            crate::env::env_knob::<bool>("GBM_WAL_FSYNC", "true or false (fsync per WAL append)")
+        {
+            self.fsync_each = fsync;
+        }
+        self
+    }
+}
+
+/// Everything that can go wrong converting persisted data back into live
+/// serving state — the serving-layer extension of [`StoreError`].
+#[derive(Debug)]
+pub enum PersistError {
+    /// The storage layer failed or the bytes are corrupt.
+    Store(StoreError),
+    /// A snapshot row is filed under a shard its id does not hash to.
+    ShardMismatch {
+        /// The misfiled id.
+        id: GraphId,
+        /// Shard the id hashes to.
+        expected: usize,
+        /// Shard the snapshot filed it under.
+        found: usize,
+    },
+    /// A shard's stored int8 codes are not the deterministic
+    /// requantization of its stored f32 rows.
+    QuantMismatch {
+        /// The inconsistent shard.
+        shard: usize,
+    },
+    /// Row widths disagree (snapshot vs index vs WAL op).
+    WidthMismatch {
+        /// What disagreed.
+        what: String,
+    },
+    /// The model section cannot be rebuilt (unknown tags, weight-count
+    /// mismatch).
+    Model(String),
+    /// The tokenizer section cannot be rebuilt (id collisions, bad
+    /// vocabulary).
+    Tokenizer(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Store(e) => write!(f, "{e}"),
+            PersistError::ShardMismatch {
+                id,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot files id {id} under shard {found}, but it hashes to shard {expected}"
+            ),
+            PersistError::QuantMismatch { shard } => write!(
+                f,
+                "shard {shard}: stored int8 codes are not the requantization of the stored rows"
+            ),
+            PersistError::WidthMismatch { what } => write!(f, "row width mismatch: {what}"),
+            PersistError::Model(e) => write!(f, "cannot rebuild model: {e}"),
+            PersistError::Tokenizer(e) => write!(f, "cannot rebuild tokenizer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for PersistError {
+    fn from(e: StoreError) -> PersistError {
+        PersistError::Store(e)
+    }
+}
+
+impl PersistError {
+    /// True when the persisted bytes are wrong (vs. I/O reaching them).
+    pub fn is_corruption(&self) -> bool {
+        match self {
+            PersistError::Store(e) => e.is_corruption(),
+            _ => true,
+        }
+    }
+}
+
+fn precision_tag(p: ScanPrecision) -> PrecisionTag {
+    match p {
+        ScanPrecision::F32 => PrecisionTag::F32,
+        ScanPrecision::Int8 { widen } => PrecisionTag::Int8 {
+            widen: widen as u32,
+        },
+    }
+}
+
+fn scan_precision(t: PrecisionTag) -> ScanPrecision {
+    match t {
+        PrecisionTag::F32 => ScanPrecision::F32,
+        PrecisionTag::Int8 { widen } => ScanPrecision::Int8 {
+            widen: widen as usize,
+        },
+    }
+}
+
+/// The persistence image of a tokenizer.
+pub fn tokenizer_data(tok: &Tokenizer) -> TokenizerData {
+    TokenizerData {
+        seq_len: tok.seq_len() as u32,
+        normalize_vars: tok.normalize_vars(),
+        entries: tok.vocab_entries(),
+    }
+}
+
+/// Rebuilds a tokenizer from its persistence image.
+pub fn tokenizer_from_data(data: &TokenizerData) -> Result<Tokenizer, PersistError> {
+    Tokenizer::from_parts(
+        data.entries.clone(),
+        data.seq_len as usize,
+        data.normalize_vars,
+    )
+    .map_err(PersistError::Tokenizer)
+}
+
+/// The persistence image of a model spec.
+pub fn model_data(spec: &ModelSpec) -> ModelData {
+    ModelData {
+        config: spec.config_words(),
+        weights: spec.weights.clone(),
+    }
+}
+
+/// Rebuilds a model spec from its persistence image.
+pub fn model_from_data(data: &ModelData) -> Result<ModelSpec, PersistError> {
+    ModelSpec::from_words(&data.config, data.weights.clone()).map_err(PersistError::Model)
+}
+
+/// Captures a full point-in-time image of `index` (plus, optionally, the
+/// tokenizer and model that feed it) with every WAL op up to `last_seq`
+/// folded in.
+pub fn snapshot_index(
+    index: &ShardedIndex,
+    last_seq: u64,
+    tokenizer: Option<&Tokenizer>,
+    model: Option<&ModelSpec>,
+) -> SnapshotData {
+    let cfg = index.config();
+    let shards = (0..cfg.num_shards)
+        .map(|s| ShardData {
+            ids: index.shard_ids(s).to_vec(),
+            rows: index.shard_rows(s).to_vec(),
+            // a shard emptied by removals keeps a 0-row mirror allocated;
+            // its image is "no mirror" (what a fresh rebuild produces)
+            quant: index
+                .shard_quant(s)
+                .and_then(|q| q.matrix())
+                .filter(|m| m.rows() > 0)
+                .map(|m| QuantData {
+                    codes: m.codes().to_vec(),
+                    scales: m.scales().to_vec(),
+                }),
+        })
+        .collect();
+    SnapshotData {
+        num_shards: cfg.num_shards as u32,
+        encode_batch: cfg.encode_batch as u32,
+        precision: precision_tag(cfg.precision),
+        hidden: index.hidden() as u32,
+        last_seq,
+        shards,
+        tokenizer: tokenizer.map(tokenizer_data),
+        model: model.map(model_data),
+    }
+}
+
+/// Rebuilds a live index from a snapshot, verifying every structural
+/// invariant the checksums cannot see: ids hash to the shards they are
+/// filed under, row matrices are whole, and (for int8 indexes) the stored
+/// codes are bit-equal to a deterministic requantization of the stored
+/// rows. Row order is preserved exactly — it is the ranking tie-break.
+pub fn restore_index(data: &SnapshotData) -> Result<ShardedIndex, PersistError> {
+    let num_shards = data.num_shards as usize;
+    let hidden = data.hidden as usize;
+    let mut index = ShardedIndex::new(IndexConfig {
+        num_shards,
+        encode_batch: data.encode_batch as usize,
+        precision: scan_precision(data.precision),
+    });
+    if hidden > 0 {
+        index.set_hidden(hidden);
+    }
+    for (s, shard) in data.shards.iter().enumerate() {
+        if hidden == 0 && !shard.ids.is_empty() {
+            return Err(PersistError::WidthMismatch {
+                what: format!("shard {s} has rows but the snapshot width is 0"),
+            });
+        }
+        for (r, &id) in shard.ids.iter().enumerate() {
+            let expected = shard_of(id, num_shards);
+            if expected != s {
+                return Err(PersistError::ShardMismatch {
+                    id,
+                    expected,
+                    found: s,
+                });
+            }
+            index.insert_row(id, &shard.rows[r * hidden..(r + 1) * hidden]);
+        }
+        // ids hash to this shard and arrived in row order, so the rebuilt
+        // shard's ids/rows are the stored ones; verify the quant mirror
+        // (0-row mirrors normalize to "absent" on both sides)
+        let rebuilt = index
+            .shard_quant(s)
+            .and_then(|q| q.matrix())
+            .filter(|m| m.rows() > 0);
+        match (&shard.quant, rebuilt) {
+            (None, None) => {}
+            (Some(stored), Some(m)) => {
+                if stored.codes != m.codes() || stored.scales != m.scales() {
+                    return Err(PersistError::QuantMismatch { shard: s });
+                }
+            }
+            (Some(_), None) | (None, Some(_)) => {
+                return Err(PersistError::QuantMismatch { shard: s });
+            }
+        }
+    }
+    Ok(index)
+}
+
+/// A recovered serving state: the index at the durable frontier, the WAL
+/// positioned to continue from it, and what recovery had to do to get
+/// there.
+pub struct Recovery {
+    /// The index, rank-identical to a never-crashed replay of the durable
+    /// op prefix.
+    pub index: ShardedIndex,
+    /// The WAL, torn tail repaired, numbering continuous with the
+    /// recovered state — hand it to `Server::durable`.
+    pub wal: Wal,
+    /// `last_seq` of the snapshot recovery started from (0 = none found).
+    pub snapshot_seq: u64,
+    /// WAL ops replayed on top of the snapshot.
+    pub replayed_ops: usize,
+    /// Torn-tail bytes dropped from the WAL (a crash mid-append).
+    pub torn_bytes: usize,
+    /// Snapshots that failed verification, newest first — surfaced because
+    /// a skipped snapshot means a longer WAL replay than intended.
+    pub skipped_snapshots: Vec<(String, StoreError)>,
+    /// The tokenizer captured in the snapshot, when present.
+    pub tokenizer: Option<Tokenizer>,
+    /// The model captured in the snapshot, when present.
+    pub model: Option<ModelSpec>,
+}
+
+impl std::fmt::Debug for Recovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recovery")
+            .field("rows", &self.index.num_encoded())
+            .field("snapshot_seq", &self.snapshot_seq)
+            .field("replayed_ops", &self.replayed_ops)
+            .field("torn_bytes", &self.torn_bytes)
+            .field("skipped_snapshots", &self.skipped_snapshots)
+            .field("tokenizer", &self.tokenizer.is_some())
+            .field("model", &self.model.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Recovers serving state from `cfg.dir`: loads the newest snapshot that
+/// verifies (an empty directory recovers to a fresh index under
+/// `fallback`), replays the WAL ops past its `last_seq`, repairs the torn
+/// tail, and detects every gap a lost snapshot or compacted log could
+/// open. Returns a typed error rather than ever serving a wrong ranking.
+pub fn recover(
+    storage: Arc<dyn Storage>,
+    cfg: &DurabilityConfig,
+    fallback: IndexConfig,
+) -> Result<Recovery, PersistError> {
+    let (snap, skipped) = load_newest_snapshot(storage.as_ref(), &cfg.dir)?;
+    let snapshot_seq = snap.as_ref().map_or(0, |s| s.last_seq);
+    let (mut index, tokenizer, model) = match &snap {
+        Some(data) => (
+            restore_index(data)?,
+            data.tokenizer
+                .as_ref()
+                .map(tokenizer_from_data)
+                .transpose()?,
+            data.model.as_ref().map(model_from_data).transpose()?,
+        ),
+        None => (ShardedIndex::new(fallback), None, None),
+    };
+    let (wal, replay) = Wal::resume(
+        Arc::clone(&storage),
+        cfg.dir.join(WAL_FILE),
+        cfg.fsync_each,
+        snapshot_seq + 1,
+    )?;
+    // ops ≤ snapshot_seq are already folded into the snapshot (a crash
+    // between snapshot write and WAL compaction leaves them behind); the
+    // remainder must continue exactly at snapshot_seq + 1
+    let mut replayed = 0usize;
+    for (seq, op) in &replay.ops {
+        if *seq <= snapshot_seq {
+            continue;
+        }
+        if *seq != snapshot_seq + 1 + replayed as u64 {
+            return Err(StoreError::SeqGap {
+                expected: snapshot_seq + 1 + replayed as u64,
+                found: *seq,
+            }
+            .into());
+        }
+        match op {
+            WalOp::Insert { id, row } => {
+                if index.hidden() != 0 && row.len() != index.hidden() {
+                    return Err(PersistError::WidthMismatch {
+                        what: format!(
+                            "WAL op {seq} inserts a {}-wide row into a {}-wide index",
+                            row.len(),
+                            index.hidden()
+                        ),
+                    });
+                }
+                index.insert_row(*id, row);
+            }
+            WalOp::Remove { id } => {
+                index.remove(*id);
+            }
+        }
+        replayed += 1;
+    }
+    // a skipped (corrupt) snapshot newer than everything recovered means
+    // ops were compacted away that nothing can reproduce — data loss,
+    // which must surface as an error, not a silently shorter index
+    let covered = wal.state().next_seq - 1;
+    if let Some(lost) = skipped
+        .iter()
+        .filter_map(|(name, _)| parse_snapshot_seq(name))
+        .find(|&seq| seq > covered)
+    {
+        return Err(StoreError::SeqGap {
+            expected: covered + 1,
+            found: lost,
+        }
+        .into());
+    }
+    Ok(Recovery {
+        index,
+        wal,
+        snapshot_seq,
+        replayed_ops: replayed,
+        torn_bytes: replay.torn_bytes,
+        skipped_snapshots: skipped,
+        tokenizer,
+        model,
+    })
+}
+
+/// Checkpoints the serving state: atomically writes a snapshot carrying
+/// every op the WAL has logged, then restarts (compacts) the WAL at the
+/// next sequence number. Crash-ordering is safe at every point — before
+/// the snapshot lands the old WAL still covers everything; between
+/// snapshot and compaction, replay skips the ops the snapshot already
+/// folded in.
+pub fn checkpoint(
+    storage: Arc<dyn Storage>,
+    cfg: &DurabilityConfig,
+    index: &ShardedIndex,
+    tokenizer: Option<&Tokenizer>,
+    model: Option<&ModelSpec>,
+    wal: &mut Wal,
+) -> Result<PathBuf, PersistError> {
+    let last_seq = wal.state().next_seq - 1;
+    let data = snapshot_index(index, last_seq, tokenizer, model);
+    let path = save_snapshot(storage.as_ref(), &cfg.dir, &data)?;
+    *wal = Wal::create(
+        storage,
+        cfg.dir.join(WAL_FILE),
+        wal.state().fsync_each,
+        last_seq + 1,
+    )?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbm_store::{snapshot_file_name, FaultPlan, FaultStorage, MemStorage};
+
+    fn synth_rows(n: usize, hidden: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        (0..n * hidden)
+            .map(|_| {
+                state = state
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                ((state >> 40) % 2000) as f32 / 1000.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn assert_rank_identical(a: &ShardedIndex, b: &ShardedIndex, queries: &[Vec<f32>]) {
+        assert_eq!(a.ids(), b.ids());
+        for q in queries {
+            for k in [1usize, 5, 64] {
+                assert_eq!(a.query(q, k), b.query(q, k), "k={k}");
+            }
+        }
+    }
+
+    /// Snapshot → restore is bit-exact: rows, row order, quant codes, and
+    /// therefore rankings, across shard counts and precisions (including
+    /// empty shards and an entirely empty index).
+    #[test]
+    fn snapshot_restore_roundtrips_across_shapes() {
+        let hidden = 6;
+        let rows = synth_rows(40, hidden, 7);
+        for shards in [1usize, 2, 7] {
+            for precision in [ScanPrecision::F32, ScanPrecision::Int8 { widen: 2 }] {
+                let cfg = IndexConfig {
+                    num_shards: shards,
+                    encode_batch: 8,
+                    precision,
+                };
+                let mut index = ShardedIndex::from_rows(&rows, hidden, cfg);
+                index.remove(3); // perturb row order via swap-fill
+                let data = snapshot_index(&index, 17, None, None);
+                let restored = restore_index(&data).unwrap();
+                assert_eq!(restored.hidden(), index.hidden());
+                for s in 0..shards {
+                    assert_eq!(restored.shard_ids(s), index.shard_ids(s), "row order");
+                    assert_eq!(restored.shard_rows(s), index.shard_rows(s), "bit-exact");
+                }
+                let queries = [rows[..hidden].to_vec(), rows[hidden..2 * hidden].to_vec()];
+                assert_rank_identical(&restored, &index, &queries);
+            }
+        }
+        // the empty index
+        let empty = ShardedIndex::new(IndexConfig::default());
+        let restored = restore_index(&snapshot_index(&empty, 0, None, None)).unwrap();
+        assert_eq!(restored.num_encoded(), 0);
+        assert_eq!(restored.query(&[], 3), vec![]);
+    }
+
+    /// Structural inconsistencies a checksum cannot catch are typed
+    /// errors: misfiled ids, tampered quant codes, width-zero shards.
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let hidden = 4;
+        let rows = synth_rows(12, hidden, 9);
+        let index = ShardedIndex::from_rows(
+            &rows,
+            hidden,
+            IndexConfig {
+                num_shards: 3,
+                encode_batch: 4,
+                precision: ScanPrecision::Int8 { widen: 2 },
+            },
+        );
+        let good = snapshot_index(&index, 1, None, None);
+        restore_index(&good).unwrap();
+
+        // swap two shards' contents: ids no longer hash where they are filed
+        let mut misfiled = good.clone();
+        misfiled.shards.swap(0, 1);
+        assert!(matches!(
+            restore_index(&misfiled),
+            Err(PersistError::ShardMismatch { .. })
+        ));
+
+        // tamper one quant code: requantization no longer matches
+        let mut tampered = good.clone();
+        for shard in &mut tampered.shards {
+            if let Some(q) = &mut shard.quant {
+                if !q.codes.is_empty() {
+                    q.codes[0] = q.codes[0].wrapping_add(1);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(
+            restore_index(&tampered),
+            Err(PersistError::QuantMismatch { .. })
+        ));
+
+        // drop a quant mirror entirely from an int8 snapshot
+        let mut missing = good.clone();
+        let populated = missing
+            .shards
+            .iter()
+            .position(|s| !s.ids.is_empty())
+            .unwrap();
+        missing.shards[populated].quant = None;
+        assert!(matches!(
+            restore_index(&missing),
+            Err(PersistError::QuantMismatch { .. })
+        ));
+
+        // rows claimed under width 0
+        let mut zero = good.clone();
+        zero.hidden = 0;
+        for s in &mut zero.shards {
+            s.rows.clear();
+            s.quant = None;
+        }
+        assert!(matches!(
+            restore_index(&zero),
+            Err(PersistError::WidthMismatch { .. })
+        ));
+    }
+
+    /// The headline equivalence: churn an index while logging to the WAL,
+    /// checkpoint part-way, crash with a torn tail — recovery is
+    /// rank-identical (ids, scores, tie order) to a never-crashed index
+    /// that applied the durable ops, including a mid-compaction crash
+    /// (snapshot written, WAL never truncated).
+    #[test]
+    fn recover_is_rank_identical_to_never_crashed_replay() {
+        let hidden = 5;
+        let rows = synth_rows(64, hidden, 21);
+        let row = |i: usize| rows[i * hidden..(i + 1) * hidden].to_vec();
+        // a churn script: inserts, removes, re-inserts (so swap-fill
+        // perturbs row order — the tie-break recovery must reproduce)
+        let ops: Vec<WalOp> = (0..48)
+            .map(|i| match i % 7 {
+                3 => WalOp::Remove { id: (i as u64) / 2 },
+                5 => WalOp::Remove { id: 9999 }, // remove of an absent id
+                _ => WalOp::Insert {
+                    id: (i as u64) % 40,
+                    row: row(i % 64),
+                },
+            })
+            .collect();
+        let icfg = IndexConfig {
+            num_shards: 3,
+            encode_batch: 8,
+            precision: ScanPrecision::Int8 { widen: 2 },
+        };
+        let apply = |index: &mut ShardedIndex, op: &WalOp| match op {
+            WalOp::Insert { id, row } => index.insert_row(*id, row),
+            WalOp::Remove { id } => {
+                index.remove(*id);
+            }
+        };
+        for compact_wal in [true, false] {
+            let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+            let dcfg = DurabilityConfig::new("/d");
+            let mut live = ShardedIndex::new(icfg);
+            let mut wal =
+                Wal::create(Arc::clone(&storage), dcfg.dir.join(WAL_FILE), false, 1).unwrap();
+            for (i, op) in ops.iter().enumerate() {
+                wal.append(op).unwrap();
+                apply(&mut live, op);
+                if i == 29 {
+                    if compact_wal {
+                        checkpoint(Arc::clone(&storage), &dcfg, &live, None, None, &mut wal)
+                            .unwrap();
+                    } else {
+                        // mid-compaction crash: snapshot lands, WAL does not
+                        // get truncated — replay must skip the overlap
+                        let data = snapshot_index(&live, wal.state().next_seq - 1, None, None);
+                        save_snapshot(storage.as_ref(), &dcfg.dir, &data).unwrap();
+                    }
+                }
+            }
+            // crash mid-append: torn junk after the last durable record
+            storage
+                .append(&dcfg.dir.join(WAL_FILE), &[7, 7, 7, 7, 7])
+                .unwrap();
+
+            let rec = recover(Arc::clone(&storage), &dcfg, icfg).unwrap();
+            assert_eq!(rec.snapshot_seq, 30);
+            assert_eq!(rec.replayed_ops, ops.len() - 30);
+            assert_eq!(rec.torn_bytes, 5);
+            assert!(rec.skipped_snapshots.is_empty());
+            assert_eq!(rec.wal.state().next_seq, ops.len() as u64 + 1);
+            let queries: Vec<Vec<f32>> = vec![row(0), row(17), row(63)];
+            assert_rank_identical(&rec.index, &live, &queries);
+            // recovered shards are byte-identical, not just rank-identical
+            for s in 0..icfg.num_shards {
+                assert_eq!(rec.index.shard_ids(s), live.shard_ids(s));
+                assert_eq!(rec.index.shard_rows(s), live.shard_rows(s));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dir_recovers_to_a_fresh_index() {
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let dcfg = DurabilityConfig::new("/fresh");
+        let rec = recover(Arc::clone(&storage), &dcfg, IndexConfig::default()).unwrap();
+        assert_eq!(rec.index.num_encoded(), 0);
+        assert_eq!(
+            (rec.snapshot_seq, rec.replayed_ops, rec.torn_bytes),
+            (0, 0, 0)
+        );
+        assert_eq!(rec.wal.state().next_seq, 1);
+        assert!(rec.tokenizer.is_none() && rec.model.is_none());
+    }
+
+    /// A corrupt newest snapshot falls back to the previous one as long as
+    /// the WAL still covers the gap; once the WAL has been compacted past
+    /// it, the same corruption is unrecoverable and must be a typed error.
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_or_fails_loudly() {
+        let hidden = 4;
+        let rows = synth_rows(20, hidden, 33);
+        let icfg = IndexConfig {
+            num_shards: 2,
+            encode_batch: 4,
+            precision: ScanPrecision::F32,
+        };
+        let build = |compact: bool| {
+            let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+            let dcfg = DurabilityConfig::new("/d");
+            let mut live = ShardedIndex::new(icfg);
+            let mut wal =
+                Wal::create(Arc::clone(&storage), dcfg.dir.join(WAL_FILE), false, 1).unwrap();
+            for i in 0..16usize {
+                let op = WalOp::Insert {
+                    id: i as u64,
+                    row: rows[i * hidden..(i + 1) * hidden].to_vec(),
+                };
+                wal.append(&op).unwrap();
+                live.insert_row(i as u64, &rows[i * hidden..(i + 1) * hidden]);
+                if i == 7 {
+                    // older snapshot at seq 8, WAL keeps running
+                    let data = snapshot_index(&live, 8, None, None);
+                    save_snapshot(storage.as_ref(), &dcfg.dir, &data).unwrap();
+                }
+            }
+            if compact {
+                checkpoint(Arc::clone(&storage), &dcfg, &live, None, None, &mut wal).unwrap();
+            } else {
+                let data = snapshot_index(&live, 16, None, None);
+                save_snapshot(storage.as_ref(), &dcfg.dir, &data).unwrap();
+            }
+            // corrupt the newest snapshot (seq 16) on disk
+            let newest = dcfg.dir.join(snapshot_file_name(16));
+            let mut bytes = storage.read(&newest).unwrap();
+            let n = bytes.len();
+            bytes[n / 2] ^= 0x40;
+            storage.write_atomic(&newest, &bytes).unwrap();
+            (storage, dcfg, live)
+        };
+
+        // WAL intact: fall back to seq 8, replay 9..16, same rankings
+        let (storage, dcfg, live) = build(false);
+        let rec = recover(Arc::clone(&storage), &dcfg, icfg).unwrap();
+        assert_eq!(rec.snapshot_seq, 8);
+        assert_eq!(rec.replayed_ops, 8);
+        assert_eq!(rec.skipped_snapshots.len(), 1);
+        assert!(rec.skipped_snapshots[0].1.is_corruption());
+        assert_rank_identical(&rec.index, &live, &[rows[..hidden].to_vec()]);
+
+        // WAL compacted at 16: ops 9..16 exist nowhere — typed error
+        let (storage, dcfg, _) = build(true);
+        let err = recover(storage, &dcfg, icfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PersistError::Store(StoreError::SeqGap {
+                    expected: 9,
+                    found: 16
+                })
+            ),
+            "got {err}"
+        );
+    }
+
+    /// Every fault the injectable storage can produce ends in a typed
+    /// error or an exact ranking — never a silently wrong one.
+    #[test]
+    fn injected_faults_never_yield_wrong_rankings() {
+        let hidden = 4;
+        let rows = synth_rows(10, hidden, 55);
+        let icfg = IndexConfig {
+            num_shards: 2,
+            encode_batch: 4,
+            precision: ScanPrecision::F32,
+        };
+        let inner = Arc::new(MemStorage::new());
+        let faulty = Arc::new(FaultStorage::new(Arc::clone(&inner) as Arc<dyn Storage>));
+        let storage: Arc<dyn Storage> = Arc::clone(&faulty) as Arc<dyn Storage>;
+        let dcfg = DurabilityConfig::new("/d");
+        let mut live = ShardedIndex::new(icfg);
+        let mut wal = Wal::create(Arc::clone(&storage), dcfg.dir.join(WAL_FILE), false, 1).unwrap();
+        for i in 0..10usize {
+            wal.append(&WalOp::Insert {
+                id: i as u64,
+                row: rows[i * hidden..(i + 1) * hidden].to_vec(),
+            })
+            .unwrap();
+            live.insert_row(i as u64, &rows[i * hidden..(i + 1) * hidden]);
+        }
+        checkpoint(Arc::clone(&storage), &dcfg, &live, None, None, &mut wal).unwrap();
+        wal.append(&WalOp::Remove { id: 3 }).unwrap();
+        live.remove(3);
+        let queries = [rows[..hidden].to_vec()];
+
+        // bit flip on every snapshot read: no snapshot verifies, and the
+        // WAL alone cannot reproduce the compacted ops — typed error
+        faulty.set_plan(FaultPlan {
+            flip_on_read: Some(("snap-".into(), 30, 0x04)),
+            ..Default::default()
+        });
+        let err = recover(Arc::clone(&storage), &dcfg, icfg).unwrap_err();
+        assert!(err.is_corruption(), "got {err}");
+
+        // faults cleared: the same directory recovers exactly
+        faulty.set_plan(FaultPlan::default());
+        let rec = recover(Arc::clone(&storage), &dcfg, icfg).unwrap();
+        assert_eq!(rec.replayed_ops, 1);
+        assert_rank_identical(&rec.index, &live, &queries);
+
+        // mid-log WAL corruption: append a second record so the corrupt
+        // one is not the (repairable) tail, flip a payload byte in the
+        // first — typed error, never a partially-replayed index
+        wal.append(&WalOp::Remove { id: 4 }).unwrap();
+        let wal_path = dcfg.dir.join(WAL_FILE);
+        let mut bytes = inner.read(&wal_path).unwrap();
+        bytes[10] ^= 0x01;
+        inner.write_atomic(&wal_path, &bytes).unwrap();
+        let err = recover(Arc::clone(&inner) as Arc<dyn Storage>, &dcfg, icfg).unwrap_err();
+        assert!(err.is_corruption(), "got {err}");
+    }
+
+    /// `GBM_SNAPSHOT_DIR` / `GBM_WAL_FSYNC` apply when valid and fall back
+    /// loudly when not — one test, because env vars are process-wide.
+    #[test]
+    fn persistence_env_knobs_apply_and_fall_back() {
+        std::env::remove_var("GBM_SNAPSHOT_DIR");
+        std::env::remove_var("GBM_WAL_FSYNC");
+        let base = DurabilityConfig::new("/default");
+        let cfg = base.clone().with_env();
+        assert_eq!(cfg.dir, PathBuf::from("/default"));
+        assert!(!cfg.fsync_each);
+
+        std::env::set_var("GBM_SNAPSHOT_DIR", "/from-env");
+        std::env::set_var("GBM_WAL_FSYNC", "true");
+        let cfg = base.clone().with_env();
+        assert_eq!(cfg.dir, PathBuf::from("/from-env"));
+        assert!(cfg.fsync_each);
+
+        // an unparsable bool warns and keeps the default
+        std::env::set_var("GBM_WAL_FSYNC", "yes please");
+        let cfg = base.clone().with_env();
+        assert!(!cfg.fsync_each);
+
+        std::env::remove_var("GBM_SNAPSHOT_DIR");
+        std::env::remove_var("GBM_WAL_FSYNC");
+    }
+
+    /// Tokenizer and model ride the snapshot and come back functionally
+    /// identical (same encodings, bit-identical weights).
+    #[test]
+    fn tokenizer_and_model_roundtrip_through_recovery() {
+        use gbm_tokenizer::TokenizerConfig;
+        let corpus = ["add i64 %1 %2", "mul i64 %3 %1", "ret i64 %3"];
+        let tok = Tokenizer::train(corpus.iter().copied(), TokenizerConfig::default());
+        let spec = {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            let model = gbm_nn::GraphBinMatch::new(
+                gbm_nn::GraphBinMatchConfig::small(tok.vocab_size()),
+                &mut rng,
+            );
+            ModelSpec::capture(&model)
+        };
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let dcfg = DurabilityConfig::new("/d");
+        let index = ShardedIndex::new(IndexConfig::default());
+        let mut wal = Wal::create(Arc::clone(&storage), dcfg.dir.join(WAL_FILE), false, 1).unwrap();
+        checkpoint(
+            Arc::clone(&storage),
+            &dcfg,
+            &index,
+            Some(&tok),
+            Some(&spec),
+            &mut wal,
+        )
+        .unwrap();
+        let rec = recover(storage, &dcfg, IndexConfig::default()).unwrap();
+        let rtok = rec.tokenizer.expect("tokenizer captured");
+        for text in &corpus {
+            assert_eq!(rtok.encode(text), tok.encode(text));
+        }
+        let rspec = rec.model.expect("model captured");
+        assert_eq!(rspec, spec, "config and weights bit-identical");
+    }
+}

@@ -121,6 +121,13 @@ impl QuantizedShard {
         self.mat.as_ref().map_or(0, |m| m.rows())
     }
 
+    /// The underlying code matrix (`None` while empty) — read by the
+    /// persistence layer, which snapshots codes and scales and verifies
+    /// them bit-equal against a deterministic requantization at load.
+    pub fn matrix(&self) -> Option<&QuantizedMatrix> {
+        self.mat.as_ref()
+    }
+
     /// Bytes one full coarse scan touches (codes + scales).
     pub fn scan_bytes(&self) -> usize {
         self.mat.as_ref().map_or(0, |m| m.scan_bytes())

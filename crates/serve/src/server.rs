@@ -37,16 +37,34 @@
 //!   cancels the pending ticket and still resolves the insert's handle —
 //!   nothing ever hangs and no ticket leaks ([`ServerReport`] proves it at
 //!   shutdown).
+//! * **Durability** ([`Server::durable`]): the encode worker tees every
+//!   acked mutation through a `gbm-store` write-ahead log *before* applying
+//!   it to the index. A failed append retries with backoff up to
+//!   [`WAL_RETRIES`] times (the WAL repairs its own torn tail between
+//!   attempts); a terminal failure surfaces as a typed
+//!   [`ServeError::Durability`] on the caller's handle and the index is
+//!   left untouched — an acked op is always recoverable, an unrecoverable
+//!   op is never acked. Shutdown force-syncs and reports the final
+//!   [`WalState`], so a dirty exit (unsynced records) is visible in the
+//!   [`ServerReport`], never silently claimed clean.
+//! * **Fault isolation**: a panicking scan worker is caught
+//!   (`catch_unwind`), marked failed, and retired — its shard range fails
+//!   over to an inline scan on the querying thread. Because the ranked
+//!   merge is associative, degraded answers stay *exact*; the degradation
+//!   is observable ([`ServerReport::degraded_scan_workers`]) but never
+//!   changes a ranking. Index writes are unaffected (the encode worker is
+//!   a different thread).
 
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use gbm_nn::{EncodedGraph, GraphBinMatch, GraphBinMatchConfig};
+use gbm_nn::{EncodedGraph, GraphBinMatch, ModelSpec};
+use gbm_store::{StoreError, Wal, WalOp, WalState};
 use gbm_tensor::Tensor;
 
 use crate::clock::Clock;
@@ -110,6 +128,13 @@ pub struct ServerReport {
     pub ready: usize,
     /// Reply destinations never resolved (a lost reply if nonzero).
     pub unresolved: usize,
+    /// Final WAL writer state on a durable server (`None` when the server
+    /// ran without a WAL): `unsynced == 0` is a clean shutdown, anything
+    /// else means the tail may not have reached disk.
+    pub wal: Option<WalState>,
+    /// Scan workers that panicked and were retired; their shard ranges
+    /// failed over to inline scans (answers stayed exact throughout).
+    pub degraded_scan_workers: usize,
 }
 
 impl ServerReport {
@@ -118,14 +143,54 @@ impl ServerReport {
     pub fn is_drained(&self) -> bool {
         self.pending == 0 && self.in_flight == 0 && self.ready == 0 && self.unresolved == 0
     }
+
+    /// True when a WAL was attached and every record it accepted was
+    /// fsynced by shutdown — the persisted log provably carries every
+    /// acked op. Always false on a non-durable server.
+    pub fn is_durable(&self) -> bool {
+        self.wal.as_ref().is_some_and(|w| w.unsynced == 0)
+    }
+}
+
+/// A serving-side failure surfaced on a caller's handle.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The WAL rejected an op even after [`WAL_RETRIES`] attempts; the op
+    /// was **not** applied to the index (write-ahead means un-logged is
+    /// un-applied).
+    Durability {
+        /// Append attempts made before giving up.
+        attempts: u32,
+        /// The storage error from the final attempt.
+        source: StoreError,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Durability { attempts, source } => write!(
+                f,
+                "WAL append failed after {attempts} attempts, op not applied: {source}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Durability { source, .. } => Some(source),
+        }
+    }
 }
 
 /// Everything a worker thread needs to rebuild the (non-`Send`) model:
-/// the `Copy` config, a flat weight snapshot, and the shared forward
-/// counter. The replica is constructed *inside* the thread.
-struct ModelSpec {
-    cfg: GraphBinMatchConfig,
-    snapshot: Vec<f32>,
+/// the persistable [`ModelSpec`] (config + flat weights — the same image
+/// snapshots carry) and the shared forward counter. The replica is
+/// constructed *inside* the thread.
+struct WorkerModel {
+    spec: ModelSpec,
     counter: Arc<AtomicUsize>,
 }
 
@@ -133,8 +198,12 @@ struct ModelSpec {
 enum EncodeDest {
     /// Hand the row to the submitting caller.
     Reply(SyncSender<Tensor>),
-    /// Publish the row into the index under `id`, then ack.
-    Publish { id: GraphId, done: SyncSender<()> },
+    /// Publish the row into the index under `id`, then ack (or report the
+    /// WAL failure that blocked the publish).
+    Publish {
+        id: GraphId,
+        done: SyncSender<Result<(), ServeError>>,
+    },
 }
 
 enum Request {
@@ -145,21 +214,30 @@ enum Request {
     InsertRow {
         id: GraphId,
         row: Vec<f32>,
-        done: SyncSender<()>,
+        done: SyncSender<Result<(), ServeError>>,
     },
     Remove {
         id: GraphId,
-        done: SyncSender<bool>,
+        done: SyncSender<Result<bool, ServeError>>,
     },
     Shutdown {
         report: SyncSender<ServerReport>,
     },
 }
 
-struct ScanJob {
-    query: Arc<[f32]>,
-    k: usize,
-    reply: SyncSender<Vec<(GraphId, f32)>>,
+/// One worker's sorted shard-range partial top-K.
+type Partial = Vec<(GraphId, f32)>;
+
+enum ScanJob {
+    Query {
+        query: Arc<[f32]>,
+        k: usize,
+        reply: SyncSender<Partial>,
+    },
+    /// Test-only: make the worker panic inside its job handler, exercising
+    /// the retire-and-fail-over path deterministically.
+    #[cfg(any(test, feature = "test-fixtures"))]
+    Poison,
 }
 
 /// Blocks until the submitted graph's coalescer batch flushes, then yields
@@ -186,25 +264,44 @@ impl EncodeHandle {
 /// or when a concurrent remove cancels the still-coalescing insert (the
 /// handle never hangs either way).
 pub struct InsertHandle {
-    rx: Receiver<()>,
+    rx: Receiver<Result<(), ServeError>>,
 }
 
 impl InsertHandle {
+    /// Blocks until the insert is published (or cancelled by a remove),
+    /// returning the durability outcome. Only a durable server ever
+    /// returns `Err` — and only after the WAL rejected the op through
+    /// every retry, in which case the index was left untouched.
+    pub fn result(self) -> Result<(), ServeError> {
+        self.rx.recv().expect("server encode worker exited early")
+    }
+
     /// Blocks until the insert is published (or cancelled by a remove).
+    /// Panics on a durability failure; use [`result`](Self::result) on
+    /// durable servers to handle it typed.
     pub fn wait(self) {
-        self.rx.recv().expect("server encode worker exited early");
+        self.result().expect("durable insert failed");
     }
 }
 
 /// Resolves with whether the removed id existed (encoded or pending).
 pub struct RemoveHandle {
-    rx: Receiver<bool>,
+    rx: Receiver<Result<bool, ServeError>>,
 }
 
 impl RemoveHandle {
-    /// Blocks until the remove is applied; true when the id existed.
-    pub fn wait(self) -> bool {
+    /// Blocks until the remove is applied, returning whether the id
+    /// existed — or the durability failure that blocked the remove (the
+    /// index keeps the row in that case; un-logged is un-applied).
+    pub fn result(self) -> Result<bool, ServeError> {
         self.rx.recv().expect("server encode worker exited early")
+    }
+
+    /// Blocks until the remove is applied; true when the id existed.
+    /// Panics on a durability failure; use [`result`](Self::result) on
+    /// durable servers to handle it typed.
+    pub fn wait(self) -> bool {
+        self.result().expect("durable remove failed")
     }
 }
 
@@ -217,6 +314,8 @@ pub struct Server {
     encode_worker: Option<JoinHandle<()>>,
     scan_txs: Vec<Sender<ScanJob>>,
     scan_workers: Vec<JoinHandle<()>>,
+    worker_ranges: Vec<Range<usize>>,
+    worker_failed: Arc<Vec<AtomicBool>>,
     has_model: bool,
 }
 
@@ -226,12 +325,37 @@ impl Server {
     /// flushes — [`WallClock`](crate::WallClock) in production, a shared
     /// [`VirtualClock`](crate::VirtualClock) in tests and load probes.
     pub fn new(model: &GraphBinMatch, cfg: ServerConfig, clock: Arc<dyn Clock>) -> Server {
-        let spec = ModelSpec {
-            cfg: *model.config(),
-            snapshot: model.store.snapshot(),
+        let worker_model = WorkerModel {
+            spec: ModelSpec::capture(model),
             counter: model.encoder().counter(),
         };
-        Server::start(Some(spec), ShardedIndex::new(cfg.index), cfg, clock)
+        Server::start(
+            Some(worker_model),
+            ShardedIndex::new(cfg.index),
+            cfg,
+            clock,
+            None,
+        )
+    }
+
+    /// Starts a **durable** server over recovered state: `index` and `wal`
+    /// come from [`recover`](crate::persist::recover) (or a fresh
+    /// [`Wal::create`] on first boot). Every acked insert/remove is
+    /// appended to the WAL before it touches the index, so a crash at any
+    /// point recovers rank-identically to the acked history. Pass a model
+    /// to serve encodes too, or `None` for a row-publish/query server.
+    pub fn durable(
+        model: Option<&GraphBinMatch>,
+        index: ShardedIndex,
+        cfg: ServerConfig,
+        clock: Arc<dyn Clock>,
+        wal: Wal,
+    ) -> Server {
+        let worker_model = model.map(|m| WorkerModel {
+            spec: ModelSpec::capture(m),
+            counter: m.encoder().counter(),
+        });
+        Server::start(worker_model, index, cfg, clock, Some(wal))
     }
 
     /// Starts a server over precomputed unit-norm rows (row `i` gets id
@@ -250,40 +374,53 @@ impl Server {
             ShardedIndex::from_rows(rows, hidden, cfg.index),
             cfg,
             clock,
+            None,
         )
     }
 
     fn start(
-        model: Option<ModelSpec>,
+        model: Option<WorkerModel>,
         index: ShardedIndex,
         cfg: ServerConfig,
         clock: Arc<dyn Clock>,
+        wal: Option<Wal>,
     ) -> Server {
         let has_model = model.is_some();
         let index = Arc::new(RwLock::new(index));
         let num_shards = index.read().unwrap().num_shards();
         let workers = cfg.scan_workers.clamp(1, num_shards);
+        let worker_failed: Arc<Vec<AtomicBool>> =
+            Arc::new((0..workers).map(|_| AtomicBool::new(false)).collect());
         let mut scan_txs = Vec::with_capacity(workers);
         let mut scan_workers = Vec::with_capacity(workers);
+        let mut worker_ranges = Vec::with_capacity(workers);
         for w in 0..workers {
             // contiguous near-even ranges covering 0..num_shards exactly
             let range = (w * num_shards / workers)..((w + 1) * num_shards / workers);
             let (tx, rx) = mpsc::channel::<ScanJob>();
             let idx = Arc::clone(&index);
+            let failed = Arc::clone(&worker_failed);
+            let shards = range.clone();
+            worker_ranges.push(range);
             scan_txs.push(tx);
-            scan_workers.push(std::thread::spawn(move || scan_worker_loop(rx, idx, range)));
+            scan_workers.push(std::thread::spawn(move || {
+                scan_worker_loop(rx, idx, shards, failed, w)
+            }));
         }
         let (encode_tx, encode_rx) = mpsc::channel::<Request>();
         let idx = Arc::clone(&index);
         let coalescer = cfg.coalescer;
-        let encode_worker =
-            std::thread::spawn(move || encode_worker_loop(encode_rx, model, idx, clock, coalescer));
+        let encode_worker = std::thread::spawn(move || {
+            encode_worker_loop(encode_rx, model, idx, clock, coalescer, wal)
+        });
         Server {
             index,
             encode_tx: Some(encode_tx),
             encode_worker: Some(encode_worker),
             scan_txs,
             scan_workers,
+            worker_ranges,
+            worker_failed,
             has_model,
         }
     }
@@ -349,25 +486,57 @@ impl Server {
     /// Exact top-K cosine neighbours of `query`, served by the scan-worker
     /// fan-out: one shard-range partial per worker, k-way merged here.
     /// Identical — ids, scores, tie order — to
-    /// [`ShardedIndex::query`] on the same index state.
+    /// [`ShardedIndex::query`] on the same index state. A retired
+    /// (panicked) worker's shard range fails over to an inline scan on
+    /// this thread; merge associativity keeps the degraded answer exact.
     pub fn query(&self, query: &[f32], k: usize) -> Vec<(GraphId, f32)> {
         let q: Arc<[f32]> = query.into();
-        let mut replies = Vec::with_capacity(self.scan_txs.len());
-        for tx in &self.scan_txs {
+        let mut replies: Vec<Option<Receiver<Partial>>> = Vec::with_capacity(self.scan_txs.len());
+        for (w, tx) in self.scan_txs.iter().enumerate() {
+            if self.worker_failed[w].load(Ordering::SeqCst) {
+                replies.push(None); // known dead: scan its range inline
+                continue;
+            }
             let (rtx, rrx) = mpsc::sync_channel(1);
-            tx.send(ScanJob {
+            let sent = tx.send(ScanJob::Query {
                 query: Arc::clone(&q),
                 k,
                 reply: rtx,
-            })
-            .expect("scan worker alive while the server holds its sender");
-            replies.push(rrx);
+            });
+            match sent {
+                Ok(()) => replies.push(Some(rrx)),
+                Err(_) => {
+                    // the worker hung up mid-retirement; remember and fail over
+                    self.worker_failed[w].store(true, Ordering::SeqCst);
+                    replies.push(None);
+                }
+            }
         }
         let partials: Vec<Vec<(GraphId, f32)>> = replies
             .into_iter()
-            .map(|rx| rx.recv().expect("scan worker answers every job"))
+            .enumerate()
+            .map(|(w, rx)| match rx.map(|rx| rx.recv()) {
+                Some(Ok(partial)) => partial,
+                answered => {
+                    if answered.is_some() {
+                        // died between accepting the job and replying
+                        self.worker_failed[w].store(true, Ordering::SeqCst);
+                    }
+                    self.index
+                        .read()
+                        .unwrap()
+                        .query_shards(self.worker_ranges[w].clone(), &q, k)
+                }
+            })
             .collect();
         gbm_tensor::merge_ranked(&partials, k)
+    }
+
+    /// Test-only: injects a panic into scan worker `w`'s job handler,
+    /// driving the retire-and-fail-over path deterministically.
+    #[cfg(any(test, feature = "test-fixtures"))]
+    pub fn poison_scan_worker(&self, w: usize) {
+        let _ = self.scan_txs[w].send(ScanJob::Poison);
     }
 
     /// Encoded (searchable) rows right now.
@@ -397,7 +566,12 @@ impl Server {
     pub fn shutdown(mut self) -> ServerReport {
         let (tx, rx) = mpsc::sync_channel(1);
         self.send(Request::Shutdown { report: tx });
-        let report = rx.recv().expect("encode worker reports before exiting");
+        let mut report = rx.recv().expect("encode worker reports before exiting");
+        report.degraded_scan_workers = self
+            .worker_failed
+            .iter()
+            .filter(|f| f.load(Ordering::SeqCst))
+            .count();
         self.join_workers();
         report
     }
@@ -423,15 +597,70 @@ impl Drop for Server {
     }
 }
 
-fn scan_worker_loop(rx: Receiver<ScanJob>, index: Arc<RwLock<ShardedIndex>>, shards: Range<usize>) {
+fn scan_worker_loop(
+    rx: Receiver<ScanJob>,
+    index: Arc<RwLock<ShardedIndex>>,
+    shards: Range<usize>,
+    failed: Arc<Vec<AtomicBool>>,
+    me: usize,
+) {
     while let Ok(job) = rx.recv() {
-        let partial = index
-            .read()
-            .unwrap()
-            .query_shards(shards.clone(), &job.query, job.k);
-        // a caller that gave up on the query just drops its receiver
-        let _ = job.reply.send(partial);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job {
+            ScanJob::Query { query, k, reply } => {
+                let partial = index
+                    .read()
+                    .unwrap()
+                    .query_shards(shards.clone(), &query, k);
+                // a caller that gave up on the query just drops its receiver
+                let _ = reply.send(partial);
+            }
+            // resume_unwind (vs panic!) skips the panic hook's backtrace
+            // noise — the unwind itself is the injected fault
+            #[cfg(any(test, feature = "test-fixtures"))]
+            ScanJob::Poison => std::panic::resume_unwind(Box::new("injected scan-worker fault")),
+        }));
+        if outcome.is_err() {
+            // retire this worker: queries fail over to inline scans of its
+            // shard range (only a *read* lock was held — no lock poisoning,
+            // the index stays healthy for everyone else)
+            failed[me].store(true, Ordering::SeqCst);
+            return;
+        }
     }
+}
+
+/// Append attempts per op before a WAL failure becomes terminal; the tail
+/// self-repairs (truncate to the durable frontier) between attempts.
+pub const WAL_RETRIES: u32 = 3;
+
+/// Backoff before the first retry; quadruples per subsequent attempt.
+const WAL_RETRY_BACKOFF: Duration = Duration::from_micros(100);
+
+/// Appends `op` with bounded retry-with-backoff. `Ok` means the op is in
+/// the log (write-ahead: the caller may now apply it); `Err` means it
+/// never made it and must not be applied.
+fn durable_append(wal: &mut Option<Wal>, op: &WalOp) -> Result<(), ServeError> {
+    let Some(w) = wal.as_mut() else {
+        return Ok(()); // non-durable server: every op "logs" trivially
+    };
+    let mut backoff = WAL_RETRY_BACKOFF;
+    let mut last: Option<StoreError> = None;
+    for attempt in 0..WAL_RETRIES {
+        match w.append(op) {
+            Ok(_) => return Ok(()),
+            Err(e) => {
+                last = Some(e);
+                if attempt + 1 < WAL_RETRIES {
+                    std::thread::sleep(backoff);
+                    backoff *= 4;
+                }
+            }
+        }
+    }
+    Err(ServeError::Durability {
+        attempts: WAL_RETRIES,
+        source: last.expect("loop ran at least once"),
+    })
 }
 
 /// How long the encode worker blocks on its channel before re-checking the
@@ -440,16 +669,20 @@ const WORKER_POLL: Duration = Duration::from_millis(1);
 
 fn encode_worker_loop(
     rx: Receiver<Request>,
-    model: Option<ModelSpec>,
+    model: Option<WorkerModel>,
     index: Arc<RwLock<ShardedIndex>>,
     clock: Arc<dyn Clock>,
     cfg: CoalescerConfig,
+    mut wal: Option<Wal>,
 ) {
     // the replica is built here, inside the worker thread: the model's
-    // parameter store is not Send, so it crosses the boundary as
-    // (config, weight snapshot, counter) and is reconstituted on arrival
+    // parameter store is not Send, so it crosses the boundary as a
+    // (config, weight snapshot) ModelSpec plus the shared counter and is
+    // reconstituted on arrival
     let replica = model.map(|m| {
-        GraphBinMatch::from_snapshot(m.cfg, &m.snapshot, std::sync::Arc::clone(&m.counter))
+        m.spec
+            .build(Arc::clone(&m.counter))
+            .expect("a spec captured from a live model rebuilds")
     });
     let mut co = EncodeCoalescer::new(cfg);
     let max_batch = co.config().max_batch;
@@ -468,6 +701,7 @@ fn encode_worker_loop(
         dests: &mut HashMap<Ticket, EncodeDest>,
         publish_ticket: &mut HashMap<GraphId, Ticket>,
         index: &RwLock<ShardedIndex>,
+        wal: &mut Option<Wal>,
     ) {
         let Some(batch) = co.begin_flush() else {
             return;
@@ -492,13 +726,24 @@ fn encode_worker_loop(
                     }
                 }
                 EncodeDest::Publish { id, done } => {
-                    if let Some(row) = row {
-                        if publish_ticket.get(&id) == Some(&t) {
-                            publish_ticket.remove(&id);
+                    let result = match row {
+                        Some(row) => {
+                            if publish_ticket.get(&id) == Some(&t) {
+                                publish_ticket.remove(&id);
+                            }
+                            // write-ahead: the row only lands in the index
+                            // once the WAL has it
+                            let op = WalOp::Insert {
+                                id,
+                                row: row.data().to_vec(),
+                            };
+                            durable_append(wal, &op).map(|()| {
+                                index.write().unwrap().insert_row(id, row.data());
+                            })
                         }
-                        index.write().unwrap().insert_row(id, row.data());
-                    }
-                    let _ = done.send(());
+                        None => Ok(()), // cancelled between flush phases
+                    };
+                    let _ = done.send(result);
                 }
             }
         }
@@ -512,7 +757,9 @@ fn encode_worker_loop(
     ) {
         co.cancel(ticket);
         if let Some(EncodeDest::Publish { done, .. }) = dests.remove(&ticket) {
-            let _ = done.send(());
+            // a cancelled insert never reached the WAL or the index: that
+            // is a successful no-op, not a durability failure
+            let _ = done.send(Ok(()));
         }
     }
 
@@ -544,6 +791,7 @@ fn encode_worker_loop(
                             &mut dests,
                             &mut publish_ticket,
                             &index,
+                            &mut wal,
                         );
                     }
                 }
@@ -551,17 +799,28 @@ fn encode_worker_loop(
                     if let Some(old) = publish_ticket.remove(&id) {
                         cancel_publish(&mut co, &mut dests, old);
                     }
-                    index.write().unwrap().insert_row(id, &row);
-                    let _ = done.send(());
+                    // write-ahead: log first, apply only on success
+                    let op = WalOp::Insert { id, row };
+                    let result = durable_append(&mut wal, &op).map(|()| {
+                        let WalOp::Insert { row, .. } = &op else {
+                            unreachable!("op constructed as Insert above")
+                        };
+                        index.write().unwrap().insert_row(id, row);
+                    });
+                    let _ = done.send(result);
                 }
                 Request::Remove { id, done } => {
-                    let mut existed = false;
-                    if let Some(t) = publish_ticket.remove(&id) {
-                        cancel_publish(&mut co, &mut dests, t);
-                        existed = true;
-                    }
-                    existed |= index.write().unwrap().remove(id);
-                    let _ = done.send(existed);
+                    // write-ahead: a remove that cannot be logged is not
+                    // applied (and does not cancel a pending insert either)
+                    let result = durable_append(&mut wal, &WalOp::Remove { id }).map(|()| {
+                        let mut existed = false;
+                        if let Some(t) = publish_ticket.remove(&id) {
+                            cancel_publish(&mut co, &mut dests, t);
+                            existed = true;
+                        }
+                        existed | index.write().unwrap().remove(id)
+                    });
+                    let _ = done.send(result);
                 }
                 Request::Shutdown { report } => {
                     shutdown_report = Some(report);
@@ -581,6 +840,7 @@ fn encode_worker_loop(
                 &mut dests,
                 &mut publish_ticket,
                 &index,
+                &mut wal,
             );
         }
     }
@@ -594,7 +854,13 @@ fn encode_worker_loop(
             &mut dests,
             &mut publish_ticket,
             &index,
+            &mut wal,
         );
+    }
+    // final sync: a failure leaves `unsynced` nonzero in the reported
+    // state — a visibly dirty shutdown, never one silently claimed clean
+    if let Some(w) = wal.as_mut() {
+        let _ = w.sync();
     }
     if let Some(report) = shutdown_report {
         let _ = report.send(ServerReport {
@@ -603,6 +869,8 @@ fn encode_worker_loop(
             in_flight: co.in_flight_len(),
             ready: co.ready_len(),
             unresolved: dests.len(),
+            wal: wal.as_ref().map(|w| w.state()),
+            degraded_scan_workers: 0, // filled in by Server::shutdown
         });
     }
 }
@@ -952,5 +1220,224 @@ mod tests {
                 );
             }
         }
+    }
+
+    use crate::persist::{recover, DurabilityConfig};
+    use gbm_store::{FaultPlan, FaultStorage, MemStorage, Storage};
+
+    /// The durable lifecycle: boot from an empty directory, ack writes,
+    /// die without shutdown (the "kill"), and recover rank-identical to a
+    /// never-crashed serial replay of the acked ops; then resume serving
+    /// on the recovered state and shut down provably clean.
+    #[test]
+    fn durable_server_survives_kill_and_recovers_rank_identical() {
+        let hidden = 4;
+        let rows = synth_rows(12, hidden, 77);
+        let row = |i: usize| rows[i * hidden..(i + 1) * hidden].to_vec();
+        let icfg = IndexConfig {
+            num_shards: 3,
+            encode_batch: 4,
+            precision: ScanPrecision::Int8 { widen: 2 },
+        };
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let dcfg = DurabilityConfig::new("/srv");
+        let rec = recover(Arc::clone(&storage), &dcfg, icfg).unwrap();
+        let server = Server::durable(
+            None,
+            rec.index,
+            ServerConfig {
+                scan_workers: 2,
+                index: icfg,
+                ..Default::default()
+            },
+            Arc::new(VirtualClock::new()),
+            rec.wal,
+        );
+        for i in 0..12usize {
+            server.insert_row(i as GraphId, row(i)).wait();
+        }
+        assert!(server.remove(3).wait());
+        assert!(!server.remove(99).wait(), "absent id still logs its remove");
+        let served = server.query(&row(0), 5);
+        // kill: drop without shutdown — acked ops are already in the WAL
+        drop(server);
+
+        let rec = recover(Arc::clone(&storage), &dcfg, icfg).unwrap();
+        assert_eq!(rec.snapshot_seq, 0, "no checkpoint was ever taken");
+        assert_eq!(rec.replayed_ops, 14, "12 inserts + 2 removes");
+        let mut reference = ShardedIndex::new(icfg);
+        for i in 0..12usize {
+            reference.insert_row(i as GraphId, &row(i));
+        }
+        reference.remove(3);
+        assert_eq!(rec.index.ids(), reference.ids());
+        for k in [1usize, 5, 20] {
+            assert_eq!(rec.index.query(&row(0), k), reference.query(&row(0), k));
+        }
+        assert_eq!(rec.index.query(&row(0), 5), served, "recovered = as-served");
+
+        // resume serving on the recovered state; this time exit cleanly
+        let server = Server::durable(
+            None,
+            rec.index,
+            ServerConfig {
+                index: icfg,
+                ..Default::default()
+            },
+            Arc::new(VirtualClock::new()),
+            rec.wal,
+        );
+        server.insert_row(50, row(0)).wait();
+        let report = server.shutdown();
+        assert!(report.is_drained(), "{report:?}");
+        assert!(report.is_durable(), "clean shutdown syncs the WAL");
+        let wal = report.wal.expect("durable server reports WAL state");
+        assert_eq!(wal.next_seq, 16, "numbering continued across the crash");
+        assert_eq!((wal.unsynced, wal.append_failures), (0, 0));
+        assert_eq!(report.degraded_scan_workers, 0);
+    }
+
+    /// WAL fault handling end to end: a transient append failure is
+    /// absorbed by the bounded retry; a persistent one surfaces as a typed
+    /// [`ServeError::Durability`] on the handle and the index is left
+    /// untouched (write-ahead: un-logged is un-applied); clearing the
+    /// fault resumes service on the self-repaired tail, and recovery sees
+    /// exactly the acked ops.
+    #[test]
+    fn wal_faults_retry_then_surface_typed_errors() {
+        let hidden = 4;
+        let rows = synth_rows(4, hidden, 88);
+        let row = |i: usize| rows[i * hidden..(i + 1) * hidden].to_vec();
+        let icfg = IndexConfig {
+            num_shards: 2,
+            encode_batch: 4,
+            precision: ScanPrecision::F32,
+        };
+        let faulty = Arc::new(FaultStorage::new(Arc::new(MemStorage::new())));
+        let storage: Arc<dyn Storage> = Arc::clone(&faulty) as Arc<dyn Storage>;
+        let dcfg = DurabilityConfig::new("/srv");
+        let rec = recover(Arc::clone(&storage), &dcfg, icfg).unwrap();
+        let server = Server::durable(
+            None,
+            rec.index,
+            ServerConfig {
+                index: icfg,
+                ..Default::default()
+            },
+            Arc::new(VirtualClock::new()),
+            rec.wal,
+        );
+        // one injected failure: the retry absorbs it, the caller sees Ok
+        faulty.set_plan(FaultPlan {
+            fail_next_appends: 1,
+            ..Default::default()
+        });
+        server
+            .insert_row(0, row(0))
+            .result()
+            .expect("retry succeeds");
+        assert_eq!(server.num_encoded(), 1);
+        // persistent failure: typed error, nothing applied
+        faulty.set_plan(FaultPlan {
+            fail_next_appends: u64::MAX,
+            ..Default::default()
+        });
+        let err = server.insert_row(1, row(1)).result().unwrap_err();
+        let ServeError::Durability { attempts, source } = err;
+        assert_eq!(attempts, WAL_RETRIES);
+        assert!(!source.is_corruption(), "an injected I/O fault, not rot");
+        assert_eq!(server.num_encoded(), 1, "failed insert never lands");
+        let err = server.remove(0).result().unwrap_err();
+        assert!(matches!(err, ServeError::Durability { .. }));
+        assert_eq!(server.num_encoded(), 1, "failed remove never applies");
+        // fault cleared: the dirty tail self-repairs, service resumes
+        faulty.set_plan(FaultPlan::default());
+        server.insert_row(2, row(2)).wait();
+        let report = server.shutdown();
+        assert!(report.is_drained(), "{report:?}");
+        assert!(report.is_durable());
+        let wal = report.wal.unwrap();
+        assert_eq!(
+            wal.append_failures,
+            1 + 2 * u64::from(WAL_RETRIES),
+            "1 retried + 2 terminal ops' worth of failed attempts"
+        );
+        // recovery sees the acked ops and only those
+        let rec = recover(storage, &dcfg, icfg).unwrap();
+        assert_eq!(rec.index.ids(), vec![0, 2]);
+        assert_eq!(rec.replayed_ops, 2);
+    }
+
+    /// A failing final fsync must be a *visibly* dirty shutdown.
+    #[test]
+    fn failed_final_sync_reports_a_dirty_shutdown() {
+        let hidden = 4;
+        let rows = synth_rows(1, hidden, 91);
+        let icfg = IndexConfig::default();
+        let faulty = Arc::new(FaultStorage::new(Arc::new(MemStorage::new())));
+        let storage: Arc<dyn Storage> = Arc::clone(&faulty) as Arc<dyn Storage>;
+        let rec = recover(storage, &DurabilityConfig::new("/srv"), icfg).unwrap();
+        let server = Server::durable(
+            None,
+            rec.index,
+            ServerConfig::default(),
+            Arc::new(VirtualClock::new()),
+            rec.wal,
+        );
+        server.insert_row(0, rows.clone()).wait();
+        faulty.set_plan(FaultPlan {
+            fail_next_syncs: 1,
+            ..Default::default()
+        });
+        let report = server.shutdown();
+        assert!(report.is_drained(), "drained is orthogonal to durable");
+        assert!(!report.is_durable(), "failed fsync cannot claim clean");
+        assert!(report.wal.unwrap().unsynced > 0);
+    }
+
+    /// Worker fault isolation: poisoned scan workers retire, their shard
+    /// ranges fail over to inline scans, and every degraded answer stays
+    /// **exactly** equal to the healthy single-threaded scan — down to
+    /// losing all workers. Writes are unaffected, and the degradation is
+    /// visible in the shutdown report.
+    #[test]
+    fn poisoned_scan_workers_fail_over_with_exact_rankings() {
+        let hidden = 6;
+        let n = 200;
+        let rows = synth_rows(n, hidden, 99);
+        let icfg = IndexConfig {
+            num_shards: 7,
+            encode_batch: 8,
+            precision: ScanPrecision::Int8 { widen: 2 },
+        };
+        let reference = ShardedIndex::from_rows(&rows, hidden, icfg);
+        let server = Server::from_rows(
+            &rows,
+            hidden,
+            ServerConfig {
+                scan_workers: 3,
+                index: icfg,
+                ..Default::default()
+            },
+            Arc::new(VirtualClock::new()),
+        );
+        let q = rows[..hidden].to_vec();
+        assert_eq!(server.query(&q, 10), reference.query(&q, 10), "healthy");
+        server.poison_scan_worker(1);
+        for k in [1usize, 10, n + 5] {
+            assert_eq!(server.query(&q, k), reference.query(&q, k), "k={k}");
+        }
+        // losing every worker still serves (all ranges inline)
+        server.poison_scan_worker(0);
+        server.poison_scan_worker(2);
+        assert_eq!(server.query(&q, 10), reference.query(&q, 10), "all dead");
+        // the write path is a different thread: unaffected
+        server.insert_row(5000, q.clone()).wait();
+        assert!(server.remove(5000).wait());
+        let report = server.shutdown();
+        assert!(report.is_drained(), "{report:?}");
+        assert_eq!(report.degraded_scan_workers, 3);
+        assert!(report.wal.is_none(), "no WAL was attached");
+        assert!(!report.is_durable(), "durability never claimed without one");
     }
 }

@@ -1,0 +1,59 @@
+//! # gbm-store
+//!
+//! The crash-safe persistence layer under the serving stack: everything a
+//! [`ShardedIndex`](../gbm_serve/index/struct.ShardedIndex.html) needs to
+//! survive a process death and come back serving the *exact same rankings*.
+//! The crate is deliberately dependency-free — it speaks bytes and plain
+//! data structs, and `gbm-serve`'s `persist` module owns the conversion to
+//! and from live index/model/tokenizer types — so the on-disk format can be
+//! read by any process (a replica, a bench, a recovery tool) without
+//! linking the model stack.
+//!
+//! Three pieces:
+//!
+//! * [`Storage`] — file I/O as an injected capability, mirroring the
+//!   serving layer's injected `Clock`: [`FileStorage`] in production,
+//!   [`MemStorage`] for hermetic tests, and [`FaultStorage`] wrapping
+//!   either to inject deterministic failures (clean append failures, short
+//!   writes that tear a WAL tail, torn atomic writes, bit flips on read)
+//!   so every recovery path is exercised by tests, not hoped about.
+//! * [`SnapshotData`] + [`encode_snapshot`]/[`decode_snapshot`] — a
+//!   versioned, sectioned binary snapshot of the sharded index (per-shard
+//!   id maps + f32 row matrices + optional int8 code mirrors and scales,
+//!   plus optional tokenizer vocabulary and model-spec sections). Every
+//!   section carries its own crc32; snapshots are written via
+//!   [`Storage::write_atomic`] (temp file + rename), so a snapshot file is
+//!   either complete and verifiable or not there at all.
+//! * [`Wal`] + [`read_wal`] — an append-only operation log of
+//!   length-prefixed, crc-checksummed, sequence-numbered records
+//!   ([`WalOp::Insert`] carries the embedding row, so replay needs no
+//!   model). A torn tail — the bytes a crash mid-append leaves behind — is
+//!   detected and dropped (reported, not silently swallowed); corruption
+//!   *before* the tail is a typed error, never a wrong replay. Sequence
+//!   numbers are contiguous, so a snapshot taken at `last_seq = S` makes
+//!   replay resumable (`seq > S`) and any gap between a snapshot and its
+//!   log is detected instead of served.
+//!
+//! Recovery (orchestrated by `gbm_serve::persist::recover`) is: load the
+//! newest snapshot that verifies, replay the WAL records past its
+//! `last_seq`, stop at the torn tail. The contract, enforced by
+//! fault-injection tests here and equivalence tests in `gbm-serve`: the
+//! recovered index is rank-identical to a never-crashed replay of the same
+//! durable op prefix, or recovery fails with a typed [`StoreError`] —
+//! never a silent wrong answer.
+
+pub mod codec;
+pub mod crc;
+pub mod error;
+pub mod snapshot;
+pub mod storage;
+pub mod wal;
+
+pub use crc::crc32;
+pub use error::StoreError;
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, load_newest_snapshot, parse_snapshot_seq, save_snapshot,
+    snapshot_file_name, ModelData, PrecisionTag, QuantData, ShardData, SnapshotData, TokenizerData,
+};
+pub use storage::{FaultPlan, FaultStorage, FileStorage, MemStorage, Storage};
+pub use wal::{read_wal, Wal, WalOp, WalReplay, WalState, WAL_FILE};

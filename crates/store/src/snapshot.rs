@@ -1,0 +1,643 @@
+//! The versioned, checksummed snapshot format — a full point-in-time image
+//! of the sharded index (and optionally the tokenizer vocabulary and model
+//! weights) as plain data.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! header   : magic "GBMSNAP\x01" (8) | u32 version | u32 section_count
+//!            | u32 crc32(previous 16 bytes)
+//! section  : u32 tag | u64 payload_len | u32 crc32(tag ‖ len ‖ payload)
+//!            | payload
+//! ```
+//!
+//! Sections appear in a fixed order: one `CONFIG`, then one `SHARD` per
+//! shard (in shard order), then optional `TOKENIZER` and `MODEL`. Every
+//! section checksum covers its own header too, so a bit flip *anywhere* in
+//! the file — tag, length, or payload — surfaces as a typed error at load.
+//! Files are written with [`Storage::write_atomic`], so a snapshot is
+//! either complete or absent; [`load_newest_snapshot`] falls back through
+//! older snapshots when the newest fails verification.
+
+use std::path::{Path, PathBuf};
+
+use crate::codec::{Reader, Writer};
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::storage::Storage;
+
+const MAGIC: [u8; 8] = *b"GBMSNAP\x01";
+const VERSION: u32 = 1;
+
+const TAG_CONFIG: u32 = 1;
+const TAG_SHARD: u32 = 2;
+const TAG_TOKENIZER: u32 = 3;
+const TAG_MODEL: u32 = 4;
+
+/// Scan precision recorded in a snapshot, mirroring the serving layer's
+/// `ScanPrecision` without depending on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrecisionTag {
+    /// Exact f32 scans.
+    F32,
+    /// Int8 coarse scan with widened exact re-rank.
+    Int8 {
+        /// Re-rank widening factor.
+        widen: u32,
+    },
+}
+
+/// The int8 mirror of one shard: per-row symmetric codes plus scales.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantData {
+    /// Row-major `rows × hidden` int8 codes.
+    pub codes: Vec<i8>,
+    /// Per-row dequantization scales.
+    pub scales: Vec<f32>,
+}
+
+/// One shard's rows: ids in row order plus the dense embedding matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardData {
+    /// Graph ids, one per row, in row order (row order is load-bearing:
+    /// it is the ranking tie-break).
+    pub ids: Vec<u64>,
+    /// Row-major `ids.len() × hidden` f32 embeddings.
+    pub rows: Vec<f32>,
+    /// The int8 mirror, when the index scans quantized.
+    pub quant: Option<QuantData>,
+}
+
+/// Tokenizer vocabulary as plain data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TokenizerData {
+    /// Fixed token-sequence length.
+    pub seq_len: u32,
+    /// Whether variable names are normalized to a shared token.
+    pub normalize_vars: bool,
+    /// `(token, id)` pairs, sorted by id.
+    pub entries: Vec<(String, u32)>,
+}
+
+/// Model hyperparameters and flat weights as plain data. The serving
+/// layer owns the meaning of the config words; the store only promises to
+/// return them bit-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelData {
+    /// Opaque config words (hyperparameters, enum tags, float bits).
+    pub config: Vec<u64>,
+    /// Flat parameter snapshot.
+    pub weights: Vec<f32>,
+}
+
+/// Everything a snapshot holds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotData {
+    /// Shard count the ids were partitioned under.
+    pub num_shards: u32,
+    /// Encode batch size of the index config.
+    pub encode_batch: u32,
+    /// Scan precision.
+    pub precision: PrecisionTag,
+    /// Embedding width.
+    pub hidden: u32,
+    /// Sequence number of the last WAL op folded into this image; replay
+    /// resumes at `last_seq + 1`.
+    pub last_seq: u64,
+    /// One entry per shard.
+    pub shards: Vec<ShardData>,
+    /// Tokenizer vocabulary, when captured.
+    pub tokenizer: Option<TokenizerData>,
+    /// Model spec, when captured.
+    pub model: Option<ModelData>,
+}
+
+/// `snap-{seq:020}.gbms` — zero-padded so lexicographic order is seq order.
+pub fn snapshot_file_name(seq: u64) -> String {
+    format!("snap-{seq:020}.gbms")
+}
+
+/// The sequence number of a snapshot file name, `None` for other files.
+pub fn parse_snapshot_seq(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("snap-")?.strip_suffix(".gbms")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn push_section(out: &mut Vec<u8>, tag: u32, payload: &[u8]) {
+    let mut head = Writer::new();
+    head.u32(tag);
+    head.u64(payload.len() as u64);
+    let head = head.into_bytes();
+    let mut crc_input = head.clone();
+    crc_input.extend_from_slice(payload);
+    out.extend_from_slice(&head);
+    out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Serializes `data` to the on-disk format.
+pub fn encode_snapshot(data: &SnapshotData) -> Vec<u8> {
+    let mut sections: Vec<(u32, Vec<u8>)> = Vec::new();
+
+    let mut cfg = Writer::new();
+    cfg.u32(data.num_shards);
+    cfg.u32(data.encode_batch);
+    match data.precision {
+        PrecisionTag::F32 => {
+            cfg.u8(0);
+            cfg.u32(0);
+        }
+        PrecisionTag::Int8 { widen } => {
+            cfg.u8(1);
+            cfg.u32(widen);
+        }
+    }
+    cfg.u32(data.hidden);
+    cfg.u64(data.last_seq);
+    sections.push((TAG_CONFIG, cfg.into_bytes()));
+
+    for (idx, shard) in data.shards.iter().enumerate() {
+        let mut w = Writer::new();
+        w.u32(idx as u32);
+        w.u64(shard.ids.len() as u64);
+        w.u64_slice(&shard.ids);
+        w.f32_slice(&shard.rows);
+        match &shard.quant {
+            Some(q) => {
+                w.u8(1);
+                w.i8_slice(&q.codes);
+                w.f32_slice(&q.scales);
+            }
+            None => w.u8(0),
+        }
+        sections.push((TAG_SHARD, w.into_bytes()));
+    }
+
+    if let Some(tok) = &data.tokenizer {
+        let mut w = Writer::new();
+        w.u32(tok.seq_len);
+        w.u8(tok.normalize_vars as u8);
+        w.u32(tok.entries.len() as u32);
+        for (token, id) in &tok.entries {
+            w.str(token);
+            w.u32(*id);
+        }
+        sections.push((TAG_TOKENIZER, w.into_bytes()));
+    }
+
+    if let Some(model) = &data.model {
+        let mut w = Writer::new();
+        w.u64(model.config.len() as u64);
+        w.u64_slice(&model.config);
+        w.u64(model.weights.len() as u64);
+        w.f32_slice(&model.weights);
+        sections.push((TAG_MODEL, w.into_bytes()));
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    let head_crc = crc32(&out[..16]);
+    out.extend_from_slice(&head_crc.to_le_bytes());
+    for (tag, payload) in &sections {
+        push_section(&mut out, *tag, payload);
+    }
+    out
+}
+
+fn decode_config(payload: &[u8]) -> Result<SnapshotData, StoreError> {
+    let mut r = Reader::new(payload);
+    let num_shards = r.u32("config num_shards")?;
+    let encode_batch = r.u32("config encode_batch")?;
+    let precision = match r.u8("config precision tag")? {
+        0 => {
+            r.u32("config widen")?;
+            PrecisionTag::F32
+        }
+        1 => PrecisionTag::Int8 {
+            widen: r.u32("config widen")?,
+        },
+        other => {
+            return Err(StoreError::Malformed {
+                what: format!("config precision tag {other}"),
+            })
+        }
+    };
+    let hidden = r.u32("config hidden")?;
+    let last_seq = r.u64("config last_seq")?;
+    if r.remaining() != 0 {
+        return Err(StoreError::Malformed {
+            what: "config section trailing bytes".into(),
+        });
+    }
+    Ok(SnapshotData {
+        num_shards,
+        encode_batch,
+        precision,
+        hidden,
+        last_seq,
+        shards: Vec::new(),
+        tokenizer: None,
+        model: None,
+    })
+}
+
+fn decode_shard(payload: &[u8], expect_idx: u32, hidden: u32) -> Result<ShardData, StoreError> {
+    let mut r = Reader::new(payload);
+    let idx = r.u32("shard index")?;
+    if idx != expect_idx {
+        return Err(StoreError::Malformed {
+            what: format!("shard sections out of order: expected {expect_idx}, found {idx}"),
+        });
+    }
+    let nrows = r.u64("shard row count")? as usize;
+    let ids = r.u64_vec(nrows, "shard ids")?;
+    let rows = r.f32_vec(nrows * hidden as usize, "shard rows")?;
+    let quant = match r.u8("shard quant flag")? {
+        0 => None,
+        1 => Some(QuantData {
+            codes: r.i8_vec(nrows * hidden as usize, "shard quant codes")?,
+            scales: r.f32_vec(nrows, "shard quant scales")?,
+        }),
+        other => {
+            return Err(StoreError::Malformed {
+                what: format!("shard quant flag {other}"),
+            })
+        }
+    };
+    if r.remaining() != 0 {
+        return Err(StoreError::Malformed {
+            what: format!("shard {idx} trailing bytes"),
+        });
+    }
+    Ok(ShardData { ids, rows, quant })
+}
+
+fn decode_tokenizer(payload: &[u8]) -> Result<TokenizerData, StoreError> {
+    let mut r = Reader::new(payload);
+    let seq_len = r.u32("tokenizer seq_len")?;
+    let normalize_vars = match r.u8("tokenizer normalize flag")? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(StoreError::Malformed {
+                what: format!("tokenizer normalize flag {other}"),
+            })
+        }
+    };
+    let n = r.u32("tokenizer entry count")? as usize;
+    let mut entries = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let token = r.str("tokenizer token")?;
+        let id = r.u32("tokenizer token id")?;
+        entries.push((token, id));
+    }
+    if r.remaining() != 0 {
+        return Err(StoreError::Malformed {
+            what: "tokenizer section trailing bytes".into(),
+        });
+    }
+    Ok(TokenizerData {
+        seq_len,
+        normalize_vars,
+        entries,
+    })
+}
+
+fn decode_model(payload: &[u8]) -> Result<ModelData, StoreError> {
+    let mut r = Reader::new(payload);
+    let n_cfg = r.u64("model config word count")? as usize;
+    let config = r.u64_vec(n_cfg, "model config words")?;
+    let n_weights = r.u64("model weight count")? as usize;
+    let weights = r.f32_vec(n_weights, "model weights")?;
+    if r.remaining() != 0 {
+        return Err(StoreError::Malformed {
+            what: "model section trailing bytes".into(),
+        });
+    }
+    Ok(ModelData { config, weights })
+}
+
+/// Parses and verifies a snapshot image. Every byte is covered by a
+/// checksum; any flip, truncation, or structural inconsistency is a typed
+/// error — a decoded snapshot is exactly what was encoded.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotData, StoreError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.bytes(8, "snapshot magic")?;
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic {
+            found: magic.try_into().unwrap(),
+        });
+    }
+    let version = r.u32("snapshot version")?;
+    let section_count = r.u32("snapshot section count")?;
+    let head_crc = r.u32("snapshot header crc")?;
+    if crc32(&bytes[..16]) != head_crc {
+        return Err(StoreError::Checksum {
+            what: "snapshot header".into(),
+        });
+    }
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+
+    let mut data: Option<SnapshotData> = None;
+    for s in 0..section_count {
+        let head_start = bytes.len() - r.remaining();
+        let tag = r.u32("section tag")?;
+        let len = r.u64("section length")? as usize;
+        let want_crc = r.u32("section crc")?;
+        let payload = r.bytes(len, "section payload")?;
+        let mut crc_input = bytes[head_start..head_start + 12].to_vec();
+        crc_input.extend_from_slice(payload);
+        if crc32(&crc_input) != want_crc {
+            return Err(StoreError::Checksum {
+                what: format!("section {s} (tag {tag})"),
+            });
+        }
+        match (tag, &mut data) {
+            (TAG_CONFIG, slot @ None) => *slot = Some(decode_config(payload)?),
+            (TAG_CONFIG, Some(_)) => {
+                return Err(StoreError::Malformed {
+                    what: "duplicate config section".into(),
+                })
+            }
+            (_, None) => {
+                return Err(StoreError::Malformed {
+                    what: format!("section tag {tag} before config"),
+                })
+            }
+            (TAG_SHARD, Some(d)) => {
+                let shard = decode_shard(payload, d.shards.len() as u32, d.hidden)?;
+                d.shards.push(shard);
+            }
+            (TAG_TOKENIZER, Some(d)) => {
+                if d.tokenizer.replace(decode_tokenizer(payload)?).is_some() {
+                    return Err(StoreError::Malformed {
+                        what: "duplicate tokenizer section".into(),
+                    });
+                }
+            }
+            (TAG_MODEL, Some(d)) => {
+                if d.model.replace(decode_model(payload)?).is_some() {
+                    return Err(StoreError::Malformed {
+                        what: "duplicate model section".into(),
+                    });
+                }
+            }
+            (other, Some(_)) => {
+                return Err(StoreError::Malformed {
+                    what: format!("unknown section tag {other}"),
+                })
+            }
+        }
+    }
+    if r.remaining() != 0 {
+        return Err(StoreError::Malformed {
+            what: format!("{} bytes after final section", r.remaining()),
+        });
+    }
+    let data = data.ok_or(StoreError::Malformed {
+        what: "snapshot has no config section".into(),
+    })?;
+    if data.shards.len() != data.num_shards as usize {
+        return Err(StoreError::Malformed {
+            what: format!(
+                "config promises {} shards, file has {}",
+                data.num_shards,
+                data.shards.len()
+            ),
+        });
+    }
+    Ok(data)
+}
+
+/// Atomically writes `data` as `dir/snap-{last_seq}.gbms` and returns the
+/// path. Atomic write + rename means a crash mid-save leaves no partial
+/// snapshot behind.
+pub fn save_snapshot(
+    storage: &dyn Storage,
+    dir: &Path,
+    data: &SnapshotData,
+) -> Result<PathBuf, StoreError> {
+    let path = dir.join(snapshot_file_name(data.last_seq));
+    storage.write_atomic(&path, &encode_snapshot(data))?;
+    Ok(path)
+}
+
+/// Loads the newest snapshot in `dir` that verifies, falling back through
+/// older ones when the newest is corrupt. Returns the snapshot (or `None`
+/// when the directory holds no usable snapshot) plus every `(file name,
+/// error)` skipped on the way — callers surface those, because a skipped
+/// snapshot means the WAL tail replayed is longer than intended.
+#[allow(clippy::type_complexity)]
+pub fn load_newest_snapshot(
+    storage: &dyn Storage,
+    dir: &Path,
+) -> Result<(Option<SnapshotData>, Vec<(String, StoreError)>), StoreError> {
+    let mut names: Vec<(u64, String)> = storage
+        .list(dir)?
+        .into_iter()
+        .filter_map(|n| parse_snapshot_seq(&n).map(|seq| (seq, n)))
+        .collect();
+    names.sort();
+    let mut skipped = Vec::new();
+    for (_, name) in names.into_iter().rev() {
+        let result = storage
+            .read(&dir.join(&name))
+            .map_err(StoreError::from)
+            .and_then(|bytes| decode_snapshot(&bytes));
+        match result {
+            Ok(data) => return Ok((Some(data), skipped)),
+            Err(e) => skipped.push((name, e)),
+        }
+    }
+    Ok((None, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{FaultPlan, FaultStorage, MemStorage};
+    use std::sync::Arc;
+
+    fn sample(last_seq: u64) -> SnapshotData {
+        SnapshotData {
+            num_shards: 2,
+            encode_batch: 8,
+            precision: PrecisionTag::Int8 { widen: 4 },
+            hidden: 3,
+            last_seq,
+            shards: vec![
+                ShardData {
+                    ids: vec![4, 10],
+                    rows: vec![1.0, -2.0, 0.5, 0.0, -0.0, 3.25],
+                    quant: Some(QuantData {
+                        codes: vec![127, -128, 0, 1, -1, 64],
+                        scales: vec![0.015625, 0.25],
+                    }),
+                },
+                ShardData {
+                    ids: vec![7],
+                    rows: vec![9.0, 8.0, 7.0],
+                    quant: Some(QuantData {
+                        codes: vec![12, 11, 10],
+                        scales: vec![0.0709],
+                    }),
+                },
+            ],
+            tokenizer: Some(TokenizerData {
+                seq_len: 16,
+                normalize_vars: true,
+                entries: vec![("<pad>".into(), 0), ("mov".into(), 4), ("añadir".into(), 5)],
+            }),
+            model: Some(ModelData {
+                config: vec![64, 32, 3, 2, 0x3F00_0000, 7],
+                weights: vec![0.1, -0.2, 0.3, -0.0],
+            }),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_bit_exactly() {
+        let data = sample(42);
+        let decoded = decode_snapshot(&encode_snapshot(&data)).unwrap();
+        assert_eq!(decoded, data);
+        // -0.0 in rows survives as -0.0
+        assert!(decoded.shards[0].rows[4].is_sign_negative());
+    }
+
+    #[test]
+    fn minimal_snapshots_roundtrip() {
+        // empty index, no quant, no tokenizer, no model
+        let data = SnapshotData {
+            num_shards: 1,
+            encode_batch: 1,
+            precision: PrecisionTag::F32,
+            hidden: 4,
+            last_seq: 0,
+            shards: vec![ShardData {
+                ids: vec![],
+                rows: vec![],
+                quant: None,
+            }],
+            tokenizer: None,
+            model: None,
+        };
+        assert_eq!(decode_snapshot(&encode_snapshot(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let bytes = encode_snapshot(&sample(1));
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                match decode_snapshot(&flipped) {
+                    Err(e) => assert!(e.is_corruption() || matches!(e, StoreError::Io(_))),
+                    Ok(_) => panic!("flip at byte {byte} bit {bit} decoded successfully"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_are_typed_errors() {
+        let bytes = encode_snapshot(&sample(1));
+        for cut in 0..bytes.len() {
+            let err = decode_snapshot(&bytes[..cut]).unwrap_err();
+            assert!(err.is_corruption(), "cut at {cut}: {err}");
+        }
+        // trailing garbage is also rejected
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_snapshot(&long).unwrap_err().is_corruption());
+    }
+
+    #[test]
+    fn file_names_order_by_seq_and_parse_back() {
+        assert_eq!(snapshot_file_name(7), "snap-00000000000000000007.gbms");
+        assert_eq!(parse_snapshot_seq(&snapshot_file_name(7)), Some(7));
+        assert_eq!(
+            parse_snapshot_seq(&snapshot_file_name(u64::MAX)),
+            Some(u64::MAX)
+        );
+        assert!(
+            snapshot_file_name(9) < snapshot_file_name(10),
+            "lexicographic = numeric"
+        );
+        assert_eq!(parse_snapshot_seq("wal.log"), None);
+        assert_eq!(parse_snapshot_seq("snap-7.gbms"), None);
+        assert_eq!(parse_snapshot_seq("snap-0000000000000000000x.gbms"), None);
+    }
+
+    #[test]
+    fn newest_valid_snapshot_wins_and_corrupt_ones_are_reported() {
+        let storage = MemStorage::new();
+        let dir = Path::new("/d");
+        save_snapshot(&storage, dir, &sample(5)).unwrap();
+        save_snapshot(&storage, dir, &sample(9)).unwrap();
+        storage
+            .append(dir.join(WAL_NAME).as_path(), b"not a snapshot")
+            .unwrap();
+
+        let (loaded, skipped) = load_newest_snapshot(&storage, dir).unwrap();
+        assert_eq!(loaded.unwrap().last_seq, 9);
+        assert!(skipped.is_empty());
+
+        // corrupt the newest: loader falls back to seq 5 and reports it
+        let newest = dir.join(snapshot_file_name(9));
+        let mut bytes = storage.read(&newest).unwrap();
+        bytes[40] ^= 0xFF;
+        storage.write_atomic(&newest, &bytes).unwrap();
+        let (loaded, skipped) = load_newest_snapshot(&storage, dir).unwrap();
+        assert_eq!(loaded.unwrap().last_seq, 5);
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].0.contains("09.gbms") && skipped[0].1.is_corruption());
+
+        // empty / missing dir: no snapshot, no error
+        let (loaded, skipped) = load_newest_snapshot(&storage, Path::new("/empty")).unwrap();
+        assert!(loaded.is_none() && skipped.is_empty());
+    }
+
+    const WAL_NAME: &str = "wal.log";
+
+    #[test]
+    fn bit_flip_on_read_surfaces_as_checksum_error() {
+        let inner = Arc::new(MemStorage::new());
+        let faulty = FaultStorage::new(Arc::clone(&inner) as Arc<dyn Storage>);
+        let dir = Path::new("/d");
+        save_snapshot(&faulty, dir, &sample(3)).unwrap();
+        faulty.set_plan(FaultPlan {
+            flip_on_read: Some(("snap-".into(), 60, 0x08)),
+            ..Default::default()
+        });
+        let (loaded, skipped) = load_newest_snapshot(&faulty, dir).unwrap();
+        assert!(loaded.is_none(), "flipped read must not verify");
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].1.is_corruption());
+    }
+
+    #[test]
+    fn torn_atomic_write_never_leaves_a_loadable_partial() {
+        let inner = Arc::new(MemStorage::new());
+        let faulty = FaultStorage::new(Arc::clone(&inner) as Arc<dyn Storage>);
+        let dir = Path::new("/d");
+        save_snapshot(&faulty, dir, &sample(1)).unwrap();
+        // the next save is torn at 100 bytes by a lying filesystem
+        faulty.set_plan(FaultPlan {
+            torn_write_atomic: Some((1, 100)),
+            ..Default::default()
+        });
+        save_snapshot(&faulty, dir, &sample(2)).unwrap();
+        let (loaded, skipped) = load_newest_snapshot(&faulty, dir).unwrap();
+        assert_eq!(loaded.unwrap().last_seq, 1, "fell back past the torn file");
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].1.is_corruption());
+    }
+}

@@ -1,0 +1,87 @@
+//! Golden-file test pinning the v1 snapshot byte format.
+//!
+//! `tests/data/golden_v1.gbms` is a committed encoding of a fixed
+//! [`SnapshotData`]. This test fails the moment `encode_snapshot` produces
+//! different bytes for the same data, or `decode_snapshot` reads the
+//! committed bytes differently — i.e. the moment an innocent-looking
+//! change breaks the on-disk compatibility that crash recovery depends
+//! on. A deliberate format change must bump `SNAPSHOT_VERSION` (making old
+//! files fail typed, not misparse) and re-bless the golden file:
+//!
+//! ```text
+//! GBM_BLESS_GOLDEN=1 cargo test -p gbm-store --test golden
+//! ```
+
+use std::path::PathBuf;
+
+use gbm_store::{
+    decode_snapshot, encode_snapshot, ModelData, PrecisionTag, QuantData, ShardData, SnapshotData,
+    TokenizerData,
+};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_v1.gbms")
+}
+
+/// A fixed snapshot exercising every section type and edge: int8 precision,
+/// a populated shard, an empty shard, negative and fractional floats, a
+/// tokenizer vocabulary, and a model section.
+fn golden_data() -> SnapshotData {
+    SnapshotData {
+        num_shards: 2,
+        encode_batch: 8,
+        precision: PrecisionTag::Int8 { widen: 3 },
+        hidden: 3,
+        last_seq: 41,
+        shards: vec![
+            ShardData {
+                ids: vec![2, 40, 7],
+                rows: vec![0.5, -1.25, 0.0, 1.0, 2.5, -0.75, 0.125, 0.0, -2.0],
+                quant: Some(QuantData {
+                    codes: vec![51, -127, 0, 51, 127, -38, 8, 0, -127],
+                    scales: vec![0.009_842_52, 0.019_685_04, 0.015_748_03],
+                }),
+            },
+            ShardData {
+                ids: vec![],
+                rows: vec![],
+                quant: None,
+            },
+        ],
+        tokenizer: Some(TokenizerData {
+            seq_len: 16,
+            normalize_vars: true,
+            entries: vec![("add".to_string(), 4), ("i64".to_string(), 5)],
+        }),
+        model: Some(ModelData {
+            config: vec![6, 3, 3, 1, 0, 0x3E4C_CCCD, 32, 0, 0],
+            weights: vec![0.1, -0.2, 0.3, -0.4],
+        }),
+    }
+}
+
+#[test]
+fn golden_v1_bytes_are_stable_in_both_directions() {
+    let data = golden_data();
+    let bytes = encode_snapshot(&data);
+    let path = golden_path();
+    if std::env::var("GBM_BLESS_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless it with GBM_BLESS_GOLDEN=1",
+            path.display()
+        )
+    });
+    // encode direction: today's encoder reproduces the committed bytes
+    assert_eq!(
+        bytes, golden,
+        "snapshot encoding changed — a deliberate format change must bump \
+         SNAPSHOT_VERSION and re-bless the golden file"
+    );
+    // decode direction: the committed bytes read back as the fixed data
+    let decoded = decode_snapshot(&golden).expect("committed golden file decodes");
+    assert_eq!(decoded, data, "decoded golden snapshot drifted");
+}

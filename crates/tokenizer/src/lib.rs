@@ -145,6 +145,53 @@ impl Tokenizer {
     pub fn vocab_size(&self) -> usize {
         self.vocab.len() + Self::NUM_SPECIALS as usize
     }
+
+    /// Whether SSA registers / block labels are normalized to specials.
+    pub fn normalize_vars(&self) -> bool {
+        self.normalize_vars
+    }
+
+    /// The learned (non-special) vocabulary as `(token, id)` pairs sorted
+    /// by id — the persistence image of a trained tokenizer. Specials are
+    /// implicit (fixed ids below [`Tokenizer::NUM_SPECIALS`]).
+    pub fn vocab_entries(&self) -> Vec<(String, u32)> {
+        let mut entries: Vec<(String, u32)> =
+            self.vocab.iter().map(|(t, &id)| (t.clone(), id)).collect();
+        entries.sort_by_key(|(_, id)| *id);
+        entries
+    }
+
+    /// Rebuilds a tokenizer from [`Tokenizer::vocab_entries`] output plus
+    /// the config it was trained with. Rejects entries that collide with
+    /// special ids or repeat a token/id, so a corrupt vocabulary cannot
+    /// silently change encodings.
+    pub fn from_parts(
+        entries: Vec<(String, u32)>,
+        seq_len: usize,
+        normalize_vars: bool,
+    ) -> Result<Tokenizer, String> {
+        if seq_len == 0 {
+            return Err("seq_len must be positive".into());
+        }
+        let mut vocab = HashMap::with_capacity(entries.len());
+        let mut seen_ids = std::collections::HashSet::with_capacity(entries.len());
+        for (token, id) in entries {
+            if id < Self::NUM_SPECIALS {
+                return Err(format!("token {token:?} claims special id {id}"));
+            }
+            if !seen_ids.insert(id) {
+                return Err(format!("duplicate token id {id}"));
+            }
+            if vocab.insert(token.clone(), id).is_some() {
+                return Err(format!("duplicate token {token:?}"));
+            }
+        }
+        Ok(Tokenizer {
+            vocab,
+            seq_len,
+            normalize_vars,
+        })
+    }
 }
 
 fn is_special(t: &str) -> bool {
@@ -321,5 +368,43 @@ mod tests {
         // full_text corpora have longer sequences and bigger vocabularies
         assert!(full.seq_len() >= text.seq_len());
         assert!(full.vocab_size() >= text.vocab_size());
+    }
+
+    #[test]
+    fn vocab_entries_roundtrip_preserves_encodings() {
+        let corpus = ["add i64 %1 %2", "mul i64 %3 %1", "br %bb1", "ret i64 %3"];
+        let tok = Tokenizer::train(corpus.iter().copied(), TokenizerConfig::default());
+        let entries = tok.vocab_entries();
+        assert!(entries.windows(2).all(|w| w[0].1 < w[1].1), "sorted by id");
+        let rebuilt = Tokenizer::from_parts(entries, tok.seq_len(), tok.normalize_vars()).unwrap();
+        assert_eq!(rebuilt.vocab_size(), tok.vocab_size());
+        for text in corpus.iter().chain(["sub i32 %9", ""].iter()) {
+            assert_eq!(rebuilt.encode(text), tok.encode(text), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_vocabularies() {
+        let ok = vec![("add".to_string(), 4), ("mul".to_string(), 5)];
+        assert!(Tokenizer::from_parts(ok.clone(), 8, true).is_ok());
+        assert!(
+            Tokenizer::from_parts(ok.clone(), 0, true).is_err(),
+            "zero seq_len"
+        );
+        let special = vec![("add".to_string(), 2)];
+        assert!(
+            Tokenizer::from_parts(special, 8, true).is_err(),
+            "special id"
+        );
+        let dup_id = vec![("add".to_string(), 4), ("mul".to_string(), 4)];
+        assert!(
+            Tokenizer::from_parts(dup_id, 8, true).is_err(),
+            "duplicate id"
+        );
+        let dup_tok = vec![("add".to_string(), 4), ("add".to_string(), 5)];
+        assert!(
+            Tokenizer::from_parts(dup_tok, 8, true).is_err(),
+            "duplicate token"
+        );
     }
 }
