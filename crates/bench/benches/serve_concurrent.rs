@@ -55,6 +55,7 @@ fn mk_server(rows: &[f32], hidden: usize, precision: ScanPrecision, workers: usi
                 num_shards: SHARDS,
                 encode_batch: 8,
                 precision,
+                ..Default::default()
             },
             ..Default::default()
         },
@@ -86,6 +87,7 @@ fn bench_concurrent(
                 num_shards: SHARDS,
                 encode_batch: 8,
                 precision,
+                ..Default::default()
             },
         );
         for &workers in &WORKER_COUNTS {

@@ -37,6 +37,18 @@
 //!   acceptance gate: `f32_vs_i8_scan` ≥ 1.5×, checked against
 //!   `BENCH_serve_query.json` like the other ratios. Rankings are
 //!   asserted identical before timing.
+//! * `scan_ivf` (`serve_query_scan_clus*` groups) — a *clustered*
+//!   synthetic pool (64 centers; the distribution real embedding pools
+//!   have — uniform random vectors are IVF's provably hostile regime,
+//!   documented by probe_quant's spread-pool sweep) behind
+//!   `ScanPrecision::Ivf { nprobe: 4, widen: 4 }` (auto ≈√rows cells per
+//!   shard): probe the 4 nearest cells over the int8 mirror, exact-f32
+//!   re-rank the widened survivors. Approximate by contract, so instead
+//!   of rank identity the bench asserts recall@10 ≥ 0.95 against the f32
+//!   ranking before timing and prints the measured recall
+//!   (`<group>/recall_ivf: …`) for `check_bench_regression.py`, which
+//!   gates `i8_vs_ivf_scan` (the sub-linear win over the full int8 scan
+//!   on the same pool) and both floors.
 //!
 //! Scale: `GBM_BENCH_SCALE=quick` runs the CI smoke subset (128-graph
 //! pool); the default covers the 1024-graph pool of the acceptance
@@ -225,6 +237,7 @@ fn bench_pool(c: &mut Criterion, label: &str, pool_size: usize, num_queries: usi
             num_shards: 4,
             encode_batch: 8,
             precision: ScanPrecision::Int8 { widen: 4 },
+            ..Default::default()
         },
     );
     {
@@ -243,14 +256,21 @@ fn bench_pool(c: &mut Criterion, label: &str, pool_size: usize, num_queries: usi
 
 /// The isolated scan comparison: identical `ShardedIndex::query` calls over
 /// the same rows, one index scanning f32, one scanning int8 codes with the
-/// exact re-rank. The pool is spread (random unit vectors), so the margin
-/// zone is small and the int8 path's 4×-smaller scan footprint pays off.
-fn bench_scan(c: &mut Criterion, label: &str, rows_n: usize, hidden: usize, num_queries: usize) {
+/// exact re-rank — plus, when `gate_ivf` is set, the IVF approximate scan
+/// with its recall-floor contract. The spread pool (random unit vectors)
+/// carries the exact-scan gates: the margin zone is small and the int8
+/// path's 4×-smaller scan footprint pays off, but uniform vectors have no
+/// cluster structure for IVF to exploit (see probe_quant's sweep), so the
+/// IVF gate runs on the clustered pool instead.
+fn bench_scan(
+    c: &mut Criterion,
+    label: &str,
+    rows: Vec<f32>,
+    queries: Vec<Vec<f32>>,
+    hidden: usize,
+    gate_ivf: bool,
+) {
     const K: usize = 10;
-    let rows = gbm_bench::synth_unit_rows(rows_n, hidden, 42);
-    let queries: Vec<Vec<f32>> = (0..num_queries)
-        .map(|i| gbm_bench::synth_unit_rows(1, hidden, 1000 + i as u64))
-        .collect();
     let mk = |precision| {
         ShardedIndex::from_rows(
             &rows,
@@ -259,6 +279,7 @@ fn bench_scan(c: &mut Criterion, label: &str, rows_n: usize, hidden: usize, num_
                 num_shards: 4,
                 encode_batch: 8,
                 precision,
+                ..Default::default()
             },
         )
     };
@@ -281,7 +302,38 @@ fn bench_scan(c: &mut Criterion, label: &str, rows_n: usize, hidden: usize, num_
         }
     }
 
-    let mut g = c.benchmark_group(format!("serve_query_scan_{label}"));
+    // the shipped approximate config: probe the 4 nearest of the ~√rows
+    // auto cells per shard, exact-re-rank the widened survivors. Its
+    // contract is a recall floor, not rank identity: asserted here so a
+    // recall regression fails the bench outright, and printed in a form
+    // check_bench_regression.py re-checks against the baseline floor
+    let group = format!("serve_query_scan_{label}");
+    let ivf_index = gate_ivf.then(|| {
+        mk(ScanPrecision::Ivf {
+            nprobe: 4,
+            widen: 4,
+        })
+    });
+    if let Some(ivf_index) = &ivf_index {
+        let mut recall_sum = 0.0f64;
+        for q in &queries {
+            let exact = f32_index.query(q, K);
+            let approx = ivf_index.query(q, K);
+            let hits = exact
+                .iter()
+                .filter(|(id, _)| approx.iter().any(|(a, _)| a == id))
+                .count();
+            recall_sum += hits as f64 / exact.len() as f64;
+        }
+        let recall = recall_sum / queries.len() as f64;
+        assert!(
+            recall >= 0.95,
+            "IVF recall@{K} {recall:.3} fell below the 0.95 floor"
+        );
+        println!("{group}/recall_ivf: {recall:.4}");
+    }
+
+    let mut g = c.benchmark_group(group);
     g.sample_size(10);
     g.bench_function("scan_f32", |b| {
         b.iter(|| {
@@ -299,16 +351,49 @@ fn bench_scan(c: &mut Criterion, label: &str, rows_n: usize, hidden: usize, num_
             })
         });
     }
+    if let Some(ivf_index) = &ivf_index {
+        g.bench_function("scan_ivf", |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(ivf_index.query(q, K));
+                }
+            })
+        });
+    }
     g.finish();
+}
+
+/// The spread scan pool: `n` random unit rows plus out-of-pool queries.
+fn spread_pool(n: usize, hidden: usize, num_queries: usize) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let rows = gbm_bench::synth_unit_rows(n, hidden, 42);
+    let queries = (0..num_queries)
+        .map(|i| gbm_bench::synth_unit_rows(1, hidden, 1000 + i as u64))
+        .collect();
+    (rows, queries)
+}
+
+/// The clustered scan pool: 64 cluster centers, in-distribution queries
+/// split off the tail (same generator, not pool members).
+fn clustered_pool(n: usize, hidden: usize, num_queries: usize) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let all = gbm_bench::synth_clustered_rows(n + num_queries, hidden, 64, 42);
+    let (rows, tail) = all.split_at(n * hidden);
+    let queries = tail.chunks_exact(hidden).map(<[f32]>::to_vec).collect();
+    (rows.to_vec(), queries)
 }
 
 fn bench_serve_query(c: &mut Criterion) {
     if quick_mode() {
         bench_pool(c, "tiny_128", 128, 16);
-        bench_scan(c, "4k_h64", 4096, 64, 8);
+        let (rows, queries) = spread_pool(4096, 64, 8);
+        bench_scan(c, "4k_h64", rows, queries, 64, false);
+        let (rows, queries) = clustered_pool(4096, 64, 8);
+        bench_scan(c, "clus4k_h64", rows, queries, 64, true);
     } else {
         bench_pool(c, "tiny_1k", 1024, 32);
-        bench_scan(c, "16k_h128", 16384, 128, 16);
+        let (rows, queries) = spread_pool(16384, 128, 16);
+        bench_scan(c, "16k_h128", rows, queries, 128, false);
+        let (rows, queries) = clustered_pool(16384, 128, 16);
+        bench_scan(c, "clus16k_h128", rows, queries, 128, true);
     }
 }
 

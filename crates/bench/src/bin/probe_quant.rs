@@ -21,8 +21,13 @@
 //!   `gbm-serve` actually ships (which makes final rankings exact
 //!   unconditionally);
 //! * mean margin-zone candidate set size per query (rows the exact re-rank
-//!   scores) vs pool size;
-//! * scan footprint: `ShardedIndex::scan_bytes()` at f32 vs int8 (~4×).
+//!   scores), under the legacy uniform per-shard margin *and* the shipped
+//!   per-block margins — per-block must never be wider;
+//! * scan footprint: `ShardedIndex::scan_bytes()` at f32 vs int8 (~4×) vs
+//!   IVF (int8 + centroids/cell lists);
+//! * an IVF sweep at serving scale: recall@K vs `nprobe` against the exact
+//!   f32 ranking — the numbers behind the EXPERIMENTS recall table and the
+//!   CI recall floor.
 //!
 //! ```text
 //! cargo run --release -p gbm-bench --bin probe_quant [-- --json]
@@ -45,10 +50,84 @@ struct PoolReport {
     max_bound: f32,
     /// `(widen, recall@K of the count-based top-K·widen candidate set)`.
     count_recall: Vec<(usize, f64)>,
-    /// Mean margin-zone candidate rows the exact re-rank scores per query.
+    /// Mean margin-zone candidate rows the exact re-rank scores per query,
+    /// under the legacy uniform per-shard margin.
     mean_margin_cands: f64,
+    /// Same, under the shipped per-block margins (never wider).
+    mean_blocked_cands: f64,
     f32_scan_bytes: usize,
     i8_scan_bytes: usize,
+}
+
+struct IvfReport {
+    name: &'static str,
+    rows_n: usize,
+    hidden: usize,
+    num_shards: usize,
+    /// `(nprobe, mean recall@K vs the exact f32 ranking)`.
+    recall_by_nprobe: Vec<(usize, f64)>,
+    i8_scan_bytes: usize,
+    ivf_scan_bytes: usize,
+}
+
+/// Fraction of the exact top-K ids the approximate answer recovered.
+fn id_recall(approx: &[(u64, f32)], exact: &[(u64, f32)]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let hits = exact
+        .iter()
+        .filter(|(id, _)| approx.iter().any(|(a, _)| a == id))
+        .count();
+    hits as f64 / exact.len() as f64
+}
+
+/// Recall@K vs `nprobe` at serving scale, plus the IVF footprint delta.
+fn analyze_ivf(
+    name: &'static str,
+    rows: &[f32],
+    hidden: usize,
+    queries: &[Vec<f32>],
+    nprobes: &[usize],
+) -> IvfReport {
+    let num_shards = 4;
+    let mk = |precision| {
+        ShardedIndex::from_rows(
+            rows,
+            hidden,
+            IndexConfig {
+                num_shards,
+                encode_batch: 8,
+                precision,
+                ..Default::default()
+            },
+        )
+    };
+    let exact_index = mk(ScanPrecision::F32);
+    let i8_index = mk(ScanPrecision::Int8 { widen: 1 });
+    let exact: Vec<_> = queries.iter().map(|q| exact_index.query(q, K)).collect();
+    let mut recall_by_nprobe = Vec::new();
+    let mut ivf_scan_bytes = 0;
+    for &nprobe in nprobes {
+        let ivf_index = mk(ScanPrecision::Ivf { nprobe, widen: 4 });
+        ivf_scan_bytes = ivf_index.scan_bytes();
+        let mean: f64 = queries
+            .iter()
+            .zip(&exact)
+            .map(|(q, e)| id_recall(&ivf_index.query(q, K), e))
+            .sum::<f64>()
+            / queries.len() as f64;
+        recall_by_nprobe.push((nprobe, mean));
+    }
+    IvfReport {
+        name,
+        rows_n: rows.len() / hidden,
+        hidden,
+        num_shards,
+        recall_by_nprobe,
+        i8_scan_bytes: i8_index.scan_bytes(),
+        ivf_scan_bytes,
+    }
 }
 
 fn dot(a: &[f32], b: &[f32]) -> f32 {
@@ -115,13 +194,16 @@ fn analyze(
         qshard.push_row(row);
     }
     let mut margin_cands = 0usize;
+    let mut blocked_cands = 0usize;
     for query in &queries {
         let q = quantize_vector(query);
         let l1_q: f32 = query.iter().map(|v| v.abs()).sum();
         let margin = 2.0 * qshard.max_dot_error(&q, l1_q);
         margin_cands += qshard.scan_candidates(&q, K, margin).len();
+        blocked_cands += qshard.scan_candidates_blocked(&q, l1_q, K).len();
     }
     let mean_margin_cands = margin_cands as f64 / queries.len() as f64;
+    let mean_blocked_cands = blocked_cands as f64 / queries.len() as f64;
 
     let mk = |precision| {
         ShardedIndex::from_rows(
@@ -131,6 +213,7 @@ fn analyze(
                 num_shards: 4,
                 encode_batch: 8,
                 precision,
+                ..Default::default()
             },
         )
     };
@@ -142,6 +225,7 @@ fn analyze(
         max_bound,
         count_recall,
         mean_margin_cands,
+        mean_blocked_cands,
         f32_scan_bytes: mk(ScanPrecision::F32).scan_bytes(),
         i8_scan_bytes: mk(ScanPrecision::Int8 { widen: 1 }).scan_bytes(),
     }
@@ -178,6 +262,24 @@ fn main() {
         analyze("near-dup", emb_rows, hidden, emb_queries),
     ];
 
+    // IVF sweeps at the serve_query bench-gate scale: the uniform spread
+    // pool (IVF-hostile: top-K neighbors are structureless, so high recall
+    // needs most cells probed) and the clustered pool the acceptance gate
+    // runs on (the distribution real embedding pools have)
+    let (ivf_n, ivf_h) = if quick { (4096, 64) } else { (16384, 128) };
+    let nprobes = [1usize, 2, 4, 8, 16, 32];
+    let ivf_rows = gbm_bench::synth_unit_rows(ivf_n, ivf_h, 42);
+    let ivf_queries: Vec<Vec<f32>> = (0..16)
+        .map(|i| gbm_bench::synth_unit_rows(1, ivf_h, 1000 + i as u64))
+        .collect();
+    let clus_all = gbm_bench::synth_clustered_rows(ivf_n + 16, ivf_h, 64, 42);
+    let (clus_rows, clus_tail) = clus_all.split_at(ivf_n * ivf_h);
+    let clus_queries: Vec<Vec<f32>> = clus_tail.chunks_exact(ivf_h).map(<[f32]>::to_vec).collect();
+    let ivf_reports = [
+        analyze_ivf("spread", &ivf_rows, ivf_h, &ivf_queries, &nprobes),
+        analyze_ivf("clustered", clus_rows, ivf_h, &clus_queries, &nprobes),
+    ];
+
     if json {
         println!("{{");
         println!("  \"k\": {K},");
@@ -193,6 +295,7 @@ fn main() {
                 "    {{\"pool\": \"{}\", \"rows\": {}, \"hidden\": {}, \
                  \"max_abs_dot_error\": {:.6}, \"analytic_bound\": {:.6}, \
                  \"count_based_recall\": [{}], \"mean_margin_candidates\": {:.1}, \
+                 \"mean_blocked_candidates\": {:.1}, \
                  \"f32_scan_bytes\": {}, \"i8_scan_bytes\": {}}}{comma}",
                 r.name,
                 r.rows_n,
@@ -201,8 +304,30 @@ fn main() {
                 r.max_bound,
                 recalls.join(", "),
                 r.mean_margin_cands,
+                r.mean_blocked_cands,
                 r.f32_scan_bytes,
                 r.i8_scan_bytes,
+            );
+        }
+        println!("  ],");
+        println!("  \"ivf\": [");
+        for (i, ivf) in ivf_reports.iter().enumerate() {
+            let sweep: Vec<String> = ivf
+                .recall_by_nprobe
+                .iter()
+                .map(|(np, rec)| format!("{{\"nprobe\": {np}, \"recall\": {rec:.4}}}"))
+                .collect();
+            let comma = if i + 1 < ivf_reports.len() { "," } else { "" };
+            println!(
+                "    {{\"pool\": \"{}\", \"rows\": {}, \"hidden\": {}, \"num_shards\": {}, \
+                 \"recall_by_nprobe\": [{}], \"i8_scan_bytes\": {}, \"ivf_scan_bytes\": {}}}{comma}",
+                ivf.name,
+                ivf.rows_n,
+                ivf.hidden,
+                ivf.num_shards,
+                sweep.join(", "),
+                ivf.i8_scan_bytes,
+                ivf.ivf_scan_bytes,
             );
         }
         println!("  ]");
@@ -227,10 +352,13 @@ fn main() {
             println!("    widen = {w}: {rec:.3}");
         }
         println!(
-            "  margin-cut candidates actually re-ranked: {:.1} rows/query of {} ({:.1}%)",
+            "  margin-cut candidates actually re-ranked: {:.1} rows/query of {} ({:.1}%) uniform \
+             → {:.1} ({:.1}%) per-block",
             r.mean_margin_cands,
             r.rows_n,
-            100.0 * r.mean_margin_cands / r.rows_n as f64
+            100.0 * r.mean_margin_cands / r.rows_n as f64,
+            r.mean_blocked_cands,
+            100.0 * r.mean_blocked_cands / r.rows_n as f64,
         );
         println!(
             "  scan footprint: {} B f32 → {} B int8 ({:.2}x smaller)",
@@ -244,5 +372,27 @@ fn main() {
          that is why\n gbm-serve's int8 scan admits the analytic error-margin zone \
          around the K' cut, making\n final rankings exact unconditionally; on spread \
          pools the zone is a handful of rows)"
+    );
+
+    for ivf in &ivf_reports {
+        println!(
+            "\n=== IVF approximate scan, `{}` pool: recall@{K} vs nprobe \
+             ({} rows × {} hidden, {} shards, widen = 4) ===",
+            ivf.name, ivf.rows_n, ivf.hidden, ivf.num_shards
+        );
+        for (np, rec) in &ivf.recall_by_nprobe {
+            println!("  nprobe = {np:>3}: recall@{K} {rec:.3}");
+        }
+        println!(
+            "  scan footprint: {} B int8 → {} B ivf (+{:.1}% for centroids + cell lists)",
+            ivf.i8_scan_bytes,
+            ivf.ivf_scan_bytes,
+            100.0 * (ivf.ivf_scan_bytes as f64 / ivf.i8_scan_bytes as f64 - 1.0),
+        );
+    }
+    println!(
+        "\n(the spread pool is IVF's hostile regime — uniform random vectors have no cluster\n \
+         structure, so high recall needs most cells probed and the sub-linear win vanishes;\n \
+         the clustered pool carries the serve_query `scan_ivf` acceptance gate)"
     );
 }

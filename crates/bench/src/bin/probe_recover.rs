@@ -69,6 +69,7 @@ fn main() {
         num_shards: SHARDS,
         encode_batch: 8,
         precision: ScanPrecision::Int8 { widen: 2 },
+        ..Default::default()
     };
     let scfg = ServerConfig {
         scan_workers: 2,

@@ -139,6 +139,36 @@ pub fn synth_unit_rows(n: usize, hidden: usize, seed: u64) -> Vec<f32> {
     rows
 }
 
+/// Deterministic *clustered* unit-norm synthetic rows: `clusters` random
+/// unit centers, each row a center plus scaled noise, renormalized. This is
+/// the distribution real embedding pools have (encoder outputs concentrate
+/// around program families — `probe_quant`'s near-dup pool is the extreme
+/// case), and the regime IVF's sub-linear scan is built for. The IVF
+/// acceptance gate runs here; the uniform [`synth_unit_rows`] pool, where
+/// top-K neighbors are structureless and IVF provably cannot win, stays as
+/// the exact-scan gate pool and documents the hostile regime in
+/// EXPERIMENTS.md. Rows cycle through clusters (`row i → cluster i %
+/// clusters`), so any contiguous slice stays balanced.
+pub fn synth_clustered_rows(n: usize, hidden: usize, clusters: usize, seed: u64) -> Vec<f32> {
+    let centers = synth_unit_rows(clusters, hidden, seed);
+    let noise = synth_unit_rows(n, hidden, seed ^ 0xC1A5_7E2D);
+    let mut rows = vec![0.0f32; n * hidden];
+    for (i, row) in rows.chunks_exact_mut(hidden).enumerate() {
+        let c = &centers[(i % clusters) * hidden..(i % clusters + 1) * hidden];
+        let e = &noise[i * hidden..(i + 1) * hidden];
+        let mut norm = 0.0f32;
+        for d in 0..hidden {
+            row[d] = c[d] + 0.25 * e[d];
+            norm += row[d] * row[d];
+        }
+        let inv = 1.0 / norm.sqrt().max(1e-12);
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    rows
+}
+
 /// Prints a `P / R / F1` method table with an optional title.
 pub fn print_method_table(title: &str, rows: &[MethodScore]) {
     println!("\n## {title}");

@@ -1,0 +1,626 @@
+//! Inverted-file (IVF) cell index over a shard's embedding rows.
+//!
+//! The serving layer's exact scans (f32 and int8) touch every row of every
+//! shard; cost is linear in pool size no matter how selective the query is.
+//! [`IvfCells`] adds the classic coarse-quantization tier: a deterministic
+//! seeded k-means clusters the shard's rows into `≈√n` cells, a query is
+//! scored against the cell centroids only, and just the `nprobe` nearest
+//! cells' member rows are visited (over the int8 code mirror) before the
+//! exact f32 re-rank. Retrieval becomes sub-linear — roughly
+//! `ncells + n·nprobe/ncells` row-ish operations instead of `n` — at the
+//! price of bounded recall, which the serve/eval suites measure and floor
+//! rather than asserting identity.
+//!
+//! Design constraints inherited from the serving layer:
+//!
+//! * **Determinism.** Training is splitmix64-seeded (distinct-row init with
+//!   linear probing on collisions), runs a *fixed* number of Lloyd
+//!   iterations, assigns rows to the nearest centroid with ties broken by
+//!   the lowest centroid index, and keeps an empty cell's previous centroid
+//!   verbatim. No wall-clock, no RNG state: the same rows in the same order
+//!   always produce bit-identical centroids and cell lists (checksummed in
+//!   tests, à la `probe_determinism`).
+//! * **Churn.** Rows arrive and leave through the same push / swap-remove
+//!   lifecycle as [`QuantizedMatrix`](crate::QuantizedMatrix). New rows are
+//!   assigned to their nearest existing cell; removals patch the moved
+//!   row's cell entry in place. A churn counter triggers a full retrain
+//!   once the number of structural edits reaches the pool size at the last
+//!   train — or, on pure drains, once the pool halves — so the centroids
+//!   (and the `≈√n` auto cell count) track the distribution with
+//!   amortized-constant retraining: on growth the index retrains at 2×,
+//!   4×, … the last trained size (total retrain work ≤ 2× a fresh build).
+//! * **Small pools stay exact.** Below [`IVF_MIN_TRAIN_ROWS`] rows the
+//!   index is untrained and the serving scan falls back to the exact int8
+//!   path, so tiny shards (and every toy-pool test) keep bit-identical
+//!   rankings for free.
+
+use gbm_tensor::{centroid_sq_dists, top_k};
+
+/// Rows a shard must hold before k-means trains. Below this the cell index
+/// stays untrained and callers fall back to the exact scan, which is both
+/// faster (no centroid pass worth amortizing) and rank-identical.
+pub const IVF_MIN_TRAIN_ROWS: usize = 256;
+
+/// Fixed Lloyd iteration count. Centroid quality plateaus quickly on
+/// embedding pools; a fixed count keeps training cost predictable and the
+/// output a pure function of the inputs.
+const KMEANS_ITERS: usize = 6;
+
+/// The splitmix64 mixer (same constants as the shard router in
+/// `gbm-serve`): a bijective avalanche over `u64` used to derive the
+/// deterministic centroid-seeding sequence.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Coarse centroids plus inverted cell lists over a dense row-major f32
+/// matrix, maintained through the same push / swap-remove lifecycle as the
+/// matrix itself. Mutators take the *post-edit* row slice so the index
+/// never caches row data — the matrix stays the single source of truth.
+#[derive(Clone, Debug)]
+pub struct IvfCells {
+    /// Configured cell count; `0` means auto (`≈√n`, recomputed per train).
+    cells_cfg: usize,
+    /// Training seed; the whole index state is a pure function of
+    /// `(seed, row history)`.
+    seed: u64,
+    /// Row width, recorded at training time (0 while untrained).
+    hidden: usize,
+    /// Dense row-major `[ncells × hidden]` centroid matrix.
+    centroids: Vec<f32>,
+    /// `‖centroid‖²` per cell, kept in sync for the probe kernel.
+    cent_sqnorms: Vec<f32>,
+    /// Member row indices per cell (unordered within a cell).
+    cells: Vec<Vec<u32>>,
+    /// Cell of each row; `cell_of.len()` is the indexed row count.
+    cell_of: Vec<u32>,
+    /// Structural edits since the last (re)train.
+    churn: usize,
+    /// Pool size at the last (re)train — the churn budget. Retraining when
+    /// `churn ≥ trained_n` is the doubling rule: on pure growth the pool
+    /// retrains at 2×, 4×, … the last trained size (total retrain work ≤
+    /// 2× a fresh final build), and the auto cell count tracks `≈√n` as
+    /// the pool grows instead of freezing at its first-train value.
+    trained_n: usize,
+}
+
+impl IvfCells {
+    /// An empty, untrained index. `cells_cfg = 0` sizes the cell count
+    /// automatically at `≈√n` per training round.
+    pub fn new(cells_cfg: usize, seed: u64) -> IvfCells {
+        IvfCells {
+            cells_cfg,
+            seed,
+            hidden: 0,
+            centroids: Vec::new(),
+            cent_sqnorms: Vec::new(),
+            cells: Vec::new(),
+            cell_of: Vec::new(),
+            churn: 0,
+            trained_n: 0,
+        }
+    }
+
+    /// Whether k-means has run; untrained indexes answer no probes and the
+    /// caller must use its exact scan path.
+    pub fn is_trained(&self) -> bool {
+        !self.centroids.is_empty()
+    }
+
+    /// Number of cells (0 while untrained).
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The member rows of cell `c` (unordered).
+    pub fn cell(&self, c: usize) -> &[u32] {
+        &self.cells[c]
+    }
+
+    /// Cell assignment per row, row-indexed (empty while untrained).
+    pub fn cell_of(&self) -> &[u32] {
+        &self.cell_of
+    }
+
+    /// The dense `[ncells × hidden]` centroid matrix (empty while
+    /// untrained). Exposed for determinism checksums and probes.
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// Observes a freshly appended row. `rows` is the full post-push matrix
+    /// (the new row is its last). Assigns the row to its nearest cell when
+    /// trained; triggers the initial train once the pool reaches
+    /// [`IVF_MIN_TRAIN_ROWS`]; retrains when churn catches up with the
+    /// pool size at the last train (the doubling rule).
+    pub fn push_row(&mut self, rows: &[f32], hidden: usize) {
+        assert!(hidden > 0, "hidden must be positive");
+        assert_eq!(rows.len() % hidden, 0, "rows must be a whole matrix");
+        let n = rows.len() / hidden;
+        if self.is_trained() {
+            debug_assert_eq!(self.cell_of.len() + 1, n, "one push per matrix row");
+            let c = self.nearest_centroid(&rows[(n - 1) * hidden..]);
+            self.cells[c].push((n - 1) as u32);
+            self.cell_of.push(c as u32);
+            self.churn += 1;
+            if self.churn >= self.trained_n {
+                self.train(rows, hidden);
+            }
+        } else if n >= IVF_MIN_TRAIN_ROWS {
+            self.train(rows, hidden);
+        }
+    }
+
+    /// Observes the swap-removal of row `r`: the last row was moved into
+    /// `r`'s slot and the matrix shrank by one. `rows` is the post-removal
+    /// matrix. Patches the moved row's cell entry, counts the churn, and
+    /// retrains (or untrains, if the pool shrank below the training
+    /// threshold) when churn catches up with the last trained pool size.
+    pub fn swap_remove_row(&mut self, r: usize, rows: &[f32], hidden: usize) {
+        if !self.is_trained() {
+            return;
+        }
+        assert!(hidden > 0, "hidden must be positive");
+        let old_n = self.cell_of.len();
+        assert!(r < old_n, "swap_remove_row({r}) on a {old_n}-row index");
+        debug_assert_eq!(rows.len() / hidden, old_n - 1, "one removal per matrix row");
+        let last = old_n - 1;
+        let cr = self.cell_of[r] as usize;
+        let pos = self.cells[cr]
+            .iter()
+            .position(|&m| m as usize == r)
+            .expect("row present in its own cell");
+        self.cells[cr].swap_remove(pos);
+        if r != last {
+            // the old last row now lives at index r: rewrite its cell entry
+            let cl = self.cell_of[last] as usize;
+            let pos = self.cells[cl]
+                .iter()
+                .position(|&m| m as usize == last)
+                .expect("moved row present in its own cell");
+            self.cells[cl][pos] = r as u32;
+            self.cell_of[r] = self.cell_of[last];
+        }
+        self.cell_of.pop();
+        self.churn += 1;
+        let n = old_n - 1;
+        // rebuild when total churn catches the trained size (mixed edit
+        // streams) or the pool has halved (pure drains, where churn alone
+        // would not catch up until the pool emptied)
+        if self.churn >= self.trained_n.max(1) || n * 2 < self.trained_n {
+            if n >= IVF_MIN_TRAIN_ROWS {
+                self.train(rows, hidden);
+            } else {
+                // pool shrank out of IVF territory: revert to untrained so
+                // the caller's exact fallback takes over
+                *self = IvfCells::new(self.cells_cfg, self.seed);
+            }
+        }
+    }
+
+    /// The `nprobe` cells nearest to `query` (by centroid distance), best
+    /// first, ties broken by the lowest cell index. Clamps to the cell
+    /// count; empty while untrained.
+    pub fn probe_cells(&self, query: &[f32], nprobe: usize) -> Vec<u32> {
+        if !self.is_trained() {
+            return Vec::new();
+        }
+        assert_eq!(query.len(), self.hidden, "query width mismatch");
+        let mut dists = Vec::new();
+        centroid_sq_dists(&self.centroids, &self.cent_sqnorms, query, &mut dists);
+        // top_k selects largest: negate so the smallest distances win while
+        // keeping the lowest-index tie-break
+        for d in &mut dists {
+            *d = -*d;
+        }
+        top_k(&dists, nprobe)
+            .into_iter()
+            .map(|(c, _)| c as u32)
+            .collect()
+    }
+
+    /// Bytes the IVF structures add to a scan pass: the centroid matrix,
+    /// its squared norms, and both sides of the cell mapping (inverted
+    /// lists + per-row cell ids), all f32/u32-sized.
+    pub fn scan_bytes(&self) -> usize {
+        let members: usize = self.cells.iter().map(Vec::len).sum();
+        (self.centroids.len() + self.cent_sqnorms.len() + members + self.cell_of.len()) * 4
+    }
+
+    /// Index of the centroid nearest to `row` (strict `<` keeps the lowest
+    /// index on exact ties).
+    fn nearest_centroid(&self, row: &[f32]) -> usize {
+        let mut dists = Vec::new();
+        centroid_sq_dists(&self.centroids, &self.cent_sqnorms, row, &mut dists);
+        let mut best = 0usize;
+        for (c, &d) in dists.iter().enumerate().skip(1) {
+            if d < dists[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Deterministic seeded k-means over the full matrix: splitmix64
+    /// distinct-row init, [`KMEANS_ITERS`] Lloyd rounds, empty cells keep
+    /// their previous centroid. Rebuilds the cell lists from the final
+    /// assignment and resets the churn counter.
+    fn train(&mut self, rows: &[f32], hidden: usize) {
+        let n = rows.len() / hidden;
+        debug_assert!(n > 0, "train on an empty matrix");
+        self.hidden = hidden;
+        let ncells = if self.cells_cfg > 0 {
+            self.cells_cfg.min(n)
+        } else {
+            ((n as f64).sqrt().round() as usize).clamp(1, n)
+        };
+
+        // seed centroids from ncells distinct rows: splitmix64 picks with
+        // deterministic linear probing past already-used rows
+        let mut used = vec![false; n];
+        self.centroids.clear();
+        for i in 0..ncells {
+            let mut r = (splitmix64(self.seed.wrapping_add(i as u64)) % n as u64) as usize;
+            while used[r] {
+                r = (r + 1) % n;
+            }
+            used[r] = true;
+            self.centroids
+                .extend_from_slice(&rows[r * hidden..(r + 1) * hidden]);
+        }
+        self.recompute_sqnorms(hidden);
+
+        let mut assign = vec![0u32; n];
+        let mut dists = Vec::new();
+        let mut sums = vec![0.0f32; ncells * hidden];
+        let mut counts = vec![0u32; ncells];
+        for _ in 0..KMEANS_ITERS {
+            for (i, row) in rows.chunks_exact(hidden).enumerate() {
+                centroid_sq_dists(&self.centroids, &self.cent_sqnorms, row, &mut dists);
+                let mut best = 0usize;
+                for (c, &d) in dists.iter().enumerate().skip(1) {
+                    if d < dists[best] {
+                        best = c;
+                    }
+                }
+                assign[i] = best as u32;
+            }
+            sums.iter_mut().for_each(|s| *s = 0.0);
+            counts.iter_mut().for_each(|c| *c = 0);
+            for (i, row) in rows.chunks_exact(hidden).enumerate() {
+                let c = assign[i] as usize;
+                counts[c] += 1;
+                for (s, &v) in sums[c * hidden..(c + 1) * hidden].iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            for c in 0..ncells {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f32;
+                    for (dst, &s) in self.centroids[c * hidden..(c + 1) * hidden]
+                        .iter_mut()
+                        .zip(&sums[c * hidden..(c + 1) * hidden])
+                    {
+                        *dst = s * inv;
+                    }
+                }
+                // empty cell: previous centroid stays verbatim
+            }
+            self.recompute_sqnorms(hidden);
+        }
+
+        // final assignment pass builds the inverted lists
+        self.cells = vec![Vec::new(); ncells];
+        self.cell_of.clear();
+        for (i, row) in rows.chunks_exact(hidden).enumerate() {
+            centroid_sq_dists(&self.centroids, &self.cent_sqnorms, row, &mut dists);
+            let mut best = 0usize;
+            for (c, &d) in dists.iter().enumerate().skip(1) {
+                if d < dists[best] {
+                    best = c;
+                }
+            }
+            self.cells[best].push(i as u32);
+            self.cell_of.push(best as u32);
+        }
+        self.churn = 0;
+        self.trained_n = n;
+    }
+
+    fn recompute_sqnorms(&mut self, hidden: usize) {
+        self.cent_sqnorms.clear();
+        self.cent_sqnorms.extend(
+            self.centroids
+                .chunks_exact(hidden)
+                .map(|c| c.iter().map(|v| v * v).sum::<f32>()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic synthetic rows: `k` well-separated cluster centers
+    /// with small splitmix-derived jitter, so k-means has real structure.
+    fn clustered_rows(n: usize, hidden: usize, k: usize, seed: u64) -> Vec<f32> {
+        let mut rows = Vec::with_capacity(n * hidden);
+        for i in 0..n {
+            let c = i % k;
+            for d in 0..hidden {
+                let base = if d % k == c { 4.0 } else { 0.0 };
+                let bits = splitmix64(seed ^ ((i * hidden + d) as u64));
+                let jitter = ((bits >> 11) as f64 / (1u64 << 53) as f64) as f32 - 0.5;
+                rows.push(base + 0.2 * jitter);
+            }
+        }
+        rows
+    }
+
+    /// FNV-1a over the centroid bit patterns and cell assignments — the
+    /// same style of state checksum `probe_determinism` pins.
+    fn checksum(ivf: &IvfCells) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |b: u64| {
+            h ^= b;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for &v in ivf.centroids() {
+            eat(v.to_bits() as u64);
+        }
+        for &c in ivf.cell_of() {
+            eat(c as u64);
+        }
+        h
+    }
+
+    /// The structural invariant every mutation must preserve: cells
+    /// partition `0..n` exactly, and both directions of the mapping agree.
+    fn assert_consistent(ivf: &IvfCells) {
+        let n = ivf.cell_of().len();
+        let mut seen = vec![false; n];
+        for c in 0..ivf.num_cells() {
+            for &m in ivf.cell(c) {
+                let m = m as usize;
+                assert!(m < n, "cell {c} holds out-of-range row {m}");
+                assert!(!seen[m], "row {m} appears in two cells");
+                seen[m] = true;
+                assert_eq!(
+                    ivf.cell_of()[m] as usize,
+                    c,
+                    "cell_of disagrees for row {m}"
+                );
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some row is in no cell");
+    }
+
+    fn build(rows: &[f32], hidden: usize, cells_cfg: usize, seed: u64) -> IvfCells {
+        let mut ivf = IvfCells::new(cells_cfg, seed);
+        let n = rows.len() / hidden;
+        for i in 0..n {
+            ivf.push_row(&rows[..(i + 1) * hidden], hidden);
+        }
+        ivf
+    }
+
+    #[test]
+    fn stays_untrained_below_the_row_threshold() {
+        let hidden = 8;
+        let rows = clustered_rows(IVF_MIN_TRAIN_ROWS - 1, hidden, 4, 7);
+        let ivf = build(&rows, hidden, 0, 42);
+        assert!(!ivf.is_trained());
+        assert_eq!(ivf.num_cells(), 0);
+        assert!(ivf.probe_cells(&rows[..hidden], 4).is_empty());
+        assert_eq!(ivf.scan_bytes(), 0);
+    }
+
+    #[test]
+    fn trains_at_threshold_and_partitions_all_rows() {
+        let hidden = 8;
+        let n = IVF_MIN_TRAIN_ROWS + 40;
+        let rows = clustered_rows(n, hidden, 4, 7);
+        let ivf = build(&rows, hidden, 0, 42);
+        assert!(ivf.is_trained());
+        // auto cell count ≈ √n at the training snapshot
+        assert!(
+            ivf.num_cells() >= 8 && ivf.num_cells() <= 32,
+            "{}",
+            ivf.num_cells()
+        );
+        assert_consistent(&ivf);
+    }
+
+    #[test]
+    fn training_is_run_to_run_stable_checksummed() {
+        let hidden = 16;
+        let n = IVF_MIN_TRAIN_ROWS + 64;
+        let rows = clustered_rows(n, hidden, 5, 99);
+        let a = build(&rows, hidden, 0, 42);
+        let b = build(&rows, hidden, 0, 42);
+        assert_eq!(
+            a.centroids(),
+            b.centroids(),
+            "centroids must be bit-identical"
+        );
+        assert_eq!(a.cell_of(), b.cell_of());
+        assert_eq!(checksum(&a), checksum(&b));
+        // a different seed picks different init rows — state diverges
+        let c = build(&rows, hidden, 0, 43);
+        assert_ne!(checksum(&a), checksum(&c), "seed must matter");
+    }
+
+    #[test]
+    fn probe_orders_cells_by_centroid_distance() {
+        let hidden = 8;
+        let n = IVF_MIN_TRAIN_ROWS;
+        let rows = clustered_rows(n, hidden, 4, 7);
+        let ivf = build(&rows, hidden, 4, 42);
+        assert_eq!(ivf.num_cells(), 4);
+        // probing with a training row must put that row's own cell first
+        for r in [0usize, 1, 2, 3] {
+            let q = &rows[r * hidden..(r + 1) * hidden];
+            let probes = ivf.probe_cells(q, 4);
+            assert_eq!(probes.len(), 4, "nprobe ≥ ncells returns every cell");
+            assert_eq!(
+                probes[0],
+                ivf.cell_of()[r],
+                "row {r}'s own cell probes first"
+            );
+        }
+        // nprobe clamps to the cell count
+        assert_eq!(ivf.probe_cells(&rows[..hidden], 99).len(), 4);
+        assert_eq!(ivf.probe_cells(&rows[..hidden], 1).len(), 1);
+    }
+
+    #[test]
+    fn push_and_swap_remove_keep_the_partition_consistent() {
+        let hidden = 8;
+        let n = IVF_MIN_TRAIN_ROWS + 16;
+        let mut rows = clustered_rows(n, hidden, 4, 7);
+        let mut ivf = build(&rows, hidden, 0, 42);
+        assert!(ivf.is_trained());
+
+        // interleave removals (front, middle, back) with pushes
+        let extra = clustered_rows(24, hidden, 4, 1234);
+        let mut next = 0;
+        for step in 0..24usize {
+            let live = rows.len() / hidden;
+            if step % 3 == 0 && live > 1 {
+                let r = (step * 31) % live;
+                // mirror the matrix swap-fill
+                for d in 0..hidden {
+                    rows[r * hidden + d] = rows[(live - 1) * hidden + d];
+                }
+                rows.truncate((live - 1) * hidden);
+                ivf.swap_remove_row(r, &rows, hidden);
+            } else {
+                rows.extend_from_slice(&extra[next * hidden..(next + 1) * hidden]);
+                next += 1;
+                ivf.push_row(&rows, hidden);
+            }
+            assert_consistent(&ivf);
+            assert_eq!(ivf.cell_of().len(), rows.len() / hidden);
+        }
+    }
+
+    #[test]
+    fn churn_triggers_retrain_and_drain_untrains() {
+        let hidden = 4;
+        let n = IVF_MIN_TRAIN_ROWS;
+        let mut rows = clustered_rows(n, hidden, 4, 7);
+        let mut ivf = build(&rows, hidden, 0, 42);
+        let before = checksum(&ivf);
+        // push n more rows: churn reaches the pool size and retrains
+        let extra = clustered_rows(n, hidden, 4, 555);
+        for i in 0..n {
+            rows.extend_from_slice(&extra[i * hidden..(i + 1) * hidden]);
+            ivf.push_row(&rows, hidden);
+        }
+        assert_consistent(&ivf);
+        assert_ne!(checksum(&ivf), before, "retrain reshapes the cells");
+        // drain the pool: once it shrinks below threshold and churn catches
+        // up, the index reverts to untrained (exact fallback territory)
+        while rows.len() / hidden > 8 {
+            let live = rows.len() / hidden;
+            for d in 0..hidden {
+                rows[d] = rows[(live - 1) * hidden + d];
+            }
+            rows.truncate((live - 1) * hidden);
+            ivf.swap_remove_row(0, &rows, hidden);
+        }
+        assert!(!ivf.is_trained(), "drained pool must untrain");
+        assert_eq!(ivf.scan_bytes(), 0);
+    }
+
+    #[test]
+    fn scan_bytes_counts_centroids_and_both_mappings() {
+        let hidden = 8;
+        let n = IVF_MIN_TRAIN_ROWS;
+        let rows = clustered_rows(n, hidden, 4, 7);
+        let ivf = build(&rows, hidden, 4, 42);
+        let members: usize = (0..ivf.num_cells()).map(|c| ivf.cell(c).len()).sum();
+        assert_eq!(members, n);
+        assert_eq!(
+            ivf.scan_bytes(),
+            (4 * hidden + 4 + n + n) * 4,
+            "centroids + sqnorms + members + cell_of, 4 bytes each"
+        );
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn synth_row(hidden: usize, seed: u64) -> Vec<f32> {
+        (0..hidden)
+            .map(|d| {
+                let bits = super::splitmix64(seed ^ (d as u64).wrapping_mul(0x9E37));
+                ((bits >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Random op sequences (push / swap-remove at a random index)
+        /// against a mirrored plain matrix: the cell structure must stay a
+        /// consistent partition of the live rows at every step. Starts
+        /// above the training threshold so the trained maintenance paths
+        /// are the ones exercised. Ops arrive as parallel primitive
+        /// draws (the vendored harness has no `prop_map`): `kinds[i] == 0`
+        /// removes at `picks[i] % live`, otherwise pushes a row seeded by
+        /// `seeds[i]`.
+        #[test]
+        fn churn_preserves_partition_invariants(
+            kinds in proptest::collection::vec(0usize..3, 60),
+            seeds in proptest::collection::vec(0u64..1_000_000, 60),
+            picks in proptest::collection::vec(0usize..10_000, 60),
+        ) {
+            let hidden = 6;
+            let mut rows: Vec<f32> = Vec::new();
+            for i in 0..IVF_MIN_TRAIN_ROWS {
+                rows.extend(synth_row(hidden, i as u64));
+            }
+            let mut ivf = IvfCells::new(0, 42);
+            for i in 0..IVF_MIN_TRAIN_ROWS {
+                ivf.push_row(&rows[..(i + 1) * hidden], hidden);
+            }
+            prop_assert!(ivf.is_trained());
+            for i in 0..kinds.len() {
+                let live = rows.len() / hidden;
+                if kinds[i] == 0 && live > 0 {
+                    let r = picks[i] % live;
+                    for d in 0..hidden {
+                        rows[r * hidden + d] = rows[(live - 1) * hidden + d];
+                    }
+                    rows.truncate((live - 1) * hidden);
+                    ivf.swap_remove_row(r, &rows, hidden);
+                } else {
+                    rows.extend(synth_row(hidden, seeds[i].wrapping_add(1 << 40)));
+                    ivf.push_row(&rows, hidden);
+                }
+                let n = rows.len() / hidden;
+                if ivf.is_trained() {
+                    prop_assert_eq!(ivf.cell_of().len(), n);
+                    let mut seen = vec![false; n];
+                    for c in 0..ivf.num_cells() {
+                        for &m in ivf.cell(c) {
+                            prop_assert!((m as usize) < n);
+                            prop_assert!(!seen[m as usize], "row {} in two cells", m);
+                            seen[m as usize] = true;
+                            prop_assert_eq!(ivf.cell_of()[m as usize] as usize, c);
+                        }
+                    }
+                    prop_assert!(seen.iter().all(|&s| s));
+                }
+            }
+        }
+    }
+}

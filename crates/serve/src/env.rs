@@ -22,15 +22,19 @@ pub(crate) fn env_knob<T: std::str::FromStr>(name: &str, what: &str) -> Option<T
 #[cfg(test)]
 mod tests {
     use crate::coalesce::CoalescerConfig;
+    use crate::index::IndexConfig;
+    use crate::quantized::ScanPrecision;
     use crate::server::ServerConfig;
 
-    /// One test covers both serving knobs: env vars are process-wide, so
+    /// One test covers every serving knob: env vars are process-wide, so
     /// splitting this across parallel tests would race.
     #[test]
     fn serve_env_knobs_apply_and_fall_back_loudly() {
         // unset: defaults in force
         std::env::remove_var("GBM_FLUSH_TICKS");
         std::env::remove_var("GBM_SERVE_WORKERS");
+        std::env::remove_var("GBM_IVF_CELLS");
+        std::env::remove_var("GBM_SCAN_NPROBE");
         let co = CoalescerConfig::default().with_env();
         assert_eq!(co.max_wait, CoalescerConfig::default().max_wait);
         let sv = ServerConfig::default().with_env();
@@ -63,7 +67,54 @@ mod tests {
         std::env::set_var("GBM_SERVE_WORKERS", "0");
         assert_eq!(ServerConfig::default().with_env().scan_workers, 0);
 
+        // IVF knobs: GBM_IVF_CELLS always applies; GBM_SCAN_NPROBE only
+        // retunes an Ivf precision — on exact precisions it warns and is
+        // ignored, so a stray knob cannot change exact-scan semantics
+        let ivf = IndexConfig {
+            precision: ScanPrecision::Ivf {
+                nprobe: 4,
+                widen: 2,
+            },
+            ..Default::default()
+        };
+        std::env::set_var("GBM_IVF_CELLS", "32");
+        std::env::set_var("GBM_SCAN_NPROBE", "7");
+        let cfg = ivf.with_env();
+        assert_eq!(cfg.ivf_cells, 32);
+        assert_eq!(
+            cfg.precision,
+            ScanPrecision::Ivf {
+                nprobe: 7,
+                widen: 2
+            }
+        );
+        let exact = IndexConfig::default().with_env();
+        assert_eq!(exact.ivf_cells, 32, "cells knob is precision-independent");
+        assert_eq!(exact.precision, IndexConfig::default().precision);
+        // unparsable values warn and keep the config's own settings
+        std::env::set_var("GBM_IVF_CELLS", "many");
+        std::env::set_var("GBM_SCAN_NPROBE", "-3");
+        let cfg = ivf.with_env();
+        assert_eq!(cfg.ivf_cells, 0);
+        assert_eq!(
+            cfg.precision,
+            ScanPrecision::Ivf {
+                nprobe: 4,
+                widen: 2
+            }
+        );
+        // ServerConfig::with_env composes the index knobs
+        std::env::set_var("GBM_IVF_CELLS", "16");
+        let sv = ServerConfig {
+            index: ivf,
+            ..Default::default()
+        }
+        .with_env();
+        assert_eq!(sv.index.ivf_cells, 16);
+
         std::env::remove_var("GBM_FLUSH_TICKS");
         std::env::remove_var("GBM_SERVE_WORKERS");
+        std::env::remove_var("GBM_IVF_CELLS");
+        std::env::remove_var("GBM_SCAN_NPROBE");
     }
 }

@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 
 use gbm_nn::{EmbeddingStore, EncodedGraph, GraphBinMatch};
-use gbm_quant::quantize_vector;
+use gbm_quant::{quantize_vector, IvfCells};
 use gbm_tensor::{top_k, Tensor};
 use rayon::prelude::*;
 
@@ -53,11 +53,16 @@ pub struct IndexConfig {
     /// Graphs per batched encoder forward, both at build time and for the
     /// pending-insert re-encode batches.
     pub encode_batch: usize,
-    /// Shard-scan scoring: exact f32 dots, or an int8 coarse scan over a
+    /// Shard-scan scoring: exact f32 dots, an int8 coarse scan over a
     /// quantized row mirror followed by an exact f32 re-score of the
     /// widened candidate set ([`ScanPrecision::Int8`]'s `widen` is clamped
-    /// to at least 1).
+    /// to at least 1), or the IVF approximate scan
+    /// ([`ScanPrecision::Ivf`], bounded recall rather than rank identity).
     pub precision: ScanPrecision,
+    /// Coarse cells per shard at [`ScanPrecision::Ivf`]; `0` (the default)
+    /// sizes each shard automatically at `≈√rows` per training round.
+    /// Ignored at the exact precisions.
+    pub ivf_cells: usize,
 }
 
 impl Default for IndexConfig {
@@ -66,7 +71,31 @@ impl Default for IndexConfig {
             num_shards: 4,
             encode_batch: gbm_nn::embeddings::DEFAULT_ENCODE_BATCH,
             precision: ScanPrecision::F32,
+            ivf_cells: 0,
         }
+    }
+}
+
+impl IndexConfig {
+    /// Applies the index env knobs, warn-and-fall-back like every serve
+    /// knob: `GBM_IVF_CELLS` overrides [`ivf_cells`](Self::ivf_cells)
+    /// (`0` = auto), and `GBM_SCAN_NPROBE` overrides
+    /// [`ScanPrecision::Ivf`]'s `nprobe` — with a loud warning (and no
+    /// effect) when the configured precision isn't IVF, so a stray knob
+    /// can't silently change an exact deployment's semantics.
+    pub fn with_env(mut self) -> IndexConfig {
+        if let Some(cells) = crate::env::env_knob::<usize>("GBM_IVF_CELLS", "a cell count") {
+            self.ivf_cells = cells;
+        }
+        if let Some(np) = crate::env::env_knob::<usize>("GBM_SCAN_NPROBE", "a probe count") {
+            match &mut self.precision {
+                ScanPrecision::Ivf { nprobe, .. } => *nprobe = np,
+                other => eprintln!(
+                    "warning: GBM_SCAN_NPROBE={np} ignored: scan precision is {other:?}, not Ivf"
+                ),
+            }
+        }
+        self
     }
 }
 
@@ -106,8 +135,15 @@ struct Shard {
     /// Queued inserts awaiting their batched re-encode.
     pending: Vec<(GraphId, EncodedGraph)>,
     /// int8 code mirror of `rows` (`Some` iff the index scans at
-    /// [`ScanPrecision::Int8`]); every push/remove updates both.
+    /// [`ScanPrecision::Int8`] or [`ScanPrecision::Ivf`] — the IVF scan
+    /// approximate-scores probed cells over it); every push/remove updates
+    /// both.
     quant: Option<QuantizedShard>,
+    /// IVF cell index over `rows` (`Some` iff the index scans at
+    /// [`ScanPrecision::Ivf`]), maintained through the same push /
+    /// swap-remove lifecycle. Untrained (and exact-fallback) below
+    /// [`gbm_quant::IVF_MIN_TRAIN_ROWS`] rows.
+    ivf: Option<IvfCells>,
 }
 
 impl Shard {
@@ -117,6 +153,9 @@ impl Shard {
         self.rows.extend_from_slice(row);
         if let Some(q) = &mut self.quant {
             q.push_row(row);
+        }
+        if let Some(ivf) = &mut self.ivf {
+            ivf.push_row(&self.rows, row.len());
         }
     }
 
@@ -137,6 +176,9 @@ impl Shard {
         self.rows.truncate(last * hidden);
         if let Some(q) = &mut self.quant {
             q.swap_remove_row(row);
+        }
+        if let Some(ivf) = &mut self.ivf {
+            ivf.swap_remove_row(row, &self.rows, hidden);
         }
         true
     }
@@ -192,12 +234,72 @@ impl Shard {
             .quant
             .as_ref()
             .expect("int8 scan requires the quantized mirror");
-        let margin = 2.0 * quant.max_dot_error(q, l1_q);
         let kprime = k.saturating_mul(widen.max(1)).min(self.ids.len());
-        let candidates = quant.scan_candidates(q, kprime, margin);
+        let candidates = quant.scan_candidates_blocked(q, l1_q, kprime);
         // exact re-rank in ascending row order: top_k ties then break by
         // candidate position = row index, exactly as the full f32 scan
         let mut cand_rows: Vec<usize> = candidates.into_iter().map(|(r, _)| r).collect();
+        cand_rows.sort_unstable();
+        let exact: Vec<f32> = cand_rows
+            .iter()
+            .map(|&r| dot(query, &self.rows[r * hidden..(r + 1) * hidden]))
+            .collect();
+        top_k(&exact, k)
+            .into_iter()
+            .map(|(i, s)| (self.ids[cand_rows[i]], s))
+            .collect()
+    }
+
+    /// IVF approximate top-K scan: probe the `nprobe` cells whose
+    /// centroids sit nearest the query, approximate-score only their
+    /// member rows over the int8 mirror, keep the best `k · widen`, and
+    /// exact-f32 re-rank those (ascending row order, same [`dot`] as every
+    /// other path, so returned scores are exact even though the candidate
+    /// *set* is approximate). Deterministic end to end — probe order,
+    /// member order, and tie-breaks are all fixed — but rows in unprobed
+    /// cells are never seen: the contract is the measured recall floor,
+    /// not rank identity. Untrained shards (fewer than
+    /// [`gbm_quant::IVF_MIN_TRAIN_ROWS`] rows) fall back to
+    /// [`scan_top_k_int8`](Self::scan_top_k_int8), which *is* exact.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_top_k_ivf(
+        &self,
+        query: &[f32],
+        q: &gbm_quant::QuantizedVector,
+        l1_q: f32,
+        k: usize,
+        nprobe: usize,
+        widen: usize,
+        hidden: usize,
+    ) -> Vec<(GraphId, f32)> {
+        if k == 0 || self.ids.is_empty() {
+            return Vec::new();
+        }
+        let ivf = self.ivf.as_ref().expect("ivf scan requires the cell index");
+        if !ivf.is_trained() {
+            return self.scan_top_k_int8(query, q, l1_q, k, widen, hidden);
+        }
+        let quant = self
+            .quant
+            .as_ref()
+            .expect("ivf scan requires the quantized mirror");
+        let mat = quant.matrix().expect("a trained cell index has rows");
+        let mut cand: Vec<u32> = Vec::new();
+        for &c in &ivf.probe_cells(query, nprobe.max(1)) {
+            cand.extend_from_slice(ivf.cell(c as usize));
+        }
+        if cand.is_empty() {
+            return Vec::new();
+        }
+        let approx: Vec<f32> = cand
+            .iter()
+            .map(|&r| mat.approx_dot(r as usize, q))
+            .collect();
+        let kprime = k.saturating_mul(widen.max(1));
+        let mut cand_rows: Vec<usize> = top_k(&approx, kprime)
+            .into_iter()
+            .map(|(i, _)| cand[i] as usize)
+            .collect();
         cand_rows.sort_unstable();
         let exact: Vec<f32> = cand_rows
             .iter()
@@ -244,14 +346,26 @@ impl ShardedIndex {
                 ScanPrecision::Int8 { widen } => ScanPrecision::Int8 {
                     widen: widen.max(1),
                 },
+                ScanPrecision::Ivf { nprobe, widen } => ScanPrecision::Ivf {
+                    nprobe: nprobe.max(1),
+                    widen: widen.max(1),
+                },
                 p => p,
             },
+            ivf_cells: cfg.ivf_cells,
         };
-        let quantized = matches!(cfg.precision, ScanPrecision::Int8 { .. });
+        let quantized = matches!(
+            cfg.precision,
+            ScanPrecision::Int8 { .. } | ScanPrecision::Ivf { .. }
+        );
+        let ivf = matches!(cfg.precision, ScanPrecision::Ivf { .. });
         ShardedIndex {
             shards: (0..cfg.num_shards)
-                .map(|_| Shard {
+                .map(|s| Shard {
                     quant: quantized.then(QuantizedShard::new),
+                    // per-shard seed derived from the shard position: pure,
+                    // so two builds of the same rows train identically
+                    ivf: ivf.then(|| IvfCells::new(cfg.ivf_cells, splitmix64(s as u64))),
                     ..Shard::default()
                 })
                 .collect(),
@@ -429,12 +543,17 @@ impl ShardedIndex {
     }
 
     /// The shard-independent half of a query under `precision`: the
-    /// quantized query codes and L1 norm (only at int8 — `None` at f32).
+    /// quantized query codes and L1 norm (at int8 and IVF — `None` at
+    /// f32).
     fn prepare_query(
         precision: ScanPrecision,
         query: &[f32],
     ) -> Option<(gbm_quant::QuantizedVector, f32)> {
-        matches!(precision, ScanPrecision::Int8 { .. }).then(|| {
+        matches!(
+            precision,
+            ScanPrecision::Int8 { .. } | ScanPrecision::Ivf { .. }
+        )
+        .then(|| {
             (
                 quantize_vector(query),
                 query.iter().map(|v| v.abs()).sum::<f32>(),
@@ -455,6 +574,9 @@ impl ShardedIndex {
         match (precision, quant_query) {
             (ScanPrecision::Int8 { widen }, Some((q, l1_q))) => {
                 shard.scan_top_k_int8(query, q, *l1_q, k, widen, hidden)
+            }
+            (ScanPrecision::Ivf { nprobe, widen }, Some((q, l1_q))) => {
+                shard.scan_top_k_ivf(query, q, *l1_q, k, nprobe, widen, hidden)
             }
             _ => shard.scan_top_k(query, k, hidden),
         }
@@ -499,8 +621,10 @@ impl ShardedIndex {
     }
 
     /// Bytes one full scan pass touches under the configured precision:
-    /// the dense f32 matrices, or the int8 code mirrors plus per-row
-    /// scales (~4× less) — the quantization memory story, reported by
+    /// the dense f32 matrices; the int8 code mirrors plus per-row scales
+    /// and per-block bound arrays (~4× less); or, at IVF, the int8
+    /// structures plus the centroid matrices and cell lists the probe
+    /// reads — the quantization memory story, reported honestly by
     /// `probe_quant`.
     pub fn scan_bytes(&self) -> usize {
         match self.cfg.precision {
@@ -513,6 +637,14 @@ impl ShardedIndex {
                 .shards
                 .iter()
                 .map(|s| s.quant.as_ref().map_or(0, |q| q.scan_bytes()))
+                .sum(),
+            ScanPrecision::Ivf { .. } => self
+                .shards
+                .iter()
+                .map(|s| {
+                    s.quant.as_ref().map_or(0, |q| q.scan_bytes())
+                        + s.ivf.as_ref().map_or(0, |i| i.scan_bytes())
+                })
                 .sum(),
         }
     }
@@ -589,6 +721,12 @@ impl ShardedIndex {
     /// Shard `s`'s int8 mirror, when the index scans quantized.
     pub fn shard_quant(&self, s: usize) -> Option<&QuantizedShard> {
         self.shards[s].quant.as_ref()
+    }
+
+    /// Shard `s`'s IVF cell index, when the index scans at
+    /// [`ScanPrecision::Ivf`] (untrained below the training threshold).
+    pub fn shard_ivf(&self, s: usize) -> Option<&IvfCells> {
+        self.shards[s].ivf.as_ref()
     }
 
     /// Every encoded id, ascending.
@@ -797,6 +935,7 @@ mod tests {
                         num_shards: shards,
                         encode_batch: 4,
                         precision: ScanPrecision::Int8 { widen },
+                        ..Default::default()
                     },
                 );
                 for &q in &[0usize, 4, 8] {
@@ -829,6 +968,7 @@ mod tests {
                 num_shards: 3,
                 encode_batch: 2,
                 precision,
+                ..Default::default()
             });
             for (i, g) in pool.iter().enumerate() {
                 index.insert(&model, i as GraphId, g.clone());
@@ -886,11 +1026,15 @@ mod tests {
                 num_shards: 3,
                 encode_batch: 8,
                 precision: ScanPrecision::Int8 { widen: 0 },
+                ..Default::default()
             },
         );
-        // footprint: codes + one f32 scale per row vs 4 bytes per element
+        // footprint: codes + one f32 scale per row vs 4 bytes per element,
+        // plus 2 bound f32s per occupied scan block (one block per
+        // non-empty shard at this pool size)
         assert_eq!(f32_index.scan_bytes(), n * hidden * 4);
-        assert_eq!(int8_index.scan_bytes(), n * hidden + n * 4);
+        let occupied = int8_index.shard_sizes().iter().filter(|&&s| s > 0).count();
+        assert_eq!(int8_index.scan_bytes(), n * hidden + n * 4 + occupied * 8);
         let query = rows[..hidden].to_vec();
         for k in [1usize, 5, n] {
             let f = f32_index.query(&query, k);
@@ -916,6 +1060,7 @@ mod tests {
                 num_shards: 3,
                 encode_batch: 8,
                 precision: ScanPrecision::Int8 { widen: 8 },
+                ..Default::default()
             },
         );
         for k in [1usize, 5, n] {
@@ -938,7 +1083,16 @@ mod tests {
         }
         let query = rows[..hidden].to_vec();
         for shards in [1usize, 2, 7] {
-            for precision in [ScanPrecision::F32, ScanPrecision::Int8 { widen: 2 }] {
+            for precision in [
+                ScanPrecision::F32,
+                ScanPrecision::Int8 { widen: 2 },
+                // 300 rows: trained at 1 shard, untrained fallback at 2/7 —
+                // the partial-merge invariant must hold either way
+                ScanPrecision::Ivf {
+                    nprobe: 3,
+                    widen: 2,
+                },
+            ] {
                 let index = ShardedIndex::from_rows(
                     &rows,
                     hidden,
@@ -946,6 +1100,7 @@ mod tests {
                         num_shards: shards,
                         encode_batch: 8,
                         precision,
+                        ..Default::default()
                     },
                 );
                 for k in [1usize, 10, n + 5] {
@@ -1011,6 +1166,7 @@ mod tests {
             num_shards: 3,
             encode_batch: 8,
             precision: ScanPrecision::Int8 { widen: 4 },
+            ..Default::default()
         });
         for i in 0..n {
             q8.insert_row(i as GraphId, &rows[i * hidden..(i + 1) * hidden]);
@@ -1029,6 +1185,246 @@ mod tests {
         let built = ShardedIndex::build(&model, &pool[..0], IndexConfig::default());
         assert_eq!(built.num_encoded(), 0);
         assert_eq!(built.query(&[], 3), vec![]);
+    }
+
+    /// Deterministic pseudo-random rows in `[-1, 1)`, splitmix-driven.
+    fn synth_matrix(n: usize, hidden: usize, mut state: u64) -> Vec<f32> {
+        let mut rows = Vec::with_capacity(n * hidden);
+        for _ in 0..n * hidden {
+            state = splitmix64(state);
+            rows.push((state % 2000) as f32 / 1000.0 - 1.0);
+        }
+        rows
+    }
+
+    /// `k` tight, well-separated clusters — the regime IVF is built for.
+    fn clustered_matrix(n: usize, hidden: usize, k: usize, mut state: u64) -> Vec<f32> {
+        let mut rows = Vec::with_capacity(n * hidden);
+        for i in 0..n {
+            let c = i % k;
+            for d in 0..hidden {
+                state = splitmix64(state);
+                let jitter = (state % 1000) as f32 / 10_000.0 - 0.05;
+                rows.push(if d % k == c { 3.0 + jitter } else { jitter });
+            }
+        }
+        rows
+    }
+
+    /// Fraction of the exact top-K ids the approximate answer recovered.
+    fn recall(approx: &[(GraphId, f32)], exact: &[(GraphId, f32)]) -> f64 {
+        if exact.is_empty() {
+            return 1.0;
+        }
+        let want: std::collections::HashSet<GraphId> = exact.iter().map(|&(id, _)| id).collect();
+        approx.iter().filter(|&&(id, _)| want.contains(&id)).count() as f64 / exact.len() as f64
+    }
+
+    /// Below `IVF_MIN_TRAIN_ROWS` per shard the cell index never trains and
+    /// every Ivf query falls back to the exact int8 path — bit-identical to
+    /// the f32 ranking, so toy pools lose nothing by configuring Ivf.
+    #[test]
+    fn ivf_below_training_threshold_is_exactly_f32() {
+        let hidden = 6;
+        let n = 60;
+        let rows = synth_matrix(n, hidden, 3);
+        let f32_index = ShardedIndex::from_rows(&rows, hidden, IndexConfig::default());
+        let ivf_index = ShardedIndex::from_rows(
+            &rows,
+            hidden,
+            IndexConfig {
+                precision: ScanPrecision::Ivf {
+                    nprobe: 2,
+                    widen: 8,
+                },
+                ..Default::default()
+            },
+        );
+        for s in 0..ivf_index.num_shards() {
+            assert!(
+                !ivf_index
+                    .shard_ivf(s)
+                    .expect("ivf state present")
+                    .is_trained(),
+                "shard {s} must stay untrained at {n} rows"
+            );
+        }
+        let query = rows[..hidden].to_vec();
+        for k in [1usize, 5, n] {
+            assert_eq!(
+                ivf_index.query(&query, k),
+                f32_index.query(&query, k),
+                "untrained IVF must equal f32 exactly (k={k})"
+            );
+        }
+    }
+
+    /// Trained IVF on a clustered pool: full probing with a saturating
+    /// widen is exact, narrow probing keeps a high recall@10 floor, and a
+    /// self-query's own row always comes back first at nprobe=1 (its cell
+    /// is by construction the nearest one).
+    #[test]
+    fn ivf_recall_is_bounded_on_a_clustered_pool() {
+        let hidden = 16;
+        // 3× the threshold: the id hash splits rows ~evenly across the two
+        // shards, leaving each comfortably past the training threshold
+        let n = 3 * gbm_quant::IVF_MIN_TRAIN_ROWS;
+        let rows = clustered_matrix(n, hidden, 8, 11);
+        let mk = |nprobe, widen| {
+            ShardedIndex::from_rows(
+                &rows,
+                hidden,
+                IndexConfig {
+                    num_shards: 2,
+                    precision: ScanPrecision::Ivf { nprobe, widen },
+                    ..Default::default()
+                },
+            )
+        };
+        let f32_index = ShardedIndex::from_rows(
+            &rows,
+            hidden,
+            IndexConfig {
+                num_shards: 2,
+                ..Default::default()
+            },
+        );
+        let full = mk(usize::MAX, usize::MAX);
+        for s in 0..2 {
+            assert!(full.shard_ivf(s).expect("ivf state").is_trained());
+        }
+        let k = 10;
+        for qi in [0usize, 3, 101] {
+            let query = rows[qi * hidden..(qi + 1) * hidden].to_vec();
+            let exact = f32_index.query(&query, k);
+            // probing every cell with an unbounded re-rank width degrades
+            // to the exact scan: recall is 1 by construction
+            assert_eq!(full.query(&query, k), exact, "full probe is exact (q={qi})");
+            // narrow probes on clustered data: the query's cluster fits in
+            // few cells, so recall@10 stays high
+            let narrow = mk(2, 4);
+            let r = recall(&narrow.query(&query, k), &exact);
+            assert!(r >= 0.8, "recall@10 {r} < 0.8 at nprobe=2 (q={qi})");
+            // self-query at nprobe=1 probes exactly the row's own cell:
+            // k-means assigns each row to its nearest centroid, and that
+            // same centroid distance ranks first for the row-as-query.
+            // (Rank-1 itself isn't guaranteed — dot scores are
+            // unnormalized, so a longer neighbor can out-score the row.)
+            let s = shard_of(qi as GraphId, 2);
+            let pos = full
+                .shard_ids(s)
+                .iter()
+                .position(|&id| id == qi as GraphId)
+                .expect("row present");
+            let ivf = full.shard_ivf(s).expect("trained shard");
+            assert_eq!(
+                ivf.probe_cells(&query, 1),
+                vec![ivf.cell_of()[pos]],
+                "a self-query's first probed cell is its own cell (q={qi})"
+            );
+        }
+    }
+
+    /// Two builds of the same rows produce bit-identical IVF state and
+    /// answers — the determinism contract, index-level.
+    #[test]
+    fn ivf_build_is_deterministic_across_runs() {
+        let hidden = 8;
+        let n = gbm_quant::IVF_MIN_TRAIN_ROWS + 30;
+        let rows = synth_matrix(n, hidden, 77);
+        let cfg = IndexConfig {
+            num_shards: 1,
+            precision: ScanPrecision::Ivf {
+                nprobe: 4,
+                widen: 2,
+            },
+            ivf_cells: 8,
+            ..Default::default()
+        };
+        let a = ShardedIndex::from_rows(&rows, hidden, cfg);
+        let b = ShardedIndex::from_rows(&rows, hidden, cfg);
+        let (ia, ib) = (a.shard_ivf(0).unwrap(), b.shard_ivf(0).unwrap());
+        assert!(ia.is_trained());
+        assert_eq!(ia.num_cells(), 8, "ivf_cells pins the cell count");
+        assert_eq!(ia.centroids(), ib.centroids(), "centroids bit-identical");
+        assert_eq!(ia.cell_of(), ib.cell_of());
+        let query = rows[..hidden].to_vec();
+        assert_eq!(a.query(&query, 7), b.query(&query, 7));
+    }
+
+    /// Churn through insert_row/remove keeps the cell index consistent and
+    /// the scan well-formed: every answer's scores are exact f32 dots of
+    /// live rows, ranked, and removed ids never surface.
+    #[test]
+    fn ivf_survives_insert_remove_churn() {
+        let hidden = 8;
+        let n = gbm_quant::IVF_MIN_TRAIN_ROWS + 50;
+        let rows = synth_matrix(n, hidden, 21);
+        let mut index = ShardedIndex::new(IndexConfig {
+            num_shards: 1,
+            precision: ScanPrecision::Ivf {
+                nprobe: 4,
+                widen: 4,
+            },
+            ..Default::default()
+        });
+        for i in 0..n {
+            index.insert_row(i as GraphId, &rows[i * hidden..(i + 1) * hidden]);
+        }
+        assert!(index.shard_ivf(0).unwrap().is_trained());
+        // remove a spread of ids, replace a few with fresh rows
+        for id in [0u64, 7, 99, 200, 300] {
+            assert!(index.remove(id));
+        }
+        for id in [7u64, 99] {
+            index.insert_row(id, &rows[..hidden]);
+        }
+        let query = rows[5 * hidden..6 * hidden].to_vec();
+        let got = index.query(&query, 10);
+        assert!(!got.is_empty());
+        assert!(got.iter().all(|&(id, _)| id != 0 && id != 200 && id != 300));
+        for w in got.windows(2) {
+            assert!(w[0].1 >= w[1].1, "ivf results stay ranked");
+        }
+        for &(id, score) in &got {
+            let emb = index.embedding(id).expect("returned ids are live");
+            let exact = dot(&query, emb.data());
+            assert_eq!(score, exact, "id {id}: returned score is the exact dot");
+        }
+    }
+
+    /// IVF footprint accounting: centroids + cell lists ride on top of the
+    /// int8 mirror's bytes, and the int8 portion matches an Int8 index of
+    /// the same rows.
+    #[test]
+    fn ivf_scan_bytes_include_cells_and_centroids() {
+        let hidden = 8;
+        let n = gbm_quant::IVF_MIN_TRAIN_ROWS;
+        let rows = synth_matrix(n, hidden, 13);
+        let int8 = ShardedIndex::from_rows(
+            &rows,
+            hidden,
+            IndexConfig {
+                num_shards: 1,
+                precision: ScanPrecision::Int8 { widen: 1 },
+                ..Default::default()
+            },
+        );
+        let ivf = ShardedIndex::from_rows(
+            &rows,
+            hidden,
+            IndexConfig {
+                num_shards: 1,
+                precision: ScanPrecision::Ivf {
+                    nprobe: 2,
+                    widen: 1,
+                },
+                ..Default::default()
+            },
+        );
+        let ivf_extra = ivf.shard_ivf(0).unwrap().scan_bytes();
+        assert!(ivf_extra > 0, "trained index reports its cell memory");
+        assert_eq!(ivf.scan_bytes(), int8.scan_bytes() + ivf_extra);
     }
 
     #[test]

@@ -19,6 +19,18 @@
 //!   top-K′ candidate set, and re-scores exactly those candidates against
 //!   the retained f32 rows — final rankings equal the f32 scan (ids,
 //!   scores, tie order) whenever the widened set covers the true top-K.
+//! * [`ScanPrecision::Ivf`] — the approximate tier above int8: each shard
+//!   past a training threshold keeps a seeded-k-means inverted-file index
+//!   ([`gbm_quant::IvfCells`]) over its rows, maintained incrementally
+//!   through insert/remove churn with amortized doubling retrains. A query
+//!   scores the `≈√n` coarse centroids, visits only the `nprobe` nearest
+//!   cells over the int8 mirror, and exactly re-ranks the `k·widen`
+//!   survivors against f32 — sub-linear scan work in exchange for a
+//!   *recall* contract (measured and CI-gated at ≥0.95 recall@10 on the
+//!   clustered bench pool) instead of the exact tiers' rank identity.
+//!   Untrained shards fall back to the exact int8 path, so toy pools and
+//!   cold starts stay bit-identical. `GBM_SCAN_NPROBE` / `GBM_IVF_CELLS`
+//!   tune probing from the environment ([`IndexConfig::with_env`]).
 //! * [`EncodeCoalescer`] — the request-side batcher: incoming encode
 //!   requests queue until `max_batch` graphs are waiting or the oldest has
 //!   waited `max_wait` clock ticks, then one [`GraphBatch`] forward encodes

@@ -168,11 +168,16 @@ impl PersistError {
     }
 }
 
-fn precision_tag(p: ScanPrecision) -> PrecisionTag {
+fn precision_tag(p: ScanPrecision, ivf_cells: usize) -> PrecisionTag {
     match p {
         ScanPrecision::F32 => PrecisionTag::F32,
         ScanPrecision::Int8 { widen } => PrecisionTag::Int8 {
             widen: widen as u32,
+        },
+        ScanPrecision::Ivf { nprobe, widen } => PrecisionTag::Ivf {
+            nprobe: nprobe as u32,
+            widen: widen as u32,
+            cells: ivf_cells as u32,
         },
     }
 }
@@ -183,6 +188,19 @@ fn scan_precision(t: PrecisionTag) -> ScanPrecision {
         PrecisionTag::Int8 { widen } => ScanPrecision::Int8 {
             widen: widen as usize,
         },
+        PrecisionTag::Ivf { nprobe, widen, .. } => ScanPrecision::Ivf {
+            nprobe: nprobe as usize,
+            widen: widen as usize,
+        },
+    }
+}
+
+/// The configured IVF cell count carried by the tag (0 for non-IVF tags —
+/// the field is meaningless there and `IndexConfig::default` uses 0 too).
+fn tag_ivf_cells(t: PrecisionTag) -> usize {
+    match t {
+        PrecisionTag::Ivf { cells, .. } => cells as usize,
+        _ => 0,
     }
 }
 
@@ -247,7 +265,7 @@ pub fn snapshot_index(
     SnapshotData {
         num_shards: cfg.num_shards as u32,
         encode_batch: cfg.encode_batch as u32,
-        precision: precision_tag(cfg.precision),
+        precision: precision_tag(cfg.precision, cfg.ivf_cells),
         hidden: index.hidden() as u32,
         last_seq,
         shards,
@@ -264,10 +282,14 @@ pub fn snapshot_index(
 pub fn restore_index(data: &SnapshotData) -> Result<ShardedIndex, PersistError> {
     let num_shards = data.num_shards as usize;
     let hidden = data.hidden as usize;
+    // IVF cell structures are not imaged: they are a deterministic function
+    // of the stored row order (seeded k-means), so re-inserting the rows
+    // below rebuilds them bit-identically to the snapshotted index.
     let mut index = ShardedIndex::new(IndexConfig {
         num_shards,
         encode_batch: data.encode_batch as usize,
         precision: scan_precision(data.precision),
+        ivf_cells: tag_ivf_cells(data.precision),
     });
     if hidden > 0 {
         index.set_hidden(hidden);
@@ -500,11 +522,21 @@ mod tests {
         let hidden = 6;
         let rows = synth_rows(40, hidden, 7);
         for shards in [1usize, 2, 7] {
-            for precision in [ScanPrecision::F32, ScanPrecision::Int8 { widen: 2 }] {
+            for precision in [
+                ScanPrecision::F32,
+                ScanPrecision::Int8 { widen: 2 },
+                // 40 rows is below the IVF training threshold: the scan
+                // falls back to the exact int8 path, so rank identity holds
+                ScanPrecision::Ivf {
+                    nprobe: 2,
+                    widen: 2,
+                },
+            ] {
                 let cfg = IndexConfig {
                     num_shards: shards,
                     encode_batch: 8,
                     precision,
+                    ..Default::default()
                 };
                 let mut index = ShardedIndex::from_rows(&rows, hidden, cfg);
                 index.remove(3); // perturb row order via swap-fill
@@ -526,6 +558,35 @@ mod tests {
         assert_eq!(restored.query(&[], 3), vec![]);
     }
 
+    /// The configured IVF cell count rides the precision tag through a
+    /// snapshot, and an IVF index trained past the threshold restores to
+    /// identical cell structures (seeded k-means is a deterministic
+    /// function of the stored row order).
+    #[test]
+    fn ivf_config_and_cells_survive_a_roundtrip() {
+        let hidden = 8;
+        let rows = synth_rows(300, hidden, 11);
+        let cfg = IndexConfig {
+            num_shards: 1,
+            encode_batch: 8,
+            precision: ScanPrecision::Ivf {
+                nprobe: 3,
+                widen: 2,
+            },
+            ivf_cells: 13,
+        };
+        let index = ShardedIndex::from_rows(&rows, hidden, cfg);
+        let restored = restore_index(&snapshot_index(&index, 5, None, None)).unwrap();
+        assert_eq!(restored.config().precision, cfg.precision);
+        assert_eq!(restored.config().ivf_cells, 13);
+        let (a, b) = (index.shard_ivf(0).unwrap(), restored.shard_ivf(0).unwrap());
+        assert!(a.is_trained() && b.is_trained());
+        assert_eq!(a.centroids(), b.centroids());
+        assert_eq!(a.cell_of(), b.cell_of());
+        let queries = [rows[..hidden].to_vec(), rows[hidden..2 * hidden].to_vec()];
+        assert_rank_identical(&restored, &index, &queries);
+    }
+
     /// Structural inconsistencies a checksum cannot catch are typed
     /// errors: misfiled ids, tampered quant codes, width-zero shards.
     #[test]
@@ -539,6 +600,7 @@ mod tests {
                 num_shards: 3,
                 encode_batch: 4,
                 precision: ScanPrecision::Int8 { widen: 2 },
+                ..Default::default()
             },
         );
         let good = snapshot_index(&index, 1, None, None);
@@ -619,6 +681,7 @@ mod tests {
             num_shards: 3,
             encode_batch: 8,
             precision: ScanPrecision::Int8 { widen: 2 },
+            ..Default::default()
         };
         let apply = |index: &mut ShardedIndex, op: &WalOp| match op {
             WalOp::Insert { id, row } => index.insert_row(*id, row),
@@ -693,6 +756,7 @@ mod tests {
             num_shards: 2,
             encode_batch: 4,
             precision: ScanPrecision::F32,
+            ..Default::default()
         };
         let build = |compact: bool| {
             let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
@@ -762,6 +826,7 @@ mod tests {
             num_shards: 2,
             encode_batch: 4,
             precision: ScanPrecision::F32,
+            ..Default::default()
         };
         let inner = Arc::new(MemStorage::new());
         let faulty = Arc::new(FaultStorage::new(Arc::clone(&inner) as Arc<dyn Storage>));

@@ -49,6 +49,27 @@ pub enum ScanPrecision {
         /// exactness never depends on it.
         widen: usize,
     },
+    /// IVF approximate scan: each shard clusters its rows into coarse
+    /// cells (deterministic seeded k-means, [`gbm_quant::IvfCells`]),
+    /// scores the query against cell centroids only, visits the member
+    /// rows of the `nprobe` nearest cells over the int8 code mirror, and
+    /// exact-f32 re-ranks the approximate top-`widen · k` survivors.
+    /// Sub-linear in pool size — and, unlike `F32`/`Int8`, **approximate**:
+    /// rows whose cell isn't probed are never seen, so the contract is a
+    /// measured recall floor (`gbm-eval`, `probe_quant`), not rank
+    /// identity. Shards below [`gbm_quant::IVF_MIN_TRAIN_ROWS`] rows stay
+    /// untrained and fall back to the exact int8 path, so small pools keep
+    /// bit-identical rankings.
+    Ivf {
+        /// Cells probed per shard per query (`0` is clamped to 1; values
+        /// past the cell count visit every cell). Higher `nprobe` trades
+        /// scan speed for recall — the recall@K-vs-nprobe sweep in
+        /// EXPERIMENTS.md quantifies the curve.
+        nprobe: usize,
+        /// Re-rank width: the `widen · k` best approximate candidates from
+        /// the probed cells get exact f32 scores (`0` is clamped to 1).
+        widen: usize,
+    },
 }
 
 /// The int8 mirror of one shard's embedding rows: maintained alongside the
@@ -63,15 +84,17 @@ pub struct QuantizedShard {
     /// mirroring the code matrix) — what lets removal recompute the exact
     /// maxima below instead of leaving them stale.
     l1s: Vec<f32>,
-    /// Largest scale among the **live** rows. Removing the max-scale row
-    /// recomputes this exactly over the survivors, so the error margin
-    /// tracks the pool that actually remains: after an outlier row leaves,
-    /// the margin shrinks back and the coarse scan stops over-admitting
-    /// candidates on its account.
-    max_scale: f32,
-    /// Largest L1 norm among the live rows (same exact-on-remove
-    /// maintenance).
-    max_l1: f32,
+    /// Largest quantization scale per `SCAN_BLOCK` of live rows. Block
+    /// granularity (rather than one shard-wide maximum) lets the margin
+    /// scan cut each block against *its own* error bound: one outlier row
+    /// fattens only its block's margin, not the whole shard's, which
+    /// strictly shrinks the candidate zone in the near-duplicate regime
+    /// (regression-tested below). Removal recomputes only the two touched
+    /// blocks exactly — O(`SCAN_BLOCK`) — so the bounds track the live
+    /// pool instead of ratcheting up under churn.
+    block_scale: Vec<f32>,
+    /// Largest row L1 norm per `SCAN_BLOCK` (same maintenance).
+    block_l1: Vec<f32>,
 }
 
 impl QuantizedShard {
@@ -89,31 +112,51 @@ impl QuantizedShard {
         mat.push_row(row);
         let l1 = row.iter().map(|v| v.abs()).sum();
         self.l1s.push(l1);
-        self.max_scale = self.max_scale.max(mat.scale(mat.rows() - 1));
-        self.max_l1 = self.max_l1.max(l1);
+        let r = mat.rows() - 1;
+        let b = r / SCAN_BLOCK;
+        let scale = mat.scale(r);
+        if b == self.block_scale.len() {
+            self.block_scale.push(scale);
+            self.block_l1.push(l1);
+        } else {
+            self.block_scale[b] = self.block_scale[b].max(scale);
+            self.block_l1[b] = self.block_l1[b].max(l1);
+        }
     }
 
     /// Swap-fill removal of row `r` (call in lockstep with the f32
-    /// matrix's swap-remove). When the removed row held the maximum scale
-    /// or L1 norm, the maximum is recomputed exactly over the surviving
-    /// rows — an O(rows) pass paid only on those removals — so
-    /// [`max_dot_error`](Self::max_dot_error) stays the tight bound for
-    /// the live pool instead of ratcheting up forever under churn.
+    /// matrix's swap-remove). The swap disturbs at most two blocks — the
+    /// one `r` lives in (filled by the old last row) and the final block
+    /// (which shrank) — and both get their maxima recomputed exactly, an
+    /// O(`SCAN_BLOCK`) pass, so [`max_dot_error`](Self::max_dot_error) and
+    /// the per-block bounds stay tight for the live pool instead of
+    /// ratcheting up forever under churn.
     pub fn swap_remove_row(&mut self, r: usize) {
         let mat = self
             .mat
             .as_mut()
             .expect("remove on an empty quantized shard");
-        let removed_scale = mat.scale(r);
-        let removed_l1 = self.l1s[r];
         mat.swap_remove_row(r);
         self.l1s.swap_remove(r);
-        if removed_scale >= self.max_scale {
-            self.max_scale = (0..mat.rows()).map(|i| mat.scale(i)).fold(0.0, f32::max);
+        let nblocks = mat.rows().div_ceil(SCAN_BLOCK);
+        self.block_scale.truncate(nblocks);
+        self.block_l1.truncate(nblocks);
+        if nblocks > 0 {
+            self.recompute_block(nblocks - 1);
+            let rb = r / SCAN_BLOCK;
+            if rb < nblocks - 1 {
+                self.recompute_block(rb);
+            }
         }
-        if removed_l1 >= self.max_l1 {
-            self.max_l1 = self.l1s.iter().copied().fold(0.0, f32::max);
-        }
+    }
+
+    /// Recomputes block `b`'s maxima exactly over its live rows.
+    fn recompute_block(&mut self, b: usize) {
+        let mat = self.mat.as_ref().expect("recompute on an empty shard");
+        let lo = b * SCAN_BLOCK;
+        let hi = ((b + 1) * SCAN_BLOCK).min(mat.rows());
+        self.block_scale[b] = (lo..hi).map(|i| mat.scale(i)).fold(0.0, f32::max);
+        self.block_l1[b] = self.l1s[lo..hi].iter().copied().fold(0.0, f32::max);
     }
 
     /// Mirrored row count.
@@ -128,22 +171,42 @@ impl QuantizedShard {
         self.mat.as_ref()
     }
 
-    /// Bytes one full coarse scan touches (codes + scales).
+    /// Bytes one full coarse scan touches: codes + scales, plus the two
+    /// per-block bound arrays the margin cuts read.
     pub fn scan_bytes(&self) -> usize {
         self.mat.as_ref().map_or(0, |m| m.scan_bytes())
+            + (self.block_scale.len() + self.block_l1.len()) * std::mem::size_of::<f32>()
     }
 
     /// A bound on `|approx − exact|` valid for *every* row in this shard
     /// against the given query: [`gbm_quant::dot_error_bound`] evaluated
-    /// at the shard's per-row maxima (`l1_q` is the query's L1 norm),
-    /// padded 5% + ε for the f32 arithmetic the real-number derivation
-    /// ignores. Padding only admits more candidates.
+    /// at the shard-wide maxima (the fold of the per-block maxima; `l1_q`
+    /// is the query's L1 norm), padded 5% + ε for the f32 arithmetic the
+    /// real-number derivation ignores. Padding only admits more
+    /// candidates.
     pub fn max_dot_error(&self, q: &QuantizedVector, l1_q: f32) -> f32 {
+        let max_scale = self.block_scale.iter().copied().fold(0.0, f32::max);
+        let max_l1 = self.block_l1.iter().copied().fold(0.0, f32::max);
         let n = q.codes.len() as f32;
-        let bound = self.max_scale * 0.5 * l1_q
-            + q.scale * 0.5 * self.max_l1
-            + n * q.scale * self.max_scale * 0.25;
+        let bound =
+            max_scale * 0.5 * l1_q + q.scale * 0.5 * max_l1 + n * q.scale * max_scale * 0.25;
         bound * 1.05 + 1e-6
+    }
+
+    /// The per-block analogue of [`max_dot_error`](Self::max_dot_error):
+    /// `bounds[b]` caps `|approx − exact|` for every row of block `b`
+    /// (same formula, evaluated at that block's maxima, same 5% + ε
+    /// padding). By construction `bounds[b] ≤ max_dot_error` for every
+    /// block, which is what makes the blocked margin cut strictly tighter.
+    pub fn block_bounds(&self, q: &QuantizedVector, l1_q: f32) -> Vec<f32> {
+        let n = q.codes.len() as f32;
+        self.block_scale
+            .iter()
+            .zip(&self.block_l1)
+            .map(|(&bs, &bl)| {
+                (bs * 0.5 * l1_q + q.scale * 0.5 * bl + n * q.scale * bs * 0.25) * 1.05 + 1e-6
+            })
+            .collect()
     }
 
     /// The candidate rows an exact re-rank must score to reproduce the f32
@@ -220,6 +283,81 @@ impl QuantizedShard {
         }
         if let Some(t) = threshold(&best, kprime, margin) {
             cands.retain(|&(_, s)| s >= t);
+        }
+        cands.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        cands
+    }
+
+    /// [`scan_candidates`](Self::scan_candidates) with the margin applied
+    /// *per block* instead of shard-wide — the tighter cut the per-block
+    /// bounds buy. Block `b`'s margin is `bounds[b] + max_b bounds[b]`:
+    /// a true top-k row `x` in block `b` exactly beats some row `y` of the
+    /// running top-`kprime`, so
+    /// `approx(x) ≥ exact(x) − bounds[b(x)] ≥ approx(y) − bounds[b(y)] −
+    /// bounds[b(x)] ≥ t − max_bound − bounds[b(x)]` — the same containment
+    /// proof as the uniform `2 · max_dot_error` margin, with one of the
+    /// two error terms evaluated at the candidate's own block. Since
+    /// `bounds[b] ≤ max_bound` everywhere, every cut is at least as tight
+    /// as the uniform one, and strictly tighter for any block whose maxima
+    /// sit below the shard's (one outlier row no longer fattens every
+    /// block's margin). Output contract matches `scan_candidates`:
+    /// `(row, approx_score)` sorted by `(score desc, row asc)`, floor of
+    /// `kprime` rows always kept.
+    pub fn scan_candidates_blocked(
+        &self,
+        q: &QuantizedVector,
+        l1_q: f32,
+        kprime: usize,
+    ) -> Vec<(usize, f32)> {
+        let Some(mat) = &self.mat else {
+            return Vec::new();
+        };
+        if kprime == 0 {
+            return Vec::new();
+        }
+        let bounds = self.block_bounds(q, l1_q);
+        let max_bound = bounds.iter().copied().fold(0.0, f32::max);
+        let margins: Vec<f32> = bounds.iter().map(|&b| b + max_bound).collect();
+        let rows = mat.rows();
+        let mut best: Vec<(usize, f32)> = Vec::new();
+        let mut cands: Vec<(usize, f32)> = Vec::new();
+        let mut scores = [0.0f32; SCAN_BLOCK];
+        let mut start = 0;
+        while start < rows {
+            let n = SCAN_BLOCK.min(rows - start);
+            let b = start / SCAN_BLOCK;
+            let mut block_max = f32::NEG_INFINITY;
+            for (i, s) in scores[..n].iter_mut().enumerate() {
+                *s = mat.approx_dot(start + i, q);
+                block_max = block_max.max(*s);
+            }
+            let cut = (best.len() >= kprime).then(|| best[kprime - 1].1);
+            if cut.is_none_or(|c| block_max >= c) {
+                best = merge_row_ranked(
+                    best,
+                    top_k(&scores[..n], kprime)
+                        .into_iter()
+                        .map(|(r, s)| (r + start, s))
+                        .collect(),
+                    kprime,
+                );
+            }
+            let cut = (best.len() >= kprime).then(|| best[kprime - 1].1);
+            let t = cut.map(|c| c - margins[b]);
+            for (i, &s) in scores[..n].iter().enumerate() {
+                if t.is_none_or(|t| s >= t) {
+                    cands.push((start + i, s));
+                }
+            }
+            if cands.len() > kprime + SCAN_BLOCK {
+                if let Some(c) = cut {
+                    cands.retain(|&(r, s)| s >= c - margins[r / SCAN_BLOCK]);
+                }
+            }
+            start += n;
+        }
+        if let Some(c) = (best.len() >= kprime).then(|| best[kprime - 1].1) {
+            cands.retain(|&(r, s)| s >= c - margins[r / SCAN_BLOCK]);
         }
         cands.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         cands
@@ -374,8 +512,108 @@ mod tests {
         let mut shard = QuantizedShard::new();
         shard.push_row(&[1.0; 16]);
         shard.push_row(&[2.0; 16]);
-        assert_eq!(shard.scan_bytes(), 2 * (16 + 4));
+        // codes + scales, plus one block's worth of bound entries (2 f32s)
+        assert_eq!(shard.scan_bytes(), 2 * (16 + 4) + 8);
         shard.swap_remove_row(0);
-        assert_eq!(shard.scan_bytes(), 16 + 4);
+        assert_eq!(shard.scan_bytes(), 16 + 4 + 8);
+        shard.swap_remove_row(0);
+        assert_eq!(
+            shard.scan_bytes(),
+            0,
+            "drained shard drops its bound blocks"
+        );
+    }
+
+    /// The per-block satellite's regression: one outlier row must fatten
+    /// only *its* block's margin. A near-duplicate cluster holds the top
+    /// scores, an outlier in the same block blows up that block's bound,
+    /// and a separate tame block holds rows spread across the margin zone
+    /// — the shard-wide margin (2·max bound) admits them all, the blocked
+    /// margin (tame bound + max bound) cuts strictly deeper, and both
+    /// candidate sets still re-rank to the exact f32 top-k.
+    #[test]
+    fn per_block_margins_strictly_shrink_the_candidate_zone() {
+        let hidden = 16;
+        let base: Vec<f32> = (0..hidden)
+            .map(|i| ((i as f32) * 0.37).sin() + 1.1)
+            .collect();
+        let mut shard = QuantizedShard::new();
+        let mut all_rows: Vec<Vec<f32>> = Vec::new();
+        let mut push = |shard: &mut QuantizedShard, row: Vec<f32>| {
+            shard.push_row(&row);
+            all_rows.push(row);
+        };
+        // block 0: near-duplicates of the query + one huge outlier
+        for r in 0..SCAN_BLOCK {
+            if r == 7 {
+                push(&mut shard, (0..hidden).map(|i| 30.0 + i as f32).collect());
+            } else {
+                let mut row = base.clone();
+                row[0] += r as f32 * 1e-5;
+                push(&mut shard, row);
+            }
+        }
+        // block 1: tame rows whose scores ramp down smoothly below the top
+        // cluster, right through the two competing margin cuts
+        for r in 0..SCAN_BLOCK {
+            let alpha = 0.9 - r as f32 * (1.8 / SCAN_BLOCK as f32); // 0.9 → −0.9
+            push(&mut shard, base.iter().map(|v| v * alpha).collect());
+        }
+
+        let q = quantize_vector(&base);
+        let l1_q: f32 = base.iter().map(|v| v.abs()).sum();
+        let kprime = 8;
+        let uniform = shard.scan_candidates(&q, kprime, 2.0 * shard.max_dot_error(&q, l1_q));
+        let blocked = shard.scan_candidates_blocked(&q, l1_q, kprime);
+        assert!(
+            blocked.len() < uniform.len(),
+            "blocked margins must admit strictly fewer candidates ({} vs {})",
+            blocked.len(),
+            uniform.len()
+        );
+        assert!(blocked.len() >= kprime, "coarse floor always kept");
+        let uniform_rows: std::collections::HashSet<usize> =
+            uniform.iter().map(|&(r, _)| r).collect();
+        assert!(
+            blocked.iter().all(|&(r, _)| uniform_rows.contains(&r)),
+            "tighter cut only drops candidates, never adds"
+        );
+
+        // exactness: re-ranking the blocked candidates with true f32 dots
+        // reproduces the exact top-k (ids and scores)
+        let dot = |row: &[f32]| -> f32 { row.iter().zip(&base).map(|(a, b)| a * b).sum() };
+        let mut exact: Vec<(usize, f32)> = all_rows.iter().map(|r| dot(r)).enumerate().collect();
+        exact.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let k = 5;
+        let mut rerank: Vec<(usize, f32)> = blocked
+            .iter()
+            .map(|&(r, _)| (r, dot(&all_rows[r])))
+            .collect();
+        rerank.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        assert_eq!(
+            &rerank[..k],
+            &exact[..k],
+            "blocked cut keeps the true top-k"
+        );
+    }
+
+    /// On a homogeneous single-block pool the per-block and shard-wide
+    /// margins coincide, so both scans must return the identical set.
+    #[test]
+    fn blocked_scan_matches_uniform_on_a_single_block() {
+        let hidden = 8;
+        let rows = synth_rows(SCAN_BLOCK / 2, hidden);
+        let mut shard = QuantizedShard::new();
+        for row in rows.chunks_exact(hidden) {
+            shard.push_row(row);
+        }
+        let query: Vec<f32> = (0..hidden).map(|i| (i as f32 * 0.3).sin()).collect();
+        let q = quantize_vector(&query);
+        let l1_q: f32 = query.iter().map(|v| v.abs()).sum();
+        for kprime in [1usize, 5, 40] {
+            let uniform = shard.scan_candidates(&q, kprime, 2.0 * shard.max_dot_error(&q, l1_q));
+            let blocked = shard.scan_candidates_blocked(&q, l1_q, kprime);
+            assert_eq!(uniform, blocked, "kprime={kprime}");
+        }
     }
 }

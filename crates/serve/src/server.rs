@@ -97,8 +97,9 @@ impl Default for ServerConfig {
 impl ServerConfig {
     /// Applies the serving environment knobs on top of this config:
     /// `GBM_SERVE_WORKERS` (scan worker threads) and, via
-    /// [`CoalescerConfig::with_env`], `GBM_FLUSH_TICKS`. Invalid values
-    /// warn on stderr and leave the built-in defaults in force.
+    /// [`CoalescerConfig::with_env`] and [`IndexConfig::with_env`],
+    /// `GBM_FLUSH_TICKS` / `GBM_IVF_CELLS` / `GBM_SCAN_NPROBE`. Invalid
+    /// values warn on stderr and leave the built-in defaults in force.
     pub fn with_env(mut self) -> ServerConfig {
         if let Some(w) =
             crate::env::env_knob::<usize>("GBM_SERVE_WORKERS", "a scan worker thread count")
@@ -106,6 +107,7 @@ impl ServerConfig {
             self.scan_workers = w;
         }
         self.coalescer = self.coalescer.with_env();
+        self.index = self.index.with_env();
         self
     }
 }
@@ -911,11 +913,21 @@ mod tests {
             rows[40 * hidden..41 * hidden].to_vec(),
         ];
         for shards in [1usize, 2, 7] {
-            for precision in [ScanPrecision::F32, ScanPrecision::Int8 { widen: 2 }] {
+            for precision in [
+                ScanPrecision::F32,
+                ScanPrecision::Int8 { widen: 2 },
+                // approximate, but deterministic: the concurrent fan-out
+                // must still equal the single-threaded scan bit for bit
+                ScanPrecision::Ivf {
+                    nprobe: 2,
+                    widen: 2,
+                },
+            ] {
                 let icfg = IndexConfig {
                     num_shards: shards,
                     encode_batch: 8,
                     precision,
+                    ..Default::default()
                 };
                 let reference = ShardedIndex::from_rows(&rows, hidden, icfg);
                 for workers in [1usize, 2, 3] {
@@ -1238,6 +1250,7 @@ mod tests {
             num_shards: 3,
             encode_batch: 4,
             precision: ScanPrecision::Int8 { widen: 2 },
+            ..Default::default()
         };
         let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
         let dcfg = DurabilityConfig::new("/srv");
@@ -1312,6 +1325,7 @@ mod tests {
             num_shards: 2,
             encode_batch: 4,
             precision: ScanPrecision::F32,
+            ..Default::default()
         };
         let faulty = Arc::new(FaultStorage::new(Arc::new(MemStorage::new())));
         let storage: Arc<dyn Storage> = Arc::clone(&faulty) as Arc<dyn Storage>;
@@ -1409,6 +1423,7 @@ mod tests {
             num_shards: 7,
             encode_batch: 8,
             precision: ScanPrecision::Int8 { widen: 2 },
+            ..Default::default()
         };
         let reference = ShardedIndex::from_rows(&rows, hidden, icfg);
         let server = Server::from_rows(

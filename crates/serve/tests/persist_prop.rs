@@ -20,7 +20,7 @@ proptest! {
     #[test]
     fn snapshot_byte_roundtrip_is_identity(
         num_shards in prop_oneof![Just(1usize), Just(2usize), Just(7usize)],
-        widen in 0usize..4, // 0 selects F32, otherwise Int8 { widen }
+        widen in 0usize..5, // 0 → F32, 1..=3 → Int8 { widen }, 4 → Ivf
         hidden in 1usize..6,
         // ids drawn from a small space so collisions (replacements) and
         // removals actually hit, scrambling swap-fill row order
@@ -28,15 +28,19 @@ proptest! {
         seeds in proptest::collection::vec(-2.0f32..2.0, 40),
         removals in proptest::collection::vec(0u64..24, 0..8),
     ) {
-        let precision = if widen == 0 {
-            ScanPrecision::F32
-        } else {
-            ScanPrecision::Int8 { widen }
+        let precision = match widen {
+            0 => ScanPrecision::F32,
+            // these pools stay below the IVF training threshold, so the
+            // Ivf scan falls back to the exact int8 path and stays
+            // rank-identical through the round trip
+            4 => ScanPrecision::Ivf { nprobe: 2, widen: 2 },
+            w => ScanPrecision::Int8 { widen: w },
         };
         let cfg = IndexConfig {
             num_shards,
             encode_batch: 4,
             precision,
+            ..Default::default()
         };
         let mut index = ShardedIndex::new(cfg);
         let mut query = vec![0.0f32; hidden];

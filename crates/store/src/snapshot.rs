@@ -45,6 +45,19 @@ pub enum PrecisionTag {
         /// Re-rank widening factor.
         widen: u32,
     },
+    /// IVF approximate scan: probe `nprobe` coarse cells over the int8
+    /// mirror, exact-re-rank `widen · k` survivors. `cells` is the
+    /// configured per-shard cell count (0 = auto). The cell structures
+    /// themselves are *not* imaged — they are a deterministic function of
+    /// the stored rows and retrain on restore.
+    Ivf {
+        /// Probed cells per shard per query.
+        nprobe: u32,
+        /// Re-rank widening factor.
+        widen: u32,
+        /// Configured cells per shard (0 = auto `≈√rows`).
+        cells: u32,
+    },
 }
 
 /// The int8 mirror of one shard: per-row symmetric codes plus scales.
@@ -154,6 +167,16 @@ pub fn encode_snapshot(data: &SnapshotData) -> Vec<u8> {
             cfg.u8(1);
             cfg.u32(widen);
         }
+        PrecisionTag::Ivf {
+            nprobe,
+            widen,
+            cells,
+        } => {
+            cfg.u8(2);
+            cfg.u32(nprobe);
+            cfg.u32(widen);
+            cfg.u32(cells);
+        }
     }
     cfg.u32(data.hidden);
     cfg.u64(data.last_seq);
@@ -220,6 +243,11 @@ fn decode_config(payload: &[u8]) -> Result<SnapshotData, StoreError> {
         }
         1 => PrecisionTag::Int8 {
             widen: r.u32("config widen")?,
+        },
+        2 => PrecisionTag::Ivf {
+            nprobe: r.u32("config nprobe")?,
+            widen: r.u32("config widen")?,
+            cells: r.u32("config cells")?,
         },
         other => {
             return Err(StoreError::Malformed {
@@ -529,6 +557,26 @@ mod tests {
             model: None,
         };
         assert_eq!(decode_snapshot(&encode_snapshot(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn ivf_precision_tag_roundtrips() {
+        let mut data = sample(9);
+        data.precision = PrecisionTag::Ivf {
+            nprobe: 6,
+            widen: 3,
+            cells: 0,
+        };
+        let decoded = decode_snapshot(&encode_snapshot(&data)).unwrap();
+        assert_eq!(decoded, data);
+        assert_eq!(
+            decoded.precision,
+            PrecisionTag::Ivf {
+                nprobe: 6,
+                widen: 3,
+                cells: 0
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Blocked centroid-distance kernels for IVF coarse probing.
+//!
+//! The serving layer's IVF scan (`gbm-quant`'s cell index behind
+//! `gbm_serve::ScanPrecision::Ivf`) ranks a query against a shard's coarse
+//! centroids before visiting any rows: per centroid `c` it needs the
+//! squared Euclidean distance `‖q − c‖² = ‖q‖² − 2·q·c + ‖c‖²`, and since
+//! `‖q‖²` is constant across centroids the probe order only depends on
+//! `‖c‖² − 2·q·c` — one dot product per centroid plus a precomputed squared
+//! norm. [`centroid_sq_dists`] evaluates exactly that over a dense
+//! row-major centroid matrix, with the dot ([`dot_f32_blocked`]) split
+//! across four independent accumulator lanes so the compiler can keep the
+//! multiply-adds in flight instead of serializing on one register.
+//!
+//! Unlike the serving scan's scalar `dot` (whose accumulation order is
+//! pinned to stay bit-identical to `EmbeddingStore::cosine`), these kernels
+//! feed *approximate* probing — nothing downstream depends on their exact
+//! rounding, so the lane split is free to reorder the sum. K-means training
+//! in `gbm-quant` uses the same kernels for row→centroid assignment, which
+//! keeps training deterministic (fixed lane layout, fixed iteration order)
+//! without tying it to the exact-scan accumulation order.
+
+/// Accumulator lanes in [`dot_f32_blocked`]: enough independent chains to
+/// hide FMA latency at embedding widths (64–256), small enough that the
+/// remainder loop stays trivial.
+const LANES: usize = 4;
+
+/// Dot product `Σ a[i]·b[i]` accumulated in [`LANES`] independent partial
+/// sums (deterministic: the lane layout is fixed, so the result is a pure
+/// function of the inputs — just not the same rounding as a serial sum).
+/// Slices must be the same length (hard assert, like `dot_i8_blocked`).
+#[inline]
+pub fn dot_f32_blocked(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_f32_blocked requires equal lengths");
+    let mut acc = [0.0f32; LANES];
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in ac.remainder().iter().zip(bc.remainder().iter()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Fills `out[c] = sqnorms[c] − 2·query·centroids[c]` for every centroid —
+/// the query-independent-offset squared distance that orders IVF probes
+/// (`‖q − c‖²` minus the constant `‖q‖²`). `centroids` is dense row-major
+/// `[ncells × hidden]` with `hidden = query.len()`; `sqnorms[c]` must be
+/// `‖centroids[c]‖²` (the caller precomputes it once per training round).
+pub fn centroid_sq_dists(centroids: &[f32], sqnorms: &[f32], query: &[f32], out: &mut Vec<f32>) {
+    let hidden = query.len();
+    assert!(hidden > 0, "centroid_sq_dists requires a non-empty query");
+    assert_eq!(
+        centroids.len(),
+        sqnorms.len() * hidden,
+        "centroid matrix must be [ncells x hidden]"
+    );
+    out.clear();
+    out.extend(
+        centroids
+            .chunks_exact(hidden)
+            .zip(sqnorms.iter())
+            .map(|(c, &sq)| sq - 2.0 * dot_f32_blocked(query, c)),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn hand_checked_and_remainder_paths() {
+        assert_eq!(dot_f32_blocked(&[], &[]), 0.0);
+        assert_eq!(dot_f32_blocked(&[3.0], &[-4.0]), -12.0);
+        // lengths straddling the lane boundary exercise body + remainder
+        for len in [1usize, LANES - 1, LANES, LANES + 1, 7 * LANES + 3] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.91).cos()).collect();
+            let got = dot_f32_blocked(&a, &b);
+            let want = naive_dot(&a, &b);
+            assert!((got - want).abs() < 1e-4, "len={len}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn sq_dists_order_matches_true_distances() {
+        // 3 centroids in 2-D at distinct distances from the query: the
+        // offset form must rank them exactly like the true ‖q − c‖²
+        let centroids = [0.0f32, 0.0, 3.0, 4.0, 1.0, 1.0];
+        let sqnorms = [0.0f32, 25.0, 2.0];
+        let query = [1.0f32, 0.0];
+        let mut out = Vec::new();
+        centroid_sq_dists(&centroids, &sqnorms, &query, &mut out);
+        assert_eq!(out.len(), 3);
+        let q_sq = 1.0f32;
+        let true_d = [1.0f32, 20.0, 1.0]; // ‖q−c‖² per centroid
+        for (c, &d) in true_d.iter().enumerate() {
+            assert!(
+                (out[c] + q_sq - d).abs() < 1e-5,
+                "centroid {c}: offset {} + ‖q‖² must equal {d}",
+                out[c]
+            );
+        }
+    }
+
+    #[test]
+    fn output_buffer_is_reused_not_appended() {
+        let mut out = vec![9.0f32; 7];
+        centroid_sq_dists(&[1.0, 0.0], &[1.0], &[0.5, 0.5], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The lane-split dot tracks an f64 reference within f32 round-off
+        /// — the lanes reorder the sum, never change what is summed.
+        #[test]
+        fn lane_split_tracks_f64_reference(
+            a in proptest::collection::vec(-3.0f32..3.0, 0..200),
+            b_seed in proptest::collection::vec(-3.0f32..3.0, 0..200),
+        ) {
+            let n = a.len().min(b_seed.len());
+            let (a, b) = (&a[..n], &b_seed[..n]);
+            let exact: f64 = a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum();
+            let got = dot_f32_blocked(a, b) as f64;
+            // per-term magnitude ≤ 9, so round-off scales with n
+            prop_assert!(
+                (got - exact).abs() <= 1e-4 * (n as f64 + 1.0),
+                "got {got} exact {exact} n {n}"
+            );
+        }
+
+        /// The offset distances rank centroids exactly like the true
+        /// squared distances (the constant ‖q‖² cancels in every
+        /// comparison).
+        #[test]
+        fn offsets_preserve_distance_ranking(
+            flat in proptest::collection::vec(-2.0f32..2.0, 2..96),
+            query_seed in proptest::collection::vec(-2.0f32..2.0, 1..8),
+        ) {
+            let hidden = query_seed.len();
+            let ncells = flat.len() / hidden;
+            if ncells >= 2 {
+                let cents = &flat[..ncells * hidden];
+                let sqnorms: Vec<f32> = cents
+                    .chunks_exact(hidden)
+                    .map(|c| c.iter().map(|v| v * v).sum())
+                    .collect();
+                let mut out = Vec::new();
+                centroid_sq_dists(cents, &sqnorms, &query_seed, &mut out);
+                let true_d: Vec<f32> = cents
+                    .chunks_exact(hidden)
+                    .map(|c| {
+                        c.iter()
+                            .zip(&query_seed)
+                            .map(|(ci, qi)| (qi - ci) * (qi - ci))
+                            .sum()
+                    })
+                    .collect();
+                for i in 0..ncells {
+                    for j in 0..ncells {
+                        // a decisive true-distance gap must survive the
+                        // offset form (tiny gaps may round either way)
+                        if true_d[i] + 1e-3 < true_d[j] {
+                            prop_assert!(
+                                out[i] < out[j] + 1e-2,
+                                "centroids {i},{j}: {} vs {} (true {} vs {})",
+                                out[i], out[j], true_d[i], true_d[j]
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -45,6 +45,7 @@
 //! assert!((w.value().data()[0] - 2.0).abs() < 1e-3);
 //! ```
 
+mod centdist;
 mod graph;
 mod init;
 mod intdot;
@@ -64,6 +65,7 @@ mod tensor;
 
 pub mod gradcheck;
 
+pub use centdist::{centroid_sq_dists, dot_f32_blocked};
 pub use graph::{Graph, Var};
 pub use init::{glorot_uniform, normal, uniform};
 pub use intdot::dot_i8_blocked;

@@ -154,6 +154,7 @@ fn main() {
             num_shards: 4,
             encode_batch: 8,
             precision: ScanPrecision::Int8 { widen: 2 },
+            ..Default::default()
         },
     );
     let f32_index = ShardedIndex::build(

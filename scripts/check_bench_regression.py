@@ -41,7 +41,11 @@ run*:
   `scan_f32 / best scan_i8_*` (the int8 coarse-scan + exact-re-rank win
   over the dense f32 scan; the bench itself asserts ranking equivalence
   before timing, so an equivalence regression fails the bench step
-  outright).
+  outright) and the IVF path: `i8_vs_ivf_scan = best scan_i8_* /
+  scan_ivf` (the sub-linear win over the full int8 scan), plus two
+  absolute floors from `meta.ivf_floors` — every printed
+  `<group>/recall_ivf` row must reach `min_recall_at_10`, and at full
+  scale the IVF speedup must reach `min_speedup_full`.
 
 * `serve_concurrent`: per pool group, two ratio families against
   BENCH_serve_concurrent.json — `scaling_tT = scan_t1 / scan_tT` (the
@@ -152,6 +156,9 @@ def serve_query_ratios(times: dict) -> dict:
         scan_i8 = [t for name, t in times.items() if name.startswith(f"{g}/scan_i8_")]
         if scan_f32 is not None and scan_i8:
             out[f"{g}/f32_vs_i8_scan"] = scan_f32 / min(scan_i8)
+        scan_ivf = times.get(f"{g}/scan_ivf")
+        if scan_ivf is not None and scan_i8:
+            out[f"{g}/i8_vs_ivf_scan"] = min(scan_i8) / scan_ivf
     return out
 
 
@@ -178,6 +185,51 @@ def serve_concurrent_ratios(times: dict) -> dict:
                 if p99 is not None:
                     out[f"{g}/tail_t{tt}"] = t / p99
     return out
+
+
+RECALL_ROW = re.compile(r"(?P<name>\S+/recall_ivf):\s+(?P<value>[0-9.]+)")
+
+
+def ivf_floor_failures(run_text: str, fresh: dict, baseline_doc: dict, quick: bool) -> list:
+    """Absolute IVF gates from `meta.ivf_floors`: every printed
+    `<group>/recall_ivf` row must reach `min_recall_at_10`, and (full scale
+    only — quick pools are too small for the sub-linear win to be stable)
+    `min(scan_i8_*) / scan_ivf` must reach `min_speedup_full`. Unlike the
+    ratio gates these do not drift with the baseline: they are the
+    acceptance criteria themselves."""
+    floors = baseline_doc.get("meta", {}).get("ivf_floors", {})
+    msgs = []
+    min_recall = floors.get("min_recall_at_10")
+    if min_recall is not None:
+        recalls = RECALL_ROW.findall(run_text)
+        groups_with_ivf = {
+            name.split("/")[0] for name in fresh if name.endswith("/scan_ivf")
+        }
+        if groups_with_ivf and not recalls:
+            msgs.append(
+                "scan_ivf was timed but no recall_ivf row was printed — "
+                "rerun the bench without filtering its stdout"
+            )
+        for name, val in recalls:
+            if float(val) < min_recall:
+                msgs.append(
+                    f"{name}: recall {float(val):.3f} below the {min_recall} floor"
+                )
+    min_speedup = floors.get("min_speedup_full")
+    if min_speedup is not None and not quick:
+        groups = {name.split("/")[0] for name in fresh}
+        for g in sorted(groups):
+            ivf = fresh.get(f"{g}/scan_ivf")
+            i8 = [t for name, t in fresh.items() if name.startswith(f"{g}/scan_i8_")]
+            if ivf is None or not i8:
+                continue
+            speedup = min(i8) / ivf
+            if speedup < min_speedup:
+                msgs.append(
+                    f"{g}: IVF speedup over the int8 full scan {speedup:.2f}x "
+                    f"below the {min_speedup}x floor"
+                )
+    return msgs
 
 
 def p99_ceiling_failures(fresh: dict, baseline_doc: dict, quick: bool) -> list:
@@ -259,6 +311,11 @@ def main() -> int:
         for msg in ceiling_failures:
             print(f"CEILING: {msg}")
         failed |= bool(ceiling_failures)
+    if bench == "serve_query":
+        floor_failures = ivf_floor_failures(run_text, fresh, baseline_doc, quick)
+        for msg in floor_failures:
+            print(f"FLOOR: {msg}")
+        failed |= bool(floor_failures)
     if failed:
         print(f"\n{bench} ratios regressed; see {BASELINES[bench].name} for baselines")
         return 1
