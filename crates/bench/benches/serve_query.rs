@@ -50,19 +50,30 @@
 //!   gates `i8_vs_ivf_scan` (the sub-linear win over the full int8 scan
 //!   on the same pool) and both floors.
 //!
+//! * `server_metrics_on` / `server_metrics_off` (`serve_query_obs_*`
+//!   groups) — the concurrent [`Server`] query fan-out over the spread
+//!   pool with the `gbm-obs` registry enabled (tracing off — the shipped
+//!   default) vs instrumented out (`ObsConfig { metrics: false }`, every
+//!   record site a dead `if let` branch). `check_bench_regression.py`
+//!   gates `on/off ≤ meta.metrics_overhead.max_ratio` (3%) — the
+//!   "metrics are free enough to leave on" contract.
+//!
 //! Scale: `GBM_BENCH_SCALE=quick` runs the CI smoke subset (128-graph
 //! pool); the default covers the 1024-graph pool of the acceptance
 //! criterion. Baselines live in `BENCH_serve_query.json`;
 //! `scripts/check_bench_regression.py --bench serve_query` gates the
 //! speedup ratios (head baseline vs reranked serve, cosine baseline vs
-//! cosine serve, f32 scan vs int8 scan).
+//! cosine serve, f32 scan vs int8 scan) plus the metrics-overhead
+//! ceiling.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use gbm_nn::{EmbeddingStore, EncodedGraph, GraphBinMatch, GraphBinMatchConfig};
 use gbm_serve::{
-    CoalescerConfig, EncodeCoalescer, IndexConfig, ScanPrecision, ShardedIndex, VirtualClock,
+    CoalescerConfig, EncodeCoalescer, IndexConfig, ObsConfig, ScanPrecision, Server, ServerConfig,
+    ShardedIndex, VirtualClock,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -363,6 +374,87 @@ fn bench_scan(
     g.finish();
 }
 
+/// The metrics-overhead pair: the same concurrent [`Server`] query sweep
+/// with the `gbm-obs` registry enabled (tracing off — the shipped default
+/// `ObsConfig`) vs instrumented out (`metrics: false`, which leaves every
+/// record site a dead `if let` branch). Identical rankings are asserted
+/// before timing; `check_bench_regression.py` gates the on/off time ratio
+/// against `meta.metrics_overhead.max_ratio` in `BENCH_serve_query.json`.
+///
+/// Measured outside criterion as *interleaved adjacent sweeps* (on, off,
+/// on, off, …) with per-side medians, printed in the harness's row format.
+/// Two separate measurement windows seconds apart would let host load
+/// drift land asymmetrically on one side and swamp a 3% ceiling on a
+/// shared CI box; interleaving puts any slowdown on both sides of each
+/// round, so it cancels in the ratio the gate checks, and the median
+/// discards transient spikes entirely.
+fn bench_metrics_overhead(label: &str, rows: &[f32], queries: &[Vec<f32>], hidden: usize) {
+    const K: usize = 10;
+    let mk = |metrics: bool| {
+        Server::from_rows(
+            rows,
+            hidden,
+            ServerConfig {
+                scan_workers: 2,
+                index: IndexConfig {
+                    num_shards: 4,
+                    encode_batch: 8,
+                    ..Default::default()
+                },
+                obs: ObsConfig {
+                    metrics,
+                    trace_sample: 0,
+                },
+                ..Default::default()
+            },
+            Arc::new(VirtualClock::new()),
+        )
+    };
+    let on = mk(true);
+    let off = mk(false);
+    for q in queries {
+        assert_eq!(
+            on.query(q, K),
+            off.query(q, K),
+            "instrumentation must not change rankings"
+        );
+    }
+
+    const ROUNDS: usize = 30;
+    let sweep = |server: &Server| {
+        let t = std::time::Instant::now();
+        for q in queries {
+            black_box(server.query(q, K));
+        }
+        t.elapsed().as_nanos() as u64
+    };
+    for _ in 0..3 {
+        sweep(&on);
+        sweep(&off);
+    }
+    let mut on_ns = Vec::with_capacity(ROUNDS);
+    let mut off_ns = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        on_ns.push(sweep(&on));
+        off_ns.push(sweep(&off));
+    }
+    on_ns.sort_unstable();
+    off_ns.sort_unstable();
+    let median_ms = |ns: &[u64]| ns[ns.len() / 2] as f64 / 1e6;
+    let group = format!("serve_query_obs_{label}");
+    println!("== {group} ==");
+    println!(
+        "{group}/server_metrics_on          time: {:>10.3} ms/iter  ({ROUNDS} iters, interleaved median)",
+        median_ms(&on_ns)
+    );
+    println!(
+        "{group}/server_metrics_off         time: {:>10.3} ms/iter  ({ROUNDS} iters, interleaved median)",
+        median_ms(&off_ns)
+    );
+    on.shutdown();
+    off.shutdown();
+}
+
 /// The spread scan pool: `n` random unit rows plus out-of-pool queries.
 fn spread_pool(n: usize, hidden: usize, num_queries: usize) -> (Vec<f32>, Vec<Vec<f32>>) {
     let rows = gbm_bench::synth_unit_rows(n, hidden, 42);
@@ -385,12 +477,14 @@ fn bench_serve_query(c: &mut Criterion) {
     if quick_mode() {
         bench_pool(c, "tiny_128", 128, 16);
         let (rows, queries) = spread_pool(4096, 64, 8);
+        bench_metrics_overhead("4k_h64", &rows, &queries, 64);
         bench_scan(c, "4k_h64", rows, queries, 64, false);
         let (rows, queries) = clustered_pool(4096, 64, 8);
         bench_scan(c, "clus4k_h64", rows, queries, 64, true);
     } else {
         bench_pool(c, "tiny_1k", 1024, 32);
         let (rows, queries) = spread_pool(16384, 128, 16);
+        bench_metrics_overhead("16k_h128", &rows, &queries, 128);
         bench_scan(c, "16k_h128", rows, queries, 128, false);
         let (rows, queries) = clustered_pool(16384, 128, 16);
         bench_scan(c, "clus16k_h128", rows, queries, 128, true);

@@ -29,7 +29,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gbm_bench::{synth_unit_rows, LatencyHistogram};
-use gbm_serve::{CoalescerConfig, IndexConfig, Server, ServerConfig, ShardedIndex, VirtualClock};
+use gbm_serve::{
+    CoalescerConfig, IndexConfig, MetricsSnapshot, Server, ServerConfig, ShardedIndex, VirtualClock,
+};
 
 const ROWS: usize = 8192;
 const HIDDEN: usize = 64;
@@ -49,6 +51,10 @@ struct ThreadRecord {
     removes: u64,
     secs: f64,
     hist: LatencyHistogram,
+    /// The server's own metrics registry at end of run — embedded verbatim
+    /// in the `--json` output, so scan-work and WAL accounting come from
+    /// the instrumented pipeline, not probe-side re-derivation.
+    metrics: MetricsSnapshot,
 }
 
 fn main() {
@@ -125,6 +131,7 @@ fn mk_server(rows: &[f32], icfg: IndexConfig, workers: usize) -> Server {
             scan_workers: workers,
             coalescer: CoalescerConfig::default(),
             index: icfg,
+            ..Default::default()
         },
         Arc::new(VirtualClock::new()),
     )
@@ -186,6 +193,7 @@ fn run_load(rows: &[f32], icfg: IndexConfig, workers: usize) -> ThreadRecord {
     }
     let secs = started.elapsed().as_secs_f64();
     let server = Arc::into_inner(server).expect("clients joined");
+    let metrics = server.metrics();
     let report = server.shutdown();
     assert!(
         report.is_drained(),
@@ -198,11 +206,16 @@ fn run_load(rows: &[f32], icfg: IndexConfig, workers: usize) -> ThreadRecord {
         removes,
         secs,
         hist,
+        metrics,
     }
 }
 
 /// Hand-rolled JSON (no serde in the workspace): stable key order, one
-/// record per scan-worker count, latencies in microseconds.
+/// record per scan-worker count, latencies in microseconds. The per-run
+/// `metrics` object is the server's own registry snapshot
+/// ([`MetricsSnapshot::to_json`]) embedded verbatim — scan work, encode
+/// activity, and failover counts come from the instrumented pipeline
+/// itself rather than hand-rolled probe-side fields.
 fn print_json(records: &[ThreadRecord]) {
     println!("{{");
     println!(
@@ -217,7 +230,7 @@ fn print_json(records: &[ThreadRecord]) {
         println!(
             "    {{\"scan_workers\": {}, \"queries\": {}, \"inserts\": {}, \"removes\": {}, \
              \"qps\": {:.0}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \
-             \"max_us\": {:.1}, \"mean_us\": {:.1}}}{comma}",
+             \"max_us\": {:.1}, \"mean_us\": {:.1}, \"metrics\": {}}}{comma}",
             r.scan_workers,
             r.queries,
             r.inserts,
@@ -228,6 +241,7 @@ fn print_json(records: &[ThreadRecord]) {
             r.hist.p99() as f64 / 1e3,
             r.hist.max() as f64 / 1e3,
             r.hist.mean() / 1e3,
+            r.metrics.to_json(),
         );
     }
     println!("  ]");

@@ -153,19 +153,42 @@ fn main() {
          (got {speedup:.1}×: recover {recovery:?} vs re-encode {reencode:?})"
     );
 
+    // resume serving on the recovered state: the registry snapshot below
+    // carries the recovery seeding (`recover.*`), the post-recovery scan
+    // work, and the WAL activity of the resumed session in one exposition
+    let rstats = rec.stats();
+    let snapshot_seq = rec.snapshot_seq;
+    let torn_bytes = rec.torn_bytes;
+    let server = Server::durable(
+        None,
+        rec.index,
+        scfg,
+        Arc::new(VirtualClock::new()),
+        rec.wal,
+    );
+    server.record_recovery(rstats);
+    for q in rows.iter().step_by(11) {
+        let _ = server.query(q, 5);
+    }
+    server.insert_row(1_000_000, rows[0].clone()).wait();
+    let metrics = server.metrics();
+    let report = server.shutdown();
+    assert!(report.is_drained() && report.is_durable(), "{report:?}");
+
     if json {
         println!("{{");
         println!("  \"meta\": {{\"pool\": {POOL}, \"shards\": {SHARDS}, \"hidden\": {hidden}}},");
         println!(
             "  \"crash\": {{\"snapshot_seq\": {}, \"replayed_ops\": {}, \"torn_bytes\": {}}},",
-            rec.snapshot_seq, ops_replayed, rec.torn_bytes
+            snapshot_seq, ops_replayed, torn_bytes
         );
         println!(
-            "  \"cold_start\": {{\"recover_us\": {}, \"reencode_us\": {}, \"speedup\": {:.1}}}",
+            "  \"cold_start\": {{\"recover_us\": {}, \"reencode_us\": {}, \"speedup\": {:.1}}},",
             recovery.as_micros(),
             reencode.as_micros(),
             speedup
         );
+        println!("  \"metrics\": {}", metrics.to_json());
         println!("}}");
         return;
     }
@@ -175,12 +198,19 @@ fn main() {
          state under target/probe_recover-state/"
     );
     println!(
-        "crash state : snapshot at seq {}, {} WAL ops replayed, {} torn bytes dropped",
-        rec.snapshot_seq, ops_replayed, rec.torn_bytes
+        "crash state : snapshot at seq {snapshot_seq}, {ops_replayed} WAL ops replayed, \
+         {torn_bytes} torn bytes dropped"
     );
     println!("rankings    : recovered index rank-identical to never-crashed replay");
     println!(
         "cold start  : recover {:.2?} vs re-encode {:.2?}  ({speedup:.0}x faster)",
         recovery, reencode
+    );
+    println!(
+        "resumed     : {} queries + {} WAL appends on the recovered server \
+         (recover.replayed_ops={})",
+        metrics.counter("serve.queries").unwrap_or(0),
+        metrics.counter("wal.appends").unwrap_or(0),
+        metrics.counter("recover.replayed_ops").unwrap_or(0),
     );
 }

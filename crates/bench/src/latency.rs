@@ -1,244 +1,7 @@
-//! Fixed-bucket log-linear latency histograms for the load probes.
-//!
-//! Tail latency (p99) is the serving metric that averages hide, but keeping
-//! every sample of a sustained load run would make the probe's own memory
-//! traffic part of the measurement. [`LatencyHistogram`] is the standard
-//! HDR-style compromise: a fixed array of buckets whose widths grow
-//! geometrically — values below [`SUBS`] are recorded exactly, larger
-//! values land in one of [`SUBS`] linear sub-buckets per power of two, so
-//! any quantile is reported with bounded *relative* error (≤ 1/32 ≈ 3%)
-//! from a few KiB of memory and O(1) record cost, no allocation after
-//! construction.
-//!
-//! Units are the caller's business (the probes record nanoseconds); the
-//! histogram only assumes "non-negative integers, bigger = slower".
+//! Latency histograms — promoted into `gbm-obs` so the serving stack's
+//! metrics registry and the load probes share one implementation
+//! ([`gbm_obs::hist`] holds the code and its edge-case tests). Re-exported
+//! here unchanged, so existing `gbm_bench::LatencyHistogram` users keep
+//! compiling.
 
-/// Linear sub-buckets per octave (a power of two). Relative quantile error
-/// is bounded by `1 / SUBS`.
-const SUBS: u64 = 32;
-const SUB_BITS: u32 = SUBS.trailing_zeros();
-/// Bucket count covering the full `u64` range.
-const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUBS as usize;
-
-/// A log-linear histogram of latency samples with exact count/max/mean and
-/// bounded-relative-error quantiles.
-#[derive(Clone, Debug)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    count: u64,
-    sum: u128,
-    max: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram::new()
-    }
-}
-
-/// The bucket index of `v`: identity below `SUBS`, log-linear above.
-fn bucket_of(v: u64) -> usize {
-    if v < SUBS {
-        return v as usize;
-    }
-    let msb = 63 - v.leading_zeros(); // floor(log2 v) ≥ SUB_BITS
-    let octave = (msb - SUB_BITS + 1) as u64;
-    let sub = (v >> (msb - SUB_BITS)) - SUBS;
-    (octave * SUBS + sub) as usize
-}
-
-/// The largest value mapping to bucket `idx` — quantiles report this upper
-/// edge, so a tail quantile is never under-stated by bucketing.
-fn bucket_upper(idx: usize) -> u64 {
-    let idx = idx as u64;
-    if idx < SUBS {
-        return idx;
-    }
-    let octave = idx / SUBS;
-    let sub = idx % SUBS;
-    let width = 1u64 << (octave - 1);
-    (SUBS + sub) * width + (width - 1)
-}
-
-impl LatencyHistogram {
-    /// An empty histogram (~15 KiB, allocated once).
-    pub fn new() -> LatencyHistogram {
-        LatencyHistogram {
-            counts: vec![0; BUCKETS],
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-
-    /// Records one sample. O(1), allocation-free.
-    pub fn record(&mut self, v: u64) {
-        self.counts[bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum += v as u128;
-        self.max = self.max.max(v);
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Largest sample, exactly (0 when empty).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Exact arithmetic mean (0.0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`): the smallest bucket upper edge at
-    /// or below which at least `⌈q · count⌉` samples fall. Exact for
-    /// values < `SUBS`; within `1/SUBS` relative error above, never
-    /// under-stated. The max sample is reported exactly at `q = 1.0`.
-    /// Returns 0 on an empty histogram.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                // the true max is known exactly; don't pad past it
-                return bucket_upper(idx).min(self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Median.
-    pub fn p50(&self) -> u64 {
-        self.quantile(0.50)
-    }
-
-    /// 90th percentile.
-    pub fn p90(&self) -> u64 {
-        self.quantile(0.90)
-    }
-
-    /// 99th percentile — the tail-latency gate metric.
-    pub fn p99(&self) -> u64 {
-        self.quantile(0.99)
-    }
-
-    /// Folds another histogram's samples into this one — how the load
-    /// probe combines per-thread histograms without sharing any state
-    /// during the timed run.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut h = LatencyHistogram::new();
-        for v in 0..SUBS {
-            h.record(v);
-        }
-        assert_eq!(h.count(), SUBS);
-        assert_eq!(h.max(), SUBS - 1);
-        assert_eq!(h.mean(), (0..SUBS).sum::<u64>() as f64 / SUBS as f64);
-        // every quantile of 0..32 is the exact order statistic
-        assert_eq!(h.quantile(0.5), 15);
-        assert_eq!(h.p99(), 31);
-        assert_eq!(h.quantile(1.0), 31);
-        assert_eq!(h.quantile(0.0), 0, "q=0 is the smallest sample's bucket");
-    }
-
-    #[test]
-    fn quantiles_have_bounded_relative_error_on_large_values() {
-        // a known distribution across several octaves
-        let samples: Vec<u64> = (1..=10_000u64).map(|i| i * 137).collect();
-        let mut h = LatencyHistogram::new();
-        for &s in &samples {
-            h.record(s);
-        }
-        for q in [0.5, 0.9, 0.99, 0.999] {
-            let exact = samples[((q * samples.len() as f64).ceil() as usize - 1).min(9999)];
-            let got = h.quantile(q);
-            assert!(
-                got >= exact,
-                "q={q}: bucketed quantile {got} under-states exact {exact}"
-            );
-            assert!(
-                (got as f64) <= exact as f64 * (1.0 + 1.0 / SUBS as f64) + 1.0,
-                "q={q}: {got} overshoots exact {exact} beyond 1/{SUBS} relative"
-            );
-        }
-        assert_eq!(h.quantile(1.0), 1_370_000, "max is exact");
-        assert_eq!(h.max(), 1_370_000);
-    }
-
-    #[test]
-    fn bucket_mapping_round_trips() {
-        // upper edge of every value's bucket is ≥ the value, within 1/SUBS
-        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 65_535, 1 << 40, u64::MAX] {
-            let idx = bucket_of(v);
-            let upper = bucket_upper(idx);
-            assert!(upper >= v, "v={v} idx={idx} upper={upper}");
-            assert!(
-                upper as f64 <= v as f64 * (1.0 + 1.0 / SUBS as f64) + 1.0,
-                "v={v}: upper {upper} too loose"
-            );
-            if v > 0 {
-                assert!(bucket_of(v) >= bucket_of(v - 1), "monotone bucketing");
-            }
-        }
-        assert!(bucket_of(u64::MAX) < BUCKETS, "full range fits the array");
-    }
-
-    #[test]
-    fn merge_equals_recording_everything_into_one() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        let mut whole = LatencyHistogram::new();
-        for i in 0..500u64 {
-            let v = i * 97 + 13;
-            if i % 2 == 0 {
-                a.record(v);
-            } else {
-                b.record(v);
-            }
-            whole.record(v);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), whole.count());
-        assert_eq!(a.max(), whole.max());
-        assert_eq!(a.mean(), whole.mean());
-        for q in [0.5, 0.9, 0.99] {
-            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
-        }
-    }
-
-    #[test]
-    fn empty_histogram_reports_zeros() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.max(), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.p50(), 0);
-        assert_eq!(h.p99(), 0);
-    }
-}
+pub use gbm_obs::LatencyHistogram;

@@ -1,0 +1,260 @@
+//! Per-query trace spans: where did this request's time go, stage by
+//! stage.
+//!
+//! Metrics aggregate; traces *attribute*. A [`TraceSpan`] is one sampled
+//! request's stage timeline — coalescer wait, encode forward, per-shard
+//! scan, merge — with per-stage numeric fields (rows scanned, cells
+//! probed, bytes touched). Timestamps come from the injected
+//! [`Clock`](crate::Clock), never the OS: under a
+//! [`VirtualClock`](crate::VirtualClock) an identical request sequence
+//! produces bit-identical spans, which is what makes trace-shape
+//! assertions testable at all.
+//!
+//! Sampling is the cost contract: a [`Tracer`] built with `every = 0`
+//! (the default — `GBM_TRACE_SAMPLE` unset) never samples and its
+//! per-request cost is one relaxed atomic load; `every = N` samples every
+//! N-th request. Completed spans buffer in the tracer (bounded — the
+//! oldest spans win, a probe drains with [`Tracer::take`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Spans buffered before the tracer starts dropping new ones (keep-oldest:
+/// a probe that forgets to drain sees the run's beginning, not a random
+/// tail window).
+pub const TRACE_BUFFER: usize = 1024;
+
+/// One timed pipeline stage inside a [`TraceSpan`], with optional numeric
+/// fields (`rows_scanned`, `cells_probed`, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStage {
+    /// Stage name, e.g. `scan.worker0` or `encode.forward`.
+    pub name: String,
+    /// Clock tick the stage began.
+    pub start: u64,
+    /// Clock tick the stage ended (≥ `start`).
+    pub end: u64,
+    /// Named stage measurements, in insertion order.
+    pub fields: Vec<(String, u64)>,
+}
+
+impl TraceStage {
+    /// Attaches a named measurement; chainable.
+    pub fn field(&mut self, name: &str, v: u64) -> &mut TraceStage {
+        self.fields.push((name.to_string(), v));
+        self
+    }
+}
+
+/// One sampled request's stage-by-stage record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// What kind of request this is (`query`, `encode_flush`, …).
+    pub label: String,
+    /// The tracer's sample sequence number of this span.
+    pub seq: u64,
+    /// Clock tick the span began.
+    pub start: u64,
+    /// Clock tick the span ended (set by [`finish`](Self::finish)).
+    pub end: u64,
+    /// Stages in completion order.
+    pub stages: Vec<TraceStage>,
+}
+
+impl TraceSpan {
+    /// A span opened at `start` ticks.
+    pub fn new(label: &str, seq: u64, start: u64) -> TraceSpan {
+        TraceSpan {
+            label: label.to_string(),
+            seq,
+            start,
+            end: start,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Appends a completed stage and returns it for
+    /// [`field`](TraceStage::field) chaining.
+    pub fn stage(&mut self, name: &str, start: u64, end: u64) -> &mut TraceStage {
+        self.stages.push(TraceStage {
+            name: name.to_string(),
+            start,
+            end,
+            fields: Vec::new(),
+        });
+        self.stages.last_mut().expect("just pushed")
+    }
+
+    /// Closes the span at `end` ticks.
+    pub fn finish(&mut self, end: u64) {
+        self.end = end;
+    }
+
+    /// Human-readable stage-by-stage rendering:
+    ///
+    /// ```text
+    /// trace query#0 ticks 4..=9
+    ///   scan.worker0 4..7 rows_scanned=512 survivors=40
+    ///   merge 7..9 partials=2
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "trace {}#{} ticks {}..={}\n",
+            self.label, self.seq, self.start, self.end
+        );
+        for s in &self.stages {
+            out.push_str(&format!("  {} {}..{}", s.name, s.start, s.end));
+            for (k, v) in &s.fields {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The sampling gate and span sink. Share one per pipeline
+/// (`Arc<Tracer>`); every request calls [`sample`](Self::sample) once and
+/// builds a span only on `Some`.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    /// Trace every N-th request; 0 = tracing off.
+    every: u64,
+    seq: AtomicU64,
+    spans: Mutex<Vec<TraceSpan>>,
+}
+
+impl Tracer {
+    /// A tracer sampling every `every`-th request (`0` = off, the
+    /// near-zero-cost default).
+    pub fn new(every: u64) -> Tracer {
+        Tracer {
+            every,
+            ..Tracer::default()
+        }
+    }
+
+    /// A tracer that never samples.
+    pub fn disabled() -> Tracer {
+        Tracer::new(0)
+    }
+
+    /// Whether any request can ever be sampled.
+    pub fn is_enabled(&self) -> bool {
+        self.every > 0
+    }
+
+    /// Counts one request; `Some(seq)` when this one is sampled (every
+    /// N-th, starting with the first). Disabled tracers never touch the
+    /// sequence counter — the off path is a single branch on a plain
+    /// field.
+    pub fn sample(&self) -> Option<u64> {
+        if self.every == 0 {
+            return None;
+        }
+        let s = self.seq.fetch_add(1, Ordering::Relaxed);
+        s.is_multiple_of(self.every).then_some(s)
+    }
+
+    /// Files a completed span (dropped when the buffer is full —
+    /// keep-oldest, see [`TRACE_BUFFER`]).
+    pub fn record(&self, span: TraceSpan) {
+        let mut spans = self.spans.lock().unwrap();
+        if spans.len() < TRACE_BUFFER {
+            spans.push(span);
+        }
+    }
+
+    /// Drains every buffered span, oldest first.
+    pub fn take(&self) -> Vec<TraceSpan> {
+        std::mem::take(&mut *self.spans.lock().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+
+    #[test]
+    fn disabled_tracer_never_samples() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        for _ in 0..100 {
+            assert_eq!(t.sample(), None);
+        }
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn sampling_takes_every_nth_starting_at_the_first() {
+        let t = Tracer::new(3);
+        assert!(t.is_enabled());
+        let sampled: Vec<Option<u64>> = (0..7).map(|_| t.sample()).collect();
+        assert_eq!(
+            sampled,
+            vec![Some(0), None, None, Some(3), None, None, Some(6)]
+        );
+        // every = 1 samples everything
+        let all = Tracer::new(1);
+        assert!((0..5).all(|_| all.sample().is_some()));
+    }
+
+    #[test]
+    fn spans_round_trip_with_stages_and_fields() {
+        let t = Tracer::new(1);
+        let seq = t.sample().unwrap();
+        let mut span = TraceSpan::new("query", seq, 4);
+        span.stage("scan.worker0", 4, 7)
+            .field("rows_scanned", 512)
+            .field("survivors", 40);
+        span.stage("merge", 7, 9).field("partials", 2);
+        span.finish(9);
+        t.record(span.clone());
+        let drained = t.take();
+        assert_eq!(drained, vec![span.clone()]);
+        assert!(t.take().is_empty(), "take drains");
+        let text = span.render();
+        assert!(text.starts_with("trace query#0 ticks 4..=9\n"));
+        assert!(text.contains("  scan.worker0 4..7 rows_scanned=512 survivors=40\n"));
+        assert!(text.contains("  merge 7..9 partials=2\n"));
+    }
+
+    #[test]
+    fn buffer_keeps_the_oldest_spans() {
+        let t = Tracer::new(1);
+        for i in 0..(TRACE_BUFFER + 10) as u64 {
+            t.record(TraceSpan::new("q", i, 0));
+        }
+        let spans = t.take();
+        assert_eq!(spans.len(), TRACE_BUFFER);
+        assert_eq!(spans[0].seq, 0, "oldest span survives");
+        assert_eq!(spans.last().unwrap().seq, TRACE_BUFFER as u64 - 1);
+    }
+
+    /// The determinism contract at the tracer level: two tracers fed the
+    /// same sequence of requests produce identical span streams when
+    /// timestamps come from a hand-driven clock.
+    #[test]
+    fn identical_request_sequences_trace_identically() {
+        let run = || {
+            let clock = crate::VirtualClock::new();
+            let t = Tracer::new(2);
+            for _ in 0..6 {
+                clock.advance(3);
+                if let Some(seq) = t.sample() {
+                    let start = clock.now();
+                    clock.advance(1);
+                    let mut span = TraceSpan::new("query", seq, start);
+                    span.stage("scan", start, clock.now()).field("rows", 100);
+                    span.finish(clock.now());
+                    t.record(span);
+                } else {
+                    clock.advance(1);
+                }
+            }
+            t.take()
+        };
+        assert_eq!(run(), run(), "virtual-clock traces are bit-reproducible");
+    }
+}

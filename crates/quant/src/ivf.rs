@@ -87,6 +87,20 @@ pub struct IvfCells {
     trained_n: usize,
 }
 
+/// What one IVF probe pass costs, as reported by
+/// [`IvfCells::probe_stats`] — the raw material for per-query scan
+/// accounting in the serving layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IvfProbeStats {
+    /// Cells the probe visits.
+    pub cells_probed: usize,
+    /// Member rows across the probed cells (the approximate-scan work).
+    pub members_visited: usize,
+    /// Bytes the probe reads: centroid matrix + squared norms + probed
+    /// member lists.
+    pub probe_bytes: usize,
+}
+
 impl IvfCells {
     /// An empty, untrained index. `cells_cfg = 0` sizes the cell count
     /// automatically at `≈√n` per training round.
@@ -220,6 +234,22 @@ impl IvfCells {
             .into_iter()
             .map(|(c, _)| c as u32)
             .collect()
+    }
+
+    /// Cost accounting for a probe over `probed` cell indices (as returned
+    /// by [`probe_cells`](Self::probe_cells)): how many member rows the
+    /// approximate scan will visit, and the bytes the probe itself reads —
+    /// the full centroid structures (every probe scores every centroid)
+    /// plus the probed cells' member lists. O(nprobe); the caller charges
+    /// the member rows' code bytes separately, since row width is the
+    /// mirror's business, not the cell index's.
+    pub fn probe_stats(&self, probed: &[u32]) -> IvfProbeStats {
+        let members: usize = probed.iter().map(|&c| self.cells[c as usize].len()).sum();
+        IvfProbeStats {
+            cells_probed: probed.len(),
+            members_visited: members,
+            probe_bytes: (self.centroids.len() + self.cent_sqnorms.len() + members) * 4,
+        }
     }
 
     /// Bytes the IVF structures add to a scan pass: the centroid matrix,
@@ -534,6 +564,30 @@ mod tests {
         }
         assert!(!ivf.is_trained(), "drained pool must untrain");
         assert_eq!(ivf.scan_bytes(), 0);
+    }
+
+    #[test]
+    fn probe_stats_account_probed_cells_members_and_bytes() {
+        let hidden = 8;
+        let n = IVF_MIN_TRAIN_ROWS;
+        let rows = clustered_rows(n, hidden, 4, 7);
+        let ivf = build(&rows, hidden, 4, 42);
+        let q = &rows[..hidden];
+        // probing every cell visits every row; probing fewer visits fewer
+        let all = ivf.probe_stats(&ivf.probe_cells(q, 4));
+        assert_eq!(all.cells_probed, 4);
+        assert_eq!(all.members_visited, n);
+        assert_eq!(all.probe_bytes, (4 * hidden + 4 + n) * 4);
+        let one = ivf.probe_stats(&ivf.probe_cells(q, 1));
+        assert_eq!(one.cells_probed, 1);
+        assert!(one.members_visited < n, "one cell holds a strict subset");
+        assert!(one.probe_bytes < all.probe_bytes);
+        // the centroid matrix is charged even for an empty probe list
+        assert_eq!(
+            ivf.probe_stats(&[]).probe_bytes,
+            (4 * hidden + 4) * 4,
+            "every probe scores every centroid"
+        );
     }
 
     #[test]

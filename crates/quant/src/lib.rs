@@ -23,7 +23,7 @@ use gbm_tensor::dot_i8_blocked;
 
 mod ivf;
 
-pub use ivf::{IvfCells, IVF_MIN_TRAIN_ROWS};
+pub use ivf::{IvfCells, IvfProbeStats, IVF_MIN_TRAIN_ROWS};
 
 /// A vector quantized to int8 codes with one symmetric scale:
 /// `x[i] ≈ scale · codes[i]`.

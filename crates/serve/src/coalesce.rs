@@ -117,14 +117,14 @@ struct PendingRequest {
 /// Dropping a `FlushBatch` without completing it abandons its requests:
 /// their tickets never resolve (poll returns `None` forever).
 pub struct FlushBatch {
-    requests: Vec<(Ticket, EncodedGraph)>,
+    requests: Vec<(Ticket, EncodedGraph, u64)>,
 }
 
 impl FlushBatch {
     /// The graphs to encode, in ticket order (row `i` of the batched
     /// forward must answer ticket `i`).
     pub fn graphs(&self) -> Vec<&EncodedGraph> {
-        self.requests.iter().map(|(_, g)| g).collect()
+        self.requests.iter().map(|(_, g, _)| g).collect()
     }
 
     /// Requests in this batch.
@@ -142,7 +142,14 @@ impl FlushBatch {
     /// each row to its reply handle after
     /// [`complete_flush`](EncodeCoalescer::complete_flush).
     pub fn tickets(&self) -> Vec<Ticket> {
-        self.requests.iter().map(|(t, _)| *t).collect()
+        self.requests.iter().map(|(t, _, _)| *t).collect()
+    }
+
+    /// The clock tick each request was enqueued at, in row order — what an
+    /// instrumented worker needs to account per-request coalescer wait
+    /// (`flush_tick - enqueued_at`) without a side lookup.
+    pub fn enqueued_at(&self) -> Vec<u64> {
+        self.requests.iter().map(|(_, _, at)| *at).collect()
     }
 }
 
@@ -285,12 +292,12 @@ impl EncodeCoalescer {
             return None;
         }
         // drain (not take) so the queue keeps its capacity across flushes
-        let requests: Vec<(Ticket, EncodedGraph)> = self
+        let requests: Vec<(Ticket, EncodedGraph, u64)> = self
             .pending
             .drain(..)
             .map(|r| {
                 self.in_flight.insert(r.ticket);
-                (r.ticket, r.graph)
+                (r.ticket, r.graph, r.enqueued_at)
             })
             .collect();
         Some(FlushBatch { requests })
@@ -310,7 +317,7 @@ impl EncodeCoalescer {
         self.stats.flushes += 1;
         let encoded = batch.requests.len();
         self.stats.encoded += encoded;
-        for ((ticket, _), row) in batch.requests.into_iter().zip(rows) {
+        for ((ticket, _, _), row) in batch.requests.into_iter().zip(rows) {
             self.in_flight.remove(&ticket);
             if !self.cancelled_in_flight.remove(&ticket) {
                 self.ready.insert(ticket, row);

@@ -35,14 +35,20 @@ mod tests {
         std::env::remove_var("GBM_SERVE_WORKERS");
         std::env::remove_var("GBM_IVF_CELLS");
         std::env::remove_var("GBM_SCAN_NPROBE");
+        std::env::remove_var("GBM_METRICS");
+        std::env::remove_var("GBM_TRACE_SAMPLE");
         let co = CoalescerConfig::default().with_env();
         assert_eq!(co.max_wait, CoalescerConfig::default().max_wait);
         let sv = ServerConfig::default().with_env();
         assert_eq!(sv.scan_workers, ServerConfig::default().scan_workers);
+        assert!(sv.obs.metrics, "metrics default on");
+        assert_eq!(sv.obs.trace_sample, 0, "tracing defaults off");
 
         // valid overrides apply
         std::env::set_var("GBM_FLUSH_TICKS", "9");
         std::env::set_var("GBM_SERVE_WORKERS", "3");
+        std::env::set_var("GBM_METRICS", "0");
+        std::env::set_var("GBM_TRACE_SAMPLE", "100");
         assert_eq!(CoalescerConfig::default().with_env().max_wait, 9);
         let sv = ServerConfig::default().with_env();
         assert_eq!(sv.scan_workers, 3);
@@ -50,10 +56,16 @@ mod tests {
             sv.coalescer.max_wait, 9,
             "ServerConfig::with_env composes the coalescer knob"
         );
+        assert!(!sv.obs.metrics, "GBM_METRICS=0 disables the registry");
+        assert_eq!(sv.obs.trace_sample, 100);
+        std::env::set_var("GBM_METRICS", "1");
+        assert!(ServerConfig::default().with_env().obs.metrics);
 
         // invalid values warn (stderr) and fall back — not silently ignore
         std::env::set_var("GBM_FLUSH_TICKS", "2O");
         std::env::set_var("GBM_SERVE_WORKERS", "-1");
+        std::env::set_var("GBM_METRICS", "off");
+        std::env::set_var("GBM_TRACE_SAMPLE", "every-5th");
         assert_eq!(
             CoalescerConfig::default().with_env().max_wait,
             CoalescerConfig::default().max_wait
@@ -62,6 +74,9 @@ mod tests {
             ServerConfig::default().with_env().scan_workers,
             ServerConfig::default().scan_workers
         );
+        let sv = ServerConfig::default().with_env();
+        assert!(sv.obs.metrics, "unparsable GBM_METRICS keeps the default");
+        assert_eq!(sv.obs.trace_sample, 0);
 
         // zero workers degrade to one at construction, like num_shards
         std::env::set_var("GBM_SERVE_WORKERS", "0");
@@ -116,5 +131,7 @@ mod tests {
         std::env::remove_var("GBM_SERVE_WORKERS");
         std::env::remove_var("GBM_IVF_CELLS");
         std::env::remove_var("GBM_SCAN_NPROBE");
+        std::env::remove_var("GBM_METRICS");
+        std::env::remove_var("GBM_TRACE_SAMPLE");
     }
 }

@@ -99,6 +99,51 @@ impl IndexConfig {
     }
 }
 
+/// What one query's scan actually did, accumulated across the shards it
+/// touched — the per-query observability record behind
+/// [`ShardedIndex::query_stats`] and the serving layer's trace spans.
+///
+/// Semantics per precision tier:
+///
+/// * **f32** — `rows_scanned` counts every row (all exactly scored);
+///   `cells_probed` and `survivors` stay 0, `scan_bytes` is the dense
+///   matrix walked.
+/// * **int8** — `rows_scanned` counts every row (the coarse scan visits
+///   all codes); `survivors` is the margin-cut candidate set that got the
+///   exact f32 re-score; `scan_bytes` is the code mirror plus the
+///   survivors' f32 rows.
+/// * **IVF** — `cells_probed` is the probed cell count, `rows_scanned`
+///   only the probed cells' members, `survivors` the re-ranked
+///   `k·widen` set; `scan_bytes` is the probe cost
+///   ([`gbm_quant::IvfCells::probe_stats`]) plus visited codes plus the
+///   survivors' f32 rows. Untrained shards fall back to int8 accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Shards this scan visited (empty shards included — they were asked).
+    pub shards: u64,
+    /// Rows whose scores were computed, at any precision.
+    pub rows_scanned: u64,
+    /// IVF cells probed (0 on the exact tiers).
+    pub cells_probed: u64,
+    /// Candidates that survived to the exact f32 re-rank (0 at plain f32,
+    /// where every row is already exact).
+    pub survivors: u64,
+    /// Bytes of index data this scan read.
+    pub scan_bytes: u64,
+}
+
+impl ScanStats {
+    /// Folds another scan's counts into this one (what the serving layer
+    /// does with per-worker partial stats).
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.shards += other.shards;
+        self.rows_scanned += other.rows_scanned;
+        self.cells_probed += other.cells_probed;
+        self.survivors += other.survivors;
+        self.scan_bytes += other.scan_bytes;
+    }
+}
+
 /// splitmix64: a stable, well-mixed 64-bit hash (sequential ids spread
 /// uniformly instead of striping).
 fn splitmix64(x: u64) -> u64 {
@@ -186,10 +231,18 @@ impl Shard {
     /// Blocked top-K scan: score `SCAN_BLOCK` rows at a time into a reused
     /// buffer, partial-select each block, and merge into the running best
     /// list. Returns `(id, score)` sorted by `(score desc, row asc)`.
-    fn scan_top_k(&self, query: &[f32], k: usize, hidden: usize) -> Vec<(GraphId, f32)> {
+    fn scan_top_k(
+        &self,
+        query: &[f32],
+        k: usize,
+        hidden: usize,
+        stats: &mut ScanStats,
+    ) -> Vec<(GraphId, f32)> {
         if k == 0 || self.ids.is_empty() {
             return Vec::new();
         }
+        stats.rows_scanned += self.ids.len() as u64;
+        stats.scan_bytes += (self.rows.len() * std::mem::size_of::<f32>()) as u64;
         let mut best: Vec<(usize, f32)> = Vec::new();
         let mut scores = [0.0f32; SCAN_BLOCK];
         for (block, rows) in self.rows.chunks(SCAN_BLOCK * hidden).enumerate() {
@@ -218,6 +271,7 @@ impl Shard {
     /// visited in ascending row order, so ids, scores, and tie order all
     /// match [`Shard::scan_top_k`] unconditionally (the margin provably
     /// covers the true top-K; see `quantized`'s module docs).
+    #[allow(clippy::too_many_arguments)]
     fn scan_top_k_int8(
         &self,
         query: &[f32],
@@ -226,6 +280,7 @@ impl Shard {
         k: usize,
         widen: usize,
         hidden: usize,
+        stats: &mut ScanStats,
     ) -> Vec<(GraphId, f32)> {
         if k == 0 || self.ids.is_empty() {
             return Vec::new();
@@ -240,6 +295,9 @@ impl Shard {
         // candidate position = row index, exactly as the full f32 scan
         let mut cand_rows: Vec<usize> = candidates.into_iter().map(|(r, _)| r).collect();
         cand_rows.sort_unstable();
+        stats.rows_scanned += self.ids.len() as u64;
+        stats.survivors += cand_rows.len() as u64;
+        stats.scan_bytes += (quant.scan_bytes() + cand_rows.len() * hidden * 4) as u64;
         let exact: Vec<f32> = cand_rows
             .iter()
             .map(|&r| dot(query, &self.rows[r * hidden..(r + 1) * hidden]))
@@ -271,21 +329,27 @@ impl Shard {
         nprobe: usize,
         widen: usize,
         hidden: usize,
+        stats: &mut ScanStats,
     ) -> Vec<(GraphId, f32)> {
         if k == 0 || self.ids.is_empty() {
             return Vec::new();
         }
         let ivf = self.ivf.as_ref().expect("ivf scan requires the cell index");
         if !ivf.is_trained() {
-            return self.scan_top_k_int8(query, q, l1_q, k, widen, hidden);
+            return self.scan_top_k_int8(query, q, l1_q, k, widen, hidden, stats);
         }
         let quant = self
             .quant
             .as_ref()
             .expect("ivf scan requires the quantized mirror");
         let mat = quant.matrix().expect("a trained cell index has rows");
+        let probed = ivf.probe_cells(query, nprobe.max(1));
+        let probe = ivf.probe_stats(&probed);
+        stats.cells_probed += probe.cells_probed as u64;
+        stats.rows_scanned += probe.members_visited as u64;
+        stats.scan_bytes += probe.probe_bytes as u64;
         let mut cand: Vec<u32> = Vec::new();
-        for &c in &ivf.probe_cells(query, nprobe.max(1)) {
+        for &c in &probed {
             cand.extend_from_slice(ivf.cell(c as usize));
         }
         if cand.is_empty() {
@@ -301,6 +365,9 @@ impl Shard {
             .map(|(i, _)| cand[i] as usize)
             .collect();
         cand_rows.sort_unstable();
+        stats.survivors += cand_rows.len() as u64;
+        // visited int8 codes (+ per-row scale) and the survivors' exact rows
+        stats.scan_bytes += (cand.len() * (hidden + 4) + cand_rows.len() * hidden * 4) as u64;
         let exact: Vec<f32> = cand_rows
             .iter()
             .map(|&r| dot(query, &self.rows[r * hidden..(r + 1) * hidden]))
@@ -520,8 +587,15 @@ impl ShardedIndex {
     /// parallel, sorted shard lists k-way merge by `(score desc, id asc)`.
     /// Pending (unflushed) inserts are not searched.
     pub fn query(&self, query: &[f32], k: usize) -> Vec<(GraphId, f32)> {
+        self.query_stats(query, k).0
+    }
+
+    /// [`query`](Self::query) plus the scan's [`ScanStats`] — what the
+    /// serving layer records into metrics and trace spans. Same answer,
+    /// same cost; the stats are O(1) increments already known to the scan.
+    pub fn query_stats(&self, query: &[f32], k: usize) -> (Vec<(GraphId, f32)>, ScanStats) {
         if k == 0 || self.num_encoded() == 0 {
-            return Vec::new();
+            return (Vec::new(), ScanStats::default());
         }
         assert_eq!(
             query.len(),
@@ -533,13 +607,24 @@ impl ShardedIndex {
         // the quantized query and its L1 norm are shard-independent:
         // compute once here, not once per shard in the fan-out
         let quant_query = Self::prepare_query(precision, query);
-        let per_shard: Vec<Vec<(GraphId, f32)>> = self
+        let per_shard: Vec<(Vec<(GraphId, f32)>, ScanStats)> = self
             .shards
             .par_iter()
             .with_min_len(1)
-            .map(|s| Self::scan_shard(s, query, &quant_query, k, precision, hidden))
+            .map(|s| {
+                let mut stats = ScanStats::default();
+                let ranked =
+                    Self::scan_shard(s, query, &quant_query, k, precision, hidden, &mut stats);
+                (ranked, stats)
+            })
             .collect();
-        gbm_tensor::merge_ranked(&per_shard, k)
+        let mut stats = ScanStats::default();
+        let mut partials = Vec::with_capacity(per_shard.len());
+        for (ranked, s) in per_shard {
+            stats.merge(&s);
+            partials.push(ranked);
+        }
+        (gbm_tensor::merge_ranked(&partials, k), stats)
     }
 
     /// The shard-independent half of a query under `precision`: the
@@ -563,6 +648,7 @@ impl ShardedIndex {
 
     /// One shard's sorted top-K partial under `precision` — the unit of
     /// work both `query` and `query_shards` fan out.
+    #[allow(clippy::too_many_arguments)]
     fn scan_shard(
         shard: &Shard,
         query: &[f32],
@@ -570,15 +656,17 @@ impl ShardedIndex {
         k: usize,
         precision: ScanPrecision,
         hidden: usize,
+        stats: &mut ScanStats,
     ) -> Vec<(GraphId, f32)> {
+        stats.shards += 1;
         match (precision, quant_query) {
             (ScanPrecision::Int8 { widen }, Some((q, l1_q))) => {
-                shard.scan_top_k_int8(query, q, *l1_q, k, widen, hidden)
+                shard.scan_top_k_int8(query, q, *l1_q, k, widen, hidden, stats)
             }
             (ScanPrecision::Ivf { nprobe, widen }, Some((q, l1_q))) => {
-                shard.scan_top_k_ivf(query, q, *l1_q, k, nprobe, widen, hidden)
+                shard.scan_top_k_ivf(query, q, *l1_q, k, nprobe, widen, hidden, stats)
             }
-            _ => shard.scan_top_k(query, k, hidden),
+            _ => shard.scan_top_k(query, k, hidden, stats),
         }
     }
 
@@ -598,12 +686,24 @@ impl ShardedIndex {
         query: &[f32],
         k: usize,
     ) -> Vec<(GraphId, f32)> {
+        self.query_shards_stats(shards, query, k).0
+    }
+
+    /// [`query_shards`](Self::query_shards) plus the partial's
+    /// [`ScanStats`] — the per-worker accounting the concurrent front-end
+    /// folds into its query metrics and trace spans.
+    pub fn query_shards_stats(
+        &self,
+        shards: std::ops::Range<usize>,
+        query: &[f32],
+        k: usize,
+    ) -> (Vec<(GraphId, f32)>, ScanStats) {
         assert!(shards.end <= self.shards.len(), "shard range out of bounds");
         let live = self.shards[shards.clone()]
             .iter()
             .any(|s| !s.ids.is_empty());
         if k == 0 || !live {
-            return Vec::new();
+            return (Vec::new(), ScanStats::default());
         }
         assert_eq!(
             query.len(),
@@ -613,11 +713,12 @@ impl ShardedIndex {
         let hidden = self.hidden;
         let precision = self.cfg.precision;
         let quant_query = Self::prepare_query(precision, query);
+        let mut stats = ScanStats::default();
         let per_shard: Vec<Vec<(GraphId, f32)>> = self.shards[shards]
             .iter()
-            .map(|s| Self::scan_shard(s, query, &quant_query, k, precision, hidden))
+            .map(|s| Self::scan_shard(s, query, &quant_query, k, precision, hidden, &mut stats))
             .collect();
-        gbm_tensor::merge_ranked(&per_shard, k)
+        (gbm_tensor::merge_ranked(&per_shard, k), stats)
     }
 
     /// Bytes one full scan pass touches under the configured precision:
@@ -1452,8 +1553,77 @@ mod tests {
                 .into_iter()
                 .map(|(i, s)| (i as GraphId, s))
                 .collect();
-            let got = shard.scan_top_k(&query, k, hidden);
+            let got = shard.scan_top_k(&query, k, hidden, &mut ScanStats::default());
             assert_eq!(got, expect, "k={k}");
         }
+    }
+
+    /// `query_stats` tells the truth about scan work at every precision:
+    /// f32 scans every row, int8 scans every code and re-ranks a bounded
+    /// survivor set, trained IVF probes cells and scans strictly fewer
+    /// rows — and the ranked answer is identical to plain `query`.
+    #[test]
+    fn query_stats_account_scan_work_per_precision() {
+        let hidden = 16;
+        let n = 3 * gbm_quant::IVF_MIN_TRAIN_ROWS;
+        let rows = clustered_matrix(n, hidden, 8, 11);
+        let query = rows[..hidden].to_vec();
+        let mk = |precision| {
+            ShardedIndex::from_rows(
+                &rows,
+                hidden,
+                IndexConfig {
+                    num_shards: 2,
+                    precision,
+                    ..Default::default()
+                },
+            )
+        };
+        let k = 10;
+
+        let f32_index = mk(ScanPrecision::F32);
+        let (ranked, stats) = f32_index.query_stats(&query, k);
+        assert_eq!(ranked, f32_index.query(&query, k));
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.rows_scanned, n as u64);
+        assert_eq!(stats.cells_probed, 0);
+        assert_eq!(stats.survivors, 0);
+        assert_eq!(stats.scan_bytes, (n * hidden * 4) as u64);
+
+        let int8 = mk(ScanPrecision::Int8 { widen: 4 });
+        let (ranked, stats) = int8.query_stats(&query, k);
+        assert_eq!(ranked, int8.query(&query, k));
+        assert_eq!(stats.rows_scanned, n as u64, "coarse scan visits all codes");
+        assert!(stats.survivors > 0, "someone survives the margin cut");
+        assert!(
+            stats.survivors <= (2 * k * 4 + 2 * SCAN_BLOCK) as u64,
+            "survivors bounded near k·widen per shard (+ margin zone)"
+        );
+
+        let ivf = mk(ScanPrecision::Ivf {
+            nprobe: 2,
+            widen: 4,
+        });
+        assert!(ivf.shard_ivf(0).unwrap().is_trained());
+        let (ranked, stats) = ivf.query_stats(&query, k);
+        assert_eq!(ranked, ivf.query(&query, k));
+        assert_eq!(stats.cells_probed, 4, "nprobe=2 across 2 shards");
+        assert!(
+            stats.rows_scanned < n as u64,
+            "IVF scans strictly fewer rows than the pool"
+        );
+        assert!(stats.survivors > 0 && stats.survivors <= (2 * k * 4) as u64);
+
+        // the fan-out halves account exactly like the full query
+        let (_, a) = ivf.query_shards_stats(0..1, &query, k);
+        let (_, b) = ivf.query_shards_stats(1..2, &query, k);
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged, stats, "partial stats merge to the full scan's");
+
+        // k = 0 and empty indexes account nothing
+        assert_eq!(ivf.query_stats(&query, 0).1, ScanStats::default());
+        let empty = ShardedIndex::new(IndexConfig::default());
+        assert_eq!(empty.query_stats(&[0.0; 4], 5).1, ScanStats::default());
     }
 }

@@ -67,6 +67,7 @@ pub mod clock;
 pub mod coalesce;
 mod env;
 pub mod index;
+mod metrics;
 pub mod persist;
 pub mod quantized;
 pub mod server;
@@ -74,12 +75,15 @@ pub mod server;
 pub mod testfix;
 
 pub use clock::{Clock, VirtualClock, WallClock};
+pub use gbm_obs::{MetricsRegistry, MetricsSnapshot, ObsConfig, TraceSpan, TraceStage};
+
 pub use coalesce::{
     CoalescerConfig, CoalescerStats, EncodeCoalescer, FlushBatch, FlushTrigger, Ticket,
 };
-pub use index::{shard_of, GraphId, IndexConfig, ShardedIndex};
+pub use index::{shard_of, GraphId, IndexConfig, ScanStats, ShardedIndex};
 pub use persist::{
     checkpoint, recover, restore_index, snapshot_index, DurabilityConfig, PersistError, Recovery,
+    RecoveryStats,
 };
 pub use quantized::{QuantizedShard, ScanPrecision};
 pub use server::{

@@ -1,0 +1,148 @@
+//! Serving-layer observability state: the cached metric handles and the
+//! shared [`ServerObs`] bundle threaded through the server's workers.
+//!
+//! [`ServeMetrics`] is the full handle set the hot path records through —
+//! registered once at server start, then every event is a relaxed atomic
+//! on a cached `Arc` (no name lookup, no lock). When metrics are disabled
+//! ([`ObsConfig::metrics`] = false) the whole struct is simply absent
+//! (`Option::None`), so the instrumented-out baseline pays one branch per
+//! record site and touches no atomics — that's the bench baseline the CI
+//! overhead gate compares against.
+
+use std::sync::Arc;
+
+use gbm_obs::{Clock, Counter, Gauge, Histogram, MetricsRegistry, ObsConfig, Tracer};
+
+/// Every named metric the serving + durability stack records, as cached
+/// lock-free handles. Names are dot-separated and stable — they are the
+/// exposition contract (`probe_load --json`, `Server::metrics()`).
+pub(crate) struct ServeMetrics {
+    // -- query / scan path --
+    /// `serve.queries`: top-K queries answered.
+    pub queries: Arc<Counter>,
+    /// `serve.scan.rows`: rows visited across all shard scans.
+    pub scan_rows: Arc<Counter>,
+    /// `serve.scan.cells_probed`: IVF cells probed (0 on exact tiers).
+    pub scan_cells_probed: Arc<Counter>,
+    /// `serve.scan.survivors`: margin-cut / re-rank candidates scored
+    /// exactly against f32.
+    pub scan_survivors: Arc<Counter>,
+    /// `serve.scan.bytes`: bytes touched by scans (per the
+    /// [`ScanStats`](crate::ScanStats) accounting model).
+    pub scan_bytes: Arc<Counter>,
+    /// `serve.query_us`: whole-query wall latency (fan-out to merged).
+    pub query_us: Arc<Histogram>,
+    /// `serve.merge_us`: k-way merge wall latency.
+    pub merge_us: Arc<Histogram>,
+    // -- failover / degradation --
+    /// `serve.failover.inline_scans`: shard ranges scanned inline on the
+    /// caller because their pinned worker is dead.
+    pub failover_inline_scans: Arc<Counter>,
+    /// `serve.workers.panics`: scan-worker panics caught and retired.
+    pub worker_panics: Arc<Counter>,
+    /// `serve.workers.degraded`: scan workers currently failed (gauge —
+    /// recovers to 0 only across a restart).
+    pub workers_degraded: Arc<Gauge>,
+    // -- encode path --
+    /// `serve.encode.flushes`: batched encoder forwards run.
+    pub encode_flushes: Arc<Counter>,
+    /// `serve.encode.graphs`: graphs encoded across all flushes.
+    pub encode_graphs: Arc<Counter>,
+    /// `serve.encode.forward_us`: batched forward wall latency.
+    pub encode_forward_us: Arc<Histogram>,
+    /// `serve.encode.batch_fill`: graphs per flush (the coalescing
+    /// quality distribution).
+    pub encode_batch_fill: Arc<Histogram>,
+    /// `serve.encode.wait_ticks`: per-request coalescer wait, in clock
+    /// ticks (enqueue to flush).
+    pub encode_wait_ticks: Arc<Histogram>,
+    // -- durability --
+    /// `wal.appends`: WAL records appended (successful).
+    pub wal_appends: Arc<Counter>,
+    /// `wal.append_retries`: failed append attempts that were retried.
+    pub wal_append_retries: Arc<Counter>,
+    /// `wal.append_us`: cumulative-delta append latency per flush window.
+    pub wal_append_us: Arc<Histogram>,
+    /// `wal.sync_us`: cumulative-delta fsync latency per flush window.
+    pub wal_sync_us: Arc<Histogram>,
+    // -- recovery (seeded once, at durable start) --
+    /// `recover.replayed_ops`: WAL ops replayed at recovery.
+    pub recover_replayed_ops: Arc<Counter>,
+    /// `recover.torn_bytes`: torn WAL tail bytes discarded at recovery.
+    pub recover_torn_bytes: Arc<Counter>,
+    /// `recover.replay_us`: wall time of the recovery WAL replay.
+    pub recover_replay_us: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    /// Registers (or re-resolves) every serving metric in `reg` and caches
+    /// the handles.
+    pub fn register(reg: &MetricsRegistry) -> ServeMetrics {
+        ServeMetrics {
+            queries: reg.counter("serve.queries"),
+            scan_rows: reg.counter("serve.scan.rows"),
+            scan_cells_probed: reg.counter("serve.scan.cells_probed"),
+            scan_survivors: reg.counter("serve.scan.survivors"),
+            scan_bytes: reg.counter("serve.scan.bytes"),
+            query_us: reg.histogram("serve.query_us"),
+            merge_us: reg.histogram("serve.merge_us"),
+            failover_inline_scans: reg.counter("serve.failover.inline_scans"),
+            worker_panics: reg.counter("serve.workers.panics"),
+            workers_degraded: reg.gauge("serve.workers.degraded"),
+            encode_flushes: reg.counter("serve.encode.flushes"),
+            encode_graphs: reg.counter("serve.encode.graphs"),
+            encode_forward_us: reg.histogram("serve.encode.forward_us"),
+            encode_batch_fill: reg.histogram("serve.encode.batch_fill"),
+            encode_wait_ticks: reg.histogram("serve.encode.wait_ticks"),
+            wal_appends: reg.counter("wal.appends"),
+            wal_append_retries: reg.counter("wal.append_retries"),
+            wal_append_us: reg.histogram("wal.append_us"),
+            wal_sync_us: reg.histogram("wal.sync_us"),
+            recover_replayed_ops: reg.counter("recover.replayed_ops"),
+            recover_torn_bytes: reg.counter("recover.torn_bytes"),
+            recover_replay_us: reg.counter("recover.replay_us"),
+        }
+    }
+
+    /// Folds one query's aggregate [`ScanStats`](crate::ScanStats) into
+    /// the scan counters.
+    pub fn record_scan(&self, stats: &crate::ScanStats) {
+        self.scan_rows.add(stats.rows_scanned);
+        self.scan_cells_probed.add(stats.cells_probed);
+        self.scan_survivors.add(stats.survivors);
+        self.scan_bytes.add(stats.scan_bytes);
+    }
+}
+
+/// The observability bundle one [`Server`](crate::Server) and all its
+/// workers share: registry, the optional hot-path handles, the trace
+/// sampler, and the injected clock that timestamps trace stages.
+pub(crate) struct ServerObs {
+    /// The server's metric directory — [`Server::metrics`](crate::Server::metrics)
+    /// snapshots this.
+    pub registry: MetricsRegistry,
+    /// Hot-path handles; `None` when [`ObsConfig::metrics`] is off (the
+    /// instrumented-out baseline).
+    pub metrics: Option<ServeMetrics>,
+    /// The per-query sampling gate and span sink.
+    pub tracer: Tracer,
+    /// Trace-stage timestamps come from here — the same injected clock
+    /// that drives the coalescer, so spans are deterministic under a
+    /// [`VirtualClock`](crate::VirtualClock).
+    pub clock: Arc<dyn Clock>,
+}
+
+impl ServerObs {
+    /// Builds the bundle from an [`ObsConfig`] policy and the server's
+    /// injected clock.
+    pub fn new(cfg: ObsConfig, clock: Arc<dyn Clock>) -> ServerObs {
+        let registry = MetricsRegistry::new();
+        let metrics = cfg.metrics.then(|| ServeMetrics::register(&registry));
+        ServerObs {
+            registry,
+            metrics,
+            tracer: Tracer::new(cfg.trace_sample),
+            clock,
+        }
+    }
+}

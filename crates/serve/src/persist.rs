@@ -347,6 +347,9 @@ pub struct Recovery {
     pub snapshot_seq: u64,
     /// WAL ops replayed on top of the snapshot.
     pub replayed_ops: usize,
+    /// Wall time the WAL replay took, microseconds (snapshot load
+    /// excluded) — the recovery cost a `probe_recover` run reports.
+    pub replay_us: u64,
     /// Torn-tail bytes dropped from the WAL (a crash mid-append).
     pub torn_bytes: usize,
     /// Snapshots that failed verification, newest first — surfaced because
@@ -356,6 +359,35 @@ pub struct Recovery {
     pub tokenizer: Option<Tokenizer>,
     /// The model captured in the snapshot, when present.
     pub model: Option<ModelSpec>,
+}
+
+/// The `Copy` summary of what a [`Recovery`] did — detachable from the
+/// moved-out `index`/`wal`, so a server boot can capture it before handing
+/// those to [`Server::durable`](crate::Server::durable) and seed the
+/// `recover.*` metrics afterwards
+/// ([`Server::record_recovery`](crate::Server::record_recovery)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// `last_seq` of the snapshot recovery started from (0 = none found).
+    pub snapshot_seq: u64,
+    /// WAL ops replayed on top of the snapshot.
+    pub replayed_ops: usize,
+    /// Wall time the WAL replay took, microseconds.
+    pub replay_us: u64,
+    /// Torn-tail bytes dropped from the WAL.
+    pub torn_bytes: usize,
+}
+
+impl Recovery {
+    /// The detachable summary of this recovery.
+    pub fn stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            snapshot_seq: self.snapshot_seq,
+            replayed_ops: self.replayed_ops,
+            replay_us: self.replay_us,
+            torn_bytes: self.torn_bytes,
+        }
+    }
 }
 
 impl std::fmt::Debug for Recovery {
@@ -404,6 +436,7 @@ pub fn recover(
     // ops ≤ snapshot_seq are already folded into the snapshot (a crash
     // between snapshot write and WAL compaction leaves them behind); the
     // remainder must continue exactly at snapshot_seq + 1
+    let replay_start = std::time::Instant::now();
     let mut replayed = 0usize;
     for (seq, op) in &replay.ops {
         if *seq <= snapshot_seq {
@@ -435,6 +468,7 @@ pub fn recover(
         }
         replayed += 1;
     }
+    let replay_us = replay_start.elapsed().as_micros() as u64;
     // a skipped (corrupt) snapshot newer than everything recovered means
     // ops were compacted away that nothing can reproduce — data loss,
     // which must surface as an error, not a silently shorter index
@@ -455,6 +489,7 @@ pub fn recover(
         wal,
         snapshot_seq,
         replayed_ops: replayed,
+        replay_us,
         torn_bytes: replay.torn_bytes,
         skipped_snapshots: skipped,
         tokenizer,

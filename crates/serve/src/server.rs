@@ -64,12 +64,15 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use gbm_nn::{EncodedGraph, GraphBinMatch, ModelSpec};
+use gbm_obs::{MetricsSnapshot, ObsConfig, TraceSpan};
 use gbm_store::{StoreError, Wal, WalOp, WalState};
 use gbm_tensor::Tensor;
 
 use crate::clock::Clock;
 use crate::coalesce::{CoalescerConfig, CoalescerStats, EncodeCoalescer, FlushTrigger, Ticket};
-use crate::index::{GraphId, IndexConfig, ShardedIndex};
+use crate::index::{GraphId, IndexConfig, ScanStats, ShardedIndex};
+use crate::metrics::{ServeMetrics, ServerObs};
+use crate::persist::RecoveryStats;
 
 /// Worker topology and flush policy for a [`Server`].
 #[derive(Clone, Copy, Debug)]
@@ -82,6 +85,9 @@ pub struct ServerConfig {
     pub coalescer: CoalescerConfig,
     /// Sharding and scan precision of the index being served.
     pub index: IndexConfig,
+    /// Observability policy: metrics on/off and the trace sampling rate
+    /// ([`Server::metrics`] / [`Server::take_traces`]).
+    pub obs: ObsConfig,
 }
 
 impl Default for ServerConfig {
@@ -90,13 +96,16 @@ impl Default for ServerConfig {
             scan_workers: 2,
             coalescer: CoalescerConfig::default(),
             index: IndexConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
 
 impl ServerConfig {
     /// Applies the serving environment knobs on top of this config:
-    /// `GBM_SERVE_WORKERS` (scan worker threads) and, via
+    /// `GBM_SERVE_WORKERS` (scan worker threads), `GBM_METRICS` (0
+    /// disables the metrics registry — the instrumented-out baseline),
+    /// `GBM_TRACE_SAMPLE` (trace every N-th query; 0 = off) and, via
     /// [`CoalescerConfig::with_env`] and [`IndexConfig::with_env`],
     /// `GBM_FLUSH_TICKS` / `GBM_IVF_CELLS` / `GBM_SCAN_NPROBE`. Invalid
     /// values warn on stderr and leave the built-in defaults in force.
@@ -105,6 +114,14 @@ impl ServerConfig {
             crate::env::env_knob::<usize>("GBM_SERVE_WORKERS", "a scan worker thread count")
         {
             self.scan_workers = w;
+        }
+        if let Some(on) = crate::env::env_knob::<u64>("GBM_METRICS", "0 (off) or nonzero (on)") {
+            self.obs.metrics = on != 0;
+        }
+        if let Some(n) =
+            crate::env::env_knob::<u64>("GBM_TRACE_SAMPLE", "a trace sampling interval (0 = off)")
+        {
+            self.obs.trace_sample = n;
         }
         self.coalescer = self.coalescer.with_env();
         self.index = self.index.with_env();
@@ -227,8 +244,9 @@ enum Request {
     },
 }
 
-/// One worker's sorted shard-range partial top-K.
-type Partial = Vec<(GraphId, f32)>;
+/// One worker's sorted shard-range partial top-K, plus the scan-work
+/// accounting behind it.
+type Partial = (Vec<(GraphId, f32)>, ScanStats);
 
 enum ScanJob {
     Query {
@@ -318,6 +336,7 @@ pub struct Server {
     scan_workers: Vec<JoinHandle<()>>,
     worker_ranges: Vec<Range<usize>>,
     worker_failed: Arc<Vec<AtomicBool>>,
+    obs: Arc<ServerObs>,
     has_model: bool,
 }
 
@@ -391,6 +410,7 @@ impl Server {
         let index = Arc::new(RwLock::new(index));
         let num_shards = index.read().unwrap().num_shards();
         let workers = cfg.scan_workers.clamp(1, num_shards);
+        let obs = Arc::new(ServerObs::new(cfg.obs, Arc::clone(&clock)));
         let worker_failed: Arc<Vec<AtomicBool>> =
             Arc::new((0..workers).map(|_| AtomicBool::new(false)).collect());
         let mut scan_txs = Vec::with_capacity(workers);
@@ -403,17 +423,19 @@ impl Server {
             let idx = Arc::clone(&index);
             let failed = Arc::clone(&worker_failed);
             let shards = range.clone();
+            let wobs = Arc::clone(&obs);
             worker_ranges.push(range);
             scan_txs.push(tx);
             scan_workers.push(std::thread::spawn(move || {
-                scan_worker_loop(rx, idx, shards, failed, w)
+                scan_worker_loop(rx, idx, shards, failed, w, wobs)
             }));
         }
         let (encode_tx, encode_rx) = mpsc::channel::<Request>();
         let idx = Arc::clone(&index);
         let coalescer = cfg.coalescer;
+        let eobs = Arc::clone(&obs);
         let encode_worker = std::thread::spawn(move || {
-            encode_worker_loop(encode_rx, model, idx, clock, coalescer, wal)
+            encode_worker_loop(encode_rx, model, idx, clock, coalescer, wal, eobs)
         });
         Server {
             index,
@@ -423,6 +445,7 @@ impl Server {
             scan_workers,
             worker_ranges,
             worker_failed,
+            obs,
             has_model,
         }
     }
@@ -492,6 +515,9 @@ impl Server {
     /// (panicked) worker's shard range fails over to an inline scan on
     /// this thread; merge associativity keeps the degraded answer exact.
     pub fn query(&self, query: &[f32], k: usize) -> Vec<(GraphId, f32)> {
+        let wall = std::time::Instant::now();
+        let sampled = self.obs.tracer.sample();
+        let t_fan = self.obs.clock.now();
         let q: Arc<[f32]> = query.into();
         let mut replies: Vec<Option<Receiver<Partial>>> = Vec::with_capacity(self.scan_txs.len());
         for (w, tx) in self.scan_txs.iter().enumerate() {
@@ -514,7 +540,8 @@ impl Server {
                 }
             }
         }
-        let partials: Vec<Vec<(GraphId, f32)>> = replies
+        let mut inline_scans = 0u64;
+        let partials: Vec<Partial> = replies
             .into_iter()
             .enumerate()
             .map(|(w, rx)| match rx.map(|rx| rx.recv()) {
@@ -524,14 +551,80 @@ impl Server {
                         // died between accepting the job and replying
                         self.worker_failed[w].store(true, Ordering::SeqCst);
                     }
-                    self.index
-                        .read()
-                        .unwrap()
-                        .query_shards(self.worker_ranges[w].clone(), &q, k)
+                    inline_scans += 1;
+                    self.index.read().unwrap().query_shards_stats(
+                        self.worker_ranges[w].clone(),
+                        &q,
+                        k,
+                    )
                 }
             })
             .collect();
-        gbm_tensor::merge_ranked(&partials, k)
+        let t_merge = self.obs.clock.now();
+        let merge_wall = std::time::Instant::now();
+        let (lists, stats): (Vec<_>, Vec<_>) = partials.into_iter().unzip();
+        let merged = gbm_tensor::merge_ranked(&lists, k);
+        if let Some(m) = &self.obs.metrics {
+            let mut total = ScanStats::default();
+            for s in &stats {
+                total.merge(s);
+            }
+            m.queries.inc();
+            m.record_scan(&total);
+            m.failover_inline_scans.add(inline_scans);
+            m.merge_us.record(merge_wall.elapsed().as_micros() as u64);
+            m.query_us.record(wall.elapsed().as_micros() as u64);
+        }
+        if let Some(seq) = sampled {
+            // stage timestamps come from the injected clock, so a probe
+            // driving a VirtualClock gets bit-reproducible spans
+            let t_end = self.obs.clock.now();
+            let mut span = TraceSpan::new("query", seq, t_fan);
+            for (w, s) in stats.iter().enumerate() {
+                span.stage(&format!("scan.worker{w}"), t_fan, t_merge)
+                    .field("shards", s.shards)
+                    .field("rows_scanned", s.rows_scanned)
+                    .field("cells_probed", s.cells_probed)
+                    .field("survivors", s.survivors)
+                    .field("scan_bytes", s.scan_bytes);
+            }
+            span.stage("merge", t_merge, t_end)
+                .field("partials", stats.len() as u64)
+                .field("k", k as u64)
+                .field("inline_failovers", inline_scans);
+            span.finish(t_end);
+            self.obs.tracer.record(span);
+        }
+        merged
+    }
+
+    /// A point-in-time snapshot of every serving + durability metric:
+    /// encode flushes and forward latency, scan work (rows, IVF cells,
+    /// survivors, bytes), merge and whole-query latency, WAL append/fsync
+    /// timings and retries, recovery replay stats, and worker failover
+    /// counters. Empty sections when the server was built with
+    /// [`ObsConfig::metrics`] = false.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.registry.snapshot()
+    }
+
+    /// Drains every trace span sampled so far (oldest first). Empty unless
+    /// the server was built with a nonzero [`ObsConfig::trace_sample`].
+    pub fn take_traces(&self) -> Vec<TraceSpan> {
+        self.obs.tracer.take()
+    }
+
+    /// Seeds the `recover.*` metrics from the recovery this server was
+    /// booted from (capture [`Recovery::stats`] before moving its
+    /// `index`/`wal` into [`durable`](Self::durable)), so one exposition
+    /// snapshot tells the whole story: what replay cost at startup plus
+    /// everything served since.
+    pub fn record_recovery(&self, stats: RecoveryStats) {
+        if let Some(m) = &self.obs.metrics {
+            m.recover_replayed_ops.add(stats.replayed_ops as u64);
+            m.recover_torn_bytes.add(stats.torn_bytes as u64);
+            m.recover_replay_us.add(stats.replay_us);
+        }
     }
 
     /// Test-only: injects a panic into scan worker `w`'s job handler,
@@ -605,6 +698,7 @@ fn scan_worker_loop(
     shards: Range<usize>,
     failed: Arc<Vec<AtomicBool>>,
     me: usize,
+    obs: Arc<ServerObs>,
 ) {
     while let Ok(job) = rx.recv() {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job {
@@ -612,7 +706,7 @@ fn scan_worker_loop(
                 let partial = index
                     .read()
                     .unwrap()
-                    .query_shards(shards.clone(), &query, k);
+                    .query_shards_stats(shards.clone(), &query, k);
                 // a caller that gave up on the query just drops its receiver
                 let _ = reply.send(partial);
             }
@@ -626,6 +720,10 @@ fn scan_worker_loop(
             // shard range (only a *read* lock was held — no lock poisoning,
             // the index stays healthy for everyone else)
             failed[me].store(true, Ordering::SeqCst);
+            if let Some(m) = &obs.metrics {
+                m.worker_panics.inc();
+                m.workers_degraded.add(1);
+            }
             return;
         }
     }
@@ -640,18 +738,38 @@ const WAL_RETRY_BACKOFF: Duration = Duration::from_micros(100);
 
 /// Appends `op` with bounded retry-with-backoff. `Ok` means the op is in
 /// the log (write-ahead: the caller may now apply it); `Err` means it
-/// never made it and must not be applied.
-fn durable_append(wal: &mut Option<Wal>, op: &WalOp) -> Result<(), ServeError> {
+/// never made it and must not be applied. Successful appends record their
+/// cumulative append/fsync time deltas into the WAL histograms; every
+/// failed attempt counts one `wal.append_retries`.
+fn durable_append(
+    wal: &mut Option<Wal>,
+    op: &WalOp,
+    metrics: Option<&ServeMetrics>,
+) -> Result<(), ServeError> {
     let Some(w) = wal.as_mut() else {
         return Ok(()); // non-durable server: every op "logs" trivially
     };
+    let before = w.state();
     let mut backoff = WAL_RETRY_BACKOFF;
     let mut last: Option<StoreError> = None;
     for attempt in 0..WAL_RETRIES {
         match w.append(op) {
-            Ok(_) => return Ok(()),
+            Ok(_) => {
+                if let Some(m) = metrics {
+                    let after = w.state();
+                    m.wal_appends.inc();
+                    m.wal_append_us
+                        .record(after.append_us.saturating_sub(before.append_us));
+                    m.wal_sync_us
+                        .record(after.sync_us.saturating_sub(before.sync_us));
+                }
+                return Ok(());
+            }
             Err(e) => {
                 last = Some(e);
+                if let Some(m) = metrics {
+                    m.wal_append_retries.inc();
+                }
                 if attempt + 1 < WAL_RETRIES {
                     std::thread::sleep(backoff);
                     backoff *= 4;
@@ -676,6 +794,7 @@ fn encode_worker_loop(
     clock: Arc<dyn Clock>,
     cfg: CoalescerConfig,
     mut wal: Option<Wal>,
+    obs: Arc<ServerObs>,
 ) {
     // the replica is built here, inside the worker thread: the model's
     // parameter store is not Send, so it crosses the boundary as a
@@ -696,6 +815,7 @@ fn encode_worker_loop(
     // One coalescer flush: drain the queue, run the batched forward with NO
     // lock held (scans keep serving), then publish/reply row by row — only
     // the O(hidden) insert_row takes the write lock.
+    #[allow(clippy::too_many_arguments)]
     fn flush(
         co: &mut EncodeCoalescer,
         trigger: FlushTrigger,
@@ -704,6 +824,7 @@ fn encode_worker_loop(
         publish_ticket: &mut HashMap<GraphId, Ticket>,
         index: &RwLock<ShardedIndex>,
         wal: &mut Option<Wal>,
+        obs: &ServerObs,
     ) {
         let Some(batch) = co.begin_flush() else {
             return;
@@ -712,7 +833,38 @@ fn encode_worker_loop(
         let model = replica
             .as_ref()
             .expect("encode requests only reach a server built with a model");
+        let flush_tick = obs.clock.now();
+        let enqueued = batch.enqueued_at();
+        let forward_wall = std::time::Instant::now();
         let rows = model.encoder().embed_batch(&batch.graphs());
+        let forward_us = forward_wall.elapsed().as_micros() as u64;
+        if let Some(m) = &obs.metrics {
+            m.encode_flushes.inc();
+            m.encode_graphs.add(batch.len() as u64);
+            m.encode_forward_us.record(forward_us);
+            m.encode_batch_fill.record(batch.len() as u64);
+            for &at in &enqueued {
+                m.encode_wait_ticks.record(flush_tick.saturating_sub(at));
+            }
+        }
+        if let Some(seq) = obs.tracer.sample() {
+            let mut span = TraceSpan::new("encode_flush", seq, flush_tick);
+            let oldest = enqueued.iter().copied().min().unwrap_or(flush_tick);
+            span.stage("coalesce.wait", oldest, flush_tick)
+                .field("batch_size", enqueued.len() as u64)
+                .field(
+                    "max_wait_ticks",
+                    enqueued
+                        .iter()
+                        .map(|&at| flush_tick.saturating_sub(at))
+                        .max()
+                        .unwrap_or(0),
+                );
+            span.stage("encode.forward", flush_tick, obs.clock.now())
+                .field("forward_us", forward_us);
+            span.finish(obs.clock.now());
+            obs.tracer.record(span);
+        }
         let tickets = batch.tickets();
         co.complete_flush(batch, rows);
         for t in tickets {
@@ -739,7 +891,7 @@ fn encode_worker_loop(
                                 id,
                                 row: row.data().to_vec(),
                             };
-                            durable_append(wal, &op).map(|()| {
+                            durable_append(wal, &op, obs.metrics.as_ref()).map(|()| {
                                 index.write().unwrap().insert_row(id, row.data());
                             })
                         }
@@ -794,6 +946,7 @@ fn encode_worker_loop(
                             &mut publish_ticket,
                             &index,
                             &mut wal,
+                            &obs,
                         );
                     }
                 }
@@ -803,7 +956,7 @@ fn encode_worker_loop(
                     }
                     // write-ahead: log first, apply only on success
                     let op = WalOp::Insert { id, row };
-                    let result = durable_append(&mut wal, &op).map(|()| {
+                    let result = durable_append(&mut wal, &op, obs.metrics.as_ref()).map(|()| {
                         let WalOp::Insert { row, .. } = &op else {
                             unreachable!("op constructed as Insert above")
                         };
@@ -814,14 +967,17 @@ fn encode_worker_loop(
                 Request::Remove { id, done } => {
                     // write-ahead: a remove that cannot be logged is not
                     // applied (and does not cancel a pending insert either)
-                    let result = durable_append(&mut wal, &WalOp::Remove { id }).map(|()| {
-                        let mut existed = false;
-                        if let Some(t) = publish_ticket.remove(&id) {
-                            cancel_publish(&mut co, &mut dests, t);
-                            existed = true;
-                        }
-                        existed | index.write().unwrap().remove(id)
-                    });
+                    let result =
+                        durable_append(&mut wal, &WalOp::Remove { id }, obs.metrics.as_ref()).map(
+                            |()| {
+                                let mut existed = false;
+                                if let Some(t) = publish_ticket.remove(&id) {
+                                    cancel_publish(&mut co, &mut dests, t);
+                                    existed = true;
+                                }
+                                existed | index.write().unwrap().remove(id)
+                            },
+                        );
                     let _ = done.send(result);
                 }
                 Request::Shutdown { report } => {
@@ -843,6 +999,7 @@ fn encode_worker_loop(
                 &mut publish_ticket,
                 &index,
                 &mut wal,
+                &obs,
             );
         }
     }
@@ -857,6 +1014,7 @@ fn encode_worker_loop(
             &mut publish_ticket,
             &index,
             &mut wal,
+            &obs,
         );
     }
     // final sync: a failure leaves `unsynced` nonzero in the reported
@@ -1130,6 +1288,7 @@ mod tests {
                     encode_batch: 4,
                     ..Default::default()
                 },
+                ..Default::default()
             },
             Arc::clone(&clock) as Arc<dyn Clock>,
         ));
@@ -1454,5 +1613,218 @@ mod tests {
         assert_eq!(report.degraded_scan_workers, 3);
         assert!(report.wal.is_none(), "no WAL was attached");
         assert!(!report.is_durable(), "durability never claimed without one");
+    }
+
+    /// The tentpole acceptance criterion: one `Server::metrics()` snapshot
+    /// covers encode, scan, merge, WAL, recovery, and failover — every
+    /// counter and histogram the pipeline claims to record is present and
+    /// consistent with the load that was driven through it.
+    #[test]
+    fn metrics_snapshot_covers_encode_scan_merge_wal_and_failover() {
+        let (pool, vocab) = toy(6);
+        let m = model(vocab, 51);
+        let icfg = IndexConfig {
+            num_shards: 4,
+            encode_batch: 4,
+            precision: ScanPrecision::Int8 { widen: 2 },
+            ..Default::default()
+        };
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let dcfg = DurabilityConfig::new("/srv");
+        let rec = recover(Arc::clone(&storage), &dcfg, icfg).unwrap();
+        let rstats = rec.stats();
+        let server = Server::durable(
+            Some(&m),
+            rec.index,
+            ServerConfig {
+                scan_workers: 2,
+                coalescer: CoalescerConfig {
+                    max_batch: 3,
+                    max_wait: 1_000_000,
+                },
+                index: icfg,
+                ..Default::default()
+            },
+            Arc::new(VirtualClock::new()),
+            rec.wal,
+        );
+        server.record_recovery(rstats);
+        // encode path: two full batches of 3 through the coalescer + WAL
+        let handles: Vec<InsertHandle> = (0..6)
+            .map(|i| server.insert(i as GraphId, pool[i].clone()))
+            .collect();
+        for h in handles {
+            h.result().unwrap();
+        }
+        // scan + merge path: a few queries
+        let q = server.embedding(0).unwrap();
+        for _ in 0..3 {
+            server.query(q.data(), 4);
+        }
+        // failover path: retire a worker, then query through the gap
+        server.poison_scan_worker(1);
+        server.query(q.data(), 4);
+        server.query(q.data(), 4);
+
+        let snap = server.metrics();
+        // scan + merge
+        assert_eq!(snap.counter("serve.queries"), Some(5));
+        assert!(snap.counter("serve.scan.rows").unwrap() > 0);
+        assert!(snap.counter("serve.scan.survivors").unwrap() > 0, "int8");
+        assert!(snap.counter("serve.scan.bytes").unwrap() > 0);
+        assert_eq!(snap.counter("serve.scan.cells_probed"), Some(0), "no IVF");
+        assert_eq!(snap.histogram("serve.query_us").unwrap().count(), 5);
+        assert_eq!(snap.histogram("serve.merge_us").unwrap().count(), 5);
+        // encode
+        assert_eq!(snap.counter("serve.encode.flushes"), Some(2));
+        assert_eq!(snap.counter("serve.encode.graphs"), Some(6));
+        let fill = snap.histogram("serve.encode.batch_fill").unwrap();
+        assert_eq!((fill.count(), fill.max()), (2, 3));
+        assert_eq!(
+            snap.histogram("serve.encode.wait_ticks").unwrap().count(),
+            6,
+            "one wait sample per request"
+        );
+        assert_eq!(
+            snap.histogram("serve.encode.forward_us").unwrap().count(),
+            2
+        );
+        // WAL (write-ahead of every publish)
+        assert_eq!(snap.counter("wal.appends"), Some(6));
+        assert_eq!(snap.counter("wal.append_retries"), Some(0));
+        assert_eq!(snap.histogram("wal.append_us").unwrap().count(), 6);
+        // failover / degradation
+        assert_eq!(snap.counter("serve.workers.panics"), Some(1));
+        assert_eq!(snap.gauge("serve.workers.degraded"), Some(1));
+        assert!(
+            snap.counter("serve.failover.inline_scans").unwrap() >= 2,
+            "both degraded queries failed over worker 1's range inline"
+        );
+        // recovery seeding (a fresh boot: zeros, but the names are live)
+        assert_eq!(snap.counter("recover.replayed_ops"), Some(0));
+        assert_eq!(snap.counter("recover.torn_bytes"), Some(0));
+        // exposition renders and embeds
+        let text = snap.to_text();
+        assert!(text.contains("serve.queries 5"));
+        let json = snap.to_json();
+        assert!(json.contains("\"wal.appends\": 6"));
+        server.shutdown();
+
+        // and a recovery with real work seeds nonzero counters
+        let rec = recover(storage, &dcfg, icfg).unwrap();
+        assert_eq!(rec.replayed_ops, 6);
+        let rstats = rec.stats();
+        let server = Server::durable(
+            None,
+            rec.index,
+            ServerConfig {
+                index: icfg,
+                ..Default::default()
+            },
+            Arc::new(VirtualClock::new()),
+            rec.wal,
+        );
+        server.record_recovery(rstats);
+        let snap = server.metrics();
+        assert_eq!(snap.counter("recover.replayed_ops"), Some(6));
+        server.shutdown();
+    }
+
+    /// `ObsConfig { metrics: false }` is the instrumented-out baseline:
+    /// the registry stays empty (no atomics registered, the record sites
+    /// are dead branches) while serving is unaffected.
+    #[test]
+    fn disabled_metrics_serve_identically_with_an_empty_registry() {
+        let hidden = 4;
+        let rows = synth_rows(20, hidden, 13);
+        let server = Server::from_rows(
+            &rows,
+            hidden,
+            ServerConfig {
+                obs: ObsConfig {
+                    metrics: false,
+                    trace_sample: 0,
+                },
+                ..Default::default()
+            },
+            Arc::new(VirtualClock::new()),
+        );
+        let reference = ShardedIndex::from_rows(&rows, hidden, IndexConfig::default());
+        let q = &rows[..hidden];
+        assert_eq!(server.query(q, 5), reference.query(q, 5));
+        let snap = server.metrics();
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(server.take_traces().is_empty(), "tracing defaults off");
+        server.shutdown();
+    }
+
+    /// The trace determinism acceptance criterion: identical request
+    /// sequences against a virtual clock produce bit-identical span
+    /// streams — stage names, tick ranges, and every scan-stats field.
+    #[test]
+    fn sampled_traces_are_deterministic_under_a_virtual_clock() {
+        let run = || {
+            let hidden = 6;
+            let rows = synth_rows(64, hidden, 29);
+            let clock = Arc::new(VirtualClock::new());
+            let server = Server::from_rows(
+                &rows,
+                hidden,
+                ServerConfig {
+                    scan_workers: 2,
+                    index: IndexConfig {
+                        num_shards: 4,
+                        precision: ScanPrecision::Int8 { widen: 2 },
+                        ..Default::default()
+                    },
+                    obs: ObsConfig {
+                        metrics: true,
+                        trace_sample: 2, // every other query
+                    },
+                    ..Default::default()
+                },
+                Arc::clone(&clock) as Arc<dyn Clock>,
+            );
+            for i in 0..6usize {
+                clock.advance(3);
+                server.query(&rows[i * hidden..(i + 1) * hidden], 5);
+            }
+            let traces = server.take_traces();
+            server.shutdown();
+            traces
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.len(), 3, "every 2nd of 6 queries sampled");
+        assert_eq!(a, b, "virtual-clock traces are bit-reproducible");
+        // span shape: one stage per worker plus the merge
+        let span = &a[0];
+        assert_eq!(span.label, "query");
+        assert_eq!(span.stages.len(), 3, "2 scan workers + merge");
+        assert_eq!(span.stages[0].name, "scan.worker0");
+        assert_eq!(span.stages[2].name, "merge");
+        let fields: Vec<&str> = span.stages[0]
+            .fields
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            fields,
+            [
+                "shards",
+                "rows_scanned",
+                "cells_probed",
+                "survivors",
+                "scan_bytes"
+            ]
+        );
+        let rows_scanned: u64 = a
+            .iter()
+            .flat_map(|s| &s.stages)
+            .flat_map(|st| &st.fields)
+            .filter(|(k, _)| k == "rows_scanned")
+            .map(|&(_, v)| v)
+            .sum();
+        assert!(rows_scanned > 0, "sampled scans recorded their work");
     }
 }

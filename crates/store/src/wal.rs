@@ -193,6 +193,13 @@ pub struct WalState {
     pub fsync_each: bool,
     /// Append attempts that failed (each repaired before the next write).
     pub append_failures: u64,
+    /// Cumulative wall time spent inside [`Wal::append`], microseconds
+    /// (encode + storage write + any tail repair; fsync time is counted
+    /// under [`sync_us`](Self::sync_us) even when `fsync_each` triggers
+    /// it from inside an append).
+    pub append_us: u64,
+    /// Cumulative wall time spent inside [`Wal::sync`], microseconds.
+    pub sync_us: u64,
 }
 
 /// The append side of the log. One writer owns a log file; the server's
@@ -211,6 +218,10 @@ pub struct Wal {
     /// True when the last append may have left a torn tail.
     dirty: bool,
     append_failures: u64,
+    /// Cumulative microseconds inside `append` (excluding fsync).
+    append_us: u64,
+    /// Cumulative microseconds inside `sync`.
+    sync_us: u64,
 }
 
 impl Wal {
@@ -233,6 +244,8 @@ impl Wal {
             durable_len: 0,
             dirty: false,
             append_failures: 0,
+            append_us: 0,
+            sync_us: 0,
         })
     }
 
@@ -265,6 +278,8 @@ impl Wal {
             durable_len,
             dirty: false,
             append_failures: 0,
+            append_us: 0,
+            sync_us: 0,
         };
         Ok((wal, replay))
     }
@@ -274,6 +289,18 @@ impl Wal {
     /// error nothing logical changed (a torn tail may exist on disk; it
     /// is repaired before the next record) — safe to retry.
     pub fn append(&mut self, op: &WalOp) -> Result<u64, StoreError> {
+        let start = std::time::Instant::now();
+        let result = self.append_record(op);
+        self.append_us += start.elapsed().as_micros() as u64;
+        if result.is_ok() && self.fsync_each {
+            self.sync()?;
+        }
+        result
+    }
+
+    /// The write half of [`append`](Self::append): tail repair + encode +
+    /// storage append, timed as append work (fsync is timed separately).
+    fn append_record(&mut self, op: &WalOp) -> Result<u64, StoreError> {
         if self.dirty {
             // a failed append may have persisted a prefix; cut it off
             if let Err(e) = self.storage.truncate(&self.path, self.durable_len) {
@@ -293,15 +320,15 @@ impl Wal {
         self.next_seq += 1;
         self.appended += 1;
         self.unsynced += 1;
-        if self.fsync_each {
-            self.sync()?;
-        }
         Ok(seq)
     }
 
     /// Flushes appended records to durable media.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        self.storage.sync(&self.path)?;
+        let start = std::time::Instant::now();
+        let result = self.storage.sync(&self.path);
+        self.sync_us += start.elapsed().as_micros() as u64;
+        result?;
         self.unsynced = 0;
         Ok(())
     }
@@ -314,6 +341,8 @@ impl Wal {
             unsynced: self.unsynced,
             fsync_each: self.fsync_each,
             append_failures: self.append_failures,
+            append_us: self.append_us,
+            sync_us: self.sync_us,
         }
     }
 

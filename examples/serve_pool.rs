@@ -13,10 +13,13 @@
 //! cargo run --release --example serve_pool
 //! ```
 
+use std::sync::Arc;
+
 use gbm_nn::{encode_graph, EncodedGraph, GraphBinMatch, GraphBinMatchConfig};
 use gbm_progml::{build_graph, NodeTextMode};
 use gbm_serve::{
-    CoalescerConfig, EncodeCoalescer, IndexConfig, ScanPrecision, ShardedIndex, VirtualClock,
+    CoalescerConfig, EncodeCoalescer, IndexConfig, ScanPrecision, Server, ServerConfig,
+    ShardedIndex, VirtualClock,
 };
 use gbm_tokenizer::{Tokenizer, TokenizerConfig};
 use graphbinmatch::prelude::*;
@@ -178,6 +181,41 @@ fn main() {
         f32_index.scan_bytes(),
         f32_index.scan_bytes() as f64 / int8_index.scan_bytes() as f64
     );
+
+    // ── the concurrent server is instrumented end to end ────────────────
+    // Replay the three queries through a `Server` over the same pool and
+    // end on the gbm-obs registry exposition — the per-query scan work,
+    // merge latency, and query counters the serving stack reports for free.
+    let rows: Vec<f32> = (0..corpus.len() as u64)
+        .flat_map(|id| {
+            f32_index
+                .embedding(id)
+                .expect("candidate is indexed")
+                .data()
+                .to_vec()
+        })
+        .collect();
+    let server = Server::from_rows(
+        &rows,
+        f32_index.hidden(),
+        ServerConfig {
+            scan_workers: 2,
+            index: IndexConfig {
+                num_shards: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        Arc::new(VirtualClock::new()),
+    );
+    for g in query_graphs {
+        let emb = model.replica().encoder().embed(g);
+        let _ = server.query(emb.data(), 3);
+    }
+    let snapshot = server.metrics();
+    server.shutdown();
+    println!("\n--- server metrics exposition (text format) ---");
+    print!("{}", snapshot.to_text());
 
     println!("\n(untrained model — scores are illustrative; contrastively-trained");
     println!(" models make this cosine ranking the real retrieval path)");

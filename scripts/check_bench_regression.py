@@ -45,7 +45,13 @@ run*:
   scan_ivf` (the sub-linear win over the full int8 scan), plus two
   absolute floors from `meta.ivf_floors` — every printed
   `<group>/recall_ivf` row must reach `min_recall_at_10`, and at full
-  scale the IVF speedup must reach `min_speedup_full`.
+  scale the IVF speedup must reach `min_speedup_full`. The
+  `serve_query_obs_*` groups carry an absolute metrics-overhead ceiling
+  from `meta.metrics_overhead`: `server_metrics_on / server_metrics_off`
+  (the concurrent Server query sweep with the gbm-obs registry enabled vs
+  instrumented out) must stay under `max_ratio` — the "metrics are cheap
+  enough to leave on" acceptance criterion, checked fresh-run-only like
+  the floors.
 
 * `serve_concurrent`: per pool group, two ratio families against
   BENCH_serve_concurrent.json — `scaling_tT = scan_t1 / scan_tT` (the
@@ -232,6 +238,40 @@ def ivf_floor_failures(run_text: str, fresh: dict, baseline_doc: dict, quick: bo
     return msgs
 
 
+def metrics_overhead_failures(fresh: dict, baseline_doc: dict) -> list:
+    """Absolute observability gate from `meta.metrics_overhead`: in every
+    `serve_query_obs_*` group, the metrics-enabled Server query sweep must
+    stay within `max_ratio` of the instrumented-out baseline measured in
+    the same run. Host speed cancels; like the IVF floors this does not
+    drift with the baseline — it is the acceptance criterion itself."""
+    max_ratio = baseline_doc.get("meta", {}).get("metrics_overhead", {}).get("max_ratio")
+    if max_ratio is None:
+        return []
+    msgs = []
+    pairs = 0
+    for name, on in sorted(fresh.items()):
+        if not name.endswith("/server_metrics_on"):
+            continue
+        g = name.rsplit("/", 1)[0]
+        off = fresh.get(f"{g}/server_metrics_off")
+        if off is None:
+            msgs.append(f"{g}: server_metrics_on timed but server_metrics_off missing")
+            continue
+        pairs += 1
+        ratio = on / off
+        if ratio > max_ratio:
+            msgs.append(
+                f"{g}: metrics-on query sweep is {ratio:.3f}x the "
+                f"instrumented-out baseline (ceiling {max_ratio}x)"
+            )
+    if pairs == 0 and not msgs:
+        msgs.append(
+            "meta.metrics_overhead is set but no server_metrics_on/off rows "
+            "appeared in the fresh run — rerun the full serve_query bench"
+        )
+    return msgs
+
+
 def p99_ceiling_failures(fresh: dict, baseline_doc: dict, quick: bool) -> list:
     """Absolute tail gate: fresh p99 rows must stay under the baseline's
     `meta.p99_ceiling_ms` for the section. Returns failure messages."""
@@ -316,6 +356,10 @@ def main() -> int:
         for msg in floor_failures:
             print(f"FLOOR: {msg}")
         failed |= bool(floor_failures)
+        overhead_failures = metrics_overhead_failures(fresh, baseline_doc)
+        for msg in overhead_failures:
+            print(f"OVERHEAD: {msg}")
+        failed |= bool(overhead_failures)
     if failed:
         print(f"\n{bench} ratios regressed; see {BASELINES[bench].name} for baselines")
         return 1
