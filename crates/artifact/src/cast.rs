@@ -1,0 +1,89 @@
+//! Checked zero-copy reinterpretation of mapped bytes as typed slices.
+//!
+//! The artifact format lays every payload section out at a page-aligned
+//! offset in the file, and both map flavors guarantee at least 8-byte base
+//! alignment, so a section's bytes can be viewed as `&[u64]` / `&[f32]` /
+//! `&[u32]` / `&[i8]` in place. The casts here still *verify* alignment and
+//! size divisibility at runtime — a malformed TOC downgrades to a typed
+//! error instead of undefined behavior.
+
+use crate::error::ArtifactError;
+
+mod sealed {
+    /// Types a section may be reinterpreted as: fixed-size, no padding, any
+    /// bit pattern valid.
+    pub trait Pod: Copy {}
+    impl Pod for u8 {}
+    impl Pod for i8 {}
+    impl Pod for u32 {}
+    impl Pod for u64 {}
+    impl Pod for f32 {}
+}
+
+pub(crate) use sealed::Pod;
+
+/// Reinterprets `bytes` as a slice of `T` without copying. Errors when the
+/// byte length is not a whole number of elements or the pointer is not
+/// aligned for `T`.
+pub(crate) fn cast_slice<'a, T: Pod>(
+    bytes: &'a [u8],
+    what: &'static str,
+) -> Result<&'a [T], ArtifactError> {
+    let size = std::mem::size_of::<T>();
+    if !bytes.len().is_multiple_of(size) {
+        return Err(ArtifactError::Malformed {
+            what: format!("{what}: {} bytes is not a whole element count", bytes.len()),
+        });
+    }
+    if bytes.is_empty() {
+        return Ok(&[]);
+    }
+    let ptr = bytes.as_ptr();
+    if !(ptr as usize).is_multiple_of(std::mem::align_of::<T>()) {
+        return Err(ArtifactError::Malformed {
+            what: format!("{what}: section is not aligned for its element type"),
+        });
+    }
+    // SAFETY: `T: Pod` means any bit pattern is a valid `T` with no padding;
+    // length divisibility and pointer alignment were checked above; the
+    // returned lifetime is tied to `bytes`.
+    Ok(unsafe { std::slice::from_raw_parts(ptr as *const T, bytes.len() / size) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn casts_aligned_bytes_in_place() {
+        // Vec<u64> guarantees 8-byte alignment for the backing buffer.
+        let backing: Vec<u64> = vec![0x0807_0605_0403_0201, 0x1817_1615_1413_1211];
+        let bytes =
+            unsafe { std::slice::from_raw_parts(backing.as_ptr() as *const u8, backing.len() * 8) };
+        let u64s: &[u64] = cast_slice(bytes, "u64s").unwrap();
+        assert_eq!(u64s, &backing[..]);
+        let u32s: &[u32] = cast_slice(bytes, "u32s").unwrap();
+        assert_eq!(u32s.len(), 4);
+        assert_eq!(u32s[0], 0x0403_0201);
+        let i8s: &[i8] = cast_slice(bytes, "i8s").unwrap();
+        assert_eq!(i8s.len(), 16);
+        assert_eq!(i8s[0], 1);
+    }
+
+    #[test]
+    fn rejects_partial_elements_and_misalignment() {
+        let backing: Vec<u64> = vec![0, 0];
+        let bytes =
+            unsafe { std::slice::from_raw_parts(backing.as_ptr() as *const u8, backing.len() * 8) };
+        assert!(matches!(
+            cast_slice::<u64>(&bytes[..12], "short"),
+            Err(ArtifactError::Malformed { .. })
+        ));
+        assert!(matches!(
+            cast_slice::<u32>(&bytes[1..13], "offset"),
+            Err(ArtifactError::Malformed { .. })
+        ));
+        let empty: &[f32] = cast_slice(&bytes[..0], "empty").unwrap();
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! How artifact bytes get into the address space: a real `mmap` on unix
+//! (raw `extern "C"` binding — the workspace vendors no libc crate) or a
+//! portable read-to-heap fallback, both behind [`ArtifactMap`]. Readers are
+//! written against the trait, so the zero-copy path and the portable path
+//! serve queries through identical code.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// Which loading strategy backs a map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapKind {
+    /// `mmap(2)`: cold start is bounded by page faults, pages are shared
+    /// across reader processes by the page cache.
+    Mmap,
+    /// A heap buffer filled by ordinary reads: portable everywhere, still
+    /// decode-free (the artifact layout is served in place either way).
+    Heap,
+}
+
+/// A read-only byte mapping of an artifact file. The base pointer is
+/// guaranteed to be at least 8-byte aligned (page-aligned for
+/// [`MapKind::Mmap`]), which together with the format's page-aligned
+/// section offsets makes in-place typed casts safe.
+pub trait ArtifactMap: Send + Sync {
+    /// The mapped bytes.
+    fn bytes(&self) -> &[u8];
+    /// Which strategy produced this map.
+    fn kind(&self) -> MapKind;
+}
+
+/// The portable fallback: the whole file read into an 8-byte-aligned heap
+/// buffer.
+pub struct HeapMap {
+    /// Backing storage as `u64`s so the base alignment is 8 regardless of
+    /// allocator mood; `len` trims the tail padding word.
+    buf: Vec<u64>,
+    len: usize,
+}
+
+impl HeapMap {
+    /// Reads `path` fully into an aligned heap buffer.
+    pub fn read(path: &Path) -> io::Result<HeapMap> {
+        let mut f = File::open(path)?;
+        let expect = f.metadata()?.len() as usize;
+        let mut bytes = Vec::with_capacity(expect);
+        f.read_to_end(&mut bytes)?;
+        Ok(HeapMap::from_bytes(&bytes))
+    }
+
+    /// Wraps in-memory bytes (tests and the writer's self-verification).
+    pub fn from_bytes(bytes: &[u8]) -> HeapMap {
+        let words = bytes.len().div_ceil(8);
+        let mut buf = vec![0u64; words];
+        // SAFETY: the u64 buffer is at least bytes.len() bytes long and u64
+        // has no invalid bit patterns to corrupt.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), buf.as_mut_ptr() as *mut u8, bytes.len());
+        }
+        HeapMap {
+            buf,
+            len: bytes.len(),
+        }
+    }
+}
+
+impl ArtifactMap for HeapMap {
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: buf holds at least `len` initialized bytes.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr() as *const u8, self.len) }
+    }
+
+    fn kind(&self) -> MapKind {
+        MapKind::Heap
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A private read-only `mmap` of the whole file. The fd is closed after
+/// mapping (the mapping keeps the pages alive); `Drop` unmaps.
+#[cfg(unix)]
+pub struct MmapMap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE — immutable shared bytes,
+// like a leaked &'static [u8].
+#[cfg(unix)]
+unsafe impl Send for MmapMap {}
+#[cfg(unix)]
+unsafe impl Sync for MmapMap {}
+
+#[cfg(unix)]
+impl MmapMap {
+    /// Maps `path` read-only.
+    pub fn open(path: &Path) -> io::Result<MmapMap> {
+        use std::os::unix::io::AsRawFd;
+        let f = File::open(path)?;
+        let len = f.metadata()?.len() as usize;
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "cannot map an empty artifact",
+            ));
+        }
+        // SAFETY: fd is a freshly opened readable file, len is its size,
+        // and we request a fresh private read-only mapping (addr = null).
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                f.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr.is_null() || ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MmapMap {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+}
+
+#[cfg(unix)]
+impl Drop for MmapMap {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len describe exactly the mapping mmap returned.
+        unsafe {
+            sys::munmap(self.ptr as *mut std::os::raw::c_void, self.len);
+        }
+    }
+}
+
+#[cfg(unix)]
+impl ArtifactMap for MmapMap {
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: the mapping is len bytes of readable memory for as long
+        // as self lives.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    fn kind(&self) -> MapKind {
+        MapKind::Mmap
+    }
+}
+
+/// Opens `path` with the preferred strategy. `prefer_mmap` tries the
+/// zero-copy map first and falls back to the heap on any mapping failure
+/// (or off-unix); the second return value reports whether a fallback
+/// happened, so callers can count it. A missing/unreadable file is an error
+/// either way.
+pub fn open_map(path: &Path, prefer_mmap: bool) -> io::Result<(Box<dyn ArtifactMap>, bool)> {
+    #[cfg(unix)]
+    if prefer_mmap {
+        match MmapMap::open(path) {
+            Ok(m) => return Ok((Box::new(m), false)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(e),
+            Err(_) => return Ok((Box::new(HeapMap::read(path)?), true)),
+        }
+    }
+    // heap: explicitly requested, or no zero-copy flavor on this platform
+    let fell_back = prefer_mmap && cfg!(not(unix));
+    Ok((Box::new(HeapMap::read(path)?), fell_back))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("gbm-artifact-map-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn heap_map_round_trips_bytes_with_aligned_base() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_001).collect();
+        let path = tmp_file("heap", &data);
+        let m = HeapMap::read(&path).unwrap();
+        assert_eq!(m.bytes(), &data[..]);
+        assert_eq!(m.kind(), MapKind::Heap);
+        assert_eq!(m.bytes().as_ptr() as usize % 8, 0, "8-byte aligned base");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_map_serves_the_same_bytes() {
+        let data: Vec<u8> = (0..9000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let path = tmp_file("mmap", &data);
+        let m = MmapMap::open(&path).unwrap();
+        assert_eq!(m.bytes(), &data[..]);
+        assert_eq!(m.kind(), MapKind::Mmap);
+        assert_eq!(m.bytes().as_ptr() as usize % 4096, 0, "page-aligned base");
+        drop(m); // munmap must not blow up
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn open_map_prefers_mmap_and_errors_on_missing_files() {
+        let data = vec![7u8; 4096];
+        let path = tmp_file("open", &data);
+        let (m, fell_back) = open_map(&path, true).unwrap();
+        assert_eq!(m.bytes(), &data[..]);
+        if cfg!(unix) {
+            assert_eq!(m.kind(), MapKind::Mmap);
+            assert!(!fell_back);
+        } else {
+            assert_eq!(m.kind(), MapKind::Heap);
+            assert!(fell_back);
+        }
+        let (h, fell_back) = open_map(&path, false).unwrap();
+        assert_eq!(h.kind(), MapKind::Heap);
+        assert!(!fell_back, "asking for heap is not a fallback");
+        std::fs::remove_file(&path).ok();
+        assert!(open_map(&path, true).is_err(), "missing file is an error");
+    }
+}

@@ -58,7 +58,7 @@ struct ThreadRecord {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let json = gbm_bench::probe_args().json;
     let rows = synth_unit_rows(ROWS, HIDDEN, SEED);
     let icfg = IndexConfig {
         num_shards: SHARDS,

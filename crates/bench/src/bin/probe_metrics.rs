@@ -54,7 +54,7 @@ fn state_dir() -> PathBuf {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let json = gbm_bench::probe_args().json;
     let (tok, pool) = gbm_bench::minic_pool(POOL);
     let mut rng = StdRng::seed_from_u64(11);
     let model = GraphBinMatch::new(GraphBinMatchConfig::tiny(tok.vocab_size()), &mut rng);

@@ -232,7 +232,7 @@ fn analyze(
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let json = gbm_bench::probe_args().json;
     let quick = matches!(std::env::var("GBM_SCALE").as_deref(), Ok("quick"));
 
     // spread pool: the scan bench's synthetic serving-scale rows

@@ -69,7 +69,7 @@ struct RateRecord {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let json = gbm_bench::probe_args().json;
     let (tok, requests) = gbm_bench::minic_pool(32);
     let vocab = tok.vocab_size();
     let mut rng = StdRng::seed_from_u64(1);

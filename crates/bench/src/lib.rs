@@ -39,6 +39,39 @@ fn env_knob<T: std::str::FromStr>(name: &str, what: &str) -> Option<T> {
     }
 }
 
+/// The shared CLI contract of the `probe_*` binaries, parsed once by
+/// [`probe_args`]: every probe accepts `-- --json` for the
+/// machine-readable document, and the multi-process drills re-exec
+/// themselves with `--flag value` pairs ([`ProbeArgs::flag_value`]).
+pub struct ProbeArgs {
+    /// `--json` was passed: print the JSON document instead of the table.
+    pub json: bool,
+    args: Vec<String>,
+}
+
+impl ProbeArgs {
+    /// The value following `--<name>`, for probes that re-exec themselves
+    /// with role flags (e.g. `--role writer --dir /tmp/x`).
+    pub fn flag_value(&self, name: &str) -> Option<&str> {
+        let flag = format!("--{name}");
+        self.args
+            .iter()
+            .position(|a| *a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+}
+
+/// Parses the probe CLI contract from `std::env::args()` — the one place
+/// every probe binary's `--json` (and role-flag) handling lives.
+pub fn probe_args() -> ProbeArgs {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ProbeArgs {
+        json: args.iter().any(|a| a == "--json"),
+        args,
+    }
+}
+
 /// Reads `GBM_SCALE` (and optional `GBM_EPOCHS` / `GBM_SEED` /
 /// `GBM_ENCODE_BATCH` / `GBM_OBJECTIVE` overrides) and returns the
 /// corresponding harness configuration. Invalid values warn and fall back.

@@ -30,6 +30,7 @@
 
 pub mod clock;
 pub mod hist;
+pub mod names;
 pub mod registry;
 pub mod trace;
 

@@ -1,0 +1,26 @@
+//! Stable metric names shared across processes.
+//!
+//! Most serving metrics are registered and read inside one process, so
+//! their names live next to the recorder. The artifact metrics are
+//! different: a writer process publishes, reader processes map, and the
+//! multi-process drill (`probe_artifact`) asserts on the readers' counts
+//! by name — the names are an exposition contract crossing process
+//! boundaries, so they live here in the leaf crate both sides depend on.
+
+/// Counter: artifact files mapped (initial opens and generation swaps).
+pub const ARTIFACT_MAPS: &str = "artifact.maps";
+
+/// Counter: generation swaps — a newer `CURRENT` was observed and the
+/// reader remapped onto it (subset of [`ARTIFACT_MAPS`]).
+pub const ARTIFACT_REMAPS: &str = "artifact.remaps";
+
+/// Counter: opens that asked for `mmap` but fell back to a heap read.
+pub const ARTIFACT_MAP_FALLBACKS: &str = "artifact.map_fallbacks";
+
+/// Counter: artifact opens that failed (I/O, checksum, malformed layout).
+/// The reader keeps serving its last good generation when this ticks.
+pub const ARTIFACT_OPEN_ERRORS: &str = "artifact.open_errors";
+
+/// Histogram: microseconds from "open the artifact file" to "ready to
+/// serve" — the cold-start cost the zero-copy format exists to bound.
+pub const ARTIFACT_COLD_LOAD_US: &str = "artifact.cold_load_us";

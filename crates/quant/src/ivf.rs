@@ -145,6 +145,18 @@ impl IvfCells {
         &self.centroids
     }
 
+    /// `‖centroid‖²` per cell, parallel to [`centroids`](Self::centroids)
+    /// (for persistence — serializing the norms keeps a restored index
+    /// bit-identical without recomputation).
+    pub fn cent_sqnorms(&self) -> &[f32] {
+        &self.cent_sqnorms
+    }
+
+    /// Row width recorded at training time (0 while untrained).
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
     /// Observes a freshly appended row. `rows` is the full post-push matrix
     /// (the new row is its last). Assigns the row to its nearest cell when
     /// trained; triggers the initial train once the pool reaches
@@ -223,17 +235,7 @@ impl IvfCells {
             return Vec::new();
         }
         assert_eq!(query.len(), self.hidden, "query width mismatch");
-        let mut dists = Vec::new();
-        centroid_sq_dists(&self.centroids, &self.cent_sqnorms, query, &mut dists);
-        // top_k selects largest: negate so the smallest distances win while
-        // keeping the lowest-index tie-break
-        for d in &mut dists {
-            *d = -*d;
-        }
-        top_k(&dists, nprobe)
-            .into_iter()
-            .map(|(c, _)| c as u32)
-            .collect()
+        probe_nearest_cells(&self.centroids, &self.cent_sqnorms, query, nprobe)
     }
 
     /// Cost accounting for a probe over `probed` cell indices (as returned
@@ -367,6 +369,140 @@ impl IvfCells {
                 .chunks_exact(hidden)
                 .map(|c| c.iter().map(|v| v * v).sum::<f32>()),
         );
+    }
+}
+
+/// The `nprobe` cells nearest to `query` by squared centroid distance, best
+/// first, ties broken by the lowest cell index — the single probe
+/// definition shared by [`IvfCells`] and [`IvfCellsView`], so owned and
+/// memory-mapped indexes order cells bit-identically.
+fn probe_nearest_cells(
+    centroids: &[f32],
+    cent_sqnorms: &[f32],
+    query: &[f32],
+    nprobe: usize,
+) -> Vec<u32> {
+    let mut dists = Vec::new();
+    centroid_sq_dists(centroids, cent_sqnorms, query, &mut dists);
+    // top_k selects largest: negate so the smallest distances win while
+    // keeping the lowest-index tie-break
+    for d in &mut dists {
+        *d = -*d;
+    }
+    top_k(&dists, nprobe)
+        .into_iter()
+        .map(|(c, _)| c as u32)
+        .collect()
+}
+
+/// A borrowed, read-only view of a *trained* cell index in CSR layout: the
+/// probe-facing subset of [`IvfCells`] over flat slices that may live
+/// directly in a memory-mapped artifact. Cell `c`'s members are
+/// `members[offsets[c] .. offsets[c+1]]`; probes and cost accounting use
+/// the exact same arithmetic as the owned index.
+#[derive(Clone, Copy, Debug)]
+pub struct IvfCellsView<'a> {
+    centroids: &'a [f32],
+    cent_sqnorms: &'a [f32],
+    offsets: &'a [u32],
+    members: &'a [u32],
+    cell_of: &'a [u32],
+    hidden: usize,
+}
+
+impl<'a> IvfCellsView<'a> {
+    /// Wraps flat CSR slices. Panics unless the layout is internally
+    /// consistent: `offsets` has one entry per cell plus the terminal
+    /// member count, is monotone, and both mapping directions cover the
+    /// same `n = cell_of.len() = members.len()` rows.
+    pub fn new(
+        centroids: &'a [f32],
+        cent_sqnorms: &'a [f32],
+        offsets: &'a [u32],
+        members: &'a [u32],
+        cell_of: &'a [u32],
+        hidden: usize,
+    ) -> IvfCellsView<'a> {
+        assert!(hidden > 0, "hidden must be positive");
+        assert_eq!(centroids.len() % hidden, 0, "centroids must be a matrix");
+        let ncells = centroids.len() / hidden;
+        assert!(ncells > 0, "a trained index has at least one cell");
+        assert_eq!(cent_sqnorms.len(), ncells, "one sqnorm per centroid");
+        assert_eq!(offsets.len(), ncells + 1, "offsets are ncells + 1");
+        assert_eq!(offsets[0], 0, "offsets start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        assert_eq!(
+            offsets[ncells] as usize,
+            members.len(),
+            "offsets must terminate at the member count"
+        );
+        assert_eq!(
+            cell_of.len(),
+            members.len(),
+            "both mapping directions cover the same rows"
+        );
+        IvfCellsView {
+            centroids,
+            cent_sqnorms,
+            offsets,
+            members,
+            cell_of,
+            hidden,
+        }
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cent_sqnorms.len()
+    }
+
+    /// Row width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// The dense `[ncells × hidden]` centroid matrix.
+    pub fn centroids(&self) -> &'a [f32] {
+        self.centroids
+    }
+
+    /// The member rows of cell `c` (same order the owned index serialized).
+    pub fn cell(&self, c: usize) -> &'a [u32] {
+        &self.members[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
+
+    /// Cell assignment per row, row-indexed.
+    pub fn cell_of(&self) -> &'a [u32] {
+        self.cell_of
+    }
+
+    /// The `nprobe` nearest cells, best first — bit-identical to
+    /// [`IvfCells::probe_cells`] on the same centroid data.
+    pub fn probe_cells(&self, query: &[f32], nprobe: usize) -> Vec<u32> {
+        assert_eq!(query.len(), self.hidden, "query width mismatch");
+        probe_nearest_cells(self.centroids, self.cent_sqnorms, query, nprobe)
+    }
+
+    /// Cost accounting for a probe over `probed` cells — same formula as
+    /// [`IvfCells::probe_stats`].
+    pub fn probe_stats(&self, probed: &[u32]) -> IvfProbeStats {
+        let members: usize = probed.iter().map(|&c| self.cell(c as usize).len()).sum();
+        IvfProbeStats {
+            cells_probed: probed.len(),
+            members_visited: members,
+            probe_bytes: (self.centroids.len() + self.cent_sqnorms.len() + members) * 4,
+        }
+    }
+
+    /// Bytes the IVF structures add to a scan pass — same formula as
+    /// [`IvfCells::scan_bytes`] (the CSR offsets stand in for the owned
+    /// index's per-cell list headers and are not charged).
+    pub fn scan_bytes(&self) -> usize {
+        (self.centroids.len() + self.cent_sqnorms.len() + self.members.len() + self.cell_of.len())
+            * 4
     }
 }
 
@@ -588,6 +724,48 @@ mod tests {
             (4 * hidden + 4) * 4,
             "every probe scores every centroid"
         );
+    }
+
+    #[test]
+    fn csr_view_probes_bit_identically_to_the_owned_index() {
+        let hidden = 8;
+        let n = IVF_MIN_TRAIN_ROWS + 32;
+        let rows = clustered_rows(n, hidden, 4, 7);
+        let ivf = build(&rows, hidden, 0, 42);
+        assert!(ivf.is_trained());
+
+        // flatten the owned cells into CSR form, exactly as a serializer
+        // would
+        let mut offsets = vec![0u32];
+        let mut members = Vec::new();
+        for c in 0..ivf.num_cells() {
+            members.extend_from_slice(ivf.cell(c));
+            offsets.push(members.len() as u32);
+        }
+        let view = IvfCellsView::new(
+            ivf.centroids(),
+            ivf.cent_sqnorms(),
+            &offsets,
+            &members,
+            ivf.cell_of(),
+            hidden,
+        );
+
+        assert_eq!(view.num_cells(), ivf.num_cells());
+        assert_eq!(view.hidden(), ivf.hidden());
+        assert_eq!(view.scan_bytes(), ivf.scan_bytes());
+        for c in 0..ivf.num_cells() {
+            assert_eq!(view.cell(c), ivf.cell(c), "cell {c} members");
+        }
+        for r in 0..8 {
+            let q = &rows[r * hidden..(r + 1) * hidden];
+            for nprobe in [1usize, 2, 5, 99] {
+                let owned = ivf.probe_cells(q, nprobe);
+                let mapped = view.probe_cells(q, nprobe);
+                assert_eq!(owned, mapped, "probe order (row {r}, nprobe {nprobe})");
+                assert_eq!(ivf.probe_stats(&owned), view.probe_stats(&mapped));
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ use gbm_tensor::dot_i8_blocked;
 
 mod ivf;
 
-pub use ivf::{IvfCells, IvfProbeStats, IVF_MIN_TRAIN_ROWS};
+pub use ivf::{IvfCells, IvfCellsView, IvfProbeStats, IVF_MIN_TRAIN_ROWS};
 
 /// A vector quantized to int8 codes with one symmetric scale:
 /// `x[i] ≈ scale · codes[i]`.
@@ -165,13 +165,89 @@ impl QuantizedMatrix {
     /// sum accumulated exactly in i32.
     #[inline]
     pub fn approx_dot(&self, r: usize, q: &QuantizedVector) -> f32 {
-        self.scales[r] * q.scale * dot_i8_blocked(self.codes_row(r), &q.codes) as f32
+        self.as_view().approx_dot(r, q)
     }
 
     /// Bytes a full scan of this matrix touches: one byte per code plus one
     /// f32 scale per row (the 4× story vs `rows · hidden · 4` for f32).
     pub fn scan_bytes(&self) -> usize {
         self.codes.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// A borrowed view over this matrix' codes and scales. Scans written
+    /// against [`QuantizedMatrixView`] serve owned and memory-mapped
+    /// matrices through the exact same arithmetic.
+    #[inline]
+    pub fn as_view(&self) -> QuantizedMatrixView<'_> {
+        QuantizedMatrixView {
+            codes: &self.codes,
+            scales: &self.scales,
+            hidden: self.hidden,
+        }
+    }
+}
+
+/// A borrowed-slice view of a quantized code matrix: the scan-facing subset
+/// of [`QuantizedMatrix`] over `&[i8]` codes and `&[f32]` scales that may
+/// live in an owned mirror or directly in a memory-mapped artifact.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantizedMatrixView<'a> {
+    codes: &'a [i8],
+    scales: &'a [f32],
+    hidden: usize,
+}
+
+impl<'a> QuantizedMatrixView<'a> {
+    /// Wraps raw code/scale slices. `codes` must be row-major with
+    /// `scales.len()` rows of width `hidden`.
+    pub fn new(codes: &'a [i8], scales: &'a [f32], hidden: usize) -> QuantizedMatrixView<'a> {
+        assert_eq!(
+            codes.len(),
+            scales.len() * hidden,
+            "codes must be a whole {} x {hidden} matrix",
+            scales.len()
+        );
+        QuantizedMatrixView {
+            codes,
+            scales,
+            hidden,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Row width.
+    #[inline]
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// The codes of row `r`.
+    #[inline]
+    pub fn codes_row(&self, r: usize) -> &'a [i8] {
+        &self.codes[r * self.hidden..(r + 1) * self.hidden]
+    }
+
+    /// The scale of row `r`.
+    #[inline]
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// Approximate dot product of a quantized query against row `r` — the
+    /// single definition both owned and mapped scans resolve to.
+    #[inline]
+    pub fn approx_dot(&self, r: usize, q: &QuantizedVector) -> f32 {
+        self.scales[r] * q.scale * dot_i8_blocked(self.codes_row(r), &q.codes) as f32
+    }
+
+    /// Bytes a full scan of this view touches.
+    pub fn scan_bytes(&self) -> usize {
+        self.codes.len() + std::mem::size_of_val(self.scales)
     }
 }
 

@@ -21,6 +21,7 @@ pub(crate) fn env_knob<T: std::str::FromStr>(name: &str, what: &str) -> Option<T
 
 #[cfg(test)]
 mod tests {
+    use crate::artifact::ArtifactConfig;
     use crate::coalesce::CoalescerConfig;
     use crate::index::IndexConfig;
     use crate::quantized::ScanPrecision;
@@ -126,6 +127,27 @@ mod tests {
         }
         .with_env();
         assert_eq!(sv.index.ivf_cells, 16);
+
+        // artifact knobs: GBM_ARTIFACT_DIR repoints the reader,
+        // GBM_ARTIFACT_MMAP toggles the map path; unparsable values warn
+        // and keep the defaults like every other knob
+        std::env::remove_var("GBM_ARTIFACT_DIR");
+        std::env::remove_var("GBM_ARTIFACT_MMAP");
+        let ac = ArtifactConfig::new("/base").with_env();
+        assert_eq!(ac.dir, std::path::PathBuf::from("/base"));
+        assert!(ac.mmap, "mmap defaults on");
+        std::env::set_var("GBM_ARTIFACT_DIR", "/published/here");
+        std::env::set_var("GBM_ARTIFACT_MMAP", "false");
+        let ac = ArtifactConfig::new("/base").with_env();
+        assert_eq!(ac.dir, std::path::PathBuf::from("/published/here"));
+        assert!(!ac.mmap);
+        std::env::set_var("GBM_ARTIFACT_MMAP", "mapped");
+        assert!(
+            ArtifactConfig::new("/base").with_env().mmap,
+            "unparsable GBM_ARTIFACT_MMAP keeps the default"
+        );
+        std::env::remove_var("GBM_ARTIFACT_DIR");
+        std::env::remove_var("GBM_ARTIFACT_MMAP");
 
         std::env::remove_var("GBM_FLUSH_TICKS");
         std::env::remove_var("GBM_SERVE_WORKERS");

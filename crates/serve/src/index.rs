@@ -30,11 +30,12 @@
 use std::collections::HashMap;
 
 use gbm_nn::{EmbeddingStore, EncodedGraph, GraphBinMatch};
-use gbm_quant::{quantize_vector, IvfCells};
-use gbm_tensor::{top_k, Tensor};
+use gbm_quant::IvfCells;
+use gbm_tensor::Tensor;
 use rayon::prelude::*;
 
 use crate::quantized::{QuantizedShard, ScanPrecision};
+use crate::scan::{prepare_query, scan_shard, IvfRef, ShardView};
 
 /// Identifier of a graph in the index (for pool-backed indexes: the pool
 /// position).
@@ -159,13 +160,6 @@ pub fn shard_of(id: GraphId, num_shards: usize) -> usize {
     (splitmix64(id) % num_shards.max(1) as u64) as usize
 }
 
-/// Same accumulation order as [`EmbeddingStore::cosine`] — keeps sharded
-/// scores bit-identical to the monolithic scan.
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
-}
-
 /// One shard: a dense embedding matrix plus its pending (queued, not yet
 /// encoded) inserts, and — when the index scans at int8 — a quantized
 /// mirror of the rows maintained in lockstep.
@@ -228,154 +222,18 @@ impl Shard {
         true
     }
 
-    /// Blocked top-K scan: score `SCAN_BLOCK` rows at a time into a reused
-    /// buffer, partial-select each block, and merge into the running best
-    /// list. Returns `(id, score)` sorted by `(score desc, row asc)`.
-    fn scan_top_k(
-        &self,
-        query: &[f32],
-        k: usize,
-        hidden: usize,
-        stats: &mut ScanStats,
-    ) -> Vec<(GraphId, f32)> {
-        if k == 0 || self.ids.is_empty() {
-            return Vec::new();
+    /// This shard's scannable state as borrowed slices — the owned side of
+    /// the [`ShardView`] contract the scan kernels (`crate::scan`) run
+    /// over. The mapped [`ReadOnlyIndex`](crate::artifact::ReadOnlyIndex)
+    /// builds the same view type from artifact bytes, so both index
+    /// flavors execute literally the same scan code.
+    fn view(&self) -> ShardView<'_> {
+        ShardView {
+            ids: &self.ids,
+            rows: &self.rows,
+            quant: self.quant.as_ref().and_then(QuantizedShard::view),
+            ivf: self.ivf.as_ref().map(IvfRef::Owned),
         }
-        stats.rows_scanned += self.ids.len() as u64;
-        stats.scan_bytes += (self.rows.len() * std::mem::size_of::<f32>()) as u64;
-        let mut best: Vec<(usize, f32)> = Vec::new();
-        let mut scores = [0.0f32; SCAN_BLOCK];
-        for (block, rows) in self.rows.chunks(SCAN_BLOCK * hidden).enumerate() {
-            let n = rows.len() / hidden;
-            for (r, row) in rows.chunks_exact(hidden).enumerate() {
-                scores[r] = dot(query, row);
-            }
-            let block_best = top_k(&scores[..n], k);
-            let offset = block * SCAN_BLOCK;
-            best = merge_row_ranked(
-                best,
-                block_best
-                    .into_iter()
-                    .map(|(r, s)| (r + offset, s))
-                    .collect(),
-                k,
-            );
-        }
-        best.into_iter().map(|(r, s)| (self.ids[r], s)).collect()
-    }
-
-    /// Quantized top-K scan: an int8 coarse scan keeps the approximate
-    /// top-`k·widen` rows plus the quantization-error margin zone, then
-    /// exactly those candidates are re-scored against the retained f32
-    /// rows — same [`dot`] accumulation order as the f32 scan, candidates
-    /// visited in ascending row order, so ids, scores, and tie order all
-    /// match [`Shard::scan_top_k`] unconditionally (the margin provably
-    /// covers the true top-K; see `quantized`'s module docs).
-    #[allow(clippy::too_many_arguments)]
-    fn scan_top_k_int8(
-        &self,
-        query: &[f32],
-        q: &gbm_quant::QuantizedVector,
-        l1_q: f32,
-        k: usize,
-        widen: usize,
-        hidden: usize,
-        stats: &mut ScanStats,
-    ) -> Vec<(GraphId, f32)> {
-        if k == 0 || self.ids.is_empty() {
-            return Vec::new();
-        }
-        let quant = self
-            .quant
-            .as_ref()
-            .expect("int8 scan requires the quantized mirror");
-        let kprime = k.saturating_mul(widen.max(1)).min(self.ids.len());
-        let candidates = quant.scan_candidates_blocked(q, l1_q, kprime);
-        // exact re-rank in ascending row order: top_k ties then break by
-        // candidate position = row index, exactly as the full f32 scan
-        let mut cand_rows: Vec<usize> = candidates.into_iter().map(|(r, _)| r).collect();
-        cand_rows.sort_unstable();
-        stats.rows_scanned += self.ids.len() as u64;
-        stats.survivors += cand_rows.len() as u64;
-        stats.scan_bytes += (quant.scan_bytes() + cand_rows.len() * hidden * 4) as u64;
-        let exact: Vec<f32> = cand_rows
-            .iter()
-            .map(|&r| dot(query, &self.rows[r * hidden..(r + 1) * hidden]))
-            .collect();
-        top_k(&exact, k)
-            .into_iter()
-            .map(|(i, s)| (self.ids[cand_rows[i]], s))
-            .collect()
-    }
-
-    /// IVF approximate top-K scan: probe the `nprobe` cells whose
-    /// centroids sit nearest the query, approximate-score only their
-    /// member rows over the int8 mirror, keep the best `k · widen`, and
-    /// exact-f32 re-rank those (ascending row order, same [`dot`] as every
-    /// other path, so returned scores are exact even though the candidate
-    /// *set* is approximate). Deterministic end to end — probe order,
-    /// member order, and tie-breaks are all fixed — but rows in unprobed
-    /// cells are never seen: the contract is the measured recall floor,
-    /// not rank identity. Untrained shards (fewer than
-    /// [`gbm_quant::IVF_MIN_TRAIN_ROWS`] rows) fall back to
-    /// [`scan_top_k_int8`](Self::scan_top_k_int8), which *is* exact.
-    #[allow(clippy::too_many_arguments)]
-    fn scan_top_k_ivf(
-        &self,
-        query: &[f32],
-        q: &gbm_quant::QuantizedVector,
-        l1_q: f32,
-        k: usize,
-        nprobe: usize,
-        widen: usize,
-        hidden: usize,
-        stats: &mut ScanStats,
-    ) -> Vec<(GraphId, f32)> {
-        if k == 0 || self.ids.is_empty() {
-            return Vec::new();
-        }
-        let ivf = self.ivf.as_ref().expect("ivf scan requires the cell index");
-        if !ivf.is_trained() {
-            return self.scan_top_k_int8(query, q, l1_q, k, widen, hidden, stats);
-        }
-        let quant = self
-            .quant
-            .as_ref()
-            .expect("ivf scan requires the quantized mirror");
-        let mat = quant.matrix().expect("a trained cell index has rows");
-        let probed = ivf.probe_cells(query, nprobe.max(1));
-        let probe = ivf.probe_stats(&probed);
-        stats.cells_probed += probe.cells_probed as u64;
-        stats.rows_scanned += probe.members_visited as u64;
-        stats.scan_bytes += probe.probe_bytes as u64;
-        let mut cand: Vec<u32> = Vec::new();
-        for &c in &probed {
-            cand.extend_from_slice(ivf.cell(c as usize));
-        }
-        if cand.is_empty() {
-            return Vec::new();
-        }
-        let approx: Vec<f32> = cand
-            .iter()
-            .map(|&r| mat.approx_dot(r as usize, q))
-            .collect();
-        let kprime = k.saturating_mul(widen.max(1));
-        let mut cand_rows: Vec<usize> = top_k(&approx, kprime)
-            .into_iter()
-            .map(|(i, _)| cand[i] as usize)
-            .collect();
-        cand_rows.sort_unstable();
-        stats.survivors += cand_rows.len() as u64;
-        // visited int8 codes (+ per-row scale) and the survivors' exact rows
-        stats.scan_bytes += (cand.len() * (hidden + 4) + cand_rows.len() * hidden * 4) as u64;
-        let exact: Vec<f32> = cand_rows
-            .iter()
-            .map(|&r| dot(query, &self.rows[r * hidden..(r + 1) * hidden]))
-            .collect();
-        top_k(&exact, k)
-            .into_iter()
-            .map(|(i, s)| (self.ids[cand_rows[i]], s))
-            .collect()
     }
 }
 
@@ -606,15 +464,22 @@ impl ShardedIndex {
         let precision = self.cfg.precision;
         // the quantized query and its L1 norm are shard-independent:
         // compute once here, not once per shard in the fan-out
-        let quant_query = Self::prepare_query(precision, query);
+        let quant_query = prepare_query(precision, query);
         let per_shard: Vec<(Vec<(GraphId, f32)>, ScanStats)> = self
             .shards
             .par_iter()
             .with_min_len(1)
             .map(|s| {
                 let mut stats = ScanStats::default();
-                let ranked =
-                    Self::scan_shard(s, query, &quant_query, k, precision, hidden, &mut stats);
+                let ranked = scan_shard(
+                    &s.view(),
+                    query,
+                    &quant_query,
+                    k,
+                    precision,
+                    hidden,
+                    &mut stats,
+                );
                 (ranked, stats)
             })
             .collect();
@@ -625,49 +490,6 @@ impl ShardedIndex {
             partials.push(ranked);
         }
         (gbm_tensor::merge_ranked(&partials, k), stats)
-    }
-
-    /// The shard-independent half of a query under `precision`: the
-    /// quantized query codes and L1 norm (at int8 and IVF — `None` at
-    /// f32).
-    fn prepare_query(
-        precision: ScanPrecision,
-        query: &[f32],
-    ) -> Option<(gbm_quant::QuantizedVector, f32)> {
-        matches!(
-            precision,
-            ScanPrecision::Int8 { .. } | ScanPrecision::Ivf { .. }
-        )
-        .then(|| {
-            (
-                quantize_vector(query),
-                query.iter().map(|v| v.abs()).sum::<f32>(),
-            )
-        })
-    }
-
-    /// One shard's sorted top-K partial under `precision` — the unit of
-    /// work both `query` and `query_shards` fan out.
-    #[allow(clippy::too_many_arguments)]
-    fn scan_shard(
-        shard: &Shard,
-        query: &[f32],
-        quant_query: &Option<(gbm_quant::QuantizedVector, f32)>,
-        k: usize,
-        precision: ScanPrecision,
-        hidden: usize,
-        stats: &mut ScanStats,
-    ) -> Vec<(GraphId, f32)> {
-        stats.shards += 1;
-        match (precision, quant_query) {
-            (ScanPrecision::Int8 { widen }, Some((q, l1_q))) => {
-                shard.scan_top_k_int8(query, q, *l1_q, k, widen, hidden, stats)
-            }
-            (ScanPrecision::Ivf { nprobe, widen }, Some((q, l1_q))) => {
-                shard.scan_top_k_ivf(query, q, *l1_q, k, nprobe, widen, hidden, stats)
-            }
-            _ => shard.scan_top_k(query, k, hidden, stats),
-        }
     }
 
     /// The fan-out half of [`query`](Self::query): scans only the shards in
@@ -712,11 +534,21 @@ impl ShardedIndex {
         );
         let hidden = self.hidden;
         let precision = self.cfg.precision;
-        let quant_query = Self::prepare_query(precision, query);
+        let quant_query = prepare_query(precision, query);
         let mut stats = ScanStats::default();
         let per_shard: Vec<Vec<(GraphId, f32)>> = self.shards[shards]
             .iter()
-            .map(|s| Self::scan_shard(s, query, &quant_query, k, precision, hidden, &mut stats))
+            .map(|s| {
+                scan_shard(
+                    &s.view(),
+                    query,
+                    &quant_query,
+                    k,
+                    precision,
+                    hidden,
+                    &mut stats,
+                )
+            })
             .collect();
         (gbm_tensor::merge_ranked(&per_shard, k), stats)
     }
@@ -845,6 +677,7 @@ impl ShardedIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scan::dot;
     use crate::testfix::{model, toy};
 
     /// The monolithic reference: stable descending cosine sort over every
@@ -1553,7 +1386,9 @@ mod tests {
                 .into_iter()
                 .map(|(i, s)| (i as GraphId, s))
                 .collect();
-            let got = shard.scan_top_k(&query, k, hidden, &mut ScanStats::default());
+            let got = shard
+                .view()
+                .scan_top_k(&query, k, hidden, &mut ScanStats::default());
             assert_eq!(got, expect, "k={k}");
         }
     }

@@ -56,6 +56,16 @@
 //!   and bit rot are deterministically testable, mirroring the injected
 //!   [`Clock`]. `GBM_SNAPSHOT_DIR` / `GBM_WAL_FSYNC` tune durability from
 //!   the environment ([`DurabilityConfig::with_env`]).
+//! * [`artifact`] — multi-process serving from a published v2 artifact
+//!   (`gbm-artifact`'s page-aligned zero-copy format): a writer
+//!   [`publish_index_artifact`]s generations (tmp → fsync → rename, then a
+//!   `CURRENT` pointer swing), reader processes `mmap` them and serve
+//!   through [`ReadOnlyIndex`] — the same query surface as
+//!   [`ShardedIndex`], rank-identical at the exact tiers because both run
+//!   the *same* scan kernels over borrowed shard views — and
+//!   [`ArtifactReader`] polls `CURRENT` to swap generations without
+//!   dropping in-flight queries. `GBM_ARTIFACT_DIR` / `GBM_ARTIFACT_MMAP`
+//!   tune the reader from the environment ([`ArtifactConfig::with_env`]).
 //!
 //! Rankings are *exact*: a sharded top-K scan returns the same candidates in
 //! the same order as a full monolithic
@@ -63,6 +73,7 @@
 //! tests here and in `gbm-eval`, which wires this index into its retrieval
 //! API). `RankBy::Cosine` is documented in `gbm_eval::retrieval`.
 
+pub mod artifact;
 pub mod clock;
 pub mod coalesce;
 mod env;
@@ -70,11 +81,16 @@ pub mod index;
 mod metrics;
 pub mod persist;
 pub mod quantized;
+mod scan;
 pub mod server;
 #[cfg(any(test, feature = "test-fixtures"))]
 pub mod testfix;
 
+pub use artifact::{
+    encode_index_artifact, publish_index_artifact, ArtifactConfig, ArtifactReader, ReadOnlyIndex,
+};
 pub use clock::{Clock, VirtualClock, WallClock};
+pub use gbm_artifact::{ArtifactError, MapKind};
 pub use gbm_obs::{MetricsRegistry, MetricsSnapshot, ObsConfig, TraceSpan, TraceStage};
 
 pub use coalesce::{

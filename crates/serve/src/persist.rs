@@ -168,7 +168,7 @@ impl PersistError {
     }
 }
 
-fn precision_tag(p: ScanPrecision, ivf_cells: usize) -> PrecisionTag {
+pub(crate) fn precision_tag(p: ScanPrecision, ivf_cells: usize) -> PrecisionTag {
     match p {
         ScanPrecision::F32 => PrecisionTag::F32,
         ScanPrecision::Int8 { widen } => PrecisionTag::Int8 {
@@ -182,7 +182,7 @@ fn precision_tag(p: ScanPrecision, ivf_cells: usize) -> PrecisionTag {
     }
 }
 
-fn scan_precision(t: PrecisionTag) -> ScanPrecision {
+pub(crate) fn scan_precision(t: PrecisionTag) -> ScanPrecision {
     match t {
         PrecisionTag::F32 => ScanPrecision::F32,
         PrecisionTag::Int8 { widen } => ScanPrecision::Int8 {
@@ -197,7 +197,7 @@ fn scan_precision(t: PrecisionTag) -> ScanPrecision {
 
 /// The configured IVF cell count carried by the tag (0 for non-IVF tags —
 /// the field is meaningless there and `IndexConfig::default` uses 0 too).
-fn tag_ivf_cells(t: PrecisionTag) -> usize {
+pub(crate) fn tag_ivf_cells(t: PrecisionTag) -> usize {
     match t {
         PrecisionTag::Ivf { cells, .. } => cells as usize,
         _ => 0,

@@ -28,6 +28,7 @@ use gbm_quant::{QuantizedMatrix, QuantizedVector};
 use gbm_tensor::top_k;
 
 use crate::index::{merge_row_ranked, SCAN_BLOCK};
+use crate::scan::QuantView;
 
 /// How a shard scan scores candidate rows.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -171,6 +172,28 @@ impl QuantizedShard {
         self.mat.as_ref()
     }
 
+    /// Largest quantization scale per [`SCAN_BLOCK`] of live rows — the
+    /// artifact writer serializes these so a mapped index evaluates the
+    /// exact same per-block margins without recomputation.
+    pub fn block_scale(&self) -> &[f32] {
+        &self.block_scale
+    }
+
+    /// Largest row L1 norm per [`SCAN_BLOCK`] (same serialization story).
+    pub fn block_l1(&self) -> &[f32] {
+        &self.block_l1
+    }
+
+    /// This mirror's state as the borrowed [`QuantView`] the scan kernels
+    /// read (`None` while empty — no rows means nothing to scan).
+    pub(crate) fn view(&self) -> Option<QuantView<'_>> {
+        self.mat.as_ref().map(|m| QuantView {
+            mat: m.as_view(),
+            block_scale: &self.block_scale,
+            block_l1: &self.block_l1,
+        })
+    }
+
     /// Bytes one full coarse scan touches: codes + scales, plus the two
     /// per-block bound arrays the margin cuts read.
     pub fn scan_bytes(&self) -> usize {
@@ -199,14 +222,8 @@ impl QuantizedShard {
     /// padding). By construction `bounds[b] ≤ max_dot_error` for every
     /// block, which is what makes the blocked margin cut strictly tighter.
     pub fn block_bounds(&self, q: &QuantizedVector, l1_q: f32) -> Vec<f32> {
-        let n = q.codes.len() as f32;
-        self.block_scale
-            .iter()
-            .zip(&self.block_l1)
-            .map(|(&bs, &bl)| {
-                (bs * 0.5 * l1_q + q.scale * 0.5 * bl + n * q.scale * bs * 0.25) * 1.05 + 1e-6
-            })
-            .collect()
+        self.view()
+            .map_or_else(Vec::new, |v| v.block_bounds(q, l1_q))
     }
 
     /// The candidate rows an exact re-rank must score to reproduce the f32
@@ -309,58 +326,8 @@ impl QuantizedShard {
         l1_q: f32,
         kprime: usize,
     ) -> Vec<(usize, f32)> {
-        let Some(mat) = &self.mat else {
-            return Vec::new();
-        };
-        if kprime == 0 {
-            return Vec::new();
-        }
-        let bounds = self.block_bounds(q, l1_q);
-        let max_bound = bounds.iter().copied().fold(0.0, f32::max);
-        let margins: Vec<f32> = bounds.iter().map(|&b| b + max_bound).collect();
-        let rows = mat.rows();
-        let mut best: Vec<(usize, f32)> = Vec::new();
-        let mut cands: Vec<(usize, f32)> = Vec::new();
-        let mut scores = [0.0f32; SCAN_BLOCK];
-        let mut start = 0;
-        while start < rows {
-            let n = SCAN_BLOCK.min(rows - start);
-            let b = start / SCAN_BLOCK;
-            let mut block_max = f32::NEG_INFINITY;
-            for (i, s) in scores[..n].iter_mut().enumerate() {
-                *s = mat.approx_dot(start + i, q);
-                block_max = block_max.max(*s);
-            }
-            let cut = (best.len() >= kprime).then(|| best[kprime - 1].1);
-            if cut.is_none_or(|c| block_max >= c) {
-                best = merge_row_ranked(
-                    best,
-                    top_k(&scores[..n], kprime)
-                        .into_iter()
-                        .map(|(r, s)| (r + start, s))
-                        .collect(),
-                    kprime,
-                );
-            }
-            let cut = (best.len() >= kprime).then(|| best[kprime - 1].1);
-            let t = cut.map(|c| c - margins[b]);
-            for (i, &s) in scores[..n].iter().enumerate() {
-                if t.is_none_or(|t| s >= t) {
-                    cands.push((start + i, s));
-                }
-            }
-            if cands.len() > kprime + SCAN_BLOCK {
-                if let Some(c) = cut {
-                    cands.retain(|&(r, s)| s >= c - margins[r / SCAN_BLOCK]);
-                }
-            }
-            start += n;
-        }
-        if let Some(c) = (best.len() >= kprime).then(|| best[kprime - 1].1) {
-            cands.retain(|&(r, s)| s >= c - margins[r / SCAN_BLOCK]);
-        }
-        cands.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        cands
+        self.view()
+            .map_or_else(Vec::new, |v| v.scan_candidates_blocked(q, l1_q, kprime))
     }
 }
 

@@ -1,0 +1,388 @@
+//! The precision-dispatched shard scan kernels, over *borrowed views*.
+//!
+//! Every scan the serving layer runs — exact f32, int8 coarse-scan +
+//! exact re-rank, IVF probe — operates on a [`ShardView`]: plain slices
+//! of ids, rows, quantized codes, and cell tables. The owned
+//! [`Shard`](crate::index) builds its view from its own vectors; the
+//! mapped [`ReadOnlyIndex`](crate::artifact::ReadOnlyIndex) builds the
+//! *same* view type from byte ranges of an `mmap`'d artifact. One scan
+//! implementation, two memory sources — which is what makes the mapped
+//! index's rankings bit-identical to the in-process index by
+//! construction rather than by parallel maintenance: there is no second
+//! scan to drift.
+
+use gbm_quant::{
+    quantize_vector, IvfCells, IvfCellsView, IvfProbeStats, QuantizedMatrixView, QuantizedVector,
+};
+use gbm_tensor::top_k;
+
+use crate::index::{merge_row_ranked, GraphId, ScanStats, SCAN_BLOCK};
+use crate::quantized::ScanPrecision;
+
+/// Same accumulation order as
+/// [`EmbeddingStore::cosine`](gbm_nn::EmbeddingStore::cosine) — keeps
+/// sharded scores bit-identical to the monolithic scan.
+#[inline]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// A shard's int8 mirror as borrowed slices: the code matrix view plus the
+/// per-`SCAN_BLOCK` bound maxima the blocked margin cut reads.
+#[derive(Clone, Copy)]
+pub(crate) struct QuantView<'a> {
+    /// Codes + per-row scales.
+    pub mat: QuantizedMatrixView<'a>,
+    /// Largest quantization scale per [`SCAN_BLOCK`] of rows.
+    pub block_scale: &'a [f32],
+    /// Largest row L1 norm per [`SCAN_BLOCK`].
+    pub block_l1: &'a [f32],
+}
+
+impl QuantView<'_> {
+    /// Per-block error bounds: `bounds[b]` caps `|approx − exact|` for
+    /// every row of block `b` (see `QuantizedShard::block_bounds` for the
+    /// derivation — this is the single definition both the owned shard and
+    /// the mapped index evaluate).
+    pub fn block_bounds(&self, q: &QuantizedVector, l1_q: f32) -> Vec<f32> {
+        let n = q.codes.len() as f32;
+        self.block_scale
+            .iter()
+            .zip(self.block_l1)
+            .map(|(&bs, &bl)| {
+                (bs * 0.5 * l1_q + q.scale * 0.5 * bl + n * q.scale * bs * 0.25) * 1.05 + 1e-6
+            })
+            .collect()
+    }
+
+    /// The blocked-margin candidate scan (see
+    /// `QuantizedShard::scan_candidates_blocked`, which delegates here):
+    /// keeps the approximate top-`kprime` plus every row within its
+    /// block's margin of the cut. Returns `(row, approx_score)` sorted by
+    /// `(score desc, row asc)`.
+    pub fn scan_candidates_blocked(
+        &self,
+        q: &QuantizedVector,
+        l1_q: f32,
+        kprime: usize,
+    ) -> Vec<(usize, f32)> {
+        if kprime == 0 {
+            return Vec::new();
+        }
+        let bounds = self.block_bounds(q, l1_q);
+        let max_bound = bounds.iter().copied().fold(0.0, f32::max);
+        let margins: Vec<f32> = bounds.iter().map(|&b| b + max_bound).collect();
+        let rows = self.mat.rows();
+        let mut best: Vec<(usize, f32)> = Vec::new();
+        let mut cands: Vec<(usize, f32)> = Vec::new();
+        let mut scores = [0.0f32; SCAN_BLOCK];
+        let mut start = 0;
+        while start < rows {
+            let n = SCAN_BLOCK.min(rows - start);
+            let b = start / SCAN_BLOCK;
+            let mut block_max = f32::NEG_INFINITY;
+            for (i, s) in scores[..n].iter_mut().enumerate() {
+                *s = self.mat.approx_dot(start + i, q);
+                block_max = block_max.max(*s);
+            }
+            let cut = (best.len() >= kprime).then(|| best[kprime - 1].1);
+            if cut.is_none_or(|c| block_max >= c) {
+                best = merge_row_ranked(
+                    best,
+                    top_k(&scores[..n], kprime)
+                        .into_iter()
+                        .map(|(r, s)| (r + start, s))
+                        .collect(),
+                    kprime,
+                );
+            }
+            let cut = (best.len() >= kprime).then(|| best[kprime - 1].1);
+            let t = cut.map(|c| c - margins[b]);
+            for (i, &s) in scores[..n].iter().enumerate() {
+                if t.is_none_or(|t| s >= t) {
+                    cands.push((start + i, s));
+                }
+            }
+            if cands.len() > kprime + SCAN_BLOCK {
+                if let Some(c) = cut {
+                    cands.retain(|&(r, s)| s >= c - margins[r / SCAN_BLOCK]);
+                }
+            }
+            start += n;
+        }
+        if let Some(c) = (best.len() >= kprime).then(|| best[kprime - 1].1) {
+            cands.retain(|&(r, s)| s >= c - margins[r / SCAN_BLOCK]);
+        }
+        cands.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        cands
+    }
+
+    /// Bytes one full coarse scan touches: codes + scales + both bound
+    /// arrays (same accounting as `QuantizedShard::scan_bytes`).
+    pub fn scan_bytes(&self) -> usize {
+        self.mat.scan_bytes()
+            + (self.block_scale.len() + self.block_l1.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// A trained IVF cell index, wherever it lives: the owned
+/// [`IvfCells`] (in-process serving) or the CSR [`IvfCellsView`] over a
+/// mapped artifact. Probe arithmetic is shared upstream in `gbm-quant`, so
+/// the two variants order cells bit-identically.
+pub(crate) enum IvfRef<'a> {
+    /// The live, churn-maintained index.
+    Owned(&'a IvfCells),
+    /// Flat CSR slices out of a mapped artifact (always trained — writers
+    /// only serialize trained cell tables).
+    Mapped(IvfCellsView<'a>),
+}
+
+impl IvfRef<'_> {
+    /// Whether probes may run; untrained owned indexes answer no and the
+    /// scan falls back to the exact int8 path.
+    pub fn is_trained(&self) -> bool {
+        match self {
+            IvfRef::Owned(i) => i.is_trained(),
+            IvfRef::Mapped(_) => true,
+        }
+    }
+
+    /// The `nprobe` cells nearest `query`, best first.
+    pub fn probe_cells(&self, query: &[f32], nprobe: usize) -> Vec<u32> {
+        match self {
+            IvfRef::Owned(i) => i.probe_cells(query, nprobe),
+            IvfRef::Mapped(v) => v.probe_cells(query, nprobe),
+        }
+    }
+
+    /// Cost accounting for a probe over `probed` cells.
+    pub fn probe_stats(&self, probed: &[u32]) -> IvfProbeStats {
+        match self {
+            IvfRef::Owned(i) => i.probe_stats(probed),
+            IvfRef::Mapped(v) => v.probe_stats(probed),
+        }
+    }
+
+    /// The member rows of cell `c`.
+    pub fn cell(&self, c: usize) -> &[u32] {
+        match self {
+            IvfRef::Owned(i) => i.cell(c),
+            IvfRef::Mapped(v) => v.cell(c),
+        }
+    }
+
+    /// Bytes the IVF structures add to a scan pass.
+    pub fn scan_bytes(&self) -> usize {
+        match self {
+            IvfRef::Owned(i) => i.scan_bytes(),
+            IvfRef::Mapped(v) => v.scan_bytes(),
+        }
+    }
+}
+
+/// One shard's scannable state as borrowed slices — what every scan kernel
+/// below actually reads. Both index flavors produce this.
+pub(crate) struct ShardView<'a> {
+    /// `ids[r]` owns matrix row `r`.
+    pub ids: &'a [GraphId],
+    /// Row-major `[ids.len() × hidden]`.
+    pub rows: &'a [f32],
+    /// int8 mirror (present at the Int8/Ivf precisions, absent on shards
+    /// with no rows).
+    pub quant: Option<QuantView<'a>>,
+    /// IVF cell index (present at Ivf precision; mapped artifacts omit it
+    /// for shards that were untrained, which falls back to int8 exactly
+    /// like an untrained owned index does).
+    pub ivf: Option<IvfRef<'a>>,
+}
+
+impl ShardView<'_> {
+    /// Blocked top-K scan: score `SCAN_BLOCK` rows at a time into a reused
+    /// buffer, partial-select each block, and merge into the running best
+    /// list. Returns `(id, score)` sorted by `(score desc, row asc)`.
+    pub fn scan_top_k(
+        &self,
+        query: &[f32],
+        k: usize,
+        hidden: usize,
+        stats: &mut ScanStats,
+    ) -> Vec<(GraphId, f32)> {
+        if k == 0 || self.ids.is_empty() {
+            return Vec::new();
+        }
+        stats.rows_scanned += self.ids.len() as u64;
+        stats.scan_bytes += std::mem::size_of_val(self.rows) as u64;
+        let mut best: Vec<(usize, f32)> = Vec::new();
+        let mut scores = [0.0f32; SCAN_BLOCK];
+        for (block, rows) in self.rows.chunks(SCAN_BLOCK * hidden).enumerate() {
+            let n = rows.len() / hidden;
+            for (r, row) in rows.chunks_exact(hidden).enumerate() {
+                scores[r] = dot(query, row);
+            }
+            let block_best = top_k(&scores[..n], k);
+            let offset = block * SCAN_BLOCK;
+            best = merge_row_ranked(
+                best,
+                block_best
+                    .into_iter()
+                    .map(|(r, s)| (r + offset, s))
+                    .collect(),
+                k,
+            );
+        }
+        best.into_iter().map(|(r, s)| (self.ids[r], s)).collect()
+    }
+
+    /// Quantized top-K scan: an int8 coarse scan keeps the approximate
+    /// top-`k·widen` rows plus the quantization-error margin zone, then
+    /// exactly those candidates are re-scored against the retained f32
+    /// rows — same [`dot`] accumulation order as the f32 scan, candidates
+    /// visited in ascending row order, so ids, scores, and tie order all
+    /// match [`scan_top_k`](Self::scan_top_k) unconditionally (the margin
+    /// provably covers the true top-K; see `quantized`'s module docs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn scan_top_k_int8(
+        &self,
+        query: &[f32],
+        q: &QuantizedVector,
+        l1_q: f32,
+        k: usize,
+        widen: usize,
+        hidden: usize,
+        stats: &mut ScanStats,
+    ) -> Vec<(GraphId, f32)> {
+        if k == 0 || self.ids.is_empty() {
+            return Vec::new();
+        }
+        let quant = self
+            .quant
+            .as_ref()
+            .expect("int8 scan requires the quantized mirror");
+        let kprime = k.saturating_mul(widen.max(1)).min(self.ids.len());
+        let candidates = quant.scan_candidates_blocked(q, l1_q, kprime);
+        // exact re-rank in ascending row order: top_k ties then break by
+        // candidate position = row index, exactly as the full f32 scan
+        let mut cand_rows: Vec<usize> = candidates.into_iter().map(|(r, _)| r).collect();
+        cand_rows.sort_unstable();
+        stats.rows_scanned += self.ids.len() as u64;
+        stats.survivors += cand_rows.len() as u64;
+        stats.scan_bytes += (quant.scan_bytes() + cand_rows.len() * hidden * 4) as u64;
+        let exact: Vec<f32> = cand_rows
+            .iter()
+            .map(|&r| dot(query, &self.rows[r * hidden..(r + 1) * hidden]))
+            .collect();
+        top_k(&exact, k)
+            .into_iter()
+            .map(|(i, s)| (self.ids[cand_rows[i]], s))
+            .collect()
+    }
+
+    /// IVF approximate top-K scan: probe the `nprobe` cells whose
+    /// centroids sit nearest the query, approximate-score only their
+    /// member rows over the int8 mirror, keep the best `k · widen`, and
+    /// exact-f32 re-rank those (ascending row order, same [`dot`] as every
+    /// other path, so returned scores are exact even though the candidate
+    /// *set* is approximate). Shards without a trained cell index —
+    /// untrained owned, or mapped with no serialized IVF sections — fall
+    /// back to [`scan_top_k_int8`](Self::scan_top_k_int8), which *is*
+    /// exact.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scan_top_k_ivf(
+        &self,
+        query: &[f32],
+        q: &QuantizedVector,
+        l1_q: f32,
+        k: usize,
+        nprobe: usize,
+        widen: usize,
+        hidden: usize,
+        stats: &mut ScanStats,
+    ) -> Vec<(GraphId, f32)> {
+        if k == 0 || self.ids.is_empty() {
+            return Vec::new();
+        }
+        let Some(ivf) = self.ivf.as_ref().filter(|i| i.is_trained()) else {
+            return self.scan_top_k_int8(query, q, l1_q, k, widen, hidden, stats);
+        };
+        let quant = self
+            .quant
+            .as_ref()
+            .expect("ivf scan requires the quantized mirror");
+        let mat = &quant.mat;
+        let probed = ivf.probe_cells(query, nprobe.max(1));
+        let probe = ivf.probe_stats(&probed);
+        stats.cells_probed += probe.cells_probed as u64;
+        stats.rows_scanned += probe.members_visited as u64;
+        stats.scan_bytes += probe.probe_bytes as u64;
+        let mut cand: Vec<u32> = Vec::new();
+        for &c in &probed {
+            cand.extend_from_slice(ivf.cell(c as usize));
+        }
+        if cand.is_empty() {
+            return Vec::new();
+        }
+        let approx: Vec<f32> = cand
+            .iter()
+            .map(|&r| mat.approx_dot(r as usize, q))
+            .collect();
+        let kprime = k.saturating_mul(widen.max(1));
+        let mut cand_rows: Vec<usize> = top_k(&approx, kprime)
+            .into_iter()
+            .map(|(i, _)| cand[i] as usize)
+            .collect();
+        cand_rows.sort_unstable();
+        stats.survivors += cand_rows.len() as u64;
+        // visited int8 codes (+ per-row scale) and the survivors' exact rows
+        stats.scan_bytes += (cand.len() * (hidden + 4) + cand_rows.len() * hidden * 4) as u64;
+        let exact: Vec<f32> = cand_rows
+            .iter()
+            .map(|&r| dot(query, &self.rows[r * hidden..(r + 1) * hidden]))
+            .collect();
+        top_k(&exact, k)
+            .into_iter()
+            .map(|(i, s)| (self.ids[cand_rows[i]], s))
+            .collect()
+    }
+}
+
+/// The shard-independent half of a query under `precision`: the quantized
+/// query codes and L1 norm (at int8 and IVF — `None` at f32).
+pub(crate) fn prepare_query(
+    precision: ScanPrecision,
+    query: &[f32],
+) -> Option<(QuantizedVector, f32)> {
+    matches!(
+        precision,
+        ScanPrecision::Int8 { .. } | ScanPrecision::Ivf { .. }
+    )
+    .then(|| {
+        (
+            quantize_vector(query),
+            query.iter().map(|v| v.abs()).sum::<f32>(),
+        )
+    })
+}
+
+/// One shard's sorted top-K partial under `precision` — the unit of work
+/// every query fan-out dispatches, for both index flavors.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_shard(
+    shard: &ShardView<'_>,
+    query: &[f32],
+    quant_query: &Option<(QuantizedVector, f32)>,
+    k: usize,
+    precision: ScanPrecision,
+    hidden: usize,
+    stats: &mut ScanStats,
+) -> Vec<(GraphId, f32)> {
+    stats.shards += 1;
+    match (precision, quant_query) {
+        (ScanPrecision::Int8 { widen }, Some((q, l1_q))) => {
+            shard.scan_top_k_int8(query, q, *l1_q, k, widen, hidden, stats)
+        }
+        (ScanPrecision::Ivf { nprobe, widen }, Some((q, l1_q))) => {
+            shard.scan_top_k_ivf(query, q, *l1_q, k, nprobe, widen, hidden, stats)
+        }
+        _ => shard.scan_top_k(query, k, hidden, stats),
+    }
+}

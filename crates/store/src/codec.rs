@@ -22,6 +22,27 @@ impl Writer {
         self.buf
     }
 
+    /// Bytes written so far — the offset the next write lands at, which is
+    /// what sectioned formats need to lay out aligned payloads.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Zero-pads so the next write lands on a multiple of `align` (a
+    /// power-of-two section alignment; no-op when already aligned).
+    pub fn pad_to(&mut self, align: usize) {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let rem = self.buf.len() & (align - 1);
+        if rem != 0 {
+            self.buf.resize(self.buf.len() + (align - rem), 0);
+        }
+    }
+
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
@@ -178,6 +199,26 @@ mod tests {
         assert_eq!(r.i8_vec(3, "g").unwrap(), vec![-128, 0, 127]);
         assert_eq!(r.str("h").unwrap(), "snapshot §");
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn pad_to_aligns_the_next_write_with_zeros() {
+        let mut w = Writer::new();
+        assert!(w.is_empty());
+        w.pad_to(4096);
+        assert_eq!(w.len(), 0, "already aligned is a no-op");
+        w.u8(0xAB);
+        w.pad_to(8);
+        assert_eq!(w.len(), 8);
+        w.pad_to(8);
+        assert_eq!(w.len(), 8, "aligned stays put");
+        w.u32(0xDEAD_BEEF);
+        w.pad_to(4096);
+        assert_eq!(w.len(), 4096);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes[0], 0xAB);
+        assert!(bytes[1..8].iter().all(|&b| b == 0), "padding is zeros");
+        assert!(bytes[12..].iter().all(|&b| b == 0));
     }
 
     #[test]

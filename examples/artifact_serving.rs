@@ -1,0 +1,97 @@
+//! Multi-process serving with the v2 index artifact: a writer publishes
+//! immutable generations (atomic tmp → fsync → rename, then a `CURRENT`
+//! pointer swing), readers `mmap` the current generation and serve top-K
+//! queries straight out of the mapping — no decode, no copy — and swap to
+//! newer generations without dropping in-flight queries.
+//!
+//! Both roles run in this one process to keep the example self-contained;
+//! `probe_artifact` runs the same protocol across real processes and kills
+//! the writer mid-publish. The moving parts are identical:
+//!
+//! * writer: [`publish_index_artifact`] on a [`ShardedIndex`]
+//! * reader: [`ArtifactReader`] (open `CURRENT`, `poll()` for newer
+//!   generations, `current()` for an `Arc` that outlives any swap)
+//!
+//! ```text
+//! cargo run --release --example artifact_serving
+//! ```
+
+use gbm_serve::{
+    publish_index_artifact, ArtifactConfig, ArtifactReader, IndexConfig, ScanPrecision,
+    ShardedIndex,
+};
+
+/// Deterministic pseudo-random rows in `[-1, 1)` — stand-ins for encoder
+/// embeddings (see `examples/serve_pool.rs` for the real encode path).
+fn synth_rows(n: usize, hidden: usize, mut state: u64) -> Vec<f32> {
+    let mut rows = Vec::with_capacity(n * hidden);
+    for _ in 0..n * hidden {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        rows.push(((z ^ (z >> 31)) % 2000) as f32 / 1000.0 - 1.0);
+    }
+    rows
+}
+
+fn main() {
+    let hidden = 16;
+    let dir = std::env::temp_dir().join(format!("gbm-artifact-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+
+    // ── writer: build generation 1 and publish it ───────────────────────
+    let cfg = IndexConfig {
+        num_shards: 4,
+        precision: ScanPrecision::Int8 { widen: 2 },
+        ..Default::default()
+    };
+    let gen1 = ShardedIndex::from_rows(&synth_rows(200, hidden, 1), hidden, cfg);
+    let path = publish_index_artifact(&gen1, &dir, 1).expect("publish generation 1");
+    println!("writer : published generation 1 → {}", path.display());
+
+    // ── reader: map CURRENT and serve from the mapping ──────────────────
+    let reader = ArtifactReader::open(ArtifactConfig::new(&dir)).expect("open reader");
+    let ro = reader.current();
+    println!(
+        "reader : generation {} mapped ({:?}, {} rows, {} shards) — cold start \
+         is page faults, not decoding",
+        reader.generation(),
+        ro.map_kind(),
+        ro.num_encoded(),
+        ro.num_shards(),
+    );
+    let query = synth_rows(1, hidden, 99);
+    let top = ro.query(&query, 3);
+    println!("reader : top-3 = {top:?}");
+    assert_eq!(
+        top,
+        gen1.query(&query, 3),
+        "mapped rankings are bit-identical to the index that published them"
+    );
+
+    // ── writer: a new generation lands atomically ───────────────────────
+    let mut rows2 = synth_rows(200, hidden, 1);
+    rows2.extend_from_slice(&synth_rows(100, hidden, 2));
+    let gen2 = ShardedIndex::from_rows(&rows2, hidden, cfg);
+    publish_index_artifact(&gen2, &dir, 2).expect("publish generation 2");
+    println!("writer : published generation 2 (pool grew to 300 rows)");
+
+    // an "in-flight query" holds the old generation's Arc across the swap
+    let in_flight = reader.current();
+    let swapped = reader.poll().expect("poll");
+    assert!(swapped, "reader observed the newer CURRENT");
+    println!(
+        "reader : swapped to generation {} — in-flight queries keep the old \
+         mapping alive until they finish",
+        reader.generation()
+    );
+    assert_eq!(in_flight.last_seq(), 1, "the held Arc still serves gen 1");
+    assert_eq!(in_flight.query(&query, 3), gen1.query(&query, 3));
+    assert_eq!(reader.current().query(&query, 3), gen2.query(&query, 3));
+    println!("reader : old-Arc and new-generation answers both verified exact");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("done   : see probe_artifact for the cross-process writer-kill drill");
+}

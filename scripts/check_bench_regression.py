@@ -332,36 +332,47 @@ def main() -> int:
     unit = "x" if higher_is_better else "×bce"
     print(f"{'gate':<28} {'baseline':>10} {'fresh':>10}  verdict")
     print("-" * 62)
-    failed = False
+    # every failure also emits one self-contained line — measured value,
+    # required threshold, and the bench key — so a CI log tail is enough
+    # to see exactly which gate tripped and by how much
+    failures = []
     for g, b in sorted(base_r.items()):
         f = fresh_r.get(g)
+        op = ">=" if higher_is_better else "<="
+        if higher_is_better:
+            threshold = b * (1.0 - REGRESSION_TOLERANCE)
+        else:
+            threshold = b * (1.0 + REGRESSION_TOLERANCE)
         if f is None:
             print(f"{g:<28} {b:>9.2f}{unit} {'—':>10}  MISSING (row absent in fresh run)")
-            failed = True
+            failures.append(
+                f"{bench}:{g}: measured (missing), required {op} {threshold:.2f}{unit}"
+            )
             continue
-        if higher_is_better:
-            ok = f >= b * (1.0 - REGRESSION_TOLERANCE)
-        else:
-            ok = f <= b * (1.0 + REGRESSION_TOLERANCE)
+        ok = f >= threshold if higher_is_better else f <= threshold
         verdict = "ok" if ok else f"REGRESSION (>{REGRESSION_TOLERANCE:.0%} off baseline)"
         print(f"{g:<28} {b:>9.2f}{unit} {f:>9.2f}{unit}  {verdict}")
-        failed |= not ok
+        if not ok:
+            failures.append(
+                f"{bench}:{g}: measured {f:.2f}{unit}, "
+                f"required {op} {threshold:.2f}{unit}"
+            )
     if bench == "serve_concurrent":
-        ceiling_failures = p99_ceiling_failures(fresh, baseline_doc, quick)
-        for msg in ceiling_failures:
-            print(f"CEILING: {msg}")
-        failed |= bool(ceiling_failures)
+        failures += [
+            f"{bench}:{msg}" for msg in p99_ceiling_failures(fresh, baseline_doc, quick)
+        ]
     if bench == "serve_query":
-        floor_failures = ivf_floor_failures(run_text, fresh, baseline_doc, quick)
-        for msg in floor_failures:
-            print(f"FLOOR: {msg}")
-        failed |= bool(floor_failures)
-        overhead_failures = metrics_overhead_failures(fresh, baseline_doc)
-        for msg in overhead_failures:
-            print(f"OVERHEAD: {msg}")
-        failed |= bool(overhead_failures)
-    if failed:
-        print(f"\n{bench} ratios regressed; see {BASELINES[bench].name} for baselines")
+        failures += [
+            f"{bench}:{msg}"
+            for msg in ivf_floor_failures(run_text, fresh, baseline_doc, quick)
+        ]
+        failures += [
+            f"{bench}:{msg}" for msg in metrics_overhead_failures(fresh, baseline_doc)
+        ]
+    if failures:
+        for line in failures:
+            print(f"FAIL {line}")
+        print(f"\n{bench} gates failed; see {BASELINES[bench].name} for baselines")
         return 1
     print(f"\nall {bench} ratios within tolerance of baseline")
     return 0
